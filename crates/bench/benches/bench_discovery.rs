@@ -1,0 +1,76 @@
+//! Criterion benches: Application I/O Discovery cost.
+//!
+//! Discovery runs once per tuning campaign (§III-B: "the application has
+//! to be passed through this component only once"), but its cost still
+//! matters for interactive use; these benches split it into parse, mark,
+//! reconstruct, and the full `discover_io` with reductions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tunio_cminus::parser::parse;
+use tunio_cminus::printer::print_program;
+use tunio_cminus::samples;
+use tunio_discovery::kernel::reconstruct;
+use tunio_discovery::marking::mark_program;
+use tunio_discovery::{discover_io, DiscoveryOptions};
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery/stages");
+    group.sample_size(60);
+
+    group.bench_function("parse_vpic", |b| {
+        b.iter(|| black_box(parse(samples::VPIC_IO).unwrap()))
+    });
+
+    let prog = parse(samples::VPIC_IO).unwrap();
+    group.bench_function("mark_vpic", |b| b.iter(|| black_box(mark_program(&prog))));
+
+    let marking = mark_program(&prog);
+    group.bench_function("reconstruct_vpic", |b| {
+        b.iter(|| black_box(reconstruct(&prog, &marking)))
+    });
+
+    let kernel = reconstruct(&prog, &marking);
+    group.bench_function("print_vpic", |b| {
+        b.iter(|| black_box(print_program(&kernel)))
+    });
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery/discover_io");
+    group.sample_size(60);
+    for (name, src) in samples::all_samples() {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(discover_io(src, &DiscoveryOptions::default()).unwrap()))
+        });
+    }
+    group.bench_function("vpic_with_reductions", |b| {
+        let opts = DiscoveryOptions {
+            loop_reduction: Some(0.01),
+            path_switch_prefix: Some("/dev/shm".into()),
+            ..DiscoveryOptions::default()
+        };
+        b.iter(|| black_box(discover_io(samples::VPIC_IO, &opts).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Discovery cost vs. source size: replicate the VPIC function N times.
+    let mut group = c.benchmark_group("discovery/scaling");
+    group.sample_size(30);
+    for n in [1usize, 8, 32] {
+        let big_src: String = (0..n)
+            .map(|i| samples::VPIC_IO.replace("vpic_dump", &format!("vpic_dump_{i}")))
+            .collect::<Vec<_>>()
+            .join("\n");
+        group.bench_function(format!("{n}_functions"), |b| {
+            b.iter(|| black_box(discover_io(&big_src, &DiscoveryOptions::default()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_full_pipeline, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches: NN and RL agent costs.
+//!
+//! The RL agents run inside the tuning loop (one subset decision and one
+//! stop decision per generation) and during offline pre-training; these
+//! benches quantify both, plus the PCA used in offline impact analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tunio_nn::{Activation, Network, Optimizer, Pca};
+use tunio_rl::logcurve::LogCurveEnv;
+use tunio_rl::qlearn::{QAgent, QConfig};
+
+fn bench_network(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut net = Network::new(
+        &[12, 24, 4],
+        &[Activation::Tanh, Activation::Linear],
+        Optimizer::Adam { lr: 0.01 },
+        &mut rng,
+    );
+    let x: Vec<f64> = (0..12).map(|i| i as f64 / 12.0).collect();
+    let y = vec![0.1, 0.2, 0.3, 0.4];
+
+    let mut group = c.benchmark_group("nn/network");
+    group.bench_function("forward_12x24x4", |b| {
+        b.iter(|| black_box(net.forward(black_box(&x))))
+    });
+    group.bench_function("train_step_12x24x4", |b| {
+        b.iter(|| black_box(net.train_step(black_box(&x), &y)))
+    });
+    group.finish();
+}
+
+fn bench_pca(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let samples: Vec<Vec<f64>> = (0..600)
+        .map(|_| (0..13).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let mut group = c.benchmark_group("nn/pca");
+    group.sample_size(30);
+    group.bench_function("fit_600x13", |b| {
+        b.iter(|| black_box(Pca::fit(black_box(&samples))))
+    });
+    group.finish();
+}
+
+fn bench_qagent(c: &mut Criterion) {
+    let agent = QAgent::new(4, 2, QConfig::default(), 7);
+    let state = vec![0.5, 0.1, 0.3, 0.7];
+
+    let mut group = c.benchmark_group("rl/qagent");
+    group.bench_function("decision", |b| {
+        b.iter(|| black_box(agent.best_action(black_box(&state))))
+    });
+    group.sample_size(10);
+    group.bench_function("train_50_episodes_logcurve", |b| {
+        b.iter(|| {
+            let mut env = LogCurveEnv::new(30, 0.012, 3);
+            let mut a = QAgent::new(4, 2, QConfig::default(), 9);
+            black_box(a.train(&mut env, 50, 31))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_network, bench_pca, bench_qagent);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches: simulated I/O stack evaluation throughput.
+//!
+//! The tuner's inner loop is `Simulator::run_averaged`; these benches
+//! establish its cost per configuration evaluation for each workload and
+//! both machine scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tunio_iosim::Simulator;
+use tunio_params::{ParameterSpace, StackConfig};
+use tunio_workloads::{all_apps, bdcats, hacc, Variant, Workload};
+
+fn bench_apps(c: &mut Criterion) {
+    let space = ParameterSpace::tunio_default();
+    let cfg = StackConfig::defaults(&space);
+    let sim = Simulator::cori_4node(1);
+
+    let mut group = c.benchmark_group("simulator/run_averaged_4node");
+    group.sample_size(40);
+    for app in all_apps() {
+        let phases = Workload::new(app.clone(), Variant::Kernel).phases();
+        group.bench_function(app.name.clone(), |b| {
+            b.iter(|| black_box(sim.run_averaged(black_box(&phases), &cfg, 3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scales(c: &mut Criterion) {
+    let space = ParameterSpace::tunio_default();
+    let cfg = StackConfig::defaults(&space);
+    let mut group = c.benchmark_group("simulator/scales");
+    group.sample_size(40);
+
+    let small = Simulator::cori_4node(1);
+    let phases_small = Workload::new(hacc(), Variant::Full).phases();
+    group.bench_function("hacc_full_4node", |b| {
+        b.iter(|| black_box(small.run_averaged(&phases_small, &cfg, 3)))
+    });
+
+    let big = Simulator::cori_500node(1);
+    let phases_big = Workload::new(bdcats(), Variant::Full).phases();
+    group.bench_function("bdcats_full_500node", |b| {
+        b.iter(|| black_box(big.run_averaged(&phases_big, &cfg, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps, bench_scales);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Ablation — search strategies (§II-B background): the GA pipeline vs.
+//! random search vs. hill climbing, on the HACC I/O kernel, equal
+//! evaluation budgets.
+
+use serde::Serialize;
+use tunio_iosim::Simulator;
+use tunio_params::ParameterSpace;
+use tunio_tuner::{AllParams, Evaluator, GaConfig, GaTuner, HillClimb, NoStop, RandomSearch};
+use tunio_workloads::{hacc, Variant, Workload};
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+#[derive(Serialize)]
+struct Row {
+    strategy: String,
+    seed: u64,
+    final_gibs: f64,
+    minutes: f64,
+}
+
+fn evaluator(seed: u64) -> Evaluator {
+    Evaluator::new(
+        Simulator::cori_4node(seed),
+        Workload::new(hacc(), Variant::Kernel),
+        ParameterSpace::tunio_default(),
+        3,
+    )
+}
+
+fn main() {
+    const ITERS: u32 = 30;
+    let seeds = [1u64, 2, 3, 4, 5];
+    let mut rows = Vec::new();
+
+    println!("=== Ablation: search strategies (HACC kernel, {ITERS} iterations, 5 seeds) ===\n");
+    println!("{:<14} {:>12} {:>12} {:>12}", "strategy", "mean GiB/s", "min", "max");
+
+    let summarize = |name: &str, finals: Vec<(u64, f64, f64)>, rows: &mut Vec<Row>| {
+        let perfs: Vec<f64> = finals.iter().map(|(_, p, _)| *p).collect();
+        let mean = perfs.iter().sum::<f64>() / perfs.len() as f64;
+        let min = perfs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = perfs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!("{name:<14} {mean:>12.3} {min:>12.3} {max:>12.3}");
+        for (seed, p, m) in finals {
+            rows.push(Row {
+                strategy: name.into(),
+                seed,
+                final_gibs: p,
+                minutes: m,
+            });
+        }
+    };
+
+    let ga: Vec<(u64, f64, f64)> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut tuner = GaTuner::new(GaConfig {
+                max_iterations: ITERS,
+                seed,
+                ..GaConfig::default()
+            });
+            let t = tuner.run(&mut evaluator(seed), &mut NoStop, &mut AllParams);
+            (seed, t.best_perf / GIB, t.total_cost_min())
+        })
+        .collect();
+    summarize("genetic", ga, &mut rows);
+
+    let rs: Vec<(u64, f64, f64)> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut search = RandomSearch::new(ITERS, seed);
+            let t = search.run(&mut evaluator(seed), &mut NoStop, &mut AllParams);
+            (seed, t.best_perf / GIB, t.total_cost_min())
+        })
+        .collect();
+    summarize("random", rs, &mut rows);
+
+    let hc: Vec<(u64, f64, f64)> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut search = HillClimb::new(ITERS, seed);
+            let t = search.run(&mut evaluator(seed), &mut NoStop, &mut AllParams);
+            (seed, t.best_perf / GIB, t.total_cost_min())
+        })
+        .collect();
+    summarize("hill-climb", hc, &mut rows);
+
+    tunio_bench::write_json("abl01_search_strategies", &rows);
+}

@@ -1,0 +1,69 @@
+//! Ablation — platform-volatility sensitivity: how noise amplitude
+//! affects the stopping policies (§IV's 3-run averaging exists precisely
+//! to mitigate this).
+
+use serde::Serialize;
+use tunio::early_stop::EarlyStopAgent;
+use tunio_iosim::noise::NoiseModel;
+use tunio_iosim::Simulator;
+use tunio_params::ParameterSpace;
+use tunio_tuner::{AllParams, Evaluator, GaConfig, GaTuner, HeuristicStop, Stopper};
+use tunio_workloads::{hacc, Variant, Workload};
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+#[derive(Serialize)]
+struct Row {
+    amplitude: f64,
+    stopper: String,
+    stop_iter: u32,
+    final_gibs: f64,
+}
+
+fn run(amplitude: f64, stopper: &mut dyn Stopper) -> (u32, f64) {
+    let mut sim = Simulator::cori_4node(7);
+    sim.noise = NoiseModel { seed: 7, amplitude };
+    let mut evaluator = Evaluator::new(
+        sim,
+        Workload::new(hacc(), Variant::Kernel),
+        ParameterSpace::tunio_default(),
+        3,
+    );
+    let mut tuner = GaTuner::new(GaConfig {
+        max_iterations: 40,
+        seed: 7,
+        ..GaConfig::default()
+    });
+    let trace = tuner.run(&mut evaluator, stopper, &mut AllParams);
+    (trace.iterations(), trace.best_perf / GIB)
+}
+
+fn main() {
+    println!("=== Ablation: noise sensitivity of stopping policies (HACC, 40-iteration budget) ===\n");
+    println!(
+        "{:>10} {:>24} {:>10} {:>12}",
+        "amplitude", "stopper", "stop iter", "final GiB/s"
+    );
+    let mut rows = Vec::new();
+    for amplitude in [0.0, 0.04, 0.08, 0.16, 0.24] {
+        let mut heuristic = HeuristicStop::paper_default();
+        let (hi, hp) = run(amplitude, &mut heuristic);
+        let mut rl = EarlyStopAgent::pretrained(40, 7);
+        rl.begin_campaign();
+        let (ri, rp) = run(amplitude, &mut rl);
+        for (name, iter, perf) in [("heuristic-5pct-5iter", hi, hp), ("tunio-rl", ri, rp)] {
+            println!("{amplitude:>10.2} {name:>24} {iter:>10} {perf:>12.3}");
+            rows.push(Row {
+                amplitude,
+                stopper: name.into(),
+                stop_iter: iter,
+                final_gibs: perf,
+            });
+        }
+    }
+    println!(
+        "\nhigher volatility keeps best-so-far 'improving' by luck, which delays\n\
+         plateau-based stopping; averaging and the RL trend features damp this."
+    );
+    tunio_bench::write_json("abl03_noise_sensitivity", &rows);
+}

@@ -1,0 +1,76 @@
+//! Ablation — burst-buffer tier: how a Hermes/DataWarp-style node-local
+//! tier reshapes the tuning problem on HACC.
+//!
+//! With checkpoint writes absorbed at memory-class speed, the PFS
+//! parameters lose most of their leverage — tuning headroom collapses,
+//! which is exactly why tiered stacks change what an autotuner should
+//! target (the paper's Fig 1 includes Hermes' parameter space for this
+//! reason).
+
+use serde::Serialize;
+use tunio_iosim::{BurstBufferSpec, Simulator};
+use tunio_params::ParameterSpace;
+use tunio_tuner::{AllParams, Evaluator, GaConfig, GaTuner, NoStop};
+use tunio_workloads::{hacc, Variant, Workload};
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+#[derive(Serialize)]
+struct Row {
+    tier: String,
+    default_gibs: f64,
+    tuned_gibs: f64,
+    headroom: f64,
+    minutes: f64,
+}
+
+fn tune(sim: Simulator) -> Row {
+    let name = if sim.burst.is_some() {
+        "burst-buffer"
+    } else {
+        "pfs-only"
+    };
+    let mut evaluator = Evaluator::new(
+        sim,
+        Workload::new(hacc(), Variant::Kernel),
+        ParameterSpace::tunio_default(),
+        3,
+    );
+    let mut tuner = GaTuner::new(GaConfig {
+        max_iterations: 25,
+        seed: 5,
+        ..GaConfig::default()
+    });
+    let trace = tuner.run(&mut evaluator, &mut NoStop, &mut AllParams);
+    Row {
+        tier: name.into(),
+        default_gibs: trace.default_perf / GIB,
+        tuned_gibs: trace.best_perf / GIB,
+        headroom: trace.best_perf / trace.default_perf.max(1e-12),
+        minutes: trace.total_cost_min(),
+    }
+}
+
+fn main() {
+    println!("=== Ablation: burst-buffer tier vs PFS-only (HACC, 25 iterations) ===\n");
+    println!(
+        "{:<14} {:>14} {:>12} {:>10} {:>10}",
+        "tier", "default GiB/s", "tuned GiB/s", "headroom", "minutes"
+    );
+    let rows = vec![
+        tune(Simulator::cori_4node(5)),
+        tune(Simulator::cori_4node(5).with_burst_buffer(BurstBufferSpec::datawarp_like())),
+    ];
+    for r in &rows {
+        println!(
+            "{:<14} {:>14.3} {:>12.3} {:>9.2}x {:>10.1}",
+            r.tier, r.default_gibs, r.tuned_gibs, r.headroom, r.minutes
+        );
+    }
+    println!(
+        "\nthe tier absorbs checkpoints, so the untuned stack is already fast and\n\
+         tuning headroom shrinks — the tuner's effort shifts from PFS parameters\n\
+         to whatever still spills."
+    );
+    tunio_bench::write_json("abl04_burst_buffer", &rows);
+}

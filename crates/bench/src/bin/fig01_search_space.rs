@@ -1,0 +1,69 @@
+//! Figure 1 — search-space explosion across HPC I/O libraries.
+//!
+//! Reproduces the per-library parameter-permutation table and the stack
+//! combinations the paper highlights (HDF5+MPI ≈ 3.81e21 permutations),
+//! plus the 12-parameter evaluation space (> 2.18e9 permutations).
+
+use serde::Serialize;
+use tunio_params::catalog::{stack_params, stack_permutations, CATALOGS};
+use tunio_params::ParameterSpace;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    discrete: u32,
+    continuous: u32,
+    params: u32,
+    permutations: f64,
+}
+
+fn main() {
+    println!("=== Fig 1: user-level parameter permutations per library ===");
+    println!(
+        "{:<14} {:>9} {:>11} {:>7} {:>14}",
+        "library", "discrete", "continuous", "params", "permutations"
+    );
+    let mut rows = Vec::new();
+    for c in CATALOGS {
+        println!(
+            "{:<14} {:>9} {:>11} {:>7} {:>14.3e}",
+            c.name,
+            c.discrete,
+            c.continuous,
+            c.params(),
+            c.permutations()
+        );
+        rows.push(Row {
+            name: c.name.into(),
+            discrete: c.discrete,
+            continuous: c.continuous,
+            params: c.params(),
+            permutations: c.permutations(),
+        });
+    }
+
+    println!("\n=== stack combinations ===");
+    let stacks: [&[&str]; 4] = [
+        &["HDF5", "MPI"],
+        &["PnetCDF", "MPI"],
+        &["ADIOS", "MPI"],
+        &["HDF5", "MPI", "Hermes"],
+    ];
+    for s in stacks {
+        println!(
+            "{:<24} {:>7} params {:>14.3e} permutations",
+            s.join("+"),
+            stack_params(s).unwrap(),
+            stack_permutations(s).unwrap()
+        );
+    }
+
+    let space = ParameterSpace::tunio_default();
+    println!(
+        "\nTunIO evaluation space: {} parameters, {} permutations (paper: >2.18e9)",
+        space.len(),
+        space.permutations()
+    );
+
+    tunio_bench::write_json("fig01_search_space", &rows);
+}

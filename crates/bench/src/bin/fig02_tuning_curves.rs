@@ -1,0 +1,50 @@
+//! Figure 2 — bandwidth vs. tuning iteration for HACC, FLASH and VPIC
+//! I/O kernels tuned with HSTuner (no TunIO optimizations).
+//!
+//! The paper uses these curves to motivate early stopping: "application
+//! performance in tuning follows a logarithmic curve, where performance
+//! improvements attenuate".
+
+use tunio::pipeline::{CampaignSpec, PipelineKind};
+use tunio_bench::{labeled_campaign, print_series_table, write_json};
+use tunio_workloads::{flash, hacc, vpic, Variant};
+
+fn main() {
+    let apps = [("HACC", hacc()), ("FLASH", flash()), ("VPIC", vpic())];
+    let mut traces = Vec::new();
+    for (name, app) in apps {
+        let spec = CampaignSpec {
+            app,
+            variant: Variant::Kernel,
+            kind: PipelineKind::HsTunerNoStop,
+            max_iterations: 50,
+            population: 8,
+            seed: 2024,
+            large_scale: false,
+        };
+        traces.push(labeled_campaign(name, &spec));
+    }
+
+    print_series_table("Fig 2: HSTuner tuning curves (best-so-far perf)", &traces);
+
+    // Log-shape check: early gains dominate late gains.
+    println!("\nlog-shape check (gain in first third vs last third of iterations):");
+    for t in &traces {
+        let n = t.bandwidth_gibs.len();
+        let first = t.bandwidth_gibs[n / 3] - t.bandwidth_gibs[0];
+        let last = t.bandwidth_gibs[n - 1] - t.bandwidth_gibs[2 * n / 3];
+        println!(
+            "  {:<6} first-third gain {:.3} GiB/s, last-third gain {:.3} GiB/s ({}x)",
+            t.label,
+            first,
+            last,
+            if last > 0.0 {
+                format!("{:.1}", first / last)
+            } else {
+                "inf".into()
+            }
+        );
+    }
+
+    write_json("fig02_tuning_curves", &traces);
+}

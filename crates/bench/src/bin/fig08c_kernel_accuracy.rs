@@ -1,0 +1,56 @@
+//! Figure 8(c) — kernel fidelity: absolute percentage error of bytes
+//! written and write-operation counts, kernel and reduced kernel vs. the
+//! original application (MACSio/VPIC-dipole).
+//!
+//! Paper: bytes error 0.0002% (kernel) / 0.19% (reduced); write-op error
+//! 19.05% (kernel, dropped logging) / 4.87% (reduced, first-iteration
+//! overshoot partially cancels the missing logging ops).
+
+use tunio_discovery::accuracy::measure_fidelity;
+use tunio_iosim::Simulator;
+use tunio_params::{ParameterSpace, StackConfig};
+use tunio_workloads::{macsio_vpic_dipole, Variant};
+
+fn main() {
+    let space = ParameterSpace::tunio_default();
+    let sim = Simulator::cori_4node(0);
+    let cfg = StackConfig::defaults(&space);
+    let app = macsio_vpic_dipole();
+
+    let kernel = measure_fidelity(&sim, &app, Variant::Kernel, &cfg);
+    let reduced = measure_fidelity(
+        &sim,
+        &app,
+        Variant::ReducedKernel {
+            keep_fraction: 0.01,
+        },
+        &cfg,
+    );
+
+    println!("=== Fig 8(c): kernel fidelity vs original application ===\n");
+    println!(
+        "{:<28} {:>18} {:>18}",
+        "metric", "kernel", "reduced kernel(1%)"
+    );
+    println!(
+        "{:<28} {:>17.4}% {:>17.4}%",
+        "bytes written |error|", kernel.bytes_written_err_pct, reduced.bytes_written_err_pct
+    );
+    println!(
+        "{:<28} {:>17.2}% {:>17.2}%",
+        "write ops |error|", kernel.write_ops_err_pct, reduced.write_ops_err_pct
+    );
+    println!("\npaper reference: bytes 0.0002% / 0.19%; ops 19.05% / 4.87%");
+
+    let summary = serde_json::json!({
+        "kernel": {
+            "bytes_err_pct": kernel.bytes_written_err_pct,
+            "ops_err_pct": kernel.write_ops_err_pct,
+        },
+        "reduced": {
+            "bytes_err_pct": reduced.bytes_written_err_pct,
+            "ops_err_pct": reduced.write_ops_err_pct,
+        },
+    });
+    tunio_bench::write_json("fig08c_kernel_accuracy", &summary);
+}

@@ -1,0 +1,63 @@
+//! Figure 11(a) — end-to-end pipeline analysis on BD-CATS at 500 nodes /
+//! 1600 processes: bandwidth vs. iteration for six pipeline variants.
+//!
+//! Paper: TunIO peaks at 88 GB/s by iteration 6 and stops at 9 (≈468
+//! minutes, ≈73% less than HSTuner's 1750); HSTuner no-stop eventually
+//! reaches 90.8 GB/s; HSTuner + heuristic stops at 47.7 GB/s after ≈538
+//! minutes.
+
+use tunio::pipeline::{CampaignSpec, PipelineKind};
+use tunio_bench::{labeled_campaign, print_series_table, write_json};
+use tunio_workloads::{bdcats, Variant};
+
+fn spec(kind: PipelineKind, variant: Variant) -> CampaignSpec {
+    CampaignSpec {
+        app: bdcats(),
+        variant,
+        kind,
+        max_iterations: 50,
+        population: 8,
+        seed: 1111,
+        large_scale: true,
+    }
+}
+
+fn main() {
+    let variants = [
+        ("HSTuner (No Stop)", PipelineKind::HsTunerNoStop, Variant::Full),
+        (
+            "HSTuner (Heuristic Stop)",
+            PipelineKind::HsTunerHeuristic,
+            Variant::Full,
+        ),
+        ("TunIO", PipelineKind::TunIo, Variant::Full),
+        (
+            "HSTuner+Kernel (No Stop)",
+            PipelineKind::HsTunerNoStop,
+            Variant::Kernel,
+        ),
+        (
+            "HSTuner+Kernel (Heuristic)",
+            PipelineKind::HsTunerHeuristic,
+            Variant::Kernel,
+        ),
+        ("TunIO+Kernel", PipelineKind::TunIo, Variant::Kernel),
+    ];
+
+    let traces: Vec<_> = variants
+        .iter()
+        .map(|(label, kind, variant)| labeled_campaign(*label, &spec(*kind, *variant)))
+        .collect();
+
+    print_series_table("Fig 11(a): BD-CATS end-to-end tuning (500 nodes / 1600 procs)", &traces);
+
+    let find = |label: &str| traces.iter().find(|t| t.label == label).unwrap();
+    let tunio = find("TunIO");
+    let hstuner = find("HSTuner (No Stop)");
+    println!(
+        "\ntuning-budget reduction TunIO vs HSTuner: {:.1}% (paper: ≈73%; 468 vs 1750 minutes)",
+        100.0 * (hstuner.total_minutes - tunio.total_minutes) / hstuner.total_minutes
+    );
+
+    write_json("fig11a_pipeline_bw", &traces);
+}

@@ -1,0 +1,72 @@
+//! Figure 11(b) — RoTI of the end-to-end BD-CATS pipelines.
+//!
+//! Paper: TunIO reaches RoTI 215 vs 41.6 for HSTuner + heuristic stop
+//! (a 173.4 MB/s-per-minute advantage); with the I/O kernel TunIO reaches
+//! 250 and HSTuner + heuristic 91.6.
+
+use tunio::pipeline::{CampaignSpec, PipelineKind};
+use tunio_bench::{labeled_campaign, write_json};
+use tunio_workloads::{bdcats, Variant};
+
+fn spec(kind: PipelineKind, variant: Variant) -> CampaignSpec {
+    CampaignSpec {
+        app: bdcats(),
+        variant,
+        kind,
+        max_iterations: 50,
+        population: 8,
+        seed: 1111,
+        large_scale: true,
+    }
+}
+
+fn main() {
+    let runs = [
+        ("TunIO", PipelineKind::TunIo, Variant::Full),
+        ("TunIO + I/O kernel", PipelineKind::TunIo, Variant::Kernel),
+        (
+            "HSTuner + Heuristic",
+            PipelineKind::HsTunerHeuristic,
+            Variant::Full,
+        ),
+        (
+            "HSTuner + Heuristic + kernel",
+            PipelineKind::HsTunerHeuristic,
+            Variant::Kernel,
+        ),
+    ];
+
+    println!("=== Fig 11(b): RoTI of end-to-end pipelines (BD-CATS) ===\n");
+    println!("{:<30} {:>14} {:>12} {:>12}", "pipeline", "final RoTI", "minutes", "GiB/s");
+    let mut traces = Vec::new();
+    for (label, kind, variant) in runs {
+        let t = labeled_campaign(label, &spec(kind, variant));
+        println!(
+            "{:<30} {:>11.1} MB/s/min {:>9.1} {:>12.2}",
+            t.label,
+            t.roti.last().copied().unwrap_or(0.0),
+            t.total_minutes,
+            t.final_gibs
+        );
+        traces.push(t);
+    }
+
+    let roti = |label: &str| {
+        traces
+            .iter()
+            .find(|t| t.label == label)
+            .and_then(|t| t.roti.last().copied())
+            .unwrap_or(0.0)
+    };
+    println!(
+        "\nTunIO advantage over HSTuner+Heuristic: {:.1} MB/s per tuning minute (paper: 173.4)",
+        roti("TunIO") - roti("HSTuner + Heuristic")
+    );
+    println!(
+        "with I/O kernels: {:.1} vs {:.1} (paper: 250 vs 91.6)",
+        roti("TunIO + I/O kernel"),
+        roti("HSTuner + Heuristic + kernel")
+    );
+
+    write_json("fig11b_pipeline_roti", &traces);
+}

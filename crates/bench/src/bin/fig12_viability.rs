@@ -1,0 +1,107 @@
+//! Figure 12 — lifecycle viability of tuning BD-CATS.
+//!
+//! Paper: TunIO tunes in 403 minutes vs 1560 for H5Tuner; tuning becomes
+//! viable (beats never-tuning) after 1394 executions for TunIO vs 5274
+//! for H5Tuner (73.6% fewer); TunIO's total-time advantage holds until
+//! ≈3.99 million executions.
+
+use tunio::pipeline::{run_campaign, CampaignSpec, PipelineKind};
+use tunio::viability::{crossover, LifecycleModel};
+use tunio_iosim::Simulator;
+use tunio_params::ParameterSpace;
+use tunio_workloads::{bdcats, Variant, Workload};
+
+fn spec(kind: PipelineKind, variant: Variant) -> CampaignSpec {
+    CampaignSpec {
+        app: bdcats(),
+        variant,
+        kind,
+        max_iterations: 50,
+        population: 8,
+        seed: 1111,
+        large_scale: true,
+    }
+}
+
+fn main() {
+    let space = ParameterSpace::tunio_default();
+    // Production runtimes are measured noise-free so the comparison
+    // reflects the true quality of each method's final configuration.
+    let mut sim = Simulator::cori_500node(1111);
+    sim.noise = tunio_iosim::noise::NoiseModel::disabled();
+    let full = Workload::new(bdcats(), Variant::Full);
+    let phases = full.phases();
+
+    // Tune with each method (TunIO uses the kernel; H5Tuner the full app).
+    let tunio_run = run_campaign(&spec(PipelineKind::TunIo, Variant::Kernel));
+    let h5tuner_run = run_campaign(&spec(PipelineKind::HsTunerNoStop, Variant::Full));
+
+    // Production runtime of the *full* application under each final config.
+    let untuned_min = sim
+        .run_averaged(&phases, &space.default_config().resolve(&space), 3)
+        .elapsed_s
+        / 60.0;
+    let runtime_min = |cfg: &tunio_params::Configuration| {
+        sim.run_averaged(&phases, &cfg.resolve(&space), 3).elapsed_s / 60.0
+    };
+
+    let tunio_model = LifecycleModel {
+        tune_minutes: tunio_run.trace.total_cost_min(),
+        tuned_runtime_min: runtime_min(&tunio_run.trace.best_config),
+    };
+    let h5tuner_model = LifecycleModel {
+        tune_minutes: h5tuner_run.trace.total_cost_min(),
+        tuned_runtime_min: runtime_min(&h5tuner_run.trace.best_config),
+    };
+
+    println!("=== Fig 12: lifecycle viability of tuning BD-CATS ===\n");
+    println!("untuned production runtime : {untuned_min:.2} min/run");
+    println!(
+        "TunIO   : tune {:.0} min, tuned runtime {:.3} min/run",
+        tunio_model.tune_minutes, tunio_model.tuned_runtime_min
+    );
+    println!(
+        "H5Tuner : tune {:.0} min, tuned runtime {:.3} min/run",
+        h5tuner_model.tune_minutes, h5tuner_model.tuned_runtime_min
+    );
+
+    println!("\ntotal lifecycle time (minutes) vs executions:");
+    println!(
+        "{:>12} {:>14} {:>14} {:>14}",
+        "executions", "no tuning", "TunIO", "H5Tuner"
+    );
+    for n in [0.0, 100.0, 1e3, 5e3, 1e4, 1e5, 1e6, 4e6, 1e7] {
+        println!(
+            "{:>12} {:>14.0} {:>14.0} {:>14.0}",
+            n,
+            n * untuned_min,
+            tunio_model.total_minutes(n),
+            h5tuner_model.total_minutes(n)
+        );
+    }
+
+    let tunio_viab = tunio_model.viability_point(untuned_min);
+    let h5_viab = h5tuner_model.viability_point(untuned_min);
+    println!("\nviability points (executions to beat no-tuning):");
+    println!("  TunIO  : {tunio_viab:?} (paper: 1394)");
+    println!("  H5Tuner: {h5_viab:?} (paper: 5274)");
+    if let (Some(a), Some(b)) = (tunio_viab, h5_viab) {
+        println!("  TunIO viable in {:.1}% fewer executions (paper: 73.6%)", 100.0 * (b - a) / b);
+    }
+    match crossover(&tunio_model, &h5tuner_model) {
+        Some(n) => println!(
+            "  TunIO keeps a lower total time until {n:.2e} executions (paper: 3.99e6)"
+        ),
+        None => println!("  TunIO dominates at every execution count (no crossover)"),
+    }
+
+    let summary = serde_json::json!({
+        "untuned_min_per_run": untuned_min,
+        "tunio": { "tune_min": tunio_model.tune_minutes, "runtime_min": tunio_model.tuned_runtime_min },
+        "h5tuner": { "tune_min": h5tuner_model.tune_minutes, "runtime_min": h5tuner_model.tuned_runtime_min },
+        "tunio_viability": tunio_viab,
+        "h5tuner_viability": h5_viab,
+        "crossover": crossover(&tunio_model, &h5tuner_model),
+    });
+    tunio_bench::write_json("fig12_viability", &summary);
+}

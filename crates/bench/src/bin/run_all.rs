@@ -1,0 +1,53 @@
+//! Run every figure experiment in sequence.
+//!
+//! ```text
+//! cargo run -p tunio-bench --bin run_all --release
+//! ```
+//!
+//! Each experiment also has its own binary (`fig01_search_space` …
+//! `fig12_viability`) for individual reruns.
+
+use std::process::Command;
+
+const FIGURES: [&str; 17] = [
+    "fig01_search_space",
+    "fig02_tuning_curves",
+    "fig05_marking_demo",
+    "fig08a_discovery_roti",
+    "fig08b_loop_reduction_roti",
+    "fig08c_kernel_accuracy",
+    "fig09_impact_first",
+    "fig10a_early_stop_bw",
+    "fig10b_early_stop_roti",
+    "fig11a_pipeline_bw",
+    "fig11b_pipeline_roti",
+    "abl01_search_strategies",
+    "abl02_subset_size",
+    "abl03_noise_sensitivity",
+    "abl04_burst_buffer",
+    "abl05_reward_delay",
+    "ext01_scaling",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let bin_dir = exe.parent().expect("bin dir").to_path_buf();
+    let mut failures = Vec::new();
+    for fig in FIGURES.iter().chain(std::iter::once(&"fig12_viability")) {
+        println!("\n################ {fig} ################");
+        let status = Command::new(bin_dir.join(fig)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{fig} failed: {other:?}");
+                failures.push(*fig);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed");
+    } else {
+        eprintln!("\nfailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

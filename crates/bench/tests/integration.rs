@@ -1,0 +1,148 @@
+//! Integration tests spanning the whole stack: source discovery →
+//! workload variants → simulator → GA pipeline → TunIO agents → metrics.
+//!
+//! Each test asserts a *shape* the paper's evaluation reports, at reduced
+//! scale so the suite stays fast in debug builds.
+
+use tunio::pipeline::{run_campaign, CampaignSpec, PipelineKind};
+use tunio::roti::{peak_roti, roti_curve};
+use tunio::TunIo;
+use tunio_discovery::DiscoveryOptions;
+use tunio_params::{ParameterSpace, ParamId};
+use tunio_workloads::{bdcats, hacc, macsio_vpic_dipole, Variant};
+
+fn spec(kind: PipelineKind, variant: Variant, iters: u32, seed: u64) -> CampaignSpec {
+    CampaignSpec {
+        app: hacc(),
+        variant,
+        kind,
+        max_iterations: iters,
+        population: 6,
+        seed,
+        large_scale: false,
+    }
+}
+
+#[test]
+fn source_to_tuned_configuration_end_to_end() {
+    // Discover the kernel from real (sample) source code…
+    let kernel =
+        TunIo::discover_io(tunio_cminus::samples::HACC_IO, &DiscoveryOptions::default()).unwrap();
+    assert!(kernel.has_io());
+    let variant = kernel.variant().unwrap();
+
+    // …then tune the matching workload variant with the full pipeline.
+    let outcome = run_campaign(&spec(PipelineKind::TunIo, variant, 15, 5));
+    assert!(outcome.trace.best_perf > 1.5 * outcome.trace.default_perf);
+    // The tuned configuration must enable the known key parameter.
+    assert_eq!(
+        outcome.trace.best_config.gene(ParamId::CollectiveIo),
+        1,
+        "a good HACC configuration uses collective I/O: {}",
+        outcome
+            .trace
+            .best_config
+            .describe_changes(&ParameterSpace::tunio_default())
+    );
+}
+
+#[test]
+fn campaigns_are_deterministic_across_reruns() {
+    let a = run_campaign(&spec(PipelineKind::TunIo, Variant::Kernel, 10, 77));
+    let b = run_campaign(&spec(PipelineKind::TunIo, Variant::Kernel, 10, 77));
+    assert_eq!(a.trace.iterations(), b.trace.iterations());
+    assert_eq!(a.trace.best_perf, b.trace.best_perf);
+    assert_eq!(a.trace.best_config, b.trace.best_config);
+}
+
+#[test]
+fn kernel_tuning_is_cheaper_at_equal_quality() {
+    // Fig 8a's claim at reduced scale: same pipeline, kernel vs full app.
+    let full = run_campaign(&spec(PipelineKind::HsTunerNoStop, Variant::Full, 12, 9));
+    let kern = run_campaign(&spec(PipelineKind::HsTunerNoStop, Variant::Kernel, 12, 9));
+    assert!(kern.trace.total_cost_s() < full.trace.total_cost_s());
+    // Kernel tuning finds a configuration of comparable quality.
+    assert!(kern.trace.best_perf > 0.8 * full.trace.best_perf);
+}
+
+#[test]
+fn loop_reduction_multiplies_roti() {
+    // Fig 8b's claim: loop reduction boosts peak RoTI by a large factor.
+    let mut full_spec = spec(PipelineKind::HsTunerNoStop, Variant::Full, 12, 11);
+    full_spec.app = macsio_vpic_dipole();
+    let mut red_spec = full_spec.clone();
+    red_spec.variant = Variant::ReducedKernel {
+        keep_fraction: 0.01,
+    };
+    let full = run_campaign(&full_spec);
+    let reduced = run_campaign(&red_spec);
+    let full_peak = peak_roti(&full.trace).map(|p| p.roti).unwrap_or(0.0);
+    let red_peak = peak_roti(&reduced.trace).map(|p| p.roti).unwrap_or(0.0);
+    assert!(
+        red_peak > 3.0 * full_peak,
+        "reduced {red_peak:.1} vs full {full_peak:.1}"
+    );
+}
+
+#[test]
+fn early_stoppers_save_budget_without_losing_everything() {
+    let no_stop = run_campaign(&spec(PipelineKind::HsTunerNoStop, Variant::Kernel, 30, 7));
+    let rl = run_campaign(&spec(PipelineKind::RlStopOnly, Variant::Kernel, 30, 7));
+    assert!(rl.trace.total_cost_s() <= no_stop.trace.total_cost_s());
+    assert!(
+        rl.trace.best_perf > 0.55 * no_stop.trace.best_perf,
+        "rl {} vs no-stop {}",
+        rl.trace.best_perf,
+        no_stop.trace.best_perf
+    );
+}
+
+#[test]
+fn bdcats_large_scale_campaign_runs() {
+    // Smoke the 500-node path end to end (Fig 11's setting, short budget).
+    let outcome = run_campaign(&CampaignSpec {
+        app: bdcats(),
+        variant: Variant::Kernel,
+        kind: PipelineKind::HsTunerHeuristic,
+        max_iterations: 12,
+        population: 6,
+        seed: 4,
+        large_scale: true,
+    });
+    assert!(outcome.trace.best_perf > outcome.trace.default_perf);
+    // perf should land in tens of GiB/s, not single digits or thousands.
+    let gibs = outcome.trace.best_perf / (1u64 << 30) as f64;
+    assert!((1.0..1000.0).contains(&gibs), "{gibs} GiB/s");
+}
+
+#[test]
+fn roti_curves_are_finite_and_positive() {
+    let outcome = run_campaign(&spec(PipelineKind::HsTunerHeuristic, Variant::Kernel, 20, 13));
+    for p in roti_curve(&outcome.trace) {
+        assert!(p.roti.is_finite());
+        assert!(p.roti >= 0.0);
+        assert!(p.minutes > 0.0);
+    }
+}
+
+#[test]
+fn table_i_api_drives_a_manual_loop() {
+    let space = ParameterSpace::tunio_default();
+    let mut tunio = TunIo::pretrained(
+        &space,
+        tunio_iosim::ClusterSpec::cori_4node(),
+        15,
+        21,
+    );
+    let mut current = ParamId::ALL.to_vec();
+    let mut stopped = false;
+    for round in 1..=15 {
+        current = tunio.subset_picker(1e9 + round as f64 * 1e7, &current);
+        assert!(!current.is_empty());
+        if tunio.stop(round, 1e9 + round as f64 * 1e7) == tunio::api::StopDecision::Stop {
+            stopped = true;
+            break;
+        }
+    }
+    assert!(stopped, "must stop by the budget");
+}

@@ -1,0 +1,408 @@
+//! Abstract syntax tree for the C subset.
+//!
+//! Every statement carries a [`StmtId`] assigned in parse order. The
+//! discovery marking loop works in terms of these ids; the printer emits
+//! one statement per line so ids map to normalized source lines.
+
+use serde::{Deserialize, Serialize};
+
+/// Stable identity of a statement within a program (parse order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StmtId(pub u32);
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Identifier reference.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal (kept as text for faithful round-tripping).
+    Float(String),
+    /// String literal (contents without quotes).
+    Str(String),
+    /// Character literal (contents without quotes).
+    Char(String),
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator token text (e.g. `+`, `<=`, `&&`).
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Prefix unary operation (`-`, `!`, `*`, `&`, `++`, `--`).
+    Unary {
+        /// Operator token text.
+        op: String,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Postfix `++` / `--`.
+    Postfix {
+        /// Operator token text.
+        op: String,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Array indexing `base[index]`.
+    Index {
+        /// Indexed expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Member access `base.field` or `base->field`.
+    Member {
+        /// Accessed expression.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// `true` for `->`.
+        arrow: bool,
+    },
+}
+
+impl Expr {
+    /// Collect every identifier referenced in this expression (reads).
+    pub fn idents(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Ident(n) => out.push(n.clone()),
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.idents(out);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.idents(out);
+                rhs.idents(out);
+            }
+            Expr::Unary { operand, .. } | Expr::Postfix { operand, .. } => operand.idents(out),
+            Expr::Index { base, index } => {
+                base.idents(out);
+                index.idents(out);
+            }
+            Expr::Member { base, .. } => base.idents(out),
+            _ => {}
+        }
+    }
+
+    /// Collect every function-call name in this expression.
+    pub fn call_names(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Call { name, args } => {
+                out.push(name.clone());
+                for a in args {
+                    a.call_names(out);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.call_names(out);
+                rhs.call_names(out);
+            }
+            Expr::Unary { operand, .. } | Expr::Postfix { operand, .. } => {
+                operand.call_names(out)
+            }
+            Expr::Index { base, index } => {
+                base.call_names(out);
+                index.call_names(out);
+            }
+            Expr::Member { base, .. } => base.call_names(out),
+            _ => {}
+        }
+    }
+
+    /// Root identifier of an lvalue expression (`a[i].f` → `a`).
+    pub fn lvalue_root(&self) -> Option<&str> {
+        match self {
+            Expr::Ident(n) => Some(n),
+            Expr::Index { base, .. } | Expr::Member { base, .. } => base.lvalue_root(),
+            Expr::Unary { op, operand } if op == "*" => operand.lvalue_root(),
+            _ => None,
+        }
+    }
+}
+
+/// A braced block of statements.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StmtKind {
+    /// Variable declaration `ty name [= init];` (array suffix kept in `ty`).
+    Decl {
+        /// Type text (e.g. `hid_t`, `double *`).
+        ty: String,
+        /// Variable name.
+        name: String,
+        /// Optional array size suffix text (e.g. `[100]`).
+        array: Option<String>,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Assignment `lhs op rhs;` where op ∈ {=, +=, -=, *=, /=}.
+    Assign {
+        /// Assignment target.
+        lhs: Expr,
+        /// Operator text.
+        op: String,
+        /// Assigned value.
+        rhs: Expr,
+    },
+    /// Bare expression statement (usually a call).
+    Expr(Expr),
+    /// `if` with optional `else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_block: Block,
+        /// Optional else branch.
+        else_block: Option<Block>,
+    },
+    /// `for (init; cond; update) { body }` — init/update are nested
+    /// statements so they get their own ids.
+    For {
+        /// Initialization statement (may be `Empty`).
+        init: Box<Stmt>,
+        /// Loop condition (None = infinite).
+        cond: Option<Expr>,
+        /// Update statement (may be `Empty`).
+        update: Box<Stmt>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `while (cond) { body }`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `do { body } while (cond);`
+    DoWhile {
+        /// Loop body (runs at least once).
+        body: Block,
+        /// Loop condition, checked after each pass.
+        cond: Expr,
+    },
+    /// `return [expr];`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Empty statement `;`.
+    Empty,
+}
+
+/// A statement with its id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stmt {
+    /// Stable id (parse order).
+    pub id: StmtId,
+    /// What the statement is.
+    pub kind: StmtKind,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Return type text.
+    pub ret: String,
+    /// Function name.
+    pub name: String,
+    /// Parameters as (type text, name).
+    pub params: Vec<(String, String)>,
+    /// Body.
+    pub body: Block,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Function definitions in order.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Visit every statement (pre-order, including nested `for`
+    /// init/update), with its enclosing-statement ancestry (innermost
+    /// last).
+    pub fn visit_stmts<'a>(&'a self, mut f: impl FnMut(&'a Stmt, &[StmtId])) {
+        fn walk<'a>(
+            block: &'a Block,
+            ancestry: &mut Vec<StmtId>,
+            f: &mut impl FnMut(&'a Stmt, &[StmtId]),
+        ) {
+            for stmt in &block.stmts {
+                visit_one(stmt, ancestry, f);
+            }
+        }
+        fn visit_one<'a>(
+            stmt: &'a Stmt,
+            ancestry: &mut Vec<StmtId>,
+            f: &mut impl FnMut(&'a Stmt, &[StmtId]),
+        ) {
+            f(stmt, ancestry);
+            ancestry.push(stmt.id);
+            match &stmt.kind {
+                StmtKind::If {
+                    then_block,
+                    else_block,
+                    ..
+                } => {
+                    walk(then_block, ancestry, f);
+                    if let Some(e) = else_block {
+                        walk(e, ancestry, f);
+                    }
+                }
+                StmtKind::For {
+                    init, update, body, ..
+                } => {
+                    visit_one(init, ancestry, f);
+                    visit_one(update, ancestry, f);
+                    walk(body, ancestry, f);
+                }
+                StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+                    walk(body, ancestry, f)
+                }
+                _ => {}
+            }
+            ancestry.pop();
+        }
+        let mut ancestry = Vec::new();
+        for func in &self.functions {
+            walk(&func.body, &mut ancestry, &mut f);
+        }
+    }
+
+    /// Total number of statements (all nesting levels).
+    pub fn stmt_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_stmts(|_, _| n += 1);
+        n
+    }
+
+    /// Find a statement by id.
+    pub fn find_stmt(&self, id: StmtId) -> Option<Stmt> {
+        let mut found = None;
+        self.visit_stmts(|s, _| {
+            if s.id == id && found.is_none() {
+                found = Some(s.clone());
+            }
+        });
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ident(n: &str) -> Expr {
+        Expr::Ident(n.into())
+    }
+
+    #[test]
+    fn idents_collects_nested() {
+        let e = Expr::Binary {
+            op: "+".into(),
+            lhs: Box::new(Expr::Call {
+                name: "f".into(),
+                args: vec![ident("a"), ident("b")],
+            }),
+            rhs: Box::new(Expr::Index {
+                base: Box::new(ident("arr")),
+                index: Box::new(ident("i")),
+            }),
+        };
+        let mut out = Vec::new();
+        e.idents(&mut out);
+        assert_eq!(out, vec!["a", "b", "arr", "i"]);
+    }
+
+    #[test]
+    fn call_names_finds_nested_calls() {
+        let e = Expr::Call {
+            name: "outer".into(),
+            args: vec![Expr::Call {
+                name: "inner".into(),
+                args: vec![],
+            }],
+        };
+        let mut out = Vec::new();
+        e.call_names(&mut out);
+        assert_eq!(out, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn lvalue_root_peels_accessors() {
+        let e = Expr::Member {
+            base: Box::new(Expr::Index {
+                base: Box::new(ident("a")),
+                index: Box::new(ident("i")),
+            }),
+            field: "f".into(),
+            arrow: false,
+        };
+        assert_eq!(e.lvalue_root(), Some("a"));
+        assert_eq!(Expr::Int(3).lvalue_root(), None);
+    }
+
+    #[test]
+    fn visit_stmts_reports_ancestry() {
+        // for (init; cond; update) { body_stmt }
+        let body_stmt = Stmt {
+            id: StmtId(3),
+            kind: StmtKind::Expr(ident("x")),
+        };
+        let for_stmt = Stmt {
+            id: StmtId(0),
+            kind: StmtKind::For {
+                init: Box::new(Stmt {
+                    id: StmtId(1),
+                    kind: StmtKind::Empty,
+                }),
+                cond: None,
+                update: Box::new(Stmt {
+                    id: StmtId(2),
+                    kind: StmtKind::Empty,
+                }),
+                body: Block {
+                    stmts: vec![body_stmt],
+                },
+            },
+        };
+        let prog = Program {
+            functions: vec![Function {
+                ret: "void".into(),
+                name: "main".into(),
+                params: vec![],
+                body: Block {
+                    stmts: vec![for_stmt],
+                },
+            }],
+        };
+        let mut seen = Vec::new();
+        prog.visit_stmts(|s, anc| seen.push((s.id, anc.to_vec())));
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen[0], (StmtId(0), vec![]));
+        assert_eq!(seen[3], (StmtId(3), vec![StmtId(0)]));
+        assert_eq!(prog.stmt_count(), 4);
+        assert!(prog.find_stmt(StmtId(3)).is_some());
+        assert!(prog.find_stmt(StmtId(99)).is_none());
+    }
+}

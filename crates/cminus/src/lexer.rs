@@ -1,0 +1,312 @@
+//! Tokenizer for the C subset.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal, kept as text.
+    Float(String),
+    /// String literal (unquoted contents).
+    Str(String),
+    /// Character literal (unquoted contents).
+    Char(String),
+    /// Punctuation / operator, e.g. `(`, `<=`, `->`.
+    Punct(String),
+}
+
+/// A token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based source line where the token starts.
+    pub line: u32,
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line where lexing failed.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character operators, longest first.
+const MULTI_PUNCT: [&str; 19] = [
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=",
+];
+
+/// Tokenize `src`. Line comments (`//`), block comments and preprocessor
+/// lines (`#...`) are skipped.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Preprocessor directive: skip to end of line.
+        if c == '#' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == '/' {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated block comment".into(),
+                        line,
+                    });
+                }
+                i += 2;
+                continue;
+            }
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            tokens.push(Token {
+                kind: TokenKind::Ident(text),
+                line,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '.' || bytes[i] == '_')
+            {
+                if bytes[i] == '.' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            if is_float || text.contains('e') && !text.starts_with("0x") {
+                tokens.push(Token {
+                    kind: TokenKind::Float(text),
+                    line,
+                });
+            } else {
+                // Strip C suffixes (UL, LL…) and parse hex.
+                let trimmed = text.trim_end_matches(['u', 'U', 'l', 'L']);
+                let value = if let Some(hex) = trimmed
+                    .strip_prefix("0x")
+                    .or_else(|| trimmed.strip_prefix("0X"))
+                {
+                    i64::from_str_radix(hex, 16)
+                } else {
+                    trimmed.parse::<i64>()
+                };
+                let value = value.map_err(|_| LexError {
+                    message: format!("bad integer literal `{text}`"),
+                    line,
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line,
+                });
+            }
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            i += 1;
+            let mut text = String::new();
+            while i < bytes.len() && bytes[i] != '"' {
+                if bytes[i] == '\\' && i + 1 < bytes.len() {
+                    text.push(bytes[i]);
+                    text.push(bytes[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == '\n' {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        line,
+                    });
+                }
+                text.push(bytes[i]);
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(LexError {
+                    message: "unterminated string literal".into(),
+                    line,
+                });
+            }
+            i += 1;
+            tokens.push(Token {
+                kind: TokenKind::Str(text),
+                line,
+            });
+            continue;
+        }
+        // Char literal.
+        if c == '\'' {
+            i += 1;
+            let mut text = String::new();
+            while i < bytes.len() && bytes[i] != '\'' {
+                if bytes[i] == '\\' && i + 1 < bytes.len() {
+                    text.push(bytes[i]);
+                    text.push(bytes[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                text.push(bytes[i]);
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(LexError {
+                    message: "unterminated char literal".into(),
+                    line,
+                });
+            }
+            i += 1;
+            tokens.push(Token {
+                kind: TokenKind::Char(text),
+                line,
+            });
+            continue;
+        }
+        // Multi-char punctuation.
+        let rest: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
+        if let Some(p) = MULTI_PUNCT.iter().find(|p| rest.starts_with(**p)) {
+            tokens.push(Token {
+                kind: TokenKind::Punct((*p).into()),
+                line,
+            });
+            i += p.len();
+            continue;
+        }
+        // Single-char punctuation.
+        if "()[]{};,.+-*/%<>=!&|^~?:".contains(c) {
+            tokens.push(Token {
+                kind: TokenKind::Punct(c.to_string()),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        return Err(LexError {
+            message: format!("unexpected character `{c}`"),
+            line,
+        });
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        let toks = kinds("hid_t file_id = H5Fcreate(\"out.h5\", 0);");
+        assert_eq!(toks[0], TokenKind::Ident("hid_t".into()));
+        assert_eq!(toks[1], TokenKind::Ident("file_id".into()));
+        assert_eq!(toks[2], TokenKind::Punct("=".into()));
+        assert_eq!(toks[3], TokenKind::Ident("H5Fcreate".into()));
+        assert!(toks.contains(&TokenKind::Str("out.h5".into())));
+    }
+
+    #[test]
+    fn skips_comments_and_preprocessor() {
+        let toks = kinds("#include <hdf5.h>\n// line\n/* block\nstill */ x");
+        assert_eq!(toks, vec![TokenKind::Ident("x".into())]);
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn multi_char_operators_win() {
+        let toks = kinds("a <= b -> c && d");
+        assert!(toks.contains(&TokenKind::Punct("<=".into())));
+        assert!(toks.contains(&TokenKind::Punct("->".into())));
+        assert!(toks.contains(&TokenKind::Punct("&&".into())));
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(
+            kinds("42 0x10 100UL 3.5"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(16),
+                TokenKind::Int(100),
+                TokenKind::Float("3.5".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes_preserved() {
+        let toks = kinds(r#""a\"b\n""#);
+        assert_eq!(toks, vec![TokenKind::Str(r#"a\"b\n"#.into())]);
+    }
+
+    #[test]
+    fn errors_carry_line() {
+        let err = lex("ok\n\"unterminated").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err2 = lex("`").unwrap_err();
+        assert!(err2.message.contains("unexpected"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Normalized source printer.
+//!
+//! Emits one statement per line with braces on their own lines — the
+//! normal form the paper produces with a custom clang-format configuration
+//! (200-column limit, split multi-statement lines) so that per-line marking
+//! equals per-statement marking. The printer can also report which line
+//! each [`StmtId`] landed on.
+
+use crate::ast::{Block, Expr, Program, Stmt, StmtId, StmtKind};
+use std::collections::BTreeMap;
+
+/// Result of printing: text plus a statement-id → 1-based-line map.
+#[derive(Debug, Clone)]
+pub struct PrintedProgram {
+    /// The normalized source text.
+    pub text: String,
+    /// Line on which each statement starts.
+    pub stmt_lines: BTreeMap<StmtId, u32>,
+}
+
+/// Print a whole program in normal form.
+pub fn print_program(program: &Program) -> PrintedProgram {
+    let mut p = Printer::default();
+    for f in &program.functions {
+        let params = f
+            .params
+            .iter()
+            .map(|(t, n)| format!("{t} {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        p.line(&format!("{} {}({})", f.ret, f.name, params));
+        p.line("{");
+        p.indent += 1;
+        p.block(&f.body);
+        p.indent -= 1;
+        p.line("}");
+    }
+    PrintedProgram {
+        text: p.out,
+        stmt_lines: p.stmt_lines,
+    }
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    line_no: u32,
+    indent: usize,
+    stmt_lines: BTreeMap<StmtId, u32>,
+}
+
+impl Printer {
+    fn line(&mut self, text: &str) {
+        self.line_no += 1;
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn block(&mut self, block: &Block) {
+        for stmt in &block.stmts {
+            self.stmt(stmt);
+        }
+    }
+
+    fn record(&mut self, id: StmtId) {
+        // `line_no + 1` because the statement is printed by the next call.
+        self.stmt_lines.insert(id, self.line_no + 1);
+    }
+
+    fn braced(&mut self, block: &Block) {
+        self.line("{");
+        self.indent += 1;
+        self.block(block);
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Decl {
+                ty,
+                name,
+                array,
+                init,
+            } => {
+                self.record(stmt.id);
+                let arr = array.clone().unwrap_or_default();
+                match init {
+                    Some(e) => self.line(&format!("{ty} {name}{arr} = {};", expr(e))),
+                    None => self.line(&format!("{ty} {name}{arr};")),
+                }
+            }
+            StmtKind::Assign { lhs, op, rhs } => {
+                self.record(stmt.id);
+                self.line(&format!("{} {op} {};", expr(lhs), expr(rhs)));
+            }
+            StmtKind::Expr(e) => {
+                self.record(stmt.id);
+                self.line(&format!("{};", expr(e)));
+            }
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                self.record(stmt.id);
+                self.line(&format!("if ({})", expr(cond)));
+                self.braced(then_block);
+                if let Some(e) = else_block {
+                    self.line("else");
+                    self.braced(e);
+                }
+            }
+            StmtKind::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                self.record(stmt.id);
+                let init_text = inline_stmt(init);
+                let cond_text = cond.as_ref().map(expr).unwrap_or_default();
+                let update_text = inline_stmt(update);
+                self.line(&format!("for ({init_text}; {cond_text}; {update_text})"));
+                // Header sub-statements share the header's printed line.
+                let header_line = self.line_no;
+                self.stmt_lines.insert(init.id, header_line);
+                self.stmt_lines.insert(update.id, header_line);
+                self.braced(body);
+            }
+            StmtKind::While { cond, body } => {
+                self.record(stmt.id);
+                self.line(&format!("while ({})", expr(cond)));
+                self.braced(body);
+            }
+            StmtKind::DoWhile { body, cond } => {
+                self.record(stmt.id);
+                self.line("do");
+                self.braced(body);
+                self.line(&format!("while ({});", expr(cond)));
+            }
+            StmtKind::Return(value) => {
+                self.record(stmt.id);
+                match value {
+                    Some(v) => self.line(&format!("return {};", expr(v))),
+                    None => self.line("return;"),
+                }
+            }
+            StmtKind::Break => {
+                self.record(stmt.id);
+                self.line("break;");
+            }
+            StmtKind::Continue => {
+                self.record(stmt.id);
+                self.line("continue;");
+            }
+            StmtKind::Empty => {
+                self.record(stmt.id);
+                self.line(";");
+            }
+        }
+    }
+}
+
+/// Render a statement without trailing `;` for `for` headers.
+fn inline_stmt(stmt: &Stmt) -> String {
+    match &stmt.kind {
+        StmtKind::Decl {
+            ty,
+            name,
+            array,
+            init,
+        } => {
+            let arr = array.clone().unwrap_or_default();
+            match init {
+                Some(e) => format!("{ty} {name}{arr} = {}", expr(e)),
+                None => format!("{ty} {name}{arr}"),
+            }
+        }
+        StmtKind::Assign { lhs, op, rhs } => format!("{} {op} {}", expr(lhs), expr(rhs)),
+        StmtKind::Expr(e) => expr(e),
+        StmtKind::Empty => String::new(),
+        other => format!("/* unsupported in header: {other:?} */"),
+    }
+}
+
+/// Render an expression.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Ident(n) => n.clone(),
+        Expr::Int(v) => v.to_string(),
+        Expr::Float(t) => t.clone(),
+        Expr::Str(s) => format!("\"{s}\""),
+        Expr::Char(c) => format!("'{c}'"),
+        Expr::Call { name, args } => {
+            let a = args.iter().map(expr).collect::<Vec<_>>().join(", ");
+            format!("{name}({a})")
+        }
+        Expr::Binary { op, lhs, rhs } => format!("{} {op} {}", wrap(lhs), wrap(rhs)),
+        Expr::Unary { op, operand } => format!("{op}{}", wrap(operand)),
+        Expr::Postfix { op, operand } => format!("{}{op}", wrap(operand)),
+        Expr::Index { base, index } => format!("{}[{}]", wrap(base), expr(index)),
+        Expr::Member { base, field, arrow } => {
+            format!("{}{}{field}", wrap(base), if *arrow { "->" } else { "." })
+        }
+    }
+}
+
+/// Parenthesize compound sub-expressions for unambiguous output.
+fn wrap(e: &Expr) -> String {
+    match e {
+        Expr::Binary { .. } => format!("({})", expr(e)),
+        _ => expr(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn round_trips_through_parser() {
+        let src = r#"
+            void checkpoint(double * data, int n) {
+                hid_t file_id = H5Fcreate("out.h5", 0);
+                for (int step = 0; step < n; step++) {
+                    compute(data, n);
+                    H5Dwrite(file_id, data);
+                }
+                H5Fclose(file_id);
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        let printed = print_program(&prog);
+        let reparsed = parse(&printed.text).expect("printed source must reparse");
+        // Same statement structure.
+        assert_eq!(prog.stmt_count(), reparsed.stmt_count());
+        // Printing the reparsed program is a fixpoint.
+        let printed2 = print_program(&reparsed);
+        assert_eq!(printed.text, printed2.text);
+    }
+
+    #[test]
+    fn one_statement_per_line() {
+        let src = "void f() { a = 1; b = 2; c(a, b); }";
+        let printed = print_program(&parse(src).unwrap());
+        let lines: Vec<&str> = printed.text.lines().collect();
+        // fn header, {, 3 statements, }
+        assert_eq!(lines.len(), 6);
+        assert!(lines[2].trim_start().starts_with("a = 1;"));
+    }
+
+    #[test]
+    fn stmt_lines_map_to_real_lines() {
+        let src = "void f() { x = 1; if (x) { y = 2; } }";
+        let prog = parse(src).unwrap();
+        let printed = print_program(&prog);
+        let lines: Vec<&str> = printed.text.lines().collect();
+        for (id, line) in &printed.stmt_lines {
+            let text = lines[(*line - 1) as usize].trim();
+            let stmt = prog.find_stmt(*id).unwrap();
+            match stmt.kind {
+                StmtKind::Assign { .. } => assert!(text.contains('=') || text.contains("for")),
+                StmtKind::If { .. } => assert!(text.starts_with("if")),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn braces_on_their_own_lines() {
+        let src = "void f() { while (x) { g(); } }";
+        let printed = print_program(&parse(src).unwrap());
+        let mut lines = printed.text.lines().map(str::trim);
+        assert!(lines.any(|l| l == "{"));
+    }
+
+    #[test]
+    fn expression_rendering() {
+        assert_eq!(
+            expr(&Expr::Binary {
+                op: "+".into(),
+                lhs: Box::new(Expr::Int(1)),
+                rhs: Box::new(Expr::Binary {
+                    op: "*".into(),
+                    lhs: Box::new(Expr::Ident("a".into())),
+                    rhs: Box::new(Expr::Int(2)),
+                }),
+            }),
+            "1 + (a * 2)"
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Sample application sources in the C subset.
+//!
+//! `VPIC_IO` mirrors the paper's Fig 5 marking example: declarations and
+//! compute that are *not* needed for I/O interleaved with HDF5 calls whose
+//! dependency chains (dataset ids, data pointers) must be kept.
+
+/// VPIC-style particle dump. Contains compute statements, a diagnostics
+/// block and logging writes that I/O discovery must strip, plus the HDF5
+/// call chain it must keep.
+pub const VPIC_IO: &str = r#"
+void vpic_dump(int num_steps, int particles) {
+    hid_t file_id = H5Fcreate("particles.h5", 0);
+    hid_t space_id = H5Screate_simple(1, particles);
+    hid_t dataset_id = H5Dcreate(file_id, "x", space_id);
+    double * data_ptr = allocate_particles(particles);
+    double energy = 0.0;
+    int diag_interval = 10;
+    double field_sum = 0.0;
+    for (int step = 0; step < num_steps; step++) {
+        advance_particles(data_ptr, particles);
+        energy = compute_energy(data_ptr, particles);
+        field_sum += energy * 0.5;
+        if (step % diag_interval == 0) {
+            printf("step %d energy %f", step, energy);
+        }
+        data_ptr = sort_particles(data_ptr, particles);
+        H5Dwrite(dataset_id, data_ptr);
+    }
+    H5Dclose(dataset_id);
+    H5Sclose(space_id);
+    H5Fclose(file_id);
+}
+"#;
+
+/// HACC-style checkpoint writer: nine field datasets written per step.
+pub const HACC_IO: &str = r#"
+void hacc_checkpoint(int steps, int np) {
+    hid_t file_id = H5Fcreate("hacc.h5", 0);
+    hid_t xx_id = H5Dcreate(file_id, "xx", 0);
+    hid_t vv_id = H5Dcreate(file_id, "vv", 0);
+    float * xx = alloc_field(np);
+    float * vv = alloc_field(np);
+    double sigma = 0.8;
+    int accepted = 0;
+    for (int s = 0; s < steps; s++) {
+        kick_drift(xx, vv, np, sigma);
+        accepted += validate(xx, np);
+        xx = rebalance(xx, np);
+        vv = rebalance(vv, np);
+        H5Dwrite(xx_id, xx);
+        H5Dwrite(vv_id, vv);
+        fprintf(stderr, "step %d accepted %d", s, accepted);
+    }
+    H5Dclose(xx_id);
+    H5Dclose(vv_id);
+    H5Fclose(file_id);
+}
+"#;
+
+/// FLASH-style checkpoint + plotfile writer with conditional plot output.
+pub const FLASH_IO: &str = r#"
+void flash_io(int nsteps, int blocks) {
+    hid_t ckpt_file = H5Fcreate("flash_ckpt.h5", 0);
+    hid_t plot_file = H5Fcreate("flash_plot.h5", 0);
+    hid_t ckpt_dset = H5Dcreate(ckpt_file, "unk", 0);
+    hid_t plot_dset = H5Dcreate(plot_file, "dens", 0);
+    double * unk = alloc_blocks(blocks);
+    double * dens = alloc_blocks(blocks);
+    int plot_every = 4;
+    double residual = 1.0;
+    for (int n = 0; n < nsteps; n++) {
+        residual = hydro_sweep(unk, blocks);
+        dens = extract_density(unk, blocks);
+        H5Dwrite(ckpt_dset, unk);
+        if (n % plot_every == 0) {
+            H5Dwrite(plot_dset, dens);
+        }
+        printf("step %d residual %f", n, residual);
+    }
+    H5Dclose(ckpt_dset);
+    H5Dclose(plot_dset);
+    H5Fclose(ckpt_file);
+    H5Fclose(plot_file);
+}
+"#;
+
+/// BD-CATS-style clustering analysis: reads particle slabs until a
+/// convergence flag breaks the loop, then writes cluster labels. Exercises
+/// `break`/`continue` handling in the marking loop.
+pub const BDCATS_IO: &str = r#"
+void bdcats_cluster(int max_rounds, int np) {
+    hid_t in_file = H5Fopen("particles.h5", 0);
+    hid_t in_dset = H5Dopen(in_file, "xyz");
+    hid_t out_file = H5Fcreate("clusters.h5", 0);
+    hid_t out_dset = H5Dcreate(out_file, "labels", 0);
+    double * slab = alloc_slab(np);
+    int * labels = alloc_labels(np);
+    double quality = 0.0;
+    int audits = 0;
+    for (int round = 0; round < max_rounds; round++) {
+        H5Dread(in_dset, slab);
+        labels = dbscan(slab, labels, np);
+        quality = evaluate_clusters(labels, np);
+        if (quality > 95) {
+            break;
+        }
+        if (round % 2 == 0) {
+            audits += audit(labels, np);
+            continue;
+        }
+        printf("round %d quality %f", round, quality);
+    }
+    H5Dwrite(out_dset, labels);
+    H5Dclose(in_dset);
+    H5Dclose(out_dset);
+    H5Fclose(in_file);
+    H5Fclose(out_file);
+}
+"#;
+
+/// A program with no I/O at all (discovery should produce an empty kernel).
+pub const PURE_COMPUTE: &str = r#"
+void stencil(int n) {
+    double * grid = alloc_grid(n);
+    for (int i = 0; i < n; i++) {
+        grid[i] = relax(grid, i);
+    }
+    free_grid(grid);
+}
+"#;
+
+/// All samples as (name, source) pairs.
+pub fn all_samples() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("vpic_io", VPIC_IO),
+        ("hacc_io", HACC_IO),
+        ("flash_io", FLASH_IO),
+        ("bdcats_io", BDCATS_IO),
+        ("pure_compute", PURE_COMPUTE),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn all_samples_parse() {
+        for (name, src) in all_samples() {
+            let prog = parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!prog.functions.is_empty(), "{name} has no functions");
+        }
+    }
+
+    #[test]
+    fn samples_round_trip_through_printer() {
+        for (name, src) in all_samples() {
+            let prog = parse(src).unwrap();
+            let printed = crate::printer::print_program(&prog);
+            let reparsed = parse(&printed.text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(prog.stmt_count(), reparsed.stmt_count(), "{name}");
+        }
+    }
+
+    #[test]
+    fn vpic_contains_the_fig5_shape() {
+        let prog = parse(VPIC_IO).unwrap();
+        let mut calls = Vec::new();
+        prog.visit_stmts(|s, _| {
+            if let crate::ast::StmtKind::Expr(e) = &s.kind {
+                e.call_names(&mut calls);
+            }
+        });
+        assert!(calls.iter().any(|c| c == "H5Dwrite"));
+        assert!(calls.iter().any(|c| c == "printf"));
+    }
+}
+
+#[cfg(test)]
+mod bdcats_tests {
+    use super::*;
+    use crate::ast::StmtKind;
+    use crate::parser::parse;
+
+    #[test]
+    fn bdcats_sample_uses_break_and_continue() {
+        let prog = parse(BDCATS_IO).unwrap();
+        let mut has_break = false;
+        let mut has_continue = false;
+        prog.visit_stmts(|s, _| match s.kind {
+            StmtKind::Break => has_break = true,
+            StmtKind::Continue => has_continue = true,
+            _ => {}
+        });
+        assert!(has_break && has_continue);
+    }
+}

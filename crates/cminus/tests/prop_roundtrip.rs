@@ -1,0 +1,144 @@
+//! Property-based tests: generated programs round-trip through the
+//! printer and parser with identical structure.
+
+use proptest::prelude::*;
+use tunio_cminus::ast::{Block, Expr, Function, Program, Stmt, StmtId, StmtKind};
+use tunio_cminus::parser::parse;
+use tunio_cminus::printer::print_program;
+
+/// Strategy for identifiers (avoid keywords).
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "if" | "else" | "for" | "while" | "return" | "int" | "void" | "double" | "float"
+                | "char" | "long" | "unsigned" | "signed" | "const" | "struct" | "static"
+                | "short"
+        )
+    })
+}
+
+/// Strategy for simple expressions (bounded depth).
+fn expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        ident().prop_map(Expr::Ident),
+        (0i64..1_000_000).prop_map(Expr::Int),
+        "[a-z]{0,8}".prop_map(Expr::Str),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = expr(depth - 1);
+    prop_oneof![
+        leaf,
+        (
+            prop_oneof![Just("+"), Just("-"), Just("*"), Just("<"), Just("==")],
+            sub.clone(),
+            sub.clone()
+        )
+            .prop_map(|(op, l, r)| Expr::Binary {
+                op: op.into(),
+                lhs: Box::new(l),
+                rhs: Box::new(r)
+            }),
+        (ident(), proptest::collection::vec(sub.clone(), 0..3))
+            .prop_map(|(name, args)| Expr::Call { name, args }),
+        sub.prop_map(|index| Expr::Index {
+            base: Box::new(Expr::Ident("arr".into())),
+            index: Box::new(index),
+        }),
+    ]
+    .boxed()
+}
+
+/// Strategy for statements (bounded nesting).
+fn stmt(depth: u32, next_id: std::rc::Rc<std::cell::Cell<u32>>) -> BoxedStrategy<Stmt> {
+    let id_gen = move || {
+        let id = next_id.get();
+        next_id.set(id + 1);
+        StmtId(id)
+    };
+    let fresh = std::rc::Rc::new(id_gen);
+    let f1 = fresh.clone();
+    let f2 = fresh.clone();
+    let f3 = fresh.clone();
+    let simple = prop_oneof![
+        (ident(), expr(1)).prop_map(move |(name, init)| Stmt {
+            id: f1(),
+            kind: StmtKind::Decl {
+                ty: "int".into(),
+                name,
+                array: None,
+                init: Some(init)
+            }
+        }),
+        (ident(), expr(1)).prop_map(move |(name, rhs)| Stmt {
+            id: f2(),
+            kind: StmtKind::Assign {
+                lhs: Expr::Ident(name),
+                op: "=".into(),
+                rhs
+            }
+        }),
+        (ident(), proptest::collection::vec(expr(1), 0..3)).prop_map(move |(name, args)| Stmt {
+            id: f3(),
+            kind: StmtKind::Expr(Expr::Call { name, args })
+        }),
+    ];
+    if depth == 0 {
+        return simple.boxed();
+    }
+    let f4 = fresh.clone();
+    let inner = stmt(depth - 1, std::rc::Rc::new(std::cell::Cell::new(1000 * depth)));
+    prop_oneof![
+        simple,
+        (expr(1), proptest::collection::vec(inner, 1..3)).prop_map(move |(cond, stmts)| Stmt {
+            id: f4(),
+            kind: StmtKind::If {
+                cond,
+                then_block: Block { stmts },
+                else_block: None
+            }
+        }),
+    ]
+    .boxed()
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    let counter = std::rc::Rc::new(std::cell::Cell::new(0u32));
+    proptest::collection::vec(stmt(2, counter), 1..8).prop_map(|stmts| Program {
+        functions: vec![Function {
+            ret: "void".into(),
+            name: "generated".into(),
+            params: vec![],
+            body: Block { stmts },
+        }],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn printed_programs_reparse_with_same_structure(prog in program()) {
+        let printed = print_program(&prog);
+        let reparsed = parse(&printed.text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{}", printed.text)))?;
+        prop_assert_eq!(prog.stmt_count(), reparsed.stmt_count());
+        // Printing is a fixpoint after one round trip.
+        let printed2 = print_program(&reparsed);
+        let reparsed2 = parse(&printed2.text).unwrap();
+        prop_assert_eq!(print_program(&reparsed2).text, printed2.text);
+    }
+
+    #[test]
+    fn stmt_line_map_is_injective_over_simple_stmts(prog in program()) {
+        let printed = print_program(&prog);
+        // Every statement id got a line, and lines are within the text.
+        let line_count = printed.text.lines().count() as u32;
+        prop_assert_eq!(printed.stmt_lines.len(), prog.stmt_count());
+        for line in printed.stmt_lines.values() {
+            prop_assert!(*line >= 1 && *line <= line_count);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! `tunio-tune` — run a tuning campaign from the command line.
+//!
+//! ```text
+//! tunio-tune --app hacc [--pipeline tunio|hstuner|hstuner-heuristic|
+//!            impact-first|rl-stop] [--variant full|kernel|reduced:<frac>]
+//!            [--iterations N] [--population N] [--seed N] [--large-scale]
+//!            [--xml-out FILE] [--quiet]
+//! ```
+//!
+//! Prints per-generation progress and the tuned configuration, optionally
+//! writing it as an H5Tuner-style XML file (the format the reference
+//! implementation injects into HDF5 applications).
+
+use std::process::ExitCode;
+use tunio::pipeline::{run_campaign, CampaignSpec, PipelineKind};
+use tunio_params::ParameterSpace;
+use tunio_workloads::{all_apps, Variant};
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+struct Args {
+    app: String,
+    kind: PipelineKind,
+    variant: Variant,
+    iterations: u32,
+    population: usize,
+    seed: u64,
+    large_scale: bool,
+    xml_out: Option<String>,
+    quiet: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tunio-tune --app <hacc|vpic|flash|macsio-vpic-dipole|bdcats>\n\
+         \x20      [--pipeline tunio|hstuner|hstuner-heuristic|impact-first|rl-stop]\n\
+         \x20      [--variant full|kernel|reduced:<fraction>]\n\
+         \x20      [--iterations N] [--population N] [--seed N]\n\
+         \x20      [--large-scale] [--xml-out FILE] [--quiet]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        app: String::new(),
+        kind: PipelineKind::TunIo,
+        variant: Variant::Kernel,
+        iterations: 30,
+        population: 8,
+        seed: 0,
+        large_scale: false,
+        xml_out: None,
+        quiet: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--app" => args.app = value(&argv, &mut i, "--app")?,
+            "--pipeline" => {
+                args.kind = match value(&argv, &mut i, "--pipeline")?.as_str() {
+                    "tunio" => PipelineKind::TunIo,
+                    "hstuner" => PipelineKind::HsTunerNoStop,
+                    "hstuner-heuristic" => PipelineKind::HsTunerHeuristic,
+                    "impact-first" => PipelineKind::ImpactFirstOnly,
+                    "rl-stop" => PipelineKind::RlStopOnly,
+                    other => return Err(format!("unknown pipeline `{other}`")),
+                }
+            }
+            "--variant" => {
+                let v = value(&argv, &mut i, "--variant")?;
+                args.variant = if v == "full" {
+                    Variant::Full
+                } else if v == "kernel" {
+                    Variant::Kernel
+                } else if let Some(frac) = v.strip_prefix("reduced:") {
+                    let keep_fraction: f64 = frac
+                        .parse()
+                        .map_err(|_| format!("bad fraction `{frac}`"))?;
+                    if !(0.0..=1.0).contains(&keep_fraction) || keep_fraction == 0.0 {
+                        return Err("reduced fraction must be in (0, 1]".into());
+                    }
+                    Variant::ReducedKernel { keep_fraction }
+                } else {
+                    return Err(format!("unknown variant `{v}`"));
+                };
+            }
+            "--iterations" => {
+                args.iterations = value(&argv, &mut i, "--iterations")?
+                    .parse()
+                    .map_err(|e| format!("bad iterations: {e}"))?
+            }
+            "--population" => {
+                args.population = value(&argv, &mut i, "--population")?
+                    .parse()
+                    .map_err(|e| format!("bad population: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value(&argv, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--large-scale" => args.large_scale = true,
+            "--xml-out" => args.xml_out = Some(value(&argv, &mut i, "--xml-out")?),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    if args.app.is_empty() {
+        return Err("missing --app".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            return usage();
+        }
+    };
+
+    let Some(app) = all_apps().into_iter().find(|a| a.name == args.app) else {
+        eprintln!("unknown application `{}`", args.app);
+        return usage();
+    };
+
+    let spec = CampaignSpec {
+        app,
+        variant: args.variant,
+        kind: args.kind,
+        max_iterations: args.iterations,
+        population: args.population,
+        seed: args.seed,
+        large_scale: args.large_scale,
+    };
+    if !args.quiet {
+        eprintln!(
+            "tuning {} with {} ({} iterations max, population {}, {})…",
+            args.app,
+            spec.kind.label(),
+            spec.max_iterations,
+            spec.population,
+            if spec.large_scale {
+                "500 nodes / 1600 procs"
+            } else {
+                "4 nodes / 128 procs"
+            }
+        );
+    }
+
+    let outcome = run_campaign(&spec);
+    let trace = &outcome.trace;
+    if !args.quiet {
+        for r in &trace.records {
+            eprintln!(
+                "  gen {:>3}  best {:>8.3} GiB/s  subset {:>2}  {:>8.1} min",
+                r.iteration,
+                r.best_perf / GIB,
+                r.subset_size,
+                r.cumulative_cost_s / 60.0
+            );
+        }
+    }
+
+    let space = ParameterSpace::tunio_default();
+    println!(
+        "tuned: {:.3} GiB/s → {:.3} GiB/s ({:.2}x) in {} generations / {:.0} simulated minutes",
+        trace.default_perf / GIB,
+        trace.best_perf / GIB,
+        trace.best_perf / trace.default_perf.max(1e-12),
+        trace.iterations(),
+        trace.total_cost_min(),
+    );
+    println!("configuration: {}", trace.best_config.describe_changes(&space));
+
+    if let Some(path) = args.xml_out {
+        let xml = tunio_params::to_xml(&trace.best_config, &space, false);
+        if let Err(e) = std::fs::write(&path, &xml) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        if !args.quiet {
+            eprintln!("wrote H5Tuner XML to {path}");
+        }
+    }
+    ExitCode::SUCCESS
+}

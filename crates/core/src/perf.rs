@@ -1,0 +1,68 @@
+//! The tuning objective and its normalization.
+//!
+//! §III-C: `perf = (1-α)·BW_r + α·BW_w` where α is the fraction of bytes
+//! written (computed by [`tunio_iosim::RunReport::perf`]); the RL reward
+//! normalizes perf by `1 / (BW_single × num_nodes)` — the bandwidth one
+//! node could achieve alone times the node count — so rewards are
+//! machine-scale-free.
+
+use tunio_iosim::ClusterSpec;
+
+/// Normalizer for perf values: `1 / (BW_single × num_nodes)`.
+///
+/// `BW_single` is approximated by the per-node network injection
+/// bandwidth, the ceiling on what a single node can push to storage.
+pub fn perf_normalizer(cluster: &ClusterSpec) -> f64 {
+    1.0 / (cluster.node_network_bw * cluster.nodes as f64)
+}
+
+/// Normalize a perf value to roughly `[0, 1]` for the given machine.
+pub fn normalize_perf(perf: f64, cluster: &ClusterSpec) -> f64 {
+    (perf * perf_normalizer(cluster)).clamp(0.0, 1.5)
+}
+
+/// The subset-picker reward (§III-C): normalized perf divided by the
+/// normalized subset size, with both normalizations as in the paper —
+/// rewarding configurations that achieve performance with *fewer* tuned
+/// parameters.
+pub fn subset_reward(
+    perf: f64,
+    cluster: &ClusterSpec,
+    subset_len: usize,
+    total_params: usize,
+) -> f64 {
+    let norm_perf = normalize_perf(perf, cluster);
+    let norm_subset = subset_len.max(1) as f64 / total_params.max(1) as f64;
+    norm_perf / norm_subset.max(1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizer_scales_with_machine() {
+        let small = ClusterSpec::cori_4node();
+        let big = ClusterSpec::cori_500node();
+        assert!(perf_normalizer(&small) > perf_normalizer(&big));
+    }
+
+    #[test]
+    fn normalized_perf_is_bounded() {
+        let c = ClusterSpec::cori_4node();
+        assert_eq!(normalize_perf(0.0, &c), 0.0);
+        assert!(normalize_perf(1e15, &c) <= 1.5);
+        let mid = normalize_perf(2.0 * 1024f64.powi(3), &c);
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn smaller_subsets_earn_higher_reward_for_same_perf() {
+        let c = ClusterSpec::cori_4node();
+        let perf = 2.0 * 1024f64.powi(3);
+        let small = subset_reward(perf, &c, 3, 12);
+        let large = subset_reward(perf, &c, 12, 12);
+        assert!(small > large);
+        assert!((small / large - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,285 @@
+//! End-to-end tuning campaigns (the pipelines compared in §IV).
+
+use crate::early_stop::EarlyStopAgent;
+use crate::smart_config::SmartConfigAgent;
+use serde::Serialize;
+use tunio_iosim::Simulator;
+use tunio_params::ParameterSpace;
+use tunio_tuner::stoppers::NoStop;
+use tunio_tuner::{
+    AllParams, Evaluator, GaConfig, GaTuner, HeuristicStop, Stopper, SubsetProvider, TuningTrace,
+};
+use tunio_workloads::{AppSpec, Variant, Workload};
+
+/// Which tuning pipeline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PipelineKind {
+    /// HSTuner: all parameters, full budget (no early stop).
+    HsTunerNoStop,
+    /// HSTuner with the 5%/5-iteration heuristic stopper.
+    HsTunerHeuristic,
+    /// Full TunIO: Smart Configuration Generation + RL Early Stopping.
+    TunIo,
+    /// Ablation: Impact-First tuning only (no early stop) — Fig 9.
+    ImpactFirstOnly,
+    /// Ablation: RL Early Stopping only (all parameters) — Fig 10.
+    RlStopOnly,
+}
+
+impl PipelineKind {
+    /// Display name matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PipelineKind::HsTunerNoStop => "HSTuner (No Stop)",
+            PipelineKind::HsTunerHeuristic => "HSTuner (Heuristic Stop)",
+            PipelineKind::TunIo => "TunIO",
+            PipelineKind::ImpactFirstOnly => "Impact-First Tuning",
+            PipelineKind::RlStopOnly => "TunIO Early Stopping",
+        }
+    }
+}
+
+/// A tuning campaign description.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Application under tuning.
+    pub app: AppSpec,
+    /// Full application, extracted kernel, or reduced kernel.
+    pub variant: Variant,
+    /// Pipeline to run.
+    pub kind: PipelineKind,
+    /// Generation budget.
+    pub max_iterations: u32,
+    /// GA population size.
+    pub population: usize,
+    /// Seed for everything (GA, agents, simulator noise).
+    pub seed: u64,
+    /// `false` = 4 nodes / 128 procs; `true` = 500 nodes / 1600 procs.
+    pub large_scale: bool,
+}
+
+/// A completed campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Pipeline that ran.
+    pub kind: PipelineKind,
+    /// The tuning trace (per-iteration perf and cost).
+    pub trace: TuningTrace,
+}
+
+/// Run one campaign.
+pub fn run_campaign(spec: &CampaignSpec) -> CampaignOutcome {
+    let space = ParameterSpace::tunio_default();
+    let sim = if spec.large_scale {
+        Simulator::cori_500node(spec.seed)
+    } else {
+        Simulator::cori_4node(spec.seed)
+    };
+    let cluster = sim.cluster;
+    let workload = Workload::new(spec.app.clone(), spec.variant);
+    let mut evaluator = Evaluator::new(sim, workload, space.clone(), 3);
+    let mut tuner = GaTuner::new(GaConfig {
+        population: spec.population,
+        max_iterations: spec.max_iterations,
+        seed: spec.seed,
+        ..GaConfig::default()
+    });
+
+    let needs_smart = matches!(
+        spec.kind,
+        PipelineKind::TunIo | PipelineKind::ImpactFirstOnly
+    );
+    let needs_rl_stop = matches!(spec.kind, PipelineKind::TunIo | PipelineKind::RlStopOnly);
+
+    let mut smart = if needs_smart {
+        Some(SmartConfigAgent::pretrained(&space, cluster, spec.seed))
+    } else {
+        None
+    };
+    let mut all_params = AllParams;
+
+    let mut stopper: Box<dyn Stopper> = if needs_rl_stop {
+        let mut agent = EarlyStopAgent::pretrained(spec.max_iterations, spec.seed);
+        agent.begin_campaign();
+        Box::new(agent)
+    } else {
+        match spec.kind {
+            PipelineKind::HsTunerHeuristic => Box::new(HeuristicStop::paper_default()),
+            _ => Box::new(NoStop),
+        }
+    };
+
+    let subsets: &mut dyn SubsetProvider = match &mut smart {
+        Some(agent) => agent,
+        None => &mut all_params,
+    };
+
+    let trace = tuner.run(&mut evaluator, stopper.as_mut(), subsets);
+    CampaignOutcome {
+        kind: spec.kind,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tunio_workloads::hacc;
+
+    fn spec(kind: PipelineKind, iters: u32) -> CampaignSpec {
+        CampaignSpec {
+            app: hacc(),
+            variant: Variant::Kernel,
+            kind,
+            max_iterations: iters,
+            population: 6,
+            seed: 9,
+            large_scale: false,
+        }
+    }
+
+    #[test]
+    fn hstuner_no_stop_uses_full_budget() {
+        let out = run_campaign(&spec(PipelineKind::HsTunerNoStop, 8));
+        assert_eq!(out.trace.iterations(), 8);
+        assert!(!out.trace.stopped_early);
+    }
+
+    #[test]
+    fn tunio_pipeline_improves_and_usually_stops_early() {
+        let out = run_campaign(&spec(PipelineKind::TunIo, 30));
+        assert!(out.trace.best_perf > out.trace.default_perf);
+        assert!(out.trace.iterations() <= 30);
+        assert_eq!(out.trace.stopper_name, "tunio-rl-early-stop");
+    }
+
+    #[test]
+    fn impact_first_converges_in_fewer_iterations() {
+        // Fig 9's headline: Impact-First tuning reaches the target
+        // bandwidth in fewer iterations than tuning everything. Averaged
+        // over seeds to smooth GA luck.
+        let mut smart_total = 0u32;
+        let mut plain_total = 0u32;
+        for seed in [9, 21, 33] {
+            let mut s = spec(PipelineKind::ImpactFirstOnly, 25);
+            s.seed = seed;
+            let mut p = spec(PipelineKind::HsTunerNoStop, 25);
+            p.seed = seed;
+            let smart = run_campaign(&s);
+            let plain = run_campaign(&p);
+            let target = 0.9 * plain.trace.best_perf.min(smart.trace.best_perf);
+            let first_hit = |t: &TuningTrace| {
+                t.records
+                    .iter()
+                    .find(|r| r.best_perf >= target)
+                    .map(|r| r.iteration)
+                    .unwrap_or(26)
+            };
+            smart_total += first_hit(&smart.trace);
+            plain_total += first_hit(&plain.trace);
+        }
+        assert!(
+            smart_total <= plain_total,
+            "impact-first mean hit {smart_total}/3, plain {plain_total}/3"
+        );
+    }
+
+    #[test]
+    fn kernel_campaign_is_cheaper_than_full_app() {
+        let mut k = spec(PipelineKind::HsTunerNoStop, 6);
+        k.variant = Variant::Kernel;
+        let mut f = spec(PipelineKind::HsTunerNoStop, 6);
+        f.variant = Variant::Full;
+        let kernel = run_campaign(&k);
+        let full = run_campaign(&f);
+        assert!(
+            kernel.trace.total_cost_s() < full.trace.total_cost_s(),
+            "kernel {} vs full {}",
+            kernel.trace.total_cost_s(),
+            full.trace.total_cost_s()
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let kinds = [
+            PipelineKind::HsTunerNoStop,
+            PipelineKind::HsTunerHeuristic,
+            PipelineKind::TunIo,
+            PipelineKind::ImpactFirstOnly,
+            PipelineKind::RlStopOnly,
+        ];
+        let mut labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), kinds.len());
+    }
+}
+
+/// Run a campaign with an existing, pre-trained [`crate::TunIo`] instance
+/// whose agents carry their learning across campaigns — the paper's
+/// "when the component is exposed to new applications, it can learn from
+/// the new trends it sees" (§V-C). The early stopper's campaign-local
+/// history is reset; everything learned (Q-networks, observer, impact
+/// ranking) persists.
+pub fn run_campaign_with(tunio: &mut crate::TunIo, spec: &CampaignSpec) -> CampaignOutcome {
+    let space = ParameterSpace::tunio_default();
+    let sim = if spec.large_scale {
+        Simulator::cori_500node(spec.seed)
+    } else {
+        Simulator::cori_4node(spec.seed)
+    };
+    let workload = Workload::new(spec.app.clone(), spec.variant);
+    let mut evaluator = Evaluator::new(sim, workload, space, 3);
+    let mut tuner = GaTuner::new(GaConfig {
+        population: spec.population,
+        max_iterations: spec.max_iterations,
+        seed: spec.seed,
+        ..GaConfig::default()
+    });
+    tunio.early_stop.max_iterations = spec.max_iterations;
+    tunio.early_stop.begin_campaign();
+    let crate::TunIo {
+        smart_config,
+        early_stop,
+        ..
+    } = tunio;
+    let trace = tuner.run(&mut evaluator, early_stop, smart_config);
+    CampaignOutcome {
+        kind: PipelineKind::TunIo,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod reuse_tests {
+    use super::*;
+    use crate::TunIo;
+    use tunio_iosim::ClusterSpec;
+    use tunio_workloads::{flash, hacc};
+
+    #[test]
+    fn one_tunio_instance_tunes_multiple_applications() {
+        let space = ParameterSpace::tunio_default();
+        let mut tunio = TunIo::pretrained(&space, ClusterSpec::cori_4node(), 15, 31);
+
+        let mut spec = CampaignSpec {
+            app: hacc(),
+            variant: Variant::Kernel,
+            kind: PipelineKind::TunIo,
+            max_iterations: 15,
+            population: 6,
+            seed: 31,
+            large_scale: false,
+        };
+        let first = run_campaign_with(&mut tunio, &spec);
+        assert!(first.trace.best_perf > first.trace.default_perf);
+
+        // Same agents, new application: learning carries over, history
+        // does not.
+        spec.app = flash();
+        let second = run_campaign_with(&mut tunio, &spec);
+        assert!(second.trace.best_perf > second.trace.default_perf);
+        assert!(second.trace.iterations() <= 15);
+    }
+}

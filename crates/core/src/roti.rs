@@ -1,0 +1,135 @@
+//! Return on Tuning Investment (RoTI).
+//!
+//! §IV Metrics: `RoTI(t) = (perf_achieved(t) − perf_achieved(0)) / t`,
+//! where perf is in MB/s and `t` is minutes spent tuning — "an RoTI of
+//! 40 MB/s per minute spent tuning would represent an increase in
+//! bandwidth of 40 MB/s for each minute of tuning overhead".
+
+use serde::Serialize;
+use tunio_tuner::TuningTrace;
+
+/// Bytes per megabyte (the paper reports MB/s).
+const MB: f64 = 1_000_000.0;
+
+/// One point of an RoTI curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RotiPoint {
+    /// Generation number (1-based).
+    pub iteration: u32,
+    /// Cumulative tuning time, minutes.
+    pub minutes: f64,
+    /// Best perf so far, MB/s.
+    pub perf_mbs: f64,
+    /// RoTI at this point, MB/s per minute.
+    pub roti: f64,
+}
+
+/// Compute RoTI at a single point.
+///
+/// ```
+/// // Gaining 400 MB/s over ten minutes of tuning = 40 MB/s per minute.
+/// assert_eq!(tunio::roti::roti(500e6, 100e6, 10.0), 40.0);
+/// ```
+pub fn roti(perf_now: f64, perf_initial: f64, minutes: f64) -> f64 {
+    if minutes <= 0.0 {
+        return 0.0;
+    }
+    ((perf_now - perf_initial) / MB) / minutes
+}
+
+/// RoTI curve of a tuning trace.
+pub fn roti_curve(trace: &TuningTrace) -> Vec<RotiPoint> {
+    trace
+        .records
+        .iter()
+        .map(|r| {
+            let minutes = r.cumulative_cost_s / 60.0;
+            RotiPoint {
+                iteration: r.iteration,
+                minutes,
+                perf_mbs: r.best_perf / MB,
+                roti: roti(r.best_perf, trace.default_perf, minutes),
+            }
+        })
+        .collect()
+}
+
+/// Peak RoTI over a trace and when it occurred.
+pub fn peak_roti(trace: &TuningTrace) -> Option<RotiPoint> {
+    roti_curve(trace)
+        .into_iter()
+        .max_by(|a, b| a.roti.partial_cmp(&b.roti).unwrap())
+}
+
+/// Final RoTI (at campaign end).
+pub fn final_roti(trace: &TuningTrace) -> f64 {
+    roti_curve(trace).last().map(|p| p.roti).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tunio_params::ParameterSpace;
+    use tunio_tuner::IterationRecord;
+
+    fn fake_trace(perfs: &[f64], minutes_per_iter: f64) -> TuningTrace {
+        let space = ParameterSpace::tunio_default();
+        let records = perfs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| IterationRecord {
+                iteration: i as u32 + 1,
+                best_perf: p,
+                generation_best_perf: p,
+                cost_s: minutes_per_iter * 60.0,
+                cumulative_cost_s: minutes_per_iter * 60.0 * (i as f64 + 1.0),
+                subset_size: 12,
+            })
+            .collect();
+        TuningTrace {
+            records,
+            best_config: space.default_config(),
+            best_perf: *perfs.last().unwrap(),
+            default_perf: perfs[0],
+            stopped_early: false,
+            stopper_name: "test".into(),
+        }
+    }
+
+    #[test]
+    fn roti_formula_matches_definition() {
+        // Gain of 400 MB/s over 10 minutes = 40 MB/s/min.
+        assert!((roti(500e6, 100e6, 10.0) - 40.0).abs() < 1e-9);
+        assert_eq!(roti(500e6, 100e6, 0.0), 0.0);
+    }
+
+    #[test]
+    fn curve_has_one_point_per_iteration() {
+        let t = fake_trace(&[1e8, 2e8, 3e8], 5.0);
+        let c = roti_curve(&t);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0].iteration, 1);
+        assert!((c[2].minutes - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_shaped_curves_peak_then_decline() {
+        // Perf saturates → RoTI rises then falls as minutes accumulate.
+        let perfs: Vec<f64> = (1..=30)
+            .map(|i| 1e8 + 1e9 * ((1.0 + i as f64).ln() / 31f64.ln()))
+            .collect();
+        let t = fake_trace(&perfs, 10.0);
+        let c = roti_curve(&t);
+        let peak = peak_roti(&t).unwrap();
+        assert!(peak.iteration < 30, "peak at {}", peak.iteration);
+        assert!(final_roti(&t) < peak.roti);
+        assert!(c.iter().all(|p| p.roti >= 0.0));
+    }
+
+    #[test]
+    fn faster_tuning_gives_higher_roti_for_same_gain() {
+        let fast = fake_trace(&[1e8, 5e8], 2.0);
+        let slow = fake_trace(&[1e8, 5e8], 10.0);
+        assert!(final_roti(&fast) > final_roti(&slow));
+    }
+}

@@ -1,0 +1,287 @@
+//! Interactive tuning sessions (paper §VI future work).
+//!
+//! "We would like to explore adding an interactive session feature where
+//! a configuration can be refined over time across a series of runs."
+//! A [`TuningSession`] persists every observed (configuration, perf) pair
+//! across process lifetimes (JSON on disk), suggests the next refinement
+//! from the accumulated evidence, and — given the user's expected number
+//! of production runs — advises whether further refinement is still worth
+//! its cost (the viability logic of Fig 12 applied online).
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use tunio_iosim::RunReport;
+use tunio_params::{Configuration, Impact, ParamId, ParameterSpace};
+
+/// One observed run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionRound {
+    /// The configuration that ran.
+    pub config: Configuration,
+    /// The objective it achieved (bytes/s).
+    pub perf: f64,
+    /// Wall time of the run, seconds (counts toward refinement cost).
+    pub elapsed_s: f64,
+}
+
+/// A persistent, refine-over-time tuning session.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct TuningSession {
+    /// All recorded rounds, oldest first.
+    pub rounds: Vec<SessionRound>,
+    /// Expected number of future production executions (None = unknown).
+    pub expected_production_runs: Option<u64>,
+}
+
+impl TuningSession {
+    /// Start an empty session.
+    pub fn new() -> Self {
+        TuningSession::default()
+    }
+
+    /// Start a session with a production-run expectation (feeds the
+    /// keep-refining advice).
+    pub fn with_expected_runs(runs: u64) -> Self {
+        TuningSession {
+            rounds: Vec::new(),
+            expected_production_runs: Some(runs),
+        }
+    }
+
+    /// Record one run's outcome.
+    pub fn record(&mut self, config: Configuration, report: &RunReport) {
+        self.rounds.push(SessionRound {
+            config,
+            perf: report.perf(),
+            elapsed_s: report.elapsed_s,
+        });
+    }
+
+    /// Best round so far.
+    pub fn best(&self) -> Option<&SessionRound> {
+        self.rounds
+            .iter()
+            .max_by(|a, b| a.perf.partial_cmp(&b.perf).unwrap())
+    }
+
+    /// Total time invested across recorded rounds, minutes.
+    pub fn invested_minutes(&self) -> f64 {
+        self.rounds.iter().map(|r| r.elapsed_s).sum::<f64>() / 60.0
+    }
+
+    /// Suggest the next configuration to try: start from the best round
+    /// and move one high-impact parameter to a value the session has not
+    /// yet observed in that gene (cycling through the domain). Falls back
+    /// to the defaults when the session is empty.
+    pub fn suggest(&self, space: &ParameterSpace) -> Configuration {
+        let base = match self.best() {
+            Some(b) => b.config.clone(),
+            None => return space.default_config(),
+        };
+        // Round-robin across the high-impact parameters so the session
+        // explores the space broadly instead of exhausting one domain
+        // before touching the next.
+        let order = high_impact_order(space);
+        for offset in 0..order.len() {
+            let p = order[(self.rounds.len() + offset) % order.len()];
+            let card = space.cardinality(p);
+            let seen: Vec<usize> = self
+                .rounds
+                .iter()
+                .map(|r| r.config.gene(p))
+                .collect();
+            // First domain index never tried with this parameter.
+            if let Some(idx) = (0..card).find(|i| !seen.contains(i)) {
+                let mut next = base.clone();
+                next.set_gene(p, idx);
+                return next;
+            }
+        }
+        // Every high-impact value has been tried at least once: step the
+        // least-explored parameter cyclically.
+        let mut next = base;
+        let p = high_impact_order(space)[self.rounds.len() % 7];
+        let idx = (next.gene(p) + 1) % space.cardinality(p);
+        next.set_gene(p, idx);
+        next
+    }
+
+    /// Whether another refinement run is still worthwhile: the expected
+    /// saving across remaining production runs must exceed the typical
+    /// cost of one more refinement run. Returns `true` when unknown
+    /// (no expectation or not enough evidence to say no).
+    pub fn worth_refining(&self) -> bool {
+        let (Some(runs), Some(best)) = (self.expected_production_runs, self.best()) else {
+            return true;
+        };
+        if self.rounds.len() < 3 {
+            return true;
+        }
+        // Observed per-round improvement trend over the last 3 rounds.
+        let n = self.rounds.len();
+        let prev_best = self.rounds[..n - 3]
+            .iter()
+            .map(|r| r.perf)
+            .fold(0.0f64, f64::max);
+        let recent_gain = (best.perf - prev_best).max(0.0);
+        if prev_best <= 0.0 {
+            return true;
+        }
+        // Projected runtime saving per production run from a comparable
+        // future gain, valued across all expected runs, vs. one more
+        // refinement run's cost.
+        let runtime = best.elapsed_s;
+        let projected_saving_s = runtime * (recent_gain / best.perf).min(0.5);
+        projected_saving_s * runs as f64 > runtime
+    }
+
+    /// Persist to a JSON file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let text = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, text)
+    }
+
+    /// Load from a JSON file.
+    pub fn load(path: &Path) -> std::io::Result<TuningSession> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// High-impact parameters in a stable, sensible refinement order.
+fn high_impact_order(space: &ParameterSpace) -> Vec<ParamId> {
+    let mut high = space.with_impact(Impact::High);
+    // Collective mode first — it gates the others.
+    high.sort_by_key(|p| match p {
+        ParamId::CollectiveIo => 0,
+        ParamId::CbNodes => 1,
+        ParamId::CbBufferSize => 2,
+        ParamId::StripingFactor => 3,
+        ParamId::StripingUnit => 4,
+        ParamId::Alignment => 5,
+        _ => 6,
+    });
+    high
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tunio_iosim::Simulator;
+    use tunio_params::ParameterSpace;
+    use tunio_workloads::{hacc, Variant, Workload};
+
+    fn run_once(
+        sim: &Simulator,
+        space: &ParameterSpace,
+        config: &Configuration,
+    ) -> RunReport {
+        let phases = Workload::new(hacc(), Variant::Kernel).phases();
+        sim.run_averaged(&phases, &config.resolve(space), 3)
+    }
+
+    #[test]
+    fn session_refines_toward_better_configs() {
+        let space = ParameterSpace::tunio_default();
+        let sim = Simulator::cori_4node(1);
+        let mut session = TuningSession::new();
+
+        let mut config = space.default_config();
+        for _ in 0..10 {
+            let report = run_once(&sim, &space, &config);
+            session.record(config.clone(), &report);
+            config = session.suggest(&space);
+        }
+        let best = session.best().unwrap();
+        let default_perf = session.rounds[0].perf;
+        assert!(
+            best.perf > default_perf,
+            "refinement never improved: {} vs {}",
+            best.perf,
+            default_perf
+        );
+    }
+
+    #[test]
+    fn suggestions_change_exactly_one_parameter_initially() {
+        let space = ParameterSpace::tunio_default();
+        let sim = Simulator::cori_4node(2);
+        let mut session = TuningSession::new();
+        let default = space.default_config();
+        session.record(default.clone(), &run_once(&sim, &space, &default));
+        let next = session.suggest(&space);
+        let changed = ParamId::ALL
+            .iter()
+            .filter(|&&p| next.gene(p) != default.gene(p))
+            .count();
+        assert_eq!(changed, 1);
+    }
+
+    #[test]
+    fn empty_session_suggests_defaults() {
+        let space = ParameterSpace::tunio_default();
+        let s = TuningSession::new();
+        assert_eq!(s.suggest(&space), space.default_config());
+        assert!(s.best().is_none());
+        assert_eq!(s.invested_minutes(), 0.0);
+    }
+
+    #[test]
+    fn session_round_trips_through_disk() {
+        let space = ParameterSpace::tunio_default();
+        let sim = Simulator::cori_4node(3);
+        let mut session = TuningSession::with_expected_runs(1000);
+        let cfg = space.default_config();
+        session.record(cfg.clone(), &run_once(&sim, &space, &cfg));
+
+        let path = std::env::temp_dir().join("tunio_session_test.json");
+        session.save(&path).unwrap();
+        let loaded = TuningSession::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.rounds.len(), 1);
+        assert_eq!(loaded.expected_production_runs, Some(1000));
+        assert_eq!(loaded.rounds[0].config, cfg);
+    }
+
+    #[test]
+    fn refinement_advice_depends_on_expected_runs() {
+        let space = ParameterSpace::tunio_default();
+        let sim = Simulator::cori_4node(4);
+        // A session whose last rounds plateaued.
+        let build = |runs| {
+            let mut s = TuningSession::with_expected_runs(runs);
+            let cfg = space.default_config();
+            let report = run_once(&sim, &space, &cfg);
+            for _ in 0..6 {
+                s.record(cfg.clone(), &report); // identical → zero recent gain
+            }
+            s
+        };
+        // Plateaued evidence → not worth refining for one production run…
+        assert!(!build(1).worth_refining());
+        // …and still not worth it for a million runs (no recent gain).
+        assert!(!build(1_000_000).worth_refining());
+
+        // But with recent improvement, many runs justify continuing.
+        let mut improving = TuningSession::with_expected_runs(1_000_000);
+        let mut cfg = space.default_config();
+        let r0 = run_once(&sim, &space, &cfg);
+        improving.record(cfg.clone(), &r0);
+        improving.record(cfg.clone(), &r0);
+        improving.record(cfg.clone(), &r0);
+        cfg.set_gene(ParamId::CollectiveIo, 1);
+        cfg.set_gene(ParamId::StripingFactor, 9);
+        cfg.set_gene(ParamId::CbNodes, 4);
+        let r1 = run_once(&sim, &space, &cfg);
+        improving.record(cfg.clone(), &r1);
+        assert!(improving.worth_refining());
+    }
+
+    #[test]
+    fn unknown_expectation_always_permits_refining() {
+        let s = TuningSession::new();
+        assert!(s.worth_refining());
+    }
+}

@@ -1,0 +1,414 @@
+//! Smart Configuration Generation — Impact-First Tuning (§III-C).
+//!
+//! An RL agent that picks the parameter subset each tuning generation may
+//! touch. It is built exactly as the paper describes:
+//!
+//! * a **State Observer** (NN contextual bandit,
+//!   [`tunio_rl::ContextObserver`]) turns the raw tuner inputs — the
+//!   subset used and the best perf achieved with it — into a learned
+//!   state observation;
+//! * a **Subset Picker** (NN Q-learning, [`tunio_rl::QAgent`]) maps that
+//!   observation to the subset for the next generation (actions are
+//!   top-*k* prefixes of the agent's impact ranking);
+//! * the reward is `norm(perf) / norm(|subset|)` with a 5-iteration delay;
+//! * **offline pre-training** sweeps each parameter on representative
+//!   kernels (VPIC, FLASH, HACC), then a PCA over the sweep isolates the
+//!   most impactful parameters and seeds the ranking.
+
+use crate::perf::{normalize_perf, subset_reward};
+use rayon::prelude::*;
+use tunio_iosim::{ClusterSpec, Simulator};
+use tunio_nn::Pca;
+use tunio_params::{ParamId, ParameterSpace};
+use tunio_rl::replay::Transition;
+use tunio_rl::{ContextObserver, DelayedReward, QAgent};
+use tunio_rl::qlearn::QConfig;
+use tunio_tuner::SubsetProvider;
+use tunio_workloads::{flash, hacc, vpic, Variant, Workload};
+
+/// Dimension of the observer's input context:
+/// `[norm_perf, subset_len/total, iteration-scale]`.
+const CONTEXT_DIM: usize = 3;
+/// Dimension of the learned state observation.
+const OBS_DIM: usize = 6;
+
+/// Result of the offline sweep + PCA analysis.
+#[derive(Debug, Clone)]
+pub struct ImpactAnalysis {
+    /// Parameters ranked by descending impact.
+    pub ranking: Vec<ParamId>,
+    /// Impact score per parameter (indexed by [`ParamId::index`]),
+    /// normalized to max 1.
+    pub scores: Vec<f64>,
+    /// Number of parameters whose sweeps showed significant perf spread
+    /// (≥ 8% of the largest spread) — the natural subset size.
+    pub significant: usize,
+}
+
+impl ImpactAnalysis {
+    /// The top-`k` prefix of the ranking.
+    pub fn top(&self, k: usize) -> Vec<ParamId> {
+        self.ranking.iter().copied().take(k.max(1)).collect()
+    }
+}
+
+/// Run the offline parameter sweep on the representative kernels and
+/// derive the impact ranking via PCA (paper §III-C: "first doing a simple
+/// parameter sweep on some representative I/O kernels, including VPIC,
+/// FLASH, and HACC … a PCA analysis is performed on the parameters with
+/// respect to perf").
+pub fn offline_impact_analysis(space: &ParameterSpace, seed: u64) -> ImpactAnalysis {
+    let sim = Simulator::cori_4node(seed);
+    let cluster = sim.cluster;
+    let kernels = [hacc(), vpic(), flash()];
+
+    // Sweep baselines: the library defaults, plus a collective-I/O
+    // baseline (collective on, wide striping) that exposes the impact of
+    // parameters like `cb_nodes` whose effect is gated on collective mode.
+    let mut collective_base = space.default_config();
+    collective_base.set_gene(ParamId::CollectiveIo, 1);
+    collective_base.set_gene(ParamId::StripingFactor, 9);
+    let baselines = [space.default_config(), collective_base];
+
+    // One-at-a-time sweep: rows of [12 normalized gene positions, perf].
+    // The sweep is embarrassingly parallel — (kernel, baseline, parameter)
+    // cells are independent simulator runs — so fan it out with rayon.
+    let cells: Vec<(usize, usize, ParamId)> = (0..kernels.len())
+        .flat_map(|k| {
+            (0..baselines.len()).flat_map(move |b| ParamId::ALL.map(move |p| (k, b, p)))
+        })
+        .collect();
+    let phase_lists: Vec<Vec<tunio_iosim::Phase>> = kernels
+        .iter()
+        .map(|app| Workload::new(app.clone(), Variant::Kernel).phases())
+        .collect();
+
+    let cell_results: Vec<(ParamId, f64, Vec<Vec<f64>>)> = cells
+        .par_iter()
+        .map(|&(k, b, p)| {
+            let phases = &phase_lists[k];
+            let base = &baselines[b];
+            let card = space.cardinality(p);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            let mut rows = Vec::with_capacity(card);
+            for idx in 0..card {
+                let mut cfg = base.clone();
+                cfg.set_gene(p, idx);
+                let report = sim.run_averaged(phases, &cfg.resolve(space), 3);
+                let perf = normalize_perf(report.perf(), &cluster);
+                lo = lo.min(perf);
+                hi = hi.max(perf);
+                let mut row: Vec<f64> = cfg
+                    .genes()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &g)| {
+                        g as f64 / (space.descriptors()[i].domain.cardinality() - 1).max(1) as f64
+                    })
+                    .collect();
+                row.push(perf);
+                rows.push(row);
+            }
+            (p, hi - lo, rows)
+        })
+        .collect();
+
+    let mut samples: Vec<Vec<f64>> = Vec::new();
+    let mut spreads = vec![0.0f64; space.len()];
+    for (p, spread, rows) in cell_results {
+        spreads[p.index()] += spread;
+        samples.extend(rows);
+    }
+
+    // PCA over (genes, perf): parameters co-varying with perf load on the
+    // same strong components as the perf feature.
+    let pca = Pca::fit(&samples);
+    let importance = pca.feature_importance();
+
+    // The observed perf spread is the primary impact signal (flat sweeps
+    // mean no impact regardless of loading); PCA loadings refine ordering
+    // among the impactful parameters.
+    let max_spread = spreads.iter().cloned().fold(1e-12, f64::max);
+    let mut scores: Vec<f64> = (0..space.len())
+        .map(|i| (spreads[i] / max_spread) * (0.3 + 0.7 * importance[i]))
+        .collect();
+    let max_score = scores.iter().cloned().fold(1e-12, f64::max);
+    for s in &mut scores {
+        *s /= max_score;
+    }
+
+    let mut ranking: Vec<ParamId> = ParamId::ALL.to_vec();
+    ranking.sort_by(|a, b| scores[b.index()].partial_cmp(&scores[a.index()]).unwrap());
+    let significant = spreads
+        .iter()
+        .filter(|&&sp| sp >= 0.08 * max_spread)
+        .count()
+        .max(1);
+    ImpactAnalysis {
+        ranking,
+        scores,
+        significant,
+    }
+}
+
+/// The Smart Configuration Generation agent. Implements
+/// [`tunio_tuner::SubsetProvider`], so it plugs directly into the GA
+/// pipeline's configuration-generation phase.
+#[derive(Debug)]
+pub struct SmartConfigAgent {
+    /// Offline impact analysis (ranking refreshed online).
+    pub analysis: ImpactAnalysis,
+    observer: ContextObserver,
+    picker: QAgent,
+    delayed: DelayedReward,
+    cluster: ClusterSpec,
+    total_params: usize,
+    /// (observation, action, context) of the most recent subset decision.
+    last: Option<(Vec<f64>, usize, Vec<f64>)>,
+    last_perf: f64,
+}
+
+impl SmartConfigAgent {
+    /// Build an agent from a completed impact analysis and pre-train the
+    /// subset picker on the analysis scores.
+    pub fn new(analysis: ImpactAnalysis, cluster: ClusterSpec, seed: u64) -> Self {
+        let total = analysis.scores.len();
+        let mut picker = QAgent::new(
+            OBS_DIM,
+            total,
+            QConfig {
+                epsilon_start: 0.5,
+                epsilon_end: 0.12,
+                epsilon_decay: 0.97,
+                ..QConfig::default()
+            },
+            seed,
+        );
+        let observer = ContextObserver::new(CONTEXT_DIM, OBS_DIM, seed ^ 0x5eed);
+
+        // Offline picker warm-up. The sweep tells us how many parameters
+        // actually move perf (`analysis.significant`); parameters interact
+        // (collective mode, aggregators and striping pay off jointly), so
+        // achievable gain is modelled as convex coverage of the
+        // significant set, and the reward divides by the normalized subset
+        // size exactly as the online reward does. This seeds Q toward
+        // subsets that cover the impactful parameters and nothing more.
+        let n_sig = analysis.significant.max(1) as f64;
+        for _ in 0..60 {
+            for k0 in 0..total {
+                let k = k0 + 1;
+                let coverage = ((k as f64).min(n_sig) / n_sig).powf(1.6);
+                let reward = coverage / (k as f64 / total as f64);
+                let state = observer.observe(&[0.5, k as f64 / total as f64, 0.0]);
+                picker.observe(Transition {
+                    state,
+                    action: k0,
+                    reward,
+                    next_state: vec![],
+                    done: true,
+                });
+            }
+            picker.end_episode();
+        }
+
+        SmartConfigAgent {
+            analysis,
+            observer,
+            picker,
+            delayed: DelayedReward::new(5),
+            cluster,
+            total_params: total,
+            last: None,
+            last_perf: 0.0,
+        }
+    }
+
+    /// Full offline pre-training: sweep + PCA + picker warm-up.
+    pub fn pretrained(space: &ParameterSpace, cluster: ClusterSpec, seed: u64) -> Self {
+        let analysis = offline_impact_analysis(space, seed);
+        SmartConfigAgent::new(analysis, cluster, seed)
+    }
+
+    /// Pick the subset for the given context (the Table-I
+    /// `subset_picker(perf, current_parameter_set)` entry point).
+    pub fn pick(&mut self, perf: f64, current_len: usize, iteration: u32) -> Vec<ParamId> {
+        let context = vec![
+            normalize_perf(perf, &self.cluster),
+            current_len as f64 / self.total_params as f64,
+            (iteration as f64 / 50.0).min(1.0),
+        ];
+        let obs = self.observer.observe(&context);
+        let action = self.picker.act(&obs);
+        let k = action + 1;
+        self.last = Some((obs, action, context));
+        self.analysis.top(k)
+    }
+
+    /// Feed back the best perf achieved with the last-picked subset.
+    pub fn reward(&mut self, subset_len: usize, best_perf: f64) {
+        let (obs, action, context) = match self.last.take() {
+            Some(x) => x,
+            None => return,
+        };
+        let r = subset_reward(best_perf, &self.cluster, subset_len, self.total_params);
+        self.observer
+            .learn(&context, normalize_perf(best_perf, &self.cluster));
+        if let Some(matured) = self.delayed.push(Transition {
+            state: obs,
+            action,
+            reward: r,
+            next_state: vec![],
+            done: true,
+        }) {
+            self.picker.observe(matured);
+        }
+        self.picker.end_episode();
+        self.last_perf = best_perf;
+    }
+}
+
+/// Serializable snapshot of a [`SmartConfigAgent`].
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct SmartConfigState {
+    /// Impact ranking (parameter ids in descending impact order).
+    pub ranking: Vec<ParamId>,
+    /// Impact scores by parameter index.
+    pub scores: Vec<f64>,
+    /// Count of significant parameters.
+    pub significant: usize,
+    /// Subset-picker Q-network weights (JSON).
+    pub picker: String,
+    /// State-observer weights (JSON).
+    pub observer: String,
+}
+
+impl SmartConfigAgent {
+    /// Snapshot everything the agent has learned.
+    pub fn save_state(&self) -> SmartConfigState {
+        SmartConfigState {
+            ranking: self.analysis.ranking.clone(),
+            scores: self.analysis.scores.clone(),
+            significant: self.analysis.significant,
+            picker: self.picker.export_json(),
+            observer: self.observer.export_json(),
+        }
+    }
+
+    /// Restore a snapshot taken with [`Self::save_state`].
+    pub fn restore_state(&mut self, state: &SmartConfigState) -> Result<(), String> {
+        if state.ranking.len() != self.total_params || state.scores.len() != self.total_params {
+            return Err("parameter-space size mismatch".into());
+        }
+        self.analysis = ImpactAnalysis {
+            ranking: state.ranking.clone(),
+            scores: state.scores.clone(),
+            significant: state.significant,
+        };
+        self.picker.import_json(&state.picker)?;
+        self.observer.import_json(&state.observer)?;
+        Ok(())
+    }
+}
+
+impl SubsetProvider for SmartConfigAgent {
+    fn next_subset(
+        &mut self,
+        iteration: u32,
+        best_perf: f64,
+        _space: &ParameterSpace,
+    ) -> Vec<ParamId> {
+        let current = self
+            .last
+            .as_ref()
+            .map(|(_, a, _)| a + 1)
+            .unwrap_or(self.total_params);
+        self.pick(best_perf, current, iteration)
+    }
+
+    fn feedback(&mut self, subset: &[ParamId], best_perf: f64) {
+        self.reward(subset.len(), best_perf);
+    }
+
+    fn name(&self) -> &'static str {
+        "tunio-smart-config"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tunio_params::Impact;
+
+    fn space() -> ParameterSpace {
+        ParameterSpace::tunio_default()
+    }
+
+    #[test]
+    fn offline_analysis_finds_high_impact_params() {
+        let s = space();
+        let analysis = offline_impact_analysis(&s, 42);
+        let high = s.with_impact(Impact::High);
+        // At least 5 of the true top-7 appear in the analysis's top 7.
+        let top7 = analysis.top(7);
+        let overlap = top7.iter().filter(|p| high.contains(p)).count();
+        assert!(
+            overlap >= 5,
+            "only {overlap}/7 high-impact parameters in top-7: {top7:?}"
+        );
+    }
+
+    #[test]
+    fn analysis_scores_are_normalized() {
+        let analysis = offline_impact_analysis(&space(), 1);
+        assert_eq!(analysis.scores.len(), 12);
+        let max = analysis.scores.iter().cloned().fold(0.0, f64::max);
+        assert!((max - 1.0).abs() < 1e-9);
+        assert!(analysis.scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    fn ranking_is_a_permutation() {
+        let analysis = offline_impact_analysis(&space(), 2);
+        let mut r = analysis.ranking.clone();
+        r.sort();
+        assert_eq!(r, ParamId::ALL.to_vec());
+    }
+
+    #[test]
+    fn agent_picks_nonempty_subsets_and_learns() {
+        let s = space();
+        let analysis = offline_impact_analysis(&s, 3);
+        let mut agent = SmartConfigAgent::new(analysis, ClusterSpec::cori_4node(), 3);
+        for it in 1..=10 {
+            let subset = agent.next_subset(it, 1e9, &s);
+            assert!(!subset.is_empty() && subset.len() <= 12);
+            agent.feedback(&subset, 1e9 + it as f64 * 1e8);
+        }
+    }
+
+    #[test]
+    fn warm_started_picker_prefers_small_subsets() {
+        // After offline warm-up (no online data), the greedy subset size
+        // should be well below the full 12 parameters.
+        let s = space();
+        let analysis = offline_impact_analysis(&s, 4);
+        let mut agent = SmartConfigAgent::new(analysis, ClusterSpec::cori_4node(), 4);
+        // Greedy choice (bypass exploration by sampling many picks).
+        let mut sizes = Vec::new();
+        for it in 1..=20 {
+            let sub = agent.next_subset(it, 2e9, &s);
+            sizes.push(sub.len());
+            agent.feedback(&sub.clone(), 2e9);
+        }
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!(mean < 10.0, "mean subset size {mean}");
+    }
+
+    #[test]
+    fn top_k_clamps_to_at_least_one() {
+        let analysis = offline_impact_analysis(&space(), 5);
+        assert_eq!(analysis.top(0).len(), 1);
+        assert_eq!(analysis.top(99).len(), 12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Production-lifecycle viability analysis (Fig 12).
+//!
+//! Tuning pays off only when an application re-runs enough times: the
+//! lifecycle time of a tuned application is `tune_time + n × tuned_runtime`
+//! versus `n × untuned_runtime` without tuning. The *viability point* is
+//! the execution count where tuning first wins; between two tuning methods
+//! there may also be a crossover where a slower tune with a better final
+//! configuration overtakes a faster tune.
+
+use serde::Serialize;
+
+/// One tuning method's lifecycle parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LifecycleModel {
+    /// Time spent tuning, minutes.
+    pub tune_minutes: f64,
+    /// Runtime of one tuned production execution, minutes.
+    pub tuned_runtime_min: f64,
+}
+
+impl LifecycleModel {
+    /// Total lifecycle time after `executions` production runs, minutes.
+    pub fn total_minutes(&self, executions: f64) -> f64 {
+        self.tune_minutes + executions * self.tuned_runtime_min
+    }
+
+    /// Executions needed for this method to beat running untuned
+    /// (`None` when the tuned runtime is not actually faster).
+    pub fn viability_point(&self, untuned_runtime_min: f64) -> Option<f64> {
+        let saving = untuned_runtime_min - self.tuned_runtime_min;
+        if saving <= 0.0 {
+            return None;
+        }
+        Some(self.tune_minutes / saving)
+    }
+}
+
+/// Execution count where method `a` stops beating method `b` (i.e. their
+/// lifecycle lines cross). `None` when the lines never cross for positive
+/// executions (one dominates).
+pub fn crossover(a: &LifecycleModel, b: &LifecycleModel) -> Option<f64> {
+    let runtime_delta = a.tuned_runtime_min - b.tuned_runtime_min;
+    let tune_delta = b.tune_minutes - a.tune_minutes;
+    if runtime_delta.abs() < 1e-12 {
+        return None;
+    }
+    let n = tune_delta / runtime_delta;
+    if n > 0.0 {
+        Some(n)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_time_is_affine_in_executions() {
+        let m = LifecycleModel {
+            tune_minutes: 100.0,
+            tuned_runtime_min: 2.0,
+        };
+        assert_eq!(m.total_minutes(0.0), 100.0);
+        assert_eq!(m.total_minutes(10.0), 120.0);
+    }
+
+    #[test]
+    fn viability_point_matches_breakeven() {
+        let m = LifecycleModel {
+            tune_minutes: 403.0,
+            tuned_runtime_min: 5.0,
+        };
+        // Saving 0.289 min per run → ~1394 executions to break even
+        // (the paper's TunIO BD-CATS number).
+        let untuned = 5.0 + 403.0 / 1394.0;
+        let v = m.viability_point(untuned).unwrap();
+        assert!((v - 1394.0).abs() / 1394.0 < 0.01, "viability {v}");
+    }
+
+    #[test]
+    fn no_viability_when_tuning_does_not_help() {
+        let m = LifecycleModel {
+            tune_minutes: 10.0,
+            tuned_runtime_min: 5.0,
+        };
+        assert!(m.viability_point(5.0).is_none());
+        assert!(m.viability_point(4.0).is_none());
+    }
+
+    #[test]
+    fn crossover_between_fast_and_thorough_tuning() {
+        // Fast method: cheap tune, slightly slower tuned runtime.
+        let fast = LifecycleModel {
+            tune_minutes: 403.0,
+            tuned_runtime_min: 5.0,
+        };
+        // Thorough method: expensive tune, slightly faster tuned runtime.
+        let thorough = LifecycleModel {
+            tune_minutes: 1560.0,
+            tuned_runtime_min: 4.99971,
+        };
+        let n = crossover(&fast, &thorough).expect("lines must cross");
+        // Fast wins until ~4e6 executions (paper: 3.99 million).
+        assert!((3.0e6..6.0e6).contains(&n), "crossover at {n}");
+        // Before the crossover the fast method's total is lower.
+        assert!(fast.total_minutes(n * 0.5) < thorough.total_minutes(n * 0.5));
+        assert!(fast.total_minutes(n * 2.0) > thorough.total_minutes(n * 2.0));
+    }
+
+    #[test]
+    fn identical_runtimes_never_cross() {
+        let a = LifecycleModel {
+            tune_minutes: 1.0,
+            tuned_runtime_min: 2.0,
+        };
+        let b = LifecycleModel {
+            tune_minutes: 5.0,
+            tuned_runtime_min: 2.0,
+        };
+        assert!(crossover(&a, &b).is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! `tunio-discover` — CLI for the Application I/O Discovery component.
+//!
+//! Converts application source to its I/O kernel (paper §III-E: "TunIO …
+//! provides a CLI tool for the Application I/O Discovery component").
+//!
+//! ```text
+//! tunio-discover <file.c | --sample NAME> [--loop-reduce FRACTION]
+//!                [--path-switch PREFIX] [--stats]
+//! ```
+
+use std::process::ExitCode;
+use tunio_discovery::{discover_io, DiscoveryOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: tunio-discover <file.c | --sample NAME> \
+             [--loop-reduce FRACTION] [--path-switch PREFIX]\n\
+             [--compute-sim] [--blind-writes] [--loop-sim] [--stats]\n\
+             samples: vpic_io, hacc_io, flash_io, bdcats_io, pure_compute"
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut source: Option<String> = None;
+    let mut options = DiscoveryOptions::default();
+    let mut stats = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sample" => {
+                i += 1;
+                let name = args.get(i).map(String::as_str).unwrap_or("");
+                match tunio_cminus::samples::all_samples()
+                    .into_iter()
+                    .find(|(n, _)| *n == name)
+                {
+                    Some((_, src)) => source = Some(src.to_string()),
+                    None => {
+                        eprintln!("unknown sample `{name}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--loop-reduce" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(f) if f > 0.0 && f <= 1.0 => options.loop_reduction = Some(f),
+                    _ => {
+                        eprintln!("--loop-reduce needs a fraction in (0, 1]");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--path-switch" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => options.path_switch_prefix = Some(p.clone()),
+                    None => {
+                        eprintln!("--path-switch needs a prefix");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--compute-sim" => options.simulate_compute = true,
+            "--blind-writes" => options.remove_blind_writes = true,
+            "--loop-sim" => options.simulate_loops = true,
+            "--stats" => stats = true,
+            path => match std::fs::read_to_string(path) {
+                Ok(text) => source = Some(text),
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::from(1);
+                }
+            },
+        }
+        i += 1;
+    }
+
+    let source = match source {
+        Some(s) => s,
+        None => {
+            eprintln!("no input given");
+            return ExitCode::from(2);
+        }
+    };
+
+    match discover_io(&source, &options) {
+        Ok(kernel) => {
+            if !kernel.has_io() {
+                eprintln!(
+                    "warning: no I/O calls found; tuning should fall back to the full application"
+                );
+            }
+            print!("{}", kernel.source);
+            if stats {
+                eprintln!(
+                    "kept {}/{} statements ({:.1}%), {} I/O seeds, {} paths switched",
+                    kernel.marking.kept.len(),
+                    kernel.marking.total_stmts,
+                    kernel.marking.keep_ratio() * 100.0,
+                    kernel.marking.io_seeds.len(),
+                    kernel.paths_switched,
+                );
+                if let Some(lr) = &kernel.loop_reduction {
+                    eprintln!(
+                        "loop reduction: {} reduced, {} skipped (keep fraction {})",
+                        lr.loops_reduced, lr.loops_skipped, lr.keep_fraction
+                    );
+                }
+                if kernel.blind_writes_removed > 0 {
+                    eprintln!("blind writes removed: {}", kernel.blind_writes_removed);
+                }
+                if kernel.loops_simulated > 0 {
+                    eprintln!("loops simulated: {}", kernel.loops_simulated);
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! `discover_io` — the component's public entry point (paper Table I) —
+//! and the bridge from a discovered kernel to an executable workload
+//! variant.
+
+use crate::kernel::reconstruct;
+use crate::marking::{mark_program, Marking};
+use crate::transform::{loop_reduction, path_switch, LoopReductionReport};
+use tunio_cminus::parser::{parse, ParseError};
+use tunio_cminus::printer::print_program;
+use tunio_cminus::Program;
+use tunio_workloads::Variant;
+
+/// Options controlling kernel generation (the `options` argument of the
+/// paper's `discover_io(source_code, options)` API).
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub struct DiscoveryOptions {
+    /// Apply loop reduction with this keep fraction (e.g. 0.01 = run 1% of
+    /// I/O-loop iterations). `None` = null reduction step.
+    pub loop_reduction: Option<f64>,
+    /// Prepend this memory-backed prefix to every opened path
+    /// (I/O path switching). `None` = leave paths alone.
+    pub path_switch_prefix: Option<String>,
+    /// Replace elided compute with `tunio_sleep(n)` pacing stubs instead
+    /// of deleting it (§VI compute simulation).
+    pub simulate_compute: bool,
+    /// Drop loop-invariant repeated writes (§VI blind-write removal).
+    pub remove_blind_writes: bool,
+    /// Replace literal-bound I/O loops with `tunio_replay(n)` markers and
+    /// a single unrolled body (§VI loop simulation).
+    pub simulate_loops: bool,
+}
+
+
+impl DiscoveryOptions {
+    /// Options matching the paper's Fig 8b evaluation: 1% loop reduction.
+    pub fn with_loop_reduction(fraction: f64) -> Self {
+        DiscoveryOptions {
+            loop_reduction: Some(fraction),
+            ..DiscoveryOptions::default()
+        }
+    }
+}
+
+/// A generated I/O kernel plus provenance.
+#[derive(Debug, Clone)]
+pub struct IoKernel {
+    /// The reconstructed (and possibly reduced) kernel AST.
+    pub program: Program,
+    /// Normalized kernel source text.
+    pub source: String,
+    /// The marking that produced it.
+    pub marking: Marking,
+    /// Loop-reduction outcome, if requested.
+    pub loop_reduction: Option<LoopReductionReport>,
+    /// Number of opened paths switched to memory, if requested.
+    pub paths_switched: usize,
+    /// Number of blind writes removed, if requested.
+    pub blind_writes_removed: usize,
+    /// Number of loops replaced by `tunio_replay` markers, if requested.
+    pub loops_simulated: usize,
+}
+
+impl IoKernel {
+    /// Whether discovery found any I/O at all. The paper's fallback: if
+    /// the kernel is unusable, tuning reverts to the full application.
+    pub fn has_io(&self) -> bool {
+        !self.marking.io_seeds.is_empty()
+    }
+
+    /// The workload variant this kernel corresponds to, or `None` when the
+    /// kernel found no I/O (callers should fall back to
+    /// [`Variant::Full`]).
+    pub fn variant(&self) -> Option<Variant> {
+        if !self.has_io() {
+            return None;
+        }
+        match &self.loop_reduction {
+            Some(r) if r.loops_reduced > 0 => Some(Variant::ReducedKernel {
+                keep_fraction: r.keep_fraction,
+            }),
+            _ => Some(Variant::Kernel),
+        }
+    }
+}
+
+/// Generate an I/O kernel from application source code.
+///
+/// This is the `discover_io(source_code, options) -> I/O kernel` API of
+/// the paper's Table I. The source is parsed, marked, reconstructed and
+/// optionally reduced. Errors only arise from unparseable source; a
+/// source with no I/O yields an empty (but valid) kernel with
+/// [`IoKernel::has_io`] = `false`.
+///
+/// ```
+/// use tunio_discovery::{discover_io, DiscoveryOptions};
+/// let src = "void f(int n) { double * b = alloc(n); simulate(b, n); H5Dwrite(d, b); }";
+/// let kernel = discover_io(src, &DiscoveryOptions::default()).unwrap();
+/// assert!(kernel.has_io());
+/// assert!(kernel.source.contains("H5Dwrite"));
+/// assert!(!kernel.source.contains("simulate"));
+/// ```
+pub fn discover_io(source: &str, options: &DiscoveryOptions) -> Result<IoKernel, ParseError> {
+    let program = parse(source)?;
+    let marking = mark_program(&program);
+    let mut kernel = if options.simulate_compute {
+        crate::extensions::simulate_compute(&program, &marking)
+    } else {
+        reconstruct(&program, &marking)
+    };
+
+    let blind_writes_removed = if options.remove_blind_writes {
+        crate::extensions::remove_blind_writes(&mut kernel)
+    } else {
+        0
+    };
+    let loops_simulated = if options.simulate_loops {
+        crate::extensions::simulate_loops(&mut kernel)
+    } else {
+        0
+    };
+    let loop_report = options
+        .loop_reduction
+        .map(|f| loop_reduction(&mut kernel, f));
+    let paths_switched = options
+        .path_switch_prefix
+        .as_deref()
+        .map(|p| path_switch(&mut kernel, p))
+        .unwrap_or(0);
+
+    let source = print_program(&kernel).text;
+    Ok(IoKernel {
+        program: kernel,
+        source,
+        marking,
+        loop_reduction: loop_report,
+        paths_switched,
+        blind_writes_removed,
+        loops_simulated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tunio_cminus::samples;
+
+    #[test]
+    fn discover_io_end_to_end() {
+        let k = discover_io(samples::VPIC_IO, &DiscoveryOptions::default()).unwrap();
+        assert!(k.has_io());
+        assert_eq!(k.variant(), Some(Variant::Kernel));
+        assert!(k.source.contains("H5Dwrite"));
+        assert!(!k.source.contains("printf"));
+        assert!(k.loop_reduction.is_none());
+        assert_eq!(k.paths_switched, 0);
+    }
+
+    #[test]
+    fn discovery_with_loop_reduction_maps_to_reduced_variant() {
+        let src = "void f() { for (int i = 0; i < 500; i++) { H5Dwrite(d, b); } }";
+        let k = discover_io(src, &DiscoveryOptions::with_loop_reduction(0.01)).unwrap();
+        assert_eq!(
+            k.variant(),
+            Some(Variant::ReducedKernel {
+                keep_fraction: 0.01
+            })
+        );
+        assert!(k.source.contains("i < 5"), "{}", k.source);
+    }
+
+    #[test]
+    fn unreducible_loops_fall_back_to_plain_kernel() {
+        let src = "void f(int n) { for (int i = 0; i < n; i++) { H5Dwrite(d, b); } }";
+        let k = discover_io(src, &DiscoveryOptions::with_loop_reduction(0.01)).unwrap();
+        assert_eq!(k.variant(), Some(Variant::Kernel));
+        assert_eq!(k.loop_reduction.unwrap().loops_skipped, 1);
+    }
+
+    #[test]
+    fn path_switching_applies() {
+        let opts = DiscoveryOptions {
+            path_switch_prefix: Some("/dev/shm".into()),
+            ..DiscoveryOptions::default()
+        };
+        let k = discover_io(samples::HACC_IO, &opts).unwrap();
+        assert_eq!(k.paths_switched, 1);
+        assert!(k.source.contains("/dev/shm/hacc.h5"));
+    }
+
+    #[test]
+    fn no_io_source_yields_no_variant() {
+        let k = discover_io(samples::PURE_COMPUTE, &DiscoveryOptions::default()).unwrap();
+        assert!(!k.has_io());
+        assert_eq!(k.variant(), None);
+    }
+
+    #[test]
+    fn bad_source_is_an_error() {
+        assert!(discover_io("void f( {", &DiscoveryOptions::default()).is_err());
+    }
+}
+
+#[cfg(test)]
+mod extension_option_tests {
+    use super::*;
+    use tunio_cminus::samples;
+
+    #[test]
+    fn compute_simulation_option_paces_the_kernel() {
+        let opts = DiscoveryOptions {
+            simulate_compute: true,
+            ..DiscoveryOptions::default()
+        };
+        let k = discover_io(samples::VPIC_IO, &opts).unwrap();
+        assert!(k.source.contains("tunio_sleep("), "{}", k.source);
+        assert!(k.source.contains("H5Dwrite"));
+    }
+
+    #[test]
+    fn loop_simulation_option_replaces_literal_loops() {
+        let src = "void f() { for (int i = 0; i < 300; i++) { H5Dwrite(d, b); } }";
+        let opts = DiscoveryOptions {
+            simulate_loops: true,
+            ..DiscoveryOptions::default()
+        };
+        let k = discover_io(src, &opts).unwrap();
+        assert_eq!(k.loops_simulated, 1);
+        assert!(k.source.contains("tunio_replay(300);"), "{}", k.source);
+    }
+
+    #[test]
+    fn blind_write_option_reports_removals() {
+        let src = r#"
+            void f(int n) {
+                double * live = alloc(n);
+                double * frozen = alloc(n);
+                for (int i = 0; i < n; i++) {
+                    live = refresh(live, n);
+                    H5Dwrite(a, live);
+                    H5Dwrite(b, frozen);
+                }
+            }
+        "#;
+        let opts = DiscoveryOptions {
+            remove_blind_writes: true,
+            ..DiscoveryOptions::default()
+        };
+        let k = discover_io(src, &opts).unwrap();
+        assert_eq!(k.blind_writes_removed, 1);
+        assert!(!k.source.contains("H5Dwrite(b, frozen);"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Kernel reconstruction: rebuild a program from its kept statements.
+
+use crate::marking::Marking;
+use tunio_cminus::ast::{Block, Function, Program, Stmt, StmtKind};
+
+/// Rebuild a program containing only the statements `marking` kept.
+///
+/// Control-flow statements survive only if marked (which the marking loop
+/// guarantees whenever any descendant is marked); their bodies are filtered
+/// recursively. Functions whose bodies become empty are kept as empty
+/// shells so the kernel still links.
+pub fn reconstruct(program: &Program, marking: &Marking) -> Program {
+    let functions = program
+        .functions
+        .iter()
+        .map(|f| Function {
+            ret: f.ret.clone(),
+            name: f.name.clone(),
+            params: f.params.clone(),
+            body: filter_block(&f.body, marking),
+        })
+        .collect();
+    Program { functions }
+}
+
+fn filter_block(block: &Block, marking: &Marking) -> Block {
+    let mut stmts = Vec::new();
+    for stmt in &block.stmts {
+        if let Some(kept) = filter_stmt(stmt, marking) {
+            stmts.push(kept);
+        }
+    }
+    Block { stmts }
+}
+
+fn filter_stmt(stmt: &Stmt, marking: &Marking) -> Option<Stmt> {
+    if !marking.kept.contains(&stmt.id) {
+        return None;
+    }
+    let kind = match &stmt.kind {
+        StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        } => StmtKind::If {
+            cond: cond.clone(),
+            then_block: filter_block(then_block, marking),
+            else_block: else_block.as_ref().map(|b| filter_block(b, marking)),
+        },
+        StmtKind::For {
+            init,
+            cond,
+            update,
+            body,
+        } => StmtKind::For {
+            // Headers are kept verbatim — they were marked with the loop.
+            init: init.clone(),
+            cond: cond.clone(),
+            update: update.clone(),
+            body: filter_block(body, marking),
+        },
+        StmtKind::While { cond, body } => StmtKind::While {
+            cond: cond.clone(),
+            body: filter_block(body, marking),
+        },
+        StmtKind::DoWhile { body, cond } => StmtKind::DoWhile {
+            body: filter_block(body, marking),
+            cond: cond.clone(),
+        },
+        other => other.clone(),
+    };
+    Some(Stmt { id: stmt.id, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marking::mark_program;
+    use tunio_cminus::parser::parse;
+    use tunio_cminus::printer::print_program;
+    use tunio_cminus::samples;
+
+    fn kernel_text(src: &str) -> String {
+        let prog = parse(src).unwrap();
+        let m = mark_program(&prog);
+        print_program(&reconstruct(&prog, &m)).text
+    }
+
+    #[test]
+    fn vpic_kernel_keeps_io_drops_compute() {
+        let text = kernel_text(samples::VPIC_IO);
+        for kept in ["H5Fcreate", "H5Dwrite", "H5Fclose", "sort_particles", "for ("] {
+            assert!(text.contains(kept), "kernel must keep {kept}:\n{text}");
+        }
+        for dropped in ["printf", "compute_energy", "field_sum", "advance_particles"] {
+            assert!(!text.contains(dropped), "kernel must drop {dropped}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn kernel_reparses_cleanly() {
+        for (name, src) in samples::all_samples() {
+            let text = kernel_text(src);
+            parse(&text).unwrap_or_else(|e| panic!("{name} kernel does not reparse: {e}\n{text}"));
+        }
+    }
+
+    #[test]
+    fn kernel_is_smaller_than_original() {
+        let prog = parse(samples::HACC_IO).unwrap();
+        let m = mark_program(&prog);
+        let kernel = reconstruct(&prog, &m);
+        assert!(kernel.stmt_count() < prog.stmt_count());
+        assert!(kernel.stmt_count() > 0);
+    }
+
+    #[test]
+    fn pure_compute_kernel_is_empty_shell() {
+        let prog = parse(samples::PURE_COMPUTE).unwrap();
+        let m = mark_program(&prog);
+        let kernel = reconstruct(&prog, &m);
+        assert_eq!(kernel.functions.len(), 1);
+        assert!(kernel.functions[0].body.stmts.is_empty());
+    }
+
+    #[test]
+    fn nested_conditional_io_survives() {
+        let text = kernel_text(samples::FLASH_IO);
+        assert!(text.contains("if ("));
+        assert!(text.contains("H5Dwrite(plot_dset, dens);"));
+        assert!(!text.contains("hydro_sweep"));
+    }
+
+    #[test]
+    fn kernel_statement_count_matches_marking() {
+        let prog = parse(samples::VPIC_IO).unwrap();
+        let m = mark_program(&prog);
+        let kernel = reconstruct(&prog, &m);
+        assert_eq!(kernel.stmt_count(), m.kept.len());
+    }
+}

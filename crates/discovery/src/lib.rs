@@ -1,0 +1,40 @@
+//! # tunio-discovery — Application I/O Discovery
+//!
+//! Implements §III-B of the paper: reduce an application's source code to
+//! an *I/O kernel* that retains every statement necessary to perform its
+//! I/O and nothing else, so that each tuning-iteration objective
+//! evaluation runs only the I/O-critical code.
+//!
+//! The pipeline is:
+//!
+//! 1. Parse the source into an AST ([`tunio_cminus`]).
+//! 2. Run the **marking loop** ([`marking`]): find I/O calls, mark them,
+//!    then transitively mark their *dependents* (arguments, assignment
+//!    targets, backward chains of assignments feeding them) and their
+//!    *contextual parents* (the enclosing loop / conditional headers),
+//!    iterating to a fixpoint.
+//! 3. **Reconstruct** the kernel from the kept statements ([`kernel`]).
+//! 4. Optionally apply reductions ([`transform`]): *loop reduction*
+//!    (execute a fraction of the iterations of loops containing I/O and
+//!    extrapolate the scalable metrics back up) and *I/O path switching*
+//!    (prepend a memory-backed path such as `/dev/shm` to every file the
+//!    kernel opens).
+//!
+//! [`bridge`] connects a discovered kernel to the workload model so the
+//! simulator can execute the matching [`tunio_workloads::Variant`], and
+//! [`accuracy`] computes the kernel-fidelity metrics of Fig 8c.
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod bridge;
+pub mod extensions;
+pub mod iocalls;
+pub mod kernel;
+pub mod marking;
+pub mod transform;
+
+pub use bridge::{discover_io, DiscoveryOptions, IoKernel};
+pub use iocalls::{classify_call, CallClass};
+pub use kernel::reconstruct;
+pub use marking::{mark_program, Marking};

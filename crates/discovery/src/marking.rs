@@ -1,0 +1,532 @@
+//! The marking loop (§III-B, Figs 4–5).
+//!
+//! Marks every statement needed for the application's I/O:
+//!
+//! * **seeds** — statements containing real I/O calls;
+//! * **dependents** — for each marked statement, the variables it reads
+//!   (call arguments, right-hand sides, loop/branch conditions); every
+//!   statement assigning or declaring one of those variables is marked (the
+//!   paper's backward traversal over assignments);
+//! * **contextual parents** — the enclosing loop / conditional headers of
+//!   each marked statement, whose own dependents (loop init/update/
+//!   condition variables) are then marked in turn.
+//!
+//! The loop runs to a fixpoint; [`Marking::kept`] is the final set.
+
+use crate::iocalls::{classify_call, CallClass};
+use std::collections::{BTreeMap, BTreeSet};
+use tunio_cminus::ast::{Expr, Program, Stmt, StmtId, StmtKind};
+
+/// Per-statement dataflow facts.
+#[derive(Debug, Clone, Default)]
+struct StmtFacts {
+    /// Variables whose values this statement needs.
+    reads: Vec<String>,
+    /// Real I/O calls in this statement.
+    io_calls: Vec<String>,
+    /// Enclosing statement ids, outermost first.
+    ancestry: Vec<StmtId>,
+    /// Child statement ids that belong to this statement's header
+    /// (`for` init/update).
+    header_children: Vec<StmtId>,
+}
+
+/// Result of the marking loop.
+#[derive(Debug, Clone)]
+pub struct Marking {
+    /// Statements to keep, in id order.
+    pub kept: BTreeSet<StmtId>,
+    /// The seed statements (those containing real I/O calls).
+    pub io_seeds: BTreeSet<StmtId>,
+    /// Number of fixpoint iterations the marking loop ran.
+    pub iterations: u32,
+    /// Total statements inspected.
+    pub total_stmts: usize,
+}
+
+impl Marking {
+    /// Fraction of statements kept.
+    pub fn keep_ratio(&self) -> f64 {
+        if self.total_stmts == 0 {
+            0.0
+        } else {
+            self.kept.len() as f64 / self.total_stmts as f64
+        }
+    }
+}
+
+/// Collect reads/writes/io-calls for one statement (header only — nested
+/// bodies are separate statements).
+fn facts_for(stmt: &Stmt) -> (Vec<String>, Vec<String>, Vec<String>) {
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    let mut calls = Vec::new();
+    match &stmt.kind {
+        StmtKind::Decl { name, init, .. } => {
+            writes.push(name.clone());
+            if let Some(e) = init {
+                e.idents(&mut reads);
+                e.call_names(&mut calls);
+            }
+        }
+        StmtKind::Assign { lhs, op, rhs } => {
+            if let Some(root) = lhs.lvalue_root() {
+                writes.push(root.to_string());
+                // Compound assignment also reads the target.
+                if op != "=" {
+                    reads.push(root.to_string());
+                }
+            }
+            // Index/member sub-expressions of the lhs are reads too.
+            collect_lhs_reads(lhs, &mut reads);
+            rhs.idents(&mut reads);
+            rhs.call_names(&mut calls);
+            lhs.call_names(&mut calls);
+        }
+        StmtKind::Expr(e) => {
+            e.idents(&mut reads);
+            e.call_names(&mut calls);
+            // A unary-increment expression statement writes its operand.
+            if let Expr::Postfix { operand, .. } | Expr::Unary { operand, .. } = e {
+                if let Some(root) = operand.lvalue_root() {
+                    writes.push(root.to_string());
+                }
+            }
+        }
+        StmtKind::If { cond, .. }
+        | StmtKind::While { cond, .. }
+        | StmtKind::DoWhile { cond, .. } => {
+            cond.idents(&mut reads);
+            cond.call_names(&mut calls);
+        }
+        StmtKind::For { cond, .. } => {
+            if let Some(c) = cond {
+                c.idents(&mut reads);
+                c.call_names(&mut calls);
+            }
+        }
+        StmtKind::Return(Some(e)) => {
+            e.idents(&mut reads);
+            e.call_names(&mut calls);
+        }
+        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue | StmtKind::Empty => {}
+    }
+    (reads, writes, calls)
+}
+
+/// Reads hidden inside an lvalue (`a[i]` reads `i`; `p->f` reads `p`).
+fn collect_lhs_reads(lhs: &Expr, reads: &mut Vec<String>) {
+    match lhs {
+        Expr::Index { base, index } => {
+            index.idents(reads);
+            collect_lhs_reads(base, reads);
+        }
+        Expr::Member { base, .. } => collect_lhs_reads(base, reads),
+        _ => {}
+    }
+}
+
+/// Compute the set of functions that perform I/O, directly or through
+/// calls to other I/O-performing functions (transitive closure over the
+/// call graph). Calls to these functions are treated as I/O calls by the
+/// marking loop, making discovery interprocedural.
+pub fn io_functions(program: &Program) -> BTreeSet<String> {
+    // Call graph + direct-I/O flags per function.
+    let mut calls_of: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut direct: BTreeSet<String> = BTreeSet::new();
+    for f in &program.functions {
+        let mut called = BTreeSet::new();
+        let single = Program {
+            functions: vec![f.clone()],
+        };
+        single.visit_stmts(|stmt, _| {
+            let (_, _, names) = facts_for(stmt);
+            for n in names {
+                if classify_call(&n) == CallClass::Io {
+                    direct.insert(f.name.clone());
+                }
+                called.insert(n);
+            }
+        });
+        calls_of.insert(f.name.clone(), called);
+    }
+    // Propagate to a fixpoint: a function that calls an I/O function is
+    // itself an I/O function.
+    let mut io_fns = direct;
+    loop {
+        let mut grew = false;
+        for (name, called) in &calls_of {
+            if !io_fns.contains(name) && called.iter().any(|c| io_fns.contains(c)) {
+                io_fns.insert(name.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    io_fns
+}
+
+/// Run the marking loop over a program.
+pub fn mark_program(program: &Program) -> Marking {
+    let io_fns = io_functions(program);
+    // Pass 1: gather facts and indices.
+    let mut facts: BTreeMap<StmtId, StmtFacts> = BTreeMap::new();
+    let mut assigners: BTreeMap<String, Vec<StmtId>> = BTreeMap::new();
+    let mut control_exits: Vec<(StmtId, Vec<StmtId>)> = Vec::new();
+    let mut loop_ids: BTreeSet<StmtId> = BTreeSet::new();
+
+    program.visit_stmts(|stmt, ancestry| {
+        let (reads, writes, calls) = facts_for(stmt);
+        let io_calls: Vec<String> = calls
+            .iter()
+            .filter(|c| classify_call(c) == CallClass::Io || io_fns.contains(*c))
+            .cloned()
+            .collect();
+        for w in &writes {
+            assigners.entry(w.clone()).or_default().push(stmt.id);
+        }
+        let mut header_children = Vec::new();
+        if let StmtKind::For { init, update, .. } = &stmt.kind {
+            header_children.push(init.id);
+            header_children.push(update.id);
+        }
+        if matches!(stmt.kind, StmtKind::Break | StmtKind::Continue) {
+            control_exits.push((stmt.id, ancestry.to_vec()));
+        }
+        if matches!(
+            stmt.kind,
+            StmtKind::For { .. } | StmtKind::While { .. } | StmtKind::DoWhile { .. }
+        ) {
+            loop_ids.insert(stmt.id);
+        }
+        facts.insert(
+            stmt.id,
+            StmtFacts {
+                reads,
+                io_calls,
+                ancestry: ancestry.to_vec(),
+                header_children,
+            },
+        );
+    });
+
+    // Pass 2: seed with statements containing real I/O calls.
+    let io_seeds: BTreeSet<StmtId> = facts
+        .iter()
+        .filter(|(_, f)| !f.io_calls.is_empty())
+        .map(|(id, _)| *id)
+        .collect();
+
+    // Pass 3: fixpoint marking — repeated whenever the control-flow pass
+    // (below) adds new seeds.
+    let mut kept: BTreeSet<StmtId> = io_seeds.clone();
+    let mut worklist: Vec<StmtId> = io_seeds.iter().copied().collect();
+    let mut iterations = 0;
+    loop {
+        while let Some(id) = worklist.pop() {
+            iterations += 1;
+            let stmt_facts = match facts.get(&id) {
+                Some(f) => f,
+                None => continue,
+            };
+            let mut to_mark: Vec<StmtId> = Vec::new();
+            // Dependents: every assigner of every variable this statement
+            // reads.
+            for var in &stmt_facts.reads {
+                if let Some(assigns) = assigners.get(var) {
+                    to_mark.extend(assigns.iter().copied());
+                }
+            }
+            // Contextual parents.
+            to_mark.extend(stmt_facts.ancestry.iter().copied());
+            // Loop headers drag in their init/update statements.
+            to_mark.extend(stmt_facts.header_children.iter().copied());
+            for m in to_mark {
+                if kept.insert(m) {
+                    worklist.push(m);
+                }
+            }
+        }
+        // Control-flow pass: a `break`/`continue` whose nearest enclosing
+        // loop is kept alters that loop's trip count, so it must be kept
+        // (with its guarding conditional, via the ancestry rule above) or
+        // the kernel would loop differently than the application.
+        for (id, ancestry) in &control_exits {
+            if kept.contains(id) {
+                continue;
+            }
+            let nearest_loop = ancestry.iter().rev().find(|a| loop_ids.contains(a));
+            if let Some(l) = nearest_loop {
+                if kept.contains(l) {
+                    kept.insert(*id);
+                    worklist.push(*id);
+                }
+            }
+        }
+        if worklist.is_empty() {
+            break;
+        }
+    }
+
+    Marking {
+        kept,
+        io_seeds,
+        iterations,
+        total_stmts: facts.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tunio_cminus::parser::parse;
+    use tunio_cminus::samples;
+
+    /// Find the ids of statements whose printed form contains `needle`.
+    fn ids_containing(program: &Program, needle: &str) -> Vec<StmtId> {
+        let printed = tunio_cminus::printer::print_program(program);
+        let lines: Vec<&str> = printed.text.lines().collect();
+        printed
+            .stmt_lines
+            .iter()
+            .filter(|(_, line)| lines[(**line - 1) as usize].contains(needle))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    #[test]
+    fn vpic_marking_matches_fig5() {
+        let prog = parse(samples::VPIC_IO).unwrap();
+        let m = mark_program(&prog);
+
+        // I/O calls and their dependency chain are kept.
+        for needle in [
+            "H5Fcreate",
+            "H5Dcreate",
+            "H5Dwrite",
+            "H5Fclose",
+            "sort_particles",      // assigns data_ptr, a dependent of H5Dwrite
+            "allocate_particles", // declares data_ptr
+            "for (",              // contextual parent of H5Dwrite
+        ] {
+            for id in ids_containing(&prog, needle) {
+                assert!(m.kept.contains(&id), "{needle} should be kept");
+            }
+        }
+
+        // Compute and logging are dropped.
+        for needle in ["compute_energy", "field_sum", "printf", "advance_particles"] {
+            for id in ids_containing(&prog, needle) {
+                assert!(!m.kept.contains(&id), "{needle} should be dropped");
+            }
+        }
+    }
+
+    #[test]
+    fn pure_compute_marks_nothing() {
+        let prog = parse(samples::PURE_COMPUTE).unwrap();
+        let m = mark_program(&prog);
+        assert!(m.io_seeds.is_empty());
+        assert!(m.kept.is_empty());
+        assert_eq!(m.keep_ratio(), 0.0);
+    }
+
+    #[test]
+    fn keep_ratio_is_partial_for_vpic() {
+        let prog = parse(samples::VPIC_IO).unwrap();
+        let m = mark_program(&prog);
+        let r = m.keep_ratio();
+        assert!(r > 0.3 && r < 0.95, "keep ratio {r}");
+    }
+
+    #[test]
+    fn conditional_io_keeps_branch_header() {
+        let prog = parse(samples::FLASH_IO).unwrap();
+        let m = mark_program(&prog);
+        // The `if (n % plot_every == 0)` guards an H5Dwrite, so both the
+        // if-header and the plot_every declaration must be kept.
+        for needle in ["if (", "plot_every ="] {
+            let ids = ids_containing(&prog, needle);
+            assert!(!ids.is_empty(), "sample should contain {needle}");
+            for id in ids {
+                assert!(m.kept.contains(&id), "{needle} must be kept");
+            }
+        }
+        // residual computation feeds only printf → dropped.
+        for id in ids_containing(&prog, "hydro_sweep") {
+            assert!(!m.kept.contains(&id));
+        }
+    }
+
+    #[test]
+    fn backward_traversal_follows_reassignments() {
+        let src = r#"
+            void f(int n) {
+                double * buf = alloc(n);
+                buf = refill(buf, n);
+                buf = shuffle(buf);
+                H5Dwrite(dset, buf);
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        let m = mark_program(&prog);
+        // All three assignments to buf are dependents of the write.
+        assert_eq!(m.kept.len(), 4);
+    }
+
+    #[test]
+    fn loop_header_dependencies_are_kept() {
+        let src = r#"
+            void f() {
+                int start = compute_start();
+                int end = compute_end();
+                int unused = expensive();
+                for (int i = start; i < end; i++) {
+                    H5Dwrite(dset, buf);
+                }
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        let m = mark_program(&prog);
+        let start_ids = ids_containing(&prog, "compute_start");
+        let end_ids = ids_containing(&prog, "compute_end");
+        let unused_ids = ids_containing(&prog, "expensive");
+        for id in start_ids.iter().chain(&end_ids) {
+            assert!(m.kept.contains(id), "loop bound deps must be kept");
+        }
+        for id in unused_ids {
+            assert!(!m.kept.contains(&id), "unused decl must be dropped");
+        }
+    }
+}
+
+#[cfg(test)]
+mod control_flow_tests {
+    use super::*;
+    use tunio_cminus::parser::parse;
+
+    #[test]
+    fn breaks_inside_io_loops_are_kept_with_their_guard() {
+        let src = r#"
+            void f(int n) {
+                int failures = check_env();
+                for (int i = 0; i < n; i++) {
+                    H5Dwrite(dset, buf);
+                    if (failures > 3) {
+                        break;
+                    }
+                }
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        let m = mark_program(&prog);
+        let kernel = crate::kernel::reconstruct(&prog, &m);
+        let text = tunio_cminus::printer::print_program(&kernel).text;
+        assert!(text.contains("break;"), "{text}");
+        assert!(text.contains("if (failures > 3)"), "{text}");
+        assert!(text.contains("check_env"), "guard dependency kept: {text}");
+    }
+
+    #[test]
+    fn breaks_in_compute_only_loops_are_dropped() {
+        let src = r#"
+            void f(int n) {
+                for (int i = 0; i < n; i++) {
+                    relax(grid, i);
+                    if (done()) {
+                        break;
+                    }
+                }
+                H5Dwrite(dset, grid);
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        let m = mark_program(&prog);
+        let kernel = crate::kernel::reconstruct(&prog, &m);
+        let text = tunio_cminus::printer::print_program(&kernel).text;
+        // grid is a dependency so its assignments are kept, but the
+        // compute loop itself contains no I/O: break should not force it.
+        // (The loop may be kept if `grid` is assigned inside; in this
+        // sample it is not, so the whole loop disappears.)
+        assert!(!text.contains("break;"), "{text}");
+    }
+}
+
+#[cfg(test)]
+mod interprocedural_tests {
+    use super::*;
+    use tunio_cminus::parser::parse;
+    use tunio_cminus::printer::print_program;
+
+    const MULTI_FN: &str = r#"
+        void write_field(hid_t dset, double * buf) {
+            H5Dwrite(dset, buf);
+        }
+        void diagnostics(double energy) {
+            printf("energy %f", energy);
+        }
+        void main_loop(int steps) {
+            hid_t dset = H5Dcreate(f, "x", 0);
+            double * buf = alloc(steps);
+            double energy = 0.0;
+            for (int s = 0; s < steps; s++) {
+                buf = advance(buf, steps);
+                energy = measure(buf);
+                diagnostics(energy);
+                write_field(dset, buf);
+            }
+        }
+    "#;
+
+    #[test]
+    fn io_function_closure_is_transitive() {
+        let prog = parse(MULTI_FN).unwrap();
+        let fns = io_functions(&prog);
+        assert!(fns.contains("write_field"), "direct I/O");
+        assert!(fns.contains("main_loop"), "transitive caller");
+        assert!(!fns.contains("diagnostics"), "logging is not I/O");
+    }
+
+    #[test]
+    fn calls_to_io_functions_are_kept_with_dependencies() {
+        let prog = parse(MULTI_FN).unwrap();
+        let m = mark_program(&prog);
+        let kernel = crate::kernel::reconstruct(&prog, &m);
+        let text = print_program(&kernel).text;
+        assert!(text.contains("write_field(dset, buf);"), "{text}");
+        assert!(text.contains("buf = advance(buf, steps);"), "buf dep kept: {text}");
+        assert!(!text.contains("diagnostics(energy);"), "{text}");
+        assert!(!text.contains("energy = measure"), "{text}");
+    }
+}
+
+#[cfg(test)]
+mod do_while_marking_tests {
+    use super::*;
+    use tunio_cminus::parser::parse;
+    use tunio_cminus::printer::print_program;
+
+    #[test]
+    fn do_while_io_loops_are_kept_with_condition_deps() {
+        let src = r#"
+            void f() {
+                int rounds = plan_rounds();
+                int unused = expensive();
+                int i = 0;
+                do {
+                    H5Dwrite(dset, buf);
+                    i++;
+                } while (i < rounds);
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        let m = mark_program(&prog);
+        let text = print_program(&crate::kernel::reconstruct(&prog, &m)).text;
+        assert!(text.contains("do"), "{text}");
+        assert!(text.contains("while (i < rounds);"), "{text}");
+        assert!(text.contains("plan_rounds"), "condition dep kept: {text}");
+        assert!(!text.contains("expensive"), "{text}");
+    }
+}

@@ -1,0 +1,282 @@
+//! Kernel reduction transforms: loop reduction and I/O path switching.
+//!
+//! Both are optional, user-configurable reductions applied after kernel
+//! reconstruction (§III-B): they trade kernel fidelity for tuning speed.
+
+use crate::iocalls::{classify_call, opens_path, CallClass};
+use tunio_cminus::ast::{Block, Expr, Program, Stmt, StmtKind};
+
+/// Outcome of a loop-reduction pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopReductionReport {
+    /// Loops whose trip counts were reduced.
+    pub loops_reduced: usize,
+    /// Loops containing I/O that could not be reduced (bound too small or
+    /// not a literal).
+    pub loops_skipped: usize,
+    /// The requested keep fraction.
+    pub keep_fraction: f64,
+}
+
+/// Reduce the trip count of every I/O-containing `for` loop with an
+/// integer-literal bound to `keep_fraction` of its iterations (minimum 1).
+/// Loops whose reduced trip count would round below one iteration are left
+/// untouched, as the paper specifies.
+pub fn loop_reduction(program: &mut Program, keep_fraction: f64) -> LoopReductionReport {
+    let mut report = LoopReductionReport {
+        loops_reduced: 0,
+        loops_skipped: 0,
+        keep_fraction,
+    };
+    for f in &mut program.functions {
+        reduce_block(&mut f.body, keep_fraction, &mut report);
+    }
+    report
+}
+
+fn reduce_block(block: &mut Block, frac: f64, report: &mut LoopReductionReport) {
+    for stmt in &mut block.stmts {
+        reduce_stmt(stmt, frac, report);
+    }
+}
+
+fn reduce_stmt(stmt: &mut Stmt, frac: f64, report: &mut LoopReductionReport) {
+    match &mut stmt.kind {
+        StmtKind::For { cond, body, .. } => {
+            reduce_block(body, frac, report);
+            if block_contains_io(body) {
+                match cond.as_mut().and_then(literal_upper_bound) {
+                    Some(bound_ref) => {
+                        let original = *bound_ref;
+                        let reduced = ((original as f64) * frac).round() as i64;
+                        if reduced >= 1 && reduced < original {
+                            *bound_ref = reduced;
+                            report.loops_reduced += 1;
+                        } else {
+                            report.loops_skipped += 1;
+                        }
+                    }
+                    None => report.loops_skipped += 1,
+                }
+            }
+        }
+        StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+            reduce_block(body, frac, report);
+            if block_contains_io(body) {
+                // `while`/`do-while` bounds are not statically reducible.
+                report.loops_skipped += 1;
+            }
+        }
+        StmtKind::If {
+            then_block,
+            else_block,
+            ..
+        } => {
+            reduce_block(then_block, frac, report);
+            if let Some(e) = else_block {
+                reduce_block(e, frac, report);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// If `cond` is `x < N` / `x <= N` with integer-literal `N`, return a
+/// mutable reference to the literal.
+fn literal_upper_bound(cond: &mut Expr) -> Option<&mut i64> {
+    match cond {
+        Expr::Binary { op, rhs, .. } if op == "<" || op == "<=" => match rhs.as_mut() {
+            Expr::Int(v) => Some(v),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Whether a block (recursively) contains a real I/O call.
+pub fn block_contains_io(block: &Block) -> bool {
+    block.stmts.iter().any(stmt_contains_io)
+}
+
+fn stmt_contains_io(stmt: &Stmt) -> bool {
+    let mut calls = Vec::new();
+    match &stmt.kind {
+        StmtKind::Decl { init: Some(e), .. } => e.call_names(&mut calls),
+        StmtKind::Assign { lhs, rhs, .. } => {
+            lhs.call_names(&mut calls);
+            rhs.call_names(&mut calls);
+        }
+        StmtKind::Expr(e) => e.call_names(&mut calls),
+        StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            cond.call_names(&mut calls);
+            if block_contains_io(then_block)
+                || else_block.as_ref().is_some_and(block_contains_io)
+            {
+                return true;
+            }
+        }
+        StmtKind::For { cond, body, .. } => {
+            if let Some(c) = cond {
+                c.call_names(&mut calls);
+            }
+            if block_contains_io(body) {
+                return true;
+            }
+        }
+        StmtKind::While { cond, body } | StmtKind::DoWhile { cond, body } => {
+            cond.call_names(&mut calls);
+            if block_contains_io(body) {
+                return true;
+            }
+        }
+        StmtKind::Return(Some(e)) => e.call_names(&mut calls),
+        _ => {}
+    }
+    calls.iter().any(|c| classify_call(c) == CallClass::Io)
+}
+
+/// Prepend `prefix` to the path argument of every file-opening I/O call
+/// (I/O path switching: point the kernel at `/dev/shm` so evaluations do
+/// not touch slow storage). Returns the number of paths rewritten.
+pub fn path_switch(program: &mut Program, prefix: &str) -> usize {
+    let mut rewritten = 0;
+    for f in &mut program.functions {
+        switch_block(&mut f.body, prefix, &mut rewritten);
+    }
+    rewritten
+}
+
+fn switch_block(block: &mut Block, prefix: &str, rewritten: &mut usize) {
+    for stmt in &mut block.stmts {
+        switch_stmt(stmt, prefix, rewritten);
+    }
+}
+
+fn switch_stmt(stmt: &mut Stmt, prefix: &str, rewritten: &mut usize) {
+    match &mut stmt.kind {
+        StmtKind::Decl { init: Some(e), .. } | StmtKind::Expr(e) => {
+            switch_expr(e, prefix, rewritten)
+        }
+        StmtKind::Assign { rhs, .. } => switch_expr(rhs, prefix, rewritten),
+        StmtKind::If {
+            then_block,
+            else_block,
+            ..
+        } => {
+            switch_block(then_block, prefix, rewritten);
+            if let Some(e) = else_block {
+                switch_block(e, prefix, rewritten);
+            }
+        }
+        StmtKind::For { body, .. }
+        | StmtKind::While { body, .. }
+        | StmtKind::DoWhile { body, .. } => switch_block(body, prefix, rewritten),
+        _ => {}
+    }
+}
+
+fn switch_expr(e: &mut Expr, prefix: &str, rewritten: &mut usize) {
+    if let Expr::Call { name, args } = e {
+        if opens_path(name) {
+            if let Some(Expr::Str(path)) = args.first_mut() {
+                if !path.starts_with(prefix) {
+                    *path = format!("{}/{}", prefix.trim_end_matches('/'), path);
+                    *rewritten += 1;
+                }
+            }
+        }
+        for a in args {
+            switch_expr(a, prefix, rewritten);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tunio_cminus::parser::parse;
+    use tunio_cminus::printer::print_program;
+    use tunio_cminus::samples;
+
+    #[test]
+    fn loop_reduction_rewrites_literal_bounds() {
+        let mut prog = parse(
+            "void f() { for (int i = 0; i < 1000; i++) { H5Dwrite(d, b); } }",
+        )
+        .unwrap();
+        let report = loop_reduction(&mut prog, 0.01);
+        assert_eq!(report.loops_reduced, 1);
+        let text = print_program(&prog).text;
+        assert!(text.contains("i < 10"), "{text}");
+    }
+
+    #[test]
+    fn loop_reduction_skips_tiny_loops() {
+        // "Whenever the loop iterations are too small to reduce (less than
+        // one iteration on reduction), loop reduction will not be able to
+        // do anything." (§IV-A)
+        let mut prog =
+            parse("void f() { for (int i = 0; i < 3; i++) { H5Dwrite(d, b); } }").unwrap();
+        let report = loop_reduction(&mut prog, 0.01);
+        assert_eq!(report.loops_reduced, 0);
+        assert_eq!(report.loops_skipped, 1);
+        assert!(print_program(&prog).text.contains("i < 3"));
+    }
+
+    #[test]
+    fn loop_reduction_ignores_compute_loops() {
+        let mut prog =
+            parse("void f() { for (int i = 0; i < 1000; i++) { relax(g, i); } }").unwrap();
+        let report = loop_reduction(&mut prog, 0.01);
+        assert_eq!(report.loops_reduced + report.loops_skipped, 0);
+        assert!(print_program(&prog).text.contains("i < 1000"));
+    }
+
+    #[test]
+    fn loop_reduction_skips_variable_bounds() {
+        let mut prog =
+            parse("void f(int n) { for (int i = 0; i < n; i++) { H5Dwrite(d, b); } }").unwrap();
+        let report = loop_reduction(&mut prog, 0.5);
+        assert_eq!(report.loops_reduced, 0);
+        assert_eq!(report.loops_skipped, 1);
+    }
+
+    #[test]
+    fn while_loops_with_io_are_reported_skipped() {
+        let mut prog = parse("void f() { while (more()) { H5Dwrite(d, b); } }").unwrap();
+        let report = loop_reduction(&mut prog, 0.1);
+        assert_eq!(report.loops_skipped, 1);
+    }
+
+    #[test]
+    fn path_switch_prefixes_open_calls() {
+        let mut prog = parse(samples::VPIC_IO).unwrap();
+        let n = path_switch(&mut prog, "/dev/shm");
+        assert_eq!(n, 1);
+        let text = print_program(&prog).text;
+        assert!(text.contains("\"/dev/shm/particles.h5\""), "{text}");
+    }
+
+    #[test]
+    fn path_switch_is_idempotent() {
+        let mut prog = parse(samples::FLASH_IO).unwrap();
+        assert_eq!(path_switch(&mut prog, "/dev/shm"), 2);
+        assert_eq!(path_switch(&mut prog, "/dev/shm"), 0);
+    }
+
+    #[test]
+    fn nested_loops_reduce_independently() {
+        let mut prog = parse(
+            "void f() { for (int i = 0; i < 100; i++) { for (int j = 0; j < 200; j++) { H5Dwrite(d, b); } } }",
+        )
+        .unwrap();
+        let report = loop_reduction(&mut prog, 0.1);
+        assert_eq!(report.loops_reduced, 2);
+        let text = print_program(&prog).text;
+        assert!(text.contains("i < 10") && text.contains("j < 20"), "{text}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Hermes-style burst-buffer tier (optional).
+//!
+//! The paper's search-space analysis (Fig 1) includes Hermes, a
+//! multi-tier buffering library, and §III motivates TunIO with "modern
+//! hardware designs". This module models the simplest such tier: a
+//! node-local burst buffer that absorbs checkpoint writes at memory-class
+//! speed and drains to the PFS during compute phases. Enabled per
+//! [`crate::Simulator`] via [`crate::Simulator::with_burst_buffer`]; the
+//! `abl04_burst_buffer` experiment quantifies how it reshapes the tuning
+//! problem (absorbed writes make PFS parameters matter less).
+
+use serde::{Deserialize, Serialize};
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Static description of a node-local burst-buffer tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstBufferSpec {
+    /// Capacity per node, bytes.
+    pub capacity_per_node: f64,
+    /// Ingest bandwidth per node (application → buffer), bytes/s.
+    pub ingest_bw_per_node: f64,
+    /// Aggregate drain bandwidth (buffer → PFS), bytes/s.
+    pub drain_bw: f64,
+}
+
+impl BurstBufferSpec {
+    /// A Cori-DataWarp-like tier: 128 GiB/node at 5 GiB/s ingest,
+    /// draining at 50 GiB/s aggregate.
+    pub fn datawarp_like() -> Self {
+        BurstBufferSpec {
+            capacity_per_node: 128.0 * GIB,
+            ingest_bw_per_node: 5.0 * GIB,
+            drain_bw: 50.0 * GIB,
+        }
+    }
+
+    /// A tiny tier for unit tests.
+    pub fn test_tiny() -> Self {
+        BurstBufferSpec {
+            capacity_per_node: 64.0 * 1024.0 * 1024.0,
+            ingest_bw_per_node: 1.0 * GIB,
+            drain_bw: 0.5 * GIB,
+        }
+    }
+}
+
+/// Mutable drain state threaded through one run.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstBufferState {
+    /// Bytes currently occupied across all nodes.
+    pub occupied: f64,
+}
+
+impl BurstBufferState {
+    /// Empty buffer.
+    pub fn empty() -> Self {
+        BurstBufferState { occupied: 0.0 }
+    }
+
+    /// Absorb a write phase: returns `(absorbed_bytes, absorb_time_s)`.
+    /// Bytes beyond free capacity must take the PFS path.
+    pub fn absorb(
+        &mut self,
+        spec: &BurstBufferSpec,
+        nodes: u32,
+        bytes: f64,
+    ) -> (f64, f64) {
+        let total_capacity = spec.capacity_per_node * nodes as f64;
+        let free = (total_capacity - self.occupied).max(0.0);
+        let absorbed = bytes.min(free);
+        self.occupied += absorbed;
+        let time = if absorbed > 0.0 {
+            absorbed / (spec.ingest_bw_per_node * nodes as f64)
+        } else {
+            0.0
+        };
+        (absorbed, time)
+    }
+
+    /// Drain during `seconds` of compute time.
+    pub fn drain(&mut self, spec: &BurstBufferSpec, seconds: f64) {
+        self.occupied = (self.occupied - spec.drain_bw * seconds).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorbs_until_capacity() {
+        let spec = BurstBufferSpec::test_tiny();
+        let mut state = BurstBufferState::empty();
+        let cap = spec.capacity_per_node * 2.0; // 2 nodes
+        let (a1, t1) = state.absorb(&spec, 2, cap * 0.75);
+        assert_eq!(a1, cap * 0.75);
+        assert!(t1 > 0.0);
+        // Second write only partially fits.
+        let (a2, _) = state.absorb(&spec, 2, cap * 0.5);
+        assert!((a2 - cap * 0.25).abs() < 1.0);
+        // Third write: full.
+        let (a3, t3) = state.absorb(&spec, 2, 1e6);
+        assert_eq!(a3, 0.0);
+        assert_eq!(t3, 0.0);
+    }
+
+    #[test]
+    fn drains_during_compute() {
+        let spec = BurstBufferSpec::test_tiny();
+        let mut state = BurstBufferState::empty();
+        state.absorb(&spec, 1, spec.capacity_per_node);
+        state.drain(&spec, 0.05);
+        assert!(state.occupied < spec.capacity_per_node);
+        state.drain(&spec, 1e9);
+        assert_eq!(state.occupied, 0.0);
+    }
+
+    #[test]
+    fn ingest_time_scales_with_nodes() {
+        let spec = BurstBufferSpec::datawarp_like();
+        let mut a = BurstBufferState::empty();
+        let mut b = BurstBufferState::empty();
+        let bytes = 10.0 * GIB;
+        let (_, t1) = a.absorb(&spec, 1, bytes);
+        let (_, t4) = b.absorb(&spec, 4, bytes);
+        assert!((t1 / t4 - 4.0).abs() < 1e-9);
+    }
+}

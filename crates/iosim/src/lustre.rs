@@ -1,0 +1,214 @@
+//! Lustre-like parallel-file-system model.
+//!
+//! The model captures the striping behaviour that the paper's Lustre
+//! parameters control: a file is striped round-robin in `striping_unit`
+//! chunks over `striping_factor` object storage targets (OSTs). Bandwidth
+//! grows with the number of OSTs engaged until either the client network or
+//! writer/OST contention becomes the bottleneck; small or misaligned
+//! file-system requests pay per-request overhead and stripe-crossing
+//! penalties. A single metadata server (MDS) serves metadata operations.
+
+use serde::{Deserialize, Serialize};
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Static description of the simulated parallel file system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LustreSpec {
+    /// Number of object storage targets.
+    pub n_osts: u32,
+    /// Peak streaming bandwidth of one OST, bytes/s.
+    pub ost_bw: f64,
+    /// Fixed service overhead per file-system request, seconds.
+    pub request_overhead: f64,
+    /// Metadata operations the MDS can service per second.
+    pub mds_ops_per_s: f64,
+    /// Fraction of peak an OST retains under heavily non-sequential load.
+    pub seek_floor: f64,
+}
+
+impl LustreSpec {
+    /// Cori-scratch-like system: 248 OSTs, ~700 GB/s aggregate.
+    pub fn cori_scratch() -> Self {
+        LustreSpec {
+            n_osts: 248,
+            ost_bw: 2.85 * GIB,
+            request_overhead: 0.5e-3,
+            mds_ops_per_s: 40_000.0,
+            seek_floor: 0.30,
+        }
+    }
+
+    /// A small system for fast unit tests.
+    pub fn test_small() -> Self {
+        LustreSpec {
+            n_osts: 8,
+            ost_bw: 1.0 * GIB,
+            request_overhead: 1.0e-3,
+            mds_ops_per_s: 10_000.0,
+            seek_floor: 0.2,
+        }
+    }
+
+    /// Aggregate streaming bandwidth of all OSTs, bytes/s.
+    pub fn aggregate_bw(&self) -> f64 {
+        self.ost_bw * self.n_osts as f64
+    }
+
+    /// Effective number of OSTs engaged by a file striped `stripe_count`
+    /// wide.
+    pub fn osts_used(&self, stripe_count: u32) -> u32 {
+        stripe_count.clamp(1, self.n_osts)
+    }
+
+    /// Efficiency factor in `(0, 1]` for `writers` concurrent client streams
+    /// hitting `osts` OSTs.
+    ///
+    /// One stream per OST is ideal. Over-subscription interleaves streams on
+    /// the same OST, degrading towards `seek_floor` (disk-arm/NVMe-queue
+    /// thrash); extreme under-subscription wastes targets but is handled by
+    /// the caller via `osts_used`.
+    pub fn contention_efficiency(&self, writers: u64, osts: u32) -> f64 {
+        let w = writers.max(1) as f64;
+        let o = osts.max(1) as f64;
+        let per_ost = w / o;
+        if per_ost <= 1.0 {
+            1.0
+        } else {
+            // Smooth decay: 2 streams/OST ≈ 0.78, 8 ≈ 0.45, 32 ≈ 0.27.
+            let eff = 1.0 / (1.0 + 0.28 * (per_ost - 1.0).powf(0.75));
+            eff.max(self.seek_floor)
+        }
+    }
+
+    /// Fraction of raw bandwidth retained by requests of `request_size`
+    /// bytes against `stripe_unit`-byte stripes with client-side alignment
+    /// boundary `alignment` (1 = unaligned).
+    ///
+    /// Requests that start on a stripe boundary and fill whole stripes are
+    /// served at full speed. Unaligned requests straddle stripe boundaries,
+    /// touching an extra OST and splitting the transfer.
+    pub fn alignment_efficiency(&self, request_size: f64, stripe_unit: u64, alignment: u64) -> f64 {
+        let unit = stripe_unit.max(1) as f64;
+        let aligned = alignment > 1 && (alignment.is_multiple_of(stripe_unit) || stripe_unit.is_multiple_of(alignment));
+        // Probability a request crosses a stripe boundary.
+        let crossing = if request_size >= unit {
+            1.0
+        } else {
+            (request_size / unit).min(1.0)
+        };
+        if aligned {
+            // Boundary-aligned requests split cleanly across stripes.
+            1.0
+        } else {
+            // Each boundary crossing costs a split request and partial-stripe
+            // traffic on two OSTs.
+            1.0 - 0.35 * crossing
+        }
+    }
+
+    /// Time to service `requests` file-system requests totalling `bytes`
+    /// across `osts` OSTs with `streams` concurrent client streams, given a
+    /// combined efficiency factor.
+    pub fn transfer_time(
+        &self,
+        bytes: f64,
+        requests: f64,
+        osts: u32,
+        streams: u64,
+        efficiency: f64,
+    ) -> f64 {
+        let osts = osts.max(1);
+        let raw_bw = self.ost_bw * osts as f64;
+        let eff = efficiency.clamp(0.01, 1.0) * self.contention_efficiency(streams, osts);
+        let stream_time = bytes / (raw_bw * eff);
+        // Request overheads pipeline across OSTs (each keeps a few requests
+        // in flight) and concurrent client streams.
+        let parallelism = (osts as f64 * 4.0).min(streams.max(1) as f64).max(1.0);
+        let overhead_time = requests * self.request_overhead / parallelism;
+        stream_time + overhead_time
+    }
+
+    /// Time for `ops` metadata operations at concurrency `clients`, scaled
+    /// by a configuration-dependent cost factor.
+    pub fn metadata_time(&self, ops: f64, clients: u64, cost_factor: f64) -> f64 {
+        // The MDS serializes; many clients queuing adds a mild penalty.
+        let queue_penalty = 1.0 + (clients.max(1) as f64).log2() * 0.08;
+        ops * cost_factor * queue_penalty / self.mds_ops_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_bw_near_700_gbs() {
+        let fs = LustreSpec::cori_scratch();
+        let agg = fs.aggregate_bw() / GIB;
+        assert!((650.0..750.0).contains(&agg), "aggregate {agg} GiB/s");
+    }
+
+    #[test]
+    fn more_stripes_engage_more_osts_up_to_total() {
+        let fs = LustreSpec::test_small();
+        assert_eq!(fs.osts_used(1), 1);
+        assert_eq!(fs.osts_used(4), 4);
+        assert_eq!(fs.osts_used(100), fs.n_osts);
+    }
+
+    #[test]
+    fn contention_degrades_with_oversubscription() {
+        let fs = LustreSpec::test_small();
+        let one = fs.contention_efficiency(8, 8);
+        let two = fs.contention_efficiency(16, 8);
+        let many = fs.contention_efficiency(256, 8);
+        assert_eq!(one, 1.0);
+        assert!(two < one);
+        assert!(many < two);
+        assert!(many >= fs.seek_floor);
+    }
+
+    #[test]
+    fn aligned_requests_are_full_speed() {
+        let fs = LustreSpec::test_small();
+        let mib = 1024.0 * 1024.0;
+        let aligned = fs.alignment_efficiency(8.0 * mib, 1 << 20, 1 << 20);
+        let unaligned = fs.alignment_efficiency(8.0 * mib, 1 << 20, 1);
+        assert_eq!(aligned, 1.0);
+        assert!(unaligned < aligned);
+    }
+
+    #[test]
+    fn small_requests_cross_boundaries_less_often() {
+        let fs = LustreSpec::test_small();
+        let tiny = fs.alignment_efficiency(4096.0, 1 << 20, 1);
+        let large = fs.alignment_efficiency(4.0 * 1024.0 * 1024.0, 1 << 20, 1);
+        assert!(tiny > large, "tiny requests rarely straddle stripes");
+    }
+
+    #[test]
+    fn transfer_time_decreases_with_more_osts() {
+        let fs = LustreSpec::test_small();
+        let gb = 1e9;
+        let t1 = fs.transfer_time(gb, 100.0, 1, 1, 1.0);
+        let t4 = fs.transfer_time(gb, 100.0, 4, 4, 1.0);
+        assert!(t4 < t1 / 2.0);
+    }
+
+    #[test]
+    fn request_overhead_dominates_for_many_small_requests() {
+        let fs = LustreSpec::test_small();
+        let small_many = fs.transfer_time(1e6, 1e5, 4, 4, 1.0);
+        let big_few = fs.transfer_time(1e6, 10.0, 4, 4, 1.0);
+        assert!(small_many > 10.0 * big_few);
+    }
+
+    #[test]
+    fn metadata_time_scales_with_cost_factor() {
+        let fs = LustreSpec::test_small();
+        let base = fs.metadata_time(1000.0, 64, 1.0);
+        let cheap = fs.metadata_time(1000.0, 64, 0.5);
+        assert!((cheap - base / 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,200 @@
+//! MPI-IO-like middleware layer: independent vs. two-phase collective I/O.
+//!
+//! With `collective_io` disabled every process issues its library-level
+//! requests straight to the file system — cheap for large contiguous
+//! streams, disastrous for finely interleaved ones. With it enabled the
+//! middleware runs two-phase I/O: data is shuffled over the network to
+//! `cb_nodes` aggregators which then issue `cb_buffer_size`-sized,
+//! well-formed requests. The shuffle costs network time, so collective I/O
+//! only wins when it removes enough file-system badness — exactly the
+//! trade-off the tuner must learn.
+
+use crate::cluster::ClusterSpec;
+use crate::hdf5::LibraryTraffic;
+use crate::request::IoPhase;
+use tunio_params::StackConfig;
+
+/// What the file system finally sees for one phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FsWorkload {
+    /// Total bytes crossing the storage network.
+    pub total_bytes: f64,
+    /// Total file-system requests.
+    pub fs_requests: f64,
+    /// Average file-system request size in bytes.
+    pub request_size: f64,
+    /// Concurrent client streams hitting the file system.
+    pub streams: u64,
+    /// Network shuffle time paid before/after storage access, seconds.
+    pub shuffle_time: f64,
+    /// Residual irregularity presented to the PFS in `[0, 1]`.
+    pub irregularity: f64,
+    /// Whether two-phase collective aggregation was actually used.
+    pub aggregated: bool,
+}
+
+/// Run the middleware layer for one phase.
+pub fn middleware(
+    phase: &IoPhase,
+    traffic: &LibraryTraffic,
+    cfg: &StackConfig,
+    cluster: &ClusterSpec,
+) -> FsWorkload {
+    let procs = cluster.procs as f64;
+    let total_bytes = traffic.per_proc_bytes * procs;
+    let total_ops = traffic.ops_per_proc * procs;
+    let irregularity = phase.pattern.irregularity();
+
+    let use_collective = cfg.collective_io && phase.collective_capable;
+    if !use_collective {
+        // Low-level STDIO buffering (§II-A's low-level library layer):
+        // tiny sequential writes from non-collective streams (logging via
+        // printf/fprintf) coalesce client-side into libc buffer blocks
+        // before reaching the file system.
+        const STDIO_BUF: f64 = 1024.0 * 1024.0;
+        const STDIO_THRESHOLD: f64 = 64.0 * 1024.0;
+        let avg_op = total_bytes / total_ops.max(1.0);
+        let fs_requests = if !phase.collective_capable && avg_op < STDIO_THRESHOLD {
+            (total_bytes / STDIO_BUF).max(procs)
+        } else {
+            total_ops.max(1.0)
+        };
+        return FsWorkload {
+            total_bytes,
+            fs_requests,
+            request_size: total_bytes / fs_requests,
+            streams: cluster.procs as u64,
+            shuffle_time: 0.0,
+            irregularity,
+            aggregated: false,
+        };
+    }
+
+    // Two-phase collective I/O.
+    let aggregators = (cfg.cb_nodes.min(cluster.nodes).max(1)) as f64;
+
+    // Phase 1: shuffle. Each aggregator owns a contiguous file region whose
+    // data is scattered across every node, so only ~1/nodes of the bytes are
+    // already resident on the right node.
+    let resident_fraction = 1.0 / cluster.nodes as f64;
+    let shuffled_bytes = total_bytes * (1.0 - resident_fraction.min(1.0));
+    let ingest_bw = (aggregators * cluster.node_network_bw).min(cluster.bisection_bw);
+    let shuffle_time = if shuffled_bytes > 0.0 {
+        shuffled_bytes / ingest_bw + cluster.network_latency * (procs / aggregators).log2().max(1.0)
+    } else {
+        0.0
+    };
+
+    // Phase 2: aggregators flush cb_buffer_size-sized requests. Aggregation
+    // linearizes interleaved data, removing most irregularity.
+    let request_size = (cfg.cb_buffer_size as f64).min(total_bytes.max(1.0));
+    let fs_requests = (total_bytes / request_size).max(1.0);
+
+    FsWorkload {
+        total_bytes,
+        fs_requests,
+        request_size,
+        streams: aggregators as u64,
+        shuffle_time,
+        irregularity: irregularity * 0.08,
+        aggregated: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{AccessPattern, IoKind};
+    use tunio_params::{ParameterSpace, StackConfig};
+
+    const MIB: u64 = 1024 * 1024;
+
+    fn cfg() -> StackConfig {
+        StackConfig::defaults(&ParameterSpace::tunio_default())
+    }
+
+    fn strided_phase() -> IoPhase {
+        IoPhase {
+            dataset: "particles".into(),
+            kind: IoKind::Write,
+            per_proc_bytes: 256 * MIB,
+            ops_per_proc: 4096,
+            pattern: AccessPattern::Strided { record: 64 * 1024 },
+            meta_ops: 4,
+            collective_capable: true,
+            chunk_reuse_bytes: 0,
+            pre_striped: 0,
+        }
+    }
+
+    fn traffic(p: &IoPhase) -> LibraryTraffic {
+        LibraryTraffic {
+            per_proc_bytes: p.per_proc_bytes as f64,
+            ops_per_proc: p.ops_per_proc as f64,
+            amplification: 1.0,
+        }
+    }
+
+    #[test]
+    fn independent_passes_requests_through() {
+        let p = strided_phase();
+        let cluster = ClusterSpec::cori_4node();
+        let fs = middleware(&p, &traffic(&p), &cfg(), &cluster);
+        assert!(!fs.aggregated);
+        assert_eq!(fs.streams, 128);
+        assert_eq!(fs.shuffle_time, 0.0);
+        assert_eq!(fs.fs_requests, 4096.0 * 128.0);
+    }
+
+    #[test]
+    fn collective_reduces_requests_and_irregularity() {
+        let p = strided_phase();
+        let cluster = ClusterSpec::cori_4node();
+        let mut c = cfg();
+        c.collective_io = true;
+        c.cb_nodes = 4;
+        c.cb_buffer_size = 64 * MIB;
+        let fs = middleware(&p, &traffic(&p), &c, &cluster);
+        assert!(fs.aggregated);
+        assert_eq!(fs.streams, 4);
+        assert!(fs.shuffle_time > 0.0);
+        assert!(fs.fs_requests < 1000.0);
+        assert!(fs.irregularity < p.pattern.irregularity() / 2.0);
+    }
+
+    #[test]
+    fn collective_respects_node_cap() {
+        let p = strided_phase();
+        let cluster = ClusterSpec::cori_4node();
+        let mut c = cfg();
+        c.collective_io = true;
+        c.cb_nodes = 256; // more than the 4 nodes available
+        let fs = middleware(&p, &traffic(&p), &c, &cluster);
+        assert_eq!(fs.streams, 4);
+    }
+
+    #[test]
+    fn non_collective_capable_phase_never_aggregates() {
+        let mut p = strided_phase();
+        p.collective_capable = false;
+        let cluster = ClusterSpec::cori_4node();
+        let mut c = cfg();
+        c.collective_io = true;
+        let fs = middleware(&p, &traffic(&p), &c, &cluster);
+        assert!(!fs.aggregated);
+    }
+
+    #[test]
+    fn more_aggregators_shrink_shuffle_time() {
+        let p = strided_phase();
+        let cluster = ClusterSpec::cori_500node();
+        let mut c = cfg();
+        c.collective_io = true;
+        c.cb_buffer_size = 64 * MIB;
+        c.cb_nodes = 4;
+        let few = middleware(&p, &traffic(&p), &c, &cluster);
+        c.cb_nodes = 128;
+        let many = middleware(&p, &traffic(&p), &c, &cluster);
+        assert!(many.shuffle_time < few.shuffle_time);
+    }
+}

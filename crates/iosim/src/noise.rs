@@ -1,0 +1,122 @@
+//! Deterministic run-to-run noise, emulating platform volatility.
+//!
+//! Cori is a shared machine; the paper mitigates volatility by averaging
+//! three runs. We reproduce that with a *deterministic* noise source: a
+//! multiplier derived by hashing (seed, config fingerprint, run index), so
+//! experiments are bit-reproducible while still exercising the averaging
+//! machinery and the tuner's robustness to noisy objectives.
+
+/// Deterministic noise generator.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseModel {
+    /// Base seed mixed into every draw.
+    pub seed: u64,
+    /// Relative noise amplitude (e.g. 0.05 = ±~5% typical deviation).
+    pub amplitude: f64,
+}
+
+impl NoiseModel {
+    /// Noise with the default ~8% amplitude of a busy shared Lustre.
+    pub fn new(seed: u64) -> Self {
+        NoiseModel {
+            seed,
+            amplitude: 0.08,
+        }
+    }
+
+    /// Noise-free model (for calibration tests).
+    pub fn disabled() -> Self {
+        NoiseModel {
+            seed: 0,
+            amplitude: 0.0,
+        }
+    }
+
+    /// Multiplier ≥ 0.5 applied to a run's elapsed time, derived from the
+    /// configuration fingerprint and run index. Mean ≈ 1.0.
+    pub fn time_multiplier(&self, config_fingerprint: u64, run_idx: u32) -> f64 {
+        if self.amplitude == 0.0 {
+            return 1.0;
+        }
+        let h = splitmix64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(config_fingerprint)
+                .wrapping_add(run_idx as u64),
+        );
+        // Map to roughly N(0,1) via sum of uniforms (Irwin–Hall with n=4).
+        let mut acc = 0.0;
+        let mut x = h;
+        for _ in 0..4 {
+            x = splitmix64(x);
+            acc += (x >> 11) as f64 / (1u64 << 53) as f64;
+        }
+        let z = (acc - 2.0) / (4.0f64 / 12.0).sqrt(); // standardized
+        (1.0 + self.amplitude * z).max(0.5)
+    }
+}
+
+/// SplitMix64 hash step — small, fast, well-distributed.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stable fingerprint of a configuration's genes for noise derivation.
+pub fn fingerprint(genes: &[usize]) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for &g in genes {
+        acc = splitmix64(acc ^ g as u64);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_inputs() {
+        let n = NoiseModel::new(42);
+        assert_eq!(n.time_multiplier(7, 0), n.time_multiplier(7, 0));
+        assert_ne!(n.time_multiplier(7, 0), n.time_multiplier(7, 1));
+        assert_ne!(n.time_multiplier(7, 0), n.time_multiplier(8, 0));
+    }
+
+    #[test]
+    fn disabled_noise_is_unity() {
+        let n = NoiseModel::disabled();
+        assert_eq!(n.time_multiplier(123, 5), 1.0);
+    }
+
+    #[test]
+    fn multipliers_center_near_one() {
+        let n = NoiseModel::new(1);
+        let mean: f64 = (0..1000)
+            .map(|i| n.time_multiplier(99, i))
+            .sum::<f64>()
+            / 1000.0;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn multipliers_bounded_below() {
+        let n = NoiseModel {
+            seed: 3,
+            amplitude: 0.5,
+        };
+        for i in 0..1000 {
+            assert!(n.time_multiplier(5, i) >= 0.5);
+        }
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_genes() {
+        assert_ne!(fingerprint(&[0, 1, 2]), fingerprint(&[0, 1, 3]));
+        assert_ne!(fingerprint(&[0, 1]), fingerprint(&[1, 0]));
+        assert_eq!(fingerprint(&[4, 5]), fingerprint(&[4, 5]));
+    }
+}

@@ -1,0 +1,171 @@
+//! Run reports: what a simulated execution observed.
+//!
+//! A [`RunReport`] plays the role Darshan plays in the paper's pipeline —
+//! it records bytes moved, operation counts and timings, from which the
+//! tuning objective `perf = (1-α)·BW_r + α·BW_w` is derived (§III-C).
+
+use serde::{Deserialize, Serialize};
+
+/// Observables from one simulated application run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Total simulated wall time, seconds (compute + I/O + metadata).
+    pub elapsed_s: f64,
+    /// Time spent in raw-data I/O, seconds.
+    pub io_time_s: f64,
+    /// Time spent in metadata operations, seconds.
+    pub meta_time_s: f64,
+    /// Time spent in compute phases, seconds.
+    pub compute_time_s: f64,
+    /// Total bytes written across all processes.
+    pub bytes_written: f64,
+    /// Total bytes read across all processes.
+    pub bytes_read: f64,
+    /// Library-level write calls across all processes.
+    pub write_ops: f64,
+    /// Library-level read calls across all processes.
+    pub read_ops: f64,
+}
+
+impl RunReport {
+    /// Aggregate write bandwidth in bytes/s over time spent doing I/O
+    /// (0 when the run wrote nothing).
+    pub fn write_bw(&self) -> f64 {
+        let t = self.write_io_time();
+        if t > 0.0 {
+            self.bytes_written / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Aggregate read bandwidth in bytes/s (0 when the run read nothing).
+    pub fn read_bw(&self) -> f64 {
+        let t = self.read_io_time();
+        if t > 0.0 {
+            self.bytes_read / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of total data volume that was written — the α of the
+    /// paper's objective.
+    pub fn alpha(&self) -> f64 {
+        let total = self.bytes_written + self.bytes_read;
+        if total > 0.0 {
+            self.bytes_written / total
+        } else {
+            0.0
+        }
+    }
+
+    /// The paper's objective: `perf = (1-α)·BW_r + α·BW_w`, in bytes/s.
+    pub fn perf(&self) -> f64 {
+        let a = self.alpha();
+        (1.0 - a) * self.read_bw() + a * self.write_bw()
+    }
+
+    /// I/O time attributed to writes (proportional to write share of bytes).
+    fn write_io_time(&self) -> f64 {
+        self.io_time_s * self.alpha()
+    }
+
+    /// I/O time attributed to reads.
+    fn read_io_time(&self) -> f64 {
+        self.io_time_s * (1.0 - self.alpha())
+    }
+
+    /// Merge per-phase contributions into `self`.
+    pub fn absorb(&mut self, other: &RunReport) {
+        self.elapsed_s += other.elapsed_s;
+        self.io_time_s += other.io_time_s;
+        self.meta_time_s += other.meta_time_s;
+        self.compute_time_s += other.compute_time_s;
+        self.bytes_written += other.bytes_written;
+        self.bytes_read += other.bytes_read;
+        self.write_ops += other.write_ops;
+        self.read_ops += other.read_ops;
+    }
+
+    /// Average several runs of the same workload (the paper averages three
+    /// runs per configuration to mitigate volatility).
+    pub fn average(reports: &[RunReport]) -> RunReport {
+        let n = reports.len().max(1) as f64;
+        let mut acc = RunReport::default();
+        for r in reports {
+            acc.absorb(r);
+        }
+        RunReport {
+            elapsed_s: acc.elapsed_s / n,
+            io_time_s: acc.io_time_s / n,
+            meta_time_s: acc.meta_time_s / n,
+            compute_time_s: acc.compute_time_s / n,
+            bytes_written: acc.bytes_written / n,
+            bytes_read: acc.bytes_read / n,
+            write_ops: acc.write_ops / n,
+            read_ops: acc.read_ops / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_only() -> RunReport {
+        RunReport {
+            elapsed_s: 10.0,
+            io_time_s: 5.0,
+            bytes_written: 50e9,
+            write_ops: 100.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn write_only_perf_equals_write_bw() {
+        let r = write_only();
+        assert_eq!(r.alpha(), 1.0);
+        assert!((r.perf() - 10e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_report_is_zero_perf() {
+        let r = RunReport::default();
+        assert_eq!(r.perf(), 0.0);
+        assert_eq!(r.alpha(), 0.0);
+    }
+
+    #[test]
+    fn mixed_perf_weights_by_alpha() {
+        let r = RunReport {
+            elapsed_s: 10.0,
+            io_time_s: 4.0,
+            bytes_written: 30e9,
+            bytes_read: 10e9,
+            write_ops: 10.0,
+            read_ops: 10.0,
+            ..Default::default()
+        };
+        // α = 0.75; write time = 3 s → BW_w = 10e9; read time = 1 s → BW_r = 10e9.
+        assert!((r.alpha() - 0.75).abs() < 1e-12);
+        assert!((r.perf() - 10e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn average_of_identical_runs_is_identity() {
+        let r = write_only();
+        let avg = RunReport::average(&[r, r, r]);
+        assert!((avg.elapsed_s - r.elapsed_s).abs() < 1e-12);
+        assert!((avg.perf() - r.perf()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = write_only();
+        a.absorb(&write_only());
+        assert_eq!(a.bytes_written, 100e9);
+        assert_eq!(a.elapsed_s, 20.0);
+    }
+}

@@ -1,0 +1,575 @@
+//! The simulator: executes a workload under a configuration.
+
+use crate::burst::{BurstBufferSpec, BurstBufferState};
+use crate::cluster::ClusterSpec;
+use crate::hdf5;
+use crate::lustre::LustreSpec;
+use crate::mpiio;
+use crate::noise::{fingerprint, NoiseModel};
+use crate::report::RunReport;
+use crate::request::{IoKind, Phase};
+use tunio_params::{Configuration, ParameterSpace, StackConfig};
+
+/// Simulated I/O stack: cluster + file system + noise.
+///
+/// `run` evaluates a workload under a [`StackConfig`] and returns a
+/// [`RunReport`]. `run_averaged` mirrors the paper's methodology of
+/// averaging three runs per configuration.
+///
+/// ```
+/// use tunio_iosim::{Phase, Simulator};
+/// use tunio_params::{ParameterSpace, StackConfig};
+/// let sim = Simulator::cori_4node(1);
+/// let space = ParameterSpace::tunio_default();
+/// let report = sim.run(&[Phase::compute(5.0)], &StackConfig::defaults(&space), 0);
+/// assert_eq!(report.elapsed_s, 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    /// Compute-side machine description.
+    pub cluster: ClusterSpec,
+    /// Storage-side machine description.
+    pub fs: LustreSpec,
+    /// Deterministic volatility model.
+    pub noise: NoiseModel,
+    /// Optional node-local burst-buffer tier absorbing writes.
+    pub burst: Option<BurstBufferSpec>,
+}
+
+impl Simulator {
+    /// Simulator for the paper's 4-node component-evaluation scale.
+    pub fn cori_4node(seed: u64) -> Self {
+        Simulator {
+            cluster: ClusterSpec::cori_4node(),
+            fs: LustreSpec::cori_scratch(),
+            noise: NoiseModel::new(seed),
+            burst: None,
+        }
+    }
+
+    /// Simulator for the paper's 500-node end-to-end scale.
+    pub fn cori_500node(seed: u64) -> Self {
+        Simulator {
+            cluster: ClusterSpec::cori_500node(),
+            fs: LustreSpec::cori_scratch(),
+            noise: NoiseModel::new(seed),
+            burst: None,
+        }
+    }
+
+    /// Tiny noiseless simulator for unit tests.
+    pub fn test_tiny() -> Self {
+        Simulator {
+            cluster: ClusterSpec::test_tiny(),
+            fs: LustreSpec::test_small(),
+            noise: NoiseModel::disabled(),
+            burst: None,
+        }
+    }
+
+    /// Enable a burst-buffer tier (builder style).
+    pub fn with_burst_buffer(mut self, spec: BurstBufferSpec) -> Self {
+        self.burst = Some(spec);
+        self
+    }
+
+    /// Execute `phases` once under `cfg`; `run_idx` selects the noise draw.
+    pub fn run(&self, phases: &[Phase], cfg: &StackConfig, run_idx: u32) -> RunReport {
+        let mut report = RunReport::default();
+        let mut bb_state = BurstBufferState::empty();
+        for phase in phases {
+            match phase {
+                Phase::Compute { seconds } => {
+                    report.compute_time_s += seconds;
+                    report.elapsed_s += seconds;
+                    if let Some(bb) = &self.burst {
+                        bb_state.drain(bb, *seconds);
+                    }
+                }
+                Phase::Io(io) => {
+                    let mut contribution = self.run_io_phase(io, cfg);
+                    // A burst buffer absorbs writes at memory-class speed;
+                    // only the spill-over pays the PFS path. The absorbed
+                    // data drains during subsequent compute phases.
+                    if let (Some(bb), IoKind::Write) = (&self.burst, io.kind) {
+                        let total = contribution.bytes_written.max(1.0);
+                        let (absorbed, absorb_time) =
+                            bb_state.absorb(bb, self.cluster.nodes, total);
+                        let spill_fraction = 1.0 - absorbed / total;
+                        contribution.io_time_s =
+                            absorb_time + contribution.io_time_s * spill_fraction;
+                        contribution.elapsed_s =
+                            contribution.io_time_s + contribution.meta_time_s;
+                    }
+                    report.absorb(&contribution);
+                }
+            }
+        }
+        // Platform volatility perturbs the I/O portion of the run.
+        let fp = fingerprint_of(cfg);
+        let mult = self.noise.time_multiplier(fp, run_idx);
+        report.io_time_s *= mult;
+        report.meta_time_s *= mult;
+        report.elapsed_s =
+            report.compute_time_s + report.io_time_s + report.meta_time_s;
+        report
+    }
+
+    /// Run once for a genome in `space` (resolves then calls [`Self::run`]).
+    pub fn run_config(
+        &self,
+        phases: &[Phase],
+        space: &ParameterSpace,
+        config: &Configuration,
+        run_idx: u32,
+    ) -> RunReport {
+        self.run(phases, &config.resolve(space), run_idx)
+    }
+
+    /// The paper's methodology: run `repeats` times, average the reports.
+    /// Tuning *cost* should count only one run's elapsed time (§IV:
+    /// "the time cost of running the application is not accumulated across
+    /// runs"), which callers obtain from the averaged `elapsed_s`.
+    pub fn run_averaged(&self, phases: &[Phase], cfg: &StackConfig, repeats: u32) -> RunReport {
+        let runs: Vec<RunReport> = (0..repeats.max(1))
+            .map(|i| self.run(phases, cfg, i))
+            .collect();
+        RunReport::average(&runs)
+    }
+
+    /// Simulate one bulk-I/O phase.
+    fn run_io_phase(&self, io: &crate::request::IoPhase, cfg: &StackConfig) -> RunReport {
+        // Layer 1: HDF5-like library transforms the request stream.
+        let traffic = hdf5::raw_data_traffic(io, cfg);
+        let meta = hdf5::metadata_traffic(io, cfg, self.cluster.procs);
+
+        // Layer 2: MPI-IO-like middleware decides what the FS sees.
+        let fs_load = mpiio::middleware(io, &traffic, cfg, &self.cluster);
+
+        // Layer 3: Lustre-like PFS services the requests. Reads of
+        // pre-existing datasets are served by the input's own layout when
+        // it is wider than the configured striping.
+        let stripe_count = match io.kind {
+            IoKind::Read => cfg.striping_factor.max(io.pre_striped),
+            IoKind::Write => cfg.striping_factor,
+        };
+        let osts = self.fs.osts_used(stripe_count);
+        let align_eff =
+            self.fs
+                .alignment_efficiency(fs_load.request_size, cfg.striping_unit, cfg.alignment);
+        // Irregular request streams defeat OST readahead/write-behind.
+        let pattern_eff = 1.0 - 0.72 * fs_load.irregularity;
+        let efficiency = align_eff * pattern_eff;
+
+        let storage_time = self.fs.transfer_time(
+            fs_load.total_bytes,
+            fs_load.fs_requests,
+            osts,
+            fs_load.streams,
+            efficiency,
+        );
+
+        // Clients can not push bytes faster than their network injection —
+        // and irregular, fine-grained request streams cannot keep the wire
+        // full (extent-lock ping-pong and per-RPC client overhead), which
+        // is exactly the badness two-phase collective buffering removes.
+        let sender_nodes = if fs_load.aggregated {
+            (fs_load.streams as f64).min(self.cluster.nodes as f64)
+        } else {
+            self.cluster.nodes as f64
+        };
+        let client_eff = (1.0 - fs_load.irregularity).powf(3.0).clamp(0.05, 1.0);
+        let network_floor =
+            fs_load.total_bytes / (sender_nodes * self.cluster.node_network_bw * client_eff);
+
+        let meta_time = self
+            .fs
+            .metadata_time(meta.total_ops, meta.clients, meta.cost_factor);
+
+        let io_time = storage_time.max(network_floor) + fs_load.shuffle_time;
+
+        let total_bytes = traffic.per_proc_bytes * self.cluster.procs as f64;
+        let total_ops = traffic.ops_per_proc * self.cluster.procs as f64;
+        let (bw, br, ow, or) = match io.kind {
+            IoKind::Write => (total_bytes, 0.0, total_ops, 0.0),
+            IoKind::Read => (0.0, total_bytes, 0.0, total_ops),
+        };
+        RunReport {
+            elapsed_s: io_time + meta_time,
+            io_time_s: io_time,
+            meta_time_s: meta_time,
+            compute_time_s: 0.0,
+            bytes_written: bw,
+            bytes_read: br,
+            write_ops: ow,
+            read_ops: or,
+        }
+    }
+}
+
+/// Noise fingerprint of a resolved configuration.
+fn fingerprint_of(cfg: &StackConfig) -> u64 {
+    fingerprint(&[
+        cfg.sieve_buf_size as usize,
+        cfg.chunk_cache as usize,
+        cfg.alignment as usize,
+        cfg.meta_block_size as usize,
+        cfg.coll_meta_ops as usize,
+        cfg.mdc_config.metadata_cost_factor().to_bits() as usize,
+        cfg.coll_metadata_write as usize,
+        cfg.striping_factor as usize,
+        cfg.striping_unit as usize,
+        cfg.cb_nodes as usize,
+        cfg.cb_buffer_size as usize,
+        cfg.collective_io as usize,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{AccessPattern, IoPhase};
+    use tunio_params::ParamId;
+
+    const MIB: u64 = 1024 * 1024;
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+    fn space() -> ParameterSpace {
+        ParameterSpace::tunio_default()
+    }
+
+    /// A HACC-like checkpoint: interleaved particle records, write-heavy.
+    fn checkpoint_phases() -> Vec<Phase> {
+        vec![
+            Phase::compute(5.0),
+            Phase::Io(IoPhase {
+                dataset: "checkpoint".into(),
+                kind: IoKind::Write,
+                per_proc_bytes: 256 * MIB,
+                ops_per_proc: 2048,
+                pattern: AccessPattern::Strided { record: 128 * 1024 },
+                meta_ops: 16,
+                collective_capable: true,
+                chunk_reuse_bytes: 0,
+                pre_striped: 0,
+            }),
+        ]
+    }
+
+    fn tuned_config(space: &ParameterSpace) -> Configuration {
+        let mut c = space.default_config();
+        c.set_gene(ParamId::CollectiveIo, 1);
+        c.set_gene(ParamId::CbNodes, 2); // 4 aggregators
+        c.set_gene(ParamId::CbBufferSize, 6); // 64 MiB
+        c.set_gene(ParamId::StripingFactor, 9); // 64 OSTs
+        c.set_gene(ParamId::StripingUnit, 5); // 8 MiB
+        c.set_gene(ParamId::Alignment, 5); // 4 MiB
+        c
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let sim = Simulator::cori_4node(11);
+        let s = space();
+        let cfg = StackConfig::defaults(&s);
+        let a = sim.run(&checkpoint_phases(), &cfg, 0);
+        let b = sim.run(&checkpoint_phases(), &cfg, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tuned_config_beats_defaults_substantially() {
+        // The paper reports ~4x improvement for HACC after tuning (§IV-C).
+        let sim = Simulator::cori_4node(11);
+        let s = space();
+        let default = sim.run_averaged(
+            &checkpoint_phases(),
+            &StackConfig::defaults(&s),
+            3,
+        );
+        let tuned = sim.run_averaged(
+            &checkpoint_phases(),
+            &tuned_config(&s).resolve(&s),
+            3,
+        );
+        let gain = tuned.perf() / default.perf();
+        assert!(gain > 2.5, "tuning gain only {gain:.2}x");
+        assert!(gain < 30.0, "tuning gain implausibly large: {gain:.2}x");
+    }
+
+    #[test]
+    fn four_node_bandwidth_in_paper_ballpark() {
+        // Tuned HACC on 4 nodes reaches ~2.2 GB/s in the paper.
+        let sim = Simulator::cori_4node(11);
+        let s = space();
+        let tuned = sim.run_averaged(
+            &checkpoint_phases(),
+            &tuned_config(&s).resolve(&s),
+            3,
+        );
+        let gbs = tuned.perf() / GIB;
+        assert!((0.5..20.0).contains(&gbs), "tuned perf {gbs:.2} GiB/s");
+    }
+
+    #[test]
+    fn compute_phases_add_elapsed_but_no_io() {
+        let sim = Simulator::test_tiny();
+        let s = space();
+        let report = sim.run(&[Phase::compute(7.5)], &StackConfig::defaults(&s), 0);
+        assert_eq!(report.compute_time_s, 7.5);
+        assert_eq!(report.io_time_s, 0.0);
+        assert_eq!(report.bytes_written + report.bytes_read, 0.0);
+    }
+
+    #[test]
+    fn high_impact_params_move_perf_more_than_low_impact() {
+        // This is the ground-truth property the Smart Configuration
+        // Generation component must discover (7 high / 5 low).
+        let sim = Simulator::cori_4node(3);
+        let s = space();
+        let phases = checkpoint_phases();
+        let base = sim
+            .run_averaged(&phases, &s.default_config().resolve(&s), 3)
+            .perf();
+
+        let spread = |p: ParamId| -> f64 {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for idx in 0..s.cardinality(p) {
+                let mut c = s.default_config();
+                c.set_gene(p, idx);
+                let perf = sim.run_averaged(&phases, &c.resolve(&s), 3).perf();
+                lo = lo.min(perf);
+                hi = hi.max(perf);
+            }
+            (hi - lo) / base
+        };
+
+        let high = spread(ParamId::StripingFactor).max(spread(ParamId::CollectiveIo));
+        let low = spread(ParamId::MetaBlockSize).max(spread(ParamId::MdcConfig));
+        assert!(
+            high > 5.0 * low,
+            "high-impact spread {high:.4} should dwarf low-impact {low:.4}"
+        );
+    }
+
+    #[test]
+    fn averaging_reduces_noise() {
+        let sim = Simulator::cori_4node(5);
+        let s = space();
+        let cfg = StackConfig::defaults(&s);
+        let phases = checkpoint_phases();
+        let singles: Vec<f64> = (0..9).map(|i| sim.run(&phases, &cfg, i).perf()).collect();
+        let spread = singles
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            - singles.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.0, "noise should make runs differ");
+        let avg = sim.run_averaged(&phases, &cfg, 9).perf();
+        let mean: f64 = singles.iter().sum::<f64>() / singles.len() as f64;
+        assert!((avg - mean).abs() / mean < 0.05);
+    }
+
+    #[test]
+    fn read_phase_populates_read_side() {
+        let sim = Simulator::test_tiny();
+        let s = space();
+        let phases = vec![Phase::Io(IoPhase {
+            dataset: "in".into(),
+            kind: IoKind::Read,
+            per_proc_bytes: 8 * MIB,
+            ops_per_proc: 64,
+            pattern: AccessPattern::Contiguous,
+            meta_ops: 2,
+            collective_capable: true,
+            chunk_reuse_bytes: 0,
+            pre_striped: 0,
+        })];
+        let r = sim.run(&phases, &StackConfig::defaults(&s), 0);
+        assert!(r.bytes_read > 0.0);
+        assert_eq!(r.bytes_written, 0.0);
+        assert_eq!(r.alpha(), 0.0);
+        assert!(r.perf() > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod pre_striped_tests {
+    use super::*;
+    use crate::request::{AccessPattern, IoPhase};
+
+    #[test]
+    fn pre_striped_inputs_speed_up_default_reads_only() {
+        let space = ParameterSpace::tunio_default();
+        let cfg = StackConfig::defaults(&space); // striping_factor = 1
+        let sim = Simulator::cori_500node(2);
+        let phase = |pre: u32, kind: IoKind| {
+            vec![Phase::Io(IoPhase {
+                dataset: "in".into(),
+                kind,
+                per_proc_bytes: 64 * 1024 * 1024,
+                ops_per_proc: 256,
+                pattern: AccessPattern::Strided {
+                    record: 1024 * 1024,
+                },
+                meta_ops: 2,
+                collective_capable: true,
+                chunk_reuse_bytes: 0,
+                pre_striped: pre,
+            })]
+        };
+        let narrow = sim.run(&phase(0, IoKind::Read), &cfg, 0).elapsed_s;
+        let wide = sim.run(&phase(64, IoKind::Read), &cfg, 0).elapsed_s;
+        assert!(
+            wide < narrow / 4.0,
+            "pre-striped read {wide} should beat stripe-1 {narrow}"
+        );
+        // Writes ignore pre_striped — the job's own striping governs.
+        let w_narrow = sim.run(&phase(0, IoKind::Write), &cfg, 0).elapsed_s;
+        let w_wide = sim.run(&phase(64, IoKind::Write), &cfg, 0).elapsed_s;
+        assert!((w_narrow - w_wide).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod burst_buffer_tests {
+    use super::*;
+    use crate::burst::BurstBufferSpec;
+    use crate::request::{AccessPattern, IoPhase};
+
+    fn checkpoint(per_proc_mib: u64) -> Vec<Phase> {
+        vec![
+            Phase::compute(30.0),
+            Phase::Io(IoPhase {
+                dataset: "ckpt".into(),
+                kind: IoKind::Write,
+                per_proc_bytes: per_proc_mib * 1024 * 1024,
+                ops_per_proc: 64,
+                pattern: AccessPattern::Strided { record: 256 * 1024 },
+                meta_ops: 4,
+                collective_capable: true,
+                chunk_reuse_bytes: 0,
+                pre_striped: 0,
+            }),
+        ]
+    }
+
+    #[test]
+    fn burst_buffer_absorbs_small_checkpoints() {
+        let space = ParameterSpace::tunio_default();
+        let cfg = StackConfig::defaults(&space);
+        let plain = Simulator::cori_4node(9);
+        let buffered =
+            Simulator::cori_4node(9).with_burst_buffer(BurstBufferSpec::datawarp_like());
+        let phases = checkpoint(64); // 8 GiB total: fits in the tier
+        let t_plain = plain.run(&phases, &cfg, 0).io_time_s;
+        let t_bb = buffered.run(&phases, &cfg, 0).io_time_s;
+        assert!(
+            t_bb < t_plain / 5.0,
+            "burst buffer should absorb the write: {t_bb} vs {t_plain}"
+        );
+    }
+
+    #[test]
+    fn oversized_checkpoints_spill_to_pfs() {
+        let space = ParameterSpace::tunio_default();
+        let cfg = StackConfig::defaults(&space);
+        let spec = BurstBufferSpec {
+            capacity_per_node: 512.0 * 1024.0 * 1024.0, // 2 GiB across 4 nodes
+            ..BurstBufferSpec::datawarp_like()
+        };
+        let buffered = Simulator::cori_4node(9).with_burst_buffer(spec);
+        let plain = Simulator::cori_4node(9);
+        let phases = checkpoint(256); // 32 GiB: mostly spills
+        let t_bb = buffered.run(&phases, &cfg, 0).io_time_s;
+        let t_plain = plain.run(&phases, &cfg, 0).io_time_s;
+        assert!(t_bb < t_plain, "partial absorption still helps");
+        assert!(
+            t_bb > t_plain * 0.5,
+            "most bytes spill, so most of the PFS cost remains: {t_bb} vs {t_plain}"
+        );
+    }
+
+    #[test]
+    fn compute_phases_drain_the_tier() {
+        let space = ParameterSpace::tunio_default();
+        let cfg = StackConfig::defaults(&space);
+        let spec = BurstBufferSpec {
+            capacity_per_node: 2048.0 * 1024.0 * 1024.0, // 8 GiB across 4 nodes
+            ..BurstBufferSpec::datawarp_like()
+        };
+        let buffered = Simulator::cori_4node(9).with_burst_buffer(spec);
+        // Two 8 GiB checkpoints: back-to-back they overflow the tier, but
+        // with a long compute phase between them the drain frees space.
+        let one = checkpoint(64);
+        let mut back_to_back = one.clone();
+        back_to_back.extend(checkpoint(64).into_iter().skip(1)); // no compute gap
+        let mut spaced = one.clone();
+        spaced.push(Phase::compute(600.0));
+        spaced.extend(checkpoint(64).into_iter().skip(1));
+        let t_tight = buffered.run(&back_to_back, &cfg, 0).io_time_s;
+        let t_spaced = buffered.run(&spaced, &cfg, 0).io_time_s;
+        assert!(
+            t_spaced < t_tight,
+            "draining during compute must free capacity: {t_spaced} vs {t_tight}"
+        );
+    }
+
+    #[test]
+    fn reads_are_unaffected_by_burst_buffer() {
+        let space = ParameterSpace::tunio_default();
+        let cfg = StackConfig::defaults(&space);
+        let phases = vec![Phase::Io(IoPhase {
+            dataset: "in".into(),
+            kind: IoKind::Read,
+            per_proc_bytes: 64 * 1024 * 1024,
+            ops_per_proc: 64,
+            pattern: AccessPattern::Contiguous,
+            meta_ops: 2,
+            collective_capable: true,
+            chunk_reuse_bytes: 0,
+            pre_striped: 0,
+        })];
+        let plain = Simulator::cori_4node(9).run(&phases, &cfg, 0);
+        let buffered = Simulator::cori_4node(9)
+            .with_burst_buffer(BurstBufferSpec::datawarp_like())
+            .run(&phases, &cfg, 0);
+        assert_eq!(plain, buffered);
+    }
+}
+
+#[cfg(test)]
+mod stdio_tests {
+    use super::*;
+    use crate::request::{AccessPattern, IoPhase};
+
+    #[test]
+    fn logging_writes_are_coalesced_client_side() {
+        // Tiny non-collective (stdio) writes must not pay per-op FS
+        // request overhead: compare against the same volume issued as
+        // collective-capable independent ops.
+        let space = ParameterSpace::tunio_default();
+        let cfg = StackConfig::defaults(&space);
+        let sim = Simulator::cori_4node(1);
+        let phase = |collective_capable| {
+            vec![Phase::Io(IoPhase {
+                dataset: "log".into(),
+                kind: IoKind::Write,
+                per_proc_bytes: 1024 * 1024,
+                ops_per_proc: 8192, // 128-byte printf lines
+                pattern: AccessPattern::Contiguous,
+                meta_ops: 0,
+                collective_capable,
+                chunk_reuse_bytes: 0,
+                pre_striped: 0,
+            })]
+        };
+        let stdio = sim.run(&phase(false), &cfg, 0).io_time_s;
+        let raw = sim.run(&phase(true), &cfg, 0).io_time_s;
+        assert!(
+            stdio < raw / 3.0,
+            "stdio buffering should coalesce: {stdio} vs {raw}"
+        );
+    }
+}

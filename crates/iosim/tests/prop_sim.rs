@@ -1,0 +1,149 @@
+//! Property-based tests: simulator invariants across the whole
+//! configuration space and randomized workloads.
+
+use proptest::prelude::*;
+use tunio_iosim::{AccessPattern, IoKind, IoPhase, Phase, Simulator};
+use tunio_params::{Configuration, ParameterSpace};
+
+fn config_strategy() -> impl Strategy<Value = Configuration> {
+    let space = ParameterSpace::tunio_default();
+    let ranges: Vec<std::ops::Range<usize>> = space
+        .descriptors()
+        .iter()
+        .map(|d| 0..d.domain.cardinality())
+        .collect();
+    ranges.prop_map(Configuration::new)
+}
+
+fn phase_strategy() -> impl Strategy<Value = Phase> {
+    (
+        prop_oneof![Just(IoKind::Write), Just(IoKind::Read)],
+        1u64..(1 << 30),            // per_proc_bytes up to 1 GiB
+        1u64..10_000,               // ops
+        prop_oneof![
+            Just(AccessPattern::Contiguous),
+            (12u32..25).prop_map(|p| AccessPattern::Strided { record: 1 << p }),
+            Just(AccessPattern::Random),
+        ],
+        0u64..64,                   // meta ops
+        any::<bool>(),              // collective capable
+        0u64..(1 << 28),            // chunk reuse
+        0u32..64,                   // pre-striped input
+    )
+        .prop_map(
+            |(kind, bytes, ops, pattern, meta, coll, reuse, pre)| {
+                Phase::Io(IoPhase {
+                    dataset: "prop".into(),
+                    kind,
+                    per_proc_bytes: bytes,
+                    ops_per_proc: ops,
+                    pattern,
+                    meta_ops: meta,
+                    collective_capable: coll,
+                    chunk_reuse_bytes: reuse,
+                    pre_striped: pre,
+                })
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn reports_are_finite_and_consistent(
+        config in config_strategy(),
+        phases in proptest::collection::vec(phase_strategy(), 1..6),
+        seed in any::<u64>(),
+    ) {
+        let space = ParameterSpace::tunio_default();
+        let sim = Simulator::cori_4node(seed);
+        let r = sim.run(&phases, &config.resolve(&space), 0);
+
+        prop_assert!(r.elapsed_s.is_finite() && r.elapsed_s > 0.0);
+        prop_assert!(r.io_time_s >= 0.0 && r.meta_time_s >= 0.0);
+        prop_assert!(
+            (r.elapsed_s - (r.compute_time_s + r.io_time_s + r.meta_time_s)).abs()
+                < 1e-6 * r.elapsed_s.max(1.0)
+        );
+        prop_assert!(r.bytes_written >= 0.0 && r.bytes_read >= 0.0);
+        prop_assert!(r.perf().is_finite() && r.perf() >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&r.alpha()));
+    }
+
+    #[test]
+    fn same_inputs_same_outputs(
+        config in config_strategy(),
+        phases in proptest::collection::vec(phase_strategy(), 1..4),
+        seed in any::<u64>(),
+        run_idx in 0u32..8,
+    ) {
+        let space = ParameterSpace::tunio_default();
+        let sim = Simulator::cori_4node(seed);
+        let stack = config.resolve(&space);
+        prop_assert_eq!(sim.run(&phases, &stack, run_idx), sim.run(&phases, &stack, run_idx));
+    }
+
+    #[test]
+    fn doubling_data_never_reduces_io_time(
+        config in config_strategy(),
+        phase in phase_strategy(),
+    ) {
+        let space = ParameterSpace::tunio_default();
+        let sim = Simulator::test_tiny();
+        let stack = config.resolve(&space);
+        let small = sim.run(std::slice::from_ref(&phase), &stack, 0);
+        let doubled = match &phase {
+            Phase::Io(io) => {
+                let mut big = io.clone();
+                big.per_proc_bytes = io.per_proc_bytes.saturating_mul(2);
+                big.ops_per_proc = io.ops_per_proc.saturating_mul(2);
+                Phase::Io(big)
+            }
+            other => other.clone(),
+        };
+        let large = sim.run(&[doubled], &stack, 0);
+        prop_assert!(
+            large.io_time_s >= small.io_time_s * 0.999,
+            "doubling data shrank io time: {} -> {}",
+            small.io_time_s,
+            large.io_time_s
+        );
+    }
+
+    #[test]
+    fn perf_is_bounded_by_hardware(
+        config in config_strategy(),
+        phase in phase_strategy(),
+    ) {
+        let space = ParameterSpace::tunio_default();
+        let sim = Simulator::cori_4node(0);
+        let r = sim.run(&[phase], &config.resolve(&space), 0);
+        // perf can never exceed the file system's aggregate bandwidth or
+        // a generous multiple of the cluster's injection bandwidth.
+        let fs_cap = sim.fs.aggregate_bw();
+        prop_assert!(
+            r.perf() <= fs_cap * 1.01,
+            "perf {} exceeds hardware cap {}",
+            r.perf(),
+            fs_cap
+        );
+    }
+
+    #[test]
+    fn averaging_is_within_min_max_of_runs(
+        config in config_strategy(),
+        phase in phase_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let space = ParameterSpace::tunio_default();
+        let sim = Simulator::cori_4node(seed);
+        let stack = config.resolve(&space);
+        let phases = [phase];
+        let times: Vec<f64> = (0..3).map(|i| sim.run(&phases, &stack, i).elapsed_s).collect();
+        let avg = sim.run_averaged(&phases, &stack, 3).elapsed_s;
+        let lo = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9);
+    }
+}

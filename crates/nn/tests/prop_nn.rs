@@ -1,0 +1,98 @@
+//! Property-based tests: network and PCA numerical invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tunio_nn::{Activation, Network, Optimizer, Pca};
+
+proptest! {
+    #[test]
+    fn forward_outputs_are_finite(
+        seed in any::<u64>(),
+        input in proptest::collection::vec(-100.0f64..100.0, 5),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Network::new(
+            &[5, 9, 3],
+            &[Activation::Tanh, Activation::Linear],
+            Optimizer::Adam { lr: 0.01 },
+            &mut rng,
+        );
+        let out = net.forward(&input);
+        prop_assert_eq!(out.len(), 3);
+        prop_assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sigmoid_outputs_stay_in_unit_interval(
+        seed in any::<u64>(),
+        input in proptest::collection::vec(-50.0f64..50.0, 4),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Network::new(
+            &[4, 6, 2],
+            &[Activation::Relu, Activation::Sigmoid],
+            Optimizer::Sgd { lr: 0.01 },
+            &mut rng,
+        );
+        for v in net.forward(&input) {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn train_step_returns_nonnegative_finite_loss(
+        seed in any::<u64>(),
+        x in proptest::collection::vec(-2.0f64..2.0, 3),
+        y in proptest::collection::vec(-2.0f64..2.0, 2),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::new(
+            &[3, 5, 2],
+            &[Activation::Tanh, Activation::Linear],
+            Optimizer::Adam { lr: 0.005 },
+            &mut rng,
+        );
+        let loss = net.train_step(&x, &y);
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        // Repeated training on the same example drives loss down.
+        let mut last = loss;
+        for _ in 0..200 {
+            last = net.train_step(&x, &y);
+        }
+        prop_assert!(last <= loss + 1e-9, "loss rose from {loss} to {last}");
+    }
+
+    #[test]
+    fn pca_eigenvalues_are_sorted_and_explain_all_variance(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-5.0f64..5.0, 4),
+            4..40,
+        ),
+    ) {
+        let pca = Pca::fit(&rows);
+        for pair in pca.eigenvalues.windows(2) {
+            prop_assert!(pair[0] >= pair[1] - 1e-9, "eigenvalues unsorted");
+        }
+        let full = pca.explained_variance(4);
+        prop_assert!((full - 1.0).abs() < 1e-6 || full == 0.0);
+        // Projections are finite.
+        let proj = pca.project(&rows[0], 4);
+        prop_assert!(proj.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn pca_importance_is_normalized(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-5.0f64..5.0, 3),
+            3..30,
+        ),
+    ) {
+        let pca = Pca::fit(&rows);
+        let imp = pca.feature_importance();
+        prop_assert_eq!(imp.len(), 3);
+        let max = imp.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!((max - 1.0).abs() < 1e-9);
+        prop_assert!(imp.iter().all(|v| (0.0..=1.0 + 1e-9).contains(v)));
+    }
+}

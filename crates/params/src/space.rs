@@ -1,0 +1,501 @@
+//! Parameter descriptors and the twelve-parameter TunIO tuning space.
+//!
+//! The paper tunes "a subset of 12 parameters across HDF5, MPI, and Lustre,
+//! which gives a search space of over 2.18 billion permutations" (§IV).
+//! [`ParameterSpace::tunio_default`] reconstructs that space: twelve
+//! parameters whose domain cardinalities multiply to ≈2.4 × 10⁹.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The I/O-stack layer a parameter belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// High-level I/O library layer (HDF5-like).
+    Hdf5,
+    /// I/O middleware layer (MPI-IO-like).
+    MpiIo,
+    /// Parallel file system layer (Lustre-like).
+    Lustre,
+}
+
+impl Layer {
+    /// Human-readable layer name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Hdf5 => "HDF5",
+            Layer::MpiIo => "MPI-IO",
+            Layer::Lustre => "Lustre",
+        }
+    }
+}
+
+/// A-priori impact class of a parameter, used to validate that the
+/// Smart Configuration Generation agent discovers the right split
+/// (the paper finds 7 high-impact and 5 insignificant parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Impact {
+    /// Parameter strongly shapes bandwidth for checkpoint-style workloads.
+    High,
+    /// Parameter only perturbs metadata or corner-case costs.
+    Low,
+}
+
+/// Stable identity of each tunable parameter.
+///
+/// The discriminant doubles as the gene index inside a
+/// [`Configuration`](crate::Configuration) genome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum ParamId {
+    /// HDF5 sieve buffer size (bytes) — coalesces small raw-data reads.
+    SieveBufSize = 0,
+    /// HDF5 chunk cache size (bytes) per dataset.
+    ChunkCache = 1,
+    /// HDF5 object alignment threshold/boundary (bytes).
+    Alignment = 2,
+    /// HDF5 metadata block size (bytes).
+    MetaBlockSize = 3,
+    /// HDF5 collective metadata reads enabled.
+    CollMetaOps = 4,
+    /// HDF5 metadata cache configuration preset.
+    MdcConfig = 5,
+    /// HDF5 collective metadata writes enabled.
+    CollMetadataWrite = 6,
+    /// Lustre stripe count (number of OSTs a file is striped over).
+    StripingFactor = 7,
+    /// Lustre stripe size (bytes).
+    StripingUnit = 8,
+    /// MPI-IO number of collective-buffering aggregator nodes.
+    CbNodes = 9,
+    /// MPI-IO collective buffer size per aggregator (bytes).
+    CbBufferSize = 10,
+    /// MPI-IO/HDF5 collective (two-phase) I/O enabled for raw data.
+    CollectiveIo = 11,
+}
+
+impl ParamId {
+    /// All twelve parameters in gene order.
+    pub const ALL: [ParamId; 12] = [
+        ParamId::SieveBufSize,
+        ParamId::ChunkCache,
+        ParamId::Alignment,
+        ParamId::MetaBlockSize,
+        ParamId::CollMetaOps,
+        ParamId::MdcConfig,
+        ParamId::CollMetadataWrite,
+        ParamId::StripingFactor,
+        ParamId::StripingUnit,
+        ParamId::CbNodes,
+        ParamId::CbBufferSize,
+        ParamId::CollectiveIo,
+    ];
+
+    /// Gene index of this parameter.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Canonical lower-case name as it appears in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParamId::SieveBufSize => "sieve_buf_size",
+            ParamId::ChunkCache => "chunk_cache",
+            ParamId::Alignment => "alignment",
+            ParamId::MetaBlockSize => "meta_block_size",
+            ParamId::CollMetaOps => "coll_meta_ops",
+            ParamId::MdcConfig => "mdc_config",
+            ParamId::CollMetadataWrite => "coll_metadata_write",
+            ParamId::StripingFactor => "striping_factor",
+            ParamId::StripingUnit => "striping_unit",
+            ParamId::CbNodes => "cb_nodes",
+            ParamId::CbBufferSize => "cb_buffer_size",
+            ParamId::CollectiveIo => "collective_io",
+        }
+    }
+
+    /// Parse a parameter name back to its id.
+    pub fn from_name(name: &str) -> Option<ParamId> {
+        ParamId::ALL.iter().copied().find(|p| p.name() == name)
+    }
+}
+
+/// The value domain of one parameter.
+///
+/// Domains are finite and ordered; a configuration stores an *index* into the
+/// domain, which keeps genetic operators and RL action encodings uniform.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum ParamDomain {
+    /// An explicit ordered list of numeric values (sizes in bytes, counts…).
+    Numeric(Vec<u64>),
+    /// A boolean toggle (`false`, `true`).
+    Boolean,
+    /// A named categorical choice (e.g. metadata-cache presets).
+    Categorical(Vec<&'static str>),
+}
+
+impl ParamDomain {
+    /// Number of distinct values in the domain.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            ParamDomain::Numeric(v) => v.len(),
+            ParamDomain::Boolean => 2,
+            ParamDomain::Categorical(v) => v.len(),
+        }
+    }
+
+    /// Numeric value at `idx`, if this is a numeric domain.
+    pub fn numeric_at(&self, idx: usize) -> Option<u64> {
+        match self {
+            ParamDomain::Numeric(v) => v.get(idx).copied(),
+            ParamDomain::Boolean => Some((idx != 0) as u64),
+            ParamDomain::Categorical(_) => None,
+        }
+    }
+
+    /// Render the value at `idx` for reports.
+    pub fn render(&self, idx: usize) -> String {
+        match self {
+            ParamDomain::Numeric(v) => v
+                .get(idx)
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| "<oob>".into()),
+            ParamDomain::Boolean => (if idx != 0 { "true" } else { "false" }).into(),
+            ParamDomain::Categorical(v) => v.get(idx).copied().unwrap_or("<oob>").into(),
+        }
+    }
+}
+
+/// Full description of a tunable parameter.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParamDescriptor {
+    /// Which parameter this describes.
+    pub id: ParamId,
+    /// Stack layer the parameter belongs to.
+    pub layer: Layer,
+    /// Ordered value domain.
+    pub domain: ParamDomain,
+    /// Index into `domain` of the library-default value.
+    pub default_idx: usize,
+    /// A-priori impact class (ground truth for evaluating the subset picker).
+    pub impact: Impact,
+}
+
+/// The complete tuning space: descriptor per [`ParamId`], in gene order.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParameterSpace {
+    descriptors: Vec<ParamDescriptor>,
+}
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+
+impl ParameterSpace {
+    /// Build the twelve-parameter space used throughout the paper's
+    /// evaluation (§IV: "12 parameters across HDF5, MPI, and Lustre …
+    /// over 2.18 billion permutations").
+    ///
+    /// ```
+    /// use tunio_params::ParameterSpace;
+    /// let space = ParameterSpace::tunio_default();
+    /// assert_eq!(space.len(), 12);
+    /// assert!(space.permutations() > 2_180_000_000);
+    /// ```
+    pub fn tunio_default() -> Self {
+        use Impact::*;
+        use Layer::*;
+        use ParamId::*;
+        let descriptors = vec![
+            ParamDescriptor {
+                id: SieveBufSize,
+                layer: Hdf5,
+                domain: ParamDomain::Numeric(vec![
+                    64 * KIB,
+                    128 * KIB,
+                    256 * KIB,
+                    512 * KIB,
+                    MIB,
+                    2 * MIB,
+                    4 * MIB,
+                    8 * MIB,
+                ]),
+                default_idx: 0,
+                impact: Low,
+            },
+            ParamDescriptor {
+                id: ChunkCache,
+                layer: Hdf5,
+                domain: ParamDomain::Numeric(vec![
+                    MIB,
+                    2 * MIB,
+                    4 * MIB,
+                    8 * MIB,
+                    16 * MIB,
+                    32 * MIB,
+                    64 * MIB,
+                    128 * MIB,
+                ]),
+                default_idx: 0,
+                impact: High,
+            },
+            ParamDescriptor {
+                id: Alignment,
+                layer: Hdf5,
+                domain: ParamDomain::Numeric(vec![
+                    1, // no alignment
+                    4 * KIB,
+                    64 * KIB,
+                    256 * KIB,
+                    MIB,
+                    4 * MIB,
+                    8 * MIB,
+                    16 * MIB,
+                ]),
+                default_idx: 0,
+                impact: High,
+            },
+            ParamDescriptor {
+                id: MetaBlockSize,
+                layer: Hdf5,
+                domain: ParamDomain::Numeric(vec![
+                    2 * KIB,
+                    4 * KIB,
+                    16 * KIB,
+                    64 * KIB,
+                    256 * KIB,
+                    MIB,
+                    2 * MIB,
+                    4 * MIB,
+                ]),
+                default_idx: 0,
+                impact: Low,
+            },
+            ParamDescriptor {
+                id: CollMetaOps,
+                layer: Hdf5,
+                domain: ParamDomain::Boolean,
+                default_idx: 0,
+                impact: Low,
+            },
+            ParamDescriptor {
+                id: MdcConfig,
+                layer: Hdf5,
+                domain: ParamDomain::Categorical(vec![
+                    "default",
+                    "small",
+                    "medium",
+                    "large",
+                    "adaptive",
+                    "pinned",
+                ]),
+                default_idx: 0,
+                impact: Low,
+            },
+            ParamDescriptor {
+                id: CollMetadataWrite,
+                layer: Hdf5,
+                domain: ParamDomain::Boolean,
+                default_idx: 0,
+                impact: Low,
+            },
+            ParamDescriptor {
+                id: StripingFactor,
+                layer: Lustre,
+                domain: ParamDomain::Numeric(vec![
+                    1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 80, 96, 112, 128, 144, 156,
+                ]),
+                default_idx: 0,
+                impact: High,
+            },
+            ParamDescriptor {
+                id: StripingUnit,
+                layer: Lustre,
+                domain: ParamDomain::Numeric(vec![
+                    64 * KIB,
+                    256 * KIB,
+                    MIB,
+                    2 * MIB,
+                    4 * MIB,
+                    8 * MIB,
+                    16 * MIB,
+                    32 * MIB,
+                ]),
+                default_idx: 2,
+                impact: High,
+            },
+            ParamDescriptor {
+                id: CbNodes,
+                layer: MpiIo,
+                domain: ParamDomain::Numeric(vec![1, 2, 4, 8, 16, 32, 48, 64, 96, 128, 192, 256]),
+                default_idx: 0,
+                impact: High,
+            },
+            ParamDescriptor {
+                id: CbBufferSize,
+                layer: MpiIo,
+                domain: ParamDomain::Numeric(vec![
+                    MIB,
+                    2 * MIB,
+                    4 * MIB,
+                    8 * MIB,
+                    16 * MIB,
+                    32 * MIB,
+                    64 * MIB,
+                    128 * MIB,
+                ]),
+                default_idx: 3,
+                impact: High,
+            },
+            ParamDescriptor {
+                id: CollectiveIo,
+                layer: MpiIo,
+                domain: ParamDomain::Boolean,
+                default_idx: 0,
+                impact: High,
+            },
+        ];
+        debug_assert_eq!(descriptors.len(), ParamId::ALL.len());
+        ParameterSpace { descriptors }
+    }
+
+    /// Number of parameters (always 12 for the default space).
+    pub fn len(&self) -> usize {
+        self.descriptors.len()
+    }
+
+    /// Whether the space has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.descriptors.is_empty()
+    }
+
+    /// Descriptor for a parameter.
+    pub fn descriptor(&self, id: ParamId) -> &ParamDescriptor {
+        &self.descriptors[id.index()]
+    }
+
+    /// All descriptors in gene order.
+    pub fn descriptors(&self) -> &[ParamDescriptor] {
+        &self.descriptors
+    }
+
+    /// Cardinality of parameter `id`'s domain.
+    pub fn cardinality(&self, id: ParamId) -> usize {
+        self.descriptor(id).domain.cardinality()
+    }
+
+    /// Total number of distinct configurations (the product of domain
+    /// cardinalities). Returns `u128` because the space is astronomically
+    /// large for full library catalogs.
+    pub fn permutations(&self) -> u128 {
+        self.descriptors
+            .iter()
+            .map(|d| d.domain.cardinality() as u128)
+            .product()
+    }
+
+    /// The library-default configuration.
+    pub fn default_config(&self) -> crate::Configuration {
+        crate::Configuration::new(self.descriptors.iter().map(|d| d.default_idx).collect())
+    }
+
+    /// Sample a uniformly random configuration.
+    pub fn random_config<R: Rng>(&self, rng: &mut R) -> crate::Configuration {
+        crate::Configuration::new(
+            self.descriptors
+                .iter()
+                .map(|d| rng.gen_range(0..d.domain.cardinality()))
+                .collect(),
+        )
+    }
+
+    /// Sample a random value index for a single parameter.
+    pub fn random_value<R: Rng>(&self, id: ParamId, rng: &mut R) -> usize {
+        rng.gen_range(0..self.cardinality(id))
+    }
+
+    /// Ids of all parameters whose a-priori impact class is `impact`.
+    pub fn with_impact(&self, impact: Impact) -> Vec<ParamId> {
+        self.descriptors
+            .iter()
+            .filter(|d| d.impact == impact)
+            .map(|d| d.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_space_has_twelve_parameters() {
+        let space = ParameterSpace::tunio_default();
+        assert_eq!(space.len(), 12);
+        for (i, d) in space.descriptors().iter().enumerate() {
+            assert_eq!(d.id.index(), i, "descriptor order must match gene order");
+        }
+    }
+
+    #[test]
+    fn permutation_count_exceeds_paper_bound() {
+        // §IV: "a search space of over 2.18 billion permutations".
+        let space = ParameterSpace::tunio_default();
+        let perms = space.permutations();
+        assert!(perms > 2_180_000_000, "got {perms}");
+        assert!(perms < 10_000_000_000, "space should stay ~1e9, got {perms}");
+    }
+
+    #[test]
+    fn impact_split_is_seven_high_five_low() {
+        // §IV-B: final tuned configuration changes 7 parameters, "with the
+        // remaining five not having a significant impact".
+        let space = ParameterSpace::tunio_default();
+        assert_eq!(space.with_impact(Impact::High).len(), 7);
+        assert_eq!(space.with_impact(Impact::Low).len(), 5);
+    }
+
+    #[test]
+    fn default_config_uses_default_indices() {
+        let space = ParameterSpace::tunio_default();
+        let config = space.default_config();
+        for d in space.descriptors() {
+            assert_eq!(config.gene(d.id), d.default_idx);
+        }
+    }
+
+    #[test]
+    fn random_config_is_in_bounds() {
+        let space = ParameterSpace::tunio_default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let c = space.random_config(&mut rng);
+            for d in space.descriptors() {
+                assert!(c.gene(d.id) < d.domain.cardinality());
+            }
+        }
+    }
+
+    #[test]
+    fn param_names_round_trip() {
+        for p in ParamId::ALL {
+            assert_eq!(ParamId::from_name(p.name()), Some(p));
+        }
+        assert_eq!(ParamId::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn domain_render_and_numeric_access() {
+        let d = ParamDomain::Numeric(vec![10, 20]);
+        assert_eq!(d.render(1), "20");
+        assert_eq!(d.numeric_at(1), Some(20));
+        assert_eq!(d.numeric_at(5), None);
+        let b = ParamDomain::Boolean;
+        assert_eq!(b.render(0), "false");
+        assert_eq!(b.numeric_at(1), Some(1));
+        let c = ParamDomain::Categorical(vec!["a", "b"]);
+        assert_eq!(c.render(0), "a");
+        assert_eq!(c.numeric_at(0), None);
+        assert_eq!(c.render(9), "<oob>");
+    }
+}

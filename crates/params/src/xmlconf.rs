@@ -1,0 +1,249 @@
+//! H5Tuner-style XML configuration files.
+//!
+//! The paper's reference implementation "builds off of the existing
+//! H5Tuner library, using its mechanisms to override the configuration
+//! parameters of HDF5 applications via an XML file" (§III-A). This module
+//! reproduces that interchange format — parameters grouped by stack layer,
+//! each with a `FileName` scope attribute — with a dependency-free writer
+//! and parser:
+//!
+//! ```xml
+//! <Parameters>
+//!   <High_Level_IO_Library>
+//!     <sieve_buf_size FileName="*">65536</sieve_buf_size>
+//!   </High_Level_IO_Library>
+//!   <Middleware_Layer>
+//!     <cb_nodes FileName="*">4</cb_nodes>
+//!   </Middleware_Layer>
+//!   <Parallel_File_System>
+//!     <striping_factor FileName="*">8</striping_factor>
+//!   </Parallel_File_System>
+//! </Parameters>
+//! ```
+
+use crate::config::Configuration;
+use crate::space::{Layer, ParamId, ParameterSpace};
+use std::fmt;
+
+/// Section element name for each layer (H5Tuner's vocabulary).
+fn layer_tag(layer: Layer) -> &'static str {
+    match layer {
+        Layer::Hdf5 => "High_Level_IO_Library",
+        Layer::MpiIo => "Middleware_Layer",
+        Layer::Lustre => "Parallel_File_System",
+    }
+}
+
+/// Render a configuration as an H5Tuner-style XML document. Only
+/// parameters that differ from the defaults are emitted (H5Tuner leaves
+/// untouched parameters at library defaults); pass `include_defaults` to
+/// emit everything.
+///
+/// ```
+/// use tunio_params::{to_xml, from_xml, ParamId, ParameterSpace};
+/// let space = ParameterSpace::tunio_default();
+/// let mut config = space.default_config();
+/// config.set_gene(ParamId::CollectiveIo, 1);
+/// let xml = to_xml(&config, &space, false);
+/// assert!(xml.contains("<collective_io FileName=\"*\">true</collective_io>"));
+/// assert_eq!(from_xml(&xml, &space).unwrap(), config);
+/// ```
+pub fn to_xml(config: &Configuration, space: &ParameterSpace, include_defaults: bool) -> String {
+    let default = space.default_config();
+    let mut out = String::from("<Parameters>\n");
+    for layer in [Layer::Hdf5, Layer::MpiIo, Layer::Lustre] {
+        let entries: Vec<String> = ParamId::ALL
+            .iter()
+            .filter(|p| space.descriptor(**p).layer == layer)
+            .filter(|p| include_defaults || config.gene(**p) != default.gene(**p))
+            .map(|p| {
+                let d = space.descriptor(*p);
+                format!(
+                    "    <{name} FileName=\"*\">{value}</{name}>",
+                    name = p.name(),
+                    value = d.domain.render(config.gene(*p)),
+                )
+            })
+            .collect();
+        if entries.is_empty() && !include_defaults {
+            continue;
+        }
+        out.push_str(&format!("  <{}>\n", layer_tag(layer)));
+        for e in entries {
+            out.push_str(&e);
+            out.push('\n');
+        }
+        out.push_str(&format!("  </{}>\n", layer_tag(layer)));
+    }
+    out.push_str("</Parameters>\n");
+    out
+}
+
+/// XML parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml config error: {}", self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parse an H5Tuner-style XML document into a configuration. Parameters
+/// absent from the document stay at their defaults; unknown parameter
+/// names and values not in the domain are errors (misconfiguration should
+/// fail loudly, not silently run the wrong experiment).
+pub fn from_xml(text: &str, space: &ParameterSpace) -> Result<Configuration, XmlError> {
+    let mut config = space.default_config();
+    let mut pos = 0;
+    let bytes = text.as_bytes();
+
+    while let Some(start) = text[pos..].find('<') {
+        let start = pos + start;
+        let end = text[start..]
+            .find('>')
+            .map(|e| start + e)
+            .ok_or_else(|| XmlError {
+                message: "unterminated tag".into(),
+            })?;
+        let tag_body = &text[start + 1..end];
+        pos = end + 1;
+        if tag_body.starts_with('/') || tag_body.starts_with('?') || tag_body.starts_with('!') {
+            continue;
+        }
+        let name = tag_body
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .trim_end_matches('/');
+        // Section / root tags pass through.
+        if name == "Parameters"
+            || name == layer_tag(Layer::Hdf5)
+            || name == layer_tag(Layer::MpiIo)
+            || name == layer_tag(Layer::Lustre)
+        {
+            continue;
+        }
+        let param = ParamId::from_name(name).ok_or_else(|| XmlError {
+            message: format!("unknown parameter `{name}`"),
+        })?;
+        // Value runs to the closing tag.
+        let close = format!("</{name}>");
+        let value_end = text[pos..].find(&close).map(|e| pos + e).ok_or_else(|| XmlError {
+            message: format!("missing {close}"),
+        })?;
+        let raw_value = text[pos..value_end].trim();
+        pos = value_end + close.len();
+
+        let domain = &space.descriptor(param).domain;
+        let idx = (0..domain.cardinality())
+            .find(|&i| domain.render(i) == raw_value)
+            .ok_or_else(|| XmlError {
+                message: format!("value `{raw_value}` not in {name}'s domain"),
+            })?;
+        config.set_gene(param, idx);
+    }
+    let _ = bytes;
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ParameterSpace;
+
+    fn space() -> ParameterSpace {
+        ParameterSpace::tunio_default()
+    }
+
+    fn tuned() -> Configuration {
+        let s = space();
+        let mut c = s.default_config();
+        c.set_gene(ParamId::CollectiveIo, 1);
+        c.set_gene(ParamId::StripingFactor, 9);
+        c.set_gene(ParamId::CbNodes, 4);
+        c.set_gene(ParamId::MdcConfig, 3);
+        c
+    }
+
+    #[test]
+    fn xml_round_trips() {
+        let s = space();
+        let c = tuned();
+        let xml = to_xml(&c, &s, false);
+        let parsed = from_xml(&xml, &s).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn full_document_round_trips() {
+        let s = space();
+        let c = tuned();
+        let xml = to_xml(&c, &s, true);
+        // All 12 parameters present.
+        for p in ParamId::ALL {
+            assert!(xml.contains(&format!("<{}", p.name())), "{xml}");
+        }
+        assert_eq!(from_xml(&xml, &s).unwrap(), c);
+    }
+
+    #[test]
+    fn sections_follow_h5tuner_layout() {
+        let s = space();
+        let xml = to_xml(&tuned(), &s, false);
+        assert!(xml.contains("<High_Level_IO_Library>"));
+        assert!(xml.contains("<Middleware_Layer>"));
+        assert!(xml.contains("<Parallel_File_System>"));
+        assert!(xml.contains("FileName=\"*\""));
+        // striping under PFS, cb_nodes under middleware.
+        let pfs = xml.split("<Parallel_File_System>").nth(1).unwrap();
+        assert!(pfs.contains("striping_factor"));
+    }
+
+    #[test]
+    fn default_config_emits_empty_parameter_set() {
+        let s = space();
+        let xml = to_xml(&s.default_config(), &s, false);
+        assert_eq!(xml, "<Parameters>\n</Parameters>\n");
+        assert_eq!(from_xml(&xml, &s).unwrap(), s.default_config());
+    }
+
+    #[test]
+    fn unknown_parameter_is_an_error() {
+        let s = space();
+        let err = from_xml(
+            "<Parameters><bogus FileName=\"*\">1</bogus></Parameters>",
+            &s,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn out_of_domain_value_is_an_error() {
+        let s = space();
+        let err = from_xml(
+            "<Parameters><striping_factor FileName=\"*\">7</striping_factor></Parameters>",
+            &s,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("domain"), "{err}");
+    }
+
+    #[test]
+    fn boolean_and_categorical_values_render_and_parse() {
+        let s = space();
+        let mut c = s.default_config();
+        c.set_gene(ParamId::CollMetaOps, 1);
+        c.set_gene(ParamId::MdcConfig, 4);
+        let xml = to_xml(&c, &s, false);
+        assert!(xml.contains(">true<"));
+        assert!(xml.contains(">adaptive<"));
+        assert_eq!(from_xml(&xml, &s).unwrap(), c);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the parameter space and configurations.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tunio_params::{Configuration, ParamId, ParameterSpace};
+
+/// Strategy: a valid configuration (gene index within each domain).
+fn config_strategy() -> impl Strategy<Value = Configuration> {
+    let space = ParameterSpace::tunio_default();
+    let ranges: Vec<std::ops::Range<usize>> = space
+        .descriptors()
+        .iter()
+        .map(|d| 0..d.domain.cardinality())
+        .collect();
+    ranges.prop_map(Configuration::new)
+}
+
+/// Strategy: a subset mask of parameters.
+fn mask_strategy() -> impl Strategy<Value = Vec<ParamId>> {
+    proptest::sample::subsequence(ParamId::ALL.to_vec(), 1..=12)
+}
+
+proptest! {
+    #[test]
+    fn resolve_never_panics_and_is_faithful(config in config_strategy()) {
+        let space = ParameterSpace::tunio_default();
+        let stack = config.resolve(&space);
+        // Numeric values must come from the declared domains.
+        prop_assert!(stack.striping_factor >= 1);
+        prop_assert!(stack.striping_unit >= 64 * 1024);
+        prop_assert!(stack.cb_nodes >= 1);
+        prop_assert!(stack.chunk_cache >= 1024 * 1024);
+        prop_assert!(stack.sieve_buf_size >= 64 * 1024);
+    }
+
+    #[test]
+    fn crossover_child_genes_come_from_a_parent(
+        a in config_strategy(),
+        b in config_strategy(),
+        mask in mask_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let child = a.crossover_masked(&b, &mask, &mut rng);
+        for &p in &ParamId::ALL {
+            let g = child.gene(p);
+            prop_assert!(
+                g == a.gene(p) || g == b.gene(p),
+                "gene {p:?} = {g} came from neither parent"
+            );
+            if !mask.contains(&p) {
+                prop_assert_eq!(g, a.gene(p), "unmasked gene must come from self");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_stays_in_bounds_and_respects_mask(
+        mut config in config_strategy(),
+        mask in mask_strategy(),
+        seed in any::<u64>(),
+        rate in 0.0f64..=1.0,
+    ) {
+        let space = ParameterSpace::tunio_default();
+        let before = config.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        config.mutate_masked(&space, &mask, rate, &mut rng);
+        for &p in &ParamId::ALL {
+            prop_assert!(config.gene(p) < space.cardinality(p));
+            if !mask.contains(&p) {
+                prop_assert_eq!(config.gene(p), before.gene(p));
+            }
+        }
+    }
+
+    #[test]
+    fn changed_gene_count_matches_describe(config in config_strategy()) {
+        let space = ParameterSpace::tunio_default();
+        let changed = config.genes_changed_from_default(&space);
+        let described = config.describe_changes(&space);
+        let described_count = if described.is_empty() {
+            0
+        } else {
+            described.split(", ").count()
+        };
+        prop_assert_eq!(changed, described_count);
+    }
+
+    #[test]
+    fn random_configs_are_always_valid(seed in any::<u64>()) {
+        let space = ParameterSpace::tunio_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = space.random_config(&mut rng);
+        for &p in &ParamId::ALL {
+            prop_assert!(c.gene(p) < space.cardinality(p));
+        }
+        // And the genome length is the space size.
+        prop_assert_eq!(c.len(), space.len());
+    }
+}

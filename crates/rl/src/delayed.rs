@@ -1,0 +1,110 @@
+//! Delayed reward assignment.
+//!
+//! Both TunIO agents use "a 5-iteration delay on the reward function to
+//! avoid bias introduced by short-term gains" (§III-C, §III-D): the reward
+//! credited to an action is the one observed `delay` steps later, so
+//! transient dips and spikes do not immediately punish or reward a choice.
+
+use crate::replay::Transition;
+use std::collections::VecDeque;
+
+/// Buffers transitions and releases them once their delayed reward is
+/// known.
+#[derive(Debug, Clone)]
+pub struct DelayedReward {
+    delay: usize,
+    pending: VecDeque<Transition>,
+    rewards: VecDeque<f64>,
+}
+
+impl DelayedReward {
+    /// Create with the paper's default delay of 5 when `delay == 5`.
+    pub fn new(delay: usize) -> Self {
+        DelayedReward {
+            delay,
+            pending: VecDeque::new(),
+            rewards: VecDeque::new(),
+        }
+    }
+
+    /// Record a transition whose immediate reward is `t.reward`; returns
+    /// any transition whose delayed reward has now matured (its reward is
+    /// replaced with the reward observed `delay` steps after it).
+    pub fn push(&mut self, t: Transition) -> Option<Transition> {
+        self.rewards.push_back(t.reward);
+        self.pending.push_back(t);
+        if self.pending.len() > self.delay {
+            let mut matured = self.pending.pop_front().expect("non-empty");
+            // Reward observed `delay` steps later — the newest reward.
+            matured.reward = *self.rewards.back().expect("non-empty");
+            self.rewards.pop_front();
+            Some(matured)
+        } else {
+            None
+        }
+    }
+
+    /// Flush remaining transitions at episode end, crediting each with the
+    /// final observed reward.
+    pub fn flush(&mut self) -> Vec<Transition> {
+        let final_reward = self.rewards.back().copied().unwrap_or(0.0);
+        let mut out: Vec<Transition> = self.pending.drain(..).collect();
+        for t in &mut out {
+            t.reward = final_reward;
+            t.done = true;
+        }
+        self.rewards.clear();
+        out
+    }
+
+    /// Number of transitions still awaiting maturity.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(reward: f64) -> Transition {
+        Transition {
+            state: vec![reward],
+            action: 0,
+            reward,
+            next_state: vec![],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn delays_by_k_steps() {
+        let mut d = DelayedReward::new(2);
+        assert!(d.push(t(1.0)).is_none());
+        assert!(d.push(t(2.0)).is_none());
+        // Third push matures the first transition with the newest reward.
+        let matured = d.push(t(3.0)).unwrap();
+        assert_eq!(matured.state, vec![1.0]);
+        assert_eq!(matured.reward, 3.0);
+        assert_eq!(d.pending_len(), 2);
+    }
+
+    #[test]
+    fn flush_credits_final_reward() {
+        let mut d = DelayedReward::new(5);
+        d.push(t(1.0));
+        d.push(t(2.0));
+        d.push(t(9.0));
+        let flushed = d.flush();
+        assert_eq!(flushed.len(), 3);
+        assert!(flushed.iter().all(|x| x.reward == 9.0 && x.done));
+        assert_eq!(d.pending_len(), 0);
+    }
+
+    #[test]
+    fn zero_delay_matures_next_push() {
+        let mut d = DelayedReward::new(0);
+        let m = d.push(t(4.0)).unwrap();
+        assert_eq!(m.reward, 4.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Gym-like environment trait.
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResult {
+    /// Next state observation.
+    pub state: Vec<f64>,
+    /// Reward for the transition.
+    pub reward: f64,
+    /// Whether the episode ended.
+    pub done: bool,
+}
+
+/// A reinforcement-learning environment with a discrete action space.
+pub trait Env {
+    /// Dimension of state observations.
+    fn state_dim(&self) -> usize;
+    /// Number of discrete actions.
+    fn n_actions(&self) -> usize;
+    /// Start a new episode; returns the initial state.
+    fn reset(&mut self) -> Vec<f64>;
+    /// Apply `action`; returns the transition result.
+    ///
+    /// # Panics
+    /// Implementations may panic if `action >= n_actions()` or if called
+    /// after the episode is done without an intervening `reset`.
+    fn step(&mut self, action: usize) -> StepResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-step corridor: action 1 finishes with reward 1.
+    struct Corridor {
+        pos: usize,
+    }
+
+    impl Env for Corridor {
+        fn state_dim(&self) -> usize {
+            1
+        }
+        fn n_actions(&self) -> usize {
+            2
+        }
+        fn reset(&mut self) -> Vec<f64> {
+            self.pos = 0;
+            vec![0.0]
+        }
+        fn step(&mut self, action: usize) -> StepResult {
+            assert!(action < 2);
+            if action == 1 {
+                StepResult {
+                    state: vec![1.0],
+                    reward: 1.0,
+                    done: true,
+                }
+            } else {
+                self.pos += 1;
+                StepResult {
+                    state: vec![self.pos as f64],
+                    reward: -0.1,
+                    done: self.pos >= 5,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trait_object_usability() {
+        let mut env: Box<dyn Env> = Box::new(Corridor { pos: 0 });
+        let s0 = env.reset();
+        assert_eq!(s0, vec![0.0]);
+        let r = env.step(1);
+        assert!(r.done);
+        assert_eq!(r.reward, 1.0);
+    }
+}

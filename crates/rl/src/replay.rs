@@ -1,0 +1,119 @@
+//! Experience-replay buffer.
+
+use rand::Rng;
+
+/// One stored transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// State before the action.
+    pub state: Vec<f64>,
+    /// Action taken.
+    pub action: usize,
+    /// Reward received (possibly delayed).
+    pub reward: f64,
+    /// State after the action.
+    pub next_state: Vec<f64>,
+    /// Whether the episode ended at this transition.
+    pub done: bool,
+}
+
+/// Fixed-capacity ring buffer of transitions with uniform sampling.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    items: Vec<Transition>,
+    capacity: usize,
+    next: usize,
+}
+
+impl ReplayBuffer {
+    /// Create a buffer holding up to `capacity` transitions.
+    pub fn new(capacity: usize) -> Self {
+        ReplayBuffer {
+            items: Vec::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            next: 0,
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Store a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        if self.items.len() < self.capacity {
+            self.items.push(t);
+        } else {
+            self.items[self.next] = t;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Sample `n` transitions uniformly with replacement (empty when the
+    /// buffer is empty).
+    pub fn sample<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<&Transition> {
+        if self.items.is_empty() {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(r: f64) -> Transition {
+        Transition {
+            state: vec![r],
+            action: 0,
+            reward: r,
+            next_state: vec![r + 1.0],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut b = ReplayBuffer::new(3);
+        assert!(b.is_empty());
+        b.push(t(1.0));
+        b.push(t(2.0));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn eviction_wraps_ring() {
+        let mut b = ReplayBuffer::new(2);
+        b.push(t(1.0));
+        b.push(t(2.0));
+        b.push(t(3.0)); // evicts 1.0
+        assert_eq!(b.len(), 2);
+        let rewards: Vec<f64> = b.items.iter().map(|x| x.reward).collect();
+        assert!(rewards.contains(&3.0));
+        assert!(!rewards.contains(&1.0));
+    }
+
+    #[test]
+    fn sampling_respects_count() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..5 {
+            b.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(b.sample(3, &mut rng).len(), 3);
+        assert_eq!(b.sample(0, &mut rng).len(), 0);
+        let empty = ReplayBuffer::new(4);
+        assert!(empty.sample(3, &mut rng).is_empty());
+    }
+}

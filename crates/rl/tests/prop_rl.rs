@@ -1,0 +1,118 @@
+//! Property-based tests: replay buffer, delayed reward and log-curve
+//! invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tunio_rl::logcurve::LogCurve;
+use tunio_rl::replay::{ReplayBuffer, Transition};
+use tunio_rl::DelayedReward;
+
+fn transition(reward: f64) -> Transition {
+    Transition {
+        state: vec![reward],
+        action: 0,
+        reward,
+        next_state: vec![],
+        done: false,
+    }
+}
+
+proptest! {
+    #[test]
+    fn replay_never_exceeds_capacity(
+        capacity in 1usize..64,
+        pushes in proptest::collection::vec(any::<f64>(), 0..200),
+    ) {
+        let mut buf = ReplayBuffer::new(capacity);
+        for (i, r) in pushes.iter().enumerate() {
+            buf.push(transition(*r));
+            prop_assert!(buf.len() <= capacity);
+            prop_assert_eq!(buf.len(), (i + 1).min(capacity));
+        }
+    }
+
+    #[test]
+    fn replay_sampling_returns_requested_count(
+        capacity in 1usize..32,
+        n_push in 1usize..64,
+        n_sample in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut buf = ReplayBuffer::new(capacity);
+        for i in 0..n_push {
+            buf.push(transition(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = buf.sample(n_sample, &mut rng);
+        prop_assert_eq!(sample.len(), n_sample.min(if buf.is_empty() { 0 } else { n_sample }));
+    }
+
+    #[test]
+    fn delayed_reward_conserves_transitions(
+        delay in 0usize..10,
+        rewards in proptest::collection::vec(-1.0f64..1.0, 0..50),
+    ) {
+        let mut d = DelayedReward::new(delay);
+        let mut released = 0;
+        for r in &rewards {
+            if d.push(transition(*r)).is_some() {
+                released += 1;
+            }
+        }
+        let flushed = d.flush();
+        prop_assert_eq!(released + flushed.len(), rewards.len());
+        prop_assert_eq!(d.pending_len(), 0);
+    }
+
+    #[test]
+    fn matured_rewards_are_future_rewards(
+        rewards in proptest::collection::vec(-10.0f64..10.0, 6..40),
+    ) {
+        let delay = 5;
+        let mut d = DelayedReward::new(delay);
+        for (i, r) in rewards.iter().enumerate() {
+            if let Some(m) = d.push(transition(*r)) {
+                // The matured transition was pushed `delay` steps ago and
+                // carries the newest reward.
+                let original_index = i - delay;
+                prop_assert_eq!(m.state[0], rewards[original_index]);
+                prop_assert_eq!(m.reward, rewards[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn log_curves_are_monotone_without_dips(
+        start in 0.1f64..2.0,
+        gain in 0.1f64..5.0,
+        rate in 0.05f64..2.0,
+        delay in 0u32..15,
+    ) {
+        let c = LogCurve { start, gain, rate, max_iters: 50, dips: vec![], delay };
+        for t in 1..=50u32 {
+            prop_assert!(
+                c.perf(t) >= c.perf(t - 1) - 1e-12,
+                "curve decreased at t={t}"
+            );
+        }
+        // Bounded by start + gain.
+        prop_assert!(c.perf(50) <= start + gain + 1e-9);
+        // Flat during the delay window.
+        if delay > 1 {
+            prop_assert!((c.perf(delay - 1) - c.perf(0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ideal_stop_is_within_budget(
+        start in 0.1f64..2.0,
+        gain in 0.1f64..5.0,
+        rate in 0.05f64..2.0,
+        cost in 0.001f64..0.2,
+    ) {
+        let c = LogCurve { start, gain, rate, max_iters: 40, dips: vec![], delay: 0 };
+        let stop = c.ideal_stop(cost);
+        prop_assert!((1..=40).contains(&stop));
+    }
+}

@@ -1,0 +1,508 @@
+//! The genetic-algorithm tuner.
+//!
+//! Population-based search over configuration genomes with elitism and
+//! tournament selection (size 3, best two become parents — §III-A), the
+//! same structure the paper builds with DEAP.
+
+use crate::evaluator::Evaluator;
+use crate::stoppers::Stopper;
+use crate::subset::SubsetProvider;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use tunio_params::Configuration;
+
+/// Crossover operator variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Crossover {
+    /// Each masked gene comes from either parent with equal probability.
+    #[default]
+    Uniform,
+    /// A single cut point within the masked genes; the child takes the
+    /// prefix from one parent and the suffix from the other.
+    OnePoint,
+}
+
+/// Genetic-algorithm hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Elite individuals carried over unchanged.
+    pub elite: usize,
+    /// Tournament size (3 in the paper).
+    pub tournament: usize,
+    /// Per-gene mutation probability within the active subset.
+    pub mutation_rate: f64,
+    /// Crossover operator.
+    pub crossover: Crossover,
+    /// Hard iteration budget (the tuning budget in generations).
+    pub max_iterations: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 8,
+            elite: 1,
+            tournament: 3,
+            mutation_rate: 0.08,
+            crossover: Crossover::Uniform,
+            max_iterations: 50,
+            seed: 0,
+        }
+    }
+}
+
+/// One generation's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct IterationRecord {
+    /// Generation number (1-based).
+    pub iteration: u32,
+    /// Best perf seen so far (bytes/s).
+    pub best_perf: f64,
+    /// Best perf among configurations evaluated *this* generation.
+    pub generation_best_perf: f64,
+    /// Tuning time charged for this generation, seconds.
+    pub cost_s: f64,
+    /// Cumulative tuning time, seconds.
+    pub cumulative_cost_s: f64,
+    /// Size of the parameter subset tuned this generation.
+    pub subset_size: usize,
+}
+
+/// A completed tuning campaign.
+#[derive(Debug, Clone, Serialize)]
+pub struct TuningTrace {
+    /// Per-generation records.
+    pub records: Vec<IterationRecord>,
+    /// Best configuration found.
+    pub best_config: Configuration,
+    /// Best perf found (bytes/s).
+    pub best_perf: f64,
+    /// Perf of the default (untuned) configuration (bytes/s).
+    pub default_perf: f64,
+    /// Whether the stopper terminated before the budget.
+    pub stopped_early: bool,
+    /// Stopper that ended the campaign.
+    pub stopper_name: String,
+}
+
+impl TuningTrace {
+    /// Total tuning time in seconds.
+    pub fn total_cost_s(&self) -> f64 {
+        self.records.last().map(|r| r.cumulative_cost_s).unwrap_or(0.0)
+    }
+
+    /// Total tuning time in minutes (the paper's budget unit).
+    pub fn total_cost_min(&self) -> f64 {
+        self.total_cost_s() / 60.0
+    }
+
+    /// Number of generations run.
+    pub fn iterations(&self) -> u32 {
+        self.records.len() as u32
+    }
+
+    /// perf gain over the default configuration (bytes/s).
+    pub fn gain(&self) -> f64 {
+        (self.best_perf - self.default_perf).max(0.0)
+    }
+}
+
+/// The tuner.
+///
+/// ```
+/// use tunio_iosim::Simulator;
+/// use tunio_params::ParameterSpace;
+/// use tunio_tuner::{AllParams, Evaluator, GaConfig, GaTuner, NoStop};
+/// use tunio_workloads::{hacc, Variant, Workload};
+///
+/// let mut evaluator = Evaluator::new(
+///     Simulator::cori_4node(1),
+///     Workload::new(hacc(), Variant::Kernel),
+///     ParameterSpace::tunio_default(),
+///     3,
+/// );
+/// let mut tuner = GaTuner::new(GaConfig { max_iterations: 3, ..Default::default() });
+/// let trace = tuner.run(&mut evaluator, &mut NoStop, &mut AllParams);
+/// assert_eq!(trace.iterations(), 3);
+/// assert!(trace.best_perf >= trace.default_perf);
+/// ```
+#[derive(Debug)]
+pub struct GaTuner {
+    /// Hyperparameters.
+    pub cfg: GaConfig,
+    rng: StdRng,
+}
+
+impl GaTuner {
+    /// Create a tuner.
+    pub fn new(cfg: GaConfig) -> Self {
+        GaTuner {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+        }
+    }
+
+    /// Run the tuning pipeline: evolve generations until the stopper fires
+    /// or the iteration budget is exhausted.
+    pub fn run(
+        &mut self,
+        evaluator: &mut Evaluator,
+        stopper: &mut dyn Stopper,
+        subsets: &mut dyn SubsetProvider,
+    ) -> TuningTrace {
+        let space = evaluator.space.clone();
+        let pop_size = self.cfg.population.max(2);
+        let mut population: Vec<Configuration> = Vec::new();
+
+        let default_perf = evaluator.evaluate(&space.default_config()).perf;
+
+        let mut best_config = space.default_config();
+        let mut best_perf = default_perf;
+        let mut cumulative = 0.0;
+        let mut records = Vec::new();
+        let mut stopped_early = false;
+
+        for iteration in 1..=self.cfg.max_iterations {
+            let subset = {
+                let s = subsets.next_subset(iteration, best_perf, &space);
+                if s.is_empty() {
+                    tunio_params::ParamId::ALL.to_vec()
+                } else {
+                    s
+                }
+            };
+
+            // The initial population is the default configuration plus
+            // partial mutants of it *within the first active subset*:
+            // tuning pipelines start from the deployed defaults, and
+            // exploration is confined to the parameters being tuned. A
+            // high-performing configuration usually needs several genes
+            // right simultaneously, so it must be assembled over
+            // generations — the wider the subset, the longer that takes.
+            if population.is_empty() {
+                population.push(space.default_config());
+                while population.len() < pop_size {
+                    let mut c = space.default_config();
+                    c.mutate_masked(&space, &subset, 0.12, &mut self.rng);
+                    population.push(c);
+                }
+            }
+
+            // Evaluate the generation.
+            let mut scored: Vec<(f64, Configuration)> = Vec::with_capacity(population.len());
+            let mut gen_cost = 0.0;
+            let mut gen_best = f64::NEG_INFINITY;
+            for individual in &population {
+                let e = evaluator.evaluate(individual);
+                gen_cost += e.cost_s;
+                gen_best = gen_best.max(e.perf);
+                if e.perf > best_perf {
+                    best_perf = e.perf;
+                    best_config = individual.clone();
+                }
+                scored.push((e.perf, individual.clone()));
+            }
+            cumulative += gen_cost;
+
+            records.push(IterationRecord {
+                iteration,
+                best_perf,
+                generation_best_perf: gen_best,
+                cost_s: gen_cost,
+                cumulative_cost_s: cumulative,
+                subset_size: subset.len(),
+            });
+
+            subsets.feedback(&subset, best_perf);
+            if stopper.should_stop(iteration, best_perf) {
+                stopped_early = iteration < self.cfg.max_iterations;
+                break;
+            }
+
+            // Breed the next generation: elitism + tournament offspring.
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            let mut next: Vec<Configuration> = scored
+                .iter()
+                .take(self.cfg.elite.min(scored.len()))
+                .map(|(_, c)| c.clone())
+                .collect();
+            while next.len() < pop_size {
+                let (p1, p2) = self.tournament_parents(&scored);
+                let mut child = match self.cfg.crossover {
+                    Crossover::Uniform => p1.crossover_masked(p2, &subset, &mut self.rng),
+                    Crossover::OnePoint => {
+                        let cut = self.rng.gen_range(0..=subset.len());
+                        let mut c = p1.clone();
+                        for &p in &subset[cut..] {
+                            c.set_gene(p, p2.gene(p));
+                        }
+                        c
+                    }
+                };
+                child.mutate_masked(&space, &subset, self.cfg.mutation_rate, &mut self.rng);
+                next.push(child);
+            }
+            population = next;
+        }
+
+        TuningTrace {
+            records,
+            best_config,
+            best_perf,
+            default_perf,
+            stopped_early,
+            stopper_name: stopper.name().to_string(),
+        }
+    }
+
+    /// Tournament selection: draw `tournament` individuals at random, the
+    /// best two become the parents (§III-A).
+    fn tournament_parents<'a>(
+        &mut self,
+        scored: &'a [(f64, Configuration)],
+    ) -> (&'a Configuration, &'a Configuration) {
+        let k = self.cfg.tournament.max(2).min(scored.len());
+        let mut picks: Vec<&(f64, Configuration)> = (0..k)
+            .map(|_| &scored[self.rng.gen_range(0..scored.len())])
+            .collect();
+        picks.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        (&picks[0].1, &picks[1].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stoppers::{HeuristicStop, NoStop};
+    use crate::subset::{AllParams, FixedSubset};
+    use tunio_iosim::Simulator;
+    use tunio_params::{Impact, ParameterSpace};
+    use tunio_workloads::{hacc, Variant, Workload};
+
+    fn evaluator(seed: u64) -> Evaluator {
+        Evaluator::new(
+            Simulator::cori_4node(seed),
+            Workload::new(hacc(), Variant::Kernel),
+            ParameterSpace::tunio_default(),
+            3,
+        )
+    }
+
+    fn quick_cfg(seed: u64, iters: u32) -> GaConfig {
+        GaConfig {
+            max_iterations: iters,
+            seed,
+            ..GaConfig::default()
+        }
+    }
+
+    #[test]
+    fn tuning_improves_over_default() {
+        let mut tuner = GaTuner::new(quick_cfg(1, 25));
+        let trace = tuner.run(&mut evaluator(1), &mut NoStop, &mut AllParams);
+        assert!(
+            trace.best_perf > 1.5 * trace.default_perf,
+            "best {} vs default {}",
+            trace.best_perf,
+            trace.default_perf
+        );
+    }
+
+    #[test]
+    fn best_so_far_is_monotone_elitism() {
+        let mut tuner = GaTuner::new(quick_cfg(2, 20));
+        let trace = tuner.run(&mut evaluator(2), &mut NoStop, &mut AllParams);
+        for w in trace.records.windows(2) {
+            assert!(
+                w[1].best_perf >= w[0].best_perf,
+                "elitism must keep best-so-far monotone"
+            );
+        }
+    }
+
+    #[test]
+    fn costs_accumulate_and_are_positive() {
+        let mut tuner = GaTuner::new(quick_cfg(3, 10));
+        let trace = tuner.run(&mut evaluator(3), &mut NoStop, &mut AllParams);
+        assert!(trace.total_cost_s() > 0.0);
+        for w in trace.records.windows(2) {
+            assert!(w[1].cumulative_cost_s >= w[0].cumulative_cost_s);
+        }
+        // First generation costs the most (nothing memoized yet).
+        assert!(trace.records[0].cost_s > 0.0);
+    }
+
+    #[test]
+    fn heuristic_stop_ends_before_budget_on_plateau() {
+        let mut tuner = GaTuner::new(quick_cfg(4, 50));
+        let trace = tuner.run(
+            &mut evaluator(4),
+            &mut HeuristicStop::paper_default(),
+            &mut AllParams,
+        );
+        assert!(trace.iterations() < 50, "ran {}", trace.iterations());
+        assert!(trace.stopped_early);
+        assert_eq!(trace.stopper_name, "heuristic-5pct-5iter");
+    }
+
+    #[test]
+    fn high_impact_subset_tunes_as_well_as_full_space_but_cheaper_search() {
+        let space = ParameterSpace::tunio_default();
+        let high = space.with_impact(Impact::High);
+
+        let mut full_tuner = GaTuner::new(quick_cfg(5, 30));
+        let full = full_tuner.run(&mut evaluator(5), &mut NoStop, &mut AllParams);
+
+        let mut sub_tuner = GaTuner::new(quick_cfg(5, 30));
+        let sub = sub_tuner.run(
+            &mut evaluator(5),
+            &mut NoStop,
+            &mut FixedSubset { subset: high },
+        );
+
+        // The high-impact subset achieves ≥85% of the full-space perf.
+        assert!(
+            sub.best_perf > 0.85 * full.best_perf,
+            "subset {} vs full {}",
+            sub.best_perf,
+            full.best_perf
+        );
+    }
+
+    #[test]
+    fn low_impact_subset_cannot_match_high_impact() {
+        let space = ParameterSpace::tunio_default();
+        let mut low_tuner = GaTuner::new(quick_cfg(6, 20));
+        let low = low_tuner.run(
+            &mut evaluator(6),
+            &mut NoStop,
+            &mut FixedSubset {
+                subset: space.with_impact(Impact::Low),
+            },
+        );
+        let mut high_tuner = GaTuner::new(quick_cfg(6, 20));
+        let high = high_tuner.run(
+            &mut evaluator(6),
+            &mut NoStop,
+            &mut FixedSubset {
+                subset: space.with_impact(Impact::High),
+            },
+        );
+        assert!(
+            high.best_perf > 1.5 * low.best_perf,
+            "high {} vs low {}",
+            high.best_perf,
+            low.best_perf
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut tuner = GaTuner::new(quick_cfg(7, 8));
+            tuner
+                .run(&mut evaluator(7), &mut NoStop, &mut AllParams)
+                .best_perf
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn trace_metrics_are_consistent() {
+        let mut tuner = GaTuner::new(quick_cfg(8, 5));
+        let trace = tuner.run(&mut evaluator(8), &mut NoStop, &mut AllParams);
+        assert_eq!(trace.iterations(), 5);
+        assert!(trace.gain() >= 0.0);
+        assert!((trace.total_cost_min() - trace.total_cost_s() / 60.0).abs() < 1e-9);
+    }
+}
+
+impl TuningTrace {
+    /// Export the per-iteration series as CSV (header + one row per
+    /// generation) for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "iteration,best_perf_bytes_per_s,generation_best_bytes_per_s,cost_s,cumulative_cost_s,subset_size\n",
+        );
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                r.iteration,
+                r.best_perf,
+                r.generation_best_perf,
+                r.cost_s,
+                r.cumulative_cost_s,
+                r.subset_size
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+    use crate::evaluator::Evaluator;
+    use crate::stoppers::NoStop;
+    use crate::subset::AllParams;
+    use tunio_iosim::Simulator;
+    use tunio_params::ParameterSpace;
+    use tunio_workloads::{hacc, Variant, Workload};
+
+    #[test]
+    fn csv_has_header_plus_one_row_per_iteration() {
+        let mut evaluator = Evaluator::new(
+            Simulator::cori_4node(1),
+            Workload::new(hacc(), Variant::Kernel),
+            ParameterSpace::tunio_default(),
+            3,
+        );
+        let mut tuner = GaTuner::new(GaConfig {
+            max_iterations: 4,
+            seed: 1,
+            ..GaConfig::default()
+        });
+        let trace = tuner.run(&mut evaluator, &mut NoStop, &mut AllParams);
+        let csv = trace.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("iteration,"));
+        assert!(lines[1].starts_with("1,"));
+        // Each row has 6 comma-separated fields.
+        assert!(lines.iter().all(|l| l.split(',').count() == 6));
+    }
+}
+
+#[cfg(test)]
+mod crossover_tests {
+    use super::*;
+    use crate::evaluator::Evaluator;
+    use crate::stoppers::NoStop;
+    use crate::subset::AllParams;
+    use tunio_iosim::Simulator;
+    use tunio_params::ParameterSpace;
+    use tunio_workloads::{hacc, Variant, Workload};
+
+    #[test]
+    fn one_point_crossover_also_tunes() {
+        let mut evaluator = Evaluator::new(
+            Simulator::cori_4node(6),
+            Workload::new(hacc(), Variant::Kernel),
+            ParameterSpace::tunio_default(),
+            3,
+        );
+        let mut tuner = GaTuner::new(GaConfig {
+            crossover: Crossover::OnePoint,
+            max_iterations: 15,
+            seed: 6,
+            ..GaConfig::default()
+        });
+        let trace = tuner.run(&mut evaluator, &mut NoStop, &mut AllParams);
+        assert!(trace.best_perf > 1.5 * trace.default_perf);
+    }
+}

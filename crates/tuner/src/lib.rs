@@ -1,0 +1,38 @@
+//! # tunio-tuner — the genetic-algorithm tuning pipeline
+//!
+//! A from-scratch stand-in for the DEAP-driven HSTuner pipeline the paper
+//! builds on: configurations are genomes over the twelve-parameter space,
+//! evolved with tournament selection (size 3, best two carried forward as
+//! parents — §III-A) and elitism (the best configuration found so far is
+//! never lost).
+//!
+//! The pipeline is deliberately pluggable at the two points where TunIO
+//! attaches (paper Fig 3):
+//!
+//! * [`subset::SubsetProvider`] — which parameters the genetic operators
+//!   may touch this generation. HSTuner uses [`subset::AllParams`]; TunIO
+//!   plugs in its Smart Configuration Generation agent.
+//! * [`stoppers::Stopper`] — the termination condition. HSTuner variants
+//!   use [`stoppers::NoStop`] / [`stoppers::HeuristicStop`]; TunIO plugs
+//!   in its RL Early Stopping agent.
+//!
+//! [`evaluator::Evaluator`] runs configurations on the simulated I/O stack
+//! (averaging three runs, charging only one run's time to the tuning
+//! budget, exactly as §IV's methodology describes) and memoizes repeat
+//! evaluations. [`ga::GaTuner::run`] produces a [`ga::TuningTrace`] — the
+//! per-iteration best-perf / cumulative-cost series every figure in the
+//! paper's evaluation is drawn from.
+
+#![warn(missing_docs)]
+
+pub mod evaluator;
+pub mod ga;
+pub mod search;
+pub mod stoppers;
+pub mod subset;
+
+pub use evaluator::{Evaluation, Evaluator};
+pub use ga::{Crossover, GaConfig, GaTuner, IterationRecord, TuningTrace};
+pub use search::{HillClimb, RandomSearch};
+pub use stoppers::{BudgetStop, HeuristicStop, MaxPerfStop, NoStop, Stopper};
+pub use subset::{AllParams, SubsetProvider};

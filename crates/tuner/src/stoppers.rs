@@ -1,0 +1,176 @@
+//! Termination conditions for the tuning pipeline.
+
+/// Decides whether tuning should stop after each generation.
+pub trait Stopper {
+    /// Called after generation `iteration` (1-based) with the best perf
+    /// achieved so far; `true` stops the pipeline.
+    fn should_stop(&mut self, iteration: u32, best_perf: f64) -> bool;
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Never stops (runs the full budget) — the "HSTuner No Stop" baseline.
+#[derive(Debug, Clone, Default)]
+pub struct NoStop;
+
+impl Stopper for NoStop {
+    fn should_stop(&mut self, _iteration: u32, _best_perf: f64) -> bool {
+        false
+    }
+    fn name(&self) -> &'static str {
+        "no-stop"
+    }
+}
+
+/// The heuristic early stopper the paper compares against (§IV-C): stop
+/// when the best perf has improved by less than `threshold` (relative)
+/// over the last `window` iterations — 5% over 5 iterations in the paper.
+#[derive(Debug, Clone)]
+pub struct HeuristicStop {
+    /// Relative improvement threshold (0.05 = 5%).
+    pub threshold: f64,
+    /// Window length in iterations (5 in the paper).
+    pub window: u32,
+    history: Vec<f64>,
+}
+
+impl HeuristicStop {
+    /// The paper's 5% / 5-iteration configuration.
+    pub fn paper_default() -> Self {
+        HeuristicStop::new(0.05, 5)
+    }
+
+    /// Custom threshold/window.
+    pub fn new(threshold: f64, window: u32) -> Self {
+        HeuristicStop {
+            threshold,
+            window: window.max(1),
+            history: Vec::new(),
+        }
+    }
+}
+
+impl Stopper for HeuristicStop {
+    fn should_stop(&mut self, _iteration: u32, best_perf: f64) -> bool {
+        self.history.push(best_perf);
+        let w = self.window as usize;
+        if self.history.len() <= w {
+            return false;
+        }
+        let past = self.history[self.history.len() - 1 - w];
+        if past <= 0.0 {
+            return false;
+        }
+        (best_perf - past) / past < self.threshold
+    }
+    fn name(&self) -> &'static str {
+        "heuristic-5pct-5iter"
+    }
+}
+
+/// Fixed iteration budget.
+#[derive(Debug, Clone)]
+pub struct BudgetStop {
+    /// Stop after this many iterations.
+    pub max_iterations: u32,
+}
+
+impl Stopper for BudgetStop {
+    fn should_stop(&mut self, iteration: u32, _best_perf: f64) -> bool {
+        iteration >= self.max_iterations
+    }
+    fn name(&self) -> &'static str {
+        "budget"
+    }
+}
+
+/// Oracle used in Fig 10b's "Maximizing Performance" comparison: stops the
+/// moment best perf reaches `target` (a perfect model of "the true optimal
+/// was reached").
+#[derive(Debug, Clone)]
+pub struct MaxPerfStop {
+    /// Perf at which to stop.
+    pub target: f64,
+}
+
+impl Stopper for MaxPerfStop {
+    fn should_stop(&mut self, _iteration: u32, best_perf: f64) -> bool {
+        best_perf >= self.target
+    }
+    fn name(&self) -> &'static str {
+        "max-perf-oracle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_stop_never_stops() {
+        let mut s = NoStop;
+        for i in 0..1000 {
+            assert!(!s.should_stop(i, i as f64));
+        }
+    }
+
+    #[test]
+    fn heuristic_stops_on_plateau() {
+        let mut s = HeuristicStop::paper_default();
+        // Strong growth for 6 iterations: no stop.
+        for (i, p) in [1.0, 1.5, 2.0, 2.5, 3.0, 3.5].iter().enumerate() {
+            assert!(!s.should_stop(i as u32 + 1, *p), "iter {i}");
+        }
+        // Plateau: after `window` flat iterations it must stop.
+        let mut stopped = false;
+        for i in 7..=12 {
+            if s.should_stop(i, 3.55) {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped);
+    }
+
+    #[test]
+    fn heuristic_tolerates_continued_growth() {
+        let mut s = HeuristicStop::paper_default();
+        let mut perf = 1.0;
+        for i in 1..=30 {
+            perf *= 1.10; // 10% growth per iteration — never below 5%/5iters
+            assert!(!s.should_stop(i, perf), "stopped during growth at {i}");
+        }
+    }
+
+    #[test]
+    fn heuristic_is_fooled_by_early_plateau() {
+        // The failure mode Fig 10a demonstrates: a plateau at iterations
+        // 10–20 traps the heuristic even though gains resume later.
+        let mut s = HeuristicStop::paper_default();
+        let mut stopped_at = None;
+        for i in 1..=20 {
+            let perf = if i < 10 { i as f64 } else { 9.2 }; // plateau
+            if s.should_stop(i, perf) {
+                stopped_at = Some(i);
+                break;
+            }
+        }
+        let at = stopped_at.expect("heuristic should stop in the plateau");
+        assert!((10..=16).contains(&at), "stopped at {at}");
+    }
+
+    #[test]
+    fn budget_stop_respects_budget() {
+        let mut s = BudgetStop { max_iterations: 3 };
+        assert!(!s.should_stop(2, 1.0));
+        assert!(s.should_stop(3, 1.0));
+    }
+
+    #[test]
+    fn max_perf_oracle_fires_at_target() {
+        let mut s = MaxPerfStop { target: 5.0 };
+        assert!(!s.should_stop(1, 4.9));
+        assert!(s.should_stop(2, 5.0));
+    }
+}

@@ -1,0 +1,94 @@
+//! Parameter-subset selection hooks.
+//!
+//! Each generation, the genetic operators only touch a subset of the
+//! parameter space. HSTuner touches everything ([`AllParams`]); TunIO's
+//! Smart Configuration Generation component provides high-impact subsets
+//! (implemented in the `tunio` crate against this trait).
+
+use tunio_params::{ParamId, ParameterSpace};
+
+/// Supplies the parameter subset the genetic operators may mutate in the
+/// next generation, and receives feedback on the result.
+pub trait SubsetProvider {
+    /// Subset for generation `iteration` (1-based). Must be non-empty.
+    fn next_subset(
+        &mut self,
+        iteration: u32,
+        best_perf: f64,
+        space: &ParameterSpace,
+    ) -> Vec<ParamId>;
+
+    /// Feedback after the generation ran: the subset used and the best
+    /// perf achieved with it.
+    fn feedback(&mut self, subset: &[ParamId], best_perf: f64);
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Tune every parameter every generation (the HSTuner behaviour).
+#[derive(Debug, Clone, Default)]
+pub struct AllParams;
+
+impl SubsetProvider for AllParams {
+    fn next_subset(
+        &mut self,
+        _iteration: u32,
+        _best_perf: f64,
+        _space: &ParameterSpace,
+    ) -> Vec<ParamId> {
+        ParamId::ALL.to_vec()
+    }
+
+    fn feedback(&mut self, _subset: &[ParamId], _best_perf: f64) {}
+
+    fn name(&self) -> &'static str {
+        "all-params"
+    }
+}
+
+/// Tune a fixed subset (for ablations).
+#[derive(Debug, Clone)]
+pub struct FixedSubset {
+    /// The parameters to tune.
+    pub subset: Vec<ParamId>,
+}
+
+impl SubsetProvider for FixedSubset {
+    fn next_subset(
+        &mut self,
+        _iteration: u32,
+        _best_perf: f64,
+        _space: &ParameterSpace,
+    ) -> Vec<ParamId> {
+        self.subset.clone()
+    }
+
+    fn feedback(&mut self, _subset: &[ParamId], _best_perf: f64) {}
+
+    fn name(&self) -> &'static str {
+        "fixed-subset"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_params_returns_full_space() {
+        let space = ParameterSpace::tunio_default();
+        let mut p = AllParams;
+        assert_eq!(p.next_subset(1, 0.0, &space).len(), 12);
+    }
+
+    #[test]
+    fn fixed_subset_is_stable() {
+        let space = ParameterSpace::tunio_default();
+        let mut p = FixedSubset {
+            subset: vec![ParamId::StripingFactor, ParamId::CbNodes],
+        };
+        assert_eq!(p.next_subset(1, 0.0, &space).len(), 2);
+        assert_eq!(p.next_subset(9, 5.0, &space).len(), 2);
+    }
+}

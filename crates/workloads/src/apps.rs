@@ -1,0 +1,305 @@
+//! The paper's applications, reconstructed as [`AppSpec`]s.
+//!
+//! Sizes are chosen so that simulated runtimes and tuning budgets land in
+//! the same ranges the paper reports (hundreds of simulated minutes per
+//! tuning campaign; see EXPERIMENTS.md for calibration notes). Patterns
+//! follow each application's published I/O behaviour.
+
+use crate::spec::{AppSpec, IterationIo};
+use tunio_iosim::{AccessPattern, IoKind};
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+
+/// HACC — cosmology N-body code. Checkpoints interleaved per-particle
+/// records (nine fields per particle) at every analysis step; write-only,
+/// compute-heavy between dumps. Used in Figs 2 and 10.
+pub fn hacc() -> AppSpec {
+    AppSpec {
+        name: "hacc".into(),
+        setup_meta_ops: 24,
+        setup_header_bytes: 64 * KIB,
+        loop_iterations: 10,
+        compute_per_iteration_s: 30.0,
+        iteration_io: vec![IterationIo {
+            dataset: "particles".into(),
+            kind: IoKind::Write,
+            per_proc_bytes: 64 * MIB,
+            ops_per_proc: 256,
+            pattern: AccessPattern::Strided { record: 256 * KIB },
+            meta_ops: 12,
+            collective_capable: true,
+            chunk_reuse_bytes: 0,
+            pre_striped: 0,
+        }],
+        logging_ops_per_iteration: 6,
+        logging_bytes_per_op: 96,
+    }
+}
+
+/// VPIC — plasma physics particle-in-cell code. Dumps particle data in
+/// large interleaved records; write-only. Used in Fig 2 and for offline
+/// subset-picker training.
+pub fn vpic() -> AppSpec {
+    AppSpec {
+        name: "vpic".into(),
+        setup_meta_ops: 18,
+        setup_header_bytes: 32 * KIB,
+        loop_iterations: 8,
+        compute_per_iteration_s: 45.0,
+        iteration_io: vec![IterationIo {
+            dataset: "particles".into(),
+            kind: IoKind::Write,
+            per_proc_bytes: 96 * MIB,
+            ops_per_proc: 384,
+            pattern: AccessPattern::Strided { record: 512 * KIB },
+            meta_ops: 10,
+            collective_capable: true,
+            chunk_reuse_bytes: 0,
+            pre_striped: 0,
+        }],
+        logging_ops_per_iteration: 4,
+        logging_bytes_per_op: 128,
+    }
+}
+
+/// FLASH — astrophysics AMR code. Writes large chunked checkpoints plus
+/// smaller plotfiles each analysis interval; chunked datasets re-touch a
+/// per-process working set, so the chunk cache matters. Used in Figs 2
+/// and 9.
+pub fn flash() -> AppSpec {
+    AppSpec {
+        name: "flash".into(),
+        setup_meta_ops: 40,
+        setup_header_bytes: 128 * KIB,
+        loop_iterations: 10,
+        compute_per_iteration_s: 24.0,
+        iteration_io: vec![
+            IterationIo {
+                dataset: "checkpoint".into(),
+                kind: IoKind::Write,
+                per_proc_bytes: 48 * MIB,
+                ops_per_proc: 192,
+                pattern: AccessPattern::Strided { record: 256 * KIB },
+                meta_ops: 16,
+                collective_capable: true,
+                chunk_reuse_bytes: 96 * MIB,
+                pre_striped: 0,
+            },
+            IterationIo {
+                dataset: "plotfile".into(),
+                kind: IoKind::Write,
+                per_proc_bytes: 12 * MIB,
+                ops_per_proc: 96,
+                pattern: AccessPattern::Strided { record: 128 * KIB },
+                meta_ops: 12,
+                collective_capable: true,
+                chunk_reuse_bytes: 24 * MIB,
+                pre_striped: 0,
+            },
+        ],
+        logging_ops_per_iteration: 8,
+        logging_bytes_per_op: 80,
+    }
+}
+
+/// MACSio — proxy I/O workload generator. The paper baselines its
+/// compute-to-I/O ratio on VPIC runs with the Dipole configuration
+/// (Fig 8): compute is ~15% of default-configuration runtime, so
+/// extracting the I/O kernel shaves ~14% off tuning time.
+pub fn macsio_vpic_dipole() -> AppSpec {
+    AppSpec {
+        name: "macsio-vpic-dipole".into(),
+        setup_meta_ops: 20,
+        setup_header_bytes: 32 * KIB,
+        loop_iterations: 20,
+        compute_per_iteration_s: 5.5,
+        iteration_io: vec![IterationIo {
+            dataset: "dumps".into(),
+            kind: IoKind::Write,
+            per_proc_bytes: 64 * MIB,
+            ops_per_proc: 256,
+            pattern: AccessPattern::Strided { record: 256 * KIB },
+            meta_ops: 10,
+            collective_capable: true,
+            chunk_reuse_bytes: 0,
+            pre_striped: 0,
+        }],
+        // ~19% of write ops are logging (paper Fig 8c: the extracted
+        // kernel's write-op count differs by 19.05% because these drop).
+        logging_ops_per_iteration: 60,
+        logging_bytes_per_op: 72,
+    }
+}
+
+/// BD-CATS — parallel DBSCAN clustering of particle data. Read-dominated:
+/// each analysis step loads a slab of the particle dataset (with heavy
+/// neighbour re-reads, so the chunk cache matters), clusters it, and
+/// writes compact cluster labels. Evaluated end-to-end at 500 nodes /
+/// 1600 processes in Figs 11 and 12.
+pub fn bdcats() -> AppSpec {
+    AppSpec {
+        name: "bdcats".into(),
+        setup_meta_ops: 32,
+        setup_header_bytes: 16 * KIB,
+        loop_iterations: 4,
+        compute_per_iteration_s: 45.0,
+        iteration_io: vec![
+            IterationIo {
+                dataset: "particles".into(),
+                kind: IoKind::Read,
+                per_proc_bytes: 128 * MIB,
+                ops_per_proc: 512,
+                pattern: AccessPattern::Strided { record: 1024 * KIB },
+                meta_ops: 8,
+                collective_capable: true,
+                chunk_reuse_bytes: 64 * MIB,
+                // The trillion-particle input dataset was written striped
+                // over 32 OSTs; reads inherit at least that parallelism.
+                pre_striped: 32,
+            },
+            IterationIo {
+                dataset: "clusters".into(),
+                kind: IoKind::Write,
+                per_proc_bytes: 16 * MIB,
+                ops_per_proc: 128,
+                pattern: AccessPattern::Strided { record: 128 * KIB },
+                meta_ops: 6,
+                collective_capable: true,
+                chunk_reuse_bytes: 0,
+                pre_striped: 0,
+            },
+        ],
+        logging_ops_per_iteration: 6,
+        logging_bytes_per_op: 100,
+    }
+}
+
+/// All five applications, for sweeps.
+pub fn all_apps() -> Vec<AppSpec> {
+    vec![hacc(), vpic(), flash(), macsio_vpic_dipole(), bdcats()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Variant, Workload};
+    use tunio_iosim::{Phase, Simulator};
+    use tunio_params::{ParameterSpace, StackConfig};
+
+    #[test]
+    fn all_apps_have_distinct_names() {
+        let apps = all_apps();
+        let mut names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), apps.len());
+    }
+
+    #[test]
+    fn write_apps_are_write_dominated() {
+        let space = ParameterSpace::tunio_default();
+        let sim = Simulator::cori_4node(1);
+        for app in [hacc(), vpic(), flash(), macsio_vpic_dipole()] {
+            let w = Workload::new(app.clone(), Variant::Full);
+            let r = sim.run(&w.phases(), &StackConfig::defaults(&space), 0);
+            assert!(r.alpha() > 0.99, "{} alpha {}", app.name, r.alpha());
+        }
+    }
+
+    #[test]
+    fn bdcats_is_read_dominated() {
+        let space = ParameterSpace::tunio_default();
+        let sim = Simulator::cori_500node(1);
+        let w = Workload::new(bdcats(), Variant::Full);
+        let r = sim.run(&w.phases(), &StackConfig::defaults(&space), 0);
+        assert!(r.alpha() < 0.25, "alpha {}", r.alpha());
+        assert!(r.bytes_read > 4.0 * r.bytes_written);
+    }
+
+    #[test]
+    fn macsio_compute_fraction_near_15_percent() {
+        // Fig 8a requires kernel extraction to save ~14% of tuning time;
+        // that falls out of compute being ~15% of the default runtime.
+        let space = ParameterSpace::tunio_default();
+        let sim = Simulator::cori_4node(1);
+        let w = Workload::new(macsio_vpic_dipole(), Variant::Full);
+        let r = sim.run(&w.phases(), &StackConfig::defaults(&space), 0);
+        let frac = r.compute_time_s / r.elapsed_s;
+        assert!(
+            (0.08..0.30).contains(&frac),
+            "compute fraction {frac:.3} outside target band"
+        );
+    }
+
+    #[test]
+    fn kernel_variant_is_strictly_faster() {
+        let space = ParameterSpace::tunio_default();
+        let sim = Simulator::cori_4node(1);
+        for app in all_apps() {
+            let full = Workload::new(app.clone(), Variant::Full);
+            let kernel = Workload::new(app.clone(), Variant::Kernel);
+            let tf = sim
+                .run(&full.phases(), &StackConfig::defaults(&space), 0)
+                .elapsed_s;
+            let tk = sim
+                .run(&kernel.phases(), &StackConfig::defaults(&space), 0)
+                .elapsed_s;
+            assert!(tk < tf, "{}: kernel {tk} >= full {tf}", app.name);
+        }
+    }
+
+    #[test]
+    fn reduced_kernel_is_dramatically_faster() {
+        let space = ParameterSpace::tunio_default();
+        let sim = Simulator::cori_4node(1);
+        let app = macsio_vpic_dipole();
+        let kernel = Workload::new(app.clone(), Variant::Kernel);
+        let reduced = Workload::new(
+            app,
+            Variant::ReducedKernel {
+                keep_fraction: 0.01,
+            },
+        );
+        let tk = sim
+            .run(&kernel.phases(), &StackConfig::defaults(&space), 0)
+            .elapsed_s;
+        let tr = sim
+            .run(&reduced.phases(), &StackConfig::defaults(&space), 0)
+            .elapsed_s;
+        assert!(tr < tk / 5.0, "reduced {tr} vs kernel {tk}");
+    }
+
+    #[test]
+    fn phases_scale_with_iterations() {
+        let app = hacc();
+        let w = Workload::new(app.clone(), Variant::Kernel);
+        let io_count = w.phases().iter().filter(|p| p.is_io()).count();
+        // setup + one write phase per iteration.
+        assert_eq!(io_count, 1 + app.loop_iterations as usize);
+    }
+
+    #[test]
+    fn full_hacc_runtime_is_minutes_scale() {
+        // Default-configuration runs should take simulated minutes, not
+        // hours, so 50-generation tuning campaigns land in the paper's
+        // hundreds-of-minutes budgets.
+        let space = ParameterSpace::tunio_default();
+        let sim = Simulator::cori_4node(1);
+        let w = Workload::new(hacc(), Variant::Full);
+        let r = sim.run(&w.phases(), &StackConfig::defaults(&space), 0);
+        let minutes = r.elapsed_s / 60.0;
+        assert!((2.0..40.0).contains(&minutes), "runtime {minutes:.1} min");
+    }
+
+    #[test]
+    fn compute_phases_present_only_in_full() {
+        for app in all_apps() {
+            let kernel = Workload::new(app, Variant::Kernel);
+            assert!(kernel
+                .phases()
+                .iter()
+                .all(|p| matches!(p, Phase::Io(_))));
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Application specifications and variant construction.
+
+use serde::{Deserialize, Serialize};
+use tunio_iosim::{AccessPattern, IoKind, IoPhase, Phase};
+
+/// I/O performed by one iteration of an application's main loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationIo {
+    /// Dataset name (for reports).
+    pub dataset: String,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Bytes per process per iteration.
+    pub per_proc_bytes: u64,
+    /// Library-level calls per process per iteration.
+    pub ops_per_proc: u64,
+    /// Spatial pattern.
+    pub pattern: AccessPattern,
+    /// Metadata ops per process per iteration.
+    pub meta_ops: u64,
+    /// Whether the access is collective-capable.
+    pub collective_capable: bool,
+    /// Chunk-reuse working set per process, bytes.
+    pub chunk_reuse_bytes: u64,
+    /// Stripe count of the pre-existing input dataset (reads only; 0 for
+    /// created files).
+    pub pre_striped: u32,
+}
+
+impl IterationIo {
+    fn to_phase(&self, byte_scale: f64, op_scale: f64) -> Phase {
+        Phase::Io(IoPhase {
+            dataset: self.dataset.clone(),
+            kind: self.kind,
+            per_proc_bytes: ((self.per_proc_bytes as f64 * byte_scale).round() as u64).max(1),
+            ops_per_proc: ((self.ops_per_proc as f64 * op_scale).round() as u64).max(1),
+            pattern: self.pattern,
+            meta_ops: self.meta_ops,
+            collective_capable: self.collective_capable,
+            chunk_reuse_bytes: self.chunk_reuse_bytes,
+            pre_striped: self.pre_striped,
+        })
+    }
+}
+
+/// Static description of an application's structure.
+///
+/// The model is: a setup region (metadata-heavy file/dataset creation plus
+/// a small header write), then `loop_iterations` iterations of
+/// {compute, bulk I/O, trivial logging writes}. This captures every
+/// application in the paper's evaluation and gives the I/O Discovery
+/// component something faithful to strip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Application name.
+    pub name: String,
+    /// Metadata operations in the setup region, per process.
+    pub setup_meta_ops: u64,
+    /// Header bytes written once at setup, per process.
+    pub setup_header_bytes: u64,
+    /// Main-loop iteration count.
+    pub loop_iterations: u32,
+    /// Compute seconds per iteration (simulated).
+    pub compute_per_iteration_s: f64,
+    /// Bulk I/O performed each iteration.
+    pub iteration_io: Vec<IterationIo>,
+    /// Trivial logging/print write ops per process per iteration. These
+    /// carry almost no bytes but inflate the write-op count of the full
+    /// application — the source of the paper's 19.05% op-count delta
+    /// between full app and extracted kernel (Fig 8c).
+    pub logging_ops_per_iteration: u64,
+    /// Bytes per logging op (tiny).
+    pub logging_bytes_per_op: u64,
+}
+
+/// Which executable form of the application to build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Variant {
+    /// The original application.
+    Full,
+    /// The I/O kernel extracted by Application I/O Discovery: compute and
+    /// trivial logging writes removed, all real I/O retained.
+    Kernel,
+    /// The kernel with loop reduction: only `keep_fraction` of loop
+    /// iterations execute (at least one).
+    ReducedKernel {
+        /// Fraction of loop iterations kept, in `(0, 1]`.
+        keep_fraction: f64,
+    },
+}
+
+impl Variant {
+    /// Factor by which observed scalable metrics must be multiplied to
+    /// predict the full-loop values (1.0 except under loop reduction).
+    pub fn extrapolation_factor(&self, spec: &AppSpec) -> f64 {
+        match self {
+            Variant::ReducedKernel { keep_fraction } => {
+                let kept = reduced_iterations(spec.loop_iterations, *keep_fraction);
+                spec.loop_iterations as f64 / kept as f64
+            }
+            _ => 1.0,
+        }
+    }
+}
+
+fn reduced_iterations(total: u32, keep_fraction: f64) -> u32 {
+    ((total as f64 * keep_fraction).round() as u32).clamp(1, total.max(1))
+}
+
+/// An application bound to a variant: produces simulator phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The application description.
+    pub spec: AppSpec,
+    /// Which form to execute.
+    pub variant: Variant,
+}
+
+impl Workload {
+    /// Bind `spec` to a variant.
+    pub fn new(spec: AppSpec, variant: Variant) -> Self {
+        Workload { spec, variant }
+    }
+
+    /// Build the phase list the simulator executes.
+    pub fn phases(&self) -> Vec<Phase> {
+        let spec = &self.spec;
+        let mut phases = Vec::new();
+
+        // Setup region: dataset creation metadata and a small header write.
+        // I/O Discovery keeps it (it is required for the I/O to function).
+        phases.push(Phase::Io(IoPhase {
+            dataset: format!("{}/setup", spec.name),
+            kind: IoKind::Write,
+            per_proc_bytes: spec.setup_header_bytes.max(1),
+            ops_per_proc: 4,
+            pattern: AccessPattern::Contiguous,
+            meta_ops: spec.setup_meta_ops,
+            collective_capable: true,
+            chunk_reuse_bytes: 0,
+            pre_striped: 0,
+        }));
+
+        let iterations = match self.variant {
+            Variant::Full | Variant::Kernel => spec.loop_iterations,
+            Variant::ReducedKernel { keep_fraction } => {
+                reduced_iterations(spec.loop_iterations, keep_fraction)
+            }
+        };
+
+        for it in 0..iterations {
+            if matches!(self.variant, Variant::Full) && spec.compute_per_iteration_s > 0.0 {
+                phases.push(Phase::compute(spec.compute_per_iteration_s));
+            }
+            for io in &spec.iteration_io {
+                // The first iteration performs slightly more I/O (lazy
+                // dataset extension, B-tree splits); this is what makes
+                // ×(1/f)-extrapolated op counts overshoot, reproducing the
+                // reduced kernel's +4.87% op error in Fig 8c.
+                let (byte_scale, op_scale) = if it == 0 { (1.002, 1.15) } else { (1.0, 1.0) };
+                phases.push(io.to_phase(byte_scale, op_scale));
+            }
+            if matches!(self.variant, Variant::Full) && spec.logging_ops_per_iteration > 0 {
+                phases.push(Phase::Io(IoPhase {
+                    dataset: format!("{}/log", spec.name),
+                    kind: IoKind::Write,
+                    per_proc_bytes: spec.logging_ops_per_iteration * spec.logging_bytes_per_op,
+                    ops_per_proc: spec.logging_ops_per_iteration,
+                    pattern: AccessPattern::Contiguous,
+                    meta_ops: 0,
+                    collective_capable: false,
+                    chunk_reuse_bytes: 0,
+                    pre_striped: 0,
+                }));
+            }
+        }
+        phases
+    }
+
+    /// Factor to multiply observed scalable metrics by when predicting the
+    /// full application's values.
+    pub fn extrapolation_factor(&self) -> f64 {
+        self.variant.extrapolation_factor(&self.spec)
+    }
+
+    /// Total bytes written per process across the whole run (exact model
+    /// arithmetic, for accuracy analyses).
+    pub fn expected_write_bytes_per_proc(&self) -> f64 {
+        self.phases()
+            .iter()
+            .filter_map(|p| match p {
+                Phase::Io(io) if io.kind == IoKind::Write => Some(io.per_proc_bytes as f64),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total write ops per process across the whole run.
+    pub fn expected_write_ops_per_proc(&self) -> f64 {
+        self.phases()
+            .iter()
+            .filter_map(|p| match p {
+                Phase::Io(io) if io.kind == IoKind::Write => Some(io.ops_per_proc as f64),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_spec() -> AppSpec {
+        AppSpec {
+            name: "toy".into(),
+            setup_meta_ops: 8,
+            setup_header_bytes: 1024,
+            loop_iterations: 100,
+            compute_per_iteration_s: 2.0,
+            iteration_io: vec![IterationIo {
+                dataset: "data".into(),
+                kind: IoKind::Write,
+                per_proc_bytes: 1024 * 1024,
+                ops_per_proc: 16,
+                pattern: AccessPattern::Contiguous,
+                meta_ops: 2,
+                collective_capable: true,
+                chunk_reuse_bytes: 0,
+                pre_striped: 0,
+            }],
+            logging_ops_per_iteration: 4,
+            logging_bytes_per_op: 64,
+        }
+    }
+
+    #[test]
+    fn kernel_strips_compute_and_logging() {
+        let full = Workload::new(toy_spec(), Variant::Full);
+        let kernel = Workload::new(toy_spec(), Variant::Kernel);
+        let full_compute: f64 = full
+            .phases()
+            .iter()
+            .filter_map(|p| match p {
+                Phase::Compute { seconds } => Some(*seconds),
+                _ => None,
+            })
+            .sum();
+        assert!(full_compute > 0.0);
+        assert!(kernel.phases().iter().all(|p| p.is_io()));
+        // Logging ops are gone from the kernel.
+        assert!(kernel.expected_write_ops_per_proc() < full.expected_write_ops_per_proc());
+    }
+
+    #[test]
+    fn kernel_keeps_all_real_bytes() {
+        let full = Workload::new(toy_spec(), Variant::Full);
+        let kernel = Workload::new(toy_spec(), Variant::Kernel);
+        let logging_bytes = (100 * 4 * 64) as f64;
+        let diff = full.expected_write_bytes_per_proc() - kernel.expected_write_bytes_per_proc();
+        assert!((diff - logging_bytes).abs() < 1.0);
+        // Logging is a negligible byte fraction (paper: kernel byte error 0.0002%).
+        assert!(logging_bytes / full.expected_write_bytes_per_proc() < 0.001);
+    }
+
+    #[test]
+    fn loop_reduction_runs_fraction_of_iterations() {
+        let reduced = Workload::new(
+            toy_spec(),
+            Variant::ReducedKernel {
+                keep_fraction: 0.01,
+            },
+        );
+        // 1% of 100 iterations = 1 iteration (+ setup phase).
+        let io_phases = reduced.phases().iter().filter(|p| p.is_io()).count();
+        assert_eq!(io_phases, 2);
+        assert!((reduced.extrapolation_factor() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduction_never_drops_below_one_iteration() {
+        let mut spec = toy_spec();
+        spec.loop_iterations = 3;
+        let reduced = Workload::new(
+            spec,
+            Variant::ReducedKernel {
+                keep_fraction: 0.0001,
+            },
+        );
+        assert!(reduced.phases().iter().filter(|p| p.is_io()).count() >= 2);
+    }
+
+    #[test]
+    fn extrapolated_ops_overshoot_slightly() {
+        // Reduced kernel keeps iteration 0, which performs ~15% extra ops;
+        // multiplying by the reduction factor therefore overshoots the
+        // true per-loop ops — the effect behind Fig 8c's +4.87%.
+        let kernel = Workload::new(toy_spec(), Variant::Kernel);
+        let reduced = Workload::new(
+            toy_spec(),
+            Variant::ReducedKernel {
+                keep_fraction: 0.01,
+            },
+        );
+        let predicted =
+            reduced.expected_write_ops_per_proc() * reduced.extrapolation_factor();
+        // Compare loop ops only (subtract the setup write ops, 4 each,
+        // scaled by the extrapolation factor for the reduced variant).
+        let true_loop_ops = kernel.expected_write_ops_per_proc() - 4.0;
+        let predicted_loop_ops = predicted - 4.0 * reduced.extrapolation_factor();
+        assert!(
+            predicted_loop_ops > true_loop_ops,
+            "{predicted_loop_ops} vs {true_loop_ops}"
+        );
+    }
+
+    #[test]
+    fn full_variant_preserves_iteration_count() {
+        let full = Workload::new(toy_spec(), Variant::Full);
+        let computes = full
+            .phases()
+            .iter()
+            .filter(|p| !p.is_io())
+            .count();
+        assert_eq!(computes, 100);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: tune an application's I/O stack with TunIO in ~20 lines.
+//!
+//! ```text
+//! cargo run -p tunio-examples --bin quickstart --release
+//! ```
+//!
+//! Extracts the I/O kernel of a VPIC-style source, runs the full TunIO
+//! pipeline (Smart Configuration Generation + RL Early Stopping) against
+//! the simulated I/O stack, and prints the tuned configuration.
+
+use tunio::pipeline::{run_campaign, CampaignSpec, PipelineKind};
+use tunio::TunIo;
+use tunio_discovery::DiscoveryOptions;
+use tunio_params::ParameterSpace;
+use tunio_workloads::{hacc, Variant};
+
+fn main() {
+    // 1. Application I/O Discovery: source code → I/O kernel.
+    let kernel = TunIo::discover_io(tunio_cminus::samples::VPIC_IO, &DiscoveryOptions::default())
+        .expect("sample parses");
+    println!(
+        "discovered I/O kernel: kept {}/{} statements\n",
+        kernel.marking.kept.len(),
+        kernel.marking.total_stmts
+    );
+
+    // 2. Tune (the kernel variant evaluates fast; TunIO picks parameter
+    //    subsets and decides when to stop).
+    let spec = CampaignSpec {
+        app: hacc(),
+        variant: kernel.variant().unwrap_or(Variant::Full),
+        kind: PipelineKind::TunIo,
+        max_iterations: 30,
+        population: 8,
+        seed: 42,
+        large_scale: false,
+    };
+    let outcome = run_campaign(&spec);
+    let trace = &outcome.trace;
+
+    // 3. Results.
+    let gib = 1024.0 * 1024.0 * 1024.0;
+    println!(
+        "tuned in {} generations ({:.0} simulated minutes)",
+        trace.iterations(),
+        trace.total_cost_min()
+    );
+    println!(
+        "perf: {:.2} GiB/s → {:.2} GiB/s ({:.1}x)",
+        trace.default_perf / gib,
+        trace.best_perf / gib,
+        trace.best_perf / trace.default_perf
+    );
+    let space = ParameterSpace::tunio_default();
+    println!(
+        "configuration changes: {}",
+        trace.best_config.describe_changes(&space)
+    );
+}

@@ -1,0 +1,66 @@
+//! Interactive refinement session (paper §VI future work): refine a
+//! configuration across a series of production runs, persisting state
+//! between "days", and stop when further refinement is no longer worth it
+//! for the expected number of production executions.
+//!
+//! ```text
+//! cargo run -p tunio-examples --bin session_refine --release
+//! ```
+
+use tunio::TuningSession;
+use tunio_iosim::Simulator;
+use tunio_params::ParameterSpace;
+use tunio_workloads::{flash, Variant, Workload};
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+fn main() {
+    let space = ParameterSpace::tunio_default();
+    let sim = Simulator::cori_4node(23);
+    let workload = Workload::new(flash(), Variant::Kernel);
+    let phases = workload.phases();
+    let session_file = std::env::temp_dir().join("tunio_session_demo.json");
+    let _ = std::fs::remove_file(&session_file);
+
+    // The user expects ~50k production runs of FLASH this allocation year.
+    let mut session = TuningSession::with_expected_runs(50_000);
+
+    let mut round = 0;
+    loop {
+        round += 1;
+        // Each "day": load state, run the suggested configuration once,
+        // record the outcome, save state.
+        if session_file.is_file() {
+            session = TuningSession::load(&session_file).expect("session loads");
+        }
+        let config = session.suggest(&space);
+        let report = sim.run_averaged(&phases, &config.resolve(&space), 3);
+        println!(
+            "round {:>2}: {:>6.2} GiB/s with [{}]",
+            round,
+            report.perf() / GIB,
+            config.describe_changes(&space)
+        );
+        session.record(config, &report);
+        session.save(&session_file).expect("session saves");
+
+        if !session.worth_refining() {
+            println!("\nsession says: further refinement is not worth it");
+            break;
+        }
+        if round >= 25 {
+            println!("\ndemo budget reached");
+            break;
+        }
+    }
+
+    let best = session.best().expect("at least one round");
+    println!(
+        "best configuration after {} rounds ({:.1} minutes invested): {:.2} GiB/s",
+        session.rounds.len(),
+        session.invested_minutes(),
+        best.perf / GIB,
+    );
+    println!("  {}", best.config.describe_changes(&space));
+    let _ = std::fs::remove_file(&session_file);
+}

@@ -1,0 +1,56 @@
+//! Compare tuning pipelines on the HACC I/O kernel: HSTuner baselines vs
+//! TunIO, printing per-generation progress and Return on Tuning
+//! Investment.
+//!
+//! ```text
+//! cargo run -p tunio-examples --bin tune_hacc --release
+//! ```
+
+use tunio::pipeline::{run_campaign, CampaignSpec, PipelineKind};
+use tunio::roti::{peak_roti, roti_curve};
+use tunio_workloads::{hacc, Variant};
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+fn main() {
+    let kinds = [
+        PipelineKind::HsTunerNoStop,
+        PipelineKind::HsTunerHeuristic,
+        PipelineKind::TunIo,
+    ];
+
+    for kind in kinds {
+        let spec = CampaignSpec {
+            app: hacc(),
+            variant: Variant::Kernel,
+            kind,
+            max_iterations: 40,
+            population: 8,
+            seed: 7,
+            large_scale: false,
+        };
+        let outcome = run_campaign(&spec);
+        let trace = &outcome.trace;
+
+        println!("=== {} ===", kind.label());
+        for r in &trace.records {
+            let bar_len = (r.best_perf / GIB * 18.0).round() as usize;
+            println!(
+                "  gen {:>2}  {:>6.2} GiB/s  {:>7.1} min  |{}",
+                r.iteration,
+                r.best_perf / GIB,
+                r.cumulative_cost_s / 60.0,
+                "#".repeat(bar_len.min(60))
+            );
+        }
+        let roti = roti_curve(trace);
+        println!(
+            "  → {} generations, {:.0} min, {:.2}x gain, final RoTI {:.2} MB/s/min (peak {:.2})\n",
+            trace.iterations(),
+            trace.total_cost_min(),
+            trace.best_perf / trace.default_perf,
+            roti.last().map(|p| p.roti).unwrap_or(0.0),
+            peak_roti(trace).map(|p| p.roti).unwrap_or(0.0),
+        );
+    }
+}
