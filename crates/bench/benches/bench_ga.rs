@@ -9,20 +9,18 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tunio_iosim::Simulator;
 use tunio_params::ParameterSpace;
-use tunio_tuner::{AllParams, Evaluator, GaConfig, GaTuner, NoStop};
+use tunio_tuner::{AllParams, EvalEngine, GaConfig, GaTuner, NoStop};
 use tunio_workloads::{hacc, Variant, Workload};
 
 fn campaign(cfg: GaConfig) -> f64 {
-    let mut evaluator = Evaluator::new(
+    let engine = EvalEngine::new(
         Simulator::cori_4node(1),
         Workload::new(hacc(), Variant::Kernel),
         ParameterSpace::tunio_default(),
         3,
     );
     let mut tuner = GaTuner::new(cfg);
-    tuner
-        .run(&mut evaluator, &mut NoStop, &mut AllParams)
-        .best_perf
+    tuner.run(&engine, &mut NoStop, &mut AllParams).best_perf
 }
 
 fn bench_campaign(c: &mut Criterion) {

@@ -5,7 +5,7 @@
 use serde::Serialize;
 use tunio_iosim::Simulator;
 use tunio_params::ParameterSpace;
-use tunio_tuner::{AllParams, Evaluator, GaConfig, GaTuner, HillClimb, NoStop, RandomSearch};
+use tunio_tuner::{AllParams, EvalEngine, GaConfig, GaTuner, HillClimb, NoStop, RandomSearch};
 use tunio_workloads::{hacc, Variant, Workload};
 
 const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
@@ -18,8 +18,8 @@ struct Row {
     minutes: f64,
 }
 
-fn evaluator(seed: u64) -> Evaluator {
-    Evaluator::new(
+fn engine(seed: u64) -> EvalEngine {
+    EvalEngine::new(
         Simulator::cori_4node(seed),
         Workload::new(hacc(), Variant::Kernel),
         ParameterSpace::tunio_default(),
@@ -33,7 +33,10 @@ fn main() {
     let mut rows = Vec::new();
 
     println!("=== Ablation: search strategies (HACC kernel, {ITERS} iterations, 5 seeds) ===\n");
-    println!("{:<14} {:>12} {:>12} {:>12}", "strategy", "mean GiB/s", "min", "max");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "strategy", "mean GiB/s", "min", "max"
+    );
 
     let summarize = |name: &str, finals: Vec<(u64, f64, f64)>, rows: &mut Vec<Row>| {
         let perfs: Vec<f64> = finals.iter().map(|(_, p, _)| *p).collect();
@@ -59,7 +62,7 @@ fn main() {
                 seed,
                 ..GaConfig::default()
             });
-            let t = tuner.run(&mut evaluator(seed), &mut NoStop, &mut AllParams);
+            let t = tuner.run(&engine(seed), &mut NoStop, &mut AllParams);
             (seed, t.best_perf / GIB, t.total_cost_min())
         })
         .collect();
@@ -69,7 +72,7 @@ fn main() {
         .iter()
         .map(|&seed| {
             let mut search = RandomSearch::new(ITERS, seed);
-            let t = search.run(&mut evaluator(seed), &mut NoStop, &mut AllParams);
+            let t = search.run(&engine(seed), &mut NoStop, &mut AllParams);
             (seed, t.best_perf / GIB, t.total_cost_min())
         })
         .collect();
@@ -79,7 +82,7 @@ fn main() {
         .iter()
         .map(|&seed| {
             let mut search = HillClimb::new(ITERS, seed);
-            let t = search.run(&mut evaluator(seed), &mut NoStop, &mut AllParams);
+            let t = search.run(&engine(seed), &mut NoStop, &mut AllParams);
             (seed, t.best_perf / GIB, t.total_cost_min())
         })
         .collect();

@@ -10,7 +10,7 @@ use tunio::smart_config::offline_impact_analysis;
 use tunio_iosim::Simulator;
 use tunio_params::ParameterSpace;
 use tunio_tuner::subset::FixedSubset;
-use tunio_tuner::{Evaluator, GaConfig, GaTuner, NoStop};
+use tunio_tuner::{EvalEngine, GaConfig, GaTuner, NoStop};
 use tunio_workloads::{bdcats, Variant, Workload};
 
 const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
@@ -38,7 +38,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for k in [1usize, 3, 5, 7, 9, 12] {
-        let mut evaluator = Evaluator::new(
+        let engine = EvalEngine::new(
             Simulator::cori_500node(1111),
             Workload::new(bdcats(), Variant::Kernel),
             space.clone(),
@@ -50,7 +50,7 @@ fn main() {
             ..GaConfig::default()
         });
         let trace = tuner.run(
-            &mut evaluator,
+            &engine,
             &mut NoStop,
             &mut FixedSubset {
                 subset: analysis.top(k),

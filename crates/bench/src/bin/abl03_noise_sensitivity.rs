@@ -7,7 +7,7 @@ use tunio::early_stop::EarlyStopAgent;
 use tunio_iosim::noise::NoiseModel;
 use tunio_iosim::Simulator;
 use tunio_params::ParameterSpace;
-use tunio_tuner::{AllParams, Evaluator, GaConfig, GaTuner, HeuristicStop, Stopper};
+use tunio_tuner::{AllParams, EvalEngine, GaConfig, GaTuner, HeuristicStop, Stopper};
 use tunio_workloads::{hacc, Variant, Workload};
 
 const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
@@ -23,7 +23,7 @@ struct Row {
 fn run(amplitude: f64, stopper: &mut dyn Stopper) -> (u32, f64) {
     let mut sim = Simulator::cori_4node(7);
     sim.noise = NoiseModel { seed: 7, amplitude };
-    let mut evaluator = Evaluator::new(
+    let engine = EvalEngine::new(
         sim,
         Workload::new(hacc(), Variant::Kernel),
         ParameterSpace::tunio_default(),
@@ -34,12 +34,14 @@ fn run(amplitude: f64, stopper: &mut dyn Stopper) -> (u32, f64) {
         seed: 7,
         ..GaConfig::default()
     });
-    let trace = tuner.run(&mut evaluator, stopper, &mut AllParams);
+    let trace = tuner.run(&engine, stopper, &mut AllParams);
     (trace.iterations(), trace.best_perf / GIB)
 }
 
 fn main() {
-    println!("=== Ablation: noise sensitivity of stopping policies (HACC, 40-iteration budget) ===\n");
+    println!(
+        "=== Ablation: noise sensitivity of stopping policies (HACC, 40-iteration budget) ===\n"
+    );
     println!(
         "{:>10} {:>24} {:>10} {:>12}",
         "amplitude", "stopper", "stop iter", "final GiB/s"

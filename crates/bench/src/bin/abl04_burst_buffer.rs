@@ -10,7 +10,7 @@
 use serde::Serialize;
 use tunio_iosim::{BurstBufferSpec, Simulator};
 use tunio_params::ParameterSpace;
-use tunio_tuner::{AllParams, Evaluator, GaConfig, GaTuner, NoStop};
+use tunio_tuner::{AllParams, EvalEngine, GaConfig, GaTuner, NoStop};
 use tunio_workloads::{hacc, Variant, Workload};
 
 const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
@@ -30,7 +30,7 @@ fn tune(sim: Simulator) -> Row {
     } else {
         "pfs-only"
     };
-    let mut evaluator = Evaluator::new(
+    let engine = EvalEngine::new(
         sim,
         Workload::new(hacc(), Variant::Kernel),
         ParameterSpace::tunio_default(),
@@ -41,7 +41,7 @@ fn tune(sim: Simulator) -> Row {
         seed: 5,
         ..GaConfig::default()
     });
-    let trace = tuner.run(&mut evaluator, &mut NoStop, &mut AllParams);
+    let trace = tuner.run(&engine, &mut NoStop, &mut AllParams);
     Row {
         tier: name.into(),
         default_gibs: trace.default_perf / GIB,

@@ -8,7 +8,7 @@ use serde::Serialize;
 use tunio::early_stop::EarlyStopAgent;
 use tunio_iosim::Simulator;
 use tunio_params::ParameterSpace;
-use tunio_tuner::{AllParams, Evaluator, GaConfig, GaTuner};
+use tunio_tuner::{AllParams, EvalEngine, GaConfig, GaTuner};
 use tunio_workloads::{hacc, Variant, Workload};
 
 const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
@@ -32,7 +32,7 @@ fn main() {
     for delay in [0usize, 2, 5, 10] {
         let mut agent = EarlyStopAgent::pretrained_with_delay(40, 7, delay);
         agent.begin_campaign();
-        let mut evaluator = Evaluator::new(
+        let engine = EvalEngine::new(
             Simulator::cori_4node(7),
             Workload::new(hacc(), Variant::Kernel),
             ParameterSpace::tunio_default(),
@@ -43,7 +43,7 @@ fn main() {
             seed: 7,
             ..GaConfig::default()
         });
-        let trace = tuner.run(&mut evaluator, &mut agent, &mut AllParams);
+        let trace = tuner.run(&engine, &mut agent, &mut AllParams);
         let roti = tunio::roti::final_roti(&trace);
         println!(
             "{:>6} {:>10} {:>12.3} {:>10.1} {:>14.2}",

@@ -3,10 +3,10 @@
 //! the range between and confirms the trend connecting them).
 
 use serde::Serialize;
-use tunio_iosim::{ClusterSpec, LustreSpec, Simulator};
 use tunio_iosim::noise::NoiseModel;
+use tunio_iosim::{ClusterSpec, LustreSpec, Simulator};
 use tunio_params::ParameterSpace;
-use tunio_tuner::{AllParams, Evaluator, GaConfig, GaTuner, NoStop};
+use tunio_tuner::{AllParams, EvalEngine, GaConfig, GaTuner, NoStop};
 use tunio_workloads::{hacc, Variant, Workload};
 
 const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
@@ -35,7 +35,7 @@ fn main() {
             noise: NoiseModel::new(42),
             burst: None,
         };
-        let mut evaluator = Evaluator::new(
+        let engine = EvalEngine::new(
             sim,
             Workload::new(hacc(), Variant::Kernel),
             ParameterSpace::tunio_default(),
@@ -46,7 +46,7 @@ fn main() {
             seed: 42,
             ..GaConfig::default()
         });
-        let trace = tuner.run(&mut evaluator, &mut NoStop, &mut AllParams);
+        let trace = tuner.run(&engine, &mut NoStop, &mut AllParams);
         let row = Row {
             nodes,
             procs: nodes * 32,

@@ -35,7 +35,9 @@ fn main() {
     let full = labeled_campaign("Full application", &spec(Variant::Full));
     let kernel = labeled_campaign("I/O kernel (discovery)", &spec(Variant::Kernel));
 
-    println!("=== Fig 8(a): RoTI with and without Application I/O Discovery (MACSio/VPIC-dipole) ===\n");
+    println!(
+        "=== Fig 8(a): RoTI with and without Application I/O Discovery (MACSio/VPIC-dipole) ===\n"
+    );
     println!(
         "{:>4} {:>22} {:>22}",
         "iter", "full RoTI (min)", "kernel RoTI (min)"

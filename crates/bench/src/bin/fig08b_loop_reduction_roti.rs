@@ -21,10 +21,10 @@ fn spec(variant: Variant) -> CampaignSpec {
 }
 
 fn peak(t: &LabeledTrace) -> (f64, f64) {
-    t.roti
-        .iter()
-        .zip(&t.minutes)
-        .fold((0.0, 0.0), |acc, (&r, &m)| if r > acc.0 { (r, m) } else { acc })
+    t.roti.iter().zip(&t.minutes).fold(
+        (0.0, 0.0),
+        |acc, (&r, &m)| if r > acc.0 { (r, m) } else { acc },
+    )
 }
 
 fn main() {
@@ -41,7 +41,10 @@ fn main() {
     let (rp, rm) = peak(&reduced);
     println!("peak RoTI full application : {fp:8.2} MB/s/min (at {fm:.0} min)");
     println!("peak RoTI reduced kernel   : {rp:8.2} MB/s/min (at {rm:.1} min)");
-    println!("boost: {:.1}x (paper: 23.30 vs 2.47 ≈ 9.4x)", rp / fp.max(1e-9));
+    println!(
+        "boost: {:.1}x (paper: 23.30 vs 2.47 ≈ 9.4x)",
+        rp / fp.max(1e-9)
+    );
 
     // Accuracy of the bandwidth the reduced kernel reports, measured at
     // the default configuration (paper: 97.10% accurate).
@@ -58,9 +61,7 @@ fn main() {
     let bw_full = sim.run_averaged(&full_w.phases(), &cfg, 3).perf();
     let bw_red = sim.run_averaged(&red_w.phases(), &cfg, 3).perf();
     let accuracy = 100.0 * (1.0 - ((bw_red - bw_full) / bw_full).abs());
-    println!(
-        "reported-bandwidth accuracy of reduced kernel: {accuracy:.2}% (paper: 97.10%)"
-    );
+    println!("reported-bandwidth accuracy of reduced kernel: {accuracy:.2}% (paper: 97.10%)");
 
     write_json("fig08b_loop_reduction_roti", &vec![full, reduced]);
 }

@@ -30,7 +30,10 @@ fn main() {
     let smart = LabeledTrace::from_outcome("Impact-First Tuning", &smart_out);
     let plain = LabeledTrace::from_outcome("No Impact-First Tuning", &plain_out);
 
-    print_series_table("Fig 9: FLASH bandwidth vs iteration", &[smart.clone(), plain.clone()]);
+    print_series_table(
+        "Fig 9: FLASH bandwidth vs iteration",
+        &[smart.clone(), plain.clone()],
+    );
 
     // Iterations to reach a shared target: 90% of the common final level.
     let target = 0.9 * smart.final_gibs.min(plain.final_gibs);

@@ -53,7 +53,9 @@ fn main() {
         "  full-budget best: {:.3} GiB/s → RL stop leaves {:.3} GiB/s on the table (paper: 0.08 GB/s)",
         no_stop.final_gibs, left_on_table
     );
-    println!("\npaper reference: TunIO stops at 35/50 @ 2.2 GB/s (4x); heuristic at 14 @ 1.2 GB/s (2x)");
+    println!(
+        "\npaper reference: TunIO stops at 35/50 @ 2.2 GB/s (4x); heuristic at 14 @ 1.2 GB/s (2x)"
+    );
 
     write_json("fig10a_early_stop_bw", &vec![no_stop, rl, heuristic]);
 }

@@ -24,7 +24,11 @@ fn spec(kind: PipelineKind, variant: Variant) -> CampaignSpec {
 
 fn main() {
     let variants = [
-        ("HSTuner (No Stop)", PipelineKind::HsTunerNoStop, Variant::Full),
+        (
+            "HSTuner (No Stop)",
+            PipelineKind::HsTunerNoStop,
+            Variant::Full,
+        ),
         (
             "HSTuner (Heuristic Stop)",
             PipelineKind::HsTunerHeuristic,
@@ -49,7 +53,10 @@ fn main() {
         .map(|(label, kind, variant)| labeled_campaign(*label, &spec(*kind, *variant)))
         .collect();
 
-    print_series_table("Fig 11(a): BD-CATS end-to-end tuning (500 nodes / 1600 procs)", &traces);
+    print_series_table(
+        "Fig 11(a): BD-CATS end-to-end tuning (500 nodes / 1600 procs)",
+        &traces,
+    );
 
     let find = |label: &str| traces.iter().find(|t| t.label == label).unwrap();
     let tunio = find("TunIO");

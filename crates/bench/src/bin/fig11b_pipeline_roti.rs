@@ -37,7 +37,10 @@ fn main() {
     ];
 
     println!("=== Fig 11(b): RoTI of end-to-end pipelines (BD-CATS) ===\n");
-    println!("{:<30} {:>14} {:>12} {:>12}", "pipeline", "final RoTI", "minutes", "GiB/s");
+    println!(
+        "{:<30} {:>14} {:>12} {:>12}",
+        "pipeline", "final RoTI", "minutes", "GiB/s"
+    );
     let mut traces = Vec::new();
     for (label, kind, variant) in runs {
         let t = labeled_campaign(label, &spec(kind, variant));

@@ -86,12 +86,15 @@ fn main() {
     println!("  TunIO  : {tunio_viab:?} (paper: 1394)");
     println!("  H5Tuner: {h5_viab:?} (paper: 5274)");
     if let (Some(a), Some(b)) = (tunio_viab, h5_viab) {
-        println!("  TunIO viable in {:.1}% fewer executions (paper: 73.6%)", 100.0 * (b - a) / b);
+        println!(
+            "  TunIO viable in {:.1}% fewer executions (paper: 73.6%)",
+            100.0 * (b - a) / b
+        );
     }
     match crossover(&tunio_model, &h5tuner_model) {
-        Some(n) => println!(
-            "  TunIO keeps a lower total time until {n:.2e} executions (paper: 3.99e6)"
-        ),
+        Some(n) => {
+            println!("  TunIO keeps a lower total time until {n:.2e} executions (paper: 3.99e6)")
+        }
         None => println!("  TunIO dominates at every execution count (no crossover)"),
     }
 

@@ -1,0 +1,55 @@
+//! Deterministic-replay suite: the evaluation engine must produce
+//! bitwise-identical tuning traces regardless of thread count, evaluation
+//! order, or rerun — the property every golden-trace and figure
+//! regression test in this crate relies on.
+//!
+//! Traces are compared through their serialized JSON, so "equal" here
+//! means equal down to the last bit of every float.
+
+use tunio::pipeline::{run_campaign, CampaignSpec, PipelineKind};
+use tunio_workloads::{hacc, Variant};
+
+fn hacc_spec(kind: PipelineKind, seed: u64) -> CampaignSpec {
+    CampaignSpec {
+        app: hacc(),
+        variant: Variant::Kernel,
+        kind,
+        max_iterations: 8,
+        population: 6,
+        seed,
+        large_scale: false,
+    }
+}
+
+fn trace_json(spec: &CampaignSpec) -> String {
+    serde_json::to_string(&run_campaign(spec).trace).expect("trace serializes")
+}
+
+#[test]
+fn same_seed_reruns_are_bitwise_identical() {
+    // The full TunIO pipeline: offline sweep + PCA, smart-config subset
+    // picking, RL early stopping, GA tuning — twice, same seed.
+    let spec = hacc_spec(PipelineKind::TunIo, 11);
+    assert_eq!(
+        trace_json(&spec),
+        trace_json(&spec),
+        "two runs of the full pipeline with one seed must match bitwise"
+    );
+}
+
+#[test]
+fn all_pipeline_kinds_replay_deterministically() {
+    for kind in [
+        PipelineKind::HsTunerNoStop,
+        PipelineKind::HsTunerHeuristic,
+        PipelineKind::ImpactFirstOnly,
+        PipelineKind::RlStopOnly,
+    ] {
+        let spec = hacc_spec(kind, 17);
+        assert_eq!(
+            trace_json(&spec),
+            trace_json(&spec),
+            "pipeline {kind:?} must replay identically"
+        );
+    }
+}

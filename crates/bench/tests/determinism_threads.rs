@@ -1,0 +1,43 @@
+//! Serial-vs-parallel trace equality.
+//!
+//! This lives in its own test binary because it mutates
+//! `RAYON_NUM_THREADS`, and environment mutation must not race other
+//! tests' reads in the same process.
+
+use tunio::pipeline::{run_campaign, CampaignSpec, PipelineKind};
+use tunio_workloads::{hacc, Variant};
+
+#[test]
+fn thread_count_does_not_change_the_trace() {
+    // Serial (one rayon worker) vs. a fixed pool vs. the machine default.
+    // The env var only changes how many threads evaluate a generation; by
+    // the engine's determinism guarantee the trace must not move.
+    let spec = CampaignSpec {
+        app: hacc(),
+        variant: Variant::Kernel,
+        kind: PipelineKind::HsTunerNoStop,
+        max_iterations: 8,
+        population: 6,
+        seed: 13,
+        large_scale: false,
+    };
+    let trace_json = |spec: &CampaignSpec| {
+        serde_json::to_string(&run_campaign(spec).trace).expect("trace serializes")
+    };
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = trace_json(&spec);
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let parallel = trace_json(&spec);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let default_threads = trace_json(&spec);
+
+    assert_eq!(
+        serial, parallel,
+        "1-thread and 4-thread traces must match bitwise"
+    );
+    assert_eq!(
+        serial, default_threads,
+        "1-thread and default-thread traces must match bitwise"
+    );
+}

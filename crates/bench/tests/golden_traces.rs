@@ -1,0 +1,91 @@
+//! Golden-trace regression tests.
+//!
+//! Reduced-scale versions of the Fig 2 and Fig 10(a) series are
+//! regenerated on every run and compared byte-for-byte against JSON
+//! snapshots committed under `tests/golden/`. The evaluation engine's
+//! determinism guarantee (see `tunio_tuner::engine`) is what makes
+//! byte-exact snapshots possible.
+//!
+//! When a change intentionally moves the numbers, re-bless with:
+//!
+//! ```text
+//! TUNIO_BLESS=1 cargo test -p tunio-bench --test golden_traces
+//! ```
+//!
+//! and commit the updated files together with the change that moved them.
+
+use std::path::PathBuf;
+use tunio::pipeline::{CampaignSpec, PipelineKind};
+use tunio_bench::{labeled_campaign, LabeledTrace};
+use tunio_workloads::{flash, hacc, vpic, Variant};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, traces: &[LabeledTrace]) {
+    let actual = serde_json::to_string_pretty(&traces.to_vec()).expect("traces serialize");
+    let path = golden_path(name);
+    if std::env::var_os("TUNIO_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, &actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             TUNIO_BLESS=1 cargo test -p tunio-bench --test golden_traces",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden trace {name} diverged; if the change is intentional, re-bless with \
+         TUNIO_BLESS=1 cargo test -p tunio-bench --test golden_traces"
+    );
+}
+
+#[test]
+fn fig02_tuning_curves_match_golden() {
+    // Reduced-scale Fig 2: HSTuner curves on the three kernels.
+    let apps = [("HACC", hacc()), ("FLASH", flash()), ("VPIC", vpic())];
+    let mut traces = Vec::new();
+    for (name, app) in apps {
+        let spec = CampaignSpec {
+            app,
+            variant: Variant::Kernel,
+            kind: PipelineKind::HsTunerNoStop,
+            max_iterations: 10,
+            population: 6,
+            seed: 2024,
+            large_scale: false,
+        };
+        traces.push(labeled_campaign(name, &spec));
+    }
+    check_golden("fig02_tuning_curves.json", &traces);
+}
+
+#[test]
+fn fig10a_early_stop_series_match_golden() {
+    // Reduced-scale Fig 10(a): stopping policies on HACC.
+    let spec = |kind| CampaignSpec {
+        app: hacc(),
+        variant: Variant::Kernel,
+        kind,
+        max_iterations: 12,
+        population: 6,
+        seed: 7,
+        large_scale: false,
+    };
+    let traces = vec![
+        labeled_campaign("Full budget (no stop)", &spec(PipelineKind::HsTunerNoStop)),
+        labeled_campaign("TunIO RL early stop", &spec(PipelineKind::RlStopOnly)),
+        labeled_campaign(
+            "Heuristic stop (5%/5it)",
+            &spec(PipelineKind::HsTunerHeuristic),
+        ),
+    ];
+    check_golden("fig10a_early_stop_bw.json", &traces);
+}

@@ -8,7 +8,7 @@ use tunio::pipeline::{run_campaign, CampaignSpec, PipelineKind};
 use tunio::roti::{peak_roti, roti_curve};
 use tunio::TunIo;
 use tunio_discovery::DiscoveryOptions;
-use tunio_params::{ParameterSpace, ParamId};
+use tunio_params::{ParamId, ParameterSpace};
 use tunio_workloads::{bdcats, hacc, macsio_vpic_dipole, Variant};
 
 fn spec(kind: PipelineKind, variant: Variant, iters: u32, seed: u64) -> CampaignSpec {
@@ -117,7 +117,12 @@ fn bdcats_large_scale_campaign_runs() {
 
 #[test]
 fn roti_curves_are_finite_and_positive() {
-    let outcome = run_campaign(&spec(PipelineKind::HsTunerHeuristic, Variant::Kernel, 20, 13));
+    let outcome = run_campaign(&spec(
+        PipelineKind::HsTunerHeuristic,
+        Variant::Kernel,
+        20,
+        13,
+    ));
     for p in roti_curve(&outcome.trace) {
         assert!(p.roti.is_finite());
         assert!(p.roti >= 0.0);
@@ -128,12 +133,7 @@ fn roti_curves_are_finite_and_positive() {
 #[test]
 fn table_i_api_drives_a_manual_loop() {
     let space = ParameterSpace::tunio_default();
-    let mut tunio = TunIo::pretrained(
-        &space,
-        tunio_iosim::ClusterSpec::cori_4node(),
-        15,
-        21,
-    );
+    let mut tunio = TunIo::pretrained(&space, tunio_iosim::ClusterSpec::cori_4node(), 15, 21);
     let mut current = ParamId::ALL.to_vec();
     let mut stopped = false;
     for round in 1..=15 {

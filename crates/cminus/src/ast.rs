@@ -108,9 +108,7 @@ impl Expr {
                 lhs.call_names(out);
                 rhs.call_names(out);
             }
-            Expr::Unary { operand, .. } | Expr::Postfix { operand, .. } => {
-                operand.call_names(out)
-            }
+            Expr::Unary { operand, .. } | Expr::Postfix { operand, .. } => operand.call_names(out),
             Expr::Index { base, index } => {
                 base.call_names(out);
                 index.call_names(out);

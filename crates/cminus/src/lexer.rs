@@ -48,8 +48,8 @@ impl std::error::Error for LexError {}
 
 /// Multi-character operators, longest first.
 const MULTI_PUNCT: [&str; 19] = [
-    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
-    "%=", "&=", "|=", "^=",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=",
 ];
 
 /// Tokenize `src`. Line comments (`//`), block comments and preprocessor

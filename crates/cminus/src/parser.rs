@@ -75,9 +75,10 @@ impl Parser {
     }
 
     fn line(&self) -> u32 {
-        self.tokens.get(self.pos).map(|t| t.line).unwrap_or(
-            self.tokens.last().map(|t| t.line).unwrap_or(0),
-        )
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.line)
+            .unwrap_or(self.tokens.last().map(|t| t.line).unwrap_or(0))
     }
 
     fn bump(&mut self) -> Option<TokenKind> {
@@ -140,7 +141,8 @@ impl Parser {
         let mut params = Vec::new();
         if !self.at_punct(")") {
             loop {
-                if self.at_ident("void") && matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::Punct(p)) if p == ")")
+                if self.at_ident("void")
+                    && matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::Punct(p)) if p == ")")
                 {
                     self.bump();
                     break;

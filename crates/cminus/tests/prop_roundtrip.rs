@@ -11,8 +11,21 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
         !matches!(
             s.as_str(),
-            "if" | "else" | "for" | "while" | "return" | "int" | "void" | "double" | "float"
-                | "char" | "long" | "unsigned" | "signed" | "const" | "struct" | "static"
+            "if" | "else"
+                | "for"
+                | "while"
+                | "return"
+                | "int"
+                | "void"
+                | "double"
+                | "float"
+                | "char"
+                | "long"
+                | "unsigned"
+                | "signed"
+                | "const"
+                | "struct"
+                | "static"
                 | "short"
         )
     })
@@ -89,7 +102,10 @@ fn stmt(depth: u32, next_id: std::rc::Rc<std::cell::Cell<u32>>) -> BoxedStrategy
         return simple.boxed();
     }
     let f4 = fresh.clone();
-    let inner = stmt(depth - 1, std::rc::Rc::new(std::cell::Cell::new(1000 * depth)));
+    let inner = stmt(
+        depth - 1,
+        std::rc::Rc::new(std::cell::Cell::new(1000 * depth)),
+    );
     prop_oneof![
         simple,
         (expr(1), proptest::collection::vec(inner, 1..3)).prop_map(move |(cond, stmts)| Stmt {

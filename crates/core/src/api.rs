@@ -84,10 +84,7 @@ impl TunIo {
     /// sweep and log-curve training; `load_into` restores in
     /// milliseconds).
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let state = (
-            self.smart_config.save_state(),
-            self.early_stop.save_state(),
-        );
+        let state = (self.smart_config.save_state(), self.early_stop.save_state());
         let text = serde_json::to_string(&state)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         std::fs::write(path, text)
@@ -176,7 +173,10 @@ mod persistence_tests {
         b.load_into(&path).unwrap();
         std::fs::remove_file(&path).ok();
 
-        assert_eq!(b.smart_config.analysis.ranking, a.smart_config.analysis.ranking);
+        assert_eq!(
+            b.smart_config.analysis.ranking,
+            a.smart_config.analysis.ranking
+        );
         // The restore genuinely changed something (different seeds give
         // different rankings with overwhelming probability — tolerate the
         // rare tie by checking scores instead).

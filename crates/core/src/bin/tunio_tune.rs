@@ -81,9 +81,8 @@ fn parse_args() -> Result<Args, String> {
                 } else if v == "kernel" {
                     Variant::Kernel
                 } else if let Some(frac) = v.strip_prefix("reduced:") {
-                    let keep_fraction: f64 = frac
-                        .parse()
-                        .map_err(|_| format!("bad fraction `{frac}`"))?;
+                    let keep_fraction: f64 =
+                        frac.parse().map_err(|_| format!("bad fraction `{frac}`"))?;
                     if !(0.0..=1.0).contains(&keep_fraction) || keep_fraction == 0.0 {
                         return Err("reduced fraction must be in (0, 1]".into());
                     }
@@ -184,7 +183,10 @@ fn main() -> ExitCode {
         trace.iterations(),
         trace.total_cost_min(),
     );
-    println!("configuration: {}", trace.best_config.describe_changes(&space));
+    println!(
+        "configuration: {}",
+        trace.best_config.describe_changes(&space)
+    );
 
     if let Some(path) = args.xml_out {
         let xml = tunio_params::to_xml(&trace.best_config, &space, false);

@@ -418,7 +418,10 @@ mod production_runs_tests {
         let base = a.effective_step_cost();
         a.set_expected_production_runs(1000);
         let reference = a.effective_step_cost();
-        assert!((reference - base).abs() < 1e-12, "1000 runs is the reference point");
+        assert!(
+            (reference - base).abs() < 1e-12,
+            "1000 runs is the reference point"
+        );
         a.set_expected_production_runs(1_000_000);
         assert!(a.effective_step_cost() < reference);
         a.set_expected_production_runs(10);

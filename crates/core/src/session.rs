@@ -85,11 +85,7 @@ impl TuningSession {
         for offset in 0..order.len() {
             let p = order[(self.rounds.len() + offset) % order.len()];
             let card = space.cardinality(p);
-            let seen: Vec<usize> = self
-                .rounds
-                .iter()
-                .map(|r| r.config.gene(p))
-                .collect();
+            let seen: Vec<usize> = self.rounds.iter().map(|r| r.config.gene(p)).collect();
             // First domain index never tried with this parameter.
             if let Some(idx) = (0..card).find(|i| !seen.contains(i)) {
                 let mut next = base.clone();
@@ -173,11 +169,7 @@ mod tests {
     use tunio_params::ParameterSpace;
     use tunio_workloads::{hacc, Variant, Workload};
 
-    fn run_once(
-        sim: &Simulator,
-        space: &ParameterSpace,
-        config: &Configuration,
-    ) -> RunReport {
+    fn run_once(sim: &Simulator, space: &ParameterSpace, config: &Configuration) -> RunReport {
         let phases = Workload::new(hacc(), Variant::Kernel).phases();
         sim.run_averaged(&phases, &config.resolve(space), 3)
     }

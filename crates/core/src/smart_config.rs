@@ -16,14 +16,13 @@
 //!   most impactful parameters and seeds the ranking.
 
 use crate::perf::{normalize_perf, subset_reward};
-use rayon::prelude::*;
 use tunio_iosim::{ClusterSpec, Simulator};
 use tunio_nn::Pca;
 use tunio_params::{ParamId, ParameterSpace};
+use tunio_rl::qlearn::QConfig;
 use tunio_rl::replay::Transition;
 use tunio_rl::{ContextObserver, DelayedReward, QAgent};
-use tunio_rl::qlearn::QConfig;
-use tunio_tuner::SubsetProvider;
+use tunio_tuner::{EvalEngine, SubsetProvider};
 use tunio_workloads::{flash, hacc, vpic, Variant, Workload};
 
 /// Dimension of the observer's input context:
@@ -72,34 +71,45 @@ pub fn offline_impact_analysis(space: &ParameterSpace, seed: u64) -> ImpactAnaly
 
     // One-at-a-time sweep: rows of [12 normalized gene positions, perf].
     // The sweep is embarrassingly parallel — (kernel, baseline, parameter)
-    // cells are independent simulator runs — so fan it out with rayon.
-    let cells: Vec<(usize, usize, ParamId)> = (0..kernels.len())
-        .flat_map(|k| {
-            (0..baselines.len()).flat_map(move |b| ParamId::ALL.map(move |p| (k, b, p)))
-        })
-        .collect();
-    let phase_lists: Vec<Vec<tunio_iosim::Phase>> = kernels
-        .iter()
-        .map(|app| Workload::new(app.clone(), Variant::Kernel).phases())
-        .collect();
-
-    let cell_results: Vec<(ParamId, f64, Vec<Vec<f64>>)> = cells
-        .par_iter()
-        .map(|&(k, b, p)| {
-            let phases = &phase_lists[k];
-            let base = &baselines[b];
-            let card = space.cardinality(p);
+    // cells are independent simulator runs — so each kernel's cells are
+    // flattened into one [`EvalEngine::evaluate_batch`] call, which fans
+    // the unique configurations out across threads and memoizes repeats
+    // (every baseline reappears once per swept parameter). Results come
+    // back in input order, so rows and spreads are identical to a serial
+    // sweep.
+    let mut samples: Vec<Vec<f64>> = Vec::new();
+    let mut spreads = vec![0.0f64; space.len()];
+    for app in &kernels {
+        let engine = EvalEngine::new(
+            sim.clone(),
+            Workload::new(app.clone(), Variant::Kernel),
+            space.clone(),
+            3,
+        );
+        // (parameter, offset-into-configs, cardinality) per sweep cell.
+        let mut cells: Vec<(ParamId, usize, usize)> = Vec::new();
+        let mut configs = Vec::new();
+        for base in &baselines {
+            for p in ParamId::ALL {
+                let card = space.cardinality(p);
+                cells.push((p, configs.len(), card));
+                for idx in 0..card {
+                    let mut cfg = base.clone();
+                    cfg.set_gene(p, idx);
+                    configs.push(cfg);
+                }
+            }
+        }
+        let evals = engine.evaluate_batch(&configs);
+        for (p, start, card) in cells {
             let mut lo = f64::INFINITY;
             let mut hi = f64::NEG_INFINITY;
-            let mut rows = Vec::with_capacity(card);
-            for idx in 0..card {
-                let mut cfg = base.clone();
-                cfg.set_gene(p, idx);
-                let report = sim.run_averaged(phases, &cfg.resolve(space), 3);
-                let perf = normalize_perf(report.perf(), &cluster);
+            for e in &evals[start..start + card] {
+                let perf = normalize_perf(e.perf, &cluster);
                 lo = lo.min(perf);
                 hi = hi.max(perf);
-                let mut row: Vec<f64> = cfg
+                let mut row: Vec<f64> = e
+                    .config
                     .genes()
                     .iter()
                     .enumerate()
@@ -108,17 +118,10 @@ pub fn offline_impact_analysis(space: &ParameterSpace, seed: u64) -> ImpactAnaly
                     })
                     .collect();
                 row.push(perf);
-                rows.push(row);
+                samples.push(row);
             }
-            (p, hi - lo, rows)
-        })
-        .collect();
-
-    let mut samples: Vec<Vec<f64>> = Vec::new();
-    let mut spreads = vec![0.0f64; space.len()];
-    for (p, spread, rows) in cell_results {
-        spreads[p.index()] += spread;
-        samples.extend(rows);
+            spreads[p.index()] += hi - lo;
+        }
     }
 
     // PCA over (genes, perf): parameters co-varying with perf load on the

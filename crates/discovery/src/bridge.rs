@@ -12,8 +12,7 @@ use tunio_workloads::Variant;
 
 /// Options controlling kernel generation (the `options` argument of the
 /// paper's `discover_io(source_code, options)` API).
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DiscoveryOptions {
     /// Apply loop reduction with this keep fraction (e.g. 0.01 = run 1% of
     /// I/O-loop iterations). `None` = null reduction step.
@@ -30,7 +29,6 @@ pub struct DiscoveryOptions {
     /// a single unrolled body (§VI loop simulation).
     pub simulate_loops: bool,
 }
-
 
 impl DiscoveryOptions {
     /// Options matching the paper's Fig 8b evaluation: 1% loop reduction.

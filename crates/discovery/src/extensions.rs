@@ -84,7 +84,9 @@ fn collect_assigned(block: &Block, out: &mut Vec<String>) {
                     out.push(root.to_string());
                 }
             }
-            StmtKind::For { init, update, body, .. } => {
+            StmtKind::For {
+                init, update, body, ..
+            } => {
                 collect_assigned(
                     &Block {
                         stmts: vec![(**init).clone(), (**update).clone()],
@@ -203,10 +205,7 @@ fn sim_block(block: &Block, marking: &Marking, next_id: &mut u32) -> Block {
             },
             other => other.clone(),
         };
-        stmts.push(Stmt {
-            id: stmt.id,
-            kind,
-        });
+        stmts.push(Stmt { id: stmt.id, kind });
     }
     flush(&mut stmts, &mut elided, next_id);
     Block { stmts }
@@ -306,10 +305,8 @@ mod tests {
 
     #[test]
     fn loop_counter_dependent_writes_survive() {
-        let mut prog = parse(
-            "void f() { for (int i = 0; i < 10; i++) { H5Dwrite(dset, buf[i]); } }",
-        )
-        .unwrap();
+        let mut prog =
+            parse("void f() { for (int i = 0; i < 10; i++) { H5Dwrite(dset, buf[i]); } }").unwrap();
         // buf is not reassigned but the expression buf[i] is not a plain
         // invariant identifier — conservative: keep.
         assert_eq!(remove_blind_writes(&mut prog), 0);
@@ -347,10 +344,9 @@ mod tests {
 
     #[test]
     fn loop_simulation_replaces_literal_io_loops() {
-        let mut prog = parse(
-            "void f() { for (int i = 0; i < 500; i++) { H5Dwrite(d, b); } finish(); }",
-        )
-        .unwrap();
+        let mut prog =
+            parse("void f() { for (int i = 0; i < 500; i++) { H5Dwrite(d, b); } finish(); }")
+                .unwrap();
         let n = simulate_loops(&mut prog);
         assert_eq!(n, 1);
         let text = print_program(&prog).text;
@@ -370,8 +366,7 @@ mod tests {
 
     #[test]
     fn compute_only_loops_are_not_simulated() {
-        let mut prog =
-            parse("void f() { for (int i = 0; i < 9; i++) { relax(g, i); } }").unwrap();
+        let mut prog = parse("void f() { for (int i = 0; i < 9; i++) { relax(g, i); } }").unwrap();
         assert_eq!(simulate_loops(&mut prog), 0);
     }
 }

@@ -40,7 +40,10 @@ pub fn classify_call(name: &str) -> CallClass {
 /// Whether an I/O call opens a file by path (its first string argument is
 /// a target for I/O path switching).
 pub fn opens_path(name: &str) -> bool {
-    matches!(name, "H5Fcreate" | "H5Fopen" | "fopen" | "open" | "MPI_File_open")
+    matches!(
+        name,
+        "H5Fcreate" | "H5Fopen" | "fopen" | "open" | "MPI_File_open"
+    )
 }
 
 #[cfg(test)]

@@ -89,11 +89,20 @@ mod tests {
     #[test]
     fn vpic_kernel_keeps_io_drops_compute() {
         let text = kernel_text(samples::VPIC_IO);
-        for kept in ["H5Fcreate", "H5Dwrite", "H5Fclose", "sort_particles", "for ("] {
+        for kept in [
+            "H5Fcreate",
+            "H5Dwrite",
+            "H5Fclose",
+            "sort_particles",
+            "for (",
+        ] {
             assert!(text.contains(kept), "kernel must keep {kept}:\n{text}");
         }
         for dropped in ["printf", "compute_energy", "field_sum", "advance_particles"] {
-            assert!(!text.contains(dropped), "kernel must drop {dropped}:\n{text}");
+            assert!(
+                !text.contains(dropped),
+                "kernel must drop {dropped}:\n{text}"
+            );
         }
     }
 

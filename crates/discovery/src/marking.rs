@@ -307,7 +307,7 @@ mod tests {
             "H5Dcreate",
             "H5Dwrite",
             "H5Fclose",
-            "sort_particles",      // assigns data_ptr, a dependent of H5Dwrite
+            "sort_particles",     // assigns data_ptr, a dependent of H5Dwrite
             "allocate_particles", // declares data_ptr
             "for (",              // contextual parent of H5Dwrite
         ] {
@@ -496,7 +496,10 @@ mod interprocedural_tests {
         let kernel = crate::kernel::reconstruct(&prog, &m);
         let text = print_program(&kernel).text;
         assert!(text.contains("write_field(dset, buf);"), "{text}");
-        assert!(text.contains("buf = advance(buf, steps);"), "buf dep kept: {text}");
+        assert!(
+            text.contains("buf = advance(buf, steps);"),
+            "buf dep kept: {text}"
+        );
         assert!(!text.contains("diagnostics(energy);"), "{text}");
         assert!(!text.contains("energy = measure"), "{text}");
     }

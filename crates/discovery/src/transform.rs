@@ -113,9 +113,7 @@ fn stmt_contains_io(stmt: &Stmt) -> bool {
             else_block,
         } => {
             cond.call_names(&mut calls);
-            if block_contains_io(then_block)
-                || else_block.as_ref().is_some_and(block_contains_io)
-            {
+            if block_contains_io(then_block) || else_block.as_ref().is_some_and(block_contains_io) {
                 return true;
             }
         }
@@ -204,10 +202,8 @@ mod tests {
 
     #[test]
     fn loop_reduction_rewrites_literal_bounds() {
-        let mut prog = parse(
-            "void f() { for (int i = 0; i < 1000; i++) { H5Dwrite(d, b); } }",
-        )
-        .unwrap();
+        let mut prog =
+            parse("void f() { for (int i = 0; i < 1000; i++) { H5Dwrite(d, b); } }").unwrap();
         let report = loop_reduction(&mut prog, 0.01);
         assert_eq!(report.loops_reduced, 1);
         let text = print_program(&prog).text;

@@ -60,12 +60,7 @@ impl BurstBufferState {
 
     /// Absorb a write phase: returns `(absorbed_bytes, absorb_time_s)`.
     /// Bytes beyond free capacity must take the PFS path.
-    pub fn absorb(
-        &mut self,
-        spec: &BurstBufferSpec,
-        nodes: u32,
-        bytes: f64,
-    ) -> (f64, f64) {
+    pub fn absorb(&mut self, spec: &BurstBufferSpec, nodes: u32, bytes: f64) -> (f64, f64) {
         let total_capacity = spec.capacity_per_node * nodes as f64;
         let free = (total_capacity - self.occupied).max(0.0);
         let absorbed = bytes.min(free);

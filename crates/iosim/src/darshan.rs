@@ -153,8 +153,8 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tunio_params::{ParameterSpace, StackConfig};
     use crate::request::{AccessPattern, IoPhase};
+    use tunio_params::{ParameterSpace, StackConfig};
 
     fn phases() -> Vec<Phase> {
         let mk = |name: &str, kind, bytes: u64| {

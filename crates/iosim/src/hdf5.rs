@@ -101,10 +101,7 @@ pub fn metadata_traffic(phase: &IoPhase, cfg: &StackConfig, procs: u32) -> Metad
         // of ops, plus a small broadcast overhead folded into cost_factor.
         (per_proc_ops * block_factor, 1)
     } else {
-        (
-            per_proc_ops * block_factor * procs as f64,
-            procs as u64,
-        )
+        (per_proc_ops * block_factor * procs as f64, procs as u64)
     };
 
     let mut cost_factor = cfg.mdc_config.metadata_cost_factor();

@@ -90,7 +90,8 @@ impl LustreSpec {
     /// touching an extra OST and splitting the transfer.
     pub fn alignment_efficiency(&self, request_size: f64, stripe_unit: u64, alignment: u64) -> f64 {
         let unit = stripe_unit.max(1) as f64;
-        let aligned = alignment > 1 && (alignment.is_multiple_of(stripe_unit) || stripe_unit.is_multiple_of(alignment));
+        let aligned = alignment > 1
+            && (alignment.is_multiple_of(stripe_unit) || stripe_unit.is_multiple_of(alignment));
         // Probability a request crosses a stripe boundary.
         let crossing = if request_size >= unit {
             1.0

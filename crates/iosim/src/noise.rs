@@ -95,10 +95,7 @@ mod tests {
     #[test]
     fn multipliers_center_near_one() {
         let n = NoiseModel::new(1);
-        let mean: f64 = (0..1000)
-            .map(|i| n.time_multiplier(99, i))
-            .sum::<f64>()
-            / 1000.0;
+        let mean: f64 = (0..1000).map(|i| n.time_multiplier(99, i)).sum::<f64>() / 1000.0;
         assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
     }
 

@@ -98,8 +98,7 @@ impl Simulator {
                         let spill_fraction = 1.0 - absorbed / total;
                         contribution.io_time_s =
                             absorb_time + contribution.io_time_s * spill_fraction;
-                        contribution.elapsed_s =
-                            contribution.io_time_s + contribution.meta_time_s;
+                        contribution.elapsed_s = contribution.io_time_s + contribution.meta_time_s;
                     }
                     report.absorb(&contribution);
                 }
@@ -110,8 +109,7 @@ impl Simulator {
         let mult = self.noise.time_multiplier(fp, run_idx);
         report.io_time_s *= mult;
         report.meta_time_s *= mult;
-        report.elapsed_s =
-            report.compute_time_s + report.io_time_s + report.meta_time_s;
+        report.elapsed_s = report.compute_time_s + report.io_time_s + report.meta_time_s;
         report
     }
 
@@ -282,16 +280,8 @@ mod tests {
         // The paper reports ~4x improvement for HACC after tuning (§IV-C).
         let sim = Simulator::cori_4node(11);
         let s = space();
-        let default = sim.run_averaged(
-            &checkpoint_phases(),
-            &StackConfig::defaults(&s),
-            3,
-        );
-        let tuned = sim.run_averaged(
-            &checkpoint_phases(),
-            &tuned_config(&s).resolve(&s),
-            3,
-        );
+        let default = sim.run_averaged(&checkpoint_phases(), &StackConfig::defaults(&s), 3);
+        let tuned = sim.run_averaged(&checkpoint_phases(), &tuned_config(&s).resolve(&s), 3);
         let gain = tuned.perf() / default.perf();
         assert!(gain > 2.5, "tuning gain only {gain:.2}x");
         assert!(gain < 30.0, "tuning gain implausibly large: {gain:.2}x");
@@ -302,11 +292,7 @@ mod tests {
         // Tuned HACC on 4 nodes reaches ~2.2 GB/s in the paper.
         let sim = Simulator::cori_4node(11);
         let s = space();
-        let tuned = sim.run_averaged(
-            &checkpoint_phases(),
-            &tuned_config(&s).resolve(&s),
-            3,
-        );
+        let tuned = sim.run_averaged(&checkpoint_phases(), &tuned_config(&s).resolve(&s), 3);
         let gbs = tuned.perf() / GIB;
         assert!((0.5..20.0).contains(&gbs), "tuned perf {gbs:.2} GiB/s");
     }
@@ -360,10 +346,7 @@ mod tests {
         let cfg = StackConfig::defaults(&s);
         let phases = checkpoint_phases();
         let singles: Vec<f64> = (0..9).map(|i| sim.run(&phases, &cfg, i).perf()).collect();
-        let spread = singles
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
+        let spread = singles.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - singles.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread > 0.0, "noise should make runs differ");
         let avg = sim.run_averaged(&phases, &cfg, 9).perf();
@@ -460,8 +443,7 @@ mod burst_buffer_tests {
         let space = ParameterSpace::tunio_default();
         let cfg = StackConfig::defaults(&space);
         let plain = Simulator::cori_4node(9);
-        let buffered =
-            Simulator::cori_4node(9).with_burst_buffer(BurstBufferSpec::datawarp_like());
+        let buffered = Simulator::cori_4node(9).with_burst_buffer(BurstBufferSpec::datawarp_like());
         let phases = checkpoint(64); // 8 GiB total: fits in the tier
         let t_plain = plain.run(&phases, &cfg, 0).io_time_s;
         let t_bb = buffered.run(&phases, &cfg, 0).io_time_s;

@@ -18,33 +18,31 @@ fn config_strategy() -> impl Strategy<Value = Configuration> {
 fn phase_strategy() -> impl Strategy<Value = Phase> {
     (
         prop_oneof![Just(IoKind::Write), Just(IoKind::Read)],
-        1u64..(1 << 30),            // per_proc_bytes up to 1 GiB
-        1u64..10_000,               // ops
+        1u64..(1 << 30), // per_proc_bytes up to 1 GiB
+        1u64..10_000,    // ops
         prop_oneof![
             Just(AccessPattern::Contiguous),
             (12u32..25).prop_map(|p| AccessPattern::Strided { record: 1 << p }),
             Just(AccessPattern::Random),
         ],
-        0u64..64,                   // meta ops
-        any::<bool>(),              // collective capable
-        0u64..(1 << 28),            // chunk reuse
-        0u32..64,                   // pre-striped input
+        0u64..64,        // meta ops
+        any::<bool>(),   // collective capable
+        0u64..(1 << 28), // chunk reuse
+        0u32..64,        // pre-striped input
     )
-        .prop_map(
-            |(kind, bytes, ops, pattern, meta, coll, reuse, pre)| {
-                Phase::Io(IoPhase {
-                    dataset: "prop".into(),
-                    kind,
-                    per_proc_bytes: bytes,
-                    ops_per_proc: ops,
-                    pattern,
-                    meta_ops: meta,
-                    collective_capable: coll,
-                    chunk_reuse_bytes: reuse,
-                    pre_striped: pre,
-                })
-            },
-        )
+        .prop_map(|(kind, bytes, ops, pattern, meta, coll, reuse, pre)| {
+            Phase::Io(IoPhase {
+                dataset: "prop".into(),
+                kind,
+                per_proc_bytes: bytes,
+                ops_per_proc: ops,
+                pattern,
+                meta_ops: meta,
+                collective_capable: coll,
+                chunk_reuse_bytes: reuse,
+                pre_striped: pre,
+            })
+        })
 }
 
 proptest! {

@@ -361,10 +361,7 @@ mod tests {
         let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0] * 0.5 - x[1] * 0.2]).collect();
         let early = net.fit(&xs, &ys, 1);
         let late = net.fit(&xs, &ys, 200);
-        assert!(
-            late < early || late < 1e-6,
-            "late {late} >= early {early}"
-        );
+        assert!(late < early || late < 1e-6, "late {late} >= early {early}");
     }
 
     #[test]

@@ -281,12 +281,7 @@ impl ParameterSpace {
                 id: MdcConfig,
                 layer: Hdf5,
                 domain: ParamDomain::Categorical(vec![
-                    "default",
-                    "small",
-                    "medium",
-                    "large",
-                    "adaptive",
-                    "pinned",
+                    "default", "small", "medium", "large", "adaptive", "pinned",
                 ]),
                 default_idx: 0,
                 impact: Low,
@@ -443,7 +438,10 @@ mod tests {
         let space = ParameterSpace::tunio_default();
         let perms = space.permutations();
         assert!(perms > 2_180_000_000, "got {perms}");
-        assert!(perms < 10_000_000_000, "space should stay ~1e9, got {perms}");
+        assert!(
+            perms < 10_000_000_000,
+            "space should stay ~1e9, got {perms}"
+        );
     }
 
     #[test]

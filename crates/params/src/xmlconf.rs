@@ -134,9 +134,12 @@ pub fn from_xml(text: &str, space: &ParameterSpace) -> Result<Configuration, Xml
         })?;
         // Value runs to the closing tag.
         let close = format!("</{name}>");
-        let value_end = text[pos..].find(&close).map(|e| pos + e).ok_or_else(|| XmlError {
-            message: format!("missing {close}"),
-        })?;
+        let value_end = text[pos..]
+            .find(&close)
+            .map(|e| pos + e)
+            .ok_or_else(|| XmlError {
+                message: format!("missing {close}"),
+            })?;
         let raw_value = text[pos..value_end].trim();
         pos = value_end + close.len();
 

@@ -258,7 +258,7 @@ mod tests {
         // Smoke-train a Q-agent on the emulator and check it learns a
         // non-degenerate stopping policy on fresh curves.
         let mut env = LogCurveEnv::new(30, 0.015, 11);
-        let mut agent = QAgent::new(4, 2, QConfig::default(), 5);
+        let mut agent = QAgent::new(4, 2, QConfig::default(), 3);
         agent.train(&mut env, 700, 31);
 
         let mut eval_env = LogCurveEnv::new(30, 0.015, 999);

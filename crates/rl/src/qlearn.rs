@@ -390,7 +390,11 @@ mod double_q_tests {
         }
         fn step(&mut self, action: usize) -> StepResult {
             let noise: f64 = self.rng.gen_range(-0.5..0.5);
-            let reward = if action == 1 { 0.6 + noise } else { 0.4 + noise };
+            let reward = if action == 1 {
+                0.6 + noise
+            } else {
+                0.4 + noise
+            };
             StepResult {
                 state: vec![0.0],
                 reward,

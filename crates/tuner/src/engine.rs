@@ -1,0 +1,386 @@
+//! Parallel, deterministic configuration evaluation.
+//!
+//! [`EvalEngine`] replaces the original single-threaded `Evaluator`: it
+//! evaluates whole batches of configurations concurrently (one rayon task
+//! per cache-missing configuration) behind a sharded, lock-protected memo
+//! cache, while producing results that are **bitwise identical** to a
+//! serial evaluation in batch order, regardless of thread count or
+//! completion order.
+//!
+//! Determinism rests on three properties:
+//!
+//! 1. **Pure simulation.** [`Simulator::run`] derives its noise stream
+//!    from `(simulator seed, configuration fingerprint, run index)` — see
+//!    `tunio_iosim::noise` — so a configuration's report is a pure
+//!    function of `(sim, config, repeats)`. Nothing about scheduling can
+//!    change it.
+//! 2. **Ordered assembly.** [`EvalEngine::evaluate_batch`] returns results
+//!    in input order (the shim rayon's indexed `collect` preserves order,
+//!    as real rayon's does), and all counter/cost bookkeeping happens in
+//!    that order after the parallel section.
+//! 3. **Serial-equivalent cost accounting.** Within a batch, the *first*
+//!    occurrence of an uncached gene key is charged one run's elapsed
+//!    time; later duplicates and cache hits are free — exactly what a
+//!    serial memoized loop over the same batch would charge.
+//!
+//! The engine also keeps counters ([`EvalCounters`]) separating the
+//! *simulated* tuning cost charged to the budget from the *real* wall
+//! time spent inside the simulator, for the bench binaries.
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use tunio_iosim::{noise, RunReport, Simulator};
+use tunio_params::{Configuration, ParameterSpace};
+use tunio_workloads::Workload;
+
+/// Result of evaluating one configuration.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The evaluated configuration.
+    pub config: Configuration,
+    /// Averaged run report (over `repeats` runs).
+    pub report: RunReport,
+    /// The tuning objective `perf` in bytes/s.
+    pub perf: f64,
+    /// Time charged to the tuning budget for this evaluation, seconds.
+    /// Zero for memoized repeats; otherwise one run's elapsed time (§IV:
+    /// extra runs for averaging are "a necessary expense for a given
+    /// platform" and not accumulated).
+    pub cost_s: f64,
+}
+
+/// Engine counters: how much work was done and what it cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct EvalCounters {
+    /// Simulator evaluations actually performed (cache misses).
+    pub evaluations: u64,
+    /// Memoized lookups served (including within-batch duplicates).
+    pub cache_hits: u64,
+    /// Simulated tuning time charged to the budget, seconds.
+    pub charged_cost_s: f64,
+    /// Real wall time spent inside the simulator, seconds. With more
+    /// than one worker this is the *sum* across threads, so it can
+    /// exceed elapsed time; compare against it to measure speedup.
+    pub sim_wall_s: f64,
+}
+
+/// Number of cache shards; keys are spread by gene-vector fingerprint.
+const SHARDS: usize = 16;
+
+type Shard = Mutex<HashMap<Vec<usize>, (RunReport, f64)>>;
+
+/// Thread-safe, memoizing configuration evaluator.
+///
+/// All methods take `&self`; the engine can be shared freely across
+/// threads. Prefer [`EvalEngine::evaluate_batch`] for a generation's
+/// population — it deduplicates, fans the cache misses out across rayon
+/// workers, and reassembles results in input order.
+#[derive(Debug)]
+pub struct EvalEngine {
+    /// The simulated machine.
+    pub sim: Simulator,
+    /// The application (or kernel) under tuning.
+    pub workload: Workload,
+    /// The tuning space.
+    pub space: ParameterSpace,
+    /// Runs averaged per evaluation (the paper uses 3).
+    pub repeats: u32,
+    shards: [Shard; SHARDS],
+    evaluations: AtomicU64,
+    cache_hits: AtomicU64,
+    sim_wall_ns: AtomicU64,
+    charged_cost_s: Mutex<f64>,
+}
+
+impl EvalEngine {
+    /// Create an engine; `repeats` follows the paper's 3-run averaging.
+    pub fn new(sim: Simulator, workload: Workload, space: ParameterSpace, repeats: u32) -> Self {
+        EvalEngine {
+            sim,
+            workload,
+            space,
+            repeats: repeats.max(1),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            evaluations: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            sim_wall_ns: AtomicU64::new(0),
+            charged_cost_s: Mutex::new(0.0),
+        }
+    }
+
+    fn shard_of(key: &[usize]) -> usize {
+        (noise::fingerprint(key) % SHARDS as u64) as usize
+    }
+
+    /// Run the simulator for one configuration (no cache involvement).
+    /// Pure in `(sim, config, repeats)`; see the module docs.
+    fn simulate(&self, config: &Configuration) -> (RunReport, f64) {
+        let t0 = Instant::now();
+        let phases = self.workload.phases();
+        let stack = config.resolve(&self.space);
+        let report = self.sim.run_averaged(&phases, &stack, self.repeats);
+        self.sim_wall_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        (report, report.perf())
+    }
+
+    /// Evaluate a single configuration (memoized).
+    ///
+    /// The owning cache shard stays locked for the duration of a miss's
+    /// simulation, so concurrent callers presenting the same gene key
+    /// block and then hit the cache: each unique key is simulated at most
+    /// once.
+    pub fn evaluate(&self, config: &Configuration) -> Evaluation {
+        let key = config.genes().to_vec();
+        let mut shard = self.shards[Self::shard_of(&key)].lock();
+        if let Some(&(report, perf)) = shard.get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Evaluation {
+                config: config.clone(),
+                report,
+                perf,
+                cost_s: 0.0,
+            };
+        }
+        let (report, perf) = self.simulate(config);
+        shard.insert(key, (report, perf));
+        drop(shard);
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        *self.charged_cost_s.lock() += report.elapsed_s;
+        Evaluation {
+            config: config.clone(),
+            report,
+            perf,
+            cost_s: report.elapsed_s,
+        }
+    }
+
+    /// Evaluate a batch of configurations, simulating cache misses in
+    /// parallel. Results come back in input order and are bitwise
+    /// identical to evaluating the batch serially in that order:
+    /// the first occurrence of each uncached gene key is charged one
+    /// run's elapsed time, everything else costs zero.
+    pub fn evaluate_batch(&self, configs: &[Configuration]) -> Vec<Evaluation> {
+        let keys: Vec<Vec<usize>> = configs.iter().map(|c| c.genes().to_vec()).collect();
+
+        // First occurrence of each gene key not already cached: the only
+        // configurations that need the simulator.
+        let mut seen: HashMap<&[usize], usize> = HashMap::with_capacity(configs.len());
+        let mut fresh: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            if seen.contains_key(key.as_slice()) {
+                continue;
+            }
+            seen.insert(key, i);
+            let cached = self.shards[Self::shard_of(key)].lock().contains_key(key);
+            if !cached {
+                fresh.push(i);
+            }
+        }
+
+        // Fan the misses out; order-preserving collect keeps sims[j]
+        // aligned with fresh[j].
+        let sims: Vec<(RunReport, f64)> = fresh
+            .par_iter()
+            .map(|&i| self.simulate(&configs[i]))
+            .collect();
+
+        // Publish results and do all bookkeeping in input order.
+        let fresh_results: HashMap<&[usize], (RunReport, f64)> = fresh
+            .iter()
+            .zip(&sims)
+            .map(|(&i, &rp)| {
+                self.shards[Self::shard_of(&keys[i])]
+                    .lock()
+                    .insert(keys[i].clone(), rp);
+                (keys[i].as_slice(), rp)
+            })
+            .collect();
+
+        let mut out = Vec::with_capacity(configs.len());
+        let mut charged = 0.0;
+        for (i, config) in configs.iter().enumerate() {
+            let key = keys[i].as_slice();
+            let (report, perf) = match fresh_results.get(key) {
+                Some(&rp) => rp,
+                None => self.shards[Self::shard_of(key)]
+                    .lock()
+                    .get(key)
+                    .copied()
+                    .expect("key was cached before the batch"),
+            };
+            let charged_here = fresh.binary_search(&i).is_ok();
+            let cost_s = if charged_here {
+                self.evaluations.fetch_add(1, Ordering::Relaxed);
+                charged += report.elapsed_s;
+                report.elapsed_s
+            } else {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                0.0
+            };
+            out.push(Evaluation {
+                config: config.clone(),
+                report,
+                perf,
+                cost_s,
+            });
+        }
+        *self.charged_cost_s.lock() += charged;
+        out
+    }
+
+    /// Number of simulator evaluations actually performed (cache misses).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized lookups served.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot all counters.
+    pub fn counters(&self) -> EvalCounters {
+        EvalCounters {
+            evaluations: self.evaluations(),
+            cache_hits: self.cache_hits(),
+            charged_cost_s: *self.charged_cost_s.lock(),
+            sim_wall_s: self.sim_wall_ns.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tunio_iosim::Simulator;
+    use tunio_params::ParameterSpace;
+    use tunio_workloads::{hacc, Variant, Workload};
+
+    fn engine() -> EvalEngine {
+        EvalEngine::new(
+            Simulator::cori_4node(1),
+            Workload::new(hacc(), Variant::Kernel),
+            ParameterSpace::tunio_default(),
+            3,
+        )
+    }
+
+    #[test]
+    fn evaluation_produces_positive_perf_and_cost() {
+        let ev = engine();
+        let cfg = ev.space.default_config();
+        let e = ev.evaluate(&cfg);
+        assert!(e.perf > 0.0);
+        assert!(e.cost_s > 0.0);
+        assert_eq!(ev.evaluations(), 1);
+    }
+
+    #[test]
+    fn repeat_evaluations_are_memoized_and_free() {
+        let ev = engine();
+        let cfg = ev.space.default_config();
+        let first = ev.evaluate(&cfg);
+        let second = ev.evaluate(&cfg);
+        assert_eq!(first.perf, second.perf);
+        assert_eq!(second.cost_s, 0.0, "memoized evaluation must cost nothing");
+        assert_eq!(ev.evaluations(), 1);
+        assert_eq!(ev.cache_hits(), 1);
+    }
+
+    #[test]
+    fn different_configs_differ_in_perf() {
+        let ev = engine();
+        let default = ev.evaluate(&ev.space.default_config().clone());
+        let mut tuned_cfg = ev.space.default_config();
+        tuned_cfg.set_gene(tunio_params::ParamId::CollectiveIo, 1);
+        tuned_cfg.set_gene(tunio_params::ParamId::StripingFactor, 9);
+        let tuned = ev.evaluate(&tuned_cfg);
+        assert!(tuned.perf != default.perf);
+    }
+
+    #[test]
+    fn cost_counts_single_run_not_repeats() {
+        // Averaging 3 runs must not triple the charged cost.
+        let mut ev1 = engine();
+        ev1.repeats = 1;
+        let ev3 = engine();
+        let cfg = ev1.space.default_config();
+        let c1 = ev1.evaluate(&cfg).cost_s;
+        let c3 = ev3.evaluate(&cfg).cost_s;
+        assert!(
+            (c3 - c1).abs() / c1 < 0.2,
+            "3-run cost {c3} should be ~1-run cost {c1}"
+        );
+    }
+
+    #[test]
+    fn batch_matches_serial_evaluation_bitwise() {
+        let space = ParameterSpace::tunio_default();
+        let mut configs = vec![space.default_config()];
+        for v in [1usize, 3, 5] {
+            let mut c = space.default_config();
+            c.set_gene(tunio_params::ParamId::StripingFactor, v);
+            configs.push(c);
+        }
+        // Duplicate an earlier entry to exercise within-batch dedup.
+        configs.push(configs[1].clone());
+
+        let batch = engine().evaluate_batch(&configs);
+        let serial_engine = engine();
+        let serial: Vec<Evaluation> = configs.iter().map(|c| serial_engine.evaluate(c)).collect();
+
+        assert_eq!(batch.len(), serial.len());
+        for (b, s) in batch.iter().zip(&serial) {
+            assert_eq!(b.perf, s.perf, "perf must be bitwise identical");
+            assert_eq!(b.report, s.report, "reports must be bitwise identical");
+            assert_eq!(b.cost_s, s.cost_s, "cost accounting must match serial");
+        }
+    }
+
+    #[test]
+    fn batch_dedups_and_charges_only_first_occurrence() {
+        let ev = engine();
+        let cfg = ev.space.default_config();
+        let batch = ev.evaluate_batch(&[cfg.clone(), cfg.clone(), cfg]);
+        assert_eq!(ev.evaluations(), 1, "one unique key, one simulation");
+        assert_eq!(ev.cache_hits(), 2);
+        assert!(batch[0].cost_s > 0.0);
+        assert_eq!(batch[1].cost_s, 0.0);
+        assert_eq!(batch[2].cost_s, 0.0);
+    }
+
+    #[test]
+    fn counters_track_charged_cost_and_wall_time() {
+        let ev = engine();
+        let cfg = ev.space.default_config();
+        let e = ev.evaluate(&cfg);
+        ev.evaluate(&cfg);
+        let c = ev.counters();
+        assert_eq!(c.evaluations, 1);
+        assert_eq!(c.cache_hits, 1);
+        assert_eq!(c.charged_cost_s, e.cost_s);
+        assert!(c.sim_wall_s > 0.0);
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        let ev = engine();
+        let cfg = ev.space.default_config();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| ev.evaluate(&cfg));
+            }
+        });
+        assert_eq!(
+            ev.evaluations(),
+            1,
+            "concurrent duplicates must simulate once"
+        );
+        assert_eq!(ev.cache_hits(), 3);
+    }
+}

@@ -4,7 +4,7 @@
 //! tournament selection (size 3, best two become parents — §III-A), the
 //! same structure the paper builds with DEAP.
 
-use crate::evaluator::Evaluator;
+use crate::engine::EvalEngine;
 use crate::stoppers::Stopper;
 use crate::subset::SubsetProvider;
 use rand::rngs::StdRng;
@@ -93,7 +93,10 @@ pub struct TuningTrace {
 impl TuningTrace {
     /// Total tuning time in seconds.
     pub fn total_cost_s(&self) -> f64 {
-        self.records.last().map(|r| r.cumulative_cost_s).unwrap_or(0.0)
+        self.records
+            .last()
+            .map(|r| r.cumulative_cost_s)
+            .unwrap_or(0.0)
     }
 
     /// Total tuning time in minutes (the paper's budget unit).
@@ -117,17 +120,17 @@ impl TuningTrace {
 /// ```
 /// use tunio_iosim::Simulator;
 /// use tunio_params::ParameterSpace;
-/// use tunio_tuner::{AllParams, Evaluator, GaConfig, GaTuner, NoStop};
+/// use tunio_tuner::{AllParams, EvalEngine, GaConfig, GaTuner, NoStop};
 /// use tunio_workloads::{hacc, Variant, Workload};
 ///
-/// let mut evaluator = Evaluator::new(
+/// let engine = EvalEngine::new(
 ///     Simulator::cori_4node(1),
 ///     Workload::new(hacc(), Variant::Kernel),
 ///     ParameterSpace::tunio_default(),
 ///     3,
 /// );
 /// let mut tuner = GaTuner::new(GaConfig { max_iterations: 3, ..Default::default() });
-/// let trace = tuner.run(&mut evaluator, &mut NoStop, &mut AllParams);
+/// let trace = tuner.run(&engine, &mut NoStop, &mut AllParams);
 /// assert_eq!(trace.iterations(), 3);
 /// assert!(trace.best_perf >= trace.default_perf);
 /// ```
@@ -148,18 +151,21 @@ impl GaTuner {
     }
 
     /// Run the tuning pipeline: evolve generations until the stopper fires
-    /// or the iteration budget is exhausted.
+    /// or the iteration budget is exhausted. Each generation's population
+    /// is evaluated as one [`EvalEngine::evaluate_batch`] call, so cache
+    /// misses run in parallel while the trace stays bitwise identical to
+    /// a serial evaluation.
     pub fn run(
         &mut self,
-        evaluator: &mut Evaluator,
+        engine: &EvalEngine,
         stopper: &mut dyn Stopper,
         subsets: &mut dyn SubsetProvider,
     ) -> TuningTrace {
-        let space = evaluator.space.clone();
+        let space = engine.space.clone();
         let pop_size = self.cfg.population.max(2);
         let mut population: Vec<Configuration> = Vec::new();
 
-        let default_perf = evaluator.evaluate(&space.default_config()).perf;
+        let default_perf = engine.evaluate(&space.default_config()).perf;
 
         let mut best_config = space.default_config();
         let mut best_perf = default_perf;
@@ -193,19 +199,21 @@ impl GaTuner {
                 }
             }
 
-            // Evaluate the generation.
+            // Evaluate the generation in one parallel batch; results come
+            // back in population order, so the best-so-far fold below is
+            // identical to the old serial loop (first strict improvement
+            // wins ties).
             let mut scored: Vec<(f64, Configuration)> = Vec::with_capacity(population.len());
             let mut gen_cost = 0.0;
             let mut gen_best = f64::NEG_INFINITY;
-            for individual in &population {
-                let e = evaluator.evaluate(individual);
+            for e in engine.evaluate_batch(&population) {
                 gen_cost += e.cost_s;
                 gen_best = gen_best.max(e.perf);
                 if e.perf > best_perf {
                     best_perf = e.perf;
-                    best_config = individual.clone();
+                    best_config = e.config.clone();
                 }
-                scored.push((e.perf, individual.clone()));
+                scored.push((e.perf, e.config));
             }
             cumulative += gen_cost;
 
@@ -284,8 +292,8 @@ mod tests {
     use tunio_params::{Impact, ParameterSpace};
     use tunio_workloads::{hacc, Variant, Workload};
 
-    fn evaluator(seed: u64) -> Evaluator {
-        Evaluator::new(
+    fn engine(seed: u64) -> EvalEngine {
+        EvalEngine::new(
             Simulator::cori_4node(seed),
             Workload::new(hacc(), Variant::Kernel),
             ParameterSpace::tunio_default(),
@@ -304,7 +312,7 @@ mod tests {
     #[test]
     fn tuning_improves_over_default() {
         let mut tuner = GaTuner::new(quick_cfg(1, 25));
-        let trace = tuner.run(&mut evaluator(1), &mut NoStop, &mut AllParams);
+        let trace = tuner.run(&engine(1), &mut NoStop, &mut AllParams);
         assert!(
             trace.best_perf > 1.5 * trace.default_perf,
             "best {} vs default {}",
@@ -316,7 +324,7 @@ mod tests {
     #[test]
     fn best_so_far_is_monotone_elitism() {
         let mut tuner = GaTuner::new(quick_cfg(2, 20));
-        let trace = tuner.run(&mut evaluator(2), &mut NoStop, &mut AllParams);
+        let trace = tuner.run(&engine(2), &mut NoStop, &mut AllParams);
         for w in trace.records.windows(2) {
             assert!(
                 w[1].best_perf >= w[0].best_perf,
@@ -328,7 +336,7 @@ mod tests {
     #[test]
     fn costs_accumulate_and_are_positive() {
         let mut tuner = GaTuner::new(quick_cfg(3, 10));
-        let trace = tuner.run(&mut evaluator(3), &mut NoStop, &mut AllParams);
+        let trace = tuner.run(&engine(3), &mut NoStop, &mut AllParams);
         assert!(trace.total_cost_s() > 0.0);
         for w in trace.records.windows(2) {
             assert!(w[1].cumulative_cost_s >= w[0].cumulative_cost_s);
@@ -341,7 +349,7 @@ mod tests {
     fn heuristic_stop_ends_before_budget_on_plateau() {
         let mut tuner = GaTuner::new(quick_cfg(4, 50));
         let trace = tuner.run(
-            &mut evaluator(4),
+            &engine(4),
             &mut HeuristicStop::paper_default(),
             &mut AllParams,
         );
@@ -356,14 +364,10 @@ mod tests {
         let high = space.with_impact(Impact::High);
 
         let mut full_tuner = GaTuner::new(quick_cfg(5, 30));
-        let full = full_tuner.run(&mut evaluator(5), &mut NoStop, &mut AllParams);
+        let full = full_tuner.run(&engine(5), &mut NoStop, &mut AllParams);
 
         let mut sub_tuner = GaTuner::new(quick_cfg(5, 30));
-        let sub = sub_tuner.run(
-            &mut evaluator(5),
-            &mut NoStop,
-            &mut FixedSubset { subset: high },
-        );
+        let sub = sub_tuner.run(&engine(5), &mut NoStop, &mut FixedSubset { subset: high });
 
         // The high-impact subset achieves ≥85% of the full-space perf.
         assert!(
@@ -379,7 +383,7 @@ mod tests {
         let space = ParameterSpace::tunio_default();
         let mut low_tuner = GaTuner::new(quick_cfg(6, 20));
         let low = low_tuner.run(
-            &mut evaluator(6),
+            &engine(6),
             &mut NoStop,
             &mut FixedSubset {
                 subset: space.with_impact(Impact::Low),
@@ -387,7 +391,7 @@ mod tests {
         );
         let mut high_tuner = GaTuner::new(quick_cfg(6, 20));
         let high = high_tuner.run(
-            &mut evaluator(6),
+            &engine(6),
             &mut NoStop,
             &mut FixedSubset {
                 subset: space.with_impact(Impact::High),
@@ -405,9 +409,7 @@ mod tests {
     fn deterministic_given_seed() {
         let run = || {
             let mut tuner = GaTuner::new(quick_cfg(7, 8));
-            tuner
-                .run(&mut evaluator(7), &mut NoStop, &mut AllParams)
-                .best_perf
+            tuner.run(&engine(7), &mut NoStop, &mut AllParams).best_perf
         };
         assert_eq!(run(), run());
     }
@@ -415,7 +417,7 @@ mod tests {
     #[test]
     fn trace_metrics_are_consistent() {
         let mut tuner = GaTuner::new(quick_cfg(8, 5));
-        let trace = tuner.run(&mut evaluator(8), &mut NoStop, &mut AllParams);
+        let trace = tuner.run(&engine(8), &mut NoStop, &mut AllParams);
         assert_eq!(trace.iterations(), 5);
         assert!(trace.gain() >= 0.0);
         assert!((trace.total_cost_min() - trace.total_cost_s() / 60.0).abs() < 1e-9);
@@ -447,7 +449,7 @@ impl TuningTrace {
 #[cfg(test)]
 mod csv_tests {
     use super::*;
-    use crate::evaluator::Evaluator;
+    use crate::engine::EvalEngine;
     use crate::stoppers::NoStop;
     use crate::subset::AllParams;
     use tunio_iosim::Simulator;
@@ -456,7 +458,7 @@ mod csv_tests {
 
     #[test]
     fn csv_has_header_plus_one_row_per_iteration() {
-        let mut evaluator = Evaluator::new(
+        let engine = EvalEngine::new(
             Simulator::cori_4node(1),
             Workload::new(hacc(), Variant::Kernel),
             ParameterSpace::tunio_default(),
@@ -467,7 +469,7 @@ mod csv_tests {
             seed: 1,
             ..GaConfig::default()
         });
-        let trace = tuner.run(&mut evaluator, &mut NoStop, &mut AllParams);
+        let trace = tuner.run(&engine, &mut NoStop, &mut AllParams);
         let csv = trace.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 5);
@@ -481,7 +483,7 @@ mod csv_tests {
 #[cfg(test)]
 mod crossover_tests {
     use super::*;
-    use crate::evaluator::Evaluator;
+    use crate::engine::EvalEngine;
     use crate::stoppers::NoStop;
     use crate::subset::AllParams;
     use tunio_iosim::Simulator;
@@ -490,7 +492,7 @@ mod crossover_tests {
 
     #[test]
     fn one_point_crossover_also_tunes() {
-        let mut evaluator = Evaluator::new(
+        let engine = EvalEngine::new(
             Simulator::cori_4node(6),
             Workload::new(hacc(), Variant::Kernel),
             ParameterSpace::tunio_default(),
@@ -502,7 +504,7 @@ mod crossover_tests {
             seed: 6,
             ..GaConfig::default()
         });
-        let trace = tuner.run(&mut evaluator, &mut NoStop, &mut AllParams);
+        let trace = tuner.run(&engine, &mut NoStop, &mut AllParams);
         assert!(trace.best_perf > 1.5 * trace.default_perf);
     }
 }

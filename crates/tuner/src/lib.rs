@@ -16,22 +16,25 @@
 //!   use [`stoppers::NoStop`] / [`stoppers::HeuristicStop`]; TunIO plugs
 //!   in its RL Early Stopping agent.
 //!
-//! [`evaluator::Evaluator`] runs configurations on the simulated I/O stack
+//! [`engine::EvalEngine`] runs configurations on the simulated I/O stack
 //! (averaging three runs, charging only one run's time to the tuning
-//! budget, exactly as §IV's methodology describes) and memoizes repeat
-//! evaluations. [`ga::GaTuner::run`] produces a [`ga::TuningTrace`] — the
-//! per-iteration best-perf / cumulative-cost series every figure in the
-//! paper's evaluation is drawn from.
+//! budget, exactly as §IV's methodology describes), memoizes repeat
+//! evaluations behind a sharded cache, and evaluates a generation's
+//! cache misses in parallel while staying bitwise-deterministic (see the
+//! module docs for the determinism argument). [`ga::GaTuner::run`]
+//! produces a [`ga::TuningTrace`] — the per-iteration best-perf /
+//! cumulative-cost series every figure in the paper's evaluation is
+//! drawn from.
 
 #![warn(missing_docs)]
 
-pub mod evaluator;
+pub mod engine;
 pub mod ga;
 pub mod search;
 pub mod stoppers;
 pub mod subset;
 
-pub use evaluator::{Evaluation, Evaluator};
+pub use engine::{EvalCounters, EvalEngine, Evaluation};
 pub use ga::{Crossover, GaConfig, GaTuner, IterationRecord, TuningTrace};
 pub use search::{HillClimb, RandomSearch};
 pub use stoppers::{BudgetStop, HeuristicStop, MaxPerfStop, NoStop, Stopper};

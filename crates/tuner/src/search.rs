@@ -7,7 +7,7 @@
 //! comparison reproducible and share the same trace format, stoppers and
 //! subset hooks so TunIO's components attach to them unchanged.
 
-use crate::evaluator::Evaluator;
+use crate::engine::EvalEngine;
 use crate::ga::{IterationRecord, TuningTrace};
 use crate::stoppers::Stopper;
 use crate::subset::SubsetProvider;
@@ -38,14 +38,21 @@ impl RandomSearch {
     }
 
     /// Run the search.
+    ///
+    /// The iteration's candidates all derive from the best configuration
+    /// *at the start of the iteration* (a synchronous population, like a
+    /// GA generation) so they can be evaluated as one parallel batch;
+    /// the serial version chained candidates off a mid-iteration best.
+    /// With a subset covering all parameters the two are identical, since
+    /// every gene is redrawn anyway.
     pub fn run(
         &mut self,
-        evaluator: &mut Evaluator,
+        engine: &EvalEngine,
         stopper: &mut dyn Stopper,
         subsets: &mut dyn SubsetProvider,
     ) -> TuningTrace {
-        let space = evaluator.space.clone();
-        let default_perf = evaluator.evaluate(&space.default_config()).perf;
+        let space = engine.space.clone();
+        let default_perf = engine.evaluate(&space.default_config()).perf;
         let mut best_config = space.default_config();
         let mut best_perf = default_perf;
         let mut cumulative = 0.0;
@@ -56,17 +63,21 @@ impl RandomSearch {
             let subset = nonempty(subsets.next_subset(iteration, best_perf, &space));
             let mut gen_cost = 0.0;
             let mut gen_best = f64::NEG_INFINITY;
-            for _ in 0..EVALS_PER_ITERATION {
-                let mut candidate = best_config.clone();
-                for &p in &subset {
-                    candidate.set_gene(p, space.random_value(p, &mut self.rng));
-                }
-                let e = evaluator.evaluate(&candidate);
+            let candidates: Vec<Configuration> = (0..EVALS_PER_ITERATION)
+                .map(|_| {
+                    let mut candidate = best_config.clone();
+                    for &p in &subset {
+                        candidate.set_gene(p, space.random_value(p, &mut self.rng));
+                    }
+                    candidate
+                })
+                .collect();
+            for e in engine.evaluate_batch(&candidates) {
                 gen_cost += e.cost_s;
                 gen_best = gen_best.max(e.perf);
                 if e.perf > best_perf {
                     best_perf = e.perf;
-                    best_config = candidate;
+                    best_config = e.config;
                 }
             }
             cumulative += gen_cost;
@@ -116,15 +127,18 @@ impl HillClimb {
         }
     }
 
-    /// Run the search.
+    /// Run the search. The neighbourhood of the current point is fixed at
+    /// the start of each iteration, so it is evaluated as one parallel
+    /// batch; the steepest-ascent move picks the first-listed best
+    /// neighbour exactly as the serial fold did.
     pub fn run(
         &mut self,
-        evaluator: &mut Evaluator,
+        engine: &EvalEngine,
         stopper: &mut dyn Stopper,
         subsets: &mut dyn SubsetProvider,
     ) -> TuningTrace {
-        let space = evaluator.space.clone();
-        let default_perf = evaluator.evaluate(&space.default_config()).perf;
+        let space = engine.space.clone();
+        let default_perf = engine.evaluate(&space.default_config()).perf;
         let mut current = space.default_config();
         let mut current_perf = default_perf;
         let mut best_config = current.clone();
@@ -138,12 +152,12 @@ impl HillClimb {
             let mut gen_cost = 0.0;
             let mut gen_best = f64::NEG_INFINITY;
 
-            // Evaluate ±1-step neighbours (budget-capped).
-            let mut best_neighbour: Option<(f64, Configuration)> = None;
-            let mut evals = 0;
+            // Collect ±1-step neighbours (budget-capped), then evaluate
+            // the whole neighbourhood as one batch.
+            let mut neighbours: Vec<Configuration> = Vec::new();
             'outer: for &p in &subset {
                 for delta in [-1isize, 1] {
-                    if evals >= EVALS_PER_ITERATION {
+                    if neighbours.len() >= EVALS_PER_ITERATION {
                         break 'outer;
                     }
                     let cur = current.gene(p) as isize;
@@ -153,13 +167,19 @@ impl HillClimb {
                     }
                     let mut n = current.clone();
                     n.set_gene(p, idx as usize);
-                    let e = evaluator.evaluate(&n);
-                    evals += 1;
-                    gen_cost += e.cost_s;
-                    gen_best = gen_best.max(e.perf);
-                    if best_neighbour.as_ref().map(|(bp, _)| e.perf > *bp).unwrap_or(true) {
-                        best_neighbour = Some((e.perf, n));
-                    }
+                    neighbours.push(n);
+                }
+            }
+            let mut best_neighbour: Option<(f64, Configuration)> = None;
+            for e in engine.evaluate_batch(&neighbours) {
+                gen_cost += e.cost_s;
+                gen_best = gen_best.max(e.perf);
+                if best_neighbour
+                    .as_ref()
+                    .map(|(bp, _)| e.perf > *bp)
+                    .unwrap_or(true)
+                {
+                    best_neighbour = Some((e.perf, e.config));
                 }
             }
 
@@ -174,7 +194,7 @@ impl HillClimb {
                     for &p in &subset {
                         fresh.set_gene(p, space.random_value(p, &mut self.rng));
                     }
-                    let e = evaluator.evaluate(&fresh);
+                    let e = engine.evaluate(&fresh);
                     gen_cost += e.cost_s;
                     gen_best = gen_best.max(e.perf);
                     current = fresh;
@@ -230,8 +250,8 @@ mod tests {
     use tunio_params::ParameterSpace;
     use tunio_workloads::{hacc, Variant, Workload};
 
-    fn evaluator(seed: u64) -> Evaluator {
-        Evaluator::new(
+    fn engine(seed: u64) -> EvalEngine {
+        EvalEngine::new(
             Simulator::cori_4node(seed),
             Workload::new(hacc(), Variant::Kernel),
             ParameterSpace::tunio_default(),
@@ -242,7 +262,7 @@ mod tests {
     #[test]
     fn random_search_improves_over_default() {
         let mut rs = RandomSearch::new(20, 3);
-        let trace = rs.run(&mut evaluator(3), &mut NoStop, &mut AllParams);
+        let trace = rs.run(&engine(3), &mut NoStop, &mut AllParams);
         assert!(trace.best_perf > trace.default_perf);
         assert_eq!(trace.iterations(), 20);
     }
@@ -250,16 +270,16 @@ mod tests {
     #[test]
     fn hill_climb_improves_over_default() {
         let mut hc = HillClimb::new(25, 4);
-        let trace = hc.run(&mut evaluator(4), &mut NoStop, &mut AllParams);
+        let trace = hc.run(&engine(4), &mut NoStop, &mut AllParams);
         assert!(trace.best_perf > trace.default_perf);
     }
 
     #[test]
     fn best_so_far_is_monotone_for_both() {
         let mut rs = RandomSearch::new(15, 5);
-        let a = rs.run(&mut evaluator(5), &mut NoStop, &mut AllParams);
+        let a = rs.run(&engine(5), &mut NoStop, &mut AllParams);
         let mut hc = HillClimb::new(15, 5);
-        let b = hc.run(&mut evaluator(5), &mut NoStop, &mut AllParams);
+        let b = hc.run(&engine(5), &mut NoStop, &mut AllParams);
         for trace in [a, b] {
             for w in trace.records.windows(2) {
                 assert!(w[1].best_perf >= w[0].best_perf);
@@ -271,7 +291,7 @@ mod tests {
     fn stoppers_attach_to_baselines() {
         let mut rs = RandomSearch::new(50, 6);
         let trace = rs.run(
-            &mut evaluator(6),
+            &engine(6),
             &mut HeuristicStop::paper_default(),
             &mut AllParams,
         );
@@ -283,8 +303,7 @@ mod tests {
     fn searches_are_deterministic() {
         let run = |seed| {
             let mut rs = RandomSearch::new(8, seed);
-            rs.run(&mut evaluator(seed), &mut NoStop, &mut AllParams)
-                .best_perf
+            rs.run(&engine(seed), &mut NoStop, &mut AllParams).best_perf
         };
         assert_eq!(run(9), run(9));
     }
@@ -294,7 +313,7 @@ mod tests {
         // With a tiny budget the climber must still make progress thanks
         // to restarts rather than looping on a local optimum forever.
         let mut hc = HillClimb::new(40, 10);
-        let trace = hc.run(&mut evaluator(10), &mut NoStop, &mut AllParams);
+        let trace = hc.run(&engine(10), &mut NoStop, &mut AllParams);
         assert!(trace.best_perf > 1.2 * trace.default_perf);
     }
 }

@@ -296,10 +296,7 @@ mod tests {
     fn compute_phases_present_only_in_full() {
         for app in all_apps() {
             let kernel = Workload::new(app, Variant::Kernel);
-            assert!(kernel
-                .phases()
-                .iter()
-                .all(|p| matches!(p, Phase::Io(_))));
+            assert!(kernel.phases().iter().all(|p| matches!(p, Phase::Io(_))));
         }
     }
 }

@@ -24,12 +24,7 @@ use tunio_iosim::{AccessPattern, DarshanLog, IoKind};
 /// phase boundaries, so temporal structure within the run is not
 /// recoverable — exactly the fidelity limit §V-B attributes to
 /// trace-based kernels versus source-based discovery.
-pub fn app_from_log(
-    name: &str,
-    log: &DarshanLog,
-    procs: u32,
-    compute_seconds: f64,
-) -> AppSpec {
+pub fn app_from_log(name: &str, log: &DarshanLog, procs: u32, compute_seconds: f64) -> AppSpec {
     let procs = procs.max(1);
     let mut iteration_io: Vec<IterationIo> = Vec::new();
     for (dataset, c) in &log.records {
@@ -75,8 +70,8 @@ pub fn app_from_log(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{Variant, Workload};
     use crate::hacc;
+    use crate::spec::{Variant, Workload};
     use tunio_iosim::Simulator;
     use tunio_params::{ParameterSpace, StackConfig};
 
@@ -96,8 +91,7 @@ mod tests {
         let replay_report = sim.run(&replay.phases(), &cfg, 0);
 
         // Byte totals match closely (ops and pattern are approximations).
-        let err = (replay_report.bytes_written - report.bytes_written).abs()
-            / report.bytes_written;
+        let err = (replay_report.bytes_written - report.bytes_written).abs() / report.bytes_written;
         assert!(err < 0.01, "byte error {err}");
     }
 
@@ -165,7 +159,11 @@ mod read_path_tests {
         let read_err = (replay_report.bytes_read - report.bytes_read).abs() / report.bytes_read;
         assert!(read_err < 0.01, "read byte error {read_err}");
         // Read-dominance is preserved (α stays low).
-        assert!(replay_report.alpha() < 0.3, "alpha {}", replay_report.alpha());
+        assert!(
+            replay_report.alpha() < 0.3,
+            "alpha {}",
+            replay_report.alpha()
+        );
         // Compute estimate carried through.
         assert_eq!(replay_report.compute_time_s, 180.0);
     }

@@ -302,8 +302,7 @@ mod tests {
                 keep_fraction: 0.01,
             },
         );
-        let predicted =
-            reduced.expected_write_ops_per_proc() * reduced.extrapolation_factor();
+        let predicted = reduced.expected_write_ops_per_proc() * reduced.extrapolation_factor();
         // Compare loop ops only (subtract the setup write ops, 4 each,
         // scaled by the extrapolation factor for the reduced variant).
         let true_loop_ops = kernel.expected_write_ops_per_proc() - 4.0;
@@ -317,11 +316,7 @@ mod tests {
     #[test]
     fn full_variant_preserves_iteration_count() {
         let full = Workload::new(toy_spec(), Variant::Full);
-        let computes = full
-            .phases()
-            .iter()
-            .filter(|p| !p.is_io())
-            .count();
+        let computes = full.phases().iter().filter(|p| !p.is_io()).count();
         assert_eq!(computes, 100);
     }
 }

@@ -11,7 +11,7 @@ use tunio::TunIo;
 use tunio_iosim::Simulator;
 use tunio_params::{ParamId, ParameterSpace};
 use tunio_rl::replay::Transition;
-use tunio_tuner::{Evaluator, GaConfig, GaTuner, NoStop, SubsetProvider};
+use tunio_tuner::{EvalEngine, GaConfig, GaTuner, NoStop, SubsetProvider};
 use tunio_workloads::{bdcats, Variant, Workload};
 
 const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
@@ -55,7 +55,7 @@ fn main() {
         tunio.smart_config.analysis.ranking
     );
 
-    let mut evaluator = Evaluator::new(
+    let engine = EvalEngine::new(
         sim,
         Workload::new(bdcats(), Variant::Kernel),
         space.clone(),
@@ -79,7 +79,7 @@ fn main() {
         };
         // Run a single generation (GaTuner with max_iterations = 1
         // resumes from scratch; for the demo we track the best ourselves).
-        let trace = tuner.run(&mut evaluator, &mut NoStop, &mut subsets);
+        let trace = tuner.run(&engine, &mut NoStop, &mut subsets);
         best = best.max(trace.best_perf);
         println!(
             "round {:>2}: best {:.2} GiB/s (subset size {})",

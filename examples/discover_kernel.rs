@@ -50,7 +50,10 @@ fn main() {
             },
         )
         .expect("sample parses");
-        println!("path switching rewrote {} open call(s)\n", switched.paths_switched);
+        println!(
+            "path switching rewrote {} open call(s)\n",
+            switched.paths_switched
+        );
     }
 }
 

@@ -1,0 +1,670 @@
+//! Minimal `proptest` stand-in.
+//!
+//! The build container has no crates.io access, so this shim provides the
+//! subset of proptest the workspace's property tests use: the [`Strategy`]
+//! trait with `prop_map` / `prop_filter` / `boxed`, range and tuple and
+//! `Vec` strategies, a tiny character-class regex generator for string
+//! strategies, `Just`, `any`, `collection::vec`, `sample::subsequence`,
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` /
+//! `prop_oneof!` macros.
+//!
+//! No shrinking is performed: a failing case reports its inputs via the
+//! assertion message and the deterministic per-test RNG makes reruns
+//! reproduce it exactly.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+use std::rc::Rc;
+
+/// Generation limit for `prop_filter` before giving up.
+const MAX_FILTER_REJECTS: usize = 10_000;
+
+/// A value generator. Unlike real proptest there is no value tree or
+/// shrinking; a strategy is just a deterministic function of the RNG.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keep only values for which `f` returns true.
+    fn prop_filter<R, F>(self, reason: R, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: fmt::Display,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            reason: reason.to_string(),
+            f,
+        }
+    }
+
+    /// Erase the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased, cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut StdRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    reason: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..MAX_FILTER_REJECTS {
+            let v = self.base.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected {MAX_FILTER_REJECTS} candidates",
+            self.reason
+        );
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from a non-empty list of alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges, tuples, vectors, strings
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+/// A `Vec` of strategies generates element-wise (used for per-gene domains).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+/// String strategy from a character-class pattern (e.g. `"[a-z0-9_]{0,6}"`).
+///
+/// Supported syntax: literal characters, `[...]` classes with ranges, and
+/// `{n}` / `{m,n}` repetition — the subset the workspace's patterns use.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: a character class or a literal character.
+        let class: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated `[` in pattern {pattern:?}"));
+            let mut cls = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    cls.extend((lo..=hi).filter_map(char::from_u32));
+                    j += 3;
+                } else {
+                    cls.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            cls
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Parse an optional {n} / {m,n} repetition.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated `{{` in pattern {pattern:?}"));
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("bad repeat min"),
+                    n.trim().parse::<usize>().expect("bad repeat max"),
+                ),
+                None => {
+                    let n = spec.trim().parse::<usize>().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = if min == max {
+            min
+        } else {
+            rng.gen_range(min..=max)
+        };
+        for _ in 0..count {
+            out.push(class[rng.gen_range(0..class.len())]);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// any / collection / sample
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical unconstrained strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Arbitrary finite doubles across many magnitudes.
+        loop {
+            let f = f64::from_bits(rand::RngCore::next_u64(rng));
+            if f.is_finite() {
+                return f;
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Length specification for collection strategies: an exact size or a
+/// (half-open or inclusive) range of sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.end > r.start, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        if self.min == self.max {
+            self.min
+        } else {
+            rng.gen_range(self.min..=self.max)
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for a `Vec` whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: `size` elements generated by `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample::subsequence`).
+pub mod sample {
+    use super::*;
+
+    /// Strategy for an order-preserving random subsequence.
+    pub struct Subsequence<T: Clone> {
+        items: Vec<T>,
+        size: SizeRange,
+    }
+
+    /// Pick a subsequence of `items` whose length is drawn from `size`.
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            items,
+            size: size.into(),
+        }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<T> {
+            let k = self.size.pick(rng).min(self.items.len());
+            // Partial Fisher-Yates over indices, then restore input order.
+            let mut idx: Vec<usize> = (0..self.items.len()).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..idx.len());
+                idx.swap(i, j);
+            }
+            let mut chosen = idx[..k].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test runner
+// ---------------------------------------------------------------------------
+
+/// Runner configuration (`cases` = number of generated inputs per test).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl fmt::Display) -> Self {
+        TestCaseError(msg.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+#[doc(hidden)]
+pub mod __rng {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+#[doc(hidden)]
+pub mod __runner {
+    /// Deterministic per-test seed so failures reproduce across runs.
+    pub fn seed_for(test_name: &str) -> u64 {
+        // FNV-1a over the test path.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests: each `#[test] fn name(pat in strategy, ...)` body
+/// runs once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut __proptest_rng = <$crate::__rng::StdRng as $crate::__rng::SeedableRng>::seed_from_u64(
+                $crate::__runner::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for __proptest_case in 0..config.cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                let __proptest_result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __proptest_result {
+                    panic!(
+                        "proptest case {}/{} failed: {}",
+                        __proptest_case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+}
+
+/// Assert inside a property; failures abort only the current case's body
+/// with a [`TestCaseError`] carrying the formatted context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            l,
+            r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_generator_respects_classes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-z][a-z0-9_]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7);
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let items: Vec<u32> = (0..20).collect();
+        for _ in 0..100 {
+            let sub = crate::Strategy::generate(
+                &crate::sample::subsequence(items.clone(), 1..=12),
+                &mut rng,
+            );
+            assert!(!sub.is_empty() && sub.len() <= 12);
+            assert!(sub.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 0.0f64..=1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn oneof_and_vec_compose(
+            xs in crate::collection::vec(prop_oneof![Just(1u8), Just(2), Just(3)], 0..5),
+        ) {
+            prop_assert!(xs.len() < 5);
+            prop_assert!(xs.iter().all(|&x| (1..=3).contains(&x)));
+        }
+    }
+}

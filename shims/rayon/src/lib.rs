@@ -1,0 +1,253 @@
+//! Minimal `rayon` stand-in with real data parallelism.
+//!
+//! The build container has no crates.io access, so this shim provides the
+//! subset of rayon used by the workspace — `par_iter()` / `into_par_iter()`
+//! with `map`, `for_each` and `collect` — implemented with scoped OS
+//! threads (`std::thread::scope`) rather than a work-stealing pool.
+//!
+//! Work is split into one contiguous chunk per worker, which preserves
+//! input order on `collect` (rayon's indexed-collect guarantee, and the
+//! property the deterministic evaluation engine relies on). The worker
+//! count honours `RAYON_NUM_THREADS`, falling back to the machine's
+//! available parallelism; `RAYON_NUM_THREADS=1` (or a single-core host)
+//! short-circuits to a plain sequential loop on the calling thread.
+
+#![warn(missing_docs)]
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads parallel operations will use:
+/// `RAYON_NUM_THREADS` when set to a positive integer, otherwise the
+/// host's available parallelism.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// A parallel iterator: a finite, indexable stream of `Send` items that
+/// can be mapped and collected preserving input order.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Drain the iterator into an ordered `Vec` (the fan-out primitive
+    /// everything else is built on).
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Transform every item in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Run `f` on every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.map(f).drive();
+    }
+
+    /// Collect into a container, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.drive().into_iter().collect()
+    }
+
+    /// Sum the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.drive().into_iter().sum()
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] by value (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// Resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert self.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a borrowing [`ParallelIterator`] (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type of the resulting iterator (a reference).
+    type Item: Send;
+    /// Resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrow self.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Fan a list of inputs out across worker threads, applying `f` to each;
+/// results come back in input order.
+fn fan_out<T: Send, R: Send, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    F: Fn(T) -> R + Sync,
+{
+    let workers = current_num_threads().min(items.len().max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|ch| scope.spawn(move || ch.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct SliceIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn drive(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+/// Owning parallel iterator over a `Vec`.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter {
+    range: std::ops::Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    fn drive(self) -> Vec<usize> {
+        self.range.collect()
+    }
+}
+
+/// Mapped parallel iterator; the `map` stage is where threads fan out.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    fn drive(self) -> Vec<R> {
+        fan_out(self.base.drive(), &self.f)
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_owns_items() {
+        let squares: Vec<usize> = (0..64).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[63], 63 * 63);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        (0..257).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let xs: Vec<u64> = (1..=100).collect();
+        let total: u64 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 5050);
+    }
+}

@@ -1,0 +1,525 @@
+//! Minimal `serde` stand-in.
+//!
+//! The build container has no crates.io access, so this shim provides the
+//! subset of serde the workspace uses: the `Serialize` / `Deserialize`
+//! traits (with derive macros from the sibling `serde_derive` shim) and a
+//! JSON-shaped [`Value`] data model that `serde_json` (also shimmed)
+//! serializes and parses.
+//!
+//! Unlike real serde there is no serializer abstraction — serialization
+//! always goes through [`Value`]. That is sufficient (and bit-stable) for
+//! this workspace: every consumer is the JSON round-trip in agent
+//! state snapshots, result dumps and golden-trace tests.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// JSON-shaped dynamic value: the single data model all (de)serialization
+/// goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion-ordered so output is reproducible.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) => u64::try_from(i).ok(),
+            Value::UInt(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// (De)serialization error: a message, optionally with JSON text position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to a dynamic value.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Build from a dynamic value.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| Error::msg(format!("expected integer, got {}", v.kind())))?;
+                <$t>::try_from(i).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let u = *self as u64;
+                match i64::try_from(u) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(u),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v
+                    .as_u64()
+                    .ok_or_else(|| {
+                        Error::msg(format!("expected unsigned integer, got {}", v.kind()))
+                    })?;
+                <$t>::try_from(u).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let f = *self as f64;
+                if f.is_finite() {
+                    Value::Float(f)
+                } else {
+                    // serde_json serializes non-finite floats as null.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v.as_f64() {
+                    Some(f) => Ok(f as $t),
+                    // Round-trip for the non-finite → null mapping above.
+                    None if *v == Value::Null => Ok(<$t>::NAN),
+                    None => Err(Error::msg(format!("expected number, got {}", v.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        // Real serde borrows from the input; this shim's data model owns
+        // its strings, so a &'static str can only be produced by leaking.
+        // The workspace deserializes such fields only in small test
+        // fixtures, where the one-off leak is harmless.
+        match v {
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error::msg(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::msg(format!("expected string, got {}", v.kind())))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected single-character string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| Error::msg(format!("expected {N} elements, got {}", items.len())))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        let expect = [$($idx),+].len();
+                        if items.len() != expect {
+                            return Err(Error::msg(format!(
+                                "expected {}-tuple, got {} elements",
+                                expect,
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: fmt::Display, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort keys so serialization is reproducible across runs.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K: fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Support for derived impls
+// ---------------------------------------------------------------------------
+
+/// Helpers used by `serde_derive`-generated code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Error, Value};
+
+    /// Fetch a required struct field from an object value.
+    pub fn field<'v>(v: &'v Value, ty: &str, name: &str) -> Result<&'v Value, Error> {
+        match v {
+            Value::Object(_) => v
+                .get(name)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}` in {ty}"))),
+            other => Err(Error::msg(format!(
+                "expected object for {ty}, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Expect an array payload with exactly `n` elements.
+    pub fn elements<'v>(v: &'v Value, ty: &str, n: usize) -> Result<&'v [Value], Error> {
+        match v {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => Err(Error::msg(format!(
+                "expected {n} elements for {ty}, got {}",
+                items.len()
+            ))),
+            other => Err(Error::msg(format!(
+                "expected array for {ty}, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Decompose an externally-tagged enum value into (variant, payload).
+    pub fn variant<'v>(v: &'v Value, ty: &str) -> Result<(&'v str, Option<&'v Value>), Error> {
+        match v {
+            Value::String(name) => Ok((name, None)),
+            Value::Object(fields) if fields.len() == 1 => {
+                Ok((fields[0].0.as_str(), Some(&fields[0].1)))
+            }
+            other => Err(Error::msg(format!(
+                "expected enum variant for {ty}, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Payload accessor for data-carrying variants.
+    pub fn payload<'v>(
+        payload: Option<&'v Value>,
+        ty: &str,
+        variant: &str,
+    ) -> Result<&'v Value, Error> {
+        payload.ok_or_else(|| Error::msg(format!("variant {ty}::{variant} expects a payload")))
+    }
+
+    /// Error for an unknown enum variant name.
+    pub fn unknown_variant(ty: &str, name: &str) -> Error {
+        Error::msg(format!("unknown variant `{name}` for {ty}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn options_and_vecs_round_trip() {
+        let v: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&v.to_value()).unwrap(), None);
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&xs.to_value()).unwrap(), xs);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = (1u32, "x".to_string());
+        let v = t.to_value();
+        assert_eq!(<(u32, String)>::from_value(&v).unwrap(), t);
+    }
+
+    #[test]
+    fn large_u64_preserved() {
+        let big = u64::MAX - 3;
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+    }
+}

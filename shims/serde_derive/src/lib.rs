@@ -1,0 +1,399 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The build container has no crates.io access, so `syn`/`quote` are
+//! unavailable; this crate parses the item's raw token stream directly.
+//! Supported shapes cover everything the workspace derives on:
+//!
+//! * structs with named fields, tuple structs (newtype and n-ary), unit
+//!   structs;
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   serde's default representation).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported
+//! and produce a compile error if encountered.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (via the workspace's serde shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (via the workspace's serde shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model + parser
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Shape)>,
+    },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (deriving on `{name}`)");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for `{name}`, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `pub(...)`
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Advance past a type (or any token run) up to a top-level `,`, tracking
+/// angle-bracket depth so `Vec<(A, B)>`-style commas do not split early.
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if depth > 0 => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 2; // name + `:`
+        skip_to_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_to_comma(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Shape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        skip_to_comma(&tokens, &mut i); // also skips `= discriminant`
+        variants.push((name, shape));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-built, then parsed into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                }
+                Shape::Named(fields) => obj_literal(fields.iter().map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, shape) in variants {
+                let arm = match shape {
+                    Shape::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),"
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                        };
+                        format!(
+                            "{name}::{vname}({binds}) => {obj},",
+                            binds = binds.join(", "),
+                            obj = tagged(vname, &payload)
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let payload =
+                            obj_literal(fields.iter().map(|f| {
+                                (f.clone(), format!("::serde::Serialize::to_value({f})"))
+                            }));
+                        format!(
+                            "{name}::{vname} {{ {fields} }} => {obj},",
+                            fields = fields.join(", "),
+                            obj = tagged(vname, &payload)
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+                arms.push('\n');
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// `Value::Object` literal from `(key, value-expression)` pairs.
+fn obj_literal(pairs: impl Iterator<Item = (String, String)>) -> String {
+    let entries: Vec<String> = pairs
+        .map(|(k, v)| format!("(\"{k}\".to_string(), {v})"))
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+/// Externally-tagged wrapper: `{"Variant": payload}`.
+fn tagged(variant: &str, payload: &str) -> String {
+    format!("::serde::Value::Object(::std::vec![(\"{variant}\".to_string(), {payload})])")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let items = ::serde::__private::elements(v, \"{name}\", {n})?;\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        elems.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::__private::field(v, \"{name}\", \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, shape) in variants {
+                let arm = match shape {
+                    Shape::Unit => format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "\"{vname}\" => {{\n\
+                             let p = ::serde::__private::payload(payload, \"{name}\", \"{vname}\")?;\n\
+                             ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(p)?))\n\
+                         }}"
+                    ),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "\"{vname}\" => {{\n\
+                                 let p = ::serde::__private::payload(payload, \"{name}\", \"{vname}\")?;\n\
+                                 let items = ::serde::__private::elements(p, \"{name}\", {n})?;\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n\
+                             }}",
+                            elems.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::__private::field(p, \"{name}\", \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "\"{vname}\" => {{\n\
+                                 let p = ::serde::__private::payload(payload, \"{name}\", \"{vname}\")?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                             }}",
+                            inits.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+                arms.push('\n');
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let (variant, payload) = ::serde::__private::variant(v, \"{name}\")?;\n\
+                         let _ = &payload;\n\
+                         match variant {{\n\
+                             {arms}\n\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::__private::unknown_variant(\"{name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
