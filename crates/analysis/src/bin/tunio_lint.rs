@@ -1,0 +1,146 @@
+//! `tunio-lint` — dataflow lints for C-minus sources.
+//!
+//! ```text
+//! tunio-lint [--sample NAME|all] [FILE...] [--json] [--allow LINT]... [--deny warnings]
+//! ```
+//!
+//! Inputs are built-in samples (`--sample vpic_io`, `--sample all`) or
+//! C-minus files on disk. Text output is one line per finding; `--json`
+//! emits a machine-readable report. With `--deny warnings` the exit code
+//! is 1 when any warning-severity finding survives the `--allow` filter.
+
+use std::process::ExitCode;
+use tunio_analysis::lint::{has_warnings, lint_program, render_text, LintKind, LintOptions};
+use tunio_cminus::parser::parse;
+use tunio_cminus::samples;
+
+const USAGE: &str = "usage: tunio-lint [--sample NAME|all] [FILE...] \
+                     [--json] [--allow LINT]... [--deny warnings]";
+
+struct Args {
+    inputs: Vec<(String, String)>,
+    json: bool,
+    deny_warnings: bool,
+    opts: LintOptions,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        inputs: Vec::new(),
+        json: false,
+        deny_warnings: false,
+        opts: LintOptions::default(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => args.json = true,
+            "--deny" => {
+                i += 1;
+                match argv.get(i).map(String::as_str) {
+                    Some("warnings") => args.deny_warnings = true,
+                    other => return Err(format!("--deny expects `warnings`, got {other:?}")),
+                }
+            }
+            "--allow" => {
+                i += 1;
+                let slug = argv.get(i).ok_or("--allow expects a lint name")?;
+                let kind = LintKind::from_slug(slug).ok_or_else(|| {
+                    let known: Vec<&str> = LintKind::all().iter().map(|k| k.slug()).collect();
+                    format!("unknown lint `{slug}` (known: {})", known.join(", "))
+                })?;
+                args.opts.allow.insert(kind);
+            }
+            "--sample" => {
+                i += 1;
+                let name = argv.get(i).ok_or("--sample expects a name or `all`")?;
+                if name == "all" {
+                    for (n, src) in samples::all_samples() {
+                        args.inputs.push((n.to_string(), src.to_string()));
+                    }
+                } else {
+                    let src = samples::all_samples()
+                        .into_iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, src)| src)
+                        .ok_or_else(|| {
+                            let known: Vec<&str> =
+                                samples::all_samples().iter().map(|(n, _)| *n).collect();
+                            format!("unknown sample `{name}` (known: {})", known.join(", "))
+                        })?;
+                    args.inputs.push((name.clone(), src.to_string()));
+                }
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            path if !path.starts_with('-') => {
+                let src = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                args.inputs.push((path.to_string(), src));
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if args.inputs.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut any_warning = false;
+    let mut reports = Vec::new();
+    for (name, src) in &args.inputs {
+        let program = match parse(src) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{name}: parse error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let diags = lint_program(&program, &args.opts);
+        any_warning |= has_warnings(&diags);
+        reports.push((name.clone(), diags));
+    }
+
+    if args.json {
+        let inputs: Vec<serde_json::Value> = reports
+            .iter()
+            .map(|(name, diags)| {
+                let findings: Vec<serde_json::Value> = diags.iter().map(|d| d.to_json()).collect();
+                let warnings = diags
+                    .iter()
+                    .filter(|d| d.severity == tunio_analysis::Severity::Warning)
+                    .count();
+                serde_json::json!({
+                    "name": name.clone(),
+                    "warnings": warnings,
+                    "infos": diags.len() - warnings,
+                    "diagnostics": findings,
+                })
+            })
+            .collect();
+        let report = serde_json::json!({ "version": 1, "inputs": inputs });
+        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    } else {
+        for (name, diags) in &reports {
+            println!("== {name} ==");
+            print!("{}", render_text(diags));
+        }
+    }
+
+    if args.deny_warnings && any_warning {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

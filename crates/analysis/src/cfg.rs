@@ -1,0 +1,369 @@
+//! Control-flow graphs.
+//!
+//! One [`Cfg`] per function: basic blocks of statement ids connected by
+//! directed edges, built structurally from the AST. `if`/`for`/`while`/
+//! `do-while` lower to the standard diamond/loop shapes; `break`,
+//! `continue` and `return` cut the current block and start a fresh one
+//! (which stays unreachable unless something jumps to it — that is
+//! exactly what the unreachable-code lint reports).
+//!
+//! Control statements place their *header* id in the block that evaluates
+//! the condition, so condition reads participate in dataflow at the right
+//! program point.
+
+use tunio_cminus::ast::{Block, Function, Stmt, StmtId, StmtKind};
+
+/// Index of a basic block within its [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// A basic block: a run of statement ids with single-entry/single-exit
+/// control flow, plus its graph edges.
+#[derive(Debug, Clone, Default)]
+pub struct BasicBlock {
+    /// Statement ids in execution order.
+    pub stmts: Vec<StmtId>,
+    /// Successor blocks.
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+    /// Whether the block is reachable from the entry block.
+    pub reachable: bool,
+}
+
+/// A function's control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Name of the function this graph belongs to.
+    pub func: String,
+    /// All blocks; index is the [`BlockId`].
+    pub blocks: Vec<BasicBlock>,
+    /// The entry block.
+    pub entry: BlockId,
+    /// The single synthetic exit block (empty; `return` edges here).
+    pub exit: BlockId,
+}
+
+impl Cfg {
+    /// The block a statement lives in, if any.
+    pub fn block_of(&self, stmt: StmtId) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .position(|b| b.stmts.contains(&stmt))
+            .map(|i| BlockId(i as u32))
+    }
+
+    /// Iterate reachable blocks in id order.
+    pub fn reachable_blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.reachable)
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Statement ids sitting in unreachable blocks, in id order.
+    pub fn unreachable_stmts(&self) -> Vec<StmtId> {
+        let mut out: Vec<StmtId> = self
+            .blocks
+            .iter()
+            .filter(|b| !b.reachable)
+            .flat_map(|b| b.stmts.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Break/continue jump targets for the innermost enclosing loop.
+#[derive(Clone, Copy)]
+struct LoopCtx {
+    break_to: BlockId,
+    continue_to: BlockId,
+}
+
+struct Builder {
+    blocks: Vec<BasicBlock>,
+    exit: BlockId,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(BasicBlock::default());
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId) {
+        if !self.blocks[from.0 as usize].succs.contains(&to) {
+            self.blocks[from.0 as usize].succs.push(to);
+            self.blocks[to.0 as usize].preds.push(from);
+        }
+    }
+
+    fn push_stmt(&mut self, block: BlockId, id: StmtId) {
+        self.blocks[block.0 as usize].stmts.push(id);
+    }
+
+    /// Lower a braced block starting in `cur`; returns the block left
+    /// open at its end.
+    fn lower_block(&mut self, block: &Block, mut cur: BlockId, ctx: Option<LoopCtx>) -> BlockId {
+        for stmt in &block.stmts {
+            cur = self.lower_stmt(stmt, cur, ctx);
+        }
+        cur
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, cur: BlockId, ctx: Option<LoopCtx>) -> BlockId {
+        match &stmt.kind {
+            StmtKind::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                self.push_stmt(cur, stmt.id);
+                let join = self.new_block();
+                let then_entry = self.new_block();
+                self.edge(cur, then_entry);
+                let then_end = self.lower_block(then_block, then_entry, ctx);
+                self.edge(then_end, join);
+                match else_block {
+                    Some(e) => {
+                        let else_entry = self.new_block();
+                        self.edge(cur, else_entry);
+                        let else_end = self.lower_block(e, else_entry, ctx);
+                        self.edge(else_end, join);
+                    }
+                    None => self.edge(cur, join),
+                }
+                join
+            }
+            StmtKind::While { body, .. } => {
+                let header = self.new_block();
+                self.push_stmt(header, stmt.id);
+                self.edge(cur, header);
+                let body_entry = self.new_block();
+                let after = self.new_block();
+                self.edge(header, body_entry);
+                self.edge(header, after);
+                let inner = LoopCtx {
+                    break_to: after,
+                    continue_to: header,
+                };
+                let body_end = self.lower_block(body, body_entry, Some(inner));
+                self.edge(body_end, header);
+                after
+            }
+            StmtKind::DoWhile { body, .. } => {
+                let body_entry = self.new_block();
+                self.edge(cur, body_entry);
+                let cond = self.new_block();
+                self.push_stmt(cond, stmt.id);
+                let after = self.new_block();
+                let inner = LoopCtx {
+                    break_to: after,
+                    continue_to: cond,
+                };
+                let body_end = self.lower_block(body, body_entry, Some(inner));
+                self.edge(body_end, cond);
+                self.edge(cond, body_entry);
+                self.edge(cond, after);
+                after
+            }
+            StmtKind::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                let cur = self.lower_stmt(init, cur, ctx);
+                let header = self.new_block();
+                self.push_stmt(header, stmt.id);
+                self.edge(cur, header);
+                let body_entry = self.new_block();
+                let update_block = self.new_block();
+                self.push_stmt(update_block, update.id);
+                let after = self.new_block();
+                self.edge(header, body_entry);
+                if cond.is_some() {
+                    self.edge(header, after);
+                }
+                let inner = LoopCtx {
+                    break_to: after,
+                    continue_to: update_block,
+                };
+                let body_end = self.lower_block(body, body_entry, Some(inner));
+                self.edge(body_end, update_block);
+                self.edge(update_block, header);
+                after
+            }
+            StmtKind::Break => {
+                self.push_stmt(cur, stmt.id);
+                if let Some(ctx) = ctx {
+                    self.edge(cur, ctx.break_to);
+                }
+                self.new_block()
+            }
+            StmtKind::Continue => {
+                self.push_stmt(cur, stmt.id);
+                if let Some(ctx) = ctx {
+                    self.edge(cur, ctx.continue_to);
+                }
+                self.new_block()
+            }
+            StmtKind::Return(_) => {
+                self.push_stmt(cur, stmt.id);
+                let exit = self.exit;
+                self.edge(cur, exit);
+                self.new_block()
+            }
+            _ => {
+                self.push_stmt(cur, stmt.id);
+                cur
+            }
+        }
+    }
+}
+
+/// Build the control-flow graph of one function.
+pub fn build_cfg(f: &Function) -> Cfg {
+    let mut b = Builder {
+        blocks: Vec::new(),
+        exit: BlockId(0),
+    };
+    let entry = b.new_block();
+    let exit = b.new_block();
+    b.exit = exit;
+    let last = b.lower_block(&f.body, entry, None);
+    b.edge(last, exit);
+
+    // Reachability from the entry block.
+    let mut cfg = Cfg {
+        func: f.name.clone(),
+        blocks: b.blocks,
+        entry,
+        exit,
+    };
+    let mut stack = vec![entry];
+    while let Some(id) = stack.pop() {
+        let block = &mut cfg.blocks[id.0 as usize];
+        if block.reachable {
+            continue;
+        }
+        block.reachable = true;
+        stack.extend(block.succs.iter().copied());
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tunio_cminus::parser::parse;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let prog = parse(src).unwrap();
+        build_cfg(&prog.functions[0])
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = cfg_of("void f() { a = 1; b = 2; g(a, b); }");
+        let entry = &cfg.blocks[cfg.entry.0 as usize];
+        assert_eq!(entry.stmts.len(), 3);
+        assert_eq!(entry.succs, vec![cfg.exit]);
+    }
+
+    #[test]
+    fn if_else_forms_a_diamond() {
+        let cfg = cfg_of("void f(int x) { if (x) { a = 1; } else { a = 2; } g(a); }");
+        let entry = &cfg.blocks[cfg.entry.0 as usize];
+        // Entry holds the if header and branches two ways.
+        assert_eq!(entry.succs.len(), 2);
+        // The join block holds g(a) and both arms reach it.
+        let join = cfg
+            .reachable_blocks()
+            .find(|(_, b)| b.stmts.len() == 1 && b.preds.len() == 2)
+            .expect("join block");
+        assert_eq!(join.1.succs, vec![cfg.exit]);
+    }
+
+    #[test]
+    fn while_loop_has_back_edge() {
+        let cfg = cfg_of("void f(int n) { while (n) { n = step(n); } done(); }");
+        let header = cfg
+            .reachable_blocks()
+            .find(|(id, b)| b.preds.len() == 2 && *id != cfg.exit && !b.stmts.is_empty())
+            .expect("loop header has entry + back edge")
+            .0;
+        let hdr = &cfg.blocks[header.0 as usize];
+        assert_eq!(hdr.succs.len(), 2, "into body and past the loop");
+    }
+
+    #[test]
+    fn for_loop_shape() {
+        let prog = parse("void f() { for (int i = 0; i < 3; i++) { g(i); } h(); }").unwrap();
+        let f = &prog.functions[0];
+        let cfg = build_cfg(f);
+        // init lives with the entry block, header/body/update/after exist.
+        let (init_id, update_id) = match &f.body.stmts[0].kind {
+            StmtKind::For { init, update, .. } => (init.id, update.id),
+            _ => unreachable!(),
+        };
+        let init_block = cfg.block_of(init_id).unwrap();
+        assert_eq!(init_block, cfg.entry);
+        let update_block = cfg.block_of(update_id).unwrap();
+        // Update flows back to the header.
+        let header = cfg.block_of(f.body.stmts[0].id).unwrap();
+        assert_eq!(cfg.blocks[update_block.0 as usize].succs, vec![header]);
+    }
+
+    #[test]
+    fn break_exits_and_code_after_return_is_unreachable() {
+        let cfg = cfg_of(
+            "void f(int n) { for (int i = 0; i < n; i++) { if (done()) { break; } } return; dead(); }",
+        );
+        let unreachable = cfg.unreachable_stmts();
+        assert_eq!(
+            unreachable.len(),
+            1,
+            "only dead() is unreachable: {unreachable:?}"
+        );
+    }
+
+    #[test]
+    fn do_while_body_always_reachable() {
+        let prog = parse("void f() { do { g(); } while (cond()); after(); }").unwrap();
+        let cfg = build_cfg(&prog.functions[0]);
+        assert!(cfg.unreachable_stmts().is_empty());
+        // The condition block has two successors: back into the body and out.
+        let cond_block = cfg.block_of(prog.functions[0].body.stmts[0].id).unwrap();
+        assert_eq!(cfg.blocks[cond_block.0 as usize].succs.len(), 2);
+    }
+
+    #[test]
+    fn continue_jumps_to_update() {
+        let prog = parse(
+            "void f(int n) { for (int i = 0; i < n; i++) { if (skip(i)) { continue; } work(i); } }",
+        )
+        .unwrap();
+        let f = &prog.functions[0];
+        let cfg = build_cfg(f);
+        let update_id = match &f.body.stmts[0].kind {
+            StmtKind::For { update, .. } => update.id,
+            _ => unreachable!(),
+        };
+        let update_block = cfg.block_of(update_id).unwrap();
+        // continue's block feeds the update block directly.
+        assert!(
+            cfg.blocks[update_block.0 as usize].preds.len() >= 2,
+            "fallthrough + continue edges into update"
+        );
+        assert!(cfg.unreachable_stmts().is_empty());
+    }
+
+    #[test]
+    fn infinite_loop_makes_tail_unreachable() {
+        let cfg = cfg_of("void f() { for (;;) { spin(); } after(); }");
+        assert_eq!(cfg.unreachable_stmts().len(), 1);
+    }
+}

@@ -1,0 +1,402 @@
+//! Generic worklist dataflow engine.
+//!
+//! An [`Analysis`] supplies a direction, a lattice (`empty` + `merge`),
+//! a boundary fact and a per-statement transfer function; [`solve`] runs
+//! the classic worklist iteration over a [`Cfg`] until fixpoint and then
+//! replays each block once to attach facts to every statement program
+//! point. Two instances ship here: [`ReachingDefs`] and [`Liveness`],
+//! both keyed on [`VarId`]s from [`crate::resolve`] so shadowed names
+//! never conflate.
+
+use crate::cfg::{BlockId, Cfg};
+use crate::resolve::{FnResolution, VarId, VarKind};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use tunio_cminus::ast::StmtId;
+
+/// Which way facts flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow entry → exit (e.g. reaching definitions).
+    Forward,
+    /// Facts flow exit → entry (e.g. liveness).
+    Backward,
+}
+
+/// A dataflow problem over one function's CFG.
+pub trait Analysis {
+    /// The lattice element attached to each program point.
+    type Fact: Clone + PartialEq;
+
+    /// Flow direction.
+    fn direction(&self) -> Direction;
+
+    /// Fact at the boundary: function entry for forward problems, the
+    /// synthetic exit block for backward ones.
+    fn boundary(&self) -> Self::Fact;
+
+    /// Bottom element used to initialize interior points.
+    fn empty(&self) -> Self::Fact;
+
+    /// Join `from` into `into` (must be monotone for termination).
+    fn merge(&self, into: &mut Self::Fact, from: &Self::Fact);
+
+    /// Apply one statement's effect in the flow direction.
+    fn transfer(&self, stmt: StmtId, fact: &mut Self::Fact);
+}
+
+/// Fixpoint result: block-level facts plus per-statement program points.
+///
+/// Statement facts use *execution-order* naming for both directions:
+/// [`Solution::before`] is the point just before the statement runs,
+/// [`Solution::after`] just after.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// Fact at each block's entry (execution order).
+    pub block_in: Vec<F>,
+    /// Fact at each block's exit (execution order).
+    pub block_out: Vec<F>,
+    entry_facts: BTreeMap<StmtId, F>,
+    exit_facts: BTreeMap<StmtId, F>,
+}
+
+impl<F> Solution<F> {
+    /// Fact at the program point just before `stmt` executes.
+    pub fn before(&self, stmt: StmtId) -> Option<&F> {
+        self.entry_facts.get(&stmt)
+    }
+
+    /// Fact at the program point just after `stmt` executes.
+    pub fn after(&self, stmt: StmtId) -> Option<&F> {
+        self.exit_facts.get(&stmt)
+    }
+}
+
+/// Run `analysis` to fixpoint over `cfg`.
+pub fn solve<A: Analysis>(cfg: &Cfg, analysis: &A) -> Solution<A::Fact> {
+    let n = cfg.blocks.len();
+    let forward = analysis.direction() == Direction::Forward;
+    let boundary_block = if forward { cfg.entry } else { cfg.exit };
+
+    let mut block_in: Vec<A::Fact> = (0..n).map(|_| analysis.empty()).collect();
+    let mut block_out: Vec<A::Fact> = (0..n).map(|_| analysis.empty()).collect();
+
+    let mut worklist: VecDeque<BlockId> = (0..n as u32).map(BlockId).collect();
+    let mut queued: BTreeSet<BlockId> = worklist.iter().copied().collect();
+
+    while let Some(b) = worklist.pop_front() {
+        queued.remove(&b);
+        let bi = b.0 as usize;
+        let block = &cfg.blocks[bi];
+
+        // Merge incoming facts along flow-direction predecessors.
+        let mut incoming = if b == boundary_block {
+            analysis.boundary()
+        } else {
+            analysis.empty()
+        };
+        let flow_preds = if forward { &block.preds } else { &block.succs };
+        for p in flow_preds {
+            let from = if forward {
+                &block_out[p.0 as usize]
+            } else {
+                &block_in[p.0 as usize]
+            };
+            analysis.merge(&mut incoming, from);
+        }
+
+        // Transfer through the block's statements in flow order.
+        let mut fact = incoming.clone();
+        if forward {
+            for s in &block.stmts {
+                analysis.transfer(*s, &mut fact);
+            }
+        } else {
+            for s in block.stmts.iter().rev() {
+                analysis.transfer(*s, &mut fact);
+            }
+        }
+
+        let (start_slot, end_slot) = if forward {
+            (&mut block_in[bi], &mut block_out[bi])
+        } else {
+            (&mut block_out[bi], &mut block_in[bi])
+        };
+        *start_slot = incoming;
+        let changed = *end_slot != fact;
+        if changed {
+            *end_slot = fact;
+            let flow_succs = if forward { &block.succs } else { &block.preds };
+            for s in flow_succs {
+                if queued.insert(*s) {
+                    worklist.push_back(*s);
+                }
+            }
+        }
+    }
+
+    // Replay each block once to attach facts to statement program points.
+    let mut entry_facts = BTreeMap::new();
+    let mut exit_facts = BTreeMap::new();
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        if forward {
+            let mut fact = block_in[bi].clone();
+            for s in &block.stmts {
+                entry_facts.insert(*s, fact.clone());
+                analysis.transfer(*s, &mut fact);
+                exit_facts.insert(*s, fact.clone());
+            }
+        } else {
+            let mut fact = block_out[bi].clone();
+            for s in block.stmts.iter().rev() {
+                exit_facts.insert(*s, fact.clone());
+                analysis.transfer(*s, &mut fact);
+                entry_facts.insert(*s, fact.clone());
+            }
+        }
+    }
+
+    Solution {
+        block_in,
+        block_out,
+        entry_facts,
+        exit_facts,
+    }
+}
+
+/// A definition site: `Some(stmt)` for a write at that statement, `None`
+/// for the value a variable holds at function entry (parameters and
+/// externals carry a real value there; for locals it stands for
+/// *uninitialized storage*, which is what the possibly-uninitialized-read
+/// lint looks for).
+pub type Def = (VarId, Option<StmtId>);
+
+/// Reaching definitions: which writes may provide the current value of
+/// each variable at each program point. Partial stores (`a[i] = …`) gen
+/// a definition without killing earlier ones; only strong writes kill.
+pub struct ReachingDefs<'a> {
+    res: &'a FnResolution,
+}
+
+impl<'a> ReachingDefs<'a> {
+    /// Build the problem for one resolved function.
+    pub fn new(res: &'a FnResolution) -> Self {
+        ReachingDefs { res }
+    }
+}
+
+impl Analysis for ReachingDefs<'_> {
+    type Fact = BTreeSet<Def>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> Self::Fact {
+        // Every variable starts with its entry definition; for locals it
+        // models uninitialized storage until a real write kills it.
+        (0..self.res.vars.len() as u32)
+            .map(|i| (VarId(i), None))
+            .collect()
+    }
+
+    fn empty(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn merge(&self, into: &mut Self::Fact, from: &Self::Fact) {
+        into.extend(from.iter().copied());
+    }
+
+    fn transfer(&self, stmt: StmtId, fact: &mut Self::Fact) {
+        for k in self.res.kills_of(stmt) {
+            fact.retain(|(v, _)| v != k);
+        }
+        for w in self.res.writes_of(stmt) {
+            fact.insert((*w, Some(stmt)));
+        }
+    }
+}
+
+/// Liveness: which variables may be read later. Externals are live at
+/// function exit (their final value is observable by the caller).
+pub struct Liveness<'a> {
+    res: &'a FnResolution,
+}
+
+impl<'a> Liveness<'a> {
+    /// Build the problem for one resolved function.
+    pub fn new(res: &'a FnResolution) -> Self {
+        Liveness { res }
+    }
+}
+
+impl Analysis for Liveness<'_> {
+    type Fact = BTreeSet<VarId>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self) -> Self::Fact {
+        self.res
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::External)
+            .map(|(i, _)| VarId(i as u32))
+            .collect()
+    }
+
+    fn empty(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn merge(&self, into: &mut Self::Fact, from: &Self::Fact) {
+        into.extend(from.iter().copied());
+    }
+
+    fn transfer(&self, stmt: StmtId, fact: &mut Self::Fact) {
+        // live_before = use ∪ (live_after \ strong-def)
+        for k in self.res.kills_of(stmt) {
+            fact.remove(k);
+        }
+        for r in self.res.reads_of(stmt) {
+            fact.insert(*r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_cfg;
+    use crate::resolve::resolve_function;
+    use tunio_cminus::parser::parse;
+
+    struct Ctx {
+        res: FnResolution,
+        cfg: Cfg,
+    }
+
+    fn ctx(src: &str) -> Ctx {
+        let prog = parse(src).unwrap();
+        let f = &prog.functions[0];
+        Ctx {
+            res: resolve_function(f),
+            cfg: build_cfg(f),
+        }
+    }
+
+    fn var(res: &FnResolution, name: &str) -> VarId {
+        res.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+            .unwrap_or_else(|| panic!("no var {name}"))
+    }
+
+    /// Statement whose calls include `callee`.
+    fn call_site(res: &FnResolution, callee: &str) -> StmtId {
+        *res.stmts
+            .iter()
+            .find(|s| res.calls_of(**s).iter().any(|c| c == callee))
+            .unwrap_or_else(|| panic!("no call to {callee}"))
+    }
+
+    #[test]
+    fn strong_write_kills_earlier_def() {
+        let c = ctx("void f() { int x = 1; x = 2; g(x); }");
+        let sol = solve(&c.cfg, &ReachingDefs::new(&c.res));
+        let x = var(&c.res, "x");
+        let at_use = sol.before(call_site(&c.res, "g")).unwrap();
+        let defs: Vec<_> = at_use.iter().filter(|(v, _)| *v == x).collect();
+        assert_eq!(defs.len(), 1, "only the second store reaches: {defs:?}");
+        assert!(defs[0].1.is_some());
+    }
+
+    #[test]
+    fn branch_defs_merge_at_join() {
+        let c = ctx("void f(int c) { int x = 1; if (c) { x = 2; } g(x); }");
+        let sol = solve(&c.cfg, &ReachingDefs::new(&c.res));
+        let x = var(&c.res, "x");
+        let at_use = sol.before(call_site(&c.res, "g")).unwrap();
+        let defs: Vec<_> = at_use.iter().filter(|(v, _)| *v == x).collect();
+        assert_eq!(defs.len(), 2, "decl init and then-branch store both reach");
+    }
+
+    #[test]
+    fn partial_store_does_not_kill() {
+        let c = ctx("void f(int i) { int a[4]; a[0] = 1; a[i] = 2; g(a); }");
+        let sol = solve(&c.cfg, &ReachingDefs::new(&c.res));
+        let a = var(&c.res, "a");
+        let at_use = sol.before(call_site(&c.res, "g")).unwrap();
+        let defs: Vec<_> = at_use.iter().filter(|(v, _)| *v == a).collect();
+        assert_eq!(defs.len(), 3, "decl + both element stores reach: {defs:?}");
+    }
+
+    #[test]
+    fn uninitialized_entry_def_survives_one_branch() {
+        let c = ctx("void f(int cond) { int x; if (cond) { x = 1; } g(x); }");
+        let sol = solve(&c.cfg, &ReachingDefs::new(&c.res));
+        let x = var(&c.res, "x");
+        let at_use = sol.before(call_site(&c.res, "g")).unwrap();
+        assert!(
+            at_use.contains(&(x, None)),
+            "uninitialized entry def reaches the use on the else path"
+        );
+        // Fully-initialized variant: the entry def is killed.
+        let c2 = ctx("void f(int cond) { int x = 0; if (cond) { x = 1; } g(x); }");
+        let sol2 = solve(&c2.cfg, &ReachingDefs::new(&c2.res));
+        let x2 = var(&c2.res, "x");
+        let at_use2 = sol2.before(call_site(&c2.res, "g")).unwrap();
+        assert!(!at_use2.contains(&(x2, None)));
+    }
+
+    #[test]
+    fn loop_body_def_reaches_header() {
+        let c = ctx("void f(int n) { int s = 0; while (n) { s = s + step(); n = n - 1; } g(s); }");
+        let sol = solve(&c.cfg, &ReachingDefs::new(&c.res));
+        let s = var(&c.res, "s");
+        let at_use = sol.before(call_site(&c.res, "g")).unwrap();
+        let defs: Vec<_> = at_use.iter().filter(|(v, _)| *v == s).collect();
+        assert_eq!(defs.len(), 2, "init and loop-body def both reach past loop");
+    }
+
+    #[test]
+    fn overwritten_store_is_not_live() {
+        let c = ctx("void f() { int x = 1; x = 2; g(x); }");
+        let sol = solve(&c.cfg, &Liveness::new(&c.res));
+        let x = var(&c.res, "x");
+        let decl = c.res.stmts[0];
+        assert!(
+            !sol.after(decl).unwrap().contains(&x),
+            "x = 1 is overwritten before any read → dead after the decl"
+        );
+        let second = c.res.stmts[1];
+        assert!(sol.after(second).unwrap().contains(&x));
+    }
+
+    #[test]
+    fn externals_are_live_at_exit() {
+        let c = ctx("void f() { total = compute(); }");
+        let sol = solve(&c.cfg, &Liveness::new(&c.res));
+        let total = var(&c.res, "total");
+        let assign = c.res.stmts[0];
+        assert!(
+            sol.after(assign).unwrap().contains(&total),
+            "external write is observable after return"
+        );
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        let c = ctx("void f(int n) { int s = 0; while (n) { use(s); s = next(s); n = n - 1; } }");
+        let sol = solve(&c.cfg, &Liveness::new(&c.res));
+        let s = var(&c.res, "s");
+        let decl = c.res.stmts[0];
+        assert!(
+            sol.after(decl).unwrap().contains(&s),
+            "s is read in a later loop iteration"
+        );
+    }
+}

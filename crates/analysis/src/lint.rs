@@ -1,0 +1,399 @@
+//! Lint diagnostics on top of the dataflow analyses.
+//!
+//! Four lints, all byproducts of machinery the slicer already needs:
+//!
+//! * **dead-store** — a value assigned to a local is never read
+//!   ([`crate::dataflow::Liveness`]);
+//! * **unreachable-code** — statements in CFG blocks no path reaches
+//!   ([`crate::cfg`]);
+//! * **uninit-read** — a local may be read before any write reaches it
+//!   ([`crate::dataflow::ReachingDefs`] entry definitions);
+//! * **io-in-loop** — an I/O call under loop nesting; depth 1 is
+//!   informational (most HPC output loops are intentional), depth ≥ 2 is
+//!   a warning (the paper's request-decomposition antipattern).
+//!
+//! Diagnostics carry real source [`Span`]s from the parser and render as
+//! stable one-line text (golden-tested) or machine-readable JSON via the
+//! `tunio-lint` binary.
+
+use crate::cfg::build_cfg;
+use crate::dataflow::{solve, Liveness, ReachingDefs};
+use crate::resolve::{resolve_function, VarKind};
+use crate::slice::{default_io_predicate, io_function_closure};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use tunio_cminus::ast::{Program, StmtId, StmtKind};
+use tunio_cminus::span::Span;
+
+/// How serious a diagnostic is. `--deny warnings` fails on [`Severity::Warning`]
+/// only; [`Severity::Info`] never gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; never fails a gated run.
+    Info,
+    /// Likely-bug or antipattern; fails `--deny warnings`.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// Which lint produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintKind {
+    /// Assigned value is never read.
+    DeadStore,
+    /// No control-flow path reaches the statement.
+    UnreachableCode,
+    /// A local may be read before initialization.
+    UninitRead,
+    /// I/O call nested inside loops.
+    IoInLoop,
+}
+
+impl LintKind {
+    /// Stable machine-readable name (used by `--allow` and JSON output).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            LintKind::DeadStore => "dead-store",
+            LintKind::UnreachableCode => "unreachable-code",
+            LintKind::UninitRead => "uninit-read",
+            LintKind::IoInLoop => "io-in-loop",
+        }
+    }
+
+    /// Parse a slug back into a kind.
+    pub fn from_slug(s: &str) -> Option<LintKind> {
+        match s {
+            "dead-store" => Some(LintKind::DeadStore),
+            "unreachable-code" => Some(LintKind::UnreachableCode),
+            "uninit-read" => Some(LintKind::UninitRead),
+            "io-in-loop" => Some(LintKind::IoInLoop),
+            _ => None,
+        }
+    }
+
+    /// Every lint, in rendering order.
+    pub fn all() -> [LintKind; 4] {
+        [
+            LintKind::DeadStore,
+            LintKind::UnreachableCode,
+            LintKind::UninitRead,
+            LintKind::IoInLoop,
+        ]
+    }
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.slug())
+    }
+}
+
+/// One rendered finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Producing lint.
+    pub kind: LintKind,
+    /// Function the statement lives in.
+    pub func: String,
+    /// Source span of the offending statement.
+    pub span: Span,
+    /// Offending statement id.
+    pub stmt: StmtId,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// One-line stable rendering: `warning[dead-store] 12:5-12:24 (main): …`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}[{}] {} ({}): {}",
+            self.severity, self.kind, self.span, self.func, self.message
+        )
+    }
+
+    /// Machine-readable JSON object.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "severity": self.severity.to_string(),
+            "kind": self.kind.slug(),
+            "func": self.func.clone(),
+            "line": self.span.start.line,
+            "col": self.span.start.col,
+            "end_line": self.span.end.line,
+            "end_col": self.span.end.col,
+            "message": self.message.clone(),
+        })
+    }
+}
+
+/// Which lints to suppress.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Kinds that are filtered out of the result.
+    pub allow: BTreeSet<LintKind>,
+}
+
+/// Whether any diagnostic is a [`Severity::Warning`].
+pub fn has_warnings(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Warning)
+}
+
+/// Run all lints over a program.
+pub fn lint_program(program: &Program, opts: &LintOptions) -> Vec<Diagnostic> {
+    let io_fns = io_function_closure(program, &default_io_predicate);
+
+    // Structural context shared by all functions: spans, loop nesting.
+    let mut span_of: BTreeMap<StmtId, Span> = BTreeMap::new();
+    let mut loop_ids: BTreeSet<StmtId> = BTreeSet::new();
+    let mut loop_depth: BTreeMap<StmtId, usize> = BTreeMap::new();
+    program.visit_stmts(|stmt, ancestry| {
+        span_of.insert(stmt.id, stmt.span);
+        if matches!(
+            stmt.kind,
+            StmtKind::For { .. } | StmtKind::While { .. } | StmtKind::DoWhile { .. }
+        ) {
+            loop_ids.insert(stmt.id);
+        }
+        let depth = ancestry.iter().filter(|a| loop_ids.contains(*a)).count();
+        loop_depth.insert(stmt.id, depth);
+    });
+    let span = |id: StmtId| span_of.get(&id).copied().unwrap_or_default();
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for f in &program.functions {
+        let res = resolve_function(f);
+        let cfg = build_cfg(f);
+        let rd = solve(&cfg, &ReachingDefs::new(&res));
+        let live = solve(&cfg, &Liveness::new(&res));
+        let unreachable: BTreeSet<StmtId> = cfg.unreachable_stmts().into_iter().collect();
+
+        // unreachable-code: facts in dead blocks are vacuous, so the
+        // other lints skip those statements instead of piling on.
+        for id in &unreachable {
+            diags.push(Diagnostic {
+                severity: Severity::Warning,
+                kind: LintKind::UnreachableCode,
+                func: f.name.clone(),
+                span: span(*id),
+                stmt: *id,
+                message: "statement is never executed".to_string(),
+            });
+        }
+
+        for id in &res.stmts {
+            if unreachable.contains(id) {
+                continue;
+            }
+
+            // dead-store: a write to a local whose value nothing reads.
+            if let Some(after) = live.after(*id) {
+                for v in res.writes_of(*id) {
+                    let info = res.var(*v);
+                    if matches!(info.kind, VarKind::Local { .. }) && !after.contains(v) {
+                        diags.push(Diagnostic {
+                            severity: Severity::Warning,
+                            kind: LintKind::DeadStore,
+                            func: f.name.clone(),
+                            span: span(*id),
+                            stmt: *id,
+                            message: format!("value assigned to `{}` is never read", info.name),
+                        });
+                    }
+                }
+            }
+
+            // uninit-read: the entry (uninitialized) definition of a
+            // local reaches a read of it.
+            if let Some(before) = rd.before(*id) {
+                for v in res.reads_of(*id) {
+                    let info = res.var(*v);
+                    if matches!(info.kind, VarKind::Local { .. }) && before.contains(&(*v, None)) {
+                        diags.push(Diagnostic {
+                            severity: Severity::Warning,
+                            kind: LintKind::UninitRead,
+                            func: f.name.clone(),
+                            span: span(*id),
+                            stmt: *id,
+                            message: format!("`{}` may be read before initialization", info.name),
+                        });
+                    }
+                }
+            }
+
+            // io-in-loop: storage I/O under loop nesting.
+            let io_call = res
+                .calls_of(*id)
+                .iter()
+                .find(|c| default_io_predicate(c) || io_fns.contains(*c));
+            if let Some(call) = io_call {
+                let depth = loop_depth.get(id).copied().unwrap_or(0);
+                if depth > 0 {
+                    let (severity, message) = if depth >= 2 {
+                        (
+                            Severity::Warning,
+                            format!(
+                                "I/O call `{call}` inside nested loops (depth {depth}) — \
+                                 consider aggregating requests"
+                            ),
+                        )
+                    } else {
+                        (Severity::Info, format!("I/O call `{call}` inside a loop"))
+                    };
+                    diags.push(Diagnostic {
+                        severity,
+                        kind: LintKind::IoInLoop,
+                        func: f.name.clone(),
+                        span: span(*id),
+                        stmt: *id,
+                        message,
+                    });
+                }
+            }
+        }
+    }
+
+    diags.retain(|d| !opts.allow.contains(&d.kind));
+    diags.sort_by(|a, b| {
+        (a.span.start, a.kind, &a.message).cmp(&(b.span.start, b.kind, &b.message))
+    });
+    diags
+}
+
+/// Render diagnostics as stable line-per-finding text.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    let infos = diags.len() - warnings;
+    out.push_str(&format!("{warnings} warning(s), {infos} info(s)\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tunio_cminus::parser::parse;
+
+    fn lints(src: &str) -> Vec<Diagnostic> {
+        lint_program(&parse(src).unwrap(), &LintOptions::default())
+    }
+
+    fn kinds(diags: &[Diagnostic]) -> Vec<LintKind> {
+        diags.iter().map(|d| d.kind).collect()
+    }
+
+    #[test]
+    fn dead_store_is_reported_with_span() {
+        let diags = lints("void f() {\n    int x = stale();\n    x = fresh();\n    g(x);\n}");
+        assert_eq!(kinds(&diags), vec![LintKind::DeadStore]);
+        assert_eq!(diags[0].span.start.line, 2);
+        assert!(diags[0].message.contains("`x`"));
+    }
+
+    #[test]
+    fn live_store_is_clean() {
+        let diags = lints("void f() { int x = a(); g(x); }");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn external_write_is_not_a_dead_store() {
+        let diags = lints("void f() { total = compute(); }");
+        assert!(diags.is_empty(), "externals are observable: {diags:?}");
+    }
+
+    #[test]
+    fn unreachable_after_return() {
+        let diags = lints("void f() { return; cleanup(); }");
+        assert_eq!(kinds(&diags), vec![LintKind::UnreachableCode]);
+    }
+
+    #[test]
+    fn uninit_read_on_one_path() {
+        let diags = lints("void f(int c) { int x; if (c) { x = 1; } g(x); }");
+        assert_eq!(kinds(&diags), vec![LintKind::UninitRead]);
+        assert!(diags[0].message.contains("`x`"));
+        // Initializing the decl silences it.
+        let clean = lints("void f(int c) { int x = 0; if (c) { x = 1; } g(x); }");
+        assert!(clean.is_empty(), "{clean:?}");
+    }
+
+    #[test]
+    fn io_in_single_loop_is_info_nested_is_warning() {
+        let single = lints("void f(int n) { for (int i = 0; i < n; i++) { H5Dwrite(d, b); } }");
+        let io: Vec<_> = single
+            .iter()
+            .filter(|d| d.kind == LintKind::IoInLoop)
+            .collect();
+        assert_eq!(io.len(), 1);
+        assert_eq!(io[0].severity, Severity::Info);
+
+        let nested = lints(
+            "void f(int n) { for (int i = 0; i < n; i++) { for (int j = 0; j < n; j++) { \
+             fwrite(b, 1, n, fp); } } }",
+        );
+        let io: Vec<_> = nested
+            .iter()
+            .filter(|d| d.kind == LintKind::IoInLoop)
+            .collect();
+        assert_eq!(io.len(), 1);
+        assert_eq!(io[0].severity, Severity::Warning);
+        assert!(io[0].message.contains("depth 2"));
+    }
+
+    #[test]
+    fn interprocedural_io_in_loop() {
+        let diags = lints(
+            "void emit(double * b) { H5Dwrite(d, b); }\n\
+             void f(int n) { for (int i = 0; i < n; i++) { emit(buf); } }",
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.kind == LintKind::IoInLoop && d.message.contains("emit")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn allow_filters_kinds() {
+        let src = "void f() { int x = stale(); x = fresh(); g(x); return; dead(); }";
+        let mut opts = LintOptions::default();
+        opts.allow.insert(LintKind::DeadStore);
+        let diags = lint_program(&parse(src).unwrap(), &opts);
+        assert_eq!(kinds(&diags), vec![LintKind::UnreachableCode]);
+    }
+
+    #[test]
+    fn slugs_round_trip() {
+        for k in LintKind::all() {
+            assert_eq!(LintKind::from_slug(k.slug()), Some(k));
+        }
+        assert_eq!(LintKind::from_slug("nonsense"), None);
+    }
+
+    #[test]
+    fn render_is_one_line_per_finding() {
+        let diags = lints("void f() { return; dead(); }");
+        let text = render_text(&diags);
+        assert!(text.contains("warning[unreachable-code]"));
+        assert!(text.ends_with("1 warning(s), 0 info(s)\n"));
+    }
+}

@@ -1,0 +1,392 @@
+//! Backward program slicing seeded from I/O calls.
+//!
+//! The precise replacement for the seed marking pass: instead of keeping
+//! *every* statement that assigns a variable with the right *name*, the
+//! slicer follows reaching-definition chains over [`VarId`]s, so
+//!
+//! * shadowed variables never conflate (a use of the outer `size` does
+//!   not drag in stores to an inner `size`), and
+//! * overwritten stores are dropped (`x = a; x = b; io(x)` keeps only
+//!   `x = b`).
+//!
+//! Control context is preserved the same way the paper's marking loop
+//! does: enclosing headers of kept statements are kept, `for` headers
+//! drag their init/update, and a `break`/`continue` whose nearest
+//! enclosing loop is kept must be kept too. Declarations of every
+//! variable a kept statement touches are kept so the reconstructed
+//! kernel still compiles (the *decl anchor* rule).
+
+use crate::cfg::build_cfg;
+use crate::dataflow::{solve, Def, ReachingDefs, Solution};
+use crate::resolve::{resolve_function, FnResolution, VarId};
+use std::collections::{BTreeMap, BTreeSet};
+use tunio_cminus::ast::{Program, StmtId, StmtKind};
+
+/// POSIX / STDIO file-I/O functions treated as real I/O. Kept in sync
+/// with `tunio-discovery`'s classifier by a cross-crate agreement test.
+const POSIX_IO: [&str; 10] = [
+    "fopen", "fclose", "fwrite", "fread", "fseek", "open", "close", "read", "write", "lseek",
+];
+
+/// The default I/O-call recognizer: HDF5 (`H5*`), MPI-IO (`MPI_File_*`)
+/// and POSIX/STDIO file calls. Console logging (`printf` and friends)
+/// does not match — it is a trivial write the kernel drops.
+pub fn default_io_predicate(name: &str) -> bool {
+    name.starts_with("H5") || name.starts_with("MPI_File_") || POSIX_IO.contains(&name)
+}
+
+/// Result of slicing a program.
+#[derive(Debug, Clone)]
+pub struct SliceResult {
+    /// Statements to keep, in id order.
+    pub kept: BTreeSet<StmtId>,
+    /// The seed statements (those containing I/O calls, directly or via
+    /// the interprocedural closure).
+    pub io_seeds: BTreeSet<StmtId>,
+    /// Worklist pops until fixpoint.
+    pub iterations: u32,
+    /// Total statements inspected.
+    pub total_stmts: usize,
+}
+
+impl SliceResult {
+    /// Fraction of statements kept.
+    pub fn keep_ratio(&self) -> f64 {
+        if self.total_stmts == 0 {
+            0.0
+        } else {
+            self.kept.len() as f64 / self.total_stmts as f64
+        }
+    }
+}
+
+/// Functions that perform I/O directly or transitively (closure over the
+/// call graph), per the given I/O predicate. Calls to these are treated
+/// as I/O seeds, making the slice interprocedural.
+pub fn io_function_closure<F: Fn(&str) -> bool>(program: &Program, is_io: &F) -> BTreeSet<String> {
+    let mut calls_of: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut io_fns: BTreeSet<String> = BTreeSet::new();
+    for f in &program.functions {
+        let res = resolve_function(f);
+        let mut called = BTreeSet::new();
+        for s in &res.stmts {
+            for c in res.calls_of(*s) {
+                if is_io(c) {
+                    io_fns.insert(f.name.clone());
+                }
+                called.insert(c.clone());
+            }
+        }
+        calls_of.insert(f.name.clone(), called);
+    }
+    loop {
+        let mut grew = false;
+        for (name, called) in &calls_of {
+            if !io_fns.contains(name) && called.iter().any(|c| io_fns.contains(c)) {
+                io_fns.insert(name.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    io_fns
+}
+
+struct FnCtx {
+    res: FnResolution,
+    rd: Solution<BTreeSet<Def>>,
+}
+
+/// Slice a program backward from its I/O calls.
+pub fn slice_program<F: Fn(&str) -> bool>(program: &Program, is_io: &F) -> SliceResult {
+    let io_fns = io_function_closure(program, is_io);
+
+    // Per-function dataflow contexts.
+    let mut fn_of: BTreeMap<StmtId, usize> = BTreeMap::new();
+    let mut ctxs: Vec<FnCtx> = Vec::new();
+    for (fi, f) in program.functions.iter().enumerate() {
+        let res = resolve_function(f);
+        let cfg = build_cfg(f);
+        let rd = solve(&cfg, &ReachingDefs::new(&res));
+        for s in &res.stmts {
+            fn_of.insert(*s, fi);
+        }
+        ctxs.push(FnCtx { res, rd });
+    }
+
+    // Structural context: ancestry, for-header children, loops, exits.
+    let mut ancestry_of: BTreeMap<StmtId, Vec<StmtId>> = BTreeMap::new();
+    let mut header_children: BTreeMap<StmtId, Vec<StmtId>> = BTreeMap::new();
+    let mut loop_ids: BTreeSet<StmtId> = BTreeSet::new();
+    let mut control_exits: Vec<(StmtId, Vec<StmtId>)> = Vec::new();
+    let mut total_stmts = 0usize;
+    program.visit_stmts(|stmt, ancestry| {
+        total_stmts += 1;
+        ancestry_of.insert(stmt.id, ancestry.to_vec());
+        if let StmtKind::For { init, update, .. } = &stmt.kind {
+            header_children.insert(stmt.id, vec![init.id, update.id]);
+        }
+        if matches!(
+            stmt.kind,
+            StmtKind::For { .. } | StmtKind::While { .. } | StmtKind::DoWhile { .. }
+        ) {
+            loop_ids.insert(stmt.id);
+        }
+        if matches!(stmt.kind, StmtKind::Break | StmtKind::Continue) {
+            control_exits.push((stmt.id, ancestry.to_vec()));
+        }
+    });
+
+    // Seeds: statements calling I/O, directly or through the closure.
+    let mut io_seeds: BTreeSet<StmtId> = BTreeSet::new();
+    for ctx in &ctxs {
+        for s in &ctx.res.stmts {
+            if ctx
+                .res
+                .calls_of(*s)
+                .iter()
+                .any(|c| is_io(c) || io_fns.contains(c))
+            {
+                io_seeds.insert(*s);
+            }
+        }
+    }
+
+    let mut kept = io_seeds.clone();
+    let mut worklist: Vec<StmtId> = io_seeds.iter().copied().collect();
+    let mut iterations = 0u32;
+    loop {
+        while let Some(id) = worklist.pop() {
+            iterations += 1;
+            let Some(&fi) = fn_of.get(&id) else { continue };
+            let ctx = &ctxs[fi];
+            let mut to_mark: Vec<StmtId> = Vec::new();
+
+            // Data dependence: only the definitions that actually *reach*
+            // this statement, per variable identity.
+            if let Some(rd) = ctx.rd.before(id) {
+                let reads: BTreeSet<VarId> = ctx.res.reads_of(id).iter().copied().collect();
+                for (v, def) in rd.iter() {
+                    if reads.contains(v) {
+                        if let Some(d) = def {
+                            to_mark.push(*d);
+                        }
+                    }
+                }
+            }
+
+            // Decl anchor: the declaration of every variable this
+            // statement touches, so the kernel stays well-formed.
+            for v in ctx.res.reads_of(id).iter().chain(ctx.res.writes_of(id)) {
+                if let Some(d) = ctx.res.var(*v).decl {
+                    to_mark.push(d);
+                }
+            }
+
+            // Control context and for-header plumbing.
+            if let Some(anc) = ancestry_of.get(&id) {
+                to_mark.extend(anc.iter().copied());
+            }
+            if let Some(hc) = header_children.get(&id) {
+                to_mark.extend(hc.iter().copied());
+            }
+
+            for m in to_mark {
+                if kept.insert(m) {
+                    worklist.push(m);
+                }
+            }
+        }
+        // A break/continue whose nearest enclosing loop is kept alters
+        // that loop's trip count, so it must be kept too.
+        for (id, anc) in &control_exits {
+            if kept.contains(id) {
+                continue;
+            }
+            if let Some(l) = anc.iter().rev().find(|a| loop_ids.contains(a)) {
+                if kept.contains(l) {
+                    kept.insert(*id);
+                    worklist.push(*id);
+                }
+            }
+        }
+        if worklist.is_empty() {
+            break;
+        }
+    }
+
+    SliceResult {
+        kept,
+        io_seeds,
+        iterations,
+        total_stmts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tunio_cminus::parser::parse;
+    use tunio_cminus::samples;
+
+    fn kept_text(src: &str) -> String {
+        let prog = parse(src).unwrap();
+        let slice = slice_program(&prog, &default_io_predicate);
+        let printed = tunio_cminus::printer::print_program(&prog);
+        let lines: Vec<&str> = printed.text.lines().collect();
+        printed
+            .stmt_lines
+            .iter()
+            .filter(|(id, _)| slice.kept.contains(id))
+            .map(|(_, line)| lines[(*line - 1) as usize].trim().to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn predicate_matches_discovery_vocabulary() {
+        for n in ["H5Fcreate", "H5Dwrite", "MPI_File_write_all", "fwrite"] {
+            assert!(default_io_predicate(n), "{n}");
+        }
+        for n in ["printf", "fprintf", "malloc", "MPI_Send", "compute"] {
+            assert!(!default_io_predicate(n), "{n}");
+        }
+    }
+
+    #[test]
+    fn overwritten_store_is_dropped() {
+        let text = kept_text(
+            r#"
+            void f(int n) {
+                double * buf = alloc(n);
+                buf = stale_fill(n);
+                buf = final_fill(n);
+                H5Dwrite(dset, buf);
+            }
+        "#,
+        );
+        assert!(text.contains("final_fill"), "{text}");
+        assert!(!text.contains("stale_fill"), "overwritten store: {text}");
+        assert!(text.contains("alloc"), "decl anchor keeps the decl: {text}");
+    }
+
+    #[test]
+    fn shadowed_variable_does_not_conflate() {
+        let text = kept_text(
+            r#"
+            void f(int n) {
+                int size = io_size(n);
+                if (n > 0) {
+                    int size = scratch_size(n);
+                    crunch(size);
+                }
+                H5Dwrite(dset, size);
+            }
+        "#,
+        );
+        assert!(text.contains("io_size"), "{text}");
+        assert!(
+            !text.contains("scratch_size"),
+            "inner `size` is a different variable: {text}"
+        );
+    }
+
+    #[test]
+    fn partial_stores_all_reach() {
+        let text = kept_text(
+            r#"
+            void f() {
+                double a[4];
+                a[0] = head();
+                a[1] = tail();
+                H5Dwrite(dset, a);
+            }
+        "#,
+        );
+        assert!(text.contains("head"), "{text}");
+        assert!(text.contains("tail"), "element stores don't kill: {text}");
+    }
+
+    #[test]
+    fn loop_context_and_bounds_are_kept() {
+        let text = kept_text(
+            r#"
+            void f() {
+                int end = compute_end();
+                int unused = expensive();
+                for (int i = 0; i < end; i++) {
+                    H5Dwrite(dset, buf);
+                }
+            }
+        "#,
+        );
+        assert!(text.contains("compute_end"), "{text}");
+        assert!(text.contains("for ("), "{text}");
+        assert!(!text.contains("expensive"), "{text}");
+    }
+
+    #[test]
+    fn break_in_kept_loop_is_kept() {
+        let prog = parse(
+            r#"
+            void f(int n) {
+                for (int i = 0; i < n; i++) {
+                    H5Dwrite(dset, buf);
+                    if (bail()) {
+                        break;
+                    }
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        let slice = slice_program(&prog, &default_io_predicate);
+        let has_break = prog.functions[0].body.stmts.iter().any(|_| true);
+        assert!(has_break);
+        // Find the break by kind.
+        let mut break_id = None;
+        prog.visit_stmts(|s, _| {
+            if matches!(s.kind, StmtKind::Break) {
+                break_id = Some(s.id);
+            }
+        });
+        assert!(slice.kept.contains(&break_id.unwrap()));
+    }
+
+    #[test]
+    fn closure_is_transitive_and_skips_logging() {
+        let prog = parse(
+            r#"
+            void emit(hid_t d, double * b) { H5Dwrite(d, b); }
+            void log_it(double e) { printf("e %f", e); }
+            void driver() { emit(dset, buf); log_it(x); }
+        "#,
+        )
+        .unwrap();
+        let fns = io_function_closure(&prog, &default_io_predicate);
+        assert!(fns.contains("emit"));
+        assert!(fns.contains("driver"));
+        assert!(!fns.contains("log_it"));
+        let slice = slice_program(&prog, &default_io_predicate);
+        assert!(!slice.io_seeds.is_empty());
+    }
+
+    #[test]
+    fn pure_compute_slices_to_nothing() {
+        let prog = parse(samples::PURE_COMPUTE).unwrap();
+        let slice = slice_program(&prog, &default_io_predicate);
+        assert!(slice.kept.is_empty());
+        assert_eq!(slice.keep_ratio(), 0.0);
+    }
+
+    #[test]
+    fn vpic_slice_is_a_proper_subset_of_statements() {
+        let prog = parse(samples::VPIC_IO).unwrap();
+        let slice = slice_program(&prog, &default_io_predicate);
+        assert!(!slice.io_seeds.is_empty());
+        let r = slice.keep_ratio();
+        assert!(r > 0.2 && r < 0.95, "keep ratio {r}");
+    }
+}

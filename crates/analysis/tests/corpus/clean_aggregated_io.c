@@ -1,0 +1,9 @@
+void flush_tiles(int nt, int tile_bytes) {
+    double * staging = alloc_staging(nt * tile_bytes);
+    for (int t = 0; t < nt; t++) {
+        staging = pack_tile(staging, t);
+    }
+    hid_t f = H5Fcreate("tiles.h5", 0);
+    H5Dwrite(f, staging);
+    H5Fclose(f);
+}

@@ -1,0 +1,6 @@
+void write_restart(int nranks, int blocks) {
+    hid_t fh = MPI_File_open("restart.bin");
+    int offset = nranks * blocks;
+    MPI_File_write_at(fh, offset, blocks);
+    MPI_File_close(fh);
+}

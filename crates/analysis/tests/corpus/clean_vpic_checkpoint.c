@@ -1,0 +1,11 @@
+void vpic_checkpoint(int steps, int np) {
+    hid_t file = H5Fcreate("vpic.h5", 0);
+    hid_t dset = H5Dcreate(file, "particles", 0);
+    double * buf = allocate_particles(np);
+    for (int s = 0; s < steps; s++) {
+        buf = advance_particles(buf, np);
+        H5Dwrite(dset, buf);
+    }
+    H5Dclose(dset);
+    H5Fclose(file);
+}

@@ -1,0 +1,33 @@
+//! The clean C corpus under `tests/corpus/` must stay warning-free —
+//! it is the set CI gates with `tunio-lint --deny warnings`, and serves
+//! as the worked examples of lint-clean I/O code (aggregate staging
+//! writes instead of nested-loop I/O, initialized buffers, no dead
+//! stores). Informational findings are allowed; warnings are not.
+
+use std::path::PathBuf;
+use tunio_analysis::lint::{has_warnings, lint_program, LintOptions};
+use tunio_cminus::parser::parse;
+
+#[test]
+fn corpus_is_warning_free() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("corpus dir exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("c") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let program =
+            parse(&src).unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        let diags = lint_program(&program, &LintOptions::default());
+        assert!(
+            !has_warnings(&diags),
+            "{} must be lint-clean, found: {:#?}",
+            path.display(),
+            diags
+        );
+        checked += 1;
+    }
+    assert!(checked >= 3, "expected at least 3 corpus files");
+}

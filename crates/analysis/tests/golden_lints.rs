@@ -1,0 +1,87 @@
+//! Golden-output regression tests for `tunio-lint`.
+//!
+//! The text and JSON renderings over every built-in sample program are
+//! compared byte-for-byte against snapshots under `tests/golden/`.
+//! Diagnostics are fully deterministic (sorted by span, kind, message),
+//! so byte-exact snapshots are stable.
+//!
+//! When a change intentionally moves the output, re-bless with:
+//!
+//! ```text
+//! TUNIO_BLESS=1 cargo test -p tunio-analysis --test golden_lints
+//! ```
+//!
+//! and commit the updated files together with the change that moved them.
+
+use std::path::PathBuf;
+use tunio_analysis::lint::{lint_program, render_text, LintOptions};
+use tunio_cminus::parser::parse;
+use tunio_cminus::samples;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("TUNIO_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             TUNIO_BLESS=1 cargo test -p tunio-analysis --test golden_lints",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden lint output {name} diverged; if the change is intentional, re-bless with \
+         TUNIO_BLESS=1 cargo test -p tunio-analysis --test golden_lints"
+    );
+}
+
+/// Text rendering over all samples, in the exact format `tunio-lint
+/// --sample all` prints.
+#[test]
+fn sample_lints_match_golden_text() {
+    let mut out = String::new();
+    for (name, src) in samples::all_samples() {
+        let program = parse(src).expect("samples parse");
+        let diags = lint_program(&program, &LintOptions::default());
+        out.push_str(&format!("== {name} ==\n"));
+        out.push_str(&render_text(&diags));
+    }
+    check_golden("sample_lints.txt", &out);
+}
+
+/// JSON rendering over all samples, matching `tunio-lint --sample all
+/// --json` per-input objects.
+#[test]
+fn sample_lints_match_golden_json() {
+    let inputs: Vec<serde_json::Value> = samples::all_samples()
+        .into_iter()
+        .map(|(name, src)| {
+            let program = parse(src).expect("samples parse");
+            let diags = lint_program(&program, &LintOptions::default());
+            let findings: Vec<serde_json::Value> = diags.iter().map(|d| d.to_json()).collect();
+            let warnings = diags
+                .iter()
+                .filter(|d| d.severity == tunio_analysis::Severity::Warning)
+                .count();
+            serde_json::json!({
+                "name": name,
+                "warnings": warnings,
+                "infos": diags.len() - warnings,
+                "diagnostics": findings,
+            })
+        })
+        .collect();
+    let report = serde_json::json!({ "version": 1, "inputs": inputs });
+    let actual = serde_json::to_string_pretty(&report).unwrap() + "\n";
+    check_golden("sample_lints.json", &actual);
+}

@@ -1,0 +1,100 @@
+//! Figure 5 (b) — syntactic marking vs. dataflow slicing.
+//!
+//! Runs both discovery passes over every built-in Fig 5 workload and
+//! compares keep ratios and kept sets. The dataflow slicer (the default
+//! since the `tunio-analysis` crate landed) keeps a subset of supporting
+//! statements: it drops dead stores and shadowed same-name stores the
+//! name-keyed syntactic pass over-keeps, while finding identical I/O
+//! seeds. Results land in `results/fig05b_slice_vs_marking.json`.
+
+use tunio_cminus::parser::parse;
+use tunio_discovery::slicing::compare_markings;
+use tunio_discovery::{mark_program, mark_program_dataflow};
+
+/// Adversarial workloads where the supporting-statement choice differs:
+/// dead stores and shadowed same-name stores *feeding an I/O chain* (the
+/// built-in samples' dead stores feed only logging, which neither pass
+/// keeps, so on those the two passes agree exactly).
+const ADVERSARIAL: [(&str, &str); 2] = [
+    (
+        "dead_stores",
+        r#"
+        void checkpoint(int n) {
+            double * buf = alloc(n);
+            buf = init_fill(n);
+            buf = refine(n);
+            buf = finalize(n);
+            H5Dwrite(dset, buf);
+        }
+        "#,
+    ),
+    (
+        "shadowed_size",
+        r#"
+        void dump(int n) {
+            int size = io_size(n);
+            if (n > 0) {
+                int size = scratch_size(n);
+                crunch(size);
+            }
+            H5Dwrite(dset, size);
+        }
+        void helper(int n) {
+            double * size = local_scratch(n);
+            accumulate(size, n);
+        }
+        "#,
+    ),
+];
+
+fn main() {
+    println!("=== Fig 5b: keep ratio, syntactic marking vs dataflow slice ===\n");
+    println!(
+        "{:<14} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "workload", "stmts", "kept(syn)", "kept(df)", "ratio(syn)", "ratio(df)", "agreement"
+    );
+
+    let mut rows = Vec::new();
+    let workloads: Vec<(&str, &str)> = tunio_cminus::samples::all_samples()
+        .into_iter()
+        .chain(ADVERSARIAL)
+        .collect();
+    for (name, src) in workloads {
+        let prog = parse(src).expect("sample parses");
+        let old = mark_program(&prog);
+        let new = mark_program_dataflow(&prog);
+        let cmp = compare_markings(&prog);
+        println!(
+            "{:<14} {:>6} {:>10} {:>10} {:>9.1}% {:>9.1}% {:>9.1}%",
+            name,
+            old.total_stmts,
+            old.kept.len(),
+            new.kept.len(),
+            old.keep_ratio() * 100.0,
+            new.keep_ratio() * 100.0,
+            cmp.agreement() * 100.0,
+        );
+        rows.push(serde_json::json!({
+            "workload": name,
+            "total_stmts": old.total_stmts,
+            "syntactic_kept": old.kept.len(),
+            "dataflow_kept": new.kept.len(),
+            "syntactic_keep_ratio": old.keep_ratio(),
+            "dataflow_keep_ratio": new.keep_ratio(),
+            "agreement": cmp.agreement(),
+            "only_syntactic": cmp.only_syntactic.len(),
+            "only_dataflow": cmp.only_dataflow.len(),
+            "io_seeds": old.io_seeds.len(),
+        }));
+    }
+
+    println!(
+        "\nOn the paper samples the passes agree exactly (their dead stores feed\n\
+         only logging, which neither pass keeps). On the adversarial workloads the\n\
+         name-keyed syntactic pass over-keeps: dead stores along an I/O chain\n\
+         (`dead_stores`) and same-named shadowed/other-function variables\n\
+         (`shadowed_size`). The dataflow slicer keeps only reaching definitions,\n\
+         declaration anchors and control context of the I/O."
+    );
+    tunio_bench::write_json("fig05b_slice_vs_marking", &serde_json::json!(rows));
+}

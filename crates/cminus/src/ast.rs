@@ -4,6 +4,7 @@
 //! discovery marking loop works in terms of these ids; the printer emits
 //! one statement per line so ids map to normalized source lines.
 
+use crate::span::Span;
 use serde::{Deserialize, Serialize};
 
 /// Stable identity of a statement within a program (parse order).
@@ -206,13 +207,37 @@ pub enum StmtKind {
     Empty,
 }
 
-/// A statement with its id.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A statement with its id and source span.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Stmt {
     /// Stable id (parse order).
     pub id: StmtId,
     /// What the statement is.
     pub kind: StmtKind,
+    /// Source range the statement covers (`Span::default()` for
+    /// statements synthesized by transforms rather than the parser).
+    pub span: Span,
+}
+
+impl Stmt {
+    /// Build a synthesized statement with no source span.
+    pub fn new(id: StmtId, kind: StmtKind) -> Self {
+        Stmt {
+            id,
+            kind,
+            span: Span::default(),
+        }
+    }
+}
+
+/// Equality ignores spans: two statements are equal if they have the same
+/// id and structure. Transforms synthesize statements with empty spans and
+/// printed/reparsed programs land on different lines; neither should break
+/// structural comparison.
+impl PartialEq for Stmt {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.kind == other.kind
+    }
 }
 
 /// A function definition.
@@ -363,27 +388,18 @@ mod tests {
     #[test]
     fn visit_stmts_reports_ancestry() {
         // for (init; cond; update) { body_stmt }
-        let body_stmt = Stmt {
-            id: StmtId(3),
-            kind: StmtKind::Expr(ident("x")),
-        };
-        let for_stmt = Stmt {
-            id: StmtId(0),
-            kind: StmtKind::For {
-                init: Box::new(Stmt {
-                    id: StmtId(1),
-                    kind: StmtKind::Empty,
-                }),
+        let body_stmt = Stmt::new(StmtId(3), StmtKind::Expr(ident("x")));
+        let for_stmt = Stmt::new(
+            StmtId(0),
+            StmtKind::For {
+                init: Box::new(Stmt::new(StmtId(1), StmtKind::Empty)),
                 cond: None,
-                update: Box::new(Stmt {
-                    id: StmtId(2),
-                    kind: StmtKind::Empty,
-                }),
+                update: Box::new(Stmt::new(StmtId(2), StmtKind::Empty)),
                 body: Block {
                     stmts: vec![body_stmt],
                 },
             },
-        };
+        );
         let prog = Program {
             functions: vec![Function {
                 ret: "void".into(),

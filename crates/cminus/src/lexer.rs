@@ -1,5 +1,6 @@
 //! Tokenizer for the C subset.
 
+use crate::span::{Pos, Span};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -20,13 +21,16 @@ pub enum TokenKind {
     Punct(String),
 }
 
-/// A token with its source line (1-based).
+/// A token with its source location.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Token {
     /// What the token is.
     pub kind: TokenKind,
-    /// 1-based source line where the token starts.
+    /// 1-based source line where the token starts (kept alongside
+    /// [`Token::span`] for convenience).
     pub line: u32,
+    /// Full `(line, col)` range of the token in the original source.
+    pub span: Span,
 }
 
 /// Lexing failure.
@@ -59,11 +63,14 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     let mut tokens = Vec::new();
     let mut i = 0;
     let mut line: u32 = 1;
+    // Index of the first character of the current line, for column math.
+    let mut line_start: usize = 0;
     while i < bytes.len() {
         let c = bytes[i];
         if c == '\n' {
             line += 1;
             i += 1;
+            line_start = i;
             continue;
         }
         if c.is_whitespace() {
@@ -90,6 +97,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
                     if bytes[i] == '\n' {
                         line += 1;
+                        line_start = i + 1;
                     }
                     i += 1;
                 }
@@ -103,6 +111,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 continue;
             }
         }
+        let start_line = line;
+        let start_col = (i - line_start + 1) as u32;
+        // Emit a token whose text ends just before index `end` (exclusive).
+        let span_to = |end: usize| {
+            Span::new(
+                Pos::new(start_line, start_col),
+                Pos::new(start_line, (end.max(line_start + 1) - line_start) as u32),
+            )
+        };
         // Identifiers / keywords.
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
@@ -113,6 +130,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             tokens.push(Token {
                 kind: TokenKind::Ident(text),
                 line,
+                span: span_to(i),
             });
             continue;
         }
@@ -133,6 +151,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 tokens.push(Token {
                     kind: TokenKind::Float(text),
                     line,
+                    span: span_to(i),
                 });
             } else {
                 // Strip C suffixes (UL, LL…) and parse hex.
@@ -152,6 +171,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 tokens.push(Token {
                     kind: TokenKind::Int(value),
                     line,
+                    span: span_to(i),
                 });
             }
             continue;
@@ -186,6 +206,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             tokens.push(Token {
                 kind: TokenKind::Str(text),
                 line,
+                span: span_to(i),
             });
             continue;
         }
@@ -213,26 +234,29 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             tokens.push(Token {
                 kind: TokenKind::Char(text),
                 line,
+                span: span_to(i),
             });
             continue;
         }
         // Multi-char punctuation.
         let rest: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
         if let Some(p) = MULTI_PUNCT.iter().find(|p| rest.starts_with(**p)) {
+            i += p.len();
             tokens.push(Token {
                 kind: TokenKind::Punct((*p).into()),
                 line,
+                span: span_to(i),
             });
-            i += p.len();
             continue;
         }
         // Single-char punctuation.
         if "()[]{};,.+-*/%<>=!&|^~?:".contains(c) {
+            i += 1;
             tokens.push(Token {
                 kind: TokenKind::Punct(c.to_string()),
                 line,
+                span: span_to(i),
             });
-            i += 1;
             continue;
         }
         return Err(LexError {
@@ -273,6 +297,22 @@ mod tests {
         assert_eq!(toks[0].line, 1);
         assert_eq!(toks[1].line, 2);
         assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn tracks_columns_and_spans() {
+        let toks = lex("ab + cd\n  xyz").unwrap();
+        assert_eq!(toks[0].span, Span::new(Pos::new(1, 1), Pos::new(1, 2)));
+        assert_eq!(toks[1].span, Span::at(1, 4));
+        assert_eq!(toks[2].span, Span::new(Pos::new(1, 6), Pos::new(1, 7)));
+        assert_eq!(toks[3].span, Span::new(Pos::new(2, 3), Pos::new(2, 5)));
+    }
+
+    #[test]
+    fn comments_do_not_disturb_columns() {
+        let toks = lex("/* multi\nline */ a = 1;").unwrap();
+        assert_eq!(toks[0].span.start, Pos::new(2, 9));
+        assert_eq!(toks[1].span.start, Pos::new(2, 11));
     }
 
     #[test]

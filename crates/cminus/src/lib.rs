@@ -24,8 +24,10 @@ pub mod lexer;
 pub mod parser;
 pub mod printer;
 pub mod samples;
+pub mod span;
 
 pub use ast::{Block, Expr, Program, Stmt, StmtId, StmtKind};
 pub use lexer::{lex, LexError, Token, TokenKind};
 pub use parser::{parse, ParseError};
 pub use printer::print_program;
+pub use span::{Pos, Span};

@@ -2,6 +2,7 @@
 
 use crate::ast::{Block, Expr, Function, Program, Stmt, StmtId, StmtKind};
 use crate::lexer::{lex, LexError, Token, TokenKind};
+use crate::span::Span;
 use std::fmt;
 
 /// Parsing failure.
@@ -92,6 +93,22 @@ impl Parser {
             message: msg.into(),
             line: self.line(),
         }
+    }
+
+    /// Span covering every token from `start` (inclusive) up to the
+    /// current position (exclusive) — i.e. everything consumed since the
+    /// caller recorded `start = self.pos`.
+    fn span_since(&self, start: usize) -> Span {
+        let first = match self.tokens.get(start) {
+            Some(t) => t.span,
+            None => return Span::default(),
+        };
+        let last = self
+            .tokens
+            .get(self.pos.saturating_sub(1))
+            .map(|t| t.span)
+            .unwrap_or(first);
+        first.merge(last)
     }
 
     fn at_punct(&self, p: &str) -> bool {
@@ -217,6 +234,13 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.pos;
+        let mut stmt = self.statement_unspanned()?;
+        stmt.span = self.span_since(start);
+        Ok(stmt)
+    }
+
+    fn statement_unspanned(&mut self) -> Result<Stmt, ParseError> {
         let id = self.fresh_id();
         // Control flow keywords.
         if self.at_ident("if") {
@@ -231,14 +255,14 @@ impl Parser {
             } else {
                 None
             };
-            return Ok(Stmt {
+            return Ok(Stmt::new(
                 id,
-                kind: StmtKind::If {
+                StmtKind::If {
                     cond,
                     then_block,
                     else_block,
                 },
-            });
+            ));
         }
         if self.at_ident("for") {
             self.bump();
@@ -251,25 +275,22 @@ impl Parser {
             };
             self.expect_punct(";")?;
             let update = if self.at_punct(")") {
-                Box::new(Stmt {
-                    id: self.fresh_id(),
-                    kind: StmtKind::Empty,
-                })
+                Box::new(Stmt::new(self.fresh_id(), StmtKind::Empty))
             } else {
                 let uid = self.fresh_id();
                 Box::new(self.statement_body(uid)?)
             };
             self.expect_punct(")")?;
             let body = self.block_or_stmt()?;
-            return Ok(Stmt {
+            return Ok(Stmt::new(
                 id,
-                kind: StmtKind::For {
+                StmtKind::For {
                     init,
                     cond,
                     update,
                     body,
                 },
-            });
+            ));
         }
         if self.at_ident("while") {
             self.bump();
@@ -277,10 +298,7 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_punct(")")?;
             let body = self.block_or_stmt()?;
-            return Ok(Stmt {
-                id,
-                kind: StmtKind::While { cond, body },
-            });
+            return Ok(Stmt::new(id, StmtKind::While { cond, body }));
         }
         if self.at_ident("do") {
             self.bump();
@@ -293,26 +311,17 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_punct(")")?;
             self.expect_punct(";")?;
-            return Ok(Stmt {
-                id,
-                kind: StmtKind::DoWhile { body, cond },
-            });
+            return Ok(Stmt::new(id, StmtKind::DoWhile { body, cond }));
         }
         if self.at_ident("break") {
             self.bump();
             self.expect_punct(";")?;
-            return Ok(Stmt {
-                id,
-                kind: StmtKind::Break,
-            });
+            return Ok(Stmt::new(id, StmtKind::Break));
         }
         if self.at_ident("continue") {
             self.bump();
             self.expect_punct(";")?;
-            return Ok(Stmt {
-                id,
-                kind: StmtKind::Continue,
-            });
+            return Ok(Stmt::new(id, StmtKind::Continue));
         }
         if self.at_ident("return") {
             self.bump();
@@ -322,10 +331,7 @@ impl Parser {
                 Some(self.expr()?)
             };
             self.expect_punct(";")?;
-            return Ok(Stmt {
-                id,
-                kind: StmtKind::Return(value),
-            });
+            return Ok(Stmt::new(id, StmtKind::Return(value)));
         }
         // Simple statements end in `;`.
         let stmt = self.statement_body(id)?;
@@ -335,13 +341,17 @@ impl Parser {
 
     /// `init;`-style statement for `for` headers — consumes trailing `;`.
     fn simple_statement(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.pos;
+        let mut stmt = self.simple_statement_unspanned()?;
+        stmt.span = self.span_since(start);
+        Ok(stmt)
+    }
+
+    fn simple_statement_unspanned(&mut self) -> Result<Stmt, ParseError> {
         let id = self.fresh_id();
         if self.at_punct(";") {
             self.bump();
-            return Ok(Stmt {
-                id,
-                kind: StmtKind::Empty,
-            });
+            return Ok(Stmt::new(id, StmtKind::Empty));
         }
         let stmt = self.statement_body(id)?;
         self.expect_punct(";")?;
@@ -350,11 +360,15 @@ impl Parser {
 
     /// Declaration / assignment / expression without the trailing `;`.
     fn statement_body(&mut self, id: StmtId) -> Result<Stmt, ParseError> {
+        let start = self.pos;
+        let mut stmt = self.statement_body_unspanned(id)?;
+        stmt.span = self.span_since(start);
+        Ok(stmt)
+    }
+
+    fn statement_body_unspanned(&mut self, id: StmtId) -> Result<Stmt, ParseError> {
         if self.at_punct(";") || self.at_punct(")") {
-            return Ok(Stmt {
-                id,
-                kind: StmtKind::Empty,
-            });
+            return Ok(Stmt::new(id, StmtKind::Empty));
         }
         // Try a declaration: type ident [array]? [= init]?
         if let Some(decl) = self.try_declaration(id)? {
@@ -367,16 +381,10 @@ impl Parser {
                 let op = p.clone();
                 self.bump();
                 let rhs = self.expr()?;
-                return Ok(Stmt {
-                    id,
-                    kind: StmtKind::Assign { lhs, op, rhs },
-                });
+                return Ok(Stmt::new(id, StmtKind::Assign { lhs, op, rhs }));
             }
         }
-        Ok(Stmt {
-            id,
-            kind: StmtKind::Expr(lhs),
-        })
+        Ok(Stmt::new(id, StmtKind::Expr(lhs)))
     }
 
     /// Attempt to parse a declaration, restoring position on failure.
@@ -434,15 +442,15 @@ impl Parser {
             self.pos = start;
             return Ok(None);
         }
-        Ok(Some(Stmt {
+        Ok(Some(Stmt::new(
             id,
-            kind: StmtKind::Decl {
+            StmtKind::Decl {
                 ty,
                 name,
                 array,
                 init,
             },
-        }))
+        )))
     }
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
@@ -694,6 +702,41 @@ mod tests {
             &p.functions[0].body.stmts[0].kind,
             StmtKind::Decl { array: Some(a), .. } if a == "[3]"
         ));
+    }
+
+    #[test]
+    fn statements_carry_source_spans() {
+        let src = "void f() {\n    int x = g(1);\n    if (x > 0) {\n        h(x);\n    }\n}\n";
+        let p = parse(src).unwrap();
+        let stmts = &p.functions[0].body.stmts;
+        // `int x = g(1);` covers line 2 columns 5..=17 (the `;`).
+        assert_eq!(stmts[0].span.start, crate::span::Pos::new(2, 5));
+        assert_eq!(stmts[0].span.end, crate::span::Pos::new(2, 17));
+        // The `if` spans from its keyword to the closing brace.
+        assert_eq!(stmts[1].span.start, crate::span::Pos::new(3, 5));
+        assert_eq!(stmts[1].span.end.line, 5);
+        // Nested statements carry their own tighter spans.
+        match &stmts[1].kind {
+            StmtKind::If { then_block, .. } => {
+                let inner = &then_block.stmts[0];
+                assert_eq!(inner.span.start, crate::span::Pos::new(4, 9));
+                assert_eq!(inner.span.end.line, 4);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_header_children_carry_spans() {
+        let p = parse("void f() { for (int i = 0; i < 3; i++) { g(i); } }").unwrap();
+        match &p.functions[0].body.stmts[0].kind {
+            StmtKind::For { init, update, .. } => {
+                assert!(init.span.is_real(), "for-init has a span");
+                assert!(update.span.is_real(), "for-update has a span");
+                assert!(init.span.start.col < update.span.start.col);
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Source positions and spans.
+//!
+//! Every token and statement carries a [`Span`] — a half-open
+//! `(line, col)` range into the original source — so downstream analyses
+//! (the dataflow slicer, `tunio-lint` diagnostics) can point at real
+//! source locations instead of normalized-printer line numbers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A source position: 1-based line and column. `(0, 0)` marks a
+/// synthesized position (statements built by transforms rather than the
+/// parser).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Pos {
+    /// 1-based source line (0 = synthesized).
+    pub line: u32,
+    /// 1-based source column (0 = synthesized).
+    pub col: u32,
+}
+
+impl Pos {
+    /// Build a position.
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A source range `[start, end]` in `(line, col)` coordinates, inclusive
+/// of the last character's starting position.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Span {
+    /// Where the spanned region begins.
+    pub start: Pos,
+    /// Where the spanned region ends.
+    pub end: Pos,
+}
+
+impl Span {
+    /// Build a span from explicit coordinates.
+    pub fn new(start: Pos, end: Pos) -> Self {
+        Span { start, end }
+    }
+
+    /// A single-position span.
+    pub fn at(line: u32, col: u32) -> Self {
+        let p = Pos::new(line, col);
+        Span { start: p, end: p }
+    }
+
+    /// Whether this span came from real source (parser) rather than a
+    /// transform that synthesized the node.
+    pub fn is_real(&self) -> bool {
+        self.start.line != 0
+    }
+
+    /// The smallest span covering both `self` and `other`. Synthesized
+    /// spans are ignored: merging with one returns the real span.
+    pub fn merge(&self, other: Span) -> Span {
+        if !self.is_real() {
+            return other;
+        }
+        if !other.is_real() {
+            return *self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.start == self.end {
+            write!(f, "{}", self.start)
+        } else {
+            write!(f, "{}-{}", self.start, self.end)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both_ends() {
+        let a = Span::new(Pos::new(2, 5), Pos::new(2, 9));
+        let b = Span::new(Pos::new(4, 1), Pos::new(4, 3));
+        let m = a.merge(b);
+        assert_eq!(m.start, Pos::new(2, 5));
+        assert_eq!(m.end, Pos::new(4, 3));
+        // Order-independent.
+        assert_eq!(b.merge(a), m);
+    }
+
+    #[test]
+    fn merge_ignores_synthesized() {
+        let real = Span::at(3, 7);
+        let synth = Span::default();
+        assert!(!synth.is_real());
+        assert_eq!(real.merge(synth), real);
+        assert_eq!(synth.merge(real), real);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Span::at(3, 7).to_string(), "3:7");
+        assert_eq!(
+            Span::new(Pos::new(1, 2), Pos::new(1, 9)).to_string(),
+            "1:2-1:9"
+        );
+    }
+}

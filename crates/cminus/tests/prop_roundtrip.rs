@@ -76,27 +76,26 @@ fn stmt(depth: u32, next_id: std::rc::Rc<std::cell::Cell<u32>>) -> BoxedStrategy
     let f2 = fresh.clone();
     let f3 = fresh.clone();
     let simple = prop_oneof![
-        (ident(), expr(1)).prop_map(move |(name, init)| Stmt {
-            id: f1(),
-            kind: StmtKind::Decl {
+        (ident(), expr(1)).prop_map(move |(name, init)| Stmt::new(
+            f1(),
+            StmtKind::Decl {
                 ty: "int".into(),
                 name,
                 array: None,
                 init: Some(init)
             }
-        }),
-        (ident(), expr(1)).prop_map(move |(name, rhs)| Stmt {
-            id: f2(),
-            kind: StmtKind::Assign {
+        )),
+        (ident(), expr(1)).prop_map(move |(name, rhs)| Stmt::new(
+            f2(),
+            StmtKind::Assign {
                 lhs: Expr::Ident(name),
                 op: "=".into(),
                 rhs
             }
-        }),
-        (ident(), proptest::collection::vec(expr(1), 0..3)).prop_map(move |(name, args)| Stmt {
-            id: f3(),
-            kind: StmtKind::Expr(Expr::Call { name, args })
-        }),
+        )),
+        (ident(), proptest::collection::vec(expr(1), 0..3)).prop_map(
+            move |(name, args)| Stmt::new(f3(), StmtKind::Expr(Expr::Call { name, args }))
+        ),
     ];
     if depth == 0 {
         return simple.boxed();
@@ -108,14 +107,14 @@ fn stmt(depth: u32, next_id: std::rc::Rc<std::cell::Cell<u32>>) -> BoxedStrategy
     );
     prop_oneof![
         simple,
-        (expr(1), proptest::collection::vec(inner, 1..3)).prop_map(move |(cond, stmts)| Stmt {
-            id: f4(),
-            kind: StmtKind::If {
+        (expr(1), proptest::collection::vec(inner, 1..3)).prop_map(move |(cond, stmts)| Stmt::new(
+            f4(),
+            StmtKind::If {
                 cond,
                 then_block: Block { stmts },
                 else_block: None
             }
-        }),
+        )),
     ]
     .boxed()
 }

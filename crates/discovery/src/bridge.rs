@@ -4,6 +4,7 @@
 
 use crate::kernel::reconstruct;
 use crate::marking::{mark_program, Marking};
+use crate::slicing::mark_program_dataflow;
 use crate::transform::{loop_reduction, path_switch, LoopReductionReport};
 use tunio_cminus::parser::{parse, ParseError};
 use tunio_cminus::printer::print_program;
@@ -28,6 +29,11 @@ pub struct DiscoveryOptions {
     /// Replace literal-bound I/O loops with `tunio_replay(n)` markers and
     /// a single unrolled body (§VI loop simulation).
     pub simulate_loops: bool,
+    /// Use the original syntactic marking loop instead of the default
+    /// dataflow backward slice. Kept for comparison: the syntactic pass
+    /// conflates same-named (shadowed) variables and keeps dead stores;
+    /// see [`crate::slicing::compare_markings`].
+    pub syntactic_marking: bool,
 }
 
 impl DiscoveryOptions {
@@ -85,7 +91,9 @@ impl IoKernel {
 /// Generate an I/O kernel from application source code.
 ///
 /// This is the `discover_io(source_code, options) -> I/O kernel` API of
-/// the paper's Table I. The source is parsed, marked, reconstructed and
+/// the paper's Table I. The source is parsed, marked (with the dataflow
+/// backward slice by default, or the original syntactic loop when
+/// [`DiscoveryOptions::syntactic_marking`] is set), reconstructed and
 /// optionally reduced. Errors only arise from unparseable source; a
 /// source with no I/O yields an empty (but valid) kernel with
 /// [`IoKernel::has_io`] = `false`.
@@ -100,7 +108,11 @@ impl IoKernel {
 /// ```
 pub fn discover_io(source: &str, options: &DiscoveryOptions) -> Result<IoKernel, ParseError> {
     let program = parse(source)?;
-    let marking = mark_program(&program);
+    let marking = if options.syntactic_marking {
+        mark_program(&program)
+    } else {
+        mark_program_dataflow(&program)
+    };
     let mut kernel = if options.simulate_compute {
         crate::extensions::simulate_compute(&program, &marking)
     } else {
@@ -196,6 +208,36 @@ mod tests {
     #[test]
     fn bad_source_is_an_error() {
         assert!(discover_io("void f( {", &DiscoveryOptions::default()).is_err());
+    }
+
+    #[test]
+    fn default_marking_is_the_dataflow_slice() {
+        let src = r#"
+            void f(int n) {
+                double * buf = alloc(n);
+                buf = stale_fill(n);
+                buf = final_fill(n);
+                H5Dwrite(dset, buf);
+            }
+        "#;
+        let dataflow = discover_io(src, &DiscoveryOptions::default()).unwrap();
+        assert!(
+            !dataflow.source.contains("stale_fill"),
+            "{}",
+            dataflow.source
+        );
+        assert!(dataflow.source.contains("final_fill"));
+
+        let opts = DiscoveryOptions {
+            syntactic_marking: true,
+            ..DiscoveryOptions::default()
+        };
+        let syntactic = discover_io(src, &opts).unwrap();
+        assert!(
+            syntactic.source.contains("stale_fill"),
+            "legacy pass keeps the dead store: {}",
+            syntactic.source
+        );
     }
 }
 

@@ -157,13 +157,13 @@ fn sim_block(block: &Block, marking: &Marking, next_id: &mut u32) -> Block {
     let mut elided = 0usize;
     let flush = |stmts: &mut Vec<Stmt>, elided: &mut usize, next_id: &mut u32| {
         if *elided > 0 {
-            stmts.push(Stmt {
-                id: StmtId(*next_id),
-                kind: StmtKind::Expr(Expr::Call {
+            stmts.push(Stmt::new(
+                StmtId(*next_id),
+                StmtKind::Expr(Expr::Call {
                     name: SLEEP_CALL.into(),
                     args: vec![Expr::Int(*elided as i64)],
                 }),
-            });
+            ));
             *next_id += 1;
             *elided = 0;
         }
@@ -205,7 +205,11 @@ fn sim_block(block: &Block, marking: &Marking, next_id: &mut u32) -> Block {
             },
             other => other.clone(),
         };
-        stmts.push(Stmt { id: stmt.id, kind });
+        stmts.push(Stmt {
+            id: stmt.id,
+            kind,
+            span: stmt.span,
+        });
     }
     flush(&mut stmts, &mut elided, next_id);
     Block { stmts }
@@ -238,13 +242,13 @@ fn replace_loops(block: &Block, simulated: &mut usize, next_id: &mut u32) -> Blo
                 match bound {
                     Some(n) => {
                         *simulated += 1;
-                        stmts.push(Stmt {
-                            id: StmtId(*next_id),
-                            kind: StmtKind::Expr(Expr::Call {
+                        stmts.push(Stmt::new(
+                            StmtId(*next_id),
+                            StmtKind::Expr(Expr::Call {
                                 name: REPLAY_CALL.into(),
                                 args: vec![Expr::Int(n)],
                             }),
-                        });
+                        ));
                         *next_id += 1;
                         let inner = replace_loops(body, simulated, next_id);
                         stmts.extend(inner.stmts);
@@ -256,16 +260,16 @@ fn replace_loops(block: &Block, simulated: &mut usize, next_id: &mut u32) -> Blo
                 cond,
                 then_block,
                 else_block,
-            } => stmts.push(Stmt {
-                id: stmt.id,
-                kind: StmtKind::If {
+            } => stmts.push(Stmt::new(
+                stmt.id,
+                StmtKind::If {
                     cond: cond.clone(),
                     then_block: replace_loops(then_block, simulated, next_id),
                     else_block: else_block
                         .as_ref()
                         .map(|b| replace_loops(b, simulated, next_id)),
                 },
-            }),
+            )),
             _ => stmts.push(stmt.clone()),
         }
     }

@@ -69,7 +69,11 @@ fn filter_stmt(stmt: &Stmt, marking: &Marking) -> Option<Stmt> {
         },
         other => other.clone(),
     };
-    Some(Stmt { id: stmt.id, kind })
+    Some(Stmt {
+        id: stmt.id,
+        kind,
+        span: stmt.span,
+    })
 }
 
 #[cfg(test)]

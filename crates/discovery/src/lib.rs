@@ -8,11 +8,15 @@
 //! The pipeline is:
 //!
 //! 1. Parse the source into an AST ([`tunio_cminus`]).
-//! 2. Run the **marking loop** ([`marking`]): find I/O calls, mark them,
-//!    then transitively mark their *dependents* (arguments, assignment
-//!    targets, backward chains of assignments feeding them) and their
-//!    *contextual parents* (the enclosing loop / conditional headers),
-//!    iterating to a fixpoint.
+//! 2. Mark the statements the I/O needs. The default path ([`slicing`])
+//!    is a dataflow backward slice over `tunio-analysis`'s CFG +
+//!    reaching-definitions, seeded at I/O calls; the paper's original
+//!    syntactic **marking loop** ([`marking`]) — transitively mark
+//!    *dependents* (arguments, backward chains of assignments) and
+//!    *contextual parents* (enclosing loop / conditional headers) to a
+//!    fixpoint — remains available via
+//!    [`DiscoveryOptions::syntactic_marking`] and the two are diffed by
+//!    [`slicing::compare_markings`].
 //! 3. **Reconstruct** the kernel from the kept statements ([`kernel`]).
 //! 4. Optionally apply reductions ([`transform`]): *loop reduction*
 //!    (execute a fraction of the iterations of loops containing I/O and
@@ -32,9 +36,11 @@ pub mod extensions;
 pub mod iocalls;
 pub mod kernel;
 pub mod marking;
+pub mod slicing;
 pub mod transform;
 
 pub use bridge::{discover_io, DiscoveryOptions, IoKernel};
 pub use iocalls::{classify_call, CallClass};
 pub use kernel::reconstruct;
 pub use marking::{mark_program, Marking};
+pub use slicing::{compare_markings, compare_samples, mark_program_dataflow, MarkingComparison};

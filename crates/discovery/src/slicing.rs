@@ -1,0 +1,346 @@
+//! Dataflow-based marking — the default discovery path.
+//!
+//! Wraps [`tunio_analysis::slice_program`] (CFG + reaching-definitions
+//! backward slice) in the [`Marking`] interface the rest of the crate
+//! consumes, so kernel reconstruction and every transform work unchanged.
+//! The original syntactic marking loop ([`crate::marking`]) remains
+//! available behind [`crate::DiscoveryOptions::syntactic_marking`]; this
+//! module also hosts the accuracy comparator that reports where the two
+//! passes disagree on the built-in samples.
+//!
+//! Where the old pass goes wrong (and this one does not):
+//!
+//! * **shadowing** — its assigner map is keyed on bare names, so a use of
+//!   an outer variable drags in stores to any same-named inner (or even
+//!   other-function) variable;
+//! * **dead stores** — it keeps *every* assignment to a needed name, not
+//!   just the definitions that actually reach a use.
+
+use crate::iocalls::{classify_call, CallClass};
+use crate::marking::{mark_program, Marking};
+use std::collections::BTreeSet;
+use tunio_analysis::slice_program;
+use tunio_cminus::ast::{Expr, Program, StmtId, StmtKind};
+
+/// The I/O predicate the slicer runs with: exactly the classifier the
+/// syntactic pass uses, so any kept-set difference between the two passes
+/// is attributable to the analysis, never the vocabulary.
+pub fn is_io_call(name: &str) -> bool {
+    classify_call(name) == CallClass::Io
+}
+
+/// Run the dataflow slicer and present the result as a [`Marking`].
+pub fn mark_program_dataflow(program: &Program) -> Marking {
+    let slice = slice_program(program, &is_io_call);
+    Marking {
+        kept: slice.kept,
+        io_seeds: slice.io_seeds,
+        iterations: slice.iterations,
+        total_stmts: slice.total_stmts,
+    }
+}
+
+/// Where the syntactic and dataflow passes disagree on one program.
+#[derive(Debug, Clone)]
+pub struct MarkingComparison {
+    /// Total statements in the program.
+    pub total_stmts: usize,
+    /// Statements the syntactic pass keeps.
+    pub syntactic_kept: usize,
+    /// Statements the dataflow slicer keeps.
+    pub dataflow_kept: usize,
+    /// Kept only by the syntactic pass (its over-keeps: dead stores,
+    /// shadowed same-name stores).
+    pub only_syntactic: BTreeSet<StmtId>,
+    /// Kept only by the dataflow slicer (mostly decl anchors of
+    /// written-but-never-read variables, which the old pass drops even
+    /// though the kernel then uses them undeclared).
+    pub only_dataflow: BTreeSet<StmtId>,
+}
+
+impl MarkingComparison {
+    /// Fraction of statements both passes classify identically.
+    pub fn agreement(&self) -> f64 {
+        if self.total_stmts == 0 {
+            return 1.0;
+        }
+        let disagree = self.only_syntactic.len() + self.only_dataflow.len();
+        1.0 - disagree as f64 / self.total_stmts as f64
+    }
+}
+
+/// Run both passes over one program and diff their kept sets.
+pub fn compare_markings(program: &Program) -> MarkingComparison {
+    let old = mark_program(program);
+    let new = mark_program_dataflow(program);
+    MarkingComparison {
+        total_stmts: old.total_stmts,
+        syntactic_kept: old.kept.len(),
+        dataflow_kept: new.kept.len(),
+        only_syntactic: old.kept.difference(&new.kept).copied().collect(),
+        only_dataflow: new.kept.difference(&old.kept).copied().collect(),
+    }
+}
+
+/// Compare both passes across every built-in sample program.
+pub fn compare_samples() -> Vec<(&'static str, MarkingComparison)> {
+    tunio_cminus::samples::all_samples()
+        .into_iter()
+        .map(|(name, src)| {
+            let prog = tunio_cminus::parser::parse(src).expect("samples parse");
+            (name, compare_markings(&prog))
+        })
+        .collect()
+}
+
+/// The static I/O-call trace of a program: every I/O call in statement
+/// order, as `(callee, argument identifiers)`. The discovery invariant —
+/// proptested in `tests/prop_slice.rs` — is that a reconstructed kernel
+/// has the same trace as its source application.
+pub fn io_call_trace(program: &Program) -> Vec<(String, Vec<String>)> {
+    let mut trace = Vec::new();
+    program.visit_stmts(|stmt, _| {
+        let mut exprs: Vec<&Expr> = Vec::new();
+        match &stmt.kind {
+            StmtKind::Decl { init, .. } => exprs.extend(init.iter()),
+            StmtKind::Assign { lhs, rhs, .. } => {
+                exprs.push(lhs);
+                exprs.push(rhs);
+            }
+            StmtKind::Expr(e) => exprs.push(e),
+            StmtKind::If { cond, .. }
+            | StmtKind::While { cond, .. }
+            | StmtKind::DoWhile { cond, .. } => exprs.push(cond),
+            StmtKind::For { cond, .. } => exprs.extend(cond.iter()),
+            StmtKind::Return(v) => exprs.extend(v.iter()),
+            StmtKind::Break | StmtKind::Continue | StmtKind::Empty => {}
+        }
+        for e in exprs {
+            collect_io_calls(e, &mut trace);
+        }
+    });
+    trace
+}
+
+fn collect_io_calls(e: &Expr, out: &mut Vec<(String, Vec<String>)>) {
+    match e {
+        Expr::Call { name, args } => {
+            if is_io_call(name) {
+                let mut arg_vars = Vec::new();
+                for a in args {
+                    a.idents(&mut arg_vars);
+                }
+                out.push((name.clone(), arg_vars));
+            }
+            for a in args {
+                collect_io_calls(a, out);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_io_calls(lhs, out);
+            collect_io_calls(rhs, out);
+        }
+        Expr::Unary { operand, .. } | Expr::Postfix { operand, .. } => {
+            collect_io_calls(operand, out);
+        }
+        Expr::Index { base, index } => {
+            collect_io_calls(base, out);
+            collect_io_calls(index, out);
+        }
+        Expr::Member { base, .. } => collect_io_calls(base, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::reconstruct;
+    use tunio_cminus::parser::parse;
+    use tunio_cminus::printer::print_program;
+    use tunio_cminus::samples;
+
+    /// Ids of statements whose printed line contains `needle`.
+    fn ids_containing(program: &Program, needle: &str) -> Vec<StmtId> {
+        let printed = print_program(program);
+        let lines: Vec<&str> = printed.text.lines().collect();
+        printed
+            .stmt_lines
+            .iter()
+            .filter(|(_, line)| lines[(**line - 1) as usize].contains(needle))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Regression for the shadowing bug the syntactic pass cannot fix:
+    /// its assigner map is keyed on bare names, so the outer `size` read
+    /// by `H5Dwrite` drags in the *inner* `size`'s store too. The first
+    /// half of this test documents the old pass failing; the second half
+    /// shows the dataflow slicer getting it right.
+    #[test]
+    fn shadowing_old_pass_over_keeps_new_pass_does_not() {
+        let src = r#"
+            void f(int n) {
+                int size = io_size(n);
+                if (n > 0) {
+                    int size = scratch_size(n);
+                    crunch(size);
+                }
+                H5Dwrite(dset, size);
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        let inner: Vec<StmtId> = ids_containing(&prog, "scratch_size");
+        assert_eq!(inner.len(), 1);
+
+        // Documented failure of the syntactic pass: the inner shadow is
+        // a different variable, yet name-keyed marking keeps it.
+        let old = mark_program(&prog);
+        assert!(
+            old.kept.contains(&inner[0]),
+            "if this starts failing, the syntactic pass learned scoping \
+             and the comparator docs need updating"
+        );
+
+        // The slicer resolves the use to the outer declaration only.
+        let new = mark_program_dataflow(&prog);
+        assert!(!new.kept.contains(&inner[0]));
+        for id in ids_containing(&prog, "io_size") {
+            assert!(new.kept.contains(&id), "outer decl must be kept");
+        }
+    }
+
+    /// Same conflation across functions: the old pass's assigner map is
+    /// program-global, so `buf` in an I/O-free function is kept because
+    /// an unrelated `buf` elsewhere feeds a write.
+    #[test]
+    fn cross_function_same_name_old_pass_conflates() {
+        let src = r#"
+            void diagnostics(int n) {
+                double * buf = scratch(n);
+                accumulate(buf, n);
+            }
+            void writer(int n) {
+                double * buf = fill(n);
+                H5Dwrite(dset, buf);
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        let scratch: Vec<StmtId> = ids_containing(&prog, "scratch");
+        let old = mark_program(&prog);
+        assert!(
+            old.kept.contains(&scratch[0]),
+            "documented old-pass conflation across functions"
+        );
+        let new = mark_program_dataflow(&prog);
+        assert!(!new.kept.contains(&scratch[0]));
+        for id in ids_containing(&prog, "fill(n)") {
+            assert!(new.kept.contains(&id));
+        }
+    }
+
+    #[test]
+    fn dead_store_is_dropped_by_the_slicer_only() {
+        let src = r#"
+            void f(int n) {
+                double * buf = alloc(n);
+                buf = stale_fill(n);
+                buf = final_fill(n);
+                H5Dwrite(dset, buf);
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        let stale = ids_containing(&prog, "stale_fill");
+        let old = mark_program(&prog);
+        let new = mark_program_dataflow(&prog);
+        assert!(old.kept.contains(&stale[0]), "old pass keeps dead stores");
+        assert!(!new.kept.contains(&stale[0]));
+        // And the kernel still carries the store that matters.
+        let text = print_program(&reconstruct(&prog, &new)).text;
+        assert!(text.contains("final_fill"), "{text}");
+        assert!(!text.contains("stale_fill"), "{text}");
+    }
+
+    #[test]
+    fn comparator_reports_the_disagreements() {
+        let src = r#"
+            void f(int n) {
+                double * buf = alloc(n);
+                buf = stale_fill(n);
+                buf = final_fill(n);
+                H5Dwrite(dset, buf);
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        let cmp = compare_markings(&prog);
+        assert_eq!(cmp.only_syntactic.len(), 1, "the dead store");
+        assert!(cmp.only_dataflow.is_empty());
+        assert!(cmp.agreement() < 1.0);
+        assert!(cmp.dataflow_kept < cmp.syntactic_kept);
+    }
+
+    #[test]
+    fn passes_agree_closely_on_all_samples() {
+        for (name, cmp) in compare_samples() {
+            // The samples were written for the syntactic pass; the slicer
+            // must stay close (it differs only on genuine dead stores /
+            // decl anchors), and both must find the same I/O.
+            assert!(
+                cmp.agreement() >= 0.8,
+                "{name}: agreement {:.2} ({:?} vs {:?})",
+                cmp.agreement(),
+                cmp.only_syntactic,
+                cmp.only_dataflow
+            );
+        }
+    }
+
+    #[test]
+    fn samples_io_seeds_are_identical_between_passes() {
+        for (name, src) in samples::all_samples() {
+            let prog = parse(src).unwrap();
+            let old = mark_program(&prog);
+            let new = mark_program_dataflow(&prog);
+            assert_eq!(old.io_seeds, new.io_seeds, "{name}");
+        }
+    }
+
+    #[test]
+    fn predicate_agrees_with_the_classifier() {
+        // `tunio_analysis::default_io_predicate` duplicates the classifier
+        // (the dependency points the other way); keep them in lockstep.
+        for n in [
+            "H5Fcreate",
+            "H5Dwrite",
+            "H5Fclose",
+            "MPI_File_write_all",
+            "MPI_File_open",
+            "fopen",
+            "fwrite",
+            "lseek",
+            "printf",
+            "fprintf",
+            "puts",
+            "perror",
+            "malloc",
+            "MPI_Send",
+            "compute_energy",
+        ] {
+            assert_eq!(
+                tunio_analysis::default_io_predicate(n),
+                is_io_call(n),
+                "classifier disagreement on {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_preserves_io_call_trace() {
+        let prog = parse(samples::VPIC_IO).unwrap();
+        let new = mark_program_dataflow(&prog);
+        let kernel = reconstruct(&prog, &new);
+        assert_eq!(io_call_trace(&prog), io_call_trace(&kernel));
+        let trace = io_call_trace(&prog);
+        assert!(trace.iter().any(|(n, _)| n == "H5Dwrite"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the dataflow slicer: whatever discovery drops, the
+//! kernel's I/O behavior must be untouched. The invariant checked here is
+//! that the *static I/O call trace* — every I/O call in statement order
+//! with its argument variables — of the reconstructed kernel equals the
+//! original program's.
+
+use proptest::prelude::*;
+use tunio_cminus::parser::parse;
+use tunio_discovery::slicing::{io_call_trace, mark_program_dataflow};
+use tunio_discovery::{mark_program, reconstruct};
+
+/// A small shared variable pool so generated programs form def-use
+/// chains (and occasionally shadow each other) instead of being
+/// independent statements.
+fn var() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("a"), Just("b"), Just("buf"), Just("count"), Just("x"),]
+}
+
+fn simple_stmt() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (var(), var()).prop_map(|(v, u)| format!("int {v} = seed({u});")),
+        (var(), var()).prop_map(|(v, u)| format!("{v} = mix({u});")),
+        var().prop_map(|v| format!("{v} = {v} + 1;")),
+        var().prop_map(|v| format!("H5Dwrite(dset, {v});")),
+        (var(), var()).prop_map(|(v, u)| format!("fwrite({v}, 1, {u}, fp);")),
+        var().prop_map(|v| format!("printf(\"%d\", {v});")),
+        var().prop_map(|v| format!("crunch({v});")),
+        Just("int rc = H5Fclose(fh);".to_string()),
+    ]
+}
+
+/// A statement, possibly a control structure with a nested body.
+fn stmt(depth: u32) -> BoxedStrategy<String> {
+    if depth == 0 {
+        return simple_stmt().boxed();
+    }
+    let body = proptest::collection::vec(stmt(depth - 1), 1..4)
+        .prop_map(|stmts| stmts.join("\n"))
+        .boxed();
+    prop_oneof![
+        simple_stmt(),
+        (var(), body.clone()).prop_map(|(v, body)| format!("if ({v} > 0) {{\n{body}\n}}")),
+        (var(), body.clone())
+            .prop_map(|(v, body)| format!("for (int i = 0; i < {v}; i++) {{\n{body}\n}}")),
+        (var(), body).prop_map(|(v, body)| format!("while (check({v})) {{\n{body}\n}}")),
+    ]
+    .boxed()
+}
+
+fn program_source() -> impl Strategy<Value = String> {
+    proptest::collection::vec(stmt(2), 1..8)
+        .prop_map(|stmts| format!("void generated(int n) {{\n{}\n}}", stmts.join("\n")))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The dataflow slice may drop dead stores and shadowed same-name
+    /// stores, but never an I/O call or any argument it passes.
+    #[test]
+    fn dataflow_kernel_preserves_io_call_trace(src in program_source()) {
+        let prog = parse(&src)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
+        let marking = mark_program_dataflow(&prog);
+        let kernel = reconstruct(&prog, &marking);
+        prop_assert_eq!(io_call_trace(&prog), io_call_trace(&kernel), "{}", src);
+    }
+
+    /// The legacy syntactic pass upholds the same invariant (it only
+    /// over-keeps, never under-keeps I/O).
+    #[test]
+    fn syntactic_kernel_preserves_io_call_trace(src in program_source()) {
+        let prog = parse(&src)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
+        let marking = mark_program(&prog);
+        let kernel = reconstruct(&prog, &marking);
+        prop_assert_eq!(io_call_trace(&prog), io_call_trace(&kernel), "{}", src);
+    }
+
+    /// Both passes agree exactly on what the I/O seeds are — they differ
+    /// only in which *supporting* statements they keep.
+    #[test]
+    fn both_passes_find_the_same_seeds(src in program_source()) {
+        let prog = parse(&src)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
+        let old = mark_program(&prog);
+        let new = mark_program_dataflow(&prog);
+        prop_assert_eq!(old.io_seeds, new.io_seeds, "{}", src);
+        // And the slicer's kept set always covers the seeds.
+        prop_assert!(new.io_seeds.iter().all(|s| new.kept.contains(s)));
+    }
+}
