@@ -1,0 +1,70 @@
+//! Run one full TunIO campaign with the JSON-lines trace sink installed
+//! and render the resulting trace with the tunio-report summarizer.
+//!
+//! This is the end-to-end exercise of the tracing pipeline: campaign →
+//! `trace.jsonl` artifact → human-readable report. CI runs it and uploads
+//! the artifact; locally it doubles as a smoke test:
+//!
+//! ```text
+//! cargo run -p tunio-bench --bin trace_campaign --release [-- <out.jsonl>]
+//! ```
+
+use tunio::pipeline::{run_campaign, CampaignSpec, PipelineKind};
+use tunio_bench::results_dir;
+use tunio_trace::report;
+use tunio_workloads::{hacc, Variant};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("TUNIO_TRACE_PATH").ok())
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("trace_campaign.jsonl"));
+
+    if let Err(e) = tunio_trace::install_jsonl_sink(&path) {
+        eprintln!("error: cannot open trace sink {}: {e}", path.display());
+        std::process::exit(1);
+    }
+
+    let spec = CampaignSpec {
+        app: hacc(),
+        variant: Variant::Kernel,
+        kind: PipelineKind::TunIo,
+        max_iterations: 20,
+        population: 6,
+        seed: 2024,
+        large_scale: false,
+    };
+    let outcome = run_campaign(&spec);
+
+    // Flush and detach the sink so the file is complete before reading.
+    tunio_trace::clear_sink();
+    eprintln!("[wrote {}]", path.display());
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let records = match report::parse_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot parse {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let summaries = report::summarize(&records);
+    for s in &summaries {
+        print!("{}", report::render(s));
+    }
+
+    // Smoke checks: the trace must cover every generation the campaign ran.
+    let gens: usize = summaries.iter().map(|s| s.generations.len()).sum();
+    assert_eq!(
+        gens,
+        outcome.trace.iterations() as usize,
+        "trace generations must match the campaign's iteration count"
+    );
+}

@@ -12,6 +12,7 @@ use tunio_rl::logcurve::LogCurveEnv;
 use tunio_rl::qlearn::QConfig;
 use tunio_rl::replay::Transition;
 use tunio_rl::{DelayedReward, QAgent};
+use tunio_trace as trace;
 use tunio_tuner::Stopper;
 
 /// State dimension (mirrors [`LogCurveEnv`]'s observation).
@@ -189,15 +190,26 @@ impl EarlyStopAgent {
                 next_state: state.clone(),
                 done: false,
             }) {
+                trace::event(
+                    "rl.reward",
+                    vec![
+                        ("stopper", "tunio-rl-early-stop".into()),
+                        ("iteration", t.into()),
+                        ("action", matured.action.into()),
+                        ("reward", matured.reward.into()),
+                    ],
+                );
                 self.agent.observe(matured);
             }
         }
 
         if t >= self.max_iterations {
+            emit_decision(t, true, "budget-exhausted");
             return true;
         }
         if t < self.min_iterations {
             self.last = Some((state, CONTINUE));
+            emit_decision(t, false, "warmup");
             return false;
         }
         // Guard rail: while a large share of all gain arrived within the
@@ -207,13 +219,31 @@ impl EarlyStopAgent {
         let patience = 0.35 * (self.step_cost / self.effective_step_cost()).clamp(0.5, 3.0);
         if state[2] > patience.min(0.9) {
             self.last = Some((state, CONTINUE));
+            emit_decision(t, false, "guard-rail");
             return false;
         }
 
         let action = self.agent.best_action(&state);
         self.last = Some((state, action));
-        action == STOP
+        let verdict = action == STOP;
+        emit_decision(t, verdict, "policy");
+        verdict
     }
+}
+
+/// Emit the per-generation `stop.decision` trace event for the RL stopper,
+/// tagging *which* internal branch produced the verdict (budget, warm-up,
+/// guard rail, or the learned policy).
+fn emit_decision(iteration: u32, stop: bool, basis: &'static str) {
+    trace::event(
+        "stop.decision",
+        vec![
+            ("stopper", "tunio-rl-early-stop".into()),
+            ("iteration", iteration.into()),
+            ("stop", stop.into()),
+            ("basis", basis.into()),
+        ],
+    );
 }
 
 /// Serializable snapshot of an [`EarlyStopAgent`]'s learned policy.

@@ -5,6 +5,7 @@ use crate::smart_config::SmartConfigAgent;
 use serde::Serialize;
 use tunio_iosim::Simulator;
 use tunio_params::ParameterSpace;
+use tunio_trace as trace;
 use tunio_tuner::stoppers::NoStop;
 use tunio_tuner::{
     AllParams, EvalEngine, GaConfig, GaTuner, HeuristicStop, Stopper, SubsetProvider, TuningTrace,
@@ -114,11 +115,69 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignOutcome {
         None => &mut all_params,
     };
 
+    let span = campaign_span(spec);
     let trace = tuner.run(&engine, stopper.as_mut(), subsets);
+    finish_campaign(span, spec, &engine, &trace);
     CampaignOutcome {
         kind: spec.kind,
         trace,
     }
+}
+
+/// Open the top-level `campaign` span carrying the campaign's identity.
+fn campaign_span(spec: &CampaignSpec) -> trace::SpanGuard {
+    trace::span(
+        "campaign",
+        vec![
+            ("kind", spec.kind.label().into()),
+            ("app", spec.app.name.as_str().into()),
+            ("variant", format!("{:?}", spec.variant).into()),
+            ("large_scale", spec.large_scale.into()),
+            ("seed", spec.seed.into()),
+        ],
+    )
+}
+
+/// Close a campaign: emit the `campaign.done` summary event, flush the
+/// metric registry into the trace, and drop the campaign span (which
+/// records total wall time).
+fn finish_campaign(
+    span: trace::SpanGuard,
+    spec: &CampaignSpec,
+    engine: &EvalEngine,
+    outcome: &TuningTrace,
+) {
+    if trace::enabled() {
+        let minutes = outcome.total_cost_s() / 60.0;
+        trace::event(
+            "campaign.done",
+            vec![
+                ("kind", spec.kind.label().into()),
+                ("app", spec.app.name.as_str().into()),
+                ("best_perf", outcome.best_perf.into()),
+                ("default_perf", outcome.default_perf.into()),
+                ("iterations", outcome.iterations().into()),
+                ("stopped_early", outcome.stopped_early.into()),
+                ("stopper_name", outcome.stopper_name.as_str().into()),
+                ("evaluations", engine.evaluations().into()),
+                ("cache_hits", engine.cache_hits().into()),
+                ("total_cost_s", outcome.total_cost_s().into()),
+                (
+                    "final_roti",
+                    crate::roti::roti(outcome.best_perf, outcome.default_perf, minutes).into(),
+                ),
+                (
+                    "peak_roti",
+                    crate::roti::peak_roti(outcome)
+                        .map(|p| p.roti)
+                        .unwrap_or(0.0)
+                        .into(),
+                ),
+            ],
+        );
+        trace::flush_metrics();
+    }
+    drop(span);
 }
 
 #[cfg(test)]
@@ -244,7 +303,9 @@ pub fn run_campaign_with(tunio: &mut crate::TunIo, spec: &CampaignSpec) -> Campa
         early_stop,
         ..
     } = tunio;
+    let span = campaign_span(spec);
     let trace = tuner.run(&engine, early_stop, smart_config);
+    finish_campaign(span, spec, &engine, &trace);
     CampaignOutcome {
         kind: PipelineKind::TunIo,
         trace,

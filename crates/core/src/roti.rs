@@ -54,11 +54,12 @@ pub fn roti_curve(trace: &TuningTrace) -> Vec<RotiPoint> {
         .collect()
 }
 
-/// Peak RoTI over a trace and when it occurred.
+/// Peak RoTI over a trace and when it occurred. NaN-safe: `total_cmp`
+/// keeps the scan well-defined even if a corrupt trace carries NaN perf.
 pub fn peak_roti(trace: &TuningTrace) -> Option<RotiPoint> {
     roti_curve(trace)
         .into_iter()
-        .max_by(|a, b| a.roti.partial_cmp(&b.roti).unwrap())
+        .max_by(|a, b| a.roti.total_cmp(&b.roti))
 }
 
 /// Final RoTI (at campaign end).
@@ -124,6 +125,18 @@ mod tests {
         assert!(peak.iteration < 30, "peak at {}", peak.iteration);
         assert!(final_roti(&t) < peak.roti);
         assert!(c.iter().all(|p| p.roti >= 0.0));
+    }
+
+    /// Regression test: `peak_roti` used `partial_cmp().unwrap()` and
+    /// panicked on traces carrying a NaN perf value.
+    #[test]
+    fn peak_roti_tolerates_nan_perf() {
+        let t = fake_trace(&[1e8, f64::NAN, 3e8], 5.0);
+        let peak = peak_roti(&t).expect("non-empty trace has a peak"); // panicked pre-fix
+        assert_eq!(roti_curve(&t).len(), 3);
+        // No-panic is the guarantee; NaN sorts above finite values under
+        // total_cmp so the peak may legitimately be the NaN point.
+        assert!(peak.roti.is_nan() || peak.roti.is_finite());
     }
 
     #[test]

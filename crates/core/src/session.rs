@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::path::Path;
 use tunio_iosim::RunReport;
 use tunio_params::{Configuration, Impact, ParamId, ParameterSpace};
+use tunio_trace as trace;
 
 /// One observed run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -50,6 +51,14 @@ impl TuningSession {
 
     /// Record one run's outcome.
     pub fn record(&mut self, config: Configuration, report: &RunReport) {
+        trace::event(
+            "session.record",
+            vec![
+                ("round", self.rounds.len().into()),
+                ("perf", report.perf().into()),
+                ("elapsed_s", report.elapsed_s.into()),
+            ],
+        );
         self.rounds.push(SessionRound {
             config,
             perf: report.perf(),
@@ -57,11 +66,11 @@ impl TuningSession {
         });
     }
 
-    /// Best round so far.
+    /// Best round so far. NaN-safe: `total_cmp` orders NaN above every
+    /// finite perf instead of panicking on corrupt data ([`Self::load`]
+    /// rejects NaN up front, but in-memory sessions get no such gate).
     pub fn best(&self) -> Option<&SessionRound> {
-        self.rounds
-            .iter()
-            .max_by(|a, b| a.perf.partial_cmp(&b.perf).unwrap())
+        self.rounds.iter().max_by(|a, b| a.perf.total_cmp(&b.perf))
     }
 
     /// Total time invested across recorded rounds, minutes.
@@ -82,6 +91,10 @@ impl TuningSession {
         // explores the space broadly instead of exhausting one domain
         // before touching the next.
         let order = high_impact_order(space);
+        if order.is_empty() {
+            // Nothing worth refining — keep the best configuration.
+            return base;
+        }
         for offset in 0..order.len() {
             let p = order[(self.rounds.len() + offset) % order.len()];
             let card = space.cardinality(p);
@@ -96,9 +109,17 @@ impl TuningSession {
         // Every high-impact value has been tried at least once: step the
         // least-explored parameter cyclically.
         let mut next = base;
-        let p = high_impact_order(space)[self.rounds.len() % 7];
+        let p = order[self.rounds.len() % order.len()];
         let idx = (next.gene(p) + 1) % space.cardinality(p);
         next.set_gene(p, idx);
+        trace::event(
+            "session.suggest",
+            vec![
+                ("rounds", self.rounds.len().into()),
+                ("param", p.name().into()),
+                ("value_index", idx.into()),
+            ],
+        );
         next
     }
 
@@ -139,10 +160,30 @@ impl TuningSession {
     }
 
     /// Load from a JSON file.
+    ///
+    /// Rejects sessions whose rounds carry non-finite or negative
+    /// `perf`/`elapsed_s` values: a hand-edited or corrupted file must
+    /// not smuggle NaN into [`Self::best`] / [`Self::worth_refining`]
+    /// arithmetic.
     pub fn load(path: &Path) -> std::io::Result<TuningSession> {
         let text = std::fs::read_to_string(path)?;
-        serde_json::from_str(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        let session: TuningSession = serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        for (i, round) in session.rounds.iter().enumerate() {
+            if !round.perf.is_finite() || round.perf < 0.0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("round {i}: invalid perf {}", round.perf),
+                ));
+            }
+            if !round.elapsed_s.is_finite() || round.elapsed_s < 0.0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("round {i}: invalid elapsed_s {}", round.elapsed_s),
+                ));
+            }
+        }
+        Ok(session)
     }
 }
 
@@ -275,5 +316,119 @@ mod tests {
     fn unknown_expectation_always_permits_refining() {
         let s = TuningSession::new();
         assert!(s.worth_refining());
+    }
+
+    /// Regression test: the cyclic-fallback branch of `suggest` used to
+    /// index `high_impact_order(space)[rounds.len() % 7]` — a hardcoded 7
+    /// that panics out-of-bounds on any space with fewer than seven
+    /// high-impact parameters once every high-impact value has been seen.
+    #[test]
+    fn suggest_survives_reduced_high_impact_space() {
+        let mut space = ParameterSpace::tunio_default();
+        // Demote everything except the collective-I/O toggle: one
+        // high-impact parameter with a two-value (boolean) domain.
+        for p in ParamId::ALL {
+            if p != ParamId::CollectiveIo {
+                space.set_impact(p, Impact::Low);
+            }
+        }
+        assert_eq!(space.with_impact(Impact::High).len(), 1);
+
+        let mut session = TuningSession::new();
+        // 13 rounds covering both collective-I/O values: the "first
+        // untried value" scan finds nothing, so the cyclic fallback runs
+        // with rounds.len() % 7 == 6 — out of bounds for a 1-element
+        // order before the fix.
+        for i in 0..13 {
+            let mut cfg = space.default_config();
+            cfg.set_gene(ParamId::CollectiveIo, i % 2);
+            session.rounds.push(SessionRound {
+                config: cfg,
+                perf: 1.0 + i as f64,
+                elapsed_s: 1.0,
+            });
+        }
+        let next = session.suggest(&space); // panicked pre-fix
+        let best = session.best().unwrap();
+        // The suggestion steps the sole high-impact parameter cyclically.
+        assert_ne!(
+            next.gene(ParamId::CollectiveIo),
+            best.config.gene(ParamId::CollectiveIo)
+        );
+    }
+
+    #[test]
+    fn suggest_with_no_high_impact_params_keeps_best_config() {
+        let mut space = ParameterSpace::tunio_default();
+        for p in ParamId::ALL {
+            space.set_impact(p, Impact::Low);
+        }
+        let mut session = TuningSession::new();
+        session.rounds.push(SessionRound {
+            config: space.default_config(),
+            perf: 1.0,
+            elapsed_s: 1.0,
+        });
+        assert_eq!(session.suggest(&space), space.default_config());
+    }
+
+    /// Regression test: `best()` used `partial_cmp().unwrap()` and
+    /// panicked the moment a NaN perf entered the session.
+    #[test]
+    fn best_tolerates_nan_perf() {
+        let space = ParameterSpace::tunio_default();
+        let mut session = TuningSession::new();
+        for perf in [1.0, f64::NAN, 3.0] {
+            session.rounds.push(SessionRound {
+                config: space.default_config(),
+                perf,
+                elapsed_s: 1.0,
+            });
+        }
+        let best = session.best().expect("non-empty session has a best");
+        // total_cmp orders NaN above finite values, so the call must not
+        // panic; the interesting guarantee is no-panic, not which round
+        // wins.
+        assert!(best.perf.is_nan() || best.perf == 3.0);
+    }
+
+    #[test]
+    fn load_rejects_negative_perf() {
+        let space = ParameterSpace::tunio_default();
+        let mut session = TuningSession::new();
+        session.rounds.push(SessionRound {
+            config: space.default_config(),
+            perf: 2.5,
+            elapsed_s: 1.5,
+        });
+        let path = std::env::temp_dir().join("tunio_session_invalid_perf.json");
+        session.save(&path).unwrap();
+        let tampered = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("2.5", "-2.5");
+        std::fs::write(&path, tampered).unwrap();
+        let err = TuningSession::load(&path).expect_err("negative perf must be rejected");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn load_rejects_negative_elapsed() {
+        let space = ParameterSpace::tunio_default();
+        let mut session = TuningSession::new();
+        session.rounds.push(SessionRound {
+            config: space.default_config(),
+            perf: 2.5,
+            elapsed_s: 1.5,
+        });
+        let path = std::env::temp_dir().join("tunio_session_invalid_elapsed.json");
+        session.save(&path).unwrap();
+        let tampered = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("1.5", "-1.5");
+        std::fs::write(&path, tampered).unwrap();
+        let err = TuningSession::load(&path).expect_err("negative elapsed must be rejected");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 }

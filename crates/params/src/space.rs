@@ -416,6 +416,14 @@ impl ParameterSpace {
             .map(|d| d.id)
             .collect()
     }
+
+    /// Reclassify one parameter's a-priori impact. Lets callers derive
+    /// reduced spaces (fewer high-impact parameters) from the default
+    /// twelve-parameter space — used to model platforms where a knob is
+    /// known to be inert, and by tests exercising small spaces.
+    pub fn set_impact(&mut self, id: ParamId, impact: Impact) {
+        self.descriptors[id.index()].impact = impact;
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@ use crate::replay::{ReplayBuffer, Transition};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tunio_nn::{Activation, Network, Optimizer};
+use tunio_trace as trace;
 
 /// Hyperparameters for [`QAgent`].
 #[derive(Debug, Clone, Copy)]
@@ -143,7 +144,13 @@ impl QAgent {
     }
 
     /// Record a transition and learn from a replay minibatch.
+    ///
+    /// This is the per-step hot path (offline pre-training calls it on
+    /// the order of 10⁵ times), so it only touches atomic metrics —
+    /// never per-step trace events.
     pub fn observe(&mut self, t: Transition) {
+        trace::counter("tunio.rl.observations").inc(1);
+        trace::histogram("tunio.rl.reward").record(t.reward);
         self.replay.push(t);
         self.learn_batch();
     }
@@ -231,6 +238,23 @@ impl QAgent {
             }
             self.end_episode();
             returns.push(total);
+        }
+        // One event per train() call, not per step: a pre-training round
+        // of 40 episodes × 50 steps collapses into a single record.
+        if trace::enabled() {
+            let mean = if returns.is_empty() {
+                0.0
+            } else {
+                returns.iter().sum::<f64>() / returns.len() as f64
+            };
+            trace::event(
+                "rl.train.round",
+                vec![
+                    ("episodes", episodes.into()),
+                    ("mean_return", mean.into()),
+                    ("epsilon", self.epsilon.into()),
+                ],
+            );
         }
         returns
     }

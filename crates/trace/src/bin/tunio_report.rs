@@ -1,0 +1,93 @@
+//! `tunio-report` — render a JSON-lines campaign trace as a summary.
+//!
+//! ```text
+//! tunio-report <trace.jsonl> [--json]
+//! ```
+//!
+//! With `--json` the parsed per-campaign summaries are printed as JSON
+//! (one object per campaign) instead of the plain-text report.
+
+use std::process::ExitCode;
+use tunio_trace::report::{parse_jsonl, render, summarize};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tunio-report <trace.jsonl> [--json]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut as_json = false;
+    for a in &args {
+        match a.as_str() {
+            "--json" => as_json = true,
+            "-h" | "--help" => return usage(),
+            other if path.is_none() => path = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else { return usage() };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tunio-report: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match parse_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tunio-report: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summaries = summarize(&records);
+    if summaries.is_empty() {
+        println!("trace contains no campaign records");
+        return ExitCode::SUCCESS;
+    }
+    if as_json {
+        for s in &summaries {
+            println!("{}", summary_json(s));
+        }
+    } else {
+        for (i, s) in summaries.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            print!("{}", render(s));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn summary_json(s: &tunio_trace::report::CampaignSummary) -> String {
+    use serde_json::Value;
+    let mut obj = vec![];
+    if let Some(l) = &s.label {
+        obj.push(("label".to_string(), Value::String(l.clone())));
+    }
+    if let Some(a) = &s.app {
+        obj.push(("app".to_string(), Value::String(a.clone())));
+    }
+    obj.push((
+        "generations".to_string(),
+        Value::UInt(s.generations.len() as u64),
+    ));
+    if let Some(b) = s.best_perf {
+        obj.push(("best_perf".to_string(), Value::Float(b)));
+    }
+    if let Some(d) = s.default_perf {
+        obj.push(("default_perf".to_string(), Value::Float(d)));
+    }
+    if let Some(r) = s.cache_hit_rate() {
+        obj.push(("cache_hit_rate".to_string(), Value::Float(r)));
+    }
+    if let Some(r) = s.final_roti() {
+        obj.push(("final_roti".to_string(), Value::Float(r)));
+    }
+    obj.push(("stop_reason".to_string(), Value::String(s.stop_reason())));
+    serde_json::to_string(&Value::Object(obj)).expect("summary serializes")
+}

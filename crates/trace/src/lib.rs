@@ -1,0 +1,459 @@
+//! # tunio-trace — structured tracing and metrics for tuning campaigns
+//!
+//! The tuning pipeline makes per-iteration decisions (subset selection,
+//! early stopping, RoTI accounting) that are invisible outside ad-hoc
+//! prints. This crate makes them observable: every layer of the pipeline
+//! emits *records* (events and spans with typed key/value fields) into a
+//! process-global tracer, and keeps *metrics* (counters, gauges,
+//! histograms) in a thread-safe registry.
+//!
+//! Records flow to a pluggable [`Sink`]:
+//!
+//! * no sink installed (the default) — emission is a single relaxed
+//!   atomic load; the instrumented pipeline runs at full speed,
+//! * [`JsonlSink`] — one JSON object per line, replayable into a
+//!   human-readable campaign summary by the `tunio-report` binary
+//!   (see [`report`]),
+//! * [`MemorySink`] — buffers records in memory for tests.
+//!
+//! Metrics are always live (they are plain atomics, as cheap as the
+//! counters the evaluation engine already kept); [`flush_metrics`] emits
+//! a snapshot of every registered metric into the active sink.
+//!
+//! ## Granularity rule
+//!
+//! Events are for *per-generation* (or rarer) occurrences; anything that
+//! fires per simulator step or per replay-buffer sample must use a
+//! metric instead, so a JSON-lines trace of a full campaign stays small
+//! enough to commit as a CI artifact.
+//!
+//! ## Example
+//!
+//! ```
+//! use tunio_trace as trace;
+//!
+//! let sink = trace::install_memory_sink();
+//! {
+//!     let _span = trace::span("demo.work", vec![("iteration", 1u32.into())]);
+//!     trace::event("demo.found", vec![("perf", 1.5e9.into())]);
+//! }
+//! trace::counter("demo.hits").inc(3);
+//! trace::flush_metrics();
+//! let records = sink.take();
+//! assert_eq!(records[0].name, "demo.found"); // events precede span end
+//! assert_eq!(records[1].name, "demo.work");
+//! assert!(records[1].dur_us.is_some());
+//! trace::clear_sink();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod report;
+pub mod sink;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot};
+pub use sink::{JsonlSink, MemorySink, Sink};
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// A typed field value attached to a record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// UTF-8 text.
+    Str(String),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::I64(v as i64)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// Field list attached to a record: insertion-ordered key/value pairs.
+pub type Fields = Vec<(&'static str, FieldValue)>;
+
+/// One emitted record: an instantaneous event, or a closed span when
+/// `dur_us` is set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Microseconds since the tracer's epoch (first use in the process).
+    pub t_us: u64,
+    /// Record name, e.g. `"ga.generation"`.
+    pub name: String,
+    /// Span duration in microseconds; `None` for instantaneous events.
+    pub dur_us: Option<u64>,
+    /// Typed fields, in emission order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+struct Tracer {
+    enabled: AtomicBool,
+    epoch: Instant,
+    sink: RwLock<Option<Arc<dyn Sink>>>,
+    metrics: metrics::Registry,
+}
+
+fn tracer() -> &'static Tracer {
+    static TRACER: OnceLock<Tracer> = OnceLock::new();
+    TRACER.get_or_init(|| Tracer {
+        enabled: AtomicBool::new(false),
+        epoch: Instant::now(),
+        sink: RwLock::new(None),
+        metrics: metrics::Registry::new(),
+    })
+}
+
+/// Whether a sink is installed. Callers building expensive field sets
+/// should check this first; the emission functions also check it.
+#[inline]
+pub fn enabled() -> bool {
+    tracer().enabled.load(Ordering::Relaxed)
+}
+
+/// Install a sink; subsequent events and spans flow into it.
+pub fn set_sink(sink: Arc<dyn Sink>) {
+    let t = tracer();
+    *t.sink.write() = Some(sink);
+    t.enabled.store(true, Ordering::Relaxed);
+}
+
+/// Remove the active sink (flushing it) and disable emission.
+pub fn clear_sink() {
+    let t = tracer();
+    let old = t.sink.write().take();
+    t.enabled.store(false, Ordering::Relaxed);
+    if let Some(s) = old {
+        s.flush();
+    }
+}
+
+/// Install a fresh [`MemorySink`] and return a handle for reading it.
+pub fn install_memory_sink() -> Arc<MemorySink> {
+    let sink = Arc::new(MemorySink::default());
+    set_sink(sink.clone());
+    sink
+}
+
+/// Install a [`JsonlSink`] writing to `path`.
+pub fn install_jsonl_sink(path: &std::path::Path) -> std::io::Result<()> {
+    let sink = Arc::new(JsonlSink::create(path)?);
+    set_sink(sink);
+    Ok(())
+}
+
+/// Flush the active sink (no-op when none is installed).
+pub fn flush() {
+    if let Some(s) = tracer().sink.read().as_ref() {
+        s.flush();
+    }
+}
+
+fn emit(record: Record) {
+    if let Some(s) = tracer().sink.read().as_ref() {
+        s.emit(&record);
+    }
+}
+
+fn now_us() -> u64 {
+    tracer().epoch.elapsed().as_micros() as u64
+}
+
+/// Emit an instantaneous event. Cheap when no sink is installed: one
+/// atomic load, and the `fields` vec is dropped unused (pass simple
+/// scalar fields in hot paths, or guard with [`enabled`]).
+pub fn event(name: &'static str, fields: Fields) {
+    if !enabled() {
+        return;
+    }
+    emit(Record {
+        t_us: now_us(),
+        name: name.to_string(),
+        dur_us: None,
+        fields: fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    });
+}
+
+/// Start a span: a record emitted on guard drop, carrying its duration.
+/// When no sink is installed the guard is inert.
+pub fn span(name: &'static str, fields: Fields) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { inner: None };
+    }
+    SpanGuard {
+        inner: Some(SpanInner {
+            name,
+            fields,
+            start_us: now_us(),
+            start: Instant::now(),
+        }),
+    }
+}
+
+struct SpanInner {
+    name: &'static str,
+    fields: Fields,
+    start_us: u64,
+    start: Instant,
+}
+
+/// RAII guard for an open span; emits the span record when dropped.
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    /// Attach another field to the span before it closes (e.g. an
+    /// outcome computed inside the span).
+    pub fn add_field(&mut self, key: &'static str, value: FieldValue) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.fields.push((key, value));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            emit(Record {
+                t_us: inner.start_us,
+                name: inner.name.to_string(),
+                dur_us: Some(inner.start.elapsed().as_micros() as u64),
+                fields: inner
+                    .fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            });
+        }
+    }
+}
+
+/// Look up (or create) a counter in the global metric registry.
+pub fn counter(name: &'static str) -> Counter {
+    tracer().metrics.counter(name)
+}
+
+/// Look up (or create) a gauge in the global metric registry.
+pub fn gauge(name: &'static str) -> Gauge {
+    tracer().metrics.gauge(name)
+}
+
+/// Look up (or create) a histogram in the global metric registry.
+pub fn histogram(name: &'static str) -> Histogram {
+    tracer().metrics.histogram(name)
+}
+
+/// Snapshot every registered metric (sorted by name).
+pub fn metrics_snapshot() -> Vec<MetricSnapshot> {
+    tracer().metrics.snapshot()
+}
+
+/// Emit one `"metric"` record per registered metric into the active
+/// sink, so traces carry final counter/gauge/histogram values.
+pub fn flush_metrics() {
+    if !enabled() {
+        return;
+    }
+    for m in metrics_snapshot() {
+        emit(Record {
+            t_us: now_us(),
+            name: "metric".to_string(),
+            dur_us: None,
+            fields: m.into_fields(),
+        });
+    }
+}
+
+/// Reset every registered metric to zero/empty. Metrics are
+/// process-global; campaigns that want per-run numbers call this first
+/// (tests do too).
+pub fn reset_metrics() {
+    tracer().metrics.reset()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tracer is process-global, so sink-swapping tests share one
+    // lock to avoid interleaving.
+    pub(crate) fn sink_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_tracer_emits_nothing_and_spans_are_inert() {
+        let _l = sink_test_lock();
+        clear_sink();
+        assert!(!enabled());
+        event("x", vec![("a", 1u32.into())]);
+        let mut g = span("y", vec![]);
+        g.add_field("late", true.into());
+        drop(g);
+        // Installing a sink afterwards must not surface earlier records.
+        let sink = install_memory_sink();
+        assert!(sink.take().is_empty());
+        clear_sink();
+    }
+
+    #[test]
+    fn memory_sink_preserves_emission_order_and_fields() {
+        let _l = sink_test_lock();
+        let sink = install_memory_sink();
+        event("first", vec![("i", 1u32.into())]);
+        {
+            let mut s = span("work", vec![("seed", 7u64.into())]);
+            event("inside", vec![]);
+            s.add_field("verdict", FieldValue::Str("ok".into()));
+        }
+        event("last", vec![("f", 2.5f64.into())]);
+        clear_sink();
+
+        let records = sink.take();
+        let names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
+        // Span closes after its interior events: ordering is emission
+        // (i.e. completion) order.
+        assert_eq!(names, ["first", "inside", "work", "last"]);
+        let work = &records[2];
+        assert!(work.dur_us.is_some());
+        assert_eq!(work.fields[0], ("seed".to_string(), FieldValue::U64(7)));
+        assert_eq!(
+            work.fields[1],
+            ("verdict".to_string(), FieldValue::Str("ok".into()))
+        );
+        // Timestamps are monotone non-decreasing in emission order,
+        // except span records which carry their *start* time.
+        assert!(records[0].t_us <= records[1].t_us);
+        assert!(records[2].t_us <= records[1].t_us);
+    }
+
+    #[test]
+    fn metrics_register_accumulate_and_reset() {
+        let _l = sink_test_lock();
+        reset_metrics();
+        counter("t.hits").inc(2);
+        counter("t.hits").inc(3);
+        gauge("t.level").set(4.5);
+        histogram("t.cost").record(1.0);
+        histogram("t.cost").record(3.0);
+
+        let snap = metrics_snapshot();
+        let find = |n: &str| snap.iter().find(|m| m.name == n).unwrap().clone();
+        match find("t.hits") {
+            MetricSnapshot {
+                value: metrics::MetricValue::Counter(v),
+                ..
+            } => assert_eq!(v, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+        match find("t.level") {
+            MetricSnapshot {
+                value: metrics::MetricValue::Gauge(v),
+                ..
+            } => assert_eq!(v, 4.5),
+            other => panic!("unexpected {other:?}"),
+        }
+        match find("t.cost") {
+            MetricSnapshot {
+                value: metrics::MetricValue::Histogram(h),
+                ..
+            } => {
+                assert_eq!(h.count, 2);
+                assert_eq!(h.sum, 4.0);
+                assert_eq!(h.min, 1.0);
+                assert_eq!(h.max, 3.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        reset_metrics();
+        let snap = metrics_snapshot();
+        for m in snap {
+            match m.value {
+                metrics::MetricValue::Counter(v) => assert_eq!(v, 0),
+                metrics::MetricValue::Gauge(v) => assert_eq!(v, 0.0),
+                metrics::MetricValue::Histogram(h) => assert_eq!(h.count, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn flush_metrics_emits_metric_records() {
+        let _l = sink_test_lock();
+        reset_metrics();
+        let sink = install_memory_sink();
+        counter("t.flush.n").inc(9);
+        flush_metrics();
+        clear_sink();
+        let records = sink.take();
+        let rec = records
+            .iter()
+            .find(|r| {
+                r.name == "metric"
+                    && r.fields
+                        .iter()
+                        .any(|(k, v)| k == "metric" && *v == FieldValue::Str("t.flush.n".into()))
+            })
+            .expect("flushed metric record");
+        assert!(rec
+            .fields
+            .iter()
+            .any(|(k, v)| k == "value" && *v == FieldValue::U64(9)));
+    }
+}

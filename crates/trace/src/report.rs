@@ -1,0 +1,455 @@
+//! Replay a JSON-lines trace into a human-readable campaign summary.
+//!
+//! This is the library behind the `tunio-report` binary: it parses the
+//! records emitted by the instrumented pipeline (see the DESIGN.md trace
+//! section for the emission map) and renders per-generation timing, the
+//! RoTI curve, cache hit rate and the stop reason.
+
+use crate::sink::record_from_json;
+use crate::{FieldValue, Record};
+
+/// Bytes per megabyte (perf fields are bytes/s; reports show MB/s).
+const MB: f64 = 1_000_000.0;
+
+/// One generation row reconstructed from a `ga.generation` span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationRow {
+    /// Generation number (1-based).
+    pub iteration: u64,
+    /// Best perf so far, bytes/s.
+    pub best_perf: f64,
+    /// Best perf within the generation, bytes/s.
+    pub generation_best_perf: f64,
+    /// Simulated tuning cost charged this generation, seconds.
+    pub cost_s: f64,
+    /// Cumulative simulated tuning cost, seconds.
+    pub cumulative_cost_s: f64,
+    /// Parameter-subset size tuned this generation.
+    pub subset_size: u64,
+    /// Real wall time of the generation (span duration), microseconds.
+    pub wall_us: u64,
+}
+
+impl GenerationRow {
+    /// RoTI at this generation given the campaign's default perf:
+    /// MB/s gained per minute of tuning.
+    pub fn roti(&self, default_perf: f64) -> f64 {
+        let minutes = self.cumulative_cost_s / 60.0;
+        if minutes <= 0.0 {
+            return 0.0;
+        }
+        ((self.best_perf - default_perf) / MB) / minutes
+    }
+}
+
+/// One stopper verdict reconstructed from a `stop.decision` event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StopDecision {
+    /// Stopper display name.
+    pub stopper: String,
+    /// Generation the verdict was issued after.
+    pub iteration: u64,
+    /// `true` = stop the campaign.
+    pub stop: bool,
+}
+
+/// Everything the report knows about one campaign in the trace.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignSummary {
+    /// Campaign label (pipeline kind), when the trace carries one.
+    pub label: Option<String>,
+    /// Application name, when the trace carries one.
+    pub app: Option<String>,
+    /// Per-generation rows, in order.
+    pub generations: Vec<GenerationRow>,
+    /// Stopper verdicts, in order.
+    pub decisions: Vec<StopDecision>,
+    /// Perf of the default configuration, bytes/s.
+    pub default_perf: Option<f64>,
+    /// Best perf found, bytes/s.
+    pub best_perf: Option<f64>,
+    /// Whether the stopper fired before the budget.
+    pub stopped_early: Option<bool>,
+    /// Name of the stopper that ended the campaign.
+    pub stopper_name: Option<String>,
+    /// Simulator evaluations performed (cache misses).
+    pub evaluations: Option<u64>,
+    /// Memoized lookups served.
+    pub cache_hits: Option<u64>,
+    /// Campaign wall time, microseconds (from the `campaign` span).
+    pub campaign_wall_us: Option<u64>,
+}
+
+impl CampaignSummary {
+    /// Cache hit rate in [0, 1], when both counters are known.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let (h, e) = (self.cache_hits?, self.evaluations?);
+        let total = h + e;
+        (total > 0).then(|| h as f64 / total as f64)
+    }
+
+    /// Final RoTI, MB/s per minute.
+    pub fn final_roti(&self) -> Option<f64> {
+        let default = self.default_perf?;
+        self.generations.last().map(|g| g.roti(default))
+    }
+
+    /// Peak RoTI over the campaign, MB/s per minute.
+    pub fn peak_roti(&self) -> Option<(u64, f64)> {
+        let default = self.default_perf?;
+        self.generations
+            .iter()
+            .map(|g| (g.iteration, g.roti(default)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// The stop reason: last affirmative decision, or budget exhaustion.
+    pub fn stop_reason(&self) -> String {
+        if let Some(d) = self.decisions.iter().rev().find(|d| d.stop) {
+            return format!("{} stopped after generation {}", d.stopper, d.iteration);
+        }
+        match &self.stopper_name {
+            Some(name) => format!("budget exhausted under stopper {name}"),
+            None => "budget exhausted".to_string(),
+        }
+    }
+}
+
+fn f64_field(r: &Record, key: &str) -> Option<f64> {
+    r.fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            FieldValue::F64(f) => Some(*f),
+            FieldValue::I64(i) => Some(*i as f64),
+            FieldValue::U64(u) => Some(*u as f64),
+            _ => None,
+        })
+}
+
+fn u64_field(r: &Record, key: &str) -> Option<u64> {
+    r.fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            FieldValue::U64(u) => Some(*u),
+            FieldValue::I64(i) => u64::try_from(*i).ok(),
+            FieldValue::F64(f) if f.fract() == 0.0 && *f >= 0.0 => Some(*f as u64),
+            _ => None,
+        })
+}
+
+fn str_field<'a>(r: &'a Record, key: &str) -> Option<&'a str> {
+    r.fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            FieldValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
+}
+
+fn bool_field(r: &Record, key: &str) -> Option<bool> {
+    r.fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            FieldValue::Bool(b) => Some(*b),
+            _ => None,
+        })
+}
+
+/// Parse a JSON-lines trace (one record per non-empty line).
+pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| record_from_json(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+/// Fold a record stream into campaign summaries. A `campaign.done`
+/// event closes the current campaign; traces without one still yield a
+/// single summary from whatever generations and decisions they carry.
+pub fn summarize(records: &[Record]) -> Vec<CampaignSummary> {
+    let mut out: Vec<CampaignSummary> = Vec::new();
+    let mut cur = CampaignSummary::default();
+    let mut open = false;
+
+    for r in records {
+        match r.name.as_str() {
+            "campaign" => {
+                // The campaign span closes *after* campaign.done; attach
+                // its wall time to the most recently closed campaign if
+                // this one is empty, else to the current one.
+                let target = if !open && !out.is_empty() {
+                    out.last_mut().unwrap()
+                } else {
+                    &mut cur
+                };
+                target.label = str_field(r, "kind")
+                    .map(str::to_string)
+                    .or(target.label.take());
+                target.app = str_field(r, "app")
+                    .map(str::to_string)
+                    .or(target.app.take());
+                target.campaign_wall_us = r.dur_us.or(target.campaign_wall_us);
+            }
+            "ga.generation" => {
+                open = true;
+                cur.generations.push(GenerationRow {
+                    iteration: u64_field(r, "iteration").unwrap_or(0),
+                    best_perf: f64_field(r, "best_perf").unwrap_or(0.0),
+                    generation_best_perf: f64_field(r, "generation_best_perf").unwrap_or(0.0),
+                    cost_s: f64_field(r, "cost_s").unwrap_or(0.0),
+                    cumulative_cost_s: f64_field(r, "cumulative_cost_s").unwrap_or(0.0),
+                    subset_size: u64_field(r, "subset_size").unwrap_or(0),
+                    wall_us: r.dur_us.unwrap_or(0),
+                });
+            }
+            "stop.decision" => {
+                open = true;
+                cur.decisions.push(StopDecision {
+                    stopper: str_field(r, "stopper").unwrap_or("?").to_string(),
+                    iteration: u64_field(r, "iteration").unwrap_or(0),
+                    stop: bool_field(r, "stop").unwrap_or(false),
+                });
+            }
+            "campaign.done" => {
+                cur.label = str_field(r, "kind")
+                    .map(str::to_string)
+                    .or(cur.label.take());
+                cur.app = str_field(r, "app").map(str::to_string).or(cur.app.take());
+                cur.default_perf = f64_field(r, "default_perf");
+                cur.best_perf = f64_field(r, "best_perf");
+                cur.stopped_early = bool_field(r, "stopped_early");
+                cur.stopper_name = str_field(r, "stopper_name").map(str::to_string);
+                cur.evaluations = u64_field(r, "evaluations");
+                cur.cache_hits = u64_field(r, "cache_hits");
+                out.push(std::mem::take(&mut cur));
+                open = false;
+            }
+            "metric" => {
+                let target = if !open && !out.is_empty() {
+                    out.last_mut().unwrap()
+                } else {
+                    &mut cur
+                };
+                match str_field(r, "metric") {
+                    Some("tunio.eval.evaluations") => {
+                        target.evaluations = target.evaluations.or(u64_field(r, "value"))
+                    }
+                    Some("tunio.eval.cache_hits") => {
+                        target.cache_hits = target.cache_hits.or(u64_field(r, "value"))
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    if open || (!cur.generations.is_empty() || !cur.decisions.is_empty()) {
+        out.push(cur);
+    }
+    // Derive missing aggregates from the generation rows.
+    for s in &mut out {
+        if s.best_perf.is_none() {
+            s.best_perf = s.generations.last().map(|g| g.best_perf);
+        }
+        if s.default_perf.is_none() {
+            // Without an explicit default, RoTI is relative to the first
+            // generation's starting point — better than nothing.
+            s.default_perf = s.generations.first().map(|g| g.best_perf);
+        }
+    }
+    out
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 2_000_000 {
+        format!("{:.2} s", us as f64 / 1e6)
+    } else if us >= 2_000 {
+        format!("{:.2} ms", us as f64 / 1e3)
+    } else {
+        format!("{us} µs")
+    }
+}
+
+/// Render one campaign summary as plain text.
+pub fn render(s: &CampaignSummary) -> String {
+    let mut out = String::new();
+    let label = s.label.as_deref().unwrap_or("campaign");
+    match &s.app {
+        Some(app) => out.push_str(&format!("== {label} on {app} ==\n")),
+        None => out.push_str(&format!("== {label} ==\n")),
+    }
+
+    let gens = s.generations.len();
+    out.push_str(&format!("generations       : {gens}\n"));
+    if let (Some(best), Some(default)) = (s.best_perf, s.default_perf) {
+        out.push_str(&format!(
+            "best perf         : {:.1} MB/s (default {:.1} MB/s, gain {:.1} MB/s)\n",
+            best / MB,
+            default / MB,
+            (best - default).max(0.0) / MB
+        ));
+    }
+    if let Some(last) = s.generations.last() {
+        out.push_str(&format!(
+            "tuning cost       : {:.1} min simulated\n",
+            last.cumulative_cost_s / 60.0
+        ));
+    }
+    if let Some(wall) = s.campaign_wall_us {
+        out.push_str(&format!("real wall time    : {}\n", fmt_us(wall)));
+    }
+    if let (Some(h), Some(e)) = (s.cache_hits, s.evaluations) {
+        let rate = s.cache_hit_rate().unwrap_or(0.0);
+        out.push_str(&format!(
+            "eval cache        : {h} hits / {e} misses ({:.1}% hit rate)\n",
+            rate * 100.0
+        ));
+    }
+    if let Some(roti) = s.final_roti() {
+        out.push_str(&format!("final RoTI        : {roti:.2} MB/s per min\n"));
+    }
+    if let Some((at, peak)) = s.peak_roti() {
+        out.push_str(&format!(
+            "peak RoTI         : {peak:.2} MB/s per min (generation {at})\n"
+        ));
+    }
+    match s.stopped_early {
+        Some(true) => out.push_str(&format!(
+            "stop reason       : {} (early)\n",
+            s.stop_reason()
+        )),
+        Some(false) => out.push_str(&format!("stop reason       : {}\n", s.stop_reason())),
+        None => {}
+    }
+
+    if gens > 0 {
+        out.push_str(
+            "\n gen | best MB/s | gen-best MB/s | cost s | cum min |   RoTI | subset | wall\n",
+        );
+        out.push_str(
+            "-----+-----------+---------------+--------+---------+--------+--------+------\n",
+        );
+        let default = s.default_perf.unwrap_or(0.0);
+        for g in &s.generations {
+            out.push_str(&format!(
+                "{:>4} | {:>9.1} | {:>13.1} | {:>6.1} | {:>7.2} | {:>6.2} | {:>6} | {}\n",
+                g.iteration,
+                g.best_perf / MB,
+                g.generation_best_perf / MB,
+                g.cost_s,
+                g.cumulative_cost_s / 60.0,
+                g.roti(default),
+                g.subset_size,
+                fmt_us(g.wall_us),
+            ));
+        }
+    }
+
+    let verdicts: Vec<&StopDecision> = s.decisions.iter().filter(|d| d.stop).collect();
+    if !verdicts.is_empty() {
+        out.push_str("\nstop verdicts:\n");
+        for d in verdicts {
+            out.push_str(&format!(
+                "  generation {:>3}: {} → stop\n",
+                d.iteration, d.stopper
+            ));
+        }
+    }
+    out
+}
+
+/// Parse, summarize and render a whole JSON-lines trace.
+pub fn report(text: &str) -> Result<String, String> {
+    let records = parse_jsonl(text)?;
+    let summaries = summarize(&records);
+    if summaries.is_empty() {
+        return Ok("trace contains no campaign records\n".to_string());
+    }
+    Ok(summaries.iter().map(render).collect::<Vec<_>>().join("\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_record(iter: u64, best: f64, cum: f64) -> String {
+        format!(
+            r#"{{"t_us":{},"name":"ga.generation","dur_us":1200,"fields":{{"iteration":{iter},"best_perf":{best},"generation_best_perf":{best},"cost_s":60.0,"cumulative_cost_s":{cum},"subset_size":12}}}}"#,
+            iter * 1000
+        )
+    }
+
+    fn sample_trace() -> String {
+        let lines = [
+            gen_record(1, 100e6, 60.0),
+            gen_record(2, 400e6, 120.0),
+            r#"{"t_us":2500,"name":"stop.decision","fields":{"stopper":"heuristic-5pct-5iter","iteration":2,"stop":true}}"#
+                .to_string(),
+            r#"{"t_us":2600,"name":"campaign.done","fields":{"kind":"TunIO","app":"hacc","best_perf":400e6,"default_perf":100e6,"stopped_early":true,"stopper_name":"heuristic-5pct-5iter","evaluations":30,"cache_hits":70}}"#
+                .to_string(),
+            r#"{"t_us":2700,"name":"campaign","dur_us":9000,"fields":{"kind":"TunIO","app":"hacc"}}"#
+                .to_string(),
+        ];
+        lines.join("\n")
+    }
+
+    #[test]
+    fn summarizes_generations_cache_and_stop() {
+        let records = parse_jsonl(&sample_trace()).unwrap();
+        let sums = summarize(&records);
+        assert_eq!(sums.len(), 1);
+        let s = &sums[0];
+        assert_eq!(s.generations.len(), 2);
+        assert_eq!(s.cache_hit_rate(), Some(0.7));
+        assert_eq!(s.stopped_early, Some(true));
+        assert_eq!(s.campaign_wall_us, Some(9000));
+        // RoTI at generation 2: gained 300 MB/s over 2 minutes = 150.
+        let final_roti = s.final_roti().unwrap();
+        assert!((final_roti - 150.0).abs() < 1e-9, "{final_roti}");
+        assert_eq!(s.peak_roti().unwrap().0, 2);
+        assert!(s.stop_reason().contains("heuristic-5pct-5iter"));
+        assert!(s.stop_reason().contains("generation 2"));
+    }
+
+    #[test]
+    fn renders_all_headline_sections() {
+        let text = report(&sample_trace()).unwrap();
+        for needle in [
+            "TunIO on hacc",
+            "best perf",
+            "eval cache",
+            "70.0% hit rate",
+            "final RoTI",
+            "peak RoTI",
+            "stop reason",
+            "gen | best MB/s",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn traces_without_campaign_done_still_summarize() {
+        let text = format!(
+            "{}\n{}",
+            gen_record(1, 100e6, 60.0),
+            gen_record(2, 150e6, 120.0)
+        );
+        let sums = summarize(&parse_jsonl(&text).unwrap());
+        assert_eq!(sums.len(), 1);
+        assert_eq!(sums[0].generations.len(), 2);
+        // Default falls back to the first generation's best.
+        assert_eq!(sums[0].default_perf, Some(100e6));
+    }
+
+    #[test]
+    fn bad_lines_are_reported_with_line_numbers() {
+        let err = parse_jsonl("{\"t_us\":1,\"name\":\"x\",\"fields\":{}}\nnot json").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+}

@@ -32,9 +32,11 @@ use rayon::prelude::*;
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Instant;
 use tunio_iosim::{noise, RunReport, Simulator};
 use tunio_params::{Configuration, ParameterSpace};
+use tunio_trace as trace;
 use tunio_workloads::Workload;
 
 /// Result of evaluating one configuration.
@@ -71,7 +73,51 @@ pub struct EvalCounters {
 /// Number of cache shards; keys are spread by gene-vector fingerprint.
 const SHARDS: usize = 16;
 
-type Shard = Mutex<HashMap<Vec<usize>, (RunReport, f64)>>;
+/// Rendezvous point for concurrent evaluations of the same gene key:
+/// the first caller simulates, everyone else blocks here — *without*
+/// holding the shard lock — until the result is published.
+#[derive(Debug, Default)]
+struct InFlight {
+    result: StdMutex<Option<(RunReport, f64)>>,
+    ready: Condvar,
+}
+
+impl InFlight {
+    fn wait(&self) -> (RunReport, f64) {
+        let mut guard = self.result.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(v) = *guard {
+                return v;
+            }
+            guard = self.ready.wait(guard).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn publish(&self, value: (RunReport, f64)) {
+        *self.result.lock().unwrap_or_else(|p| p.into_inner()) = Some(value);
+        self.ready.notify_all();
+    }
+}
+
+/// One cache entry: a finished result, or a marker that some thread is
+/// currently simulating this key.
+#[derive(Debug)]
+enum Slot {
+    Ready(RunReport, f64),
+    Pending(Arc<InFlight>),
+}
+
+type Shard = Mutex<HashMap<Vec<usize>, Slot>>;
+
+/// What [`EvalEngine::evaluate`] found when it claimed a key.
+enum Claim {
+    /// Cached result, served immediately.
+    Hit(RunReport, f64),
+    /// Another thread is simulating this key; wait on its guard.
+    Join(Arc<InFlight>),
+    /// This thread inserted the pending marker and must simulate.
+    Claimed(Arc<InFlight>),
+}
 
 /// Thread-safe, memoizing configuration evaluator.
 ///
@@ -94,6 +140,29 @@ pub struct EvalEngine {
     cache_hits: AtomicU64,
     sim_wall_ns: AtomicU64,
     charged_cost_s: Mutex<f64>,
+    m_hits: trace::Counter,
+    m_misses: trace::Counter,
+    m_cost: trace::Histogram,
+    #[cfg(test)]
+    sim_gate: SimGate,
+}
+
+/// Callback installed into a [`SimGate`].
+#[cfg(test)]
+type GateFn = Arc<dyn Fn(&[usize]) + Send + Sync>;
+
+/// Test hook: lets unit tests block inside [`EvalEngine::simulate`] to
+/// prove that concurrent evaluations of *different* keys do not
+/// serialize behind one another.
+#[cfg(test)]
+#[derive(Default)]
+struct SimGate(StdMutex<Option<GateFn>>);
+
+#[cfg(test)]
+impl std::fmt::Debug for SimGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SimGate")
+    }
 }
 
 impl EvalEngine {
@@ -109,6 +178,11 @@ impl EvalEngine {
             cache_hits: AtomicU64::new(0),
             sim_wall_ns: AtomicU64::new(0),
             charged_cost_s: Mutex::new(0.0),
+            m_hits: trace::counter("tunio.eval.cache_hits"),
+            m_misses: trace::counter("tunio.eval.evaluations"),
+            m_cost: trace::histogram("tunio.eval.cost_s"),
+            #[cfg(test)]
+            sim_gate: SimGate::default(),
         }
     }
 
@@ -119,43 +193,96 @@ impl EvalEngine {
     /// Run the simulator for one configuration (no cache involvement).
     /// Pure in `(sim, config, repeats)`; see the module docs.
     fn simulate(&self, config: &Configuration) -> (RunReport, f64) {
+        #[cfg(test)]
+        {
+            let gate = self
+                .sim_gate
+                .0
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone();
+            if let Some(gate) = gate {
+                gate(config.genes());
+            }
+        }
+        let mut span = trace::span("eval.simulate", vec![("repeats", self.repeats.into())]);
         let t0 = Instant::now();
         let phases = self.workload.phases();
         let stack = config.resolve(&self.space);
         let report = self.sim.run_averaged(&phases, &stack, self.repeats);
         self.sim_wall_ns
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        span.add_field("perf", report.perf().into());
+        span.add_field("cost_s", report.elapsed_s.into());
         (report, report.perf())
+    }
+
+    /// Look the key up; if some thread is mid-simulation on it, wait for
+    /// that result instead of recomputing.
+    fn lookup_or_wait(&self, key: &[usize]) -> Option<(RunReport, f64)> {
+        let found = {
+            let shard = self.shards[Self::shard_of(key)].lock();
+            match shard.get(key) {
+                Some(Slot::Ready(report, perf)) => return Some((*report, *perf)),
+                Some(Slot::Pending(inflight)) => Some(inflight.clone()),
+                None => None,
+            }
+        };
+        found.map(|inflight| inflight.wait())
     }
 
     /// Evaluate a single configuration (memoized).
     ///
-    /// The owning cache shard stays locked for the duration of a miss's
-    /// simulation, so concurrent callers presenting the same gene key
-    /// block and then hit the cache: each unique key is simulated at most
-    /// once.
+    /// A miss claims the key with an in-flight marker and releases the
+    /// shard lock *before* simulating, so only callers presenting the
+    /// **same** gene key wait for each other; different keys that happen
+    /// to collide on a shard proceed in parallel. Each unique key is
+    /// still simulated at most once.
     pub fn evaluate(&self, config: &Configuration) -> Evaluation {
         let key = config.genes().to_vec();
-        let mut shard = self.shards[Self::shard_of(&key)].lock();
-        if let Some(&(report, perf)) = shard.get(&key) {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Evaluation {
-                config: config.clone(),
-                report,
-                perf,
-                cost_s: 0.0,
-            };
-        }
-        let (report, perf) = self.simulate(config);
-        shard.insert(key, (report, perf));
-        drop(shard);
-        self.evaluations.fetch_add(1, Ordering::Relaxed);
-        *self.charged_cost_s.lock() += report.elapsed_s;
+        let shard_idx = Self::shard_of(&key);
+
+        let claim = {
+            let mut shard = self.shards[shard_idx].lock();
+            match shard.get(&key) {
+                Some(Slot::Ready(report, perf)) => Claim::Hit(*report, *perf),
+                Some(Slot::Pending(inflight)) => Claim::Join(inflight.clone()),
+                None => {
+                    let inflight = Arc::new(InFlight::default());
+                    shard.insert(key.clone(), Slot::Pending(inflight.clone()));
+                    Claim::Claimed(inflight)
+                }
+            }
+        }; // shard lock released here, before any simulation
+
+        let (report, perf) = match claim {
+            Claim::Hit(report, perf) => (report, perf),
+            Claim::Join(inflight) => inflight.wait(),
+            Claim::Claimed(inflight) => {
+                let (report, perf) = self.simulate(config);
+                self.shards[shard_idx]
+                    .lock()
+                    .insert(key, Slot::Ready(report, perf));
+                inflight.publish((report, perf));
+                self.evaluations.fetch_add(1, Ordering::Relaxed);
+                self.m_misses.inc(1);
+                self.m_cost.record(report.elapsed_s);
+                *self.charged_cost_s.lock() += report.elapsed_s;
+                return Evaluation {
+                    config: config.clone(),
+                    report,
+                    perf,
+                    cost_s: report.elapsed_s,
+                };
+            }
+        };
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.m_hits.inc(1);
         Evaluation {
             config: config.clone(),
             report,
             perf,
-            cost_s: report.elapsed_s,
+            cost_s: 0.0,
         }
     }
 
@@ -196,7 +323,7 @@ impl EvalEngine {
             .map(|(&i, &rp)| {
                 self.shards[Self::shard_of(&keys[i])]
                     .lock()
-                    .insert(keys[i].clone(), rp);
+                    .insert(keys[i].clone(), Slot::Ready(rp.0, rp.1));
                 (keys[i].as_slice(), rp)
             })
             .collect();
@@ -207,19 +334,20 @@ impl EvalEngine {
             let key = keys[i].as_slice();
             let (report, perf) = match fresh_results.get(key) {
                 Some(&rp) => rp,
-                None => self.shards[Self::shard_of(key)]
-                    .lock()
-                    .get(key)
-                    .copied()
+                None => self
+                    .lookup_or_wait(key)
                     .expect("key was cached before the batch"),
             };
             let charged_here = fresh.binary_search(&i).is_ok();
             let cost_s = if charged_here {
                 self.evaluations.fetch_add(1, Ordering::Relaxed);
+                self.m_misses.inc(1);
+                self.m_cost.record(report.elapsed_s);
                 charged += report.elapsed_s;
                 report.elapsed_s
             } else {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.m_hits.inc(1);
                 0.0
             };
             out.push(Evaluation {
@@ -365,6 +493,71 @@ mod tests {
         assert_eq!(c.cache_hits, 1);
         assert_eq!(c.charged_cost_s, e.cost_s);
         assert!(c.sim_wall_s > 0.0);
+    }
+
+    /// Regression test for the shard-lock contention bug: `evaluate`
+    /// used to hold the shard mutex across the entire simulation, so an
+    /// unrelated key colliding on the same shard serialized behind a
+    /// full multi-run simulation. Blocks key A *inside* the simulator
+    /// via the test gate, then requires a different same-shard key B to
+    /// complete while A is still simulating.
+    #[test]
+    fn different_keys_on_same_shard_do_not_serialize() {
+        use std::sync::mpsc;
+        use std::time::Duration;
+
+        let ev = engine();
+        let a = ev.space.default_config();
+        let a_key = a.genes().to_vec();
+        let shard = EvalEngine::shard_of(&a_key);
+
+        // Find a second configuration with a different key on A's shard.
+        let mut b = None;
+        'outer: for p in tunio_params::ParamId::ALL {
+            for v in 0..ev.space.cardinality(p) {
+                let mut c = ev.space.default_config();
+                c.set_gene(p, v);
+                if c.genes() != a_key.as_slice() && EvalEngine::shard_of(c.genes()) == shard {
+                    b = Some(c);
+                    break 'outer;
+                }
+            }
+        }
+        let b = b.expect("some single-gene mutant shares the default's shard");
+
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = std::sync::Mutex::new(release_rx);
+        let gate_key = a_key.clone();
+        *ev.sim_gate.0.lock().unwrap() = Some(Arc::new(move |key: &[usize]| {
+            if key == gate_key.as_slice() {
+                entered_tx.send(()).expect("test alive");
+                release_rx.lock().unwrap().recv().expect("release signal");
+            }
+        }));
+
+        std::thread::scope(|s| {
+            let ta = s.spawn(|| ev.evaluate(&a));
+            // A is now mid-simulation with its in-flight marker planted.
+            entered_rx.recv().expect("A entered the simulator");
+
+            let (done_tx, done_rx) = mpsc::channel();
+            let evr = &ev;
+            let bb = b.clone();
+            s.spawn(move || {
+                done_tx.send(evr.evaluate(&bb).perf).ok();
+            });
+            let perf_b = done_rx.recv_timeout(Duration::from_secs(30)).expect(
+                "different-key evaluation on the same shard must proceed \
+                 while another key's simulation is in flight",
+            );
+            assert!(perf_b > 0.0);
+
+            release_tx.send(()).expect("release A");
+            assert!(ta.join().unwrap().perf > 0.0);
+        });
+        assert_eq!(ev.evaluations(), 2, "both keys simulated exactly once");
+        assert_eq!(ev.cache_hits(), 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use tunio_params::Configuration;
+use tunio_trace as trace;
 
 /// Crossover operator variants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -165,6 +166,17 @@ impl GaTuner {
         let pop_size = self.cfg.population.max(2);
         let mut population: Vec<Configuration> = Vec::new();
 
+        let mut campaign_span = trace::span(
+            "ga.campaign",
+            vec![
+                ("population", pop_size.into()),
+                ("max_iterations", self.cfg.max_iterations.into()),
+                ("seed", self.cfg.seed.into()),
+                ("stopper", stopper.name().into()),
+                ("subsets", subsets.name().into()),
+            ],
+        );
+
         let default_perf = engine.evaluate(&space.default_config()).perf;
 
         let mut best_config = space.default_config();
@@ -174,6 +186,7 @@ impl GaTuner {
         let mut stopped_early = false;
 
         for iteration in 1..=self.cfg.max_iterations {
+            let mut gen_span = trace::span("ga.generation", vec![("iteration", iteration.into())]);
             let subset = {
                 let s = subsets.next_subset(iteration, best_perf, &space);
                 if s.is_empty() {
@@ -225,6 +238,11 @@ impl GaTuner {
                 cumulative_cost_s: cumulative,
                 subset_size: subset.len(),
             });
+            gen_span.add_field("best_perf", best_perf.into());
+            gen_span.add_field("generation_best_perf", gen_best.into());
+            gen_span.add_field("cost_s", gen_cost.into());
+            gen_span.add_field("cumulative_cost_s", cumulative.into());
+            gen_span.add_field("subset_size", subset.len().into());
 
             subsets.feedback(&subset, best_perf);
             if stopper.should_stop(iteration, best_perf) {
@@ -233,12 +251,13 @@ impl GaTuner {
             }
 
             // Breed the next generation: elitism + tournament offspring.
-            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0));
             let mut next: Vec<Configuration> = scored
                 .iter()
                 .take(self.cfg.elite.min(scored.len()))
                 .map(|(_, c)| c.clone())
                 .collect();
+            let elite_n = next.len();
             while next.len() < pop_size {
                 let (p1, p2) = self.tournament_parents(&scored);
                 let mut child = match self.cfg.crossover {
@@ -255,8 +274,23 @@ impl GaTuner {
                 child.mutate_masked(&space, &subset, self.cfg.mutation_rate, &mut self.rng);
                 next.push(child);
             }
+            trace::counter("tunio.ga.offspring").inc((pop_size - elite_n) as u64);
+            trace::event(
+                "ga.breed",
+                vec![
+                    ("iteration", iteration.into()),
+                    ("elite", elite_n.into()),
+                    ("offspring", (pop_size - elite_n).into()),
+                    ("tournament", self.cfg.tournament.into()),
+                    ("mutation_rate", self.cfg.mutation_rate.into()),
+                ],
+            );
             population = next;
         }
+
+        campaign_span.add_field("best_perf", best_perf.into());
+        campaign_span.add_field("stopped_early", stopped_early.into());
+        drop(campaign_span);
 
         TuningTrace {
             records,
@@ -275,10 +309,11 @@ impl GaTuner {
         scored: &'a [(f64, Configuration)],
     ) -> (&'a Configuration, &'a Configuration) {
         let k = self.cfg.tournament.max(2).min(scored.len());
+        trace::counter("tunio.ga.tournaments").inc(1);
         let mut picks: Vec<&(f64, Configuration)> = (0..k)
             .map(|_| &scored[self.rng.gen_range(0..scored.len())])
             .collect();
-        picks.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        picks.sort_by(|a, b| b.0.total_cmp(&a.0));
         (&picks[0].1, &picks[1].1)
     }
 }

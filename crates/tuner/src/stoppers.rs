@@ -1,4 +1,10 @@
 //! Termination conditions for the tuning pipeline.
+//!
+//! Every stopper emits a `stop.decision` trace event per verdict
+//! (except [`NoStop`], which by definition never has anything to say),
+//! so campaign traces record *who* decided to stop and *when*.
+
+use tunio_trace as trace;
 
 /// Decides whether tuning should stop after each generation.
 pub trait Stopper {
@@ -6,8 +12,9 @@ pub trait Stopper {
     /// achieved so far; `true` stops the pipeline.
     fn should_stop(&mut self, iteration: u32, best_perf: f64) -> bool;
 
-    /// Display name for reports.
-    fn name(&self) -> &'static str;
+    /// Display name for reports. Borrowed from the stopper so
+    /// configurable stoppers can reflect their actual configuration.
+    fn name(&self) -> &str;
 }
 
 /// Never stops (runs the full budget) — the "HSTuner No Stop" baseline.
@@ -18,7 +25,7 @@ impl Stopper for NoStop {
     fn should_stop(&mut self, _iteration: u32, _best_perf: f64) -> bool {
         false
     }
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "no-stop"
     }
 }
@@ -33,6 +40,9 @@ pub struct HeuristicStop {
     /// Window length in iterations (5 in the paper).
     pub window: u32,
     history: Vec<f64>,
+    /// Display name reflecting the actual configuration, e.g.
+    /// `heuristic-5pct-5iter` or `heuristic-2.5pct-8iter`.
+    name: String,
 }
 
 impl HeuristicStop {
@@ -43,29 +53,59 @@ impl HeuristicStop {
 
     /// Custom threshold/window.
     pub fn new(threshold: f64, window: u32) -> Self {
+        let window = window.max(1);
+        let pct = threshold * 100.0;
+        // Print "5" not "5.000000000000001" for thresholds that are
+        // whole percentages after the f64 multiply.
+        let pct = if (pct - pct.round()).abs() < 1e-9 {
+            format!("{}", pct.round() as i64)
+        } else {
+            format!("{pct}")
+        };
         HeuristicStop {
             threshold,
-            window: window.max(1),
+            window,
             history: Vec::new(),
+            name: format!("heuristic-{pct}pct-{window}iter"),
         }
     }
 }
 
 impl Stopper for HeuristicStop {
-    fn should_stop(&mut self, _iteration: u32, best_perf: f64) -> bool {
+    fn should_stop(&mut self, iteration: u32, best_perf: f64) -> bool {
         self.history.push(best_perf);
         let w = self.window as usize;
-        if self.history.len() <= w {
-            return false;
+        let verdict = if self.history.len() <= w {
+            false
+        } else {
+            let past = self.history[self.history.len() - 1 - w];
+            past > 0.0 && (best_perf - past) / past < self.threshold
+        };
+        if trace::enabled() {
+            let windowed_gain = if self.history.len() > w {
+                let past = self.history[self.history.len() - 1 - w];
+                if past > 0.0 {
+                    (best_perf - past) / past
+                } else {
+                    0.0
+                }
+            } else {
+                0.0
+            };
+            trace::event(
+                "stop.decision",
+                vec![
+                    ("stopper", self.name().into()),
+                    ("iteration", iteration.into()),
+                    ("stop", verdict.into()),
+                    ("windowed_gain", windowed_gain.into()),
+                ],
+            );
         }
-        let past = self.history[self.history.len() - 1 - w];
-        if past <= 0.0 {
-            return false;
-        }
-        (best_perf - past) / past < self.threshold
+        verdict
     }
-    fn name(&self) -> &'static str {
-        "heuristic-5pct-5iter"
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -78,9 +118,18 @@ pub struct BudgetStop {
 
 impl Stopper for BudgetStop {
     fn should_stop(&mut self, iteration: u32, _best_perf: f64) -> bool {
-        iteration >= self.max_iterations
+        let verdict = iteration >= self.max_iterations;
+        trace::event(
+            "stop.decision",
+            vec![
+                ("stopper", "budget".into()),
+                ("iteration", iteration.into()),
+                ("stop", verdict.into()),
+            ],
+        );
+        verdict
     }
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "budget"
     }
 }
@@ -95,10 +144,19 @@ pub struct MaxPerfStop {
 }
 
 impl Stopper for MaxPerfStop {
-    fn should_stop(&mut self, _iteration: u32, best_perf: f64) -> bool {
-        best_perf >= self.target
+    fn should_stop(&mut self, iteration: u32, best_perf: f64) -> bool {
+        let verdict = best_perf >= self.target;
+        trace::event(
+            "stop.decision",
+            vec![
+                ("stopper", "max-perf-oracle".into()),
+                ("iteration", iteration.into()),
+                ("stop", verdict.into()),
+            ],
+        );
+        verdict
     }
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "max-perf-oracle"
     }
 }
@@ -158,6 +216,26 @@ mod tests {
         }
         let at = stopped_at.expect("heuristic should stop in the plateau");
         assert!((10..=16).contains(&at), "stopped at {at}");
+    }
+
+    /// Regression test: `name()` used to hardcode
+    /// `"heuristic-5pct-5iter"` for every configuration, mislabeling
+    /// traces and reports of custom-threshold stoppers.
+    #[test]
+    fn heuristic_name_reflects_configuration() {
+        assert_eq!(
+            HeuristicStop::paper_default().name(),
+            "heuristic-5pct-5iter"
+        );
+        assert_eq!(HeuristicStop::new(0.05, 5).name(), "heuristic-5pct-5iter");
+        assert_eq!(HeuristicStop::new(0.02, 8).name(), "heuristic-2pct-8iter");
+        assert_eq!(HeuristicStop::new(0.10, 3).name(), "heuristic-10pct-3iter");
+        assert_eq!(
+            HeuristicStop::new(0.025, 4).name(),
+            "heuristic-2.5pct-4iter"
+        );
+        // window is clamped to ≥1 and the name must agree.
+        assert_eq!(HeuristicStop::new(0.05, 0).name(), "heuristic-5pct-1iter");
     }
 
     #[test]
