@@ -6,20 +6,77 @@
 //! the artifact; locally it doubles as a smoke test:
 //!
 //! ```text
-//! cargo run -p tunio-bench --bin trace_campaign --release [-- <out.jsonl>]
+//! cargo run -p tunio-bench --bin trace_campaign --release -- \
+//!     [<out.jsonl>] [--profile-out <profile.json>] [--metrics-addr HOST:PORT]
 //! ```
+//!
+//! `--profile-out` writes the campaign's per-layer attribution profile as
+//! JSON (the input format of `tunio-profile`); `--metrics-addr` serves
+//! live Prometheus-style metrics for the duration of the run.
 
 use tunio::pipeline::{run_campaign, CampaignSpec, PipelineKind};
 use tunio_bench::results_dir;
 use tunio_trace::report;
 use tunio_workloads::{hacc, Variant};
 
+struct Args {
+    trace_path: std::path::PathBuf,
+    profile_out: Option<std::path::PathBuf>,
+    metrics_addr: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        trace_path: std::env::var("TUNIO_TRACE_PATH")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|_| results_dir().join("trace_campaign.jsonl")),
+        profile_out: None,
+        metrics_addr: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--profile-out" => {
+                i += 1;
+                let v = argv.get(i).unwrap_or_else(|| {
+                    eprintln!("--profile-out needs a value");
+                    std::process::exit(2);
+                });
+                args.profile_out = Some(std::path::PathBuf::from(v));
+            }
+            "--metrics-addr" => {
+                i += 1;
+                let v = argv.get(i).unwrap_or_else(|| {
+                    eprintln!("--metrics-addr needs a value");
+                    std::process::exit(2);
+                });
+                args.metrics_addr = Some(v.clone());
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`");
+                std::process::exit(2);
+            }
+            path => args.trace_path = std::path::PathBuf::from(path),
+        }
+        i += 1;
+    }
+    args
+}
+
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .or_else(|| std::env::var("TUNIO_TRACE_PATH").ok())
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| results_dir().join("trace_campaign.jsonl"));
+    let args = parse_args();
+    let path = args.trace_path;
+
+    // Keep the handle alive for the whole campaign; Drop stops the thread.
+    let _metrics_server = args.metrics_addr.as_deref().map(|addr| {
+        let server = tunio_trace::MetricsServer::serve(addr).unwrap_or_else(|e| {
+            eprintln!("error: cannot bind metrics server on {addr}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[metrics on http://{}/metrics]", server.addr());
+        server
+    });
 
     if let Err(e) = tunio_trace::install_jsonl_sink(&path) {
         eprintln!("error: cannot open trace sink {}: {e}", path.display());
@@ -58,6 +115,21 @@ fn main() {
     let summaries = report::summarize(&records);
     for s in &summaries {
         print!("{}", report::render(s));
+    }
+
+    // Per-layer attribution for the whole campaign, straight from the
+    // engine's profile (the trace-derived table above only covers traced
+    // generations; this one is exact).
+    println!("campaign attribution profile:");
+    print!("{}", outcome.profile.render_table());
+    print!("{}", outcome.profile.render_tree());
+
+    if let Some(out) = args.profile_out {
+        if let Err(e) = std::fs::write(&out, outcome.profile.to_json()) {
+            eprintln!("error: cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+        eprintln!("[wrote {}]", out.display());
     }
 
     // Smoke checks: the trace must cover every generation the campaign ran.

@@ -4,7 +4,7 @@
 //! tunio-tune --app hacc [--pipeline tunio|hstuner|hstuner-heuristic|
 //!            impact-first|rl-stop] [--variant full|kernel|reduced:<frac>]
 //!            [--iterations N] [--population N] [--seed N] [--large-scale]
-//!            [--xml-out FILE] [--quiet]
+//!            [--xml-out FILE] [--metrics-addr HOST:PORT] [--quiet]
 //! ```
 //!
 //! Prints per-generation progress and the tuned configuration, optionally
@@ -27,6 +27,7 @@ struct Args {
     seed: u64,
     large_scale: bool,
     xml_out: Option<String>,
+    metrics_addr: Option<String>,
     quiet: bool,
 }
 
@@ -36,7 +37,8 @@ fn usage() -> ExitCode {
          \x20      [--pipeline tunio|hstuner|hstuner-heuristic|impact-first|rl-stop]\n\
          \x20      [--variant full|kernel|reduced:<fraction>]\n\
          \x20      [--iterations N] [--population N] [--seed N]\n\
-         \x20      [--large-scale] [--xml-out FILE] [--quiet]"
+         \x20      [--large-scale] [--xml-out FILE]\n\
+         \x20      [--metrics-addr HOST:PORT] [--quiet]"
     );
     ExitCode::from(2)
 }
@@ -51,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 0,
         large_scale: false,
         xml_out: None,
+        metrics_addr: None,
         quiet: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -108,6 +111,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--large-scale" => args.large_scale = true,
             "--xml-out" => args.xml_out = Some(value(&argv, &mut i, "--xml-out")?),
+            "--metrics-addr" => args.metrics_addr = Some(value(&argv, &mut i, "--metrics-addr")?),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -134,6 +138,24 @@ fn main() -> ExitCode {
     let Some(app) = all_apps().into_iter().find(|a| a.name == args.app) else {
         eprintln!("unknown application `{}`", args.app);
         return usage();
+    };
+
+    // Keep the server handle alive for the whole campaign; dropping it
+    // stops the background thread.
+    let _metrics_server = match args.metrics_addr.as_deref() {
+        Some(addr) => match tunio_trace::MetricsServer::serve(addr) {
+            Ok(server) => {
+                if !args.quiet {
+                    eprintln!("serving metrics on http://{}/metrics", server.addr());
+                }
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("cannot bind metrics server on {addr}: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => None,
     };
 
     let spec = CampaignSpec {

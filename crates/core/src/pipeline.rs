@@ -66,6 +66,9 @@ pub struct CampaignOutcome {
     pub kind: PipelineKind,
     /// The tuning trace (per-iteration perf and cost).
     pub trace: TuningTrace,
+    /// Per-layer cost attribution pooled over every charged evaluation
+    /// (see [`tunio_iosim::Profile`]).
+    pub profile: tunio_iosim::Profile,
 }
 
 /// Run one campaign.
@@ -121,6 +124,7 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignOutcome {
     CampaignOutcome {
         kind: spec.kind,
         trace,
+        profile: engine.profile_snapshot(),
     }
 }
 
@@ -260,6 +264,25 @@ mod tests {
     }
 
     #[test]
+    fn campaign_outcome_carries_attribution_profile() {
+        let out = run_campaign(&spec(PipelineKind::HsTunerNoStop, 5));
+        let p = &out.profile;
+        let total = p.total_time_s();
+        assert!(total > 0.0, "campaign must charge some simulated time");
+        // The layer partition is exact: io + compute + mds == total.
+        let compute = p.get(tunio_iosim::Layer::Compute).self_s;
+        let mds = p.get(tunio_iosim::Layer::Mds).self_s;
+        let parts = p.io_time_s() + compute + mds;
+        assert!(
+            (parts - total).abs() < 1e-9 * total,
+            "partition {parts} vs total {total}"
+        );
+        // A HACC checkpoint campaign spends real time in the data path.
+        // (The kernel variant has no compute phases, so only I/O is required.)
+        assert!(p.io_time_s() > 0.0);
+    }
+
+    #[test]
     fn labels_are_distinct() {
         let kinds = [
             PipelineKind::HsTunerNoStop,
@@ -309,6 +332,7 @@ pub fn run_campaign_with(tunio: &mut crate::TunIo, spec: &CampaignSpec) -> Campa
     CampaignOutcome {
         kind: PipelineKind::TunIo,
         trace,
+        profile: engine.profile_snapshot(),
     }
 }
 

@@ -1,0 +1,81 @@
+//! tunio-profile: inspect and diff per-layer cost-attribution profiles.
+//!
+//! ```text
+//! tunio-profile <profile.json>                 # attribution table + tree
+//! tunio-profile --diff <base.json> <cur.json> [--tolerance 0.15]
+//! ```
+//!
+//! In `--diff` mode the exit code is 1 when any layer regressed beyond the
+//! tolerance — suitable as a CI perf-regression gate.
+
+use std::process::ExitCode;
+
+use tunio_iosim::{compare_profiles, render_diff, Profile};
+
+const USAGE: &str = "usage: tunio-profile <profile.json>\n       \
+                     tunio-profile --diff <base.json> <current.json> [--tolerance 0.15]";
+
+fn load(path: &str) -> Result<Profile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Profile::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    match args {
+        [path] if path != "--diff" => {
+            let profile = load(path)?;
+            print!("{}", profile.render_table());
+            println!();
+            print!("{}", profile.render_tree());
+            Ok(ExitCode::SUCCESS)
+        }
+        [flag, rest @ ..] if flag == "--diff" => {
+            let (paths, tolerance) = match rest {
+                [base, cur] => ([base, cur], 0.15),
+                [base, cur, tol_flag, tol] if tol_flag == "--tolerance" => (
+                    [base, cur],
+                    tol.parse::<f64>()
+                        .map_err(|e| format!("--tolerance: {e}"))?,
+                ),
+                _ => return Err(USAGE.to_string()),
+            };
+            let base = load(paths[0])?;
+            let current = load(paths[1])?;
+            let deltas = compare_profiles(&base, &current, tolerance);
+            print!("{}", render_diff(&deltas));
+            let regressions: Vec<_> = deltas.iter().filter(|d| d.regressed).collect();
+            if regressions.is_empty() {
+                println!("ok: no layer regressed beyond {:.0}%", tolerance * 100.0);
+                Ok(ExitCode::SUCCESS)
+            } else {
+                println!(
+                    "FAIL: {} layer(s) regressed beyond {:.0}%:",
+                    regressions.len(),
+                    tolerance * 100.0
+                );
+                for d in regressions {
+                    println!(
+                        "  {}: {:.3} s -> {:.3} s ({:+.1}%)",
+                        d.layer.as_str(),
+                        d.base_s,
+                        d.current_s,
+                        d.pct_change()
+                    );
+                }
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -43,6 +43,15 @@ impl BurstBufferSpec {
             drain_bw: 0.5 * GIB,
         }
     }
+
+    /// Time to ingest `bytes` across `nodes` node-local buffers, seconds.
+    pub fn ingest_time(&self, nodes: u32, bytes: f64) -> f64 {
+        if bytes > 0.0 {
+            bytes / (self.ingest_bw_per_node * nodes as f64)
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Mutable drain state threaded through one run.
@@ -65,12 +74,7 @@ impl BurstBufferState {
         let free = (total_capacity - self.occupied).max(0.0);
         let absorbed = bytes.min(free);
         self.occupied += absorbed;
-        let time = if absorbed > 0.0 {
-            absorbed / (spec.ingest_bw_per_node * nodes as f64)
-        } else {
-            0.0
-        };
-        (absorbed, time)
+        (absorbed, spec.ingest_time(nodes, absorbed))
     }
 
     /// Drain during `seconds` of compute time.

@@ -61,10 +61,17 @@ impl DarshanLog {
     }
 
     /// The dataset that consumed the most I/O time (the tuning target).
+    /// Deterministic: ties break to the lexicographically smallest dataset
+    /// name, and NaN times are handled by IEEE total order instead of
+    /// panicking.
     pub fn hottest_dataset(&self) -> Option<(&str, &DatasetCounters)> {
         self.records
             .iter()
-            .max_by(|a, b| a.1.io_time_s.partial_cmp(&b.1.io_time_s).unwrap())
+            .max_by(|a, b| {
+                a.1.io_time_s
+                    .total_cmp(&b.1.io_time_s)
+                    .then_with(|| b.0.cmp(a.0))
+            })
             .map(|(k, v)| (k.as_str(), v))
     }
 
@@ -222,6 +229,44 @@ mod tests {
         assert!(s.contains("checkpoint"));
         assert!(s.contains("input"));
         assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    fn bandwidth_is_zero_not_nan_for_zero_time() {
+        let c = DatasetCounters {
+            bytes_written: 1e9,
+            ..Default::default()
+        };
+        assert_eq!(c.io_time_s, 0.0);
+        let bw = c.bandwidth();
+        assert!(bw.is_finite());
+        assert_eq!(bw, 0.0);
+        // A fully-zero record is also finite everywhere.
+        let z = DatasetCounters::default();
+        assert_eq!(z.bandwidth(), 0.0);
+    }
+
+    #[test]
+    fn hottest_dataset_tie_breaks_deterministically() {
+        let mut log = DarshanLog::default();
+        let tied = DatasetCounters {
+            io_time_s: 2.0,
+            ..Default::default()
+        };
+        log.records.insert("zeta".into(), tied);
+        log.records.insert("alpha".into(), tied);
+        log.records.insert(
+            "mid".into(),
+            DatasetCounters {
+                io_time_s: 1.0,
+                ..Default::default()
+            },
+        );
+        // Exact tie on io_time_s: the lexicographically smallest name wins,
+        // every time.
+        for _ in 0..4 {
+            assert_eq!(log.hottest_dataset().unwrap().0, "alpha");
+        }
     }
 
     #[test]

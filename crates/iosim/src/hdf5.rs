@@ -33,6 +33,20 @@ pub struct LibraryTraffic {
     pub amplification: f64,
 }
 
+impl LibraryTraffic {
+    /// Fraction of the downstream transfer attributable to the library
+    /// layer's own read-modify-write amplification: `1 - 1/amplification`.
+    /// Zero when the chunk cache covers the working set — the library is
+    /// then a pass-through and charges no self time.
+    pub fn amplified_share(&self) -> f64 {
+        if self.amplification > 1.0 {
+            1.0 - 1.0 / self.amplification
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Metadata workload after library-layer transformation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetadataTraffic {
@@ -159,6 +173,23 @@ mod tests {
         big_cfg.chunk_cache = 1024 * 1024 * 1024;
         let covered = raw_data_traffic(&p, &big_cfg);
         assert_eq!(covered.amplification, 1.0);
+    }
+
+    #[test]
+    fn amplified_share_matches_amplification() {
+        let passthrough = LibraryTraffic {
+            per_proc_bytes: 1.0,
+            ops_per_proc: 1.0,
+            amplification: 1.0,
+        };
+        assert_eq!(passthrough.amplified_share(), 0.0);
+        let amplified = LibraryTraffic {
+            amplification: 1.6,
+            ..passthrough
+        };
+        // 1.6x traffic → 37.5% of the downstream bytes are the library's
+        // own doing.
+        assert!((amplified.amplified_share() - 0.375).abs() < 1e-12);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod hdf5;
 pub mod lustre;
 pub mod mpiio;
 pub mod noise;
+pub mod profile;
 pub mod report;
 pub mod request;
 pub mod sim;
@@ -44,6 +45,7 @@ pub use burst::BurstBufferSpec;
 pub use cluster::ClusterSpec;
 pub use darshan::{DarshanLog, DatasetCounters};
 pub use lustre::LustreSpec;
+pub use profile::{compare_profiles, render_diff, Layer, LayerDelta, LayerStat, Profile, TreeRow};
 pub use report::RunReport;
 pub use request::{AccessPattern, IoKind, IoPhase, Phase};
 pub use sim::Simulator;

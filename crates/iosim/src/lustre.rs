@@ -119,6 +119,23 @@ impl LustreSpec {
         streams: u64,
         efficiency: f64,
     ) -> f64 {
+        let (stream_time, overhead_time) =
+            self.transfer_breakdown(bytes, requests, osts, streams, efficiency);
+        stream_time + overhead_time
+    }
+
+    /// [`LustreSpec::transfer_time`] split into its two cost components:
+    /// `(stream_time, rpc_time)` — OST data streaming vs. per-request
+    /// service overhead. Their sum is exactly the transfer time; the
+    /// attribution profiler charges them to separate layers.
+    pub fn transfer_breakdown(
+        &self,
+        bytes: f64,
+        requests: f64,
+        osts: u32,
+        streams: u64,
+        efficiency: f64,
+    ) -> (f64, f64) {
         let osts = osts.max(1);
         let raw_bw = self.ost_bw * osts as f64;
         let eff = efficiency.clamp(0.01, 1.0) * self.contention_efficiency(streams, osts);
@@ -127,7 +144,7 @@ impl LustreSpec {
         // in flight) and concurrent client streams.
         let parallelism = (osts as f64 * 4.0).min(streams.max(1) as f64).max(1.0);
         let overhead_time = requests * self.request_overhead / parallelism;
-        stream_time + overhead_time
+        (stream_time, overhead_time)
     }
 
     /// Time for `ops` metadata operations at concurrency `clients`, scaled
@@ -203,6 +220,14 @@ mod tests {
         let small_many = fs.transfer_time(1e6, 1e5, 4, 4, 1.0);
         let big_few = fs.transfer_time(1e6, 10.0, 4, 4, 1.0);
         assert!(small_many > 10.0 * big_few);
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_transfer_time() {
+        let fs = LustreSpec::test_small();
+        let (stream, rpc) = fs.transfer_breakdown(1e9, 5000.0, 4, 8, 0.7);
+        assert!(stream > 0.0 && rpc > 0.0);
+        assert_eq!(stream + rpc, fs.transfer_time(1e9, 5000.0, 4, 8, 0.7));
     }
 
     #[test]

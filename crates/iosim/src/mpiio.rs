@@ -27,6 +27,9 @@ pub struct FsWorkload {
     pub streams: u64,
     /// Network shuffle time paid before/after storage access, seconds.
     pub shuffle_time: f64,
+    /// Bytes moved node-to-node by the two-phase shuffle (0 when the
+    /// middleware passes requests through).
+    pub shuffled_bytes: f64,
     /// Residual irregularity presented to the PFS in `[0, 1]`.
     pub irregularity: f64,
     /// Whether two-phase collective aggregation was actually used.
@@ -65,6 +68,7 @@ pub fn middleware(
             request_size: total_bytes / fs_requests,
             streams: cluster.procs as u64,
             shuffle_time: 0.0,
+            shuffled_bytes: 0.0,
             irregularity,
             aggregated: false,
         };
@@ -96,6 +100,7 @@ pub fn middleware(
         request_size,
         streams: aggregators as u64,
         shuffle_time,
+        shuffled_bytes,
         irregularity: irregularity * 0.08,
         aggregated: true,
     }
@@ -143,6 +148,7 @@ mod tests {
         assert!(!fs.aggregated);
         assert_eq!(fs.streams, 128);
         assert_eq!(fs.shuffle_time, 0.0);
+        assert_eq!(fs.shuffled_bytes, 0.0);
         assert_eq!(fs.fs_requests, 4096.0 * 128.0);
     }
 
@@ -158,6 +164,8 @@ mod tests {
         assert!(fs.aggregated);
         assert_eq!(fs.streams, 4);
         assert!(fs.shuffle_time > 0.0);
+        // 4 nodes: 3/4 of the bytes change nodes during the shuffle.
+        assert!((fs.shuffled_bytes - fs.total_bytes * 0.75).abs() < 1.0);
         assert!(fs.fs_requests < 1000.0);
         assert!(fs.irregularity < p.pattern.irregularity() / 2.0);
     }

@@ -90,6 +90,20 @@ impl RunReport {
 
     /// Average several runs of the same workload (the paper averages three
     /// runs per configuration to mitigate volatility).
+    ///
+    /// Semantics: **time-weighted pooling**, not a mean of derived rates.
+    /// Every raw counter (times, bytes, ops) is summed across runs and
+    /// divided by the run count, so derived quantities like
+    /// [`RunReport::perf`] are computed from pooled totals:
+    /// `pooled_bytes / pooled_time`. For runs of unequal `elapsed_s` this
+    /// deliberately differs from averaging each run's bandwidth — a slow
+    /// run carries proportionally more weight, exactly as it would if the
+    /// runs were one long execution. This matches the paper's methodology
+    /// (bandwidth observed over repeated runs) and keeps `average` linear
+    /// in its inputs, which [`crate::Profile::average`] relies on to stay
+    /// consistent with the report it accompanies.
+    ///
+    /// An empty slice returns the zero report.
     pub fn average(reports: &[RunReport]) -> RunReport {
         let n = reports.len().max(1) as f64;
         let mut acc = RunReport::default();
@@ -167,5 +181,33 @@ mod tests {
         a.absorb(&write_only());
         assert_eq!(a.bytes_written, 100e9);
         assert_eq!(a.elapsed_s, 20.0);
+    }
+
+    #[test]
+    fn average_of_unequal_runs_pools_time_weighted() {
+        // Same bytes, one run 4x slower: pooled bandwidth is
+        // 100e9 / 25 = 4e9, NOT the mean of per-run bandwidths
+        // (10e9 + 2.5e9) / 2 = 6.25e9. The slow run dominates, as it
+        // would in one long execution.
+        let fast = write_only(); // 50e9 bytes in 5 s of I/O
+        let slow = RunReport {
+            elapsed_s: 40.0,
+            io_time_s: 20.0,
+            ..write_only()
+        };
+        let avg = RunReport::average(&[fast, slow]);
+        assert!((avg.io_time_s - 12.5).abs() < 1e-12);
+        assert!((avg.bytes_written - 50e9).abs() < 1.0);
+        assert!((avg.write_bw() - 4e9).abs() < 1.0);
+        let mean_of_bw = (fast.write_bw() + slow.write_bw()) / 2.0;
+        assert!((mean_of_bw - 6.25e9).abs() < 1.0, "sanity: rates differ");
+        assert!((avg.write_bw() - mean_of_bw).abs() > 1e9);
+    }
+
+    #[test]
+    fn average_of_empty_slice_is_zero_report() {
+        let avg = RunReport::average(&[]);
+        assert_eq!(avg, RunReport::default());
+        assert_eq!(avg.perf(), 0.0);
     }
 }

@@ -6,6 +6,7 @@ use crate::hdf5;
 use crate::lustre::LustreSpec;
 use crate::mpiio;
 use crate::noise::{fingerprint, NoiseModel};
+use crate::profile::{Layer, Profile};
 use crate::report::RunReport;
 use crate::request::{IoKind, Phase};
 use tunio_params::{Configuration, ParameterSpace, StackConfig};
@@ -75,19 +76,33 @@ impl Simulator {
 
     /// Execute `phases` once under `cfg`; `run_idx` selects the noise draw.
     pub fn run(&self, phases: &[Phase], cfg: &StackConfig, run_idx: u32) -> RunReport {
+        self.run_profiled(phases, cfg, run_idx).0
+    }
+
+    /// [`Self::run`] with per-layer cost attribution: the same run (the
+    /// report is bitwise identical), plus a [`Profile`] whose layer self
+    /// times reconstruct the report's compute/io/meta split exactly.
+    pub fn run_profiled(
+        &self,
+        phases: &[Phase],
+        cfg: &StackConfig,
+        run_idx: u32,
+    ) -> (RunReport, Profile) {
         let mut report = RunReport::default();
+        let mut profile = Profile::new();
         let mut bb_state = BurstBufferState::empty();
         for phase in phases {
             match phase {
                 Phase::Compute { seconds } => {
                     report.compute_time_s += seconds;
                     report.elapsed_s += seconds;
+                    profile.add(Layer::Compute, *seconds, 0.0, 0.0);
                     if let Some(bb) = &self.burst {
                         bb_state.drain(bb, *seconds);
                     }
                 }
                 Phase::Io(io) => {
-                    let mut contribution = self.run_io_phase(io, cfg);
+                    let (mut contribution, mut phase_profile) = self.run_io_phase(io, cfg);
                     // A burst buffer absorbs writes at memory-class speed;
                     // only the spill-over pays the PFS path. The absorbed
                     // data drains during subsequent compute phases.
@@ -99,8 +114,14 @@ impl Simulator {
                         contribution.io_time_s =
                             absorb_time + contribution.io_time_s * spill_fraction;
                         contribution.elapsed_s = contribution.io_time_s + contribution.meta_time_s;
+                        // Attribution: the PFS-path layers keep only the
+                        // spill fraction of their time; the rest became
+                        // burst-buffer ingest.
+                        phase_profile.scale_io_time(spill_fraction);
+                        phase_profile.add(Layer::Burst, absorb_time, absorbed, 0.0);
                     }
                     report.absorb(&contribution);
+                    profile.absorb(&phase_profile);
                 }
             }
         }
@@ -110,7 +131,8 @@ impl Simulator {
         report.io_time_s *= mult;
         report.meta_time_s *= mult;
         report.elapsed_s = report.compute_time_s + report.io_time_s + report.meta_time_s;
-        report
+        profile.scale_noise(mult);
+        (report, profile)
     }
 
     /// Run once for a genome in `space` (resolves then calls [`Self::run`]).
@@ -135,8 +157,40 @@ impl Simulator {
         RunReport::average(&runs)
     }
 
-    /// Simulate one bulk-I/O phase.
-    fn run_io_phase(&self, io: &crate::request::IoPhase, cfg: &StackConfig) -> RunReport {
+    /// [`Self::run_averaged`] with cost attribution: averages the reports
+    /// exactly as `run_averaged` does (bitwise-identical report) and
+    /// averages the per-run profiles the same way.
+    pub fn run_averaged_profiled(
+        &self,
+        phases: &[Phase],
+        cfg: &StackConfig,
+        repeats: u32,
+    ) -> (RunReport, Profile) {
+        let mut runs = Vec::new();
+        let mut profiles = Vec::new();
+        for i in 0..repeats.max(1) {
+            let (report, profile) = self.run_profiled(phases, cfg, i);
+            runs.push(report);
+            profiles.push(profile);
+        }
+        (RunReport::average(&runs), Profile::average(&profiles))
+    }
+
+    /// Simulate one bulk-I/O phase, attributing cost per stack layer.
+    ///
+    /// Attribution model ("self time"): the phase's `io_time_s` is
+    /// `max(storage, network_floor) + shuffle`. The max is split into the
+    /// library's own amplification share (HDF5), the client network gap
+    /// above raw storage time (network), OST streaming (lustre.data) and
+    /// per-request RPC service (lustre.rpc); the two-phase shuffle is the
+    /// middleware's own cost (mpiio) and `meta_time_s` is the MDS's (mds).
+    /// The layer self times sum to the report's io+meta time to within
+    /// float rounding.
+    fn run_io_phase(
+        &self,
+        io: &crate::request::IoPhase,
+        cfg: &StackConfig,
+    ) -> (RunReport, Profile) {
         // Layer 1: HDF5-like library transforms the request stream.
         let traffic = hdf5::raw_data_traffic(io, cfg);
         let meta = hdf5::metadata_traffic(io, cfg, self.cluster.procs);
@@ -159,13 +213,14 @@ impl Simulator {
         let pattern_eff = 1.0 - 0.72 * fs_load.irregularity;
         let efficiency = align_eff * pattern_eff;
 
-        let storage_time = self.fs.transfer_time(
+        let (stream_time, rpc_time) = self.fs.transfer_breakdown(
             fs_load.total_bytes,
             fs_load.fs_requests,
             osts,
             fs_load.streams,
             efficiency,
         );
+        let storage_time = stream_time + rpc_time;
 
         // Clients can not push bytes faster than their network injection —
         // and irregular, fine-grained request streams cannot keep the wire
@@ -192,7 +247,49 @@ impl Simulator {
             IoKind::Write => (total_bytes, 0.0, total_ops, 0.0),
             IoKind::Read => (0.0, total_bytes, 0.0, total_ops),
         };
-        RunReport {
+
+        // Cost attribution. The binding constraint on the data path is
+        // `transfer = max(storage, network_floor)`; `network_self` is the
+        // client-side gap above raw storage time (zero when storage-bound).
+        // `scale` renormalizes the three data-path components so they sum
+        // to `transfer` exactly (it is 1.0 up to float rounding), and the
+        // library layer takes credit for the fraction of downstream work
+        // its read-modify-write amplification created.
+        let transfer = storage_time.max(network_floor);
+        let network_self = (network_floor - storage_time).max(0.0);
+        let amp_share = traffic.amplified_share();
+        let base = stream_time + rpc_time + network_self;
+        let scale = if base > 0.0 { transfer / base } else { 0.0 };
+        let under = 1.0 - amp_share;
+        let mut profile = Profile::new();
+        profile.add(Layer::Hdf5, transfer * amp_share, total_bytes, total_ops);
+        profile.add(
+            Layer::Mpiio,
+            fs_load.shuffle_time,
+            fs_load.shuffled_bytes,
+            fs_load.fs_requests,
+        );
+        profile.add(
+            Layer::Network,
+            network_self * scale * under,
+            fs_load.total_bytes,
+            0.0,
+        );
+        profile.add(
+            Layer::LustreData,
+            stream_time * scale * under,
+            fs_load.total_bytes,
+            0.0,
+        );
+        profile.add(
+            Layer::LustreRpc,
+            rpc_time * scale * under,
+            0.0,
+            fs_load.fs_requests,
+        );
+        profile.add(Layer::Mds, meta_time, 0.0, meta.total_ops);
+
+        let report = RunReport {
             elapsed_s: io_time + meta_time,
             io_time_s: io_time,
             meta_time_s: meta_time,
@@ -201,7 +298,8 @@ impl Simulator {
             bytes_read: br,
             write_ops: ow,
             read_ops: or,
-        }
+        };
+        (report, profile)
     }
 }
 
@@ -355,6 +453,62 @@ mod tests {
     }
 
     #[test]
+    fn profiled_run_returns_identical_report() {
+        let sim = Simulator::cori_4node(11);
+        let s = space();
+        let cfg = StackConfig::defaults(&s);
+        let plain = sim.run(&checkpoint_phases(), &cfg, 2);
+        let (profiled, _) = sim.run_profiled(&checkpoint_phases(), &cfg, 2);
+        assert_eq!(plain, profiled);
+    }
+
+    #[test]
+    fn profile_layers_reconstruct_report_times() {
+        let sim = Simulator::cori_4node(11);
+        let s = space();
+        for cfg in [StackConfig::defaults(&s), tuned_config(&s).resolve(&s)] {
+            for run_idx in 0..3 {
+                let (report, profile) = sim.run_profiled(&checkpoint_phases(), &cfg, run_idx);
+                let err = profile.attribution_error(&report);
+                assert!(err < 1e-9, "attribution error {err} for run {run_idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn profile_attribution_holds_for_reads() {
+        let sim = Simulator::cori_4node(7);
+        let s = space();
+        let phases = vec![Phase::Io(IoPhase {
+            dataset: "in".into(),
+            kind: IoKind::Read,
+            per_proc_bytes: 64 * MIB,
+            ops_per_proc: 512,
+            pattern: AccessPattern::Strided { record: 64 * 1024 },
+            meta_ops: 8,
+            collective_capable: true,
+            chunk_reuse_bytes: 512 * 1024 * 1024,
+            pre_striped: 16,
+        })];
+        let (report, profile) = sim.run_profiled(&phases, &StackConfig::defaults(&s), 1);
+        assert!(profile.attribution_error(&report) < 1e-9);
+        // Chunk-cache amplification charges the library layer.
+        assert!(profile.get(Layer::Hdf5).self_s > 0.0);
+    }
+
+    #[test]
+    fn averaged_profile_matches_averaged_report() {
+        let sim = Simulator::cori_4node(5);
+        let s = space();
+        let cfg = StackConfig::defaults(&s);
+        let phases = checkpoint_phases();
+        let plain = sim.run_averaged(&phases, &cfg, 3);
+        let (report, profile) = sim.run_averaged_profiled(&phases, &cfg, 3);
+        assert_eq!(plain, report);
+        assert!(profile.attribution_error(&report) < 1e-9);
+    }
+
+    #[test]
     fn read_phase_populates_read_side() {
         let sim = Simulator::test_tiny();
         let s = space();
@@ -496,6 +650,22 @@ mod burst_buffer_tests {
             t_spaced < t_tight,
             "draining during compute must free capacity: {t_spaced} vs {t_tight}"
         );
+    }
+
+    #[test]
+    fn burst_attribution_reconstructs_report() {
+        let space = ParameterSpace::tunio_default();
+        let cfg = StackConfig::defaults(&space);
+        let spec = BurstBufferSpec {
+            capacity_per_node: 512.0 * 1024.0 * 1024.0, // forces a partial spill
+            ..BurstBufferSpec::datawarp_like()
+        };
+        let sim = Simulator::cori_4node(9).with_burst_buffer(spec);
+        let (report, profile) = sim.run_profiled(&checkpoint(256), &cfg, 0);
+        assert!(profile.attribution_error(&report) < 1e-9);
+        let burst = profile.get(crate::profile::Layer::Burst);
+        assert!(burst.self_s > 0.0, "ingest time must be charged to burst");
+        assert!(burst.bytes > 0.0);
     }
 
     #[test]

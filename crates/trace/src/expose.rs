@@ -1,0 +1,306 @@
+//! Prometheus-style text exposition of the metric registry.
+//!
+//! [`render_prometheus`] turns a metric snapshot into the text exposition
+//! format (version 0.0.4): `# TYPE` headers, sanitized metric names,
+//! escaped label values. Histograms are exposed as summaries carrying
+//! `_count`/`_sum` plus min/max as the 0/1 quantiles — the registry keeps
+//! no buckets by design (see [`crate::metrics`]).
+//!
+//! [`MetricsServer`] serves that text over HTTP from a background thread
+//! so a live campaign can be scraped mid-run: scrapes only read atomic
+//! snapshots and never block metric writers.
+
+use crate::metrics::{MetricSnapshot, MetricValue};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Sanitize a metric name for the exposition format: any character
+/// outside `[a-zA-Z0-9_:]` becomes `_` (so `tunio.profile.self_s`
+/// exposes as `tunio_profile_self_s`).
+pub fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Escape a label value: backslash, double quote and newline get
+/// backslash-escaped per the exposition format.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render snapshots in the Prometheus text exposition format. Input order
+/// is preserved; [`crate::metrics_snapshot`] already sorts by name then
+/// labels, which groups each metric's series under one `# TYPE` header.
+pub fn render_prometheus(snapshots: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    let mut last_typed: Option<String> = None;
+    for snap in snapshots {
+        let name = sanitize_name(&snap.name);
+        let kind = match snap.value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "summary",
+        };
+        if last_typed.as_deref() != Some(name.as_str()) {
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            last_typed = Some(name.clone());
+        }
+        match &snap.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("{name}{} {v}\n", label_block(&snap.labels, None)));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{name}{} {}\n",
+                    label_block(&snap.labels, None),
+                    fmt_f64(*v)
+                ));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "{name}{} {}\n",
+                    label_block(&snap.labels, Some(("quantile", "0"))),
+                    fmt_f64(h.min)
+                ));
+                out.push_str(&format!(
+                    "{name}{} {}\n",
+                    label_block(&snap.labels, Some(("quantile", "1"))),
+                    fmt_f64(h.max)
+                ));
+                out.push_str(&format!(
+                    "{name}_sum{} {}\n",
+                    label_block(&snap.labels, None),
+                    fmt_f64(h.sum)
+                ));
+                out.push_str(&format!(
+                    "{name}_count{} {}\n",
+                    label_block(&snap.labels, None),
+                    h.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Render the *global* registry's current state (what a scrape returns).
+pub fn render_global() -> String {
+    render_prometheus(&crate::metrics_snapshot())
+}
+
+/// A background-thread HTTP server exposing [`render_global`] on every
+/// request. Bind to port 0 to let the OS pick (tests); [`MetricsServer::addr`]
+/// reports the resolved address. Shut down explicitly or on drop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9090"`) and start serving scrapes
+    /// from a background thread.
+    pub fn serve(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = shutdown.clone();
+        let handle = std::thread::Builder::new()
+            .name("tunio-metrics".to_string())
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = serve_one(stream);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the server thread and wait for it to exit.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
+    // Drain the request line and headers (best effort, bounded): the
+    // response is the same for every path, so parsing is unnecessary.
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 1024];
+    let mut seen = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                seen.extend_from_slice(&buf[..n]);
+                if seen.windows(4).any(|w| w == b"\r\n\r\n") || seen.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = render_global();
+    let response = format!(
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramData;
+
+    fn snap(name: &str, labels: &[(&str, &str)], value: MetricValue) -> MetricSnapshot {
+        MetricSnapshot {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        }
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(
+            sanitize_name("tunio.eval.cache_hits"),
+            "tunio_eval_cache_hits"
+        );
+        assert_eq!(sanitize_name("ok_name:sub"), "ok_name:sub");
+        assert_eq!(sanitize_name("sp ace-dash"), "sp_ace_dash");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label_value("line\nbreak"), "line\\nbreak");
+    }
+
+    #[test]
+    fn renders_each_metric_kind() {
+        let snaps = vec![
+            snap("app.count", &[], MetricValue::Counter(7)),
+            snap("app.level", &[("stage", "two")], MetricValue::Gauge(2.5)),
+            snap(
+                "app.cost",
+                &[("layer", "lustre.data")],
+                MetricValue::Histogram(HistogramData {
+                    count: 3,
+                    sum: 6.0,
+                    min: 1.0,
+                    max: 3.0,
+                }),
+            ),
+        ];
+        let text = render_prometheus(&snaps);
+        assert!(text.contains("# TYPE app_count counter\napp_count 7\n"));
+        assert!(text.contains("# TYPE app_level gauge\napp_level{stage=\"two\"} 2.5\n"));
+        assert!(text.contains("# TYPE app_cost summary\n"));
+        assert!(text.contains("app_cost{layer=\"lustre.data\",quantile=\"0\"} 1\n"));
+        assert!(text.contains("app_cost{layer=\"lustre.data\",quantile=\"1\"} 3\n"));
+        assert!(text.contains("app_cost_sum{layer=\"lustre.data\"} 6\n"));
+        assert!(text.contains("app_cost_count{layer=\"lustre.data\"} 3\n"));
+    }
+
+    #[test]
+    fn type_header_emitted_once_per_series_group() {
+        let snaps = vec![
+            snap("multi", &[("l", "a")], MetricValue::Counter(1)),
+            snap("multi", &[("l", "b")], MetricValue::Counter(2)),
+        ];
+        let text = render_prometheus(&snaps);
+        assert_eq!(text.matches("# TYPE multi counter").count(), 1);
+        assert!(text.contains("multi{l=\"a\"} 1\n"));
+        assert!(text.contains("multi{l=\"b\"} 2\n"));
+    }
+
+    #[test]
+    fn non_finite_values_render_prometheus_style() {
+        let snaps = vec![
+            snap("g.inf", &[], MetricValue::Gauge(f64::INFINITY)),
+            snap("g.nan", &[], MetricValue::Gauge(f64::NAN)),
+        ];
+        let text = render_prometheus(&snaps);
+        assert!(text.contains("g_inf +Inf\n"));
+        assert!(text.contains("g_nan NaN\n"));
+    }
+}

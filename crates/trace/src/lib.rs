@@ -48,10 +48,12 @@
 
 #![warn(missing_docs)]
 
+pub mod expose;
 pub mod metrics;
 pub mod report;
 pub mod sink;
 
+pub use expose::{render_prometheus, MetricsServer};
 pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot};
 pub use sink::{JsonlSink, MemorySink, Sink};
 
@@ -285,20 +287,36 @@ impl Drop for SpanGuard {
 
 /// Look up (or create) a counter in the global metric registry.
 pub fn counter(name: &'static str) -> Counter {
-    tracer().metrics.counter(name)
+    tracer().metrics.counter(name, &[])
 }
 
 /// Look up (or create) a gauge in the global metric registry.
 pub fn gauge(name: &'static str) -> Gauge {
-    tracer().metrics.gauge(name)
+    tracer().metrics.gauge(name, &[])
 }
 
 /// Look up (or create) a histogram in the global metric registry.
 pub fn histogram(name: &'static str) -> Histogram {
-    tracer().metrics.histogram(name)
+    tracer().metrics.histogram(name, &[])
 }
 
-/// Snapshot every registered metric (sorted by name).
+/// Look up (or create) a counter with labels: same name, different label
+/// values are distinct series (e.g. per-layer counters).
+pub fn labeled_counter(name: &'static str, labels: &[(&'static str, &str)]) -> Counter {
+    tracer().metrics.counter(name, labels)
+}
+
+/// Look up (or create) a gauge with labels.
+pub fn labeled_gauge(name: &'static str, labels: &[(&'static str, &str)]) -> Gauge {
+    tracer().metrics.gauge(name, labels)
+}
+
+/// Look up (or create) a histogram with labels.
+pub fn labeled_histogram(name: &'static str, labels: &[(&'static str, &str)]) -> Histogram {
+    tracer().metrics.histogram(name, labels)
+}
+
+/// Snapshot every registered metric (sorted by name, then labels).
 pub fn metrics_snapshot() -> Vec<MetricSnapshot> {
     tracer().metrics.snapshot()
 }

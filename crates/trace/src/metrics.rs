@@ -117,11 +117,21 @@ enum Metric {
     Histogram(Histogram),
 }
 
+/// Registry key: a metric name plus its (possibly empty) label set. Two
+/// handles with the same name but different labels are distinct series.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MetricKey {
+    name: &'static str,
+    labels: Vec<(&'static str, String)>,
+}
+
 /// Snapshot of one metric's value at flush time.
 #[derive(Debug, Clone)]
 pub struct MetricSnapshot {
     /// Registered metric name.
     pub name: String,
+    /// Label pairs identifying this series (empty for unlabeled metrics).
+    pub labels: Vec<(String, String)>,
     /// Value at snapshot time.
     pub value: MetricValue,
 }
@@ -138,9 +148,13 @@ pub enum MetricValue {
 }
 
 impl MetricSnapshot {
-    /// Render as record fields for [`crate::flush_metrics`].
+    /// Render as record fields for [`crate::flush_metrics`]. Labels become
+    /// `label.<key>` string fields.
     pub fn into_fields(self) -> Vec<(String, FieldValue)> {
         let mut fields = vec![("metric".to_string(), FieldValue::Str(self.name))];
+        for (k, v) in self.labels {
+            fields.push((format!("label.{k}"), FieldValue::Str(v)));
+        }
         match self.value {
             MetricValue::Counter(v) => {
                 fields.push(("kind".into(), FieldValue::Str("counter".into())));
@@ -162,9 +176,9 @@ impl MetricSnapshot {
     }
 }
 
-/// Thread-safe name → metric registry.
+/// Thread-safe (name, labels) → metric registry.
 pub(crate) struct Registry {
-    metrics: Mutex<HashMap<&'static str, Metric>>,
+    metrics: Mutex<HashMap<MetricKey, Metric>>,
 }
 
 impl Registry {
@@ -174,10 +188,17 @@ impl Registry {
         }
     }
 
-    pub(crate) fn counter(&self, name: &'static str) -> Counter {
+    fn key(name: &'static str, labels: &[(&'static str, &str)]) -> MetricKey {
+        MetricKey {
+            name,
+            labels: labels.iter().map(|&(k, v)| (k, v.to_string())).collect(),
+        }
+    }
+
+    pub(crate) fn counter(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Counter {
         let mut m = self.metrics.lock();
         match m
-            .entry(name)
+            .entry(Self::key(name, labels))
             .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
         {
             Metric::Counter(c) => c.clone(),
@@ -185,10 +206,10 @@ impl Registry {
         }
     }
 
-    pub(crate) fn gauge(&self, name: &'static str) -> Gauge {
+    pub(crate) fn gauge(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Gauge {
         let mut m = self.metrics.lock();
         match m
-            .entry(name)
+            .entry(Self::key(name, labels))
             .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0)))))
         {
             Metric::Gauge(g) => g.clone(),
@@ -196,9 +217,13 @@ impl Registry {
         }
     }
 
-    pub(crate) fn histogram(&self, name: &'static str) -> Histogram {
+    pub(crate) fn histogram(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Histogram {
         let mut m = self.metrics.lock();
-        match m.entry(name).or_insert_with(|| {
+        match m.entry(Self::key(name, labels)).or_insert_with(|| {
             Metric::Histogram(Histogram(Arc::new(Mutex::new(HistogramData::empty()))))
         }) {
             Metric::Histogram(h) => h.clone(),
@@ -210,8 +235,13 @@ impl Registry {
         let m = self.metrics.lock();
         let mut out: Vec<MetricSnapshot> = m
             .iter()
-            .map(|(name, metric)| MetricSnapshot {
-                name: name.to_string(),
+            .map(|(key, metric)| MetricSnapshot {
+                name: key.name.to_string(),
+                labels: key
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
                 value: match metric {
                     Metric::Counter(c) => MetricValue::Counter(c.get()),
                     Metric::Gauge(g) => MetricValue::Gauge(g.get()),
@@ -219,7 +249,7 @@ impl Registry {
                 },
             })
             .collect();
-        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
         out
     }
 

@@ -53,6 +53,19 @@ pub struct StopDecision {
     pub stop: bool,
 }
 
+/// Per-layer self-time totals summed from `profile.layer` events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LayerTotals {
+    /// Layer name as emitted by the simulator (e.g. `hdf5`, `lustre.data`).
+    pub layer: String,
+    /// Exclusive (self) time attributed to the layer, seconds.
+    pub self_s: f64,
+    /// Bytes that crossed the layer.
+    pub bytes: f64,
+    /// Operations the layer performed.
+    pub ops: f64,
+}
+
 /// Everything the report knows about one campaign in the trace.
 #[derive(Debug, Clone, Default)]
 pub struct CampaignSummary {
@@ -78,6 +91,10 @@ pub struct CampaignSummary {
     pub cache_hits: Option<u64>,
     /// Campaign wall time, microseconds (from the `campaign` span).
     pub campaign_wall_us: Option<u64>,
+    /// Per-layer attribution summed over the campaign's `profile.layer`
+    /// events, in first-seen order (the simulator emits layers in a
+    /// fixed order, so this matches the canonical layer order).
+    pub layers: Vec<LayerTotals>,
 }
 
 impl CampaignSummary {
@@ -207,6 +224,23 @@ pub fn summarize(records: &[Record]) -> Vec<CampaignSummary> {
                     wall_us: r.dur_us.unwrap_or(0),
                 });
             }
+            "profile.layer" => {
+                open = true;
+                let name = str_field(r, "layer").unwrap_or("?");
+                let totals = match cur.layers.iter_mut().find(|t| t.layer == name) {
+                    Some(t) => t,
+                    None => {
+                        cur.layers.push(LayerTotals {
+                            layer: name.to_string(),
+                            ..LayerTotals::default()
+                        });
+                        cur.layers.last_mut().unwrap()
+                    }
+                };
+                totals.self_s += f64_field(r, "self_s").unwrap_or(0.0);
+                totals.bytes += f64_field(r, "bytes").unwrap_or(0.0);
+                totals.ops += f64_field(r, "ops").unwrap_or(0.0);
+            }
             "stop.decision" => {
                 open = true;
                 cur.decisions.push(StopDecision {
@@ -261,6 +295,77 @@ pub fn summarize(records: &[Record]) -> Vec<CampaignSummary> {
             // generation's starting point — better than nothing.
             s.default_perf = s.generations.first().map(|g| g.best_perf);
         }
+    }
+    out
+}
+
+/// Render the per-layer attribution table from trace-derived totals.
+fn render_layer_table(layers: &[LayerTotals]) -> String {
+    const MIB: f64 = 1024.0 * 1024.0;
+    let total: f64 = layers.iter().map(|t| t.self_s).sum();
+    let mut out = String::from(
+        "layer         self s   % total        MiB          ops\n\
+         ------------+--------+--------+-----------+------------\n",
+    );
+    for t in layers {
+        let pct = if total > 0.0 {
+            100.0 * t.self_s / total
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<12} | {:>6.2} | {:>5.1}% | {:>9.1} | {:>10.0}\n",
+            t.layer,
+            t.self_s,
+            pct,
+            t.bytes / MIB,
+            t.ops,
+        ));
+    }
+    out.push_str(&format!("total {total:>.2} s attributed\n"));
+    out
+}
+
+/// Render the flamegraph-style self/total tree from trace-derived
+/// totals. The hierarchy mirrors the simulated stack: requests enter
+/// through HDF5, fan out through MPI-IO onto the network and Lustre,
+/// with the burst buffer and metadata path alongside.
+fn render_layer_tree(layers: &[LayerTotals]) -> String {
+    let s = |name: &str| {
+        layers
+            .iter()
+            .find(|t| t.layer == name)
+            .map_or(0.0, |t| t.self_s)
+    };
+    let lustre = s("lustre.data") + s("lustre.rpc");
+    let mpiio = s("mpiio") + s("network") + lustre;
+    let hdf5 = s("hdf5") + mpiio;
+    let io = s("burst") + hdf5;
+    let run = s("compute") + io + s("mds");
+    let rows: [(usize, &str, f64, f64); 11] = [
+        (0, "run", 0.0, run),
+        (1, "compute", s("compute"), s("compute")),
+        (1, "io", 0.0, io),
+        (2, "burst", s("burst"), s("burst")),
+        (2, "hdf5", s("hdf5"), hdf5),
+        (3, "mpiio", s("mpiio"), mpiio),
+        (4, "network", s("network"), s("network")),
+        (4, "lustre", 0.0, lustre),
+        (5, "lustre.data", s("lustre.data"), s("lustre.data")),
+        (5, "lustre.rpc", s("lustre.rpc"), s("lustre.rpc")),
+        (1, "mds", s("mds"), s("mds")),
+    ];
+    let mut out = String::new();
+    for (depth, name, self_s, total_s) in rows {
+        out.push_str(&format!(
+            "{:indent$}{:<width$} total {:>8.3} s  self {:>8.3} s\n",
+            "",
+            name,
+            total_s,
+            self_s,
+            indent = depth * 2,
+            width = 14usize.saturating_sub(depth * 2) + 8,
+        ));
     }
     out
 }
@@ -348,6 +453,12 @@ pub fn render(s: &CampaignSummary) -> String {
                 fmt_us(g.wall_us),
             ));
         }
+    }
+
+    if !s.layers.is_empty() {
+        out.push_str("\nlayer attribution (self time):\n");
+        out.push_str(&render_layer_table(&s.layers));
+        out.push_str(&render_layer_tree(&s.layers));
     }
 
     let verdicts: Vec<&StopDecision> = s.decisions.iter().filter(|d| d.stop).collect();
@@ -445,6 +556,62 @@ mod tests {
         assert_eq!(sums[0].generations.len(), 2);
         // Default falls back to the first generation's best.
         assert_eq!(sums[0].default_perf, Some(100e6));
+    }
+
+    fn layer_record(iter: u64, layer: &str, self_s: f64, bytes: f64, ops: f64) -> String {
+        format!(
+            r#"{{"t_us":{},"name":"profile.layer","fields":{{"iteration":{iter},"layer":"{layer}","self_s":{self_s},"cum_self_s":{self_s},"bytes":{bytes},"ops":{ops}}}}}"#,
+            iter * 1000 + 10
+        )
+    }
+
+    #[test]
+    fn layer_events_accumulate_across_generations() {
+        let lines = [
+            layer_record(1, "hdf5", 2.0, 1e6, 10.0),
+            layer_record(1, "lustre.data", 3.0, 1e6, 0.0),
+            layer_record(2, "hdf5", 1.5, 5e5, 4.0),
+            r#"{"t_us":9000,"name":"campaign.done","fields":{"kind":"TunIO","app":"hacc"}}"#
+                .to_string(),
+        ];
+        let sums = summarize(&parse_jsonl(&lines.join("\n")).unwrap());
+        assert_eq!(sums.len(), 1);
+        let layers = &sums[0].layers;
+        assert_eq!(layers.len(), 2);
+        let hdf5 = layers.iter().find(|t| t.layer == "hdf5").unwrap();
+        assert!((hdf5.self_s - 3.5).abs() < 1e-12);
+        assert!((hdf5.bytes - 1.5e6).abs() < 1e-3);
+        assert!((hdf5.ops - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_includes_attribution_table_and_tree() {
+        let lines = [
+            gen_record(1, 100e6, 60.0),
+            layer_record(1, "hdf5", 2.0, 1e6, 10.0),
+            layer_record(1, "lustre.data", 6.0, 1e6, 0.0),
+            r#"{"t_us":9000,"name":"campaign.done","fields":{"kind":"TunIO","app":"hacc"}}"#
+                .to_string(),
+        ];
+        let text = report(&lines.join("\n")).unwrap();
+        assert!(text.contains("layer attribution (self time)"), "{text}");
+        // Table row: hdf5 carries 25% of the 8 s attributed.
+        assert!(text.contains("hdf5"), "{text}");
+        assert!(text.contains("25.0%"), "{text}");
+        assert!(text.contains("total 8.00 s attributed"), "{text}");
+        // Tree: the run total folds hdf5 + lustre.data, and hdf5's
+        // subtree includes the lustre time below it.
+        assert!(
+            text.contains("run                    total    8.000 s"),
+            "{text}"
+        );
+        assert!(text.contains("self    2.000 s"), "{text}");
+    }
+
+    #[test]
+    fn traces_without_layer_events_render_without_attribution() {
+        let text = report(&sample_trace()).unwrap();
+        assert!(!text.contains("layer attribution"));
     }
 
     #[test]

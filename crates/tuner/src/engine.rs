@@ -34,7 +34,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Instant;
-use tunio_iosim::{noise, RunReport, Simulator};
+use tunio_iosim::{noise, Layer, Profile, RunReport, Simulator};
 use tunio_params::{Configuration, ParameterSpace};
 use tunio_trace as trace;
 use tunio_workloads::Workload;
@@ -140,9 +140,11 @@ pub struct EvalEngine {
     cache_hits: AtomicU64,
     sim_wall_ns: AtomicU64,
     charged_cost_s: Mutex<f64>,
+    profile: Mutex<Profile>,
     m_hits: trace::Counter,
     m_misses: trace::Counter,
     m_cost: trace::Histogram,
+    m_layer_self: Vec<trace::Histogram>,
     #[cfg(test)]
     sim_gate: SimGate,
 }
@@ -178,9 +180,14 @@ impl EvalEngine {
             cache_hits: AtomicU64::new(0),
             sim_wall_ns: AtomicU64::new(0),
             charged_cost_s: Mutex::new(0.0),
+            profile: Mutex::new(Profile::new()),
             m_hits: trace::counter("tunio.eval.cache_hits"),
             m_misses: trace::counter("tunio.eval.evaluations"),
             m_cost: trace::histogram("tunio.eval.cost_s"),
+            m_layer_self: Layer::ALL
+                .iter()
+                .map(|l| trace::labeled_histogram("tunio.profile.self_s", &[("layer", l.as_str())]))
+                .collect(),
             #[cfg(test)]
             sim_gate: SimGate::default(),
         }
@@ -191,8 +198,11 @@ impl EvalEngine {
     }
 
     /// Run the simulator for one configuration (no cache involvement).
-    /// Pure in `(sim, config, repeats)`; see the module docs.
-    fn simulate(&self, config: &Configuration) -> (RunReport, f64) {
+    /// Pure in `(sim, config, repeats)`; see the module docs. Also returns
+    /// the averaged per-layer cost [`Profile`]; the caller absorbs it into
+    /// the engine accumulator at the (serial) point where the evaluation's
+    /// cost is charged, keeping the accumulated profile deterministic.
+    fn simulate(&self, config: &Configuration) -> (RunReport, Profile, f64) {
         #[cfg(test)]
         {
             let gate = self
@@ -209,12 +219,25 @@ impl EvalEngine {
         let t0 = Instant::now();
         let phases = self.workload.phases();
         let stack = config.resolve(&self.space);
-        let report = self.sim.run_averaged(&phases, &stack, self.repeats);
+        let (report, profile) = self
+            .sim
+            .run_averaged_profiled(&phases, &stack, self.repeats);
         self.sim_wall_ns
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         span.add_field("perf", report.perf().into());
         span.add_field("cost_s", report.elapsed_s.into());
-        (report, report.perf())
+        (report, profile, report.perf())
+    }
+
+    /// Fold one charged evaluation's profile into the engine accumulator
+    /// and the per-layer self-time histograms. Called only from serial
+    /// accounting sections, in batch input order, so the float sums in
+    /// the accumulated profile are deterministic.
+    fn charge_profile(&self, profile: &Profile) {
+        for (layer, stat) in profile.iter() {
+            self.m_layer_self[layer as usize].record(stat.self_s);
+        }
+        self.profile.lock().absorb(profile);
     }
 
     /// Look the key up; if some thread is mid-simulation on it, wait for
@@ -259,7 +282,7 @@ impl EvalEngine {
             Claim::Hit(report, perf) => (report, perf),
             Claim::Join(inflight) => inflight.wait(),
             Claim::Claimed(inflight) => {
-                let (report, perf) = self.simulate(config);
+                let (report, profile, perf) = self.simulate(config);
                 self.shards[shard_idx]
                     .lock()
                     .insert(key, Slot::Ready(report, perf));
@@ -267,6 +290,7 @@ impl EvalEngine {
                 self.evaluations.fetch_add(1, Ordering::Relaxed);
                 self.m_misses.inc(1);
                 self.m_cost.record(report.elapsed_s);
+                self.charge_profile(&profile);
                 *self.charged_cost_s.lock() += report.elapsed_s;
                 return Evaluation {
                     config: config.clone(),
@@ -311,7 +335,7 @@ impl EvalEngine {
 
         // Fan the misses out; order-preserving collect keeps sims[j]
         // aligned with fresh[j].
-        let sims: Vec<(RunReport, f64)> = fresh
+        let sims: Vec<(RunReport, Profile, f64)> = fresh
             .par_iter()
             .map(|&i| self.simulate(&configs[i]))
             .collect();
@@ -320,11 +344,11 @@ impl EvalEngine {
         let fresh_results: HashMap<&[usize], (RunReport, f64)> = fresh
             .iter()
             .zip(&sims)
-            .map(|(&i, &rp)| {
+            .map(|(&i, (report, _, perf))| {
                 self.shards[Self::shard_of(&keys[i])]
                     .lock()
-                    .insert(keys[i].clone(), Slot::Ready(rp.0, rp.1));
-                (keys[i].as_slice(), rp)
+                    .insert(keys[i].clone(), Slot::Ready(*report, *perf));
+                (keys[i].as_slice(), (*report, *perf))
             })
             .collect();
 
@@ -338,11 +362,12 @@ impl EvalEngine {
                     .lookup_or_wait(key)
                     .expect("key was cached before the batch"),
             };
-            let charged_here = fresh.binary_search(&i).is_ok();
-            let cost_s = if charged_here {
+            let charged_here = fresh.binary_search(&i);
+            let cost_s = if let Ok(j) = charged_here {
                 self.evaluations.fetch_add(1, Ordering::Relaxed);
                 self.m_misses.inc(1);
                 self.m_cost.record(report.elapsed_s);
+                self.charge_profile(&sims[j].1);
                 charged += report.elapsed_s;
                 report.elapsed_s
             } else {
@@ -369,6 +394,14 @@ impl EvalEngine {
     /// Number of memoized lookups served.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the accumulated per-layer cost profile: the pooled
+    /// attribution of every *charged* evaluation (first occurrence of
+    /// each unique configuration). Its total time tracks
+    /// [`EvalCounters::charged_cost_s`].
+    pub fn profile_snapshot(&self) -> Profile {
+        self.profile.lock().clone()
     }
 
     /// Snapshot all counters.
@@ -558,6 +591,51 @@ mod tests {
         });
         assert_eq!(ev.evaluations(), 2, "both keys simulated exactly once");
         assert_eq!(ev.cache_hits(), 0);
+    }
+
+    #[test]
+    fn profile_accumulates_only_charged_evaluations() {
+        let ev = engine();
+        let cfg = ev.space.default_config();
+        assert_eq!(ev.profile_snapshot(), tunio_iosim::Profile::new());
+        ev.evaluate(&cfg);
+        let after_one = ev.profile_snapshot();
+        let total = after_one.total_time_s();
+        assert!(total > 0.0);
+        // The accumulated layer self times reconstruct the charged cost.
+        let c = ev.counters();
+        assert!(
+            (total - c.charged_cost_s).abs() < 1e-9 * c.charged_cost_s,
+            "profile total {total} vs charged {}",
+            c.charged_cost_s
+        );
+        // Cache hits charge nothing and add nothing to the profile.
+        ev.evaluate(&cfg);
+        assert_eq!(ev.profile_snapshot(), after_one);
+    }
+
+    #[test]
+    fn batch_profile_matches_serial_profile() {
+        let space = ParameterSpace::tunio_default();
+        let mut configs = vec![space.default_config()];
+        for v in [1usize, 3, 5] {
+            let mut c = space.default_config();
+            c.set_gene(tunio_params::ParamId::StripingFactor, v);
+            configs.push(c);
+        }
+        configs.push(configs[2].clone()); // duplicate: charged once
+
+        let batch_engine = engine();
+        batch_engine.evaluate_batch(&configs);
+        let serial_engine = engine();
+        for c in &configs {
+            serial_engine.evaluate(c);
+        }
+        assert_eq!(
+            batch_engine.profile_snapshot(),
+            serial_engine.profile_snapshot(),
+            "accumulated profiles must be bitwise identical to serial order"
+        );
     }
 
     #[test]

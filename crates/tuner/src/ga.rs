@@ -178,6 +178,9 @@ impl GaTuner {
         );
 
         let default_perf = engine.evaluate(&space.default_config()).perf;
+        // Baseline for per-generation cost attribution: deltas exclude the
+        // default-configuration evaluation above.
+        let mut profile_prev = engine.profile_snapshot();
 
         let mut best_config = space.default_config();
         let mut best_perf = default_perf;
@@ -243,6 +246,29 @@ impl GaTuner {
             gen_span.add_field("cost_s", gen_cost.into());
             gen_span.add_field("cumulative_cost_s", cumulative.into());
             gen_span.add_field("subset_size", subset.len().into());
+
+            // Per-layer cost attribution for this generation: one
+            // `profile.layer` event per stack layer carrying the self time
+            // charged since the previous generation plus the cumulative
+            // total, so `tunio-report` can reconstruct the breakdown.
+            if trace::enabled() {
+                let snap = engine.profile_snapshot();
+                let delta = snap.delta_since(&profile_prev);
+                for (layer, stat) in delta.iter() {
+                    trace::event(
+                        "profile.layer",
+                        vec![
+                            ("iteration", iteration.into()),
+                            ("layer", layer.as_str().into()),
+                            ("self_s", stat.self_s.into()),
+                            ("cum_self_s", snap.get(layer).self_s.into()),
+                            ("bytes", stat.bytes.into()),
+                            ("ops", stat.ops.into()),
+                        ],
+                    );
+                }
+                profile_prev = snap;
+            }
 
             subsets.feedback(&subset, best_perf);
             if stopper.should_stop(iteration, best_perf) {
