@@ -34,6 +34,7 @@ fn main() {
             fs: LustreSpec::cori_scratch(),
             noise: NoiseModel::new(42),
             burst: None,
+            fault: None,
         };
         let engine = EvalEngine::new(
             sim,

@@ -4,15 +4,29 @@
 //! tunio-tune --app hacc [--pipeline tunio|hstuner|hstuner-heuristic|
 //!            impact-first|rl-stop] [--variant full|kernel|reduced:<frac>]
 //!            [--iterations N] [--population N] [--seed N] [--large-scale]
-//!            [--xml-out FILE] [--metrics-addr HOST:PORT] [--quiet]
+//!            [--checkpoint FILE] [--resume] [--abort-after N]
+//!            [--fault-rate F] [--fault-seed N]
+//!            [--xml-out FILE] [--out-json FILE]
+//!            [--metrics-addr HOST:PORT] [--quiet]
 //! ```
 //!
 //! Prints per-generation progress and the tuned configuration, optionally
 //! writing it as an H5Tuner-style XML file (the format the reference
 //! implementation injects into HDF5 applications).
+//!
+//! `--checkpoint` writes a JSONL write-ahead log of completed
+//! generations; `--resume` continues a killed campaign from it (the
+//! resumed outcome is bitwise-identical to the uninterrupted run).
+//! `--fault-rate` attaches a seeded chaos plan to the simulator
+//! (transient kills at the given rate, plus stragglers, OST flaps and
+//! corrupted reports at derived rates); `--abort-after N` exits cleanly
+//! once generation N is durable in the log — the kill switch used by the
+//! crash/resume CI job.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
-use tunio::pipeline::{run_campaign, CampaignSpec, PipelineKind};
+use tunio::pipeline::{run_campaign_opts, CampaignOptions, CampaignSpec, PipelineKind};
+use tunio_iosim::FaultPlan;
 use tunio_params::ParameterSpace;
 use tunio_workloads::{all_apps, Variant};
 
@@ -26,7 +40,13 @@ struct Args {
     population: usize,
     seed: u64,
     large_scale: bool,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    abort_after: Option<u32>,
+    fault_rate: Option<f64>,
+    fault_seed: Option<u64>,
     xml_out: Option<String>,
+    out_json: Option<String>,
     metrics_addr: Option<String>,
     quiet: bool,
 }
@@ -37,7 +57,10 @@ fn usage() -> ExitCode {
          \x20      [--pipeline tunio|hstuner|hstuner-heuristic|impact-first|rl-stop]\n\
          \x20      [--variant full|kernel|reduced:<fraction>]\n\
          \x20      [--iterations N] [--population N] [--seed N]\n\
-         \x20      [--large-scale] [--xml-out FILE]\n\
+         \x20      [--large-scale]\n\
+         \x20      [--checkpoint FILE] [--resume] [--abort-after N]\n\
+         \x20      [--fault-rate F] [--fault-seed N]\n\
+         \x20      [--xml-out FILE] [--out-json FILE]\n\
          \x20      [--metrics-addr HOST:PORT] [--quiet]"
     );
     ExitCode::from(2)
@@ -52,7 +75,13 @@ fn parse_args() -> Result<Args, String> {
         population: 8,
         seed: 0,
         large_scale: false,
+        checkpoint: None,
+        resume: false,
+        abort_after: None,
+        fault_rate: None,
+        fault_seed: None,
         xml_out: None,
+        out_json: None,
         metrics_addr: None,
         quiet: false,
     };
@@ -110,7 +139,35 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad seed: {e}"))?
             }
             "--large-scale" => args.large_scale = true,
+            "--checkpoint" => {
+                args.checkpoint = Some(PathBuf::from(value(&argv, &mut i, "--checkpoint")?))
+            }
+            "--resume" => args.resume = true,
+            "--abort-after" => {
+                args.abort_after = Some(
+                    value(&argv, &mut i, "--abort-after")?
+                        .parse()
+                        .map_err(|e| format!("bad abort-after: {e}"))?,
+                )
+            }
+            "--fault-rate" => {
+                let rate: f64 = value(&argv, &mut i, "--fault-rate")?
+                    .parse()
+                    .map_err(|e| format!("bad fault rate: {e}"))?;
+                if !(0.0..=0.5).contains(&rate) {
+                    return Err("fault rate must be in [0, 0.5]".into());
+                }
+                args.fault_rate = Some(rate);
+            }
+            "--fault-seed" => {
+                args.fault_seed = Some(
+                    value(&argv, &mut i, "--fault-seed")?
+                        .parse()
+                        .map_err(|e| format!("bad fault seed: {e}"))?,
+                )
+            }
             "--xml-out" => args.xml_out = Some(value(&argv, &mut i, "--xml-out")?),
+            "--out-json" => args.out_json = Some(value(&argv, &mut i, "--out-json")?),
             "--metrics-addr" => args.metrics_addr = Some(value(&argv, &mut i, "--metrics-addr")?),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Err(String::new()),
@@ -122,6 +179,54 @@ fn parse_args() -> Result<Args, String> {
         return Err("missing --app".into());
     }
     Ok(args)
+}
+
+/// Deterministic JSON dump of a campaign outcome. Floats use Rust's
+/// shortest round-trip formatting, so two bitwise-identical outcomes
+/// produce byte-identical files — the CI crash/resume job asserts
+/// equality with a plain `diff`.
+fn outcome_json(outcome: &tunio::pipeline::CampaignOutcome) -> String {
+    let t = &outcome.trace;
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"pipeline\": \"{}\",\n", outcome.kind.label()));
+    s.push_str("  \"records\": [\n");
+    for (i, r) in t.records.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"iteration\": {}, \"best_perf\": {:?}, \"generation_best_perf\": {:?}, \
+             \"cost_s\": {:?}, \"cumulative_cost_s\": {:?}, \"subset_size\": {}}}{}\n",
+            r.iteration,
+            r.best_perf,
+            r.generation_best_perf,
+            r.cost_s,
+            r.cumulative_cost_s,
+            r.subset_size,
+            if i + 1 == t.records.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    let genes: Vec<String> = t
+        .best_config
+        .genes()
+        .iter()
+        .map(|g| g.to_string())
+        .collect();
+    s.push_str(&format!("  \"best_genes\": [{}],\n", genes.join(", ")));
+    s.push_str(&format!("  \"best_perf\": {:?},\n", t.best_perf));
+    s.push_str(&format!("  \"default_perf\": {:?},\n", t.default_perf));
+    s.push_str(&format!("  \"stopped_early\": {},\n", t.stopped_early));
+    s.push_str(&format!("  \"stopper\": \"{}\",\n", t.stopper_name));
+    let res = &outcome.resilience;
+    s.push_str(&format!(
+        "  \"resilience\": {{\"faults_injected\": {}, \"retries\": {}, \
+         \"failed_evaluations\": {}, \"quarantined_keys\": {}, \"penalties_served\": {}}}\n",
+        res.faults_injected,
+        res.retries,
+        res.failed_evaluations,
+        res.quarantined_keys,
+        res.penalties_served
+    ));
+    s.push_str("}\n");
+    s
 }
 
 fn main() -> ExitCode {
@@ -182,7 +287,34 @@ fn main() -> ExitCode {
         );
     }
 
-    let outcome = run_campaign(&spec);
+    let opts = CampaignOptions {
+        checkpoint: args.checkpoint.clone(),
+        resume: args.resume,
+        fault_plan: args
+            .fault_rate
+            .map(|rate| FaultPlan::chaos(args.fault_seed.unwrap_or(args.seed), rate)),
+        policy: None,
+        abort_after: args.abort_after,
+    };
+    if args.resume && args.checkpoint.is_none() {
+        eprintln!("error: --resume needs --checkpoint");
+        return usage();
+    }
+    if let (Some(path), false) = (&args.checkpoint, args.quiet) {
+        if args.resume && path.exists() {
+            eprintln!("resuming from checkpoint {}", path.display());
+        } else {
+            eprintln!("checkpointing to {}", path.display());
+        }
+    }
+
+    let outcome = match run_campaign_opts(&spec, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
     let trace = &outcome.trace;
     if !args.quiet {
         for r in &trace.records {
@@ -209,6 +341,29 @@ fn main() -> ExitCode {
         "configuration: {}",
         trace.best_config.describe_changes(&space)
     );
+    let res = &outcome.resilience;
+    if args.fault_rate.is_some() || res.faults_injected > 0 {
+        println!(
+            "resilience: {} faults injected, {} retries, {} failed evaluations, \
+             {} quarantined keys, {} penalties served",
+            res.faults_injected,
+            res.retries,
+            res.failed_evaluations,
+            res.quarantined_keys,
+            res.penalties_served
+        );
+    }
+
+    if let Some(path) = args.out_json {
+        let json = outcome_json(&outcome);
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        if !args.quiet {
+            eprintln!("wrote outcome JSON to {path}");
+        }
+    }
 
     if let Some(path) = args.xml_out {
         let xml = tunio_params::to_xml(&trace.best_config, &space, false);

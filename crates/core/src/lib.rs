@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod checkpoint;
 pub mod early_stop;
 pub mod perf;
 pub mod pipeline;

@@ -1,14 +1,26 @@
 //! End-to-end tuning campaigns (the pipelines compared in §IV).
+//!
+//! Campaigns run fault-free by default. [`CampaignOptions`] adds the
+//! robustness machinery: a seeded [`FaultPlan`] for chaos runs, a
+//! [`FailurePolicy`] governing retry/quarantine/penalty behaviour, and a
+//! write-ahead-log checkpoint ([`crate::checkpoint`]) enabling
+//! kill-and-resume with bitwise-identical outcomes.
 
+use crate::checkpoint::{
+    self, CheckpointError, CheckpointGeneration, CheckpointHeader, CheckpointWriter,
+    CHECKPOINT_VERSION,
+};
 use crate::early_stop::EarlyStopAgent;
 use crate::smart_config::SmartConfigAgent;
 use serde::Serialize;
-use tunio_iosim::Simulator;
+use std::path::{Path, PathBuf};
+use tunio_iosim::{FaultPlan, Simulator};
 use tunio_params::ParameterSpace;
 use tunio_trace as trace;
 use tunio_tuner::stoppers::NoStop;
 use tunio_tuner::{
-    AllParams, EvalEngine, GaConfig, GaTuner, HeuristicStop, Stopper, SubsetProvider, TuningTrace,
+    AllParams, CampaignObserver, EvalEngine, FailurePolicy, GaConfig, GaTuner, GenerationSnapshot,
+    HeuristicStop, ResilienceCounters, Stopper, SubsetProvider, TuningTrace,
 };
 use tunio_workloads::{AppSpec, Variant, Workload};
 
@@ -69,19 +81,57 @@ pub struct CampaignOutcome {
     /// Per-layer cost attribution pooled over every charged evaluation
     /// (see [`tunio_iosim::Profile`]).
     pub profile: tunio_iosim::Profile,
+    /// What the failure machinery did: faults injected, retries,
+    /// exhausted evaluations, quarantined keys, penalties served. All
+    /// zero for a fault-free campaign.
+    pub resilience: ResilienceCounters,
 }
 
-/// Run one campaign.
+/// Robustness options for a campaign: fault injection, failure policy,
+/// and checkpoint/resume. The default is a plain fault-free campaign
+/// with no checkpoint — exactly the historical behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// Write a JSONL write-ahead log of completed generations here.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from `checkpoint` if it already exists (a fresh file is
+    /// started otherwise, so `resume: true` is always safe to pass).
+    pub resume: bool,
+    /// Attach a fault-injection plan to the simulator.
+    pub fault_plan: Option<FaultPlan>,
+    /// Override the engine's retry/quarantine/penalty policy.
+    pub policy: Option<FailurePolicy>,
+    /// Exit the process (status 0) once this generation's checkpoint
+    /// line is durable — the kill switch for crash/resume testing.
+    pub abort_after: Option<u32>,
+}
+
+/// Run one campaign with default options (fault-free, no checkpoint).
 pub fn run_campaign(spec: &CampaignSpec) -> CampaignOutcome {
+    run_campaign_opts(spec, &CampaignOptions::default())
+        .expect("a campaign without a checkpoint has no failure path")
+}
+
+/// Run one campaign with explicit robustness options.
+pub fn run_campaign_opts(
+    spec: &CampaignSpec,
+    opts: &CampaignOptions,
+) -> Result<CampaignOutcome, CheckpointError> {
     let space = ParameterSpace::tunio_default();
-    let sim = if spec.large_scale {
+    let mut sim = if spec.large_scale {
         Simulator::cori_500node(spec.seed)
     } else {
         Simulator::cori_4node(spec.seed)
     };
+    if let Some(plan) = opts.fault_plan {
+        sim = sim.with_fault_plan(plan);
+    }
     let cluster = sim.cluster;
     let workload = Workload::new(spec.app.clone(), spec.variant);
-    let engine = EvalEngine::new(sim, workload, space.clone(), 3);
+    let mut engine = EvalEngine::new(sim, workload, space.clone(), 3);
+    if let Some(policy) = opts.policy {
+        engine = engine.with_policy(policy);
+    }
     let mut tuner = GaTuner::new(GaConfig {
         population: spec.population,
         max_iterations: spec.max_iterations,
@@ -118,13 +168,202 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignOutcome {
         None => &mut all_params,
     };
 
+    let mut checkpointer = match &opts.checkpoint {
+        Some(path) => Some(CheckpointObserver::open(
+            path,
+            opts.resume,
+            &spec_header(spec),
+            &engine,
+            opts.abort_after,
+        )?),
+        None => None,
+    };
+
     let span = campaign_span(spec);
-    let trace = tuner.run(&engine, stopper.as_mut(), subsets);
+    let trace = match checkpointer.as_mut() {
+        Some(obs) => tuner.run_with_observer(&engine, stopper.as_mut(), subsets, obs),
+        None => tuner.run(&engine, stopper.as_mut(), subsets),
+    };
+    if let Some(obs) = checkpointer {
+        if let Some(e) = obs.error {
+            return Err(e);
+        }
+    }
     finish_campaign(span, spec, &engine, &trace);
-    CampaignOutcome {
+    Ok(CampaignOutcome {
         kind: spec.kind,
         trace,
         profile: engine.profile_snapshot(),
+        resilience: engine.resilience(),
+    })
+}
+
+/// The checkpoint header a spec binds to.
+fn spec_header(spec: &CampaignSpec) -> CheckpointHeader {
+    CheckpointHeader {
+        version: CHECKPOINT_VERSION,
+        app: spec.app.name.clone(),
+        variant: format!("{:?}", spec.variant),
+        kind: spec.kind.label().to_string(),
+        max_iterations: spec.max_iterations,
+        population: spec.population,
+        seed: spec.seed,
+        large_scale: spec.large_scale,
+    }
+}
+
+/// What a resumed campaign must reproduce for one replayed generation
+/// before it may extend the log.
+struct ReplayCheck {
+    rng_state: [u64; 4],
+    best_perf: f64,
+    cumulative_cost_s: f64,
+    entry_keys: Vec<Vec<usize>>,
+}
+
+/// The write-ahead-log attachment: drains the engine's cache journal
+/// after every generation, verifies replayed generations against the
+/// stored trajectory, and appends new ones.
+struct CheckpointObserver<'a> {
+    engine: &'a EvalEngine,
+    writer: CheckpointWriter,
+    replay: Vec<ReplayCheck>,
+    abort_after: Option<u32>,
+    error: Option<CheckpointError>,
+    written: trace::Counter,
+}
+
+impl<'a> CheckpointObserver<'a> {
+    fn open(
+        path: &Path,
+        resume: bool,
+        header: &CheckpointHeader,
+        engine: &'a EvalEngine,
+        abort_after: Option<u32>,
+    ) -> Result<Self, CheckpointError> {
+        engine.enable_journal();
+        let (writer, replay) = if resume && path.exists() {
+            let (stored, generations) = checkpoint::load(path)?;
+            stored.ensure_matches(header)?;
+            // Heal the file down to its trusted prefix (a kill mid-append
+            // leaves a torn final line that must not be appended after).
+            let writer = CheckpointWriter::rewrite(path, &stored, &generations)?;
+            let mut replay = Vec::with_capacity(generations.len());
+            for g in generations {
+                replay.push(ReplayCheck {
+                    rng_state: g.rng_state,
+                    best_perf: g.record.best_perf,
+                    cumulative_cost_s: g.record.cumulative_cost_s,
+                    entry_keys: g.entries.iter().map(|e| e.key.clone()).collect(),
+                });
+                engine.preload(g.entries);
+            }
+            (writer, replay)
+        } else {
+            (CheckpointWriter::create(path, header)?, Vec::new())
+        };
+        Ok(CheckpointObserver {
+            engine,
+            writer,
+            replay,
+            abort_after,
+            error: None,
+            written: trace::counter("tunio.checkpoint.written"),
+        })
+    }
+
+    /// The recorded trajectory vs what the replay actually did. `None`
+    /// means this generation retraced faithfully.
+    fn divergence(
+        &self,
+        snap: &GenerationSnapshot<'_>,
+        entries_keys: &[&[usize]],
+    ) -> Option<String> {
+        let want = &self.replay[snap.iteration as usize - 1];
+        if snap.rng_state != want.rng_state {
+            return Some(format!(
+                "rng state {:?} != recorded {:?}",
+                snap.rng_state, want.rng_state
+            ));
+        }
+        if snap.record.best_perf != want.best_perf {
+            return Some(format!(
+                "best perf {} != recorded {}",
+                snap.record.best_perf, want.best_perf
+            ));
+        }
+        if snap.record.cumulative_cost_s != want.cumulative_cost_s {
+            return Some(format!(
+                "cumulative cost {} != recorded {}",
+                snap.record.cumulative_cost_s, want.cumulative_cost_s
+            ));
+        }
+        if entries_keys.len() != want.entry_keys.len()
+            || entries_keys
+                .iter()
+                .zip(&want.entry_keys)
+                .any(|(got, want)| *got != want.as_slice())
+        {
+            return Some(format!(
+                "{} cache entries charged, recorded {}",
+                entries_keys.len(),
+                want.entry_keys.len()
+            ));
+        }
+        None
+    }
+}
+
+impl CampaignObserver for CheckpointObserver<'_> {
+    fn on_generation(&mut self, snap: &GenerationSnapshot<'_>) {
+        if self.error.is_some() {
+            return; // already failed; surfaced after the run
+        }
+        let entries = self.engine.drain_journal();
+        if (snap.iteration as usize) <= self.replay.len() {
+            // Replayed generation: already durable in the log. Verify the
+            // resumed run retraced it instead of silently forking history.
+            let keys: Vec<&[usize]> = entries.iter().map(|e| e.key.as_slice()).collect();
+            if let Some(why) = self.divergence(snap, &keys) {
+                self.error = Some(CheckpointError::Diverged {
+                    iteration: snap.iteration,
+                    why,
+                });
+            }
+        } else {
+            let generation = CheckpointGeneration {
+                iteration: snap.iteration,
+                rng_state: snap.rng_state,
+                record: snap.record.clone(),
+                population: snap.population.iter().map(|c| c.genes().to_vec()).collect(),
+                best_genes: snap.best_config.genes().to_vec(),
+                stopped: snap.stopped,
+                entries,
+            };
+            match self.writer.write_generation(&generation) {
+                Ok(()) => {
+                    self.written.inc(1);
+                    trace::event(
+                        "checkpoint.written",
+                        vec![
+                            ("iteration", snap.iteration.into()),
+                            ("entries", generation.entries.len().into()),
+                            ("stopped", snap.stopped.into()),
+                        ],
+                    );
+                }
+                Err(e) => {
+                    self.error = Some(e);
+                    return;
+                }
+            }
+        }
+        if self.abort_after == Some(snap.iteration) {
+            // Crash/resume test hook: this generation is durable; die the
+            // way a preempted job does (no destructors, no final trace).
+            eprintln!("aborting after generation {} (abort_after)", snap.iteration);
+            std::process::exit(0);
+        }
     }
 }
 
@@ -153,6 +392,7 @@ fn finish_campaign(
 ) {
     if trace::enabled() {
         let minutes = outcome.total_cost_s() / 60.0;
+        let resilience = engine.resilience();
         trace::event(
             "campaign.done",
             vec![
@@ -165,6 +405,11 @@ fn finish_campaign(
                 ("stopper_name", outcome.stopper_name.as_str().into()),
                 ("evaluations", engine.evaluations().into()),
                 ("cache_hits", engine.cache_hits().into()),
+                ("faults_injected", resilience.faults_injected.into()),
+                ("retries", resilience.retries.into()),
+                ("failed_evaluations", resilience.failed_evaluations.into()),
+                ("quarantined_keys", resilience.quarantined_keys.into()),
+                ("penalties_served", resilience.penalties_served.into()),
                 ("total_cost_s", outcome.total_cost_s().into()),
                 (
                     "final_roti",
@@ -333,6 +578,187 @@ pub fn run_campaign_with(tunio: &mut crate::TunIo, spec: &CampaignSpec) -> Campa
         kind: PipelineKind::TunIo,
         trace,
         profile: engine.profile_snapshot(),
+        resilience: engine.resilience(),
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use tunio_workloads::hacc;
+
+    fn spec(kind: PipelineKind, iters: u32, seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            app: hacc(),
+            variant: Variant::Kernel,
+            kind,
+            max_iterations: iters,
+            population: 6,
+            seed,
+            large_scale: false,
+        }
+    }
+
+    fn wal_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("tunio-pipeline-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn assert_outcomes_identical(a: &CampaignOutcome, b: &CampaignOutcome) {
+        assert_eq!(a.trace.records.len(), b.trace.records.len());
+        for (x, y) in a.trace.records.iter().zip(&b.trace.records) {
+            assert_eq!(x.best_perf, y.best_perf, "gen {}", x.iteration);
+            assert_eq!(x.generation_best_perf, y.generation_best_perf);
+            assert_eq!(x.cost_s, y.cost_s, "gen {}", x.iteration);
+            assert_eq!(x.cumulative_cost_s, y.cumulative_cost_s);
+            assert_eq!(x.subset_size, y.subset_size);
+        }
+        assert_eq!(a.trace.best_perf, b.trace.best_perf);
+        assert_eq!(a.trace.default_perf, b.trace.default_perf);
+        assert_eq!(
+            a.trace.best_config.genes(),
+            b.trace.best_config.genes(),
+            "best configuration must be identical"
+        );
+        assert_eq!(a.trace.stopped_early, b.trace.stopped_early);
+        assert_eq!(a.profile, b.profile, "profile accumulator must match");
+    }
+
+    /// Keep the header plus the first `k` generation lines, then append a
+    /// torn partial line — exactly what a `kill -9` mid-append leaves.
+    fn truncate_wal(path: &Path, k: usize) {
+        let raw = std::fs::read_to_string(path).unwrap();
+        let mut kept: Vec<&str> = raw.lines().take(1 + k).collect();
+        assert_eq!(kept.len(), 1 + k, "WAL shorter than the kill point");
+        let torn = "{\"iteration\":99,\"rng_state\":[123,45";
+        kept.push(torn);
+        std::fs::write(path, kept.join("\n")).unwrap();
+    }
+
+    #[test]
+    fn checkpointed_campaign_is_bitwise_identical_to_plain() {
+        let s = spec(PipelineKind::HsTunerNoStop, 6, 17);
+        let plain = run_campaign(&s);
+        let path = wal_path("plain-vs-ckpt.jsonl");
+        let opts = CampaignOptions {
+            checkpoint: Some(path.clone()),
+            ..CampaignOptions::default()
+        };
+        let ckpt = run_campaign_opts(&s, &opts).unwrap();
+        assert_outcomes_identical(&plain, &ckpt);
+        assert_eq!(ckpt.resilience, ResilienceCounters::default());
+        let (_, gens) = checkpoint::load(&path).unwrap();
+        assert_eq!(gens.len(), 6, "one WAL line per generation");
+        assert!(gens.last().unwrap().stopped);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The acceptance scenario: kill a campaign mid-run (simulated by
+    /// truncating its WAL to the first k generations plus a torn line),
+    /// resume it, and require the outcome to be identical to the
+    /// uninterrupted run — including with the RL stopper and smart
+    /// subset agents in the loop, whose state is rebuilt by replay.
+    #[test]
+    fn kill_mid_campaign_and_resume_reproduces_the_outcome() {
+        let s = spec(PipelineKind::TunIo, 10, 23);
+        let path = wal_path("kill-resume.jsonl");
+        let opts = CampaignOptions {
+            checkpoint: Some(path.clone()),
+            ..CampaignOptions::default()
+        };
+        let uninterrupted = run_campaign_opts(&s, &opts).unwrap();
+        let total = uninterrupted.trace.records.len();
+        assert!(total >= 3, "need enough generations to kill mid-way");
+
+        truncate_wal(&path, 2);
+        let resumed = run_campaign_opts(
+            &s,
+            &CampaignOptions {
+                checkpoint: Some(path.clone()),
+                resume: true,
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert_outcomes_identical(&uninterrupted, &resumed);
+        assert_eq!(resumed.resilience, uninterrupted.resilience);
+
+        // The resumed run must have healed the WAL back to full length.
+        let (_, gens) = checkpoint::load(&path).unwrap();
+        assert_eq!(gens.len(), total);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_is_a_noop_replay_when_the_campaign_already_finished() {
+        let s = spec(PipelineKind::HsTunerHeuristic, 12, 29);
+        let path = wal_path("finished-resume.jsonl");
+        let opts = CampaignOptions {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..CampaignOptions::default()
+        };
+        let first = run_campaign_opts(&s, &opts).unwrap();
+        let second = run_campaign_opts(&s, &opts).unwrap();
+        assert_outcomes_identical(&first, &second);
+        // A full replay never touches the simulator.
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_checkpoint_from_a_different_campaign() {
+        let path = wal_path("mismatch.jsonl");
+        let opts = |resume| CampaignOptions {
+            checkpoint: Some(path.clone()),
+            resume,
+            ..CampaignOptions::default()
+        };
+        run_campaign_opts(&spec(PipelineKind::HsTunerNoStop, 3, 31), &opts(false)).unwrap();
+        let err =
+            run_campaign_opts(&spec(PipelineKind::HsTunerNoStop, 3, 32), &opts(true)).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::SpecMismatch { field: "seed", .. }),
+            "got {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Chaos + kill + resume: with a seeded fault plan active, the
+    /// resumed campaign still reproduces the uninterrupted trace bitwise
+    /// (failed evaluations re-draw identical faults; successful ones are
+    /// replayed from the WAL).
+    #[test]
+    fn chaos_campaign_survives_kill_and_resume() {
+        let s = spec(PipelineKind::HsTunerNoStop, 8, 37);
+        let path = wal_path("chaos-resume.jsonl");
+        let chaos = |resume| CampaignOptions {
+            checkpoint: Some(path.clone()),
+            resume,
+            fault_plan: Some(FaultPlan::chaos(37, 0.15)),
+            policy: Some(FailurePolicy {
+                max_retries: 3,
+                ..FailurePolicy::default()
+            }),
+            ..CampaignOptions::default()
+        };
+        let uninterrupted = run_campaign_opts(&s, &chaos(false)).unwrap();
+        assert!(
+            uninterrupted.resilience.faults_injected > 0,
+            "the chaos plan must actually fire"
+        );
+        assert!(
+            uninterrupted.trace.best_perf > 0.0,
+            "campaign must converge to a real configuration under faults"
+        );
+
+        truncate_wal(&path, 3);
+        let resumed = run_campaign_opts(&s, &chaos(true)).unwrap();
+        // Resilience counters legitimately differ (replayed successes do
+        // not re-run the simulator, so their fault draws never happen);
+        // the campaign outcome itself must not.
+        assert_outcomes_identical(&uninterrupted, &resumed);
+        std::fs::remove_file(&path).ok();
     }
 }
 

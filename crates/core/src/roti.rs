@@ -54,12 +54,19 @@ pub fn roti_curve(trace: &TuningTrace) -> Vec<RotiPoint> {
         .collect()
 }
 
-/// Peak RoTI over a trace and when it occurred. NaN-safe: `total_cmp`
-/// keeps the scan well-defined even if a corrupt trace carries NaN perf.
+/// Peak RoTI over a trace and when it occurred. NaN-safe: points with a
+/// non-finite RoTI (a corrupt trace record) are skipped, so a poisoned
+/// generation can never be reported as the peak — `total_cmp` would
+/// otherwise order NaN above every finite RoTI. Returns the first point
+/// only when every point is non-finite.
 pub fn peak_roti(trace: &TuningTrace) -> Option<RotiPoint> {
-    roti_curve(trace)
-        .into_iter()
+    let curve = roti_curve(trace);
+    let finite = curve
+        .iter()
+        .filter(|p| p.roti.is_finite())
         .max_by(|a, b| a.roti.total_cmp(&b.roti))
+        .cloned();
+    finite.or_else(|| curve.into_iter().next())
 }
 
 /// Final RoTI (at campaign end).
@@ -127,16 +134,25 @@ mod tests {
         assert!(c.iter().all(|p| p.roti >= 0.0));
     }
 
-    /// Regression test: `peak_roti` used `partial_cmp().unwrap()` and
-    /// panicked on traces carrying a NaN perf value.
+    /// Regression tests: `peak_roti` used `partial_cmp().unwrap()` and
+    /// panicked on NaN perf; its `total_cmp` replacement then reported
+    /// the NaN point as the peak (NaN sorts above every finite value).
+    /// A corrupt record must never be the peak.
     #[test]
-    fn peak_roti_tolerates_nan_perf() {
+    fn peak_roti_skips_corrupt_records() {
         let t = fake_trace(&[1e8, f64::NAN, 3e8], 5.0);
         let peak = peak_roti(&t).expect("non-empty trace has a peak"); // panicked pre-fix
         assert_eq!(roti_curve(&t).len(), 3);
-        // No-panic is the guarantee; NaN sorts above finite values under
-        // total_cmp so the peak may legitimately be the NaN point.
-        assert!(peak.roti.is_nan() || peak.roti.is_finite());
+        assert!(peak.roti.is_finite(), "NaN record won the peak: {peak:?}");
+        assert_eq!(peak.iteration, 3, "peak must be the best finite point");
+    }
+
+    #[test]
+    fn all_corrupt_trace_still_reports_a_peak() {
+        let t = fake_trace(&[f64::NAN, f64::NAN], 5.0);
+        // Degenerate traces return the first point instead of None, so
+        // report plumbing never loses the campaign.
+        assert!(peak_roti(&t).is_some());
     }
 
     #[test]

@@ -66,11 +66,17 @@ impl TuningSession {
         });
     }
 
-    /// Best round so far. NaN-safe: `total_cmp` orders NaN above every
-    /// finite perf instead of panicking on corrupt data ([`Self::load`]
-    /// rejects NaN up front, but in-memory sessions get no such gate).
+    /// Best round so far. NaN-safe: rounds with a non-finite perf (a
+    /// corrupted report, an injected-fault artifact) are skipped, so a
+    /// poisoned round can never become the session's best. `total_cmp`
+    /// would otherwise order NaN *above* every finite perf. Falls back to
+    /// the first round only when every recorded perf is non-finite.
     pub fn best(&self) -> Option<&SessionRound> {
-        self.rounds.iter().max_by(|a, b| a.perf.total_cmp(&b.perf))
+        self.rounds
+            .iter()
+            .filter(|r| r.perf.is_finite())
+            .max_by(|a, b| a.perf.total_cmp(&b.perf))
+            .or_else(|| self.rounds.first())
     }
 
     /// Total time invested across recorded rounds, minutes.
@@ -372,13 +378,16 @@ mod tests {
         assert_eq!(session.suggest(&space), space.default_config());
     }
 
-    /// Regression test: `best()` used `partial_cmp().unwrap()` and
-    /// panicked the moment a NaN perf entered the session.
+    /// Regression tests: `best()` used `partial_cmp().unwrap()` and
+    /// panicked the moment a NaN perf entered the session; the `total_cmp`
+    /// replacement then ordered NaN *above* every finite perf, so a
+    /// corrupted report's round would win. Neither may happen: a poisoned
+    /// round must never become the session's best.
     #[test]
-    fn best_tolerates_nan_perf() {
+    fn corrupt_rounds_never_become_best() {
         let space = ParameterSpace::tunio_default();
         let mut session = TuningSession::new();
-        for perf in [1.0, f64::NAN, 3.0] {
+        for perf in [1.0, f64::NAN, 3.0, f64::INFINITY] {
             session.rounds.push(SessionRound {
                 config: space.default_config(),
                 perf,
@@ -386,10 +395,24 @@ mod tests {
             });
         }
         let best = session.best().expect("non-empty session has a best");
-        // total_cmp orders NaN above finite values, so the call must not
-        // panic; the interesting guarantee is no-panic, not which round
-        // wins.
-        assert!(best.perf.is_nan() || best.perf == 3.0);
+        assert_eq!(best.perf, 3.0, "best must be the top *finite* perf");
+    }
+
+    #[test]
+    fn all_corrupt_session_still_has_a_best() {
+        let space = ParameterSpace::tunio_default();
+        let mut session = TuningSession::new();
+        for perf in [f64::NAN, f64::INFINITY] {
+            session.rounds.push(SessionRound {
+                config: space.default_config(),
+                perf,
+                elapsed_s: 1.0,
+            });
+        }
+        // Degenerate sessions fall back to the first round instead of
+        // pretending to be empty — suggest() still works.
+        assert!(session.best().is_some());
+        let _ = session.suggest(&space);
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Seeded, deterministic fault injection.
+//!
+//! Real tuning campaigns run on a shared, flaky I/O stack: trial runs die
+//! at allocation boundaries, stragglers blow past their expected runtime,
+//! Lustre OSTs drop out of the layout, and instrumentation occasionally
+//! emits garbage counters. A [`FaultPlan`] reproduces all four failure
+//! modes *deterministically*: every fault decision is a pure function of
+//! `(plan seed, configuration fingerprint, run index, attempt)`, so a
+//! chaos campaign is exactly as replayable as a clean one — same seed,
+//! same faults, same outcome.
+//!
+//! The plan only takes effect on the simulator's fallible entry points
+//! ([`crate::Simulator::try_run_profiled`] and friends); the infallible
+//! `run*` methods ignore it, which keeps every pre-existing caller
+//! bitwise-identical.
+
+use crate::noise::splitmix64;
+use std::fmt;
+
+/// The failure modes the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The run dies outright (node failure, allocation kill, MPI abort).
+    /// Surfaced as an `Err` from the fallible run path.
+    Transient,
+    /// The run completes but a straggler inflates its I/O and metadata
+    /// time by the plan's slowdown factor.
+    Straggler,
+    /// An OST flap: part of the Lustre layout drops out mid-run, so the
+    /// transfer is serviced by fewer OSTs than the striping requested.
+    OstFlap,
+    /// The run "completes" but its report is corrupted: timing counters
+    /// come back as NaN, the way a torn Darshan log reads.
+    Corrupt,
+}
+
+impl FaultKind {
+    /// Stable lowercase label, used for trace events and metric labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::Straggler => "straggler",
+            FaultKind::OstFlap => "ost_flap",
+            FaultKind::Corrupt => "corrupt",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One fault that was actually injected into a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Which failure mode fired.
+    pub kind: FaultKind,
+    /// The repeat index (0-based) of the affected run.
+    pub run_idx: u32,
+    /// The evaluation attempt the run belonged to (0 = first try).
+    pub attempt: u32,
+}
+
+/// Error returned when a transient fault kills a simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimFault {
+    /// The fault that terminated the run.
+    pub fault: InjectedFault,
+}
+
+impl fmt::Display for SimFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulated run killed by {} fault (run {}, attempt {})",
+            self.fault.kind, self.fault.run_idx, self.fault.attempt
+        )
+    }
+}
+
+impl std::error::Error for SimFault {}
+
+/// A seeded fault-injection schedule attached to a [`crate::Simulator`].
+///
+/// Rates are independent per-run probabilities in `[0, 1]`; at most one
+/// fault fires per run, chosen by a single uniform draw against the
+/// cumulative rate thresholds (transient, then straggler, then OST flap,
+/// then corrupt). The sum of the rates must therefore stay ≤ 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Base seed mixed into every fault draw.
+    pub seed: u64,
+    /// Probability a run dies outright.
+    pub transient_rate: f64,
+    /// Probability a run straggles.
+    pub straggler_rate: f64,
+    /// I/O-time multiplier applied to straggler runs (> 1).
+    pub straggler_slowdown: f64,
+    /// Probability of an OST flap during a run.
+    pub ost_flap_rate: f64,
+    /// How many OSTs drop out of the layout during a flap.
+    pub ost_flap_loss: u32,
+    /// Probability the run's report comes back NaN-corrupted.
+    pub corrupt_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan that never fires — attached but inert, for wiring tests.
+    pub fn disabled(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            transient_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 4.0,
+            ost_flap_rate: 0.0,
+            ost_flap_loss: 8,
+            corrupt_rate: 0.0,
+        }
+    }
+
+    /// A mixed chaos plan scaled by `rate`: transient failures at `rate`,
+    /// stragglers at `rate/2` (4x slowdown), OST flaps at `rate/2` and
+    /// corrupted reports at `rate/4`. `rate` = 0.1 reproduces the
+    /// acceptance scenario of a ≥10% transient failure rate.
+    pub fn chaos(seed: u64, rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 0.5);
+        FaultPlan {
+            seed,
+            transient_rate: rate,
+            straggler_rate: rate / 2.0,
+            straggler_slowdown: 4.0,
+            ost_flap_rate: rate / 2.0,
+            ost_flap_loss: 8,
+            corrupt_rate: rate / 4.0,
+        }
+    }
+
+    /// True when any failure mode has a nonzero rate.
+    pub fn is_active(&self) -> bool {
+        self.transient_rate > 0.0
+            || self.straggler_rate > 0.0
+            || self.ost_flap_rate > 0.0
+            || self.corrupt_rate > 0.0
+    }
+
+    /// The fault (if any) that fires for this `(config, run, attempt)`
+    /// triple. Pure: identical inputs always yield identical faults.
+    pub fn draw(&self, config_fingerprint: u64, run_idx: u32, attempt: u32) -> Option<FaultKind> {
+        if !self.is_active() {
+            return None;
+        }
+        let mut h = splitmix64(self.seed ^ 0xFA_17_1D_EA_FA_17_1D_EAu64);
+        h = splitmix64(h ^ config_fingerprint);
+        h = splitmix64(h ^ (((run_idx as u64) << 32) | attempt as u64));
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let mut threshold = self.transient_rate;
+        if u < threshold {
+            return Some(FaultKind::Transient);
+        }
+        threshold += self.straggler_rate;
+        if u < threshold {
+            return Some(FaultKind::Straggler);
+        }
+        threshold += self.ost_flap_rate;
+        if u < threshold {
+            return Some(FaultKind::OstFlap);
+        }
+        threshold += self.corrupt_rate;
+        if u < threshold {
+            return Some(FaultKind::Corrupt);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic() {
+        let p = FaultPlan::chaos(7, 0.2);
+        for run in 0..16 {
+            for attempt in 0..4 {
+                assert_eq!(p.draw(99, run, attempt), p.draw(99, run, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let p = FaultPlan::disabled(42);
+        assert!(!p.is_active());
+        for run in 0..100 {
+            assert_eq!(p.draw(1, run, 0), None);
+        }
+    }
+
+    #[test]
+    fn rates_approximate_observed_frequencies() {
+        let p = FaultPlan {
+            seed: 3,
+            transient_rate: 0.25,
+            straggler_rate: 0.0,
+            straggler_slowdown: 4.0,
+            ost_flap_rate: 0.0,
+            ost_flap_loss: 8,
+            corrupt_rate: 0.0,
+        };
+        let n = 10_000u64;
+        let hits = (0..n)
+            .filter(|&i| p.draw(splitmix64(i), 0, 0) == Some(FaultKind::Transient))
+            .count() as f64;
+        let freq = hits / n as f64;
+        assert!((freq - 0.25).abs() < 0.02, "observed {freq}");
+    }
+
+    #[test]
+    fn attempt_changes_the_draw() {
+        // Retries must see fresh draws or a transient fault would recur
+        // deterministically forever.
+        let p = FaultPlan::chaos(11, 0.3);
+        let distinct: std::collections::HashSet<_> = (0..64)
+            .map(|attempt| p.draw(5, 0, attempt).map(|k| k.label()))
+            .collect();
+        assert!(distinct.len() > 1, "attempts all drew the same outcome");
+    }
+
+    #[test]
+    fn chaos_plan_mixes_all_kinds() {
+        let p = FaultPlan::chaos(13, 0.4);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..5000u64 {
+            if let Some(k) = p.draw(splitmix64(i), 0, 0) {
+                seen.insert(k.label());
+            }
+        }
+        assert_eq!(seen.len(), 4, "saw only {seen:?}");
+    }
+}

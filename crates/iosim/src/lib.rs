@@ -32,6 +32,7 @@
 pub mod burst;
 pub mod cluster;
 pub mod darshan;
+pub mod fault;
 pub mod hdf5;
 pub mod lustre;
 pub mod mpiio;
@@ -44,6 +45,7 @@ pub mod sim;
 pub use burst::BurstBufferSpec;
 pub use cluster::ClusterSpec;
 pub use darshan::{DarshanLog, DatasetCounters};
+pub use fault::{FaultKind, FaultPlan, InjectedFault, SimFault};
 pub use lustre::LustreSpec;
 pub use profile::{compare_profiles, render_diff, Layer, LayerDelta, LayerStat, Profile, TreeRow};
 pub use report::RunReport;

@@ -76,6 +76,25 @@ impl RunReport {
         self.io_time_s * (1.0 - self.alpha())
     }
 
+    /// True when every counter is finite and non-negative — the validity
+    /// gate the evaluation engine applies before trusting a report. A
+    /// corrupted run (torn log, NaN timings) fails this check and is
+    /// treated as a failed attempt rather than a usable measurement.
+    pub fn is_sane(&self) -> bool {
+        [
+            self.elapsed_s,
+            self.io_time_s,
+            self.meta_time_s,
+            self.compute_time_s,
+            self.bytes_written,
+            self.bytes_read,
+            self.write_ops,
+            self.read_ops,
+        ]
+        .iter()
+        .all(|v| v.is_finite() && *v >= 0.0)
+    }
+
     /// Merge per-phase contributions into `self`.
     pub fn absorb(&mut self, other: &RunReport) {
         self.elapsed_s += other.elapsed_s;

@@ -2,6 +2,7 @@
 
 use crate::burst::{BurstBufferSpec, BurstBufferState};
 use crate::cluster::ClusterSpec;
+use crate::fault::{FaultKind, FaultPlan, InjectedFault, SimFault};
 use crate::hdf5;
 use crate::lustre::LustreSpec;
 use crate::mpiio;
@@ -35,6 +36,10 @@ pub struct Simulator {
     pub noise: NoiseModel,
     /// Optional node-local burst-buffer tier absorbing writes.
     pub burst: Option<BurstBufferSpec>,
+    /// Optional seeded fault-injection schedule. Only the fallible
+    /// `try_run*` entry points consult it; the infallible `run*` methods
+    /// stay fault-free regardless.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Simulator {
@@ -45,6 +50,7 @@ impl Simulator {
             fs: LustreSpec::cori_scratch(),
             noise: NoiseModel::new(seed),
             burst: None,
+            fault: None,
         }
     }
 
@@ -55,6 +61,7 @@ impl Simulator {
             fs: LustreSpec::cori_scratch(),
             noise: NoiseModel::new(seed),
             burst: None,
+            fault: None,
         }
     }
 
@@ -65,12 +72,19 @@ impl Simulator {
             fs: LustreSpec::test_small(),
             noise: NoiseModel::disabled(),
             burst: None,
+            fault: None,
         }
     }
 
     /// Enable a burst-buffer tier (builder style).
     pub fn with_burst_buffer(mut self, spec: BurstBufferSpec) -> Self {
         self.burst = Some(spec);
+        self
+    }
+
+    /// Attach a fault-injection schedule (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 
@@ -88,6 +102,19 @@ impl Simulator {
         cfg: &StackConfig,
         run_idx: u32,
     ) -> (RunReport, Profile) {
+        self.run_profiled_degraded(phases, cfg, run_idx, 0)
+    }
+
+    /// [`Self::run_profiled`] with `ost_loss` OSTs dropped from every
+    /// transfer's layout — the degraded path an OST flap produces. With
+    /// `ost_loss == 0` this *is* `run_profiled`, bit for bit.
+    fn run_profiled_degraded(
+        &self,
+        phases: &[Phase],
+        cfg: &StackConfig,
+        run_idx: u32,
+        ost_loss: u32,
+    ) -> (RunReport, Profile) {
         let mut report = RunReport::default();
         let mut profile = Profile::new();
         let mut bb_state = BurstBufferState::empty();
@@ -102,7 +129,8 @@ impl Simulator {
                     }
                 }
                 Phase::Io(io) => {
-                    let (mut contribution, mut phase_profile) = self.run_io_phase(io, cfg);
+                    let (mut contribution, mut phase_profile) =
+                        self.run_io_phase(io, cfg, ost_loss);
                     // A burst buffer absorbs writes at memory-class speed;
                     // only the spill-over pays the PFS path. The absorbed
                     // data drains during subsequent compute phases.
@@ -176,6 +204,90 @@ impl Simulator {
         (RunReport::average(&runs), Profile::average(&profiles))
     }
 
+    /// Fallible single run: consults the attached [`FaultPlan`] (if any)
+    /// and injects at most one fault. `attempt` distinguishes retries so a
+    /// transient fault does not deterministically recur forever.
+    ///
+    /// Returns the report and profile plus the fault that fired, if one
+    /// did; a [`FaultKind::Transient`] fault kills the run with `Err`.
+    /// Without a plan (or with an inert one) the result is bitwise
+    /// identical to [`Self::run_profiled`].
+    pub fn try_run_profiled(
+        &self,
+        phases: &[Phase],
+        cfg: &StackConfig,
+        run_idx: u32,
+        attempt: u32,
+    ) -> Result<(RunReport, Profile, Option<InjectedFault>), SimFault> {
+        let drawn = self
+            .fault
+            .as_ref()
+            .and_then(|plan| plan.draw(fingerprint_of(cfg), run_idx, attempt));
+        let Some(kind) = drawn else {
+            let (report, profile) = self.run_profiled(phases, cfg, run_idx);
+            return Ok((report, profile, None));
+        };
+        let fault = InjectedFault {
+            kind,
+            run_idx,
+            attempt,
+        };
+        let plan = self.fault.as_ref().expect("fault drawn implies plan");
+        match kind {
+            FaultKind::Transient => Err(SimFault { fault }),
+            FaultKind::Straggler => {
+                let (mut report, mut profile) = self.run_profiled(phases, cfg, run_idx);
+                let slow = plan.straggler_slowdown.max(1.0);
+                report.io_time_s *= slow;
+                report.meta_time_s *= slow;
+                report.elapsed_s = report.compute_time_s + report.io_time_s + report.meta_time_s;
+                profile.scale_noise(slow);
+                Ok((report, profile, Some(fault)))
+            }
+            FaultKind::OstFlap => {
+                let (report, profile) =
+                    self.run_profiled_degraded(phases, cfg, run_idx, plan.ost_flap_loss);
+                Ok((report, profile, Some(fault)))
+            }
+            FaultKind::Corrupt => {
+                // The run "finished" but its log is torn: the byte counters
+                // read back as NaN, the way a truncated Darshan file does —
+                // which makes the derived bandwidths (and `perf`) NaN too.
+                let (mut report, profile) = self.run_profiled(phases, cfg, run_idx);
+                report.bytes_written = f64::NAN;
+                report.bytes_read = f64::NAN;
+                Ok((report, profile, Some(fault)))
+            }
+        }
+    }
+
+    /// Fallible counterpart of [`Self::run_averaged_profiled`]: any
+    /// transient fault aborts the whole attempt, non-fatal faults are
+    /// collected. Fault-free results are bitwise identical to the
+    /// infallible path.
+    pub fn try_run_averaged_profiled(
+        &self,
+        phases: &[Phase],
+        cfg: &StackConfig,
+        repeats: u32,
+        attempt: u32,
+    ) -> Result<(RunReport, Profile, Vec<InjectedFault>), SimFault> {
+        let mut runs = Vec::new();
+        let mut profiles = Vec::new();
+        let mut faults = Vec::new();
+        for i in 0..repeats.max(1) {
+            let (report, profile, fault) = self.try_run_profiled(phases, cfg, i, attempt)?;
+            runs.push(report);
+            profiles.push(profile);
+            faults.extend(fault);
+        }
+        Ok((
+            RunReport::average(&runs),
+            Profile::average(&profiles),
+            faults,
+        ))
+    }
+
     /// Simulate one bulk-I/O phase, attributing cost per stack layer.
     ///
     /// Attribution model ("self time"): the phase's `io_time_s` is
@@ -190,6 +302,7 @@ impl Simulator {
         &self,
         io: &crate::request::IoPhase,
         cfg: &StackConfig,
+        ost_loss: u32,
     ) -> (RunReport, Profile) {
         // Layer 1: HDF5-like library transforms the request stream.
         let traffic = hdf5::raw_data_traffic(io, cfg);
@@ -205,7 +318,13 @@ impl Simulator {
             IoKind::Read => cfg.striping_factor.max(io.pre_striped),
             IoKind::Write => cfg.striping_factor,
         };
-        let osts = self.fs.osts_used(stripe_count);
+        // An OST flap shrinks the serviced layout below what the striping
+        // requested; at least one OST always survives.
+        let osts = self
+            .fs
+            .osts_used(stripe_count)
+            .saturating_sub(ost_loss)
+            .max(1);
         let align_eff =
             self.fs
                 .alignment_efficiency(fs_load.request_size, cfg.striping_unit, cfg.alignment);
@@ -723,5 +842,139 @@ mod stdio_tests {
             stdio < raw / 3.0,
             "stdio buffering should coalesce: {stdio} vs {raw}"
         );
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultPlan};
+    use crate::request::{AccessPattern, IoPhase};
+
+    fn phases() -> Vec<Phase> {
+        vec![
+            Phase::compute(2.0),
+            Phase::Io(IoPhase {
+                dataset: "ckpt".into(),
+                kind: IoKind::Write,
+                per_proc_bytes: 64 * 1024 * 1024,
+                ops_per_proc: 256,
+                pattern: AccessPattern::Strided { record: 256 * 1024 },
+                meta_ops: 4,
+                collective_capable: true,
+                chunk_reuse_bytes: 0,
+                pre_striped: 0,
+            }),
+        ]
+    }
+
+    /// Find an `(attempt)` where the plan draws `kind` for this config.
+    fn attempt_with(sim: &Simulator, cfg: &StackConfig, kind: FaultKind) -> u32 {
+        let plan = sim.fault.as_ref().unwrap();
+        let fp = fingerprint_of(cfg);
+        (0..10_000)
+            .find(|&a| plan.draw(fp, 0, a) == Some(kind))
+            .expect("fault kind never drawn")
+    }
+
+    #[test]
+    fn no_plan_try_run_matches_run_bitwise() {
+        let sim = Simulator::cori_4node(11);
+        let s = ParameterSpace::tunio_default();
+        let cfg = StackConfig::defaults(&s);
+        let (plain, plain_prof) = sim.run_profiled(&phases(), &cfg, 1);
+        let (r, p, fault) = sim.try_run_profiled(&phases(), &cfg, 1, 0).unwrap();
+        assert_eq!(plain, r);
+        assert_eq!(plain_prof, p);
+        assert_eq!(fault, None);
+    }
+
+    #[test]
+    fn inert_plan_is_bitwise_identical_too() {
+        let sim = Simulator::cori_4node(11).with_fault_plan(FaultPlan::disabled(5));
+        let s = ParameterSpace::tunio_default();
+        let cfg = StackConfig::defaults(&s);
+        let plain = Simulator::cori_4node(11).run_averaged_profiled(&phases(), &cfg, 3);
+        let (r, p, faults) = sim
+            .try_run_averaged_profiled(&phases(), &cfg, 3, 0)
+            .unwrap();
+        assert_eq!(plain.0, r);
+        assert_eq!(plain.1, p);
+        assert!(faults.is_empty());
+    }
+
+    #[test]
+    fn transient_fault_kills_the_run() {
+        let sim = Simulator::cori_4node(11).with_fault_plan(FaultPlan::chaos(3, 0.4));
+        let s = ParameterSpace::tunio_default();
+        let cfg = StackConfig::defaults(&s);
+        let attempt = attempt_with(&sim, &cfg, FaultKind::Transient);
+        let err = sim
+            .try_run_profiled(&phases(), &cfg, 0, attempt)
+            .unwrap_err();
+        assert_eq!(err.fault.kind, FaultKind::Transient);
+        assert_eq!(err.fault.attempt, attempt);
+    }
+
+    #[test]
+    fn straggler_inflates_io_time_and_keeps_attribution() {
+        let sim = Simulator::cori_4node(11).with_fault_plan(FaultPlan::chaos(3, 0.4));
+        let s = ParameterSpace::tunio_default();
+        let cfg = StackConfig::defaults(&s);
+        let attempt = attempt_with(&sim, &cfg, FaultKind::Straggler);
+        let (clean, _) = sim.run_profiled(&phases(), &cfg, 0);
+        let (slow, prof, fault) = sim.try_run_profiled(&phases(), &cfg, 0, attempt).unwrap();
+        assert_eq!(fault.unwrap().kind, FaultKind::Straggler);
+        assert!((slow.io_time_s / clean.io_time_s - 4.0).abs() < 1e-9);
+        assert_eq!(slow.compute_time_s, clean.compute_time_s);
+        assert!(prof.attribution_error(&slow) < 1e-9);
+    }
+
+    #[test]
+    fn ost_flap_slows_wide_stripes() {
+        // A severe flap (64 -> 1 OSTs) so the storage path becomes the
+        // binding constraint even on the network-rich 4-node cluster.
+        let plan = FaultPlan {
+            ost_flap_loss: 63,
+            ..FaultPlan::chaos(3, 0.4)
+        };
+        let sim = Simulator::cori_4node(11).with_fault_plan(plan);
+        let s = ParameterSpace::tunio_default();
+        // A wide-striped config so losing 8 OSTs actually hurts.
+        let mut c = s.default_config();
+        c.set_gene(tunio_params::ParamId::StripingFactor, 9); // 64 OSTs
+        let cfg = c.resolve(&s);
+        let attempt = attempt_with(&sim, &cfg, FaultKind::OstFlap);
+        let (clean, _) = sim.run_profiled(&phases(), &cfg, 0);
+        let (flapped, prof, fault) = sim.try_run_profiled(&phases(), &cfg, 0, attempt).unwrap();
+        assert_eq!(fault.unwrap().kind, FaultKind::OstFlap);
+        assert!(
+            flapped.io_time_s > clean.io_time_s,
+            "losing OSTs must cost time: {} vs {}",
+            flapped.io_time_s,
+            clean.io_time_s
+        );
+        assert!(prof.attribution_error(&flapped) < 1e-9);
+    }
+
+    #[test]
+    fn corrupt_fault_poisons_the_report() {
+        let sim = Simulator::cori_4node(11).with_fault_plan(FaultPlan::chaos(3, 0.4));
+        let s = ParameterSpace::tunio_default();
+        let cfg = StackConfig::defaults(&s);
+        let attempt = attempt_with(&sim, &cfg, FaultKind::Corrupt);
+        let (r, _, fault) = sim.try_run_profiled(&phases(), &cfg, 0, attempt).unwrap();
+        assert_eq!(fault.unwrap().kind, FaultKind::Corrupt);
+        assert!(r.bytes_written.is_nan());
+        assert!(!r.is_sane());
+        assert!(r.perf().is_nan(), "corruption must be NaN, not silently ok");
+    }
+
+    #[test]
+    fn sane_reports_pass_the_validity_gate() {
+        let sim = Simulator::cori_4node(11);
+        let s = ParameterSpace::tunio_default();
+        let cfg = StackConfig::defaults(&s);
+        assert!(sim.run(&phases(), &cfg, 0).is_sane());
     }
 }

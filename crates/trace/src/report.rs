@@ -28,6 +28,14 @@ pub struct GenerationRow {
     pub subset_size: u64,
     /// Real wall time of the generation (span duration), microseconds.
     pub wall_us: u64,
+    /// Faults the simulator injected during this generation.
+    pub faults: u64,
+    /// Evaluation attempts retried during this generation.
+    pub retries: u64,
+    /// Evaluations that exhausted their retries this generation.
+    pub failures: u64,
+    /// Keys quarantined by the circuit breaker this generation.
+    pub quarantined: u64,
 }
 
 impl GenerationRow {
@@ -95,6 +103,16 @@ pub struct CampaignSummary {
     /// events, in first-seen order (the simulator emits layers in a
     /// fixed order, so this matches the canonical layer order).
     pub layers: Vec<LayerTotals>,
+    /// Faults injected over the campaign (from `campaign.done`).
+    pub faults_injected: Option<u64>,
+    /// Evaluation attempts retried over the campaign.
+    pub retries: Option<u64>,
+    /// Evaluations that exhausted their retries.
+    pub failed_evaluations: Option<u64>,
+    /// Keys quarantined by the circuit breaker.
+    pub quarantined_keys: Option<u64>,
+    /// Evaluations served the penalty value.
+    pub penalties_served: Option<u64>,
 }
 
 impl CampaignSummary {
@@ -118,6 +136,19 @@ impl CampaignSummary {
             .iter()
             .map(|g| (g.iteration, g.roti(default)))
             .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Whether the campaign saw any fault-machinery activity at all.
+    /// A fault-free campaign renders exactly as it did before the
+    /// resilience columns existed.
+    pub fn had_faults(&self) -> bool {
+        self.faults_injected.unwrap_or(0) > 0
+            || self.retries.unwrap_or(0) > 0
+            || self.penalties_served.unwrap_or(0) > 0
+            || self
+                .generations
+                .iter()
+                .any(|g| g.faults > 0 || g.retries > 0 || g.failures > 0 || g.quarantined > 0)
     }
 
     /// The stop reason: last affirmative decision, or budget exhaustion.
@@ -222,6 +253,10 @@ pub fn summarize(records: &[Record]) -> Vec<CampaignSummary> {
                     cumulative_cost_s: f64_field(r, "cumulative_cost_s").unwrap_or(0.0),
                     subset_size: u64_field(r, "subset_size").unwrap_or(0),
                     wall_us: r.dur_us.unwrap_or(0),
+                    faults: u64_field(r, "faults").unwrap_or(0),
+                    retries: u64_field(r, "retries").unwrap_or(0),
+                    failures: u64_field(r, "failures").unwrap_or(0),
+                    quarantined: u64_field(r, "quarantined").unwrap_or(0),
                 });
             }
             "profile.layer" => {
@@ -260,6 +295,11 @@ pub fn summarize(records: &[Record]) -> Vec<CampaignSummary> {
                 cur.stopper_name = str_field(r, "stopper_name").map(str::to_string);
                 cur.evaluations = u64_field(r, "evaluations");
                 cur.cache_hits = u64_field(r, "cache_hits");
+                cur.faults_injected = u64_field(r, "faults_injected");
+                cur.retries = u64_field(r, "retries");
+                cur.failed_evaluations = u64_field(r, "failed_evaluations");
+                cur.quarantined_keys = u64_field(r, "quarantined_keys");
+                cur.penalties_served = u64_field(r, "penalties_served");
                 out.push(std::mem::take(&mut cur));
                 open = false;
             }
@@ -431,18 +471,33 @@ pub fn render(s: &CampaignSummary) -> String {
         Some(false) => out.push_str(&format!("stop reason       : {}\n", s.stop_reason())),
         None => {}
     }
+    let chaotic = s.had_faults();
+    if chaotic {
+        out.push_str(&format!(
+            "resilience        : {} faults, {} retries, {} failed evals, {} quarantined, {} penalties\n",
+            s.faults_injected.unwrap_or_else(|| s.generations.iter().map(|g| g.faults).sum()),
+            s.retries.unwrap_or_else(|| s.generations.iter().map(|g| g.retries).sum()),
+            s.failed_evaluations
+                .unwrap_or_else(|| s.generations.iter().map(|g| g.failures).sum()),
+            s.quarantined_keys
+                .unwrap_or_else(|| s.generations.iter().map(|g| g.quarantined).sum()),
+            s.penalties_served.unwrap_or(0),
+        ));
+    }
 
     if gens > 0 {
-        out.push_str(
-            "\n gen | best MB/s | gen-best MB/s | cost s | cum min |   RoTI | subset | wall\n",
-        );
-        out.push_str(
-            "-----+-----------+---------------+--------+---------+--------+--------+------\n",
-        );
+        let fault_cols = if chaotic { " | faults | retries" } else { "" };
+        out.push_str(&format!(
+            "\n gen | best MB/s | gen-best MB/s | cost s | cum min |   RoTI | subset | wall{fault_cols}\n",
+        ));
+        let fault_rule = if chaotic { "+--------+--------" } else { "" };
+        out.push_str(&format!(
+            "-----+-----------+---------------+--------+---------+--------+--------+------{fault_rule}\n",
+        ));
         let default = s.default_perf.unwrap_or(0.0);
         for g in &s.generations {
             out.push_str(&format!(
-                "{:>4} | {:>9.1} | {:>13.1} | {:>6.1} | {:>7.2} | {:>6.2} | {:>6} | {}\n",
+                "{:>4} | {:>9.1} | {:>13.1} | {:>6.1} | {:>7.2} | {:>6.2} | {:>6} | {}",
                 g.iteration,
                 g.best_perf / MB,
                 g.generation_best_perf / MB,
@@ -452,6 +507,13 @@ pub fn render(s: &CampaignSummary) -> String {
                 g.subset_size,
                 fmt_us(g.wall_us),
             ));
+            if chaotic {
+                out.push_str(&format!(" | {:>6} | {:>7}", g.faults, g.retries));
+                if g.quarantined > 0 {
+                    out.push_str(&format!("  [{} quarantined]", g.quarantined));
+                }
+            }
+            out.push('\n');
         }
     }
 
@@ -612,6 +674,52 @@ mod tests {
     fn traces_without_layer_events_render_without_attribution() {
         let text = report(&sample_trace()).unwrap();
         assert!(!text.contains("layer attribution"));
+    }
+
+    fn chaos_trace() -> String {
+        let lines = [
+            r#"{"t_us":1000,"name":"ga.generation","dur_us":1200,"fields":{"iteration":1,"best_perf":100e6,"generation_best_perf":100e6,"cost_s":60.0,"cumulative_cost_s":60.0,"subset_size":12,"faults":3,"retries":2,"failures":0,"quarantined":0}}"#.to_string(),
+            r#"{"t_us":2000,"name":"ga.generation","dur_us":1100,"fields":{"iteration":2,"best_perf":400e6,"generation_best_perf":400e6,"cost_s":60.0,"cumulative_cost_s":120.0,"subset_size":12,"faults":5,"retries":1,"failures":1,"quarantined":1}}"#.to_string(),
+            r#"{"t_us":2600,"name":"campaign.done","fields":{"kind":"TunIO","app":"hacc","best_perf":400e6,"default_perf":100e6,"stopped_early":false,"stopper_name":"budget","evaluations":30,"cache_hits":70,"faults_injected":8,"retries":3,"failed_evaluations":1,"quarantined_keys":1,"penalties_served":2}}"#.to_string(),
+        ];
+        lines.join("\n")
+    }
+
+    #[test]
+    fn resilience_counters_are_parsed_and_rendered() {
+        let sums = summarize(&parse_jsonl(&chaos_trace()).unwrap());
+        assert_eq!(sums.len(), 1);
+        let s = &sums[0];
+        assert!(s.had_faults());
+        assert_eq!(s.faults_injected, Some(8));
+        assert_eq!(s.retries, Some(3));
+        assert_eq!(s.failed_evaluations, Some(1));
+        assert_eq!(s.quarantined_keys, Some(1));
+        assert_eq!(s.penalties_served, Some(2));
+        assert_eq!(s.generations[0].faults, 3);
+        assert_eq!(s.generations[1].quarantined, 1);
+
+        let text = report(&chaos_trace()).unwrap();
+        assert!(
+            text.contains("resilience        : 8 faults, 3 retries, 1 failed evals, 1 quarantined, 2 penalties"),
+            "{text}"
+        );
+        assert!(text.contains("gen | best MB/s"), "{text}");
+        assert!(text.contains("| faults | retries"), "{text}");
+        assert!(text.contains("[1 quarantined]"), "{text}");
+    }
+
+    #[test]
+    fn fault_free_traces_render_without_resilience_columns() {
+        let text = report(&sample_trace()).unwrap();
+        assert!(!text.contains("resilience"), "{text}");
+        assert!(!text.contains("faults"), "{text}");
+        assert!(text.contains(
+            "\n gen | best MB/s | gen-best MB/s | cost s | cum min |   RoTI | subset | wall\n"
+        ));
+        assert!(text.contains(
+            "-----+-----------+---------------+--------+---------+--------+--------+------\n"
+        ));
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Instant;
-use tunio_iosim::{noise, Layer, Profile, RunReport, Simulator};
+use tunio_iosim::{noise, FaultKind, InjectedFault, Layer, Profile, RunReport, Simulator};
 use tunio_params::{Configuration, ParameterSpace};
 use tunio_trace as trace;
 use tunio_workloads::Workload;
@@ -70,6 +70,105 @@ pub struct EvalCounters {
     pub sim_wall_s: f64,
 }
 
+/// How failed evaluations are retried, quarantined and degraded.
+///
+/// A failed attempt (transient fault or corrupted report) is retried up
+/// to [`FailurePolicy::max_retries`] times with fresh fault draws. An
+/// evaluation that exhausts its retries yields the penalty value — a zero
+/// report with [`FailurePolicy::penalty_perf`] — which can never beat the
+/// default configuration, so the GA keeps making progress without ever
+/// promoting a failed config to `best`. Failed evaluations are *not*
+/// cached: a later generation re-encountering the key tries again, until
+/// [`FailurePolicy::quarantine_after`] consecutive whole-evaluation
+/// failures open the circuit breaker and the key is permanently served
+/// the penalty without touching the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailurePolicy {
+    /// Retries per evaluation after the first attempt (so `max_retries`
+    /// = 2 means up to three simulation attempts).
+    pub max_retries: u32,
+    /// Base backoff between retries, milliseconds; doubles per retry.
+    /// Zero (the default) skips sleeping — simulated stacks need no
+    /// real-time courtesy, and tests stay fast.
+    pub backoff_base_ms: u64,
+    /// Consecutive failed evaluations before a key is quarantined.
+    pub quarantine_after: u32,
+    /// Objective value served for unrecoverable evaluations. Must be
+    /// ≤ any real perf so a failed config never becomes `best`.
+    pub penalty_perf: f64,
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        FailurePolicy {
+            max_retries: 2,
+            backoff_base_ms: 0,
+            quarantine_after: 2,
+            penalty_perf: 0.0,
+        }
+    }
+}
+
+/// Resilience counters: what the failure machinery actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct ResilienceCounters {
+    /// Faults the simulator injected (all kinds, including non-fatal).
+    pub faults_injected: u64,
+    /// Attempts that failed and were retried.
+    pub retries: u64,
+    /// Whole evaluations that exhausted their retries.
+    pub failed_evaluations: u64,
+    /// Keys whose circuit breaker has opened.
+    pub quarantined_keys: u64,
+    /// Evaluations served the penalty value (failures + quarantine hits).
+    pub penalties_served: u64,
+}
+
+/// One memo-cache entry, as exported to (and restored from) a campaign
+/// checkpoint. `report`/`perf` reproduce the cached result; `profile`
+/// lets a resumed campaign re-charge the evaluation's cost attribution
+/// bitwise-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// The gene key.
+    pub key: Vec<usize>,
+    /// The averaged run report.
+    pub report: RunReport,
+    /// The tuning objective.
+    pub perf: f64,
+    /// Per-layer cost attribution of the charged evaluation.
+    pub profile: Profile,
+}
+
+/// Per-key failure bookkeeping behind the retry/quarantine policy.
+#[derive(Debug, Clone, Copy, Default)]
+struct KeyFailState {
+    /// Simulation attempts this key has consumed (fault draws are pure in
+    /// the attempt index, so retries across generations see fresh draws).
+    attempts_used: u32,
+    /// Consecutive whole-evaluation failures; reset on success.
+    consecutive_failures: u32,
+    /// Circuit breaker state: once open, the key is never simulated again.
+    quarantined: bool,
+}
+
+/// Why a simulation attempt produced no usable report.
+enum AttemptError {
+    /// A transient fault killed the run.
+    Fault(InjectedFault),
+    /// The run "completed" but its report failed the sanity gate
+    /// (NaN/negative counters — a torn log).
+    Corrupt,
+}
+
+/// Outcome of a full (retried) evaluation of one key.
+enum SimOutcome {
+    /// A usable report: `(report, profile, perf)`.
+    Success(RunReport, Box<Profile>, f64),
+    /// All attempts failed; the caller serves the penalty value.
+    Failed,
+}
+
 /// Number of cache shards; keys are spread by gene-vector fingerprint.
 const SHARDS: usize = 16;
 
@@ -99,12 +198,19 @@ impl InFlight {
     }
 }
 
-/// One cache entry: a finished result, or a marker that some thread is
-/// currently simulating this key.
+/// One cache entry: a finished result, a marker that some thread is
+/// currently simulating this key, or a checkpoint-restored result that
+/// still owes its serial cost/profile charge.
 #[derive(Debug)]
 enum Slot {
     Ready(RunReport, f64),
     Pending(Arc<InFlight>),
+    /// Preloaded from a checkpoint: served like a fresh simulation the
+    /// first time the key is used (full miss bookkeeping, cost charged,
+    /// profile absorbed), then converted to `Ready`. This is what makes a
+    /// resumed campaign's costs and profile accumulator bitwise-identical
+    /// to the uninterrupted run.
+    Replay(Box<(RunReport, f64, Profile)>),
 }
 
 type Shard = Mutex<HashMap<Vec<usize>, Slot>>;
@@ -117,6 +223,32 @@ enum Claim {
     Join(Arc<InFlight>),
     /// This thread inserted the pending marker and must simulate.
     Claimed(Arc<InFlight>),
+    /// Checkpoint-preloaded result, converted to `Ready` under the shard
+    /// lock; the caller owes the miss bookkeeping.
+    Replayed(Box<(RunReport, f64, Profile)>),
+}
+
+/// Unwinding a panic out of a claimed simulation must not leave the
+/// `Pending` marker in place — concurrent waiters on the same key would
+/// block forever and wedge the campaign. On drop (while armed) this guard
+/// removes the marker and publishes the penalty value to any waiters; the
+/// success path disarms it.
+struct PendingGuard<'a> {
+    engine: &'a EvalEngine,
+    key: &'a [usize],
+    shard_idx: usize,
+    inflight: &'a Arc<InFlight>,
+    armed: bool,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.engine.shards[self.shard_idx].lock().remove(self.key);
+            self.inflight
+                .publish((RunReport::default(), self.engine.policy.penalty_perf));
+        }
+    }
 }
 
 /// Thread-safe, memoizing configuration evaluator.
@@ -135,19 +267,43 @@ pub struct EvalEngine {
     pub space: ParameterSpace,
     /// Runs averaged per evaluation (the paper uses 3).
     pub repeats: u32,
+    /// Retry/quarantine/penalty policy for failed evaluations.
+    pub policy: FailurePolicy,
     shards: [Shard; SHARDS],
     evaluations: AtomicU64,
     cache_hits: AtomicU64,
     sim_wall_ns: AtomicU64,
+    faults_injected: AtomicU64,
+    retries: AtomicU64,
+    failed_evaluations: AtomicU64,
+    quarantined_keys: AtomicU64,
+    penalties_served: AtomicU64,
     charged_cost_s: Mutex<f64>,
     profile: Mutex<Profile>,
+    fail_state: Mutex<HashMap<Vec<usize>, KeyFailState>>,
+    /// When enabled, every charged cache insertion is recorded here so a
+    /// checkpoint writer can persist the generation's new entries.
+    journal: Mutex<Option<Vec<CacheEntry>>>,
     m_hits: trace::Counter,
     m_misses: trace::Counter,
     m_cost: trace::Histogram,
+    m_retries: trace::Counter,
+    m_failures: trace::Counter,
+    m_quarantined: trace::Counter,
+    m_faults: Vec<trace::Counter>,
     m_layer_self: Vec<trace::Histogram>,
     #[cfg(test)]
     sim_gate: SimGate,
 }
+
+/// Fault kinds in a stable order for the labeled `tunio.fault.injected`
+/// counters.
+const FAULT_KINDS: [FaultKind; 4] = [
+    FaultKind::Transient,
+    FaultKind::Straggler,
+    FaultKind::OstFlap,
+    FaultKind::Corrupt,
+];
 
 /// Callback installed into a [`SimGate`].
 #[cfg(test)]
@@ -175,15 +331,30 @@ impl EvalEngine {
             workload,
             space,
             repeats: repeats.max(1),
+            policy: FailurePolicy::default(),
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             evaluations: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             sim_wall_ns: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            failed_evaluations: AtomicU64::new(0),
+            quarantined_keys: AtomicU64::new(0),
+            penalties_served: AtomicU64::new(0),
             charged_cost_s: Mutex::new(0.0),
             profile: Mutex::new(Profile::new()),
+            fail_state: Mutex::new(HashMap::new()),
+            journal: Mutex::new(None),
             m_hits: trace::counter("tunio.eval.cache_hits"),
             m_misses: trace::counter("tunio.eval.evaluations"),
             m_cost: trace::histogram("tunio.eval.cost_s"),
+            m_retries: trace::counter("tunio.eval.retries"),
+            m_failures: trace::counter("tunio.eval.failures"),
+            m_quarantined: trace::counter("tunio.eval.quarantined"),
+            m_faults: FAULT_KINDS
+                .iter()
+                .map(|k| trace::labeled_counter("tunio.fault.injected", &[("kind", k.label())]))
+                .collect(),
             m_layer_self: Layer::ALL
                 .iter()
                 .map(|l| trace::labeled_histogram("tunio.profile.self_s", &[("layer", l.as_str())]))
@@ -193,16 +364,26 @@ impl EvalEngine {
         }
     }
 
+    /// Override the failure policy (builder style).
+    pub fn with_policy(mut self, policy: FailurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     fn shard_of(key: &[usize]) -> usize {
         (noise::fingerprint(key) % SHARDS as u64) as usize
     }
 
-    /// Run the simulator for one configuration (no cache involvement).
-    /// Pure in `(sim, config, repeats)`; see the module docs. Also returns
-    /// the averaged per-layer cost [`Profile`]; the caller absorbs it into
-    /// the engine accumulator at the (serial) point where the evaluation's
-    /// cost is charged, keeping the accumulated profile deterministic.
-    fn simulate(&self, config: &Configuration) -> (RunReport, Profile, f64) {
+    /// Run the simulator once for one configuration (no cache, no retry).
+    /// Pure in `(sim, config, repeats, attempt)`; see the module docs.
+    /// Injected non-fatal faults are surfaced as `fault.injected` events
+    /// and counters; a transient fault or an insane (NaN/negative) report
+    /// comes back as an [`AttemptError`].
+    fn simulate_attempt(
+        &self,
+        config: &Configuration,
+        attempt: u32,
+    ) -> Result<(RunReport, Profile, f64), AttemptError> {
         #[cfg(test)]
         {
             let gate = self
@@ -219,14 +400,195 @@ impl EvalEngine {
         let t0 = Instant::now();
         let phases = self.workload.phases();
         let stack = config.resolve(&self.space);
-        let (report, profile) = self
+        let outcome = self
             .sim
-            .run_averaged_profiled(&phases, &stack, self.repeats);
+            .try_run_averaged_profiled(&phases, &stack, self.repeats, attempt);
         self.sim_wall_ns
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        span.add_field("perf", report.perf().into());
-        span.add_field("cost_s", report.elapsed_s.into());
-        (report, profile, report.perf())
+        match outcome {
+            Ok((report, profile, faults)) => {
+                for fault in &faults {
+                    self.note_fault(fault);
+                }
+                if !report.is_sane() {
+                    span.add_field("failed", "corrupt_report".into());
+                    return Err(AttemptError::Corrupt);
+                }
+                span.add_field("perf", report.perf().into());
+                span.add_field("cost_s", report.elapsed_s.into());
+                let perf = report.perf();
+                Ok((report, profile, perf))
+            }
+            Err(sim_fault) => {
+                self.note_fault(&sim_fault.fault);
+                span.add_field("failed", sim_fault.fault.kind.label().into());
+                Err(AttemptError::Fault(sim_fault.fault))
+            }
+        }
+    }
+
+    /// Record one injected fault: event + labeled counter.
+    fn note_fault(&self, fault: &InjectedFault) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        let idx = FAULT_KINDS
+            .iter()
+            .position(|k| *k == fault.kind)
+            .expect("every kind is registered");
+        self.m_faults[idx].inc(1);
+        trace::event(
+            "fault.injected",
+            vec![
+                ("kind", fault.kind.label().into()),
+                ("run_idx", fault.run_idx.into()),
+                ("attempt", fault.attempt.into()),
+            ],
+        );
+    }
+
+    /// Evaluate one key with bounded retry and quarantine bookkeeping.
+    ///
+    /// Deterministic per key: attempt indices continue from the key's
+    /// persistent counter, so the sequence of fault draws a key sees is a
+    /// pure function of how often it has been (re)tried — independent of
+    /// thread interleaving, because each key's state is only touched by
+    /// the one worker evaluating it.
+    fn simulate_resilient(&self, config: &Configuration) -> SimOutcome {
+        let key = config.genes();
+        let base = self
+            .fail_state
+            .lock()
+            .get(key)
+            .map_or(0, |s| s.attempts_used);
+        let tries = self.policy.max_retries + 1;
+        for t in 0..tries {
+            match self.simulate_attempt(config, base + t) {
+                Ok((report, profile, perf)) => {
+                    if base > 0 || t > 0 {
+                        let mut states = self.fail_state.lock();
+                        let state = states.entry(key.to_vec()).or_default();
+                        state.attempts_used += t + 1;
+                        state.consecutive_failures = 0;
+                    }
+                    return SimOutcome::Success(report, Box::new(profile), perf);
+                }
+                Err(why) => {
+                    let reason = match why {
+                        AttemptError::Fault(f) => f.kind.label(),
+                        AttemptError::Corrupt => "corrupt_report",
+                    };
+                    if t + 1 < tries {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        self.m_retries.inc(1);
+                        trace::event(
+                            "eval.retry",
+                            vec![
+                                ("key_fp", noise::fingerprint(key).into()),
+                                ("attempt", (base + t).into()),
+                                ("reason", reason.into()),
+                            ],
+                        );
+                        let backoff = self.policy.backoff_base_ms << t;
+                        if backoff > 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(backoff));
+                        }
+                    }
+                }
+            }
+        }
+        // Retries exhausted: count the failure, maybe open the breaker.
+        self.failed_evaluations.fetch_add(1, Ordering::Relaxed);
+        self.m_failures.inc(1);
+        let newly_quarantined = {
+            let mut states = self.fail_state.lock();
+            let state = states.entry(key.to_vec()).or_default();
+            state.attempts_used += tries;
+            state.consecutive_failures += 1;
+            if !state.quarantined && state.consecutive_failures >= self.policy.quarantine_after {
+                state.quarantined = true;
+                true
+            } else {
+                false
+            }
+        };
+        if newly_quarantined {
+            self.quarantined_keys.fetch_add(1, Ordering::Relaxed);
+            self.m_quarantined.inc(1);
+            trace::event(
+                "eval.quarantined",
+                vec![("key_fp", noise::fingerprint(key).into())],
+            );
+        }
+        SimOutcome::Failed
+    }
+
+    /// True when the key's circuit breaker is open.
+    fn is_quarantined(&self, key: &[usize]) -> bool {
+        self.fail_state
+            .lock()
+            .get(key)
+            .is_some_and(|s| s.quarantined)
+    }
+
+    /// The penalty evaluation served for unrecoverable keys.
+    fn penalty_evaluation(&self, config: &Configuration) -> Evaluation {
+        self.penalties_served.fetch_add(1, Ordering::Relaxed);
+        Evaluation {
+            config: config.clone(),
+            report: RunReport::default(),
+            perf: self.policy.penalty_perf,
+            cost_s: 0.0,
+        }
+    }
+
+    /// Record a charged cache insertion into the checkpoint journal, when
+    /// journaling is enabled. Called only from serial accounting sections,
+    /// so entry order is deterministic.
+    fn journal_push(&self, key: &[usize], report: &RunReport, perf: f64, profile: &Profile) {
+        if let Some(journal) = self.journal.lock().as_mut() {
+            journal.push(CacheEntry {
+                key: key.to_vec(),
+                report: *report,
+                perf,
+                profile: profile.clone(),
+            });
+        }
+    }
+
+    /// Start recording charged cache insertions for checkpointing.
+    pub fn enable_journal(&self) {
+        let mut journal = self.journal.lock();
+        if journal.is_none() {
+            *journal = Some(Vec::new());
+        }
+    }
+
+    /// Take the cache entries recorded since the last drain (empty unless
+    /// [`EvalEngine::enable_journal`] was called).
+    pub fn drain_journal(&self) -> Vec<CacheEntry> {
+        match self.journal.lock().as_mut() {
+            Some(journal) => std::mem::take(journal),
+            None => Vec::new(),
+        }
+    }
+
+    /// Preload checkpoint-restored entries. Each is served with full miss
+    /// bookkeeping on first use (see [`Slot::Replay`]); keys already in
+    /// the cache are left untouched.
+    pub fn preload(&self, entries: Vec<CacheEntry>) {
+        for e in entries {
+            let mut shard = self.shards[Self::shard_of(&e.key)].lock();
+            shard
+                .entry(e.key)
+                .or_insert_with(|| Slot::Replay(Box::new((e.report, e.perf, e.profile))));
+        }
+    }
+
+    /// Drop a cached result, forcing the next evaluation of the key to
+    /// re-simulate. Intended for cache management in long campaigns; the
+    /// batch path also survives a concurrent eviction by falling back to
+    /// re-simulation.
+    pub fn evict(&self, key: &[usize]) {
+        self.shards[Self::shard_of(key)].lock().remove(key);
     }
 
     /// Fold one charged evaluation's profile into the engine accumulator
@@ -248,7 +610,10 @@ impl EvalEngine {
             match shard.get(key) {
                 Some(Slot::Ready(report, perf)) => return Some((*report, *perf)),
                 Some(Slot::Pending(inflight)) => Some(inflight.clone()),
-                None => None,
+                // A replay slot still owes its charge: report no result so
+                // the caller goes through the claiming path, which does
+                // the miss bookkeeping.
+                Some(Slot::Replay(_)) | None => None,
             }
         };
         found.map(|inflight| inflight.wait())
@@ -260,16 +625,30 @@ impl EvalEngine {
     /// shard lock *before* simulating, so only callers presenting the
     /// **same** gene key wait for each other; different keys that happen
     /// to collide on a shard proceed in parallel. Each unique key is
-    /// still simulated at most once.
+    /// still simulated at most once. Failed evaluations are retried per
+    /// the [`FailurePolicy`] and, if unrecoverable, served the penalty
+    /// value *without* caching it (quarantine aside), so later calls get
+    /// another chance.
     pub fn evaluate(&self, config: &Configuration) -> Evaluation {
         let key = config.genes().to_vec();
         let shard_idx = Self::shard_of(&key);
+
+        if self.is_quarantined(&key) {
+            return self.penalty_evaluation(config);
+        }
 
         let claim = {
             let mut shard = self.shards[shard_idx].lock();
             match shard.get(&key) {
                 Some(Slot::Ready(report, perf)) => Claim::Hit(*report, *perf),
                 Some(Slot::Pending(inflight)) => Claim::Join(inflight.clone()),
+                Some(Slot::Replay(_)) => {
+                    let Some(Slot::Replay(entry)) = shard.remove(&key) else {
+                        unreachable!("matched Replay under the same lock");
+                    };
+                    shard.insert(key.clone(), Slot::Ready(entry.0, entry.1));
+                    Claim::Replayed(entry)
+                }
                 None => {
                     let inflight = Arc::new(InFlight::default());
                     shard.insert(key.clone(), Slot::Pending(inflight.clone()));
@@ -281,23 +660,38 @@ impl EvalEngine {
         let (report, perf) = match claim {
             Claim::Hit(report, perf) => (report, perf),
             Claim::Join(inflight) => inflight.wait(),
-            Claim::Claimed(inflight) => {
-                let (report, profile, perf) = self.simulate(config);
-                self.shards[shard_idx]
-                    .lock()
-                    .insert(key, Slot::Ready(report, perf));
-                inflight.publish((report, perf));
-                self.evaluations.fetch_add(1, Ordering::Relaxed);
-                self.m_misses.inc(1);
-                self.m_cost.record(report.elapsed_s);
-                self.charge_profile(&profile);
+            Claim::Replayed(entry) => {
+                let (report, perf, profile) = *entry;
                 *self.charged_cost_s.lock() += report.elapsed_s;
-                return Evaluation {
-                    config: config.clone(),
-                    report,
-                    perf,
-                    cost_s: report.elapsed_s,
+                return self.charge_miss(config, &key, report, perf, &profile);
+            }
+            Claim::Claimed(inflight) => {
+                let mut guard = PendingGuard {
+                    engine: self,
+                    key: &key,
+                    shard_idx,
+                    inflight: &inflight,
+                    armed: true,
                 };
+                let outcome = self.simulate_resilient(config);
+                match outcome {
+                    SimOutcome::Success(report, profile, perf) => {
+                        guard.armed = false;
+                        self.shards[shard_idx]
+                            .lock()
+                            .insert(key.clone(), Slot::Ready(report, perf));
+                        inflight.publish((report, perf));
+                        *self.charged_cost_s.lock() += report.elapsed_s;
+                        return self.charge_miss(config, &key, report, perf, &profile);
+                    }
+                    SimOutcome::Failed => {
+                        // The guard's drop removes the pending marker and
+                        // unblocks any waiters with the penalty value; the
+                        // key stays uncached so it can retry later.
+                        drop(guard);
+                        return self.penalty_evaluation(config);
+                    }
+                }
             }
         };
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -310,6 +704,31 @@ impl EvalEngine {
         }
     }
 
+    /// Miss bookkeeping for one charged evaluation: counters, profile
+    /// accumulator, checkpoint journal. Serial-section only. The caller
+    /// owns the `charged_cost_s` fold (batches sum locally and fold once,
+    /// preserving the serial float-accumulation order).
+    fn charge_miss(
+        &self,
+        config: &Configuration,
+        key: &[usize],
+        report: RunReport,
+        perf: f64,
+        profile: &Profile,
+    ) -> Evaluation {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.m_misses.inc(1);
+        self.m_cost.record(report.elapsed_s);
+        self.charge_profile(profile);
+        self.journal_push(key, &report, perf, profile);
+        Evaluation {
+            config: config.clone(),
+            report,
+            perf,
+            cost_s: report.elapsed_s,
+        }
+    }
+
     /// Evaluate a batch of configurations, simulating cache misses in
     /// parallel. Results come back in input order and are bitwise
     /// identical to evaluating the batch serially in that order:
@@ -318,69 +737,101 @@ impl EvalEngine {
     pub fn evaluate_batch(&self, configs: &[Configuration]) -> Vec<Evaluation> {
         let keys: Vec<Vec<usize>> = configs.iter().map(|c| c.genes().to_vec()).collect();
 
-        // First occurrence of each gene key not already cached: the only
-        // configurations that need the simulator.
+        // Classify the first occurrence of each gene key: quarantined
+        // (circuit open, never simulated), checkpoint-replayed (converted
+        // to Ready here, charged below in input order), fresh (needs the
+        // simulator), or already cached.
         let mut seen: HashMap<&[usize], usize> = HashMap::with_capacity(configs.len());
         let mut fresh: Vec<usize> = Vec::new();
+        let mut quarantined: Vec<usize> = Vec::new();
+        let mut replayed: HashMap<usize, (RunReport, f64, Profile)> = HashMap::new();
         for (i, key) in keys.iter().enumerate() {
             if seen.contains_key(key.as_slice()) {
                 continue;
             }
             seen.insert(key, i);
-            let cached = self.shards[Self::shard_of(key)].lock().contains_key(key);
-            if !cached {
-                fresh.push(i);
+            if self.is_quarantined(key) {
+                quarantined.push(i);
+                continue;
+            }
+            let mut shard = self.shards[Self::shard_of(key)].lock();
+            match shard.get(key) {
+                None => fresh.push(i),
+                Some(Slot::Replay(_)) => {
+                    let Some(Slot::Replay(entry)) = shard.remove(key) else {
+                        unreachable!("matched Replay under the same lock");
+                    };
+                    shard.insert(key.clone(), Slot::Ready(entry.0, entry.1));
+                    replayed.insert(i, *entry);
+                }
+                Some(_) => {}
             }
         }
 
         // Fan the misses out; order-preserving collect keeps sims[j]
-        // aligned with fresh[j].
-        let sims: Vec<(RunReport, Profile, f64)> = fresh
+        // aligned with fresh[j]. Retry/quarantine bookkeeping is per-key,
+        // so outcomes stay deterministic under any interleaving.
+        let sims: Vec<SimOutcome> = fresh
             .par_iter()
-            .map(|&i| self.simulate(&configs[i]))
+            .map(|&i| self.simulate_resilient(&configs[i]))
             .collect();
 
-        // Publish results and do all bookkeeping in input order.
-        let fresh_results: HashMap<&[usize], (RunReport, f64)> = fresh
-            .iter()
-            .zip(&sims)
-            .map(|(&i, (report, _, perf))| {
-                self.shards[Self::shard_of(&keys[i])]
-                    .lock()
-                    .insert(keys[i].clone(), Slot::Ready(*report, *perf));
-                (keys[i].as_slice(), (*report, *perf))
-            })
-            .collect();
+        // Publish successes; failures stay uncached so they retry on the
+        // next encounter. `penalized` serves this batch's duplicates of a
+        // failed or quarantined key.
+        let mut fresh_results: HashMap<&[usize], (RunReport, f64)> = HashMap::new();
+        let mut penalized: std::collections::HashSet<&[usize]> = std::collections::HashSet::new();
+        for (&i, outcome) in fresh.iter().zip(&sims) {
+            match outcome {
+                SimOutcome::Success(report, _, perf) => {
+                    self.shards[Self::shard_of(&keys[i])]
+                        .lock()
+                        .insert(keys[i].clone(), Slot::Ready(*report, *perf));
+                    fresh_results.insert(keys[i].as_slice(), (*report, *perf));
+                }
+                SimOutcome::Failed => {
+                    penalized.insert(keys[i].as_slice());
+                }
+            }
+        }
+        for &i in &quarantined {
+            penalized.insert(keys[i].as_slice());
+        }
 
+        // All bookkeeping in input order — bitwise identical to a serial
+        // memoized loop over the same batch.
         let mut out = Vec::with_capacity(configs.len());
         let mut charged = 0.0;
         for (i, config) in configs.iter().enumerate() {
             let key = keys[i].as_slice();
-            let (report, perf) = match fresh_results.get(key) {
-                Some(&rp) => rp,
-                None => self
-                    .lookup_or_wait(key)
-                    .expect("key was cached before the batch"),
-            };
-            let charged_here = fresh.binary_search(&i);
-            let cost_s = if let Ok(j) = charged_here {
-                self.evaluations.fetch_add(1, Ordering::Relaxed);
-                self.m_misses.inc(1);
-                self.m_cost.record(report.elapsed_s);
-                self.charge_profile(&sims[j].1);
+            if let Ok(j) = fresh.binary_search(&i) {
+                match &sims[j] {
+                    SimOutcome::Success(report, profile, perf) => {
+                        charged += report.elapsed_s;
+                        out.push(self.charge_miss(config, key, *report, *perf, profile));
+                    }
+                    SimOutcome::Failed => out.push(self.penalty_evaluation(config)),
+                }
+            } else if let Some((report, perf, profile)) = replayed.get(&i) {
                 charged += report.elapsed_s;
-                report.elapsed_s
-            } else {
+                out.push(self.charge_miss(config, key, *report, *perf, profile));
+            } else if penalized.contains(key) {
+                out.push(self.penalty_evaluation(config));
+            } else if let Some((report, perf)) = self.lookup_or_wait(key) {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
                 self.m_hits.inc(1);
-                0.0
-            };
-            out.push(Evaluation {
-                config: config.clone(),
-                report,
-                perf,
-                cost_s,
-            });
+                out.push(Evaluation {
+                    config: config.clone(),
+                    report,
+                    perf,
+                    cost_s: 0.0,
+                });
+            } else {
+                // The entry vanished between classification and assembly
+                // (eviction). Recover by re-simulating through the normal
+                // claim path, which does its own bookkeeping.
+                out.push(self.evaluate(config));
+            }
         }
         *self.charged_cost_s.lock() += charged;
         out
@@ -402,6 +853,17 @@ impl EvalEngine {
     /// [`EvalCounters::charged_cost_s`].
     pub fn profile_snapshot(&self) -> Profile {
         self.profile.lock().clone()
+    }
+
+    /// Snapshot the resilience counters.
+    pub fn resilience(&self) -> ResilienceCounters {
+        ResilienceCounters {
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            failed_evaluations: self.failed_evaluations.load(Ordering::Relaxed),
+            quarantined_keys: self.quarantined_keys.load(Ordering::Relaxed),
+            penalties_served: self.penalties_served.load(Ordering::Relaxed),
+        }
     }
 
     /// Snapshot all counters.
@@ -653,5 +1115,281 @@ mod tests {
             "concurrent duplicates must simulate once"
         );
         assert_eq!(ev.cache_hits(), 3);
+    }
+
+    use tunio_iosim::FaultPlan;
+
+    fn engine_with_plan(plan: FaultPlan) -> EvalEngine {
+        EvalEngine::new(
+            Simulator::cori_4node(1).with_fault_plan(plan),
+            Workload::new(hacc(), Variant::Kernel),
+            ParameterSpace::tunio_default(),
+            3,
+        )
+    }
+
+    fn mutant_batch(space: &ParameterSpace, n: usize) -> Vec<Configuration> {
+        let mut configs = vec![space.default_config()];
+        for v in 0..n {
+            let mut c = space.default_config();
+            c.set_gene(
+                tunio_params::ParamId::StripingFactor,
+                v % space.cardinality(tunio_params::ParamId::StripingFactor),
+            );
+            c.set_gene(
+                tunio_params::ParamId::CollectiveIo,
+                (v / 3) % space.cardinality(tunio_params::ParamId::CollectiveIo),
+            );
+            configs.push(c);
+        }
+        configs
+    }
+
+    #[test]
+    fn inert_fault_plan_is_bitwise_invisible() {
+        let configs = mutant_batch(&ParameterSpace::tunio_default(), 6);
+        let plain = engine();
+        let armed = engine_with_plan(FaultPlan::disabled(99));
+        let a = plain.evaluate_batch(&configs);
+        let b = armed.evaluate_batch(&configs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.perf, y.perf);
+            assert_eq!(x.report, y.report);
+            assert_eq!(x.cost_s, y.cost_s);
+        }
+        assert_eq!(plain.counters(), {
+            let mut c = armed.counters();
+            // Wall time is real time and legitimately differs.
+            c.sim_wall_s = plain.counters().sim_wall_s;
+            c
+        });
+        assert_eq!(plain.profile_snapshot(), armed.profile_snapshot());
+        let r = armed.resilience();
+        assert_eq!(r, ResilienceCounters::default());
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_success() {
+        let ev = engine_with_plan(FaultPlan::chaos(7, 0.2)).with_policy(FailurePolicy {
+            max_retries: 10,
+            quarantine_after: 100,
+            ..FailurePolicy::default()
+        });
+        let configs = mutant_batch(&ev.space.clone(), 12);
+        let out = ev.evaluate_batch(&configs);
+        let r = ev.resilience();
+        assert!(r.faults_injected > 0, "chaos plan must fire at this rate");
+        assert!(r.retries > 0, "some attempt must have been retried");
+        assert_eq!(
+            r.failed_evaluations, 0,
+            "10 retries at 20% chaos must recover every key"
+        );
+        for e in &out {
+            assert!(e.perf > 0.0, "retried evaluations recover real results");
+            assert!(e.report.is_sane());
+        }
+    }
+
+    #[test]
+    fn always_fatal_key_is_quarantined_and_served_penalty() {
+        let plan = FaultPlan {
+            transient_rate: 1.0,
+            ..FaultPlan::disabled(5)
+        };
+        let ev = engine_with_plan(plan).with_policy(FailurePolicy {
+            max_retries: 1,
+            quarantine_after: 2,
+            ..FailurePolicy::default()
+        });
+        let cfg = ev.space.default_config();
+
+        let first = ev.evaluate(&cfg);
+        assert_eq!(first.perf, ev.policy.penalty_perf);
+        assert_eq!(first.report, RunReport::default());
+        assert_eq!(ev.resilience().failed_evaluations, 1);
+        assert_eq!(ev.resilience().quarantined_keys, 0);
+
+        let second = ev.evaluate(&cfg);
+        assert_eq!(second.perf, ev.policy.penalty_perf);
+        let r = ev.resilience();
+        assert_eq!(r.failed_evaluations, 2);
+        assert_eq!(r.quarantined_keys, 1, "breaker opens after 2 consecutive");
+        assert_eq!(r.retries, 2, "one retry per evaluation");
+
+        // Quarantined: the penalty is served without touching the simulator.
+        let faults_before = ev.resilience().faults_injected;
+        let third = ev.evaluate(&cfg);
+        assert_eq!(third.perf, ev.policy.penalty_perf);
+        assert_eq!(third.cost_s, 0.0);
+        assert_eq!(ev.resilience().faults_injected, faults_before);
+        assert_eq!(ev.resilience().penalties_served, 3);
+        assert_eq!(ev.evaluations(), 0, "nothing was ever charged");
+
+        // Batches serve the open breaker the same way.
+        let batch = ev.evaluate_batch(&[cfg.clone(), cfg]);
+        assert!(batch.iter().all(|e| e.perf == ev.policy.penalty_perf));
+        assert_eq!(ev.resilience().faults_injected, faults_before);
+    }
+
+    #[test]
+    fn corrupt_reports_never_become_results() {
+        // Every run's report reads NaN; the sanity gate must reject them
+        // all, so nothing NaN ever escapes the engine.
+        let plan = FaultPlan {
+            corrupt_rate: 1.0,
+            ..FaultPlan::disabled(17)
+        };
+        let ev = engine_with_plan(plan);
+        let configs = mutant_batch(&ev.space.clone(), 4);
+        for e in ev.evaluate_batch(&configs) {
+            assert!(e.perf.is_finite(), "NaN must never escape: {}", e.perf);
+            assert_eq!(e.perf, ev.policy.penalty_perf);
+            assert!(e.report.is_sane(), "penalty report is the zero report");
+        }
+        assert!(ev.resilience().failed_evaluations > 0);
+        assert_eq!(ev.evaluations(), 0);
+    }
+
+    #[test]
+    fn journal_preload_replays_bitwise_identically() {
+        let configs = mutant_batch(&ParameterSpace::tunio_default(), 6);
+
+        let live = engine();
+        live.enable_journal();
+        let live_out = live.evaluate_batch(&configs);
+        let entries = live.drain_journal();
+        assert_eq!(entries.len() as u64, live.evaluations());
+        assert!(live.drain_journal().is_empty(), "drain takes everything");
+
+        let resumed = engine();
+        resumed.preload(entries);
+        let resumed_out = resumed.evaluate_batch(&configs);
+
+        for (a, b) in live_out.iter().zip(&resumed_out) {
+            assert_eq!(a.perf, b.perf);
+            assert_eq!(a.report, b.report);
+            assert_eq!(a.cost_s, b.cost_s, "replay must charge like a miss");
+        }
+        let (cl, cr) = (live.counters(), resumed.counters());
+        assert_eq!(cl.evaluations, cr.evaluations);
+        assert_eq!(cl.cache_hits, cr.cache_hits);
+        assert_eq!(cl.charged_cost_s, cr.charged_cost_s);
+        assert_eq!(
+            cr.sim_wall_s, 0.0,
+            "a fully replayed batch never runs the simulator"
+        );
+        assert_eq!(
+            live.profile_snapshot(),
+            resumed.profile_snapshot(),
+            "replayed profile accumulator must be bitwise identical"
+        );
+    }
+
+    /// Regression test for the old `.expect("key was cached before the
+    /// batch")` panic: if a cached entry is evicted between a batch's
+    /// classification and its assembly, the batch must recover by
+    /// re-simulating instead of crashing.
+    #[test]
+    fn batch_survives_eviction_between_classification_and_assembly() {
+        use std::sync::mpsc;
+
+        let ev = engine();
+        let cached = ev.space.default_config();
+        let cached_key = cached.genes().to_vec();
+        let first = ev.evaluate(&cached);
+
+        let mut fresh_cfg = ev.space.default_config();
+        fresh_cfg.set_gene(tunio_params::ParamId::StripingFactor, 5);
+        let fresh_key = fresh_cfg.genes().to_vec();
+
+        let (hit_tx, hit_rx) = mpsc::channel::<()>();
+        let (go_tx, go_rx) = mpsc::channel::<()>();
+        let go_rx = std::sync::Mutex::new(go_rx);
+        *ev.sim_gate.0.lock().unwrap() = Some(Arc::new(move |key: &[usize]| {
+            if key == fresh_key.as_slice() {
+                hit_tx.send(()).ok();
+                go_rx.lock().unwrap().recv().ok();
+            }
+        }));
+
+        std::thread::scope(|s| {
+            let evr = &ev;
+            let cached_key = cached_key.clone();
+            s.spawn(move || {
+                // While the batch is mid-parallel-phase (after it classified
+                // `cached` as already Ready), evict that entry.
+                hit_rx.recv().expect("fresh key entered the simulator");
+                evr.evict(&cached_key);
+                go_tx.send(()).expect("resume the batch");
+            });
+            let out = ev.evaluate_batch(&[cached.clone(), fresh_cfg.clone()]);
+            assert_eq!(
+                out[0].perf, first.perf,
+                "eviction recovery must re-simulate to the same result"
+            );
+            assert!(out[1].perf > 0.0);
+        });
+        assert_eq!(
+            ev.evaluations(),
+            3,
+            "original + fresh + the re-simulation that replaced the eviction"
+        );
+    }
+
+    /// A panicking evaluation thread must not wedge the campaign: the
+    /// in-flight marker is cleaned up on unwind and any waiters receive
+    /// the penalty value instead of blocking forever.
+    #[test]
+    fn panicking_evaluation_does_not_wedge_waiters() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::mpsc;
+
+        let ev = engine();
+        let cfg = ev.space.default_config();
+        let key = cfg.genes().to_vec();
+
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = std::sync::Mutex::new(release_rx);
+        let panic_once = AtomicBool::new(true);
+        let gate_key = key.clone();
+        *ev.sim_gate.0.lock().unwrap() = Some(Arc::new(move |k: &[usize]| {
+            if k == gate_key.as_slice() && panic_once.swap(false, Ordering::SeqCst) {
+                entered_tx.send(()).ok();
+                release_rx.lock().unwrap().recv().ok();
+                panic!("injected evaluation panic");
+            }
+        }));
+
+        let inflight = std::thread::scope(|s| {
+            let ta = s.spawn(|| ev.evaluate(&cfg));
+            entered_rx.recv().expect("evaluation entered the simulator");
+            // Capture the pending marker exactly as a concurrent waiter
+            // would see it, then let the evaluation thread panic.
+            let inflight = {
+                let shard = ev.shards[EvalEngine::shard_of(&key)].lock();
+                match shard.get(key.as_slice()) {
+                    Some(Slot::Pending(i)) => i.clone(),
+                    other => panic!("expected a pending marker, got {other:?}"),
+                }
+            };
+            release_tx.send(()).expect("release the gated thread");
+            assert!(ta.join().is_err(), "the evaluation must have panicked");
+            inflight
+        });
+
+        // The unwind published the penalty, so a waiter returns instantly
+        // instead of blocking forever on the condvar.
+        let (report, perf) = inflight.wait();
+        assert_eq!(perf, ev.policy.penalty_perf);
+        assert_eq!(report, RunReport::default());
+
+        // And the marker is gone, so the key recovers on the next call.
+        assert!(ev.shards[EvalEngine::shard_of(&key)]
+            .lock()
+            .get(key.as_slice())
+            .is_none());
+        let again = ev.evaluate(&cfg);
+        assert!(again.perf > 0.0, "key must be evaluable after the panic");
     }
 }

@@ -116,6 +116,43 @@ impl TuningTrace {
     }
 }
 
+/// Everything a checkpoint writer needs to know about one finished
+/// generation, handed to a [`CampaignObserver`] while the campaign runs.
+#[derive(Debug)]
+pub struct GenerationSnapshot<'a> {
+    /// Generation number (1-based).
+    pub iteration: u32,
+    /// The generation's trace record.
+    pub record: &'a IterationRecord,
+    /// The population that was evaluated this generation.
+    pub population: &'a [Configuration],
+    /// Raw GA RNG state *after* this generation's breeding (at loop exit
+    /// for the final generation) — the value a deterministic replay must
+    /// reproduce to be trusted.
+    pub rng_state: [u64; 4],
+    /// Best perf so far.
+    pub best_perf: f64,
+    /// Best configuration so far.
+    pub best_config: &'a Configuration,
+    /// True when this is the campaign's final generation (stopper fired
+    /// or budget exhausted).
+    pub stopped: bool,
+}
+
+/// Hook invoked after every completed generation — the write-ahead-log
+/// attachment point for campaign checkpointing.
+pub trait CampaignObserver {
+    /// Called once per generation, in order, from the tuning thread.
+    fn on_generation(&mut self, snapshot: &GenerationSnapshot<'_>);
+}
+
+/// Observer that does nothing (plain, checkpoint-free runs).
+pub struct NoObserver;
+
+impl CampaignObserver for NoObserver {
+    fn on_generation(&mut self, _snapshot: &GenerationSnapshot<'_>) {}
+}
+
 /// The tuner.
 ///
 /// ```
@@ -162,6 +199,20 @@ impl GaTuner {
         stopper: &mut dyn Stopper,
         subsets: &mut dyn SubsetProvider,
     ) -> TuningTrace {
+        self.run_with_observer(engine, stopper, subsets, &mut NoObserver)
+    }
+
+    /// [`GaTuner::run`] with a per-generation [`CampaignObserver`] hook —
+    /// the checkpoint writer's entry point. The observer sees every
+    /// generation after its bookkeeping (and breeding, when the campaign
+    /// continues) completes, so everything it records is durable state.
+    pub fn run_with_observer(
+        &mut self,
+        engine: &EvalEngine,
+        stopper: &mut dyn Stopper,
+        subsets: &mut dyn SubsetProvider,
+        observer: &mut dyn CampaignObserver,
+    ) -> TuningTrace {
         let space = engine.space.clone();
         let pop_size = self.cfg.population.max(2);
         let mut population: Vec<Configuration> = Vec::new();
@@ -181,6 +232,7 @@ impl GaTuner {
         // Baseline for per-generation cost attribution: deltas exclude the
         // default-configuration evaluation above.
         let mut profile_prev = engine.profile_snapshot();
+        let mut resilience_prev = engine.resilience();
 
         let mut best_config = space.default_config();
         let mut best_perf = default_perf;
@@ -247,6 +299,27 @@ impl GaTuner {
             gen_span.add_field("cumulative_cost_s", cumulative.into());
             gen_span.add_field("subset_size", subset.len().into());
 
+            // Per-generation fault/retry deltas, so `tunio-report` can
+            // render resilience columns without replaying counters.
+            let resilience = engine.resilience();
+            gen_span.add_field(
+                "faults",
+                (resilience.faults_injected - resilience_prev.faults_injected).into(),
+            );
+            gen_span.add_field(
+                "retries",
+                (resilience.retries - resilience_prev.retries).into(),
+            );
+            gen_span.add_field(
+                "failures",
+                (resilience.failed_evaluations - resilience_prev.failed_evaluations).into(),
+            );
+            gen_span.add_field(
+                "quarantined",
+                (resilience.quarantined_keys - resilience_prev.quarantined_keys).into(),
+            );
+            resilience_prev = resilience;
+
             // Per-layer cost attribution for this generation: one
             // `profile.layer` event per stack layer carrying the self time
             // charged since the previous generation plus the cumulative
@@ -273,6 +346,15 @@ impl GaTuner {
             subsets.feedback(&subset, best_perf);
             if stopper.should_stop(iteration, best_perf) {
                 stopped_early = iteration < self.cfg.max_iterations;
+                observer.on_generation(&GenerationSnapshot {
+                    iteration,
+                    record: records.last().expect("record pushed this generation"),
+                    population: &population,
+                    rng_state: self.rng.state(),
+                    best_perf,
+                    best_config: &best_config,
+                    stopped: true,
+                });
                 break;
             }
 
@@ -311,6 +393,15 @@ impl GaTuner {
                     ("mutation_rate", self.cfg.mutation_rate.into()),
                 ],
             );
+            observer.on_generation(&GenerationSnapshot {
+                iteration,
+                record: records.last().expect("record pushed this generation"),
+                population: &population,
+                rng_state: self.rng.state(),
+                best_perf,
+                best_config: &best_config,
+                stopped: iteration == self.cfg.max_iterations,
+            });
             population = next;
         }
 
@@ -482,6 +573,100 @@ mod tests {
         assert_eq!(trace.iterations(), 5);
         assert!(trace.gain() >= 0.0);
         assert!((trace.total_cost_min() - trace.total_cost_s() / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observer_sees_every_generation_with_live_rng_state() {
+        struct Recorder {
+            iterations: Vec<u32>,
+            states: Vec<[u64; 4]>,
+            stops: Vec<bool>,
+        }
+        impl CampaignObserver for Recorder {
+            fn on_generation(&mut self, snap: &GenerationSnapshot<'_>) {
+                assert_eq!(snap.iteration, snap.record.iteration);
+                assert!(!snap.population.is_empty());
+                assert!(snap.best_perf >= snap.record.generation_best_perf * 0.0);
+                self.iterations.push(snap.iteration);
+                self.states.push(snap.rng_state);
+                self.stops.push(snap.stopped);
+            }
+        }
+        let mut rec = Recorder {
+            iterations: Vec::new(),
+            states: Vec::new(),
+            stops: Vec::new(),
+        };
+        let mut tuner = GaTuner::new(quick_cfg(9, 6));
+        let trace = tuner.run_with_observer(&engine(9), &mut NoStop, &mut AllParams, &mut rec);
+        assert_eq!(rec.iterations, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(rec.stops, vec![false, false, false, false, false, true]);
+        // The RNG advances between generations (breeding consumes draws),
+        // so consecutive snapshots must differ.
+        for w in rec.states.windows(2) {
+            assert_ne!(w[0], w[1], "rng state must advance every generation");
+        }
+        assert_eq!(trace.iterations(), 6);
+    }
+
+    #[test]
+    fn chaos_campaign_converges_to_finite_nonpenalty_best() {
+        use crate::engine::FailurePolicy;
+        use tunio_iosim::FaultPlan;
+
+        // ≥10% transient failures plus stragglers, flaps and corrupted
+        // reports — the acceptance scenario. The campaign must complete
+        // with a real (finite, positive) best configuration.
+        let engine = EvalEngine::new(
+            Simulator::cori_4node(11).with_fault_plan(FaultPlan::chaos(11, 0.15)),
+            Workload::new(hacc(), Variant::Kernel),
+            ParameterSpace::tunio_default(),
+            3,
+        )
+        .with_policy(FailurePolicy {
+            max_retries: 4,
+            ..FailurePolicy::default()
+        });
+        let mut tuner = GaTuner::new(quick_cfg(11, 12));
+        let trace = tuner.run(&engine, &mut NoStop, &mut AllParams);
+
+        assert!(trace.best_perf.is_finite(), "NaN/Inf must never win");
+        assert!(
+            trace.best_perf > 0.0,
+            "best must be a real result, not the penalty value"
+        );
+        for r in &trace.records {
+            assert!(r.best_perf.is_finite());
+            assert!(r.cost_s.is_finite() && r.cost_s >= 0.0);
+        }
+        let res = engine.resilience();
+        assert!(res.faults_injected > 0, "the plan must actually fire");
+    }
+
+    #[test]
+    fn corrupt_heavy_campaign_never_promotes_nan() {
+        use tunio_iosim::FaultPlan;
+
+        // Half of all runs return NaN-corrupted reports. Every corrupted
+        // report must be rejected by the sanity gate, so nothing NaN can
+        // reach best_perf — it stays finite even if it is the penalty.
+        let plan = FaultPlan {
+            corrupt_rate: 0.5,
+            ..FaultPlan::disabled(13)
+        };
+        let engine = EvalEngine::new(
+            Simulator::cori_4node(13).with_fault_plan(plan),
+            Workload::new(hacc(), Variant::Kernel),
+            ParameterSpace::tunio_default(),
+            3,
+        );
+        let mut tuner = GaTuner::new(quick_cfg(13, 8));
+        let trace = tuner.run(&engine, &mut NoStop, &mut AllParams);
+        assert!(trace.best_perf.is_finite());
+        assert!(trace.default_perf.is_finite());
+        assert!(trace.records.iter().all(|r| r.best_perf.is_finite()
+            && r.generation_best_perf.is_finite()
+            && r.cumulative_cost_s.is_finite()));
     }
 }
 

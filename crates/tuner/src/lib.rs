@@ -34,8 +34,13 @@ pub mod search;
 pub mod stoppers;
 pub mod subset;
 
-pub use engine::{EvalCounters, EvalEngine, Evaluation};
-pub use ga::{Crossover, GaConfig, GaTuner, IterationRecord, TuningTrace};
+pub use engine::{
+    CacheEntry, EvalCounters, EvalEngine, Evaluation, FailurePolicy, ResilienceCounters,
+};
+pub use ga::{
+    CampaignObserver, Crossover, GaConfig, GaTuner, GenerationSnapshot, IterationRecord,
+    NoObserver, TuningTrace,
+};
 pub use search::{HillClimb, RandomSearch};
 pub use stoppers::{BudgetStop, HeuristicStop, MaxPerfStop, NoStop, Stopper};
 pub use subset::{AllParams, SubsetProvider};

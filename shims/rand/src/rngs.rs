@@ -28,6 +28,18 @@ impl SeedableRng for StdRng {
     }
 }
 
+impl StdRng {
+    /// Snapshot the raw xoshiro256++ state, e.g. for campaign checkpoints.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a [`StdRng::state`] snapshot.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        StdRng { s }
+    }
+}
+
 impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
         // xoshiro256++ step.
