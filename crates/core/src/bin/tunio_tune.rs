@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! tunio-tune --app hacc [--pipeline tunio|hstuner|hstuner-heuristic|
-//!            impact-first|rl-stop] [--variant full|kernel|reduced:<frac>]
+//!            impact-first|rl-stop] [--strategy ga|random|lhs|bo]
+//!            [--threads N] [--variant full|kernel|reduced:<frac>]
 //!            [--iterations N] [--population N] [--seed N] [--large-scale]
 //!            [--checkpoint FILE] [--resume] [--abort-after N]
 //!            [--fault-rate F] [--fault-seed N]
@@ -22,10 +23,20 @@
 //! corrupted reports at derived rates); `--abort-after N` exits cleanly
 //! once generation N is durable in the log — the kill switch used by the
 //! crash/resume CI job.
+//!
+//! `--strategy` routes the campaign through the asynchronous search
+//! scheduler instead of the classic generation-synchronous GA loop:
+//! `ga` (the same GA, ported), `random`, `lhs` (Latin hypercube) or
+//! `bo` (surrogate-driven Bayesian optimization). `--threads` sets the
+//! parallel evaluator slot count (default: host cores, capped at 8);
+//! the outcome is bitwise identical for every value.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use tunio::pipeline::{run_campaign_opts, CampaignOptions, CampaignSpec, PipelineKind};
+use tunio::pipeline::{
+    outcome_json, run_campaign_opts, run_strategy_campaign_opts, CampaignOptions, CampaignSpec,
+    PipelineKind, StrategyKind,
+};
 use tunio_iosim::FaultPlan;
 use tunio_params::ParameterSpace;
 use tunio_workloads::{all_apps, Variant};
@@ -35,6 +46,8 @@ const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
 struct Args {
     app: String,
     kind: PipelineKind,
+    strategy: Option<StrategyKind>,
+    threads: Option<usize>,
     variant: Variant,
     iterations: u32,
     population: usize,
@@ -55,6 +68,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: tunio-tune --app <hacc|vpic|flash|macsio-vpic-dipole|bdcats>\n\
          \x20      [--pipeline tunio|hstuner|hstuner-heuristic|impact-first|rl-stop]\n\
+         \x20      [--strategy ga|random|lhs|bo] [--threads N]\n\
          \x20      [--variant full|kernel|reduced:<fraction>]\n\
          \x20      [--iterations N] [--population N] [--seed N]\n\
          \x20      [--large-scale]\n\
@@ -70,6 +84,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         app: String::new(),
         kind: PipelineKind::TunIo,
+        strategy: None,
+        threads: None,
         variant: Variant::Kernel,
         iterations: 30,
         population: 8,
@@ -105,6 +121,22 @@ fn parse_args() -> Result<Args, String> {
                     "rl-stop" => PipelineKind::RlStopOnly,
                     other => return Err(format!("unknown pipeline `{other}`")),
                 }
+            }
+            "--strategy" => {
+                let v = value(&argv, &mut i, "--strategy")?;
+                args.strategy =
+                    Some(StrategyKind::parse(&v).ok_or_else(|| {
+                        format!("unknown strategy `{v}` (want ga|random|lhs|bo)")
+                    })?);
+            }
+            "--threads" => {
+                let n: usize = value(&argv, &mut i, "--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad threads: {e}"))?;
+                if n == 0 {
+                    return Err("threads must be >= 1".into());
+                }
+                args.threads = Some(n);
             }
             "--variant" => {
                 let v = value(&argv, &mut i, "--variant")?;
@@ -181,54 +213,6 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Deterministic JSON dump of a campaign outcome. Floats use Rust's
-/// shortest round-trip formatting, so two bitwise-identical outcomes
-/// produce byte-identical files — the CI crash/resume job asserts
-/// equality with a plain `diff`.
-fn outcome_json(outcome: &tunio::pipeline::CampaignOutcome) -> String {
-    let t = &outcome.trace;
-    let mut s = String::from("{\n");
-    s.push_str(&format!("  \"pipeline\": \"{}\",\n", outcome.kind.label()));
-    s.push_str("  \"records\": [\n");
-    for (i, r) in t.records.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"iteration\": {}, \"best_perf\": {:?}, \"generation_best_perf\": {:?}, \
-             \"cost_s\": {:?}, \"cumulative_cost_s\": {:?}, \"subset_size\": {}}}{}\n",
-            r.iteration,
-            r.best_perf,
-            r.generation_best_perf,
-            r.cost_s,
-            r.cumulative_cost_s,
-            r.subset_size,
-            if i + 1 == t.records.len() { "" } else { "," }
-        ));
-    }
-    s.push_str("  ],\n");
-    let genes: Vec<String> = t
-        .best_config
-        .genes()
-        .iter()
-        .map(|g| g.to_string())
-        .collect();
-    s.push_str(&format!("  \"best_genes\": [{}],\n", genes.join(", ")));
-    s.push_str(&format!("  \"best_perf\": {:?},\n", t.best_perf));
-    s.push_str(&format!("  \"default_perf\": {:?},\n", t.default_perf));
-    s.push_str(&format!("  \"stopped_early\": {},\n", t.stopped_early));
-    s.push_str(&format!("  \"stopper\": \"{}\",\n", t.stopper_name));
-    let res = &outcome.resilience;
-    s.push_str(&format!(
-        "  \"resilience\": {{\"faults_injected\": {}, \"retries\": {}, \
-         \"failed_evaluations\": {}, \"quarantined_keys\": {}, \"penalties_served\": {}}}\n",
-        res.faults_injected,
-        res.retries,
-        res.failed_evaluations,
-        res.quarantined_keys,
-        res.penalties_served
-    ));
-    s.push_str("}\n");
-    s
-}
-
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -273,10 +257,14 @@ fn main() -> ExitCode {
         large_scale: args.large_scale,
     };
     if !args.quiet {
+        let search = match args.strategy {
+            Some(s) => format!("{} [strategy={}]", spec.kind.label(), s.label()),
+            None => spec.kind.label().to_string(),
+        };
         eprintln!(
             "tuning {} with {} ({} iterations max, population {}, {})…",
             args.app,
-            spec.kind.label(),
+            search,
             spec.max_iterations,
             spec.population,
             if spec.large_scale {
@@ -295,6 +283,7 @@ fn main() -> ExitCode {
             .map(|rate| FaultPlan::chaos(args.fault_seed.unwrap_or(args.seed), rate)),
         policy: None,
         abort_after: args.abort_after,
+        threads: args.threads,
     };
     if args.resume && args.checkpoint.is_none() {
         eprintln!("error: --resume needs --checkpoint");
@@ -308,7 +297,11 @@ fn main() -> ExitCode {
         }
     }
 
-    let outcome = match run_campaign_opts(&spec, &opts) {
+    let result = match args.strategy {
+        Some(strategy) => run_strategy_campaign_opts(&spec, strategy, &opts),
+        None => run_campaign_opts(&spec, &opts),
+    };
+    let outcome = match result {
         Ok(o) => o,
         Err(e) => {
             eprintln!("campaign failed: {e}");
@@ -341,6 +334,12 @@ fn main() -> ExitCode {
         "configuration: {}",
         trace.best_config.describe_changes(&space)
     );
+    if let Some(stats) = &outcome.scheduler {
+        println!(
+            "scheduler: {} proposed, {} committed, {} aliases, {} barrier stalls",
+            stats.proposed, stats.committed, stats.aliases, stats.barrier_stalls
+        );
+    }
     let res = &outcome.resilience;
     if args.fault_rate.is_some() || res.faults_injected > 0 {
         println!(

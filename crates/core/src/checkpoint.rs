@@ -87,6 +87,11 @@ pub struct CheckpointGeneration {
     pub stopped: bool,
     /// Memo-cache entries first charged during this generation.
     pub entries: Vec<CacheEntry>,
+    /// Serialized search-strategy state after this generation, for
+    /// campaigns run through the pluggable-strategy scheduler. `None`
+    /// for classic GA campaigns — the field is omitted from their WAL
+    /// lines, keeping the on-disk format byte-compatible.
+    pub strategy_state: Option<String>,
 }
 
 /// Why a checkpoint could not be used.
@@ -343,7 +348,7 @@ impl CheckpointGeneration {
             .iter()
             .map(entry_value)
             .collect::<Result<Vec<Value>, _>>()?;
-        Ok(Value::Object(vec![
+        let mut fields = vec![
             ("iteration".into(), Value::UInt(self.iteration as u64)),
             ("rng_state".into(), uints(self.rng_state)),
             ("record".into(), record_value(&self.record)),
@@ -354,7 +359,11 @@ impl CheckpointGeneration {
             ("best_genes".into(), genes_value(&self.best_genes)),
             ("stopped".into(), Value::Bool(self.stopped)),
             ("entries".into(), Value::Array(entries)),
-        ]))
+        ];
+        if let Some(state) = &self.strategy_state {
+            fields.push(("strategy_state".into(), Value::String(state.clone())));
+        }
+        Ok(Value::Object(fields))
     }
 
     fn from_value(v: &Value) -> Result<Self, CheckpointError> {
@@ -384,6 +393,16 @@ impl CheckpointGeneration {
                 .iter()
                 .map(entry_from_value)
                 .collect::<Result<_, _>>()?,
+            strategy_state: match v.get("strategy_state") {
+                None => None,
+                Some(s) => Some(
+                    s.as_str()
+                        .ok_or_else(|| {
+                            CheckpointError::BadHeader("`strategy_state` is not a string".into())
+                        })?
+                        .to_string(),
+                ),
+            },
         })
     }
 }
@@ -536,6 +555,11 @@ mod tests {
                 perf: 1.1e9,
                 profile,
             }],
+            strategy_state: if iteration == 2 {
+                Some("{\"rng\":[1,2,3,4]}".into())
+            } else {
+                None
+            },
         }
     }
 
@@ -566,6 +590,10 @@ mod tests {
             assert_eq!(g.entries[0].report, want.entries[0].report);
             assert_eq!(g.entries[0].perf, want.entries[0].perf);
             assert_eq!(g.entries[0].profile, want.entries[0].profile);
+            assert_eq!(
+                g.strategy_state, want.strategy_state,
+                "strategy state must round-trip (and stay absent when None)"
+            );
         }
         std::fs::remove_file(&path).ok();
     }

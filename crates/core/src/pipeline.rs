@@ -13,14 +13,17 @@ use crate::checkpoint::{
 use crate::early_stop::EarlyStopAgent;
 use crate::smart_config::SmartConfigAgent;
 use serde::Serialize;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use tunio_iosim::{FaultPlan, Simulator};
 use tunio_params::ParameterSpace;
 use tunio_trace as trace;
 use tunio_tuner::stoppers::NoStop;
 use tunio_tuner::{
-    AllParams, CampaignObserver, EvalEngine, FailurePolicy, GaConfig, GaTuner, GenerationSnapshot,
-    HeuristicStop, ResilienceCounters, Stopper, SubsetProvider, TuningTrace,
+    AllParams, BoConfig, BoStrategy, CacheEntry, CampaignObserver, EvalEngine, FailurePolicy,
+    GaConfig, GaStrategy, GaTuner, GenerationSnapshot, HeuristicStop, LhsStrategy, NoObserver,
+    RandomStrategy, ResilienceCounters, SchedulerStats, SearchStrategy, Stopper, SubsetProvider,
+    TuningTrace,
 };
 use tunio_workloads::{AppSpec, Variant, Workload};
 
@@ -85,6 +88,10 @@ pub struct CampaignOutcome {
     /// exhausted evaluations, quarantined keys, penalties served. All
     /// zero for a fault-free campaign.
     pub resilience: ResilienceCounters,
+    /// Async-scheduler counters (proposals, aliases, barrier stalls) for
+    /// campaigns run through [`run_strategy_campaign_opts`]; `None` for
+    /// the classic `GaTuner` loop.
+    pub scheduler: Option<SchedulerStats>,
 }
 
 /// Robustness options for a campaign: fault injection, failure policy,
@@ -104,6 +111,11 @@ pub struct CampaignOptions {
     /// Exit the process (status 0) once this generation's checkpoint
     /// line is durable — the kill switch for crash/resume testing.
     pub abort_after: Option<u32>,
+    /// Parallel evaluator slots for strategy campaigns (`None` = one per
+    /// host core, capped at 8). The trace is bitwise identical for every
+    /// value; only wall-clock time changes. Ignored by the classic
+    /// `GaTuner` path, which parallelizes inside `evaluate_batch`.
+    pub threads: Option<usize>,
 }
 
 /// Run one campaign with default options (fault-free, no checkpoint).
@@ -195,6 +207,7 @@ pub fn run_campaign_opts(
         trace,
         profile: engine.profile_snapshot(),
         resilience: engine.resilience(),
+        scheduler: None,
     })
 }
 
@@ -212,6 +225,263 @@ fn spec_header(spec: &CampaignSpec) -> CheckpointHeader {
     }
 }
 
+/// Which search backend drives a strategy campaign (see
+/// [`run_strategy_campaign_opts`]). All four run through the
+/// asynchronous scheduler and share the stopper / subset-provider /
+/// checkpoint toolchain; they differ only in how the next configuration
+/// is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum StrategyKind {
+    /// The genetic algorithm, ported onto the strategy trait. Keeps its
+    /// generation barrier (population breeds only when fully scored).
+    Ga,
+    /// Uniform random search over the active subset — fully async.
+    Random,
+    /// Latin-hypercube sampling: each round of proposals stratifies
+    /// every active parameter's range — fully async.
+    Lhs,
+    /// Bayesian optimization: a neural-surrogate ensemble ranks
+    /// candidates by expected improvement — fully async.
+    Bo,
+}
+
+impl StrategyKind {
+    /// Every backend, in CLI/report order.
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::Ga,
+        StrategyKind::Random,
+        StrategyKind::Lhs,
+        StrategyKind::Bo,
+    ];
+
+    /// The CLI flag value (`--strategy <label>`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StrategyKind::Ga => "ga",
+            StrategyKind::Random => "random",
+            StrategyKind::Lhs => "lhs",
+            StrategyKind::Bo => "bo",
+        }
+    }
+
+    /// Parse a CLI flag value.
+    pub fn parse(s: &str) -> Option<StrategyKind> {
+        StrategyKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+}
+
+/// Build the backend for a spec. The evaluation budget is
+/// `max_iterations * population` — the same simulation count the GA
+/// gets — and the record-window width is `population`, so traces from
+/// different backends line up generation-for-generation.
+fn build_strategy(
+    kind: StrategyKind,
+    spec: &CampaignSpec,
+    space: &ParameterSpace,
+) -> Box<dyn SearchStrategy> {
+    let evals = spec.max_iterations as usize * spec.population.max(1);
+    match kind {
+        StrategyKind::Ga => Box::new(GaStrategy::new(
+            GaConfig {
+                population: spec.population,
+                max_iterations: spec.max_iterations,
+                seed: spec.seed,
+                ..GaConfig::default()
+            },
+            space.clone(),
+        )),
+        StrategyKind::Random => Box::new(RandomStrategy::new(space.clone(), evals, spec.seed)),
+        StrategyKind::Lhs => Box::new(LhsStrategy::new(
+            space.clone(),
+            evals,
+            spec.population.max(1),
+            spec.seed,
+        )),
+        StrategyKind::Bo => Box::new(BoStrategy::new(
+            BoConfig::for_budget(evals, spec.population.max(1), spec.seed),
+            space.clone(),
+        )),
+    }
+}
+
+/// The checkpoint header a strategy campaign binds to: the pipeline
+/// label is extended with the backend so a WAL written by one strategy
+/// can never silently resume under another (or under the classic
+/// `GaTuner` loop).
+fn strategy_header(spec: &CampaignSpec, kind: StrategyKind) -> CheckpointHeader {
+    let mut header = spec_header(spec);
+    header.kind = format!("{} [strategy={}]", spec.kind.label(), kind.label());
+    header
+}
+
+/// Default evaluator-slot count for strategy campaigns: one per host
+/// core, capped at 8 (the simulator is CPU-bound; more slots just adds
+/// scheduling noise).
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Run one strategy campaign with default options.
+pub fn run_strategy_campaign(spec: &CampaignSpec, strategy: StrategyKind) -> CampaignOutcome {
+    run_strategy_campaign_opts(spec, strategy, &CampaignOptions::default())
+        .expect("a campaign without a checkpoint has no failure path")
+}
+
+/// Run one campaign through the asynchronous strategy scheduler.
+///
+/// Mirrors [`run_campaign_opts`] — same engine, same stopper and smart
+/// subset wiring per [`PipelineKind`], same checkpoint/resume WAL — but
+/// the search is driven by the chosen [`StrategyKind`] with
+/// `opts.threads` parallel evaluator slots refilled as soon as a
+/// simulation completes. The outcome (trace, checkpoint trajectory) is
+/// bitwise identical for every thread count; only the `profile` field's
+/// float accumulation order varies.
+pub fn run_strategy_campaign_opts(
+    spec: &CampaignSpec,
+    strategy: StrategyKind,
+    opts: &CampaignOptions,
+) -> Result<CampaignOutcome, CheckpointError> {
+    let space = ParameterSpace::tunio_default();
+    let mut sim = if spec.large_scale {
+        Simulator::cori_500node(spec.seed)
+    } else {
+        Simulator::cori_4node(spec.seed)
+    };
+    if let Some(plan) = opts.fault_plan {
+        sim = sim.with_fault_plan(plan);
+    }
+    let cluster = sim.cluster;
+    let workload = Workload::new(spec.app.clone(), spec.variant);
+    let mut engine = EvalEngine::new(sim, workload, space.clone(), 3);
+    if let Some(policy) = opts.policy {
+        engine = engine.with_policy(policy);
+    }
+    let backend = build_strategy(strategy, spec, &space);
+
+    let needs_smart = matches!(
+        spec.kind,
+        PipelineKind::TunIo | PipelineKind::ImpactFirstOnly
+    );
+    let needs_rl_stop = matches!(spec.kind, PipelineKind::TunIo | PipelineKind::RlStopOnly);
+
+    let mut smart = if needs_smart {
+        Some(SmartConfigAgent::pretrained(&space, cluster, spec.seed))
+    } else {
+        None
+    };
+    let mut all_params = AllParams;
+
+    let mut stopper: Box<dyn Stopper> = if needs_rl_stop {
+        let mut agent = EarlyStopAgent::pretrained(spec.max_iterations, spec.seed);
+        agent.begin_campaign();
+        Box::new(agent)
+    } else {
+        match spec.kind {
+            PipelineKind::HsTunerHeuristic => Box::new(HeuristicStop::paper_default()),
+            _ => Box::new(NoStop),
+        }
+    };
+
+    let subsets: &mut dyn SubsetProvider = match &mut smart {
+        Some(agent) => agent,
+        None => &mut all_params,
+    };
+
+    let mut checkpointer = match &opts.checkpoint {
+        Some(path) => Some(CheckpointObserver::open(
+            path,
+            opts.resume,
+            &strategy_header(spec, strategy),
+            &engine,
+            opts.abort_after,
+        )?),
+        None => None,
+    };
+
+    let threads = opts.threads.unwrap_or_else(default_threads).max(1);
+    let span = campaign_span(spec);
+    let mut no_observer = NoObserver;
+    let observer: &mut dyn CampaignObserver = match checkpointer.as_mut() {
+        Some(obs) => obs,
+        None => &mut no_observer,
+    };
+    let run = tunio_tuner::run_strategy(
+        &engine,
+        backend,
+        stopper.as_mut(),
+        subsets,
+        spec.population.max(1),
+        threads,
+        observer,
+    );
+    if let Some(obs) = checkpointer {
+        if let Some(e) = obs.error {
+            return Err(e);
+        }
+    }
+    finish_campaign(span, spec, &engine, &run.trace);
+    Ok(CampaignOutcome {
+        kind: spec.kind,
+        trace: run.trace,
+        profile: engine.profile_snapshot(),
+        resilience: engine.resilience(),
+        scheduler: Some(run.stats),
+    })
+}
+
+/// Deterministic JSON dump of a campaign outcome. Floats use Rust's
+/// shortest round-trip formatting, so two bitwise-identical outcomes
+/// produce byte-identical files — the CI crash/resume jobs assert
+/// equality with a plain `diff`. The volatile `profile` accumulator
+/// (float fold order varies across thread counts) is deliberately
+/// excluded.
+pub fn outcome_json(outcome: &CampaignOutcome) -> String {
+    let t = &outcome.trace;
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"pipeline\": \"{}\",\n", outcome.kind.label()));
+    s.push_str("  \"records\": [\n");
+    for (i, r) in t.records.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"iteration\": {}, \"best_perf\": {:?}, \"generation_best_perf\": {:?}, \
+             \"cost_s\": {:?}, \"cumulative_cost_s\": {:?}, \"subset_size\": {}}}{}\n",
+            r.iteration,
+            r.best_perf,
+            r.generation_best_perf,
+            r.cost_s,
+            r.cumulative_cost_s,
+            r.subset_size,
+            if i + 1 == t.records.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    let genes: Vec<String> = t
+        .best_config
+        .genes()
+        .iter()
+        .map(|g| g.to_string())
+        .collect();
+    s.push_str(&format!("  \"best_genes\": [{}],\n", genes.join(", ")));
+    s.push_str(&format!("  \"best_perf\": {:?},\n", t.best_perf));
+    s.push_str(&format!("  \"default_perf\": {:?},\n", t.default_perf));
+    s.push_str(&format!("  \"stopped_early\": {},\n", t.stopped_early));
+    s.push_str(&format!("  \"stopper\": \"{}\",\n", t.stopper_name));
+    let res = &outcome.resilience;
+    s.push_str(&format!(
+        "  \"resilience\": {{\"faults_injected\": {}, \"retries\": {}, \
+         \"failed_evaluations\": {}, \"quarantined_keys\": {}, \"penalties_served\": {}}}\n",
+        res.faults_injected,
+        res.retries,
+        res.failed_evaluations,
+        res.quarantined_keys,
+        res.penalties_served
+    ));
+    s.push_str("}\n");
+    s
+}
+
 /// What a resumed campaign must reproduce for one replayed generation
 /// before it may extend the log.
 struct ReplayCheck {
@@ -219,6 +489,7 @@ struct ReplayCheck {
     best_perf: f64,
     cumulative_cost_s: f64,
     entry_keys: Vec<Vec<usize>>,
+    strategy_state: Option<String>,
 }
 
 /// The write-ahead-log attachment: drains the engine's cache journal
@@ -231,6 +502,12 @@ struct CheckpointObserver<'a> {
     abort_after: Option<u32>,
     error: Option<CheckpointError>,
     written: trace::Counter,
+    /// Drained-but-unattributed journal entries, keyed by gene key. Only
+    /// used for strategy campaigns (snapshots carrying `charged`): under
+    /// threaded evaluation an entry can be charged before its window
+    /// closes *or* drain during a later window, so entries park here
+    /// until the scheduler's charged-key list claims them.
+    pool: HashMap<Vec<usize>, CacheEntry>,
 }
 
 impl<'a> CheckpointObserver<'a> {
@@ -255,6 +532,7 @@ impl<'a> CheckpointObserver<'a> {
                     best_perf: g.record.best_perf,
                     cumulative_cost_s: g.record.cumulative_cost_s,
                     entry_keys: g.entries.iter().map(|e| e.key.clone()).collect(),
+                    strategy_state: g.strategy_state.clone(),
                 });
                 engine.preload(g.entries);
             }
@@ -269,6 +547,7 @@ impl<'a> CheckpointObserver<'a> {
             abort_after,
             error: None,
             written: trace::counter("tunio.checkpoint.written"),
+            pool: HashMap::new(),
         })
     }
 
@@ -310,6 +589,9 @@ impl<'a> CheckpointObserver<'a> {
                 want.entry_keys.len()
             ));
         }
+        if want.strategy_state.is_some() && snap.strategy_state != want.strategy_state {
+            return Some("strategy state diverged from the recorded snapshot".into());
+        }
         None
     }
 }
@@ -319,7 +601,26 @@ impl CampaignObserver for CheckpointObserver<'_> {
         if self.error.is_some() {
             return; // already failed; surfaced after the run
         }
-        let entries = self.engine.drain_journal();
+        let drained = self.engine.drain_journal();
+        let entries: Vec<CacheEntry> = match &snap.charged {
+            // Classic GA path: the batch evaluator is synchronous, so the
+            // journal drains in a deterministic order that IS the
+            // window's entry list.
+            None => drained,
+            // Strategy path: completions land in wall-clock order, so
+            // attribute entries by the scheduler's commit-ordered charged
+            // keys instead. Entries charged for not-yet-committed
+            // proposals stay pooled for a later window; entries whose
+            // proposal never commits (in flight at an early stop, or the
+            // incumbent-default evaluation) are simply never written —
+            // a resumed run re-simulates them deterministically.
+            Some(charged) => {
+                for e in drained {
+                    self.pool.insert(e.key.clone(), e);
+                }
+                charged.iter().filter_map(|k| self.pool.remove(k)).collect()
+            }
+        };
         if (snap.iteration as usize) <= self.replay.len() {
             // Replayed generation: already durable in the log. Verify the
             // resumed run retraced it instead of silently forking history.
@@ -338,6 +639,7 @@ impl CampaignObserver for CheckpointObserver<'_> {
                 population: snap.population.iter().map(|c| c.genes().to_vec()).collect(),
                 best_genes: snap.best_config.genes().to_vec(),
                 stopped: snap.stopped,
+                strategy_state: snap.strategy_state.clone(),
                 entries,
             };
             match self.writer.write_generation(&generation) {
@@ -579,6 +881,7 @@ pub fn run_campaign_with(tunio: &mut crate::TunIo, spec: &CampaignSpec) -> Campa
         trace,
         profile: engine.profile_snapshot(),
         resilience: engine.resilience(),
+        scheduler: None,
     }
 }
 
@@ -721,6 +1024,118 @@ mod checkpoint_tests {
             matches!(err, CheckpointError::SpecMismatch { field: "seed", .. }),
             "got {err}"
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Trace equality without the profile accumulator: threaded strategy
+    /// campaigns fold per-layer floats in completion order, so the
+    /// profile is the one field two identical campaigns may not share
+    /// bitwise.
+    fn assert_traces_identical(a: &CampaignOutcome, b: &CampaignOutcome) {
+        assert_eq!(a.trace.records.len(), b.trace.records.len());
+        for (x, y) in a.trace.records.iter().zip(&b.trace.records) {
+            assert_eq!(x.best_perf, y.best_perf, "gen {}", x.iteration);
+            assert_eq!(x.generation_best_perf, y.generation_best_perf);
+            assert_eq!(x.cost_s, y.cost_s, "gen {}", x.iteration);
+            assert_eq!(x.cumulative_cost_s, y.cumulative_cost_s);
+            assert_eq!(x.subset_size, y.subset_size);
+        }
+        assert_eq!(a.trace.best_perf, b.trace.best_perf);
+        assert_eq!(a.trace.default_perf, b.trace.default_perf);
+        assert_eq!(a.trace.best_config.genes(), b.trace.best_config.genes());
+        assert_eq!(a.trace.stopped_early, b.trace.stopped_early);
+    }
+
+    /// The tentpole acceptance test: every strategy backend survives a
+    /// kill after generation 3 (WAL truncated to three lines plus a torn
+    /// tail) and resumes to the bitwise-identical outcome — with two
+    /// async evaluator slots racing completions the whole time.
+    #[test]
+    fn every_strategy_backend_survives_kill_and_resume() {
+        for strategy in StrategyKind::ALL {
+            let s = spec(PipelineKind::HsTunerNoStop, 6, 41);
+            let path = wal_path(&format!("strategy-resume-{}.jsonl", strategy.label()));
+            std::fs::remove_file(&path).ok();
+            let opts = |resume| CampaignOptions {
+                checkpoint: Some(path.clone()),
+                resume,
+                threads: Some(2),
+                ..CampaignOptions::default()
+            };
+            let uninterrupted = run_strategy_campaign_opts(&s, strategy, &opts(false)).unwrap();
+            assert!(
+                uninterrupted.trace.records.len() >= 4,
+                "{}: need enough generations to kill mid-way",
+                strategy.label()
+            );
+
+            truncate_wal(&path, 3);
+            let resumed = run_strategy_campaign_opts(&s, strategy, &opts(true)).unwrap();
+            assert_traces_identical(&uninterrupted, &resumed);
+            assert_eq!(
+                uninterrupted.scheduler,
+                resumed.scheduler,
+                "{}: scheduler counters must replay exactly",
+                strategy.label()
+            );
+
+            let (_, gens) = checkpoint::load(&path).unwrap();
+            assert_eq!(gens.len(), uninterrupted.trace.records.len());
+            assert!(
+                gens.iter().all(|g| g.strategy_state.is_some()),
+                "{}: every WAL line must carry the strategy snapshot",
+                strategy.label()
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    /// A WAL written by one backend must refuse to resume under another:
+    /// the header's kind string binds the strategy identity.
+    #[test]
+    fn resume_rejects_a_checkpoint_from_a_different_strategy() {
+        let s = spec(PipelineKind::HsTunerNoStop, 3, 43);
+        let path = wal_path("strategy-mismatch.jsonl");
+        std::fs::remove_file(&path).ok();
+        let opts = |resume| CampaignOptions {
+            checkpoint: Some(path.clone()),
+            resume,
+            threads: Some(1),
+            ..CampaignOptions::default()
+        };
+        run_strategy_campaign_opts(&s, StrategyKind::Random, &opts(false)).unwrap();
+        let err = run_strategy_campaign_opts(&s, StrategyKind::Lhs, &opts(true)).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::SpecMismatch { field: "kind", .. }),
+            "got {err}"
+        );
+        // The classic GaTuner loop must refuse it too.
+        let err = run_campaign_opts(&s, &opts(true)).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::SpecMismatch { field: "kind", .. }),
+            "got {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The full TunIO pipeline (smart subsets + RL stopper) rides the
+    /// async scheduler and still checkpoints/resumes bitwise.
+    #[test]
+    fn bo_strategy_with_tunio_agents_survives_kill_and_resume() {
+        let s = spec(PipelineKind::TunIo, 8, 47);
+        let path = wal_path("bo-tunio-resume.jsonl");
+        std::fs::remove_file(&path).ok();
+        let opts = |resume| CampaignOptions {
+            checkpoint: Some(path.clone()),
+            resume,
+            threads: Some(3),
+            ..CampaignOptions::default()
+        };
+        let uninterrupted = run_strategy_campaign_opts(&s, StrategyKind::Bo, &opts(false)).unwrap();
+        assert!(uninterrupted.trace.records.len() >= 3);
+        truncate_wal(&path, 2);
+        let resumed = run_strategy_campaign_opts(&s, StrategyKind::Bo, &opts(true)).unwrap();
+        assert_traces_identical(&uninterrupted, &resumed);
         std::fs::remove_file(&path).ok();
     }
 

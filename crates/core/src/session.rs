@@ -170,12 +170,24 @@ impl TuningSession {
     /// Rejects sessions whose rounds carry non-finite or negative
     /// `perf`/`elapsed_s` values: a hand-edited or corrupted file must
     /// not smuggle NaN into [`Self::best`] / [`Self::worth_refining`]
-    /// arithmetic.
+    /// arithmetic. Rejects genomes of the wrong length for the same
+    /// reason: a short genome deserializes fine but panics later, deep
+    /// inside [`Self::suggest`], when `gene()` indexes past its end.
     pub fn load(path: &Path) -> std::io::Result<TuningSession> {
         let text = std::fs::read_to_string(path)?;
         let session: TuningSession = serde_json::from_str(&text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         for (i, round) in session.rounds.iter().enumerate() {
+            if round.config.len() != ParamId::ALL.len() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "round {i}: genome has {} genes, the space has {}",
+                        round.config.len(),
+                        ParamId::ALL.len()
+                    ),
+                ));
+            }
             if !round.perf.is_finite() || round.perf < 0.0 {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
@@ -433,6 +445,37 @@ mod tests {
         let err = TuningSession::load(&path).expect_err("negative perf must be rejected");
         std::fs::remove_file(&path).ok();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    /// Regression test: a hand-truncated genome used to load fine and
+    /// only blow up rounds later, as an index-out-of-bounds panic inside
+    /// `suggest` — `load` must reject the malformed round up front.
+    #[test]
+    fn load_rejects_short_genome() {
+        let text = "{\"rounds\":[{\"config\":{\"genes\":[0,1,2]},\
+                    \"perf\":1.0,\"elapsed_s\":1.0}],\"expected_production_runs\":null}";
+        let path = std::env::temp_dir().join("tunio_session_short_genome.json");
+        std::fs::write(&path, text).unwrap();
+        let err = TuningSession::load(&path).expect_err("short genome must be rejected");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("genes"), "got {err}");
+    }
+
+    #[test]
+    fn load_accepts_full_length_genome() {
+        let space = ParameterSpace::tunio_default();
+        let mut session = TuningSession::new();
+        session.rounds.push(SessionRound {
+            config: space.default_config(),
+            perf: 1.0,
+            elapsed_s: 1.0,
+        });
+        let path = std::env::temp_dir().join("tunio_session_full_genome.json");
+        session.save(&path).unwrap();
+        let loaded = TuningSession::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.rounds[0].config.len(), ParamId::ALL.len());
     }
 
     #[test]

@@ -137,6 +137,17 @@ pub struct GenerationSnapshot<'a> {
     /// True when this is the campaign's final generation (stopper fired
     /// or budget exhausted).
     pub stopped: bool,
+    /// Serialized [`crate::strategy::SearchStrategy`] state after this
+    /// window, when the campaign runs through the async scheduler
+    /// (`None` for the classic `GaTuner` loop, whose whole state is the
+    /// RNG + population already checkpointed).
+    pub strategy_state: Option<String>,
+    /// Gene keys of this window's commits that charged the simulator, in
+    /// commit order — the canonical attribution of engine-journal cache
+    /// entries to windows when evaluations complete out of order under
+    /// the async scheduler. `None` for the classic `GaTuner` loop, whose
+    /// journal drains in a deterministic serial order anyway.
+    pub charged: Option<Vec<Vec<usize>>>,
 }
 
 /// Hook invoked after every completed generation — the write-ahead-log
@@ -354,6 +365,8 @@ impl GaTuner {
                     best_perf,
                     best_config: &best_config,
                     stopped: true,
+                    strategy_state: None,
+                    charged: None,
                 });
                 break;
             }
@@ -401,6 +414,8 @@ impl GaTuner {
                 best_perf,
                 best_config: &best_config,
                 stopped: iteration == self.cfg.max_iterations,
+                strategy_state: None,
+                charged: None,
             });
             population = next;
         }

@@ -28,12 +28,16 @@
 
 #![warn(missing_docs)]
 
+pub mod bo;
 pub mod engine;
 pub mod ga;
+pub mod scheduler;
 pub mod search;
 pub mod stoppers;
+pub mod strategy;
 pub mod subset;
 
+pub use bo::{BoConfig, BoStrategy};
 pub use engine::{
     CacheEntry, EvalCounters, EvalEngine, Evaluation, FailurePolicy, ResilienceCounters,
 };
@@ -41,6 +45,8 @@ pub use ga::{
     CampaignObserver, Crossover, GaConfig, GaTuner, GenerationSnapshot, IterationRecord,
     NoObserver, TuningTrace,
 };
+pub use scheduler::{run_strategy, Hooks, Job, Scheduler, SchedulerStats, StrategyRun};
 pub use search::{HillClimb, RandomSearch};
 pub use stoppers::{BudgetStop, HeuristicStop, MaxPerfStop, NoStop, Stopper};
+pub use strategy::{sanitize, GaStrategy, LhsStrategy, RandomStrategy, SearchStrategy};
 pub use subset::{AllParams, SubsetProvider};

@@ -1,0 +1,701 @@
+//! Pluggable search backends behind one `SearchStrategy` contract.
+//!
+//! The paper's tuner is a single fixed GA driven in lock-step
+//! generations. SHAMan-style frameworks instead treat the optimization
+//! engine as a plug-in: the driver asks the strategy for configurations
+//! to evaluate (`propose`), reports results back (`observe`), and the
+//! strategy is otherwise a black box. That contract is what makes
+//! asynchronous evaluation possible — a strategy that can propose
+//! without waiting for a full generation keeps every evaluator slot
+//! busy (see [`crate::scheduler`]).
+//!
+//! Every backend is held to the same conformance rules (enforced by
+//! `tests/strategy_conformance.rs`):
+//!
+//! * **Determinism** — the proposal stream is a pure function of the
+//!   constructor arguments and the sequence of `observe` calls. Wall
+//!   clock, thread count and `propose` chunking must not leak in.
+//! * **Bounds** — proposals only move genes inside the active subset,
+//!   and every gene stays inside its domain cardinality.
+//! * **Poison safety** — observing NaN/infinite perf (a failed
+//!   evaluation's penalty) must not corrupt internal state; non-finite
+//!   values are sanitized to the failure penalty (0.0) on entry.
+//! * **Snapshot/restore** — `snapshot()` serializes the complete
+//!   mutable state (RNG included); a fresh instance constructed with
+//!   the same arguments plus `restore()` must continue byte-identically.
+
+use crate::ga::{Crossover, GaConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tunio_params::{Configuration, ParamId, ParameterSpace};
+
+/// A pluggable search backend.
+///
+/// The driver owns the evaluation loop; the strategy only decides
+/// *which* configurations to try next. `propose` may return fewer
+/// configurations than requested (a generation-synchronous strategy
+/// like the GA returns none while it waits for outstanding results);
+/// returning an empty vector while evaluations are in flight is how a
+/// strategy expresses a barrier.
+pub trait SearchStrategy {
+    /// Stable identifier (`ga`, `random`, `lhs`, `bo`).
+    fn name(&self) -> &'static str;
+
+    /// Set the active parameter subset. Proposals only vary genes in
+    /// the subset; everything else stays at the incumbent value.
+    fn set_subset(&mut self, subset: &[ParamId]);
+
+    /// Propose up to `max` configurations to evaluate next.
+    fn propose(&mut self, max: usize) -> Vec<Configuration>;
+
+    /// Report one completed evaluation. `perf` is bytes/s (higher is
+    /// better); `cost_s` is the simulated time charged. Observations
+    /// arrive in a deterministic order (the scheduler commits them in
+    /// proposal order), possibly long after the matching `propose`.
+    fn observe(&mut self, config: &Configuration, perf: f64, cost_s: f64);
+
+    /// Whether the evaluation budget is exhausted.
+    fn is_done(&self) -> bool;
+
+    /// Raw RNG state, for checkpoint divergence verification.
+    fn rng_state(&self) -> [u64; 4];
+
+    /// Serialize the complete mutable state to a JSON string.
+    fn snapshot(&self) -> String;
+
+    /// Restore state from a [`SearchStrategy::snapshot`] string.
+    fn restore(&mut self, snapshot: &str) -> Result<(), String>;
+}
+
+/// Clamp a reported perf/cost to something safe to store: failed
+/// evaluations surface as the failure-policy penalty (0.0 by default),
+/// and NaN/infinities would otherwise poison sort orders, surrogate
+/// training targets and JSON snapshots.
+pub fn sanitize(value: f64) -> f64 {
+    if value.is_finite() {
+        value
+    } else {
+        0.0
+    }
+}
+
+fn rng_state_vec(rng: &StdRng) -> Vec<u64> {
+    rng.state().to_vec()
+}
+
+fn rng_from_state_vec(state: &[u64]) -> Result<StdRng, String> {
+    if state.len() != 4 {
+        return Err(format!("rng state must have 4 words, got {}", state.len()));
+    }
+    // The all-zero state is xoshiro256++'s fixed point: a generator
+    // restored from it emits zeros forever. It is unreachable from
+    // `seed_from_u64`, so its presence means a corrupted snapshot.
+    if state.iter().all(|&w| w == 0) {
+        return Err("rng state is all zeros (xoshiro fixed point)".into());
+    }
+    Ok(StdRng::from_state([state[0], state[1], state[2], state[3]]))
+}
+
+fn subset_to_indices(subset: &[ParamId]) -> Vec<usize> {
+    subset.iter().map(|p| p.index()).collect()
+}
+
+fn subset_from_indices(indices: &[usize]) -> Result<Vec<ParamId>, String> {
+    indices
+        .iter()
+        .map(|&i| {
+            ParamId::ALL
+                .get(i)
+                .copied()
+                .ok_or_else(|| format!("subset index {i} out of range"))
+        })
+        .collect()
+}
+
+fn genes_vec(configs: &[Configuration]) -> Vec<Vec<usize>> {
+    configs.iter().map(|c| c.genes().to_vec()).collect()
+}
+
+fn configs_from_genes(genes: &[Vec<usize>]) -> Vec<Configuration> {
+    genes
+        .iter()
+        .map(|g| Configuration::new(g.clone()))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// GA
+// ---------------------------------------------------------------------------
+
+/// Serialized [`GaStrategy`] state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GaState {
+    rng: Vec<u64>,
+    subset: Vec<usize>,
+    population: Vec<Vec<usize>>,
+    next_propose: usize,
+    scored_perf: Vec<f64>,
+    scored_genes: Vec<Vec<usize>>,
+    generation: u32,
+    done: bool,
+    initialized: bool,
+}
+
+/// The paper's genetic algorithm behind the [`SearchStrategy`] contract.
+///
+/// Ported gene-for-gene from [`crate::ga::GaTuner`]: same initial
+/// population (default + 0.12-rate partial mutants), same tournament
+/// selection (best two of `tournament` draws), same elitism and masked
+/// crossover/mutation — driven with observations in proposal order it
+/// reproduces the `GaTuner` RNG stream exactly. It is *generation
+/// synchronous*: `propose` returns nothing while any individual of the
+/// current generation is unevaluated, which is precisely the barrier
+/// the asynchronous backends exist to remove.
+#[derive(Debug)]
+pub struct GaStrategy {
+    cfg: GaConfig,
+    space: ParameterSpace,
+    rng: StdRng,
+    subset: Vec<ParamId>,
+    population: Vec<Configuration>,
+    next_propose: usize,
+    scored: Vec<(f64, Configuration)>,
+    generation: u32,
+    done: bool,
+    initialized: bool,
+}
+
+impl GaStrategy {
+    /// Build a GA strategy over `space` with the given hyperparameters.
+    pub fn new(cfg: GaConfig, space: ParameterSpace) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        GaStrategy {
+            cfg,
+            space,
+            rng,
+            subset: ParamId::ALL.to_vec(),
+            population: Vec::new(),
+            next_propose: 0,
+            scored: Vec::new(),
+            generation: 1,
+            done: false,
+            initialized: false,
+        }
+    }
+
+    fn pop_size(&self) -> usize {
+        self.cfg.population.max(2)
+    }
+
+    fn breed(&mut self) {
+        let pop_size = self.pop_size();
+        let mut scored = std::mem::take(&mut self.scored);
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut next: Vec<Configuration> = scored
+            .iter()
+            .take(self.cfg.elite.min(scored.len()))
+            .map(|(_, c)| c.clone())
+            .collect();
+        while next.len() < pop_size {
+            let (p1, p2) = {
+                let k = self.cfg.tournament.max(2).min(scored.len());
+                let mut picks: Vec<&(f64, Configuration)> = (0..k)
+                    .map(|_| &scored[self.rng.gen_range(0..scored.len())])
+                    .collect();
+                picks.sort_by(|a, b| b.0.total_cmp(&a.0));
+                (&picks[0].1, &picks[1].1)
+            };
+            let mut child = match self.cfg.crossover {
+                Crossover::Uniform => p1.crossover_masked(p2, &self.subset, &mut self.rng),
+                Crossover::OnePoint => {
+                    let cut = self.rng.gen_range(0..=self.subset.len());
+                    let mut c = p1.clone();
+                    for &p in &self.subset[cut..] {
+                        c.set_gene(p, p2.gene(p));
+                    }
+                    c
+                }
+            };
+            child.mutate_masked(
+                &self.space,
+                &self.subset,
+                self.cfg.mutation_rate,
+                &mut self.rng,
+            );
+            next.push(child);
+        }
+        self.population = next;
+        self.next_propose = 0;
+    }
+}
+
+impl SearchStrategy for GaStrategy {
+    fn name(&self) -> &'static str {
+        "ga"
+    }
+
+    fn set_subset(&mut self, subset: &[ParamId]) {
+        if !subset.is_empty() {
+            self.subset = subset.to_vec();
+        }
+    }
+
+    fn propose(&mut self, max: usize) -> Vec<Configuration> {
+        if self.done || max == 0 {
+            return Vec::new();
+        }
+        if !self.initialized {
+            self.initialized = true;
+            self.population.push(self.space.default_config());
+            while self.population.len() < self.pop_size() {
+                let mut c = self.space.default_config();
+                c.mutate_masked(&self.space, &self.subset, 0.12, &mut self.rng);
+                self.population.push(c);
+            }
+        }
+        let remaining = self.population.len() - self.next_propose;
+        let n = max.min(remaining);
+        let out = self.population[self.next_propose..self.next_propose + n].to_vec();
+        self.next_propose += n;
+        out
+    }
+
+    fn observe(&mut self, config: &Configuration, perf: f64, _cost_s: f64) {
+        if self.done {
+            return;
+        }
+        self.scored.push((sanitize(perf), config.clone()));
+        if self.scored.len() >= self.population.len() && self.next_propose == self.population.len()
+        {
+            // Generation complete: either retire or breed the next one.
+            if self.generation >= self.cfg.max_iterations {
+                self.done = true;
+                return;
+            }
+            self.generation += 1;
+            self.breed();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    fn snapshot(&self) -> String {
+        let state = GaState {
+            rng: rng_state_vec(&self.rng),
+            subset: subset_to_indices(&self.subset),
+            population: genes_vec(&self.population),
+            next_propose: self.next_propose,
+            scored_perf: self.scored.iter().map(|(p, _)| *p).collect(),
+            scored_genes: self
+                .scored
+                .iter()
+                .map(|(_, c)| c.genes().to_vec())
+                .collect(),
+            generation: self.generation,
+            done: self.done,
+            initialized: self.initialized,
+        };
+        serde_json::to_string(&state).expect("GA state serializes")
+    }
+
+    fn restore(&mut self, snapshot: &str) -> Result<(), String> {
+        let state: GaState = serde_json::from_str(snapshot).map_err(|e| e.to_string())?;
+        if state.scored_perf.len() != state.scored_genes.len() {
+            return Err("scored perf/genes length mismatch".into());
+        }
+        self.rng = rng_from_state_vec(&state.rng)?;
+        self.subset = subset_from_indices(&state.subset)?;
+        self.population = configs_from_genes(&state.population);
+        self.next_propose = state.next_propose;
+        self.scored = state
+            .scored_perf
+            .iter()
+            .zip(&state.scored_genes)
+            .map(|(&p, g)| (p, Configuration::new(g.clone())))
+            .collect();
+        self.generation = state.generation;
+        self.done = state.done;
+        self.initialized = state.initialized;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random search
+// ---------------------------------------------------------------------------
+
+/// Serialized [`RandomStrategy`] state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RandomState {
+    rng: Vec<u64>,
+    subset: Vec<usize>,
+    proposed: usize,
+    best_genes: Vec<usize>,
+    best_perf: Option<f64>,
+}
+
+/// Asynchronous random search: every proposal redraws the active
+/// subset's genes uniformly from the incumbent best configuration.
+///
+/// Fully asynchronous — `propose` never blocks on outstanding results,
+/// so evaluator slots refill the moment a simulation completes.
+#[derive(Debug)]
+pub struct RandomStrategy {
+    space: ParameterSpace,
+    rng: StdRng,
+    subset: Vec<ParamId>,
+    max_evals: usize,
+    proposed: usize,
+    best: Configuration,
+    best_perf: Option<f64>,
+}
+
+impl RandomStrategy {
+    /// Random search over `space` with an evaluation budget and seed.
+    pub fn new(space: ParameterSpace, max_evals: usize, seed: u64) -> Self {
+        let best = space.default_config();
+        RandomStrategy {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            subset: ParamId::ALL.to_vec(),
+            max_evals,
+            proposed: 0,
+            best,
+            best_perf: None,
+        }
+    }
+}
+
+impl SearchStrategy for RandomStrategy {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn set_subset(&mut self, subset: &[ParamId]) {
+        if !subset.is_empty() {
+            self.subset = subset.to_vec();
+        }
+    }
+
+    fn propose(&mut self, max: usize) -> Vec<Configuration> {
+        let n = max.min(self.max_evals.saturating_sub(self.proposed));
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut candidate = self.best.clone();
+            for &p in &self.subset {
+                candidate.set_gene(p, self.space.random_value(p, &mut self.rng));
+            }
+            out.push(candidate);
+        }
+        self.proposed += n;
+        out
+    }
+
+    fn observe(&mut self, config: &Configuration, perf: f64, _cost_s: f64) {
+        let perf = sanitize(perf);
+        if self.best_perf.map(|b| perf > b).unwrap_or(true) {
+            self.best_perf = Some(perf);
+            self.best = config.clone();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.proposed >= self.max_evals
+    }
+
+    fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    fn snapshot(&self) -> String {
+        let state = RandomState {
+            rng: rng_state_vec(&self.rng),
+            subset: subset_to_indices(&self.subset),
+            proposed: self.proposed,
+            best_genes: self.best.genes().to_vec(),
+            best_perf: self.best_perf,
+        };
+        serde_json::to_string(&state).expect("random state serializes")
+    }
+
+    fn restore(&mut self, snapshot: &str) -> Result<(), String> {
+        let state: RandomState = serde_json::from_str(snapshot).map_err(|e| e.to_string())?;
+        self.rng = rng_from_state_vec(&state.rng)?;
+        self.subset = subset_from_indices(&state.subset)?;
+        self.proposed = state.proposed;
+        self.best = Configuration::new(state.best_genes);
+        self.best_perf = state.best_perf;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latin-hypercube sampling
+// ---------------------------------------------------------------------------
+
+/// Serialized [`LhsStrategy`] state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LhsState {
+    rng: Vec<u64>,
+    subset: Vec<usize>,
+    proposed: usize,
+    buffer: Vec<Vec<usize>>,
+    best_genes: Vec<usize>,
+    best_perf: Option<f64>,
+}
+
+/// Latin-hypercube sampling over the discrete domains.
+///
+/// Proposals come in rounds of `strata` points: each active parameter's
+/// domain is cut into `strata` equal slices, a fresh random permutation
+/// assigns one slice per point, and the gene is drawn uniformly inside
+/// its slice — so every round covers each parameter's whole range with
+/// at most one point per slice. Rounds are independent, which keeps the
+/// stream asynchronous: the next round is generated the moment the
+/// buffer drains, never waiting on observations.
+#[derive(Debug)]
+pub struct LhsStrategy {
+    space: ParameterSpace,
+    rng: StdRng,
+    subset: Vec<ParamId>,
+    max_evals: usize,
+    strata: usize,
+    proposed: usize,
+    buffer: Vec<Configuration>,
+    best: Configuration,
+    best_perf: Option<f64>,
+}
+
+impl LhsStrategy {
+    /// LHS over `space`: `max_evals` budget, `strata` points per round.
+    pub fn new(space: ParameterSpace, max_evals: usize, strata: usize, seed: u64) -> Self {
+        let best = space.default_config();
+        LhsStrategy {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            subset: ParamId::ALL.to_vec(),
+            max_evals,
+            strata: strata.max(1),
+            proposed: 0,
+            buffer: Vec::new(),
+            best,
+            best_perf: None,
+        }
+    }
+
+    fn refill_round(&mut self) {
+        let n = self.strata.min(self.max_evals - self.proposed).max(1);
+        // One independent permutation of the strata per parameter.
+        let perms: Vec<Vec<usize>> = (0..self.subset.len())
+            .map(|_| {
+                let mut perm: Vec<usize> = (0..n).collect();
+                // Fisher-Yates with the strategy RNG.
+                for i in (1..n).rev() {
+                    let j = self.rng.gen_range(0..=i);
+                    perm.swap(i, j);
+                }
+                perm
+            })
+            .collect();
+        // `point` indexes the *inner* vectors (`perms[pi][point]`), so an
+        // iterator over `perms` would not fit.
+        #[allow(clippy::needless_range_loop)]
+        for point in 0..n {
+            let mut candidate = self.best.clone();
+            for (pi, &p) in self.subset.iter().enumerate() {
+                let card = self.space.cardinality(p);
+                let stratum = perms[pi][point];
+                let lo = stratum * card / n;
+                let hi = (((stratum + 1) * card / n).max(lo + 1)).min(card);
+                let idx = if hi - lo <= 1 {
+                    lo.min(card - 1)
+                } else {
+                    lo + self.rng.gen_range(0..hi - lo)
+                };
+                candidate.set_gene(p, idx);
+            }
+            self.buffer.push(candidate);
+        }
+        // Proposals pop from the back; reverse so stream order matches
+        // generation order.
+        self.buffer.reverse();
+    }
+}
+
+impl SearchStrategy for LhsStrategy {
+    fn name(&self) -> &'static str {
+        "lhs"
+    }
+
+    fn set_subset(&mut self, subset: &[ParamId]) {
+        if !subset.is_empty() && subset != self.subset.as_slice() {
+            self.subset = subset.to_vec();
+            // A pending round was stratified over the old subset; drop
+            // it so the new round covers the right parameters.
+            self.buffer.clear();
+        }
+    }
+
+    fn propose(&mut self, max: usize) -> Vec<Configuration> {
+        let mut out = Vec::new();
+        while out.len() < max && self.proposed < self.max_evals {
+            if self.buffer.is_empty() {
+                self.refill_round();
+            }
+            let candidate = self.buffer.pop().expect("refilled round is non-empty");
+            self.proposed += 1;
+            out.push(candidate);
+        }
+        out
+    }
+
+    fn observe(&mut self, config: &Configuration, perf: f64, _cost_s: f64) {
+        let perf = sanitize(perf);
+        if self.best_perf.map(|b| perf > b).unwrap_or(true) {
+            self.best_perf = Some(perf);
+            self.best = config.clone();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.proposed >= self.max_evals
+    }
+
+    fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    fn snapshot(&self) -> String {
+        let state = LhsState {
+            rng: rng_state_vec(&self.rng),
+            subset: subset_to_indices(&self.subset),
+            proposed: self.proposed,
+            buffer: genes_vec(&self.buffer),
+            best_genes: self.best.genes().to_vec(),
+            best_perf: self.best_perf,
+        };
+        serde_json::to_string(&state).expect("LHS state serializes")
+    }
+
+    fn restore(&mut self, snapshot: &str) -> Result<(), String> {
+        let state: LhsState = serde_json::from_str(snapshot).map_err(|e| e.to_string())?;
+        self.rng = rng_from_state_vec(&state.rng)?;
+        self.subset = subset_from_indices(&state.subset)?;
+        self.proposed = state.proposed;
+        self.buffer = configs_from_genes(&state.buffer);
+        self.best = Configuration::new(state.best_genes);
+        self.best_perf = state.best_perf;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ParameterSpace {
+        ParameterSpace::tunio_default()
+    }
+
+    #[test]
+    fn ga_strategy_is_generation_synchronous() {
+        let mut ga = GaStrategy::new(
+            GaConfig {
+                population: 4,
+                max_iterations: 2,
+                seed: 7,
+                ..Default::default()
+            },
+            space(),
+        );
+        let first = ga.propose(16);
+        assert_eq!(first.len(), 4, "one full generation");
+        assert!(ga.propose(16).is_empty(), "barrier until observed");
+        for c in &first {
+            ga.observe(c, 1.0, 0.5);
+        }
+        let second = ga.propose(16);
+        assert_eq!(second.len(), 4, "next generation after the barrier");
+    }
+
+    #[test]
+    fn ga_budget_exhaustion_sets_done() {
+        let mut ga = GaStrategy::new(
+            GaConfig {
+                population: 3,
+                max_iterations: 1,
+                seed: 1,
+                ..Default::default()
+            },
+            space(),
+        );
+        for c in ga.propose(8) {
+            ga.observe(&c, 2.0, 0.1);
+        }
+        assert!(ga.is_done());
+        assert!(ga.propose(8).is_empty());
+    }
+
+    #[test]
+    fn random_and_lhs_never_barrier() {
+        let sp = space();
+        let mut rs = RandomStrategy::new(sp.clone(), 10, 3);
+        let mut lhs = LhsStrategy::new(sp, 10, 4, 3);
+        // No observe calls at all: the full budget must still stream out.
+        assert_eq!(rs.propose(10).len(), 10);
+        assert_eq!(lhs.propose(10).len(), 10);
+        assert!(rs.is_done() && lhs.is_done());
+    }
+
+    #[test]
+    fn lhs_rounds_stratify_each_parameter() {
+        let sp = space();
+        let strata = 4;
+        let mut lhs = LhsStrategy::new(sp.clone(), strata, strata, 11);
+        let round = lhs.propose(strata);
+        assert_eq!(round.len(), strata);
+        // Every parameter with cardinality >= strata must see exactly
+        // one point per stratum slice (the same floor-division bounds
+        // the generator uses).
+        for &p in ParamId::ALL.iter() {
+            let card = sp.cardinality(p);
+            if card < strata {
+                continue;
+            }
+            for stratum in 0..strata {
+                let lo = stratum * card / strata;
+                let hi = ((stratum + 1) * card / strata).max(lo + 1).min(card);
+                let hits = round
+                    .iter()
+                    .filter(|c| (lo..hi).contains(&c.gene(p)))
+                    .count();
+                assert_eq!(hits, 1, "{} stratum {stratum} hit {hits} times", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sanitize_clamps_non_finite() {
+        assert_eq!(sanitize(f64::NAN), 0.0);
+        assert_eq!(sanitize(f64::INFINITY), 0.0);
+        assert_eq!(sanitize(-3.5), -3.5);
+    }
+
+    #[test]
+    fn restore_rejects_zero_rng_state() {
+        let sp = space();
+        let mut rs = RandomStrategy::new(sp, 4, 1);
+        let snap = rs.snapshot().replace(
+            &format!("{:?}", rs.rng_state().to_vec()).replace(' ', ""),
+            "[0,0,0,0]",
+        );
+        assert!(rs.restore(&snap).is_err(), "zero state must be rejected");
+    }
+}
