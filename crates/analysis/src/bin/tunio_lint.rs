@@ -1,34 +1,51 @@
-//! `tunio-lint` — dataflow lints for C-minus sources.
+//! `tunio-lint` — dataflow and I/O-pattern lints for C-minus sources.
 //!
 //! ```text
-//! tunio-lint [--sample NAME|all] [FILE...] [--json] [--allow LINT]... [--deny warnings]
+//! tunio-lint [--sample NAME|all] [FILE...] [--json] \
+//!            [--allow LINT|warnings]... [--deny LINT|warnings]...
 //! ```
 //!
 //! Inputs are built-in samples (`--sample vpic_io`, `--sample all`) or
 //! C-minus files on disk. Text output is one line per finding; `--json`
-//! emits a machine-readable report. With `--deny warnings` the exit code
-//! is 1 when any warning-severity finding survives the `--allow` filter.
+//! emits a machine-readable report.
+//!
+//! Lint levels are order-independent: a specific slug always beats the
+//! broad `warnings` category, and `--deny` beats `--allow` on a direct
+//! tie. `--deny warnings --allow io-in-loop` keeps io-in-loop findings
+//! advisory while every other warning fails the run, in either flag
+//! order. Exit code is 1 when any denied finding survives.
 
 use std::process::ExitCode;
-use tunio_analysis::lint::{has_warnings, lint_program, render_text, LintKind, LintOptions};
+use tunio_analysis::lint::{has_gating, lint_program, render_text, LintKind, LintOptions};
 use tunio_cminus::parser::parse;
 use tunio_cminus::samples;
 
 const USAGE: &str = "usage: tunio-lint [--sample NAME|all] [FILE...] \
-                     [--json] [--allow LINT]... [--deny warnings]";
+                     [--json] [--allow LINT|warnings]... [--deny LINT|warnings]...";
 
 struct Args {
     inputs: Vec<(String, String)>,
     json: bool,
-    deny_warnings: bool,
     opts: LintOptions,
+}
+
+fn lint_level(slug: &str) -> Result<Option<LintKind>, String> {
+    if slug == "warnings" {
+        return Ok(None);
+    }
+    LintKind::from_slug(slug).map(Some).ok_or_else(|| {
+        let known: Vec<&str> = LintKind::all().iter().map(|k| k.slug()).collect();
+        format!(
+            "unknown lint `{slug}` (known: warnings, {})",
+            known.join(", ")
+        )
+    })
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         inputs: Vec::new(),
         json: false,
-        deny_warnings: false,
         opts: LintOptions::default(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -38,19 +55,27 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = true,
             "--deny" => {
                 i += 1;
-                match argv.get(i).map(String::as_str) {
-                    Some("warnings") => args.deny_warnings = true,
-                    other => return Err(format!("--deny expects `warnings`, got {other:?}")),
+                let slug = argv
+                    .get(i)
+                    .ok_or("--deny expects a lint name or `warnings`")?;
+                match lint_level(slug)? {
+                    Some(kind) => {
+                        args.opts.deny.insert(kind);
+                    }
+                    None => args.opts.deny_warnings = true,
                 }
             }
             "--allow" => {
                 i += 1;
-                let slug = argv.get(i).ok_or("--allow expects a lint name")?;
-                let kind = LintKind::from_slug(slug).ok_or_else(|| {
-                    let known: Vec<&str> = LintKind::all().iter().map(|k| k.slug()).collect();
-                    format!("unknown lint `{slug}` (known: {})", known.join(", "))
-                })?;
-                args.opts.allow.insert(kind);
+                let slug = argv
+                    .get(i)
+                    .ok_or("--allow expects a lint name or `warnings`")?;
+                match lint_level(slug)? {
+                    Some(kind) => {
+                        args.opts.allow.insert(kind);
+                    }
+                    None => args.opts.allow_warnings = true,
+                }
             }
             "--sample" => {
                 i += 1;
@@ -97,7 +122,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut any_warning = false;
+    let mut any_gating = false;
     let mut reports = Vec::new();
     for (name, src) in &args.inputs {
         let program = match parse(src) {
@@ -108,7 +133,7 @@ fn main() -> ExitCode {
             }
         };
         let diags = lint_program(&program, &args.opts);
-        any_warning |= has_warnings(&diags);
+        any_gating |= has_gating(&diags, &args.opts);
         reports.push((name.clone(), diags));
     }
 
@@ -138,7 +163,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if args.deny_warnings && any_warning {
+    if any_gating {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

@@ -1,0 +1,867 @@
+//! Abstract numeric domain for the static I/O workload inference.
+//!
+//! The domain is a reduced product of three components per value:
+//!
+//! * an **interval** `[lo, hi]` with infinite bounds,
+//! * a **congruence** (stride) `v ≡ rem (mod stride)` tracked through a
+//!   gcd lattice, and
+//! * an optional **symbolic linear form** over the entry function's
+//!   size parameters (`(k + Σ cᵢ·pᵢ) / den`, floor division), so trip
+//!   counts and transfer volumes stay exact *functions of the app's
+//!   parameters* instead of collapsing to `⊤` the moment a parameter
+//!   appears.
+//!
+//! Joins take the interval hull and the congruence gcd; widening drops
+//! any bound that moved to ±∞ (the congruence component is finite-height
+//! and needs no widening; the symbolic component is dropped unless both
+//! sides agree). This is the classic interval-with-threshold-free
+//! widening, delayed a few iterations by the interpreter so short loops
+//! still converge to exact bounds.
+
+use std::collections::BTreeMap;
+
+/// One end of an interval: `-∞`, a finite integer, or `+∞`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Negative infinity.
+    NegInf,
+    /// A finite bound.
+    Finite(i64),
+    /// Positive infinity.
+    PosInf,
+}
+
+impl Bound {
+    /// The finite value, if this bound is finite.
+    pub fn finite(self) -> Option<i64> {
+        match self {
+            Bound::Finite(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn add(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::NegInf, _) | (_, Bound::NegInf) => Bound::NegInf,
+            (Bound::PosInf, _) | (_, Bound::PosInf) => Bound::PosInf,
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.saturating_add(b)),
+        }
+    }
+
+    fn neg(self) -> Bound {
+        match self {
+            Bound::NegInf => Bound::PosInf,
+            Bound::PosInf => Bound::NegInf,
+            Bound::Finite(v) => Bound::Finite(v.saturating_neg()),
+        }
+    }
+
+    fn mul(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.saturating_mul(b)),
+            (a, b) => {
+                let sa = a.signum();
+                let sb = b.signum();
+                if sa == 0 || sb == 0 {
+                    Bound::Finite(0)
+                } else if sa * sb > 0 {
+                    Bound::PosInf
+                } else {
+                    Bound::NegInf
+                }
+            }
+        }
+    }
+
+    fn signum(self) -> i64 {
+        match self {
+            Bound::NegInf => -1,
+            Bound::PosInf => 1,
+            Bound::Finite(v) => v.signum(),
+        }
+    }
+
+    fn min(self, other: Bound) -> Bound {
+        if Self::le(self, other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    fn max(self, other: Bound) -> Bound {
+        if Self::le(self, other) {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Total order: `-∞ ≤ finite ≤ +∞`.
+    pub fn le(a: Bound, b: Bound) -> bool {
+        match (a, b) {
+            (Bound::NegInf, _) | (_, Bound::PosInf) => true,
+            (_, Bound::NegInf) | (Bound::PosInf, _) => false,
+            (Bound::Finite(x), Bound::Finite(y)) => x <= y,
+        }
+    }
+}
+
+/// A symbolic linear form `(k + Σ cᵢ·pᵢ) / den` (floor division, `den ≥ 1`)
+/// over named size parameters of the entry function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinExpr {
+    /// Constant term of the numerator.
+    pub k: i64,
+    /// Coefficients per parameter name (zero coefficients are removed).
+    pub terms: BTreeMap<String, i64>,
+    /// Denominator (`≥ 1`); the value is `numerator / den`, floor.
+    pub den: i64,
+}
+
+impl LinExpr {
+    /// The constant `k`.
+    pub fn constant(k: i64) -> Self {
+        LinExpr {
+            k,
+            terms: BTreeMap::new(),
+            den: 1,
+        }
+    }
+
+    /// The parameter `name` with coefficient 1.
+    pub fn param(name: &str) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(name.to_string(), 1);
+        LinExpr {
+            k: 0,
+            terms,
+            den: 1,
+        }
+    }
+
+    /// Whether the form has no parameter terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    fn normalized(mut self) -> Self {
+        self.terms.retain(|_, c| *c != 0);
+        if self.den > 1 {
+            let mut g = self.den;
+            g = gcd(g, self.k.abs());
+            for c in self.terms.values() {
+                g = gcd(g, c.abs());
+            }
+            if g > 1 {
+                // Only safe to cancel when the numerator is known to be a
+                // multiple of g at every point — true when all coefficients
+                // (including k) share the factor.
+                self.k /= g;
+                for c in self.terms.values_mut() {
+                    *c /= g;
+                }
+                self.den /= g;
+            }
+        }
+        self
+    }
+
+    /// `self + other`, if representable (denominator product stays sane).
+    pub fn add(&self, other: &LinExpr) -> Option<LinExpr> {
+        // Floor-division forms only add exactly when denominators are 1 or
+        // equal with aligned numerators; be conservative for mixed dens.
+        if self.den != other.den && self.den != 1 && other.den != 1 {
+            return None;
+        }
+        if self.den != other.den {
+            // Scale the den-1 side up: (a)/1 + (b)/d = (a*d + b)/d. Exact.
+            let (big, small) = if self.den > 1 {
+                (self, other)
+            } else {
+                (other, self)
+            };
+            let d = big.den;
+            let mut terms = big.terms.clone();
+            for (p, c) in &small.terms {
+                *terms.entry(p.clone()).or_insert(0) += c.checked_mul(d)?;
+            }
+            let k = big.k.checked_add(small.k.checked_mul(d)?)?;
+            return Some(LinExpr { k, terms, den: d }.normalized());
+        }
+        let mut terms = self.terms.clone();
+        for (p, c) in &other.terms {
+            *terms.entry(p.clone()).or_insert(0) += *c;
+        }
+        Some(
+            LinExpr {
+                k: self.k.checked_add(other.k)?,
+                terms,
+                den: self.den,
+            }
+            .normalized(),
+        )
+    }
+
+    /// `self - other`, if representable.
+    pub fn sub(&self, other: &LinExpr) -> Option<LinExpr> {
+        self.add(&other.scale(-1)?)
+    }
+
+    /// `self * c` for a constant `c`.
+    pub fn scale(&self, c: i64) -> Option<LinExpr> {
+        let mut terms = BTreeMap::new();
+        for (p, coef) in &self.terms {
+            terms.insert(p.clone(), coef.checked_mul(c)?);
+        }
+        Some(
+            LinExpr {
+                k: self.k.checked_mul(c)?,
+                terms,
+                den: self.den,
+            }
+            .normalized(),
+        )
+    }
+
+    /// `self * other`, exact only when one side is constant with den 1.
+    pub fn mul(&self, other: &LinExpr) -> Option<LinExpr> {
+        if other.is_constant() && other.den == 1 {
+            self.scale(other.k)
+        } else if self.is_constant() && self.den == 1 {
+            other.scale(self.k)
+        } else {
+            None
+        }
+    }
+
+    /// Floor division by a positive constant `d`.
+    pub fn div_floor(&self, d: i64) -> Option<LinExpr> {
+        if d <= 0 {
+            return None;
+        }
+        Some(LinExpr {
+            k: self.k,
+            terms: self.terms.clone(),
+            den: self.den.checked_mul(d)?,
+        })
+    }
+
+    /// Ceiling division by a positive constant `d`: `ceil(x/d) = floor((x+d-1)/d)`.
+    pub fn div_ceil(&self, d: i64) -> Option<LinExpr> {
+        if d <= 0 {
+            return None;
+        }
+        // (num/den) is the value; ceil(value/d) = floor((num + den*(d-1)) / (den*d))
+        // for non-negative numerators (our trip counts).
+        let den = self.den.checked_mul(d)?;
+        let k = self.k.checked_add(self.den.checked_mul(d - 1)?)?;
+        Some(LinExpr {
+            k,
+            terms: self.terms.clone(),
+            den,
+        })
+    }
+
+    /// Evaluate under concrete parameter `bindings` (missing params → 0).
+    pub fn eval(&self, bindings: &BTreeMap<String, i64>) -> i64 {
+        let mut num = self.k as i128;
+        for (p, c) in &self.terms {
+            num += *c as i128 * *bindings.get(p).copied().as_ref().unwrap_or(&0) as i128;
+        }
+        (num.div_euclid(self.den as i128)).clamp(i64::MIN as i128, i64::MAX as i128) as i64
+    }
+
+    /// Substitute parameter names with other linear forms (used when
+    /// pushing a callee's summary up through a call site). Returns `None`
+    /// when the substitution is not exactly representable.
+    pub fn substitute(&self, map: &BTreeMap<String, LinExpr>) -> Option<LinExpr> {
+        let mut acc = LinExpr {
+            k: self.k,
+            terms: BTreeMap::new(),
+            den: self.den,
+        };
+        for (p, c) in &self.terms {
+            let sub = map.get(p)?;
+            if sub.den != 1 {
+                return None;
+            }
+            let scaled = sub.scale(*c)?;
+            // acc has denominator self.den; scaled has den 1.
+            let mut terms = acc.terms;
+            for (q, cc) in &scaled.terms {
+                *terms.entry(q.clone()).or_insert(0) += cc.checked_mul(acc.den)?;
+            }
+            acc = LinExpr {
+                k: acc.k.checked_add(scaled.k.checked_mul(acc.den)?)?,
+                terms,
+                den: acc.den,
+            };
+        }
+        Some(acc.normalized())
+    }
+
+    /// Render as a human-readable formula, e.g. `8*nvals` or `(nsteps+3)/4`.
+    pub fn render(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (p, c) in &self.terms {
+            if *c == 1 {
+                parts.push(p.clone());
+            } else {
+                parts.push(format!("{c}*{p}"));
+            }
+        }
+        if self.k != 0 || parts.is_empty() {
+            parts.push(self.k.to_string());
+        }
+        let num = parts.join("+").replace("+-", "-");
+        if self.den == 1 {
+            num
+        } else if parts.len() == 1 {
+            format!("{num}/{}", self.den)
+        } else {
+            format!("({num})/{}", self.den)
+        }
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Congruence component: the set `{ x : x ≡ rem (mod modulus) }`.
+///
+/// `modulus == 0` means the singleton `{rem}`; `modulus == 1` means no
+/// congruence information (all integers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Congruence {
+    /// The modulus (`0` = exact constant, `1` = ⊤).
+    pub modulus: i64,
+    /// The representative remainder (`rem ∈ [0, modulus)` when `modulus > 1`).
+    pub rem: i64,
+}
+
+impl Congruence {
+    /// No congruence information.
+    pub fn top() -> Self {
+        Congruence { modulus: 1, rem: 0 }
+    }
+
+    /// Exactly the constant `c`.
+    pub fn constant(c: i64) -> Self {
+        Congruence { modulus: 0, rem: c }
+    }
+
+    fn normalize(self) -> Self {
+        if self.modulus > 1 {
+            Congruence {
+                modulus: self.modulus,
+                rem: self.rem.rem_euclid(self.modulus),
+            }
+        } else if self.modulus == 1 {
+            Congruence::top()
+        } else {
+            self
+        }
+    }
+
+    /// Least upper bound.
+    pub fn join(self, other: Congruence) -> Congruence {
+        let m = gcd(
+            gcd(self.modulus, other.modulus),
+            (self.rem - other.rem).abs(),
+        );
+        if m == 0 {
+            self // equal constants
+        } else {
+            Congruence {
+                modulus: m,
+                rem: self.rem,
+            }
+            .normalize()
+        }
+    }
+
+    /// Whether the concrete value `v` is a member.
+    pub fn contains(self, v: i64) -> bool {
+        match self.modulus {
+            0 => v == self.rem,
+            1 => true,
+            m => (v - self.rem).rem_euclid(m) == 0,
+        }
+    }
+
+    fn add(self, other: Congruence) -> Congruence {
+        let m = gcd(self.modulus, other.modulus);
+        Congruence {
+            modulus: m,
+            rem: self.rem.saturating_add(other.rem),
+        }
+        .normalize()
+    }
+
+    fn mul(self, other: Congruence) -> Congruence {
+        match (self.modulus, other.modulus) {
+            (0, 0) => Congruence::constant(self.rem.saturating_mul(other.rem)),
+            (0, m) => scale_cong(other, self.rem, m),
+            (m, 0) => scale_cong(self, other.rem, m),
+            _ => Congruence::top(),
+        }
+    }
+}
+
+fn scale_cong(c: Congruence, by: i64, m: i64) -> Congruence {
+    let _ = m;
+    Congruence {
+        modulus: c.modulus.saturating_mul(by.abs()),
+        rem: c.rem.saturating_mul(by),
+    }
+    .normalize()
+}
+
+/// An abstract value: interval × congruence × optional symbolic form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsVal {
+    /// Lower interval bound.
+    pub lo: Bound,
+    /// Upper interval bound.
+    pub hi: Bound,
+    /// Congruence (stride) component.
+    pub cong: Congruence,
+    /// Exact symbolic linear form, when known.
+    pub sym: Option<LinExpr>,
+}
+
+impl AbsVal {
+    /// The full integer range, no information.
+    pub fn top() -> Self {
+        AbsVal {
+            lo: Bound::NegInf,
+            hi: Bound::PosInf,
+            cong: Congruence::top(),
+            sym: None,
+        }
+    }
+
+    /// The empty set (unreachable value).
+    pub fn bottom() -> Self {
+        AbsVal {
+            lo: Bound::PosInf,
+            hi: Bound::NegInf,
+            cong: Congruence::top(),
+            sym: None,
+        }
+    }
+
+    /// The singleton `{c}`.
+    pub fn constant(c: i64) -> Self {
+        AbsVal {
+            lo: Bound::Finite(c),
+            hi: Bound::Finite(c),
+            cong: Congruence::constant(c),
+            sym: Some(LinExpr::constant(c)),
+        }
+    }
+
+    /// An unknown (but single-valued) size parameter named `name`.
+    /// Modelled as non-negative: sizes, counts and ranks in the corpus
+    /// are dimensions, never negative.
+    pub fn param(name: &str) -> Self {
+        AbsVal {
+            lo: Bound::Finite(0),
+            hi: Bound::PosInf,
+            cong: Congruence::top(),
+            sym: Some(LinExpr::param(name)),
+        }
+    }
+
+    /// An interval `[lo, hi]` with no further structure.
+    pub fn range(lo: i64, hi: i64) -> Self {
+        if lo > hi {
+            return AbsVal::bottom();
+        }
+        let cong = if lo == hi {
+            Congruence::constant(lo)
+        } else {
+            Congruence::top()
+        };
+        AbsVal {
+            lo: Bound::Finite(lo),
+            hi: Bound::Finite(hi),
+            cong,
+            sym: if lo == hi {
+                Some(LinExpr::constant(lo))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Whether this is the empty set.
+    pub fn is_bottom(&self) -> bool {
+        !Bound::le(self.lo, self.hi)
+    }
+
+    /// The exact constant, if single-valued.
+    pub fn as_const(&self) -> Option<i64> {
+        match (self.lo, self.hi) {
+            (Bound::Finite(a), Bound::Finite(b)) if a == b => Some(a),
+            _ => match self.cong.modulus {
+                0 => Some(self.cong.rem),
+                _ => None,
+            },
+        }
+    }
+
+    /// Whether the concrete value `v` is a member.
+    pub fn contains(&self, v: i64) -> bool {
+        Bound::le(self.lo, Bound::Finite(v))
+            && Bound::le(Bound::Finite(v), self.hi)
+            && self.cong.contains(v)
+    }
+
+    /// Least upper bound (interval hull + congruence gcd; symbolic form
+    /// survives only when both sides agree).
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        if self.is_bottom() {
+            return other.clone();
+        }
+        if other.is_bottom() {
+            return self.clone();
+        }
+        AbsVal {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            cong: self.cong.join(other.cong),
+            sym: match (&self.sym, &other.sym) {
+                (Some(a), Some(b)) if a == b => Some(a.clone()),
+                _ => None,
+            },
+        }
+    }
+
+    /// Widening: any interval bound that moved since `self` jumps to ±∞.
+    /// The congruence component joins (its lattice is finite-height via
+    /// the gcd chain), and the symbolic form survives only on agreement,
+    /// so `widen` stabilizes in a bounded number of steps.
+    pub fn widen(&self, next: &AbsVal) -> AbsVal {
+        if self.is_bottom() {
+            return next.clone();
+        }
+        if next.is_bottom() {
+            return self.clone();
+        }
+        AbsVal {
+            lo: if Bound::le(self.lo, next.lo) {
+                self.lo
+            } else {
+                Bound::NegInf
+            },
+            hi: if Bound::le(next.hi, self.hi) {
+                self.hi
+            } else {
+                Bound::PosInf
+            },
+            cong: self.cong.join(next.cong),
+            sym: match (&self.sym, &next.sym) {
+                (Some(a), Some(b)) if a == b => Some(a.clone()),
+                _ => None,
+            },
+        }
+    }
+
+    /// Abstract addition.
+    pub fn add(&self, other: &AbsVal) -> AbsVal {
+        if self.is_bottom() || other.is_bottom() {
+            return AbsVal::bottom();
+        }
+        AbsVal {
+            lo: self.lo.add(other.lo),
+            hi: self.hi.add(other.hi),
+            cong: self.cong.add(other.cong),
+            sym: match (&self.sym, &other.sym) {
+                (Some(a), Some(b)) => a.add(b),
+                _ => None,
+            },
+        }
+    }
+
+    /// Abstract subtraction.
+    pub fn sub(&self, other: &AbsVal) -> AbsVal {
+        self.add(&other.neg())
+    }
+
+    /// Abstract negation.
+    pub fn neg(&self) -> AbsVal {
+        if self.is_bottom() {
+            return AbsVal::bottom();
+        }
+        AbsVal {
+            lo: self.hi.neg(),
+            hi: self.lo.neg(),
+            cong: Congruence {
+                modulus: self.cong.modulus,
+                rem: -self.cong.rem,
+            }
+            .normalize(),
+            sym: self.sym.as_ref().and_then(|s| s.scale(-1)),
+        }
+    }
+
+    /// Abstract multiplication.
+    pub fn mul(&self, other: &AbsVal) -> AbsVal {
+        if self.is_bottom() || other.is_bottom() {
+            return AbsVal::bottom();
+        }
+        let candidates = [
+            self.lo.mul(other.lo),
+            self.lo.mul(other.hi),
+            self.hi.mul(other.lo),
+            self.hi.mul(other.hi),
+        ];
+        let mut lo = candidates[0];
+        let mut hi = candidates[0];
+        for c in &candidates[1..] {
+            lo = lo.min(*c);
+            hi = hi.max(*c);
+        }
+        AbsVal {
+            lo,
+            hi,
+            cong: self.cong.mul(other.cong),
+            sym: match (&self.sym, &other.sym) {
+                (Some(a), Some(b)) => a.mul(b),
+                _ => None,
+            },
+        }
+    }
+
+    /// Abstract division (C semantics: truncation toward zero; we use
+    /// floor on the symbolic side, exact for non-negative operands which
+    /// is what loop/trip arithmetic produces).
+    pub fn div(&self, other: &AbsVal) -> AbsVal {
+        if self.is_bottom() || other.is_bottom() {
+            return AbsVal::bottom();
+        }
+        match other.as_const() {
+            Some(d) if d > 0 => AbsVal {
+                lo: match self.lo {
+                    Bound::Finite(v) => Bound::Finite(v.div_euclid(d)),
+                    b => b,
+                },
+                hi: match self.hi {
+                    Bound::Finite(v) => Bound::Finite(v.div_euclid(d)),
+                    b => b,
+                },
+                cong: Congruence::top(),
+                sym: self.sym.as_ref().and_then(|s| s.div_floor(d)),
+            },
+            _ => AbsVal::top(),
+        }
+    }
+
+    /// Abstract remainder (`%` by a positive constant).
+    pub fn rem(&self, other: &AbsVal) -> AbsVal {
+        if self.is_bottom() || other.is_bottom() {
+            return AbsVal::bottom();
+        }
+        match (self.as_const(), other.as_const()) {
+            (Some(a), Some(m)) if m != 0 => AbsVal::constant(a % m),
+            (_, Some(m)) if m > 0 => {
+                // x ≡ r (mod s) with m | s pins x % m for x ≥ 0.
+                if self.cong.modulus > 0
+                    && self.cong.modulus % m == 0
+                    && Bound::le(Bound::Finite(0), self.lo)
+                {
+                    AbsVal::constant(self.cong.rem % m)
+                } else {
+                    AbsVal::range(0, m - 1)
+                }
+            }
+            _ => AbsVal::top(),
+        }
+    }
+
+    /// Ceiling division by a positive constant (`ceil(x / d)`), the shape
+    /// of loop trip counts.
+    pub fn div_ceil(&self, d: i64) -> AbsVal {
+        if self.is_bottom() || d <= 0 {
+            return AbsVal::top();
+        }
+        let up = |b: Bound| match b {
+            Bound::Finite(v) => Bound::Finite((v + d - 1).div_euclid(d)),
+            b => b,
+        };
+        AbsVal {
+            lo: up(self.lo),
+            hi: up(self.hi),
+            cong: Congruence::top(),
+            sym: self.sym.as_ref().and_then(|s| s.div_ceil(d)),
+        }
+    }
+
+    /// Meet with `v ≤ c` (branch refinement).
+    pub fn refine_le(&self, c: i64) -> AbsVal {
+        let mut out = self.clone();
+        out.hi = out.hi.min(Bound::Finite(c));
+        if out.is_bottom() {
+            return AbsVal::bottom();
+        }
+        out
+    }
+
+    /// Meet with `v ≥ c` (branch refinement).
+    pub fn refine_ge(&self, c: i64) -> AbsVal {
+        let mut out = self.clone();
+        out.lo = out.lo.max(Bound::Finite(c));
+        if out.is_bottom() {
+            return AbsVal::bottom();
+        }
+        out
+    }
+
+    /// Meet with `v ≡ rem (mod m)` (from `x % m == rem` guards).
+    pub fn refine_cong(&self, m: i64, rem: i64) -> AbsVal {
+        if m <= 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.cong = Congruence { modulus: m, rem }.normalize();
+        out
+    }
+
+    /// Clamp below at zero (used for trip counts).
+    pub fn clamp_non_negative(&self) -> AbsVal {
+        self.refine_ge(0)
+    }
+
+    /// Evaluate the symbolic form (when present) under concrete
+    /// parameter bindings; fall back to a finite bound midpoint.
+    pub fn eval(&self, bindings: &BTreeMap<String, i64>) -> Option<i64> {
+        if let Some(s) = &self.sym {
+            return Some(s.eval(bindings));
+        }
+        match (self.lo, self.hi) {
+            (Bound::Finite(a), Bound::Finite(b)) => Some(if a == b { a } else { (a + b) / 2 }),
+            (_, Bound::Finite(b)) => Some(b),
+            (Bound::Finite(a), _) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Human-readable rendering for reports and goldens.
+    pub fn render(&self) -> String {
+        if let Some(s) = &self.sym {
+            return s.render();
+        }
+        if let Some(c) = self.as_const() {
+            return c.to_string();
+        }
+        let lo = match self.lo {
+            Bound::NegInf => "-inf".to_string(),
+            Bound::PosInf => "+inf".to_string(),
+            Bound::Finite(v) => v.to_string(),
+        };
+        let hi = match self.hi {
+            Bound::NegInf => "-inf".to_string(),
+            Bound::PosInf => "+inf".to_string(),
+            Bound::Finite(v) => v.to_string(),
+        };
+        if self.cong.modulus > 1 {
+            format!("[{lo},{hi}]%{}={}", self.cong.modulus, self.cong.rem)
+        } else {
+            format!("[{lo},{hi}]")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_roundtrip() {
+        let v = AbsVal::constant(42);
+        assert_eq!(v.as_const(), Some(42));
+        assert!(v.contains(42));
+        assert!(!v.contains(41));
+    }
+
+    #[test]
+    fn join_of_constants_learns_stride() {
+        let a = AbsVal::constant(0);
+        let b = AbsVal::constant(4);
+        let j = a.join(&b);
+        assert!(j.contains(0) && j.contains(4));
+        assert!(!j.contains(3));
+        assert_eq!(j.cong.modulus, 4);
+        let j2 = j.join(&AbsVal::constant(8));
+        assert!(j2.contains(8));
+        assert!(!j2.contains(6));
+    }
+
+    #[test]
+    fn widen_stabilizes() {
+        let mut cur = AbsVal::constant(0);
+        for step in 1..100 {
+            let next = cur.join(&AbsVal::constant(step * 4));
+            let widened = cur.widen(&next);
+            if widened == cur {
+                assert_eq!(cur.hi, Bound::PosInf);
+                return;
+            }
+            cur = widened;
+        }
+        panic!("widening failed to stabilize");
+    }
+
+    #[test]
+    fn symbolic_arithmetic_survives() {
+        let n = AbsVal::param("n");
+        let bytes = AbsVal::constant(8).mul(&n);
+        let sym = bytes.sym.expect("8*n stays symbolic");
+        let mut bind = BTreeMap::new();
+        bind.insert("n".to_string(), 1000);
+        assert_eq!(sym.eval(&bind), 8000);
+        assert_eq!(sym.render(), "8*n");
+    }
+
+    #[test]
+    fn ceil_div_symbolic() {
+        let n = AbsVal::param("nsteps");
+        let plots = n.div_ceil(4);
+        let mut bind = BTreeMap::new();
+        bind.insert("nsteps".to_string(), 10);
+        assert_eq!(plots.sym.as_ref().unwrap().eval(&bind), 3); // ceil(10/4)
+        bind.insert("nsteps".to_string(), 8);
+        assert_eq!(plots.sym.as_ref().unwrap().eval(&bind), 2);
+    }
+
+    #[test]
+    fn rem_guard_refinement() {
+        // i in [0, 100), i % 4 == 0
+        let i = AbsVal::range(0, 99).refine_cong(4, 0);
+        assert!(i.contains(0) && i.contains(96));
+        assert!(!i.contains(3));
+        let m = i.rem(&AbsVal::constant(4));
+        assert_eq!(m.as_const(), Some(0));
+    }
+
+    #[test]
+    fn substitution_pushes_args_into_callee() {
+        // callee summary: 8*count ; call passes count = np
+        let s = LinExpr::param("count").scale(8).unwrap();
+        let mut map = BTreeMap::new();
+        map.insert("count".to_string(), LinExpr::param("np"));
+        let out = s.substitute(&map).unwrap();
+        let mut bind = BTreeMap::new();
+        bind.insert("np".to_string(), 5);
+        assert_eq!(out.eval(&bind), 40);
+    }
+}

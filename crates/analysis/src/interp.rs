@@ -1,0 +1,1398 @@
+//! Abstract interpretation over per-function CFGs.
+//!
+//! Runs a worklist fixpoint of the [`crate::domain`] interval+stride
+//! domain over the [`crate::cfg`] basic blocks, with **widening at loop
+//! heads** (any block re-entered more than a small delay), **branch
+//! refinement** along conditional edges (the CFG builder guarantees
+//! `succs[0]` is the true edge and `succs[1]` the false edge of a
+//! conditional block), a lightweight **points-to/buffer-size** analysis
+//! for allocation calls, and **handle tracking** for file/dataset opens.
+//!
+//! After the fixpoint converges the interpreter runs one structural pass
+//! to extract **loop trip counts** (symbolic where the bounds are size
+//! parameters) and **per-statement execution counts** — products of the
+//! enclosing trip counts, corrected for `i % k == 0` guards and guarded
+//! `continue`s. [`crate::iomodel`] consumes these to turn I/O call sites
+//! into workload predictions.
+//!
+//! ## Extern-call convention
+//!
+//! Calls to unknown externs are modelled with the same convention the
+//! dynamic replay path uses, so static predictions and dynamic traces
+//! agree by construction wherever the analysis is precise:
+//!
+//! * `alloc*`/`malloc`-like calls return a fresh buffer of `arg0`
+//!   elements (element size from the declared pointer type),
+//! * `rand*`/`random*`/`*hash*` calls return an unknown value (⊤),
+//! * any other call taking a pointer returns its first pointer argument
+//!   (the "repack/advance in place" idiom), and
+//! * every remaining unknown extern returns `0`.
+
+use std::collections::BTreeMap;
+
+use tunio_cminus::ast::{Block, Expr, Function, Stmt, StmtId, StmtKind};
+
+use crate::cfg::{build_cfg, BlockId, Cfg};
+use crate::domain::AbsVal;
+use crate::resolve::{resolve_function, FnResolution, VarId, VarKind};
+
+/// Fixpoint iterations a block is recomputed exactly before widening
+/// kicks in at its join.
+const WIDEN_DELAY: usize = 3;
+
+/// Hard cap on fixpoint block recomputations (backstop; widening should
+/// converge far earlier).
+const MAX_VISITS: usize = 64;
+
+/// An abstract runtime value: a number plus optional buffer/handle
+/// identity (points-to).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Value {
+    /// Numeric abstraction.
+    pub num: AbsVal,
+    /// Buffer this value points at, if any (key into
+    /// [`FnAbsState::buffers`]).
+    pub buf: Option<StmtId>,
+    /// File/dataset handle this value carries, if any (key into
+    /// [`FnAbsState::handles`]).
+    pub handle: Option<StmtId>,
+}
+
+impl Value {
+    /// A plain number with no pointer/handle identity.
+    pub fn num(num: AbsVal) -> Self {
+        Value {
+            num,
+            buf: None,
+            handle: None,
+        }
+    }
+
+    fn join(&self, other: &Value) -> Value {
+        Value {
+            num: self.num.join(&other.num),
+            buf: if self.buf == other.buf {
+                self.buf
+            } else {
+                None
+            },
+            handle: if self.handle == other.handle {
+                self.handle
+            } else {
+                None
+            },
+        }
+    }
+
+    fn widen(&self, other: &Value) -> Value {
+        Value {
+            num: self.num.widen(&other.num),
+            buf: if self.buf == other.buf {
+                self.buf
+            } else {
+                None
+            },
+            handle: if self.handle == other.handle {
+                self.handle
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Abstract environment: one [`Value`] per resolved variable.
+pub type Env = BTreeMap<VarId, Value>;
+
+fn join_env(a: &Env, b: &Env) -> Env {
+    let mut out = a.clone();
+    for (k, v) in b {
+        out.entry(*k)
+            .and_modify(|cur| *cur = cur.join(v))
+            .or_insert_with(|| v.clone());
+    }
+    out
+}
+
+fn widen_env(old: &Env, new: &Env) -> Env {
+    let mut out = old.clone();
+    for (k, v) in new {
+        out.entry(*k)
+            .and_modify(|cur| *cur = cur.widen(v))
+            .or_insert_with(|| v.clone());
+    }
+    out
+}
+
+/// A buffer discovered at an allocation site.
+#[derive(Debug, Clone)]
+pub struct BufferInfo {
+    /// The allocation statement.
+    pub site: StmtId,
+    /// Variable the buffer was first bound to (for reports).
+    pub var: String,
+    /// Element count (often symbolic in a size parameter).
+    pub elems: AbsVal,
+    /// Element size in bytes, derived from the declared pointer type.
+    pub elem_size: u64,
+}
+
+impl BufferInfo {
+    /// Total size in bytes (`elems * elem_size`).
+    pub fn bytes(&self) -> AbsVal {
+        self.elems.mul(&AbsVal::constant(self.elem_size as i64))
+    }
+}
+
+/// A file or dataset handle discovered at an open/create site.
+#[derive(Debug, Clone)]
+pub struct HandleInfo {
+    /// The open/create statement.
+    pub site: StmtId,
+    /// The API that produced it (`fopen`, `H5Dcreate`, ...).
+    pub api: String,
+    /// Path or dataset name (first string literal argument).
+    pub object: String,
+}
+
+/// Summary of one loop after the fixpoint.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// Trip count (symbolic where bounds are size parameters).
+    pub trip: AbsVal,
+    /// Whether the count is exact (no `break` can leave early and the
+    /// bounds were fully evaluated). Inexact loops lower prediction
+    /// confidence.
+    pub exact: bool,
+    /// Induction variable, when the loop has the canonical
+    /// `for (i = a; i < b; i += s)` shape.
+    pub induction: Option<VarId>,
+    /// Induction step per iteration (`+s`/`-s`), when known.
+    pub step: Option<i64>,
+}
+
+/// Result of abstractly interpreting one function.
+#[derive(Debug, Clone)]
+pub struct FnAbsState {
+    /// Function name.
+    pub func: String,
+    /// Abstract environment *before* each reachable statement.
+    pub env_at: BTreeMap<StmtId, Env>,
+    /// Buffers keyed by allocation site.
+    pub buffers: BTreeMap<StmtId, BufferInfo>,
+    /// Handles keyed by open/create site.
+    pub handles: BTreeMap<StmtId, HandleInfo>,
+    /// Loop summaries keyed by the loop statement.
+    pub loops: BTreeMap<StmtId, LoopInfo>,
+    /// How many times each statement executes per call of the function
+    /// (product of enclosing trip counts and guard frequencies).
+    pub exec: BTreeMap<StmtId, AbsVal>,
+    /// Fixpoint block recomputations performed (exposed for the
+    /// widening-termination property tests).
+    pub iterations: usize,
+}
+
+impl FnAbsState {
+    /// The environment recorded before `stmt` (empty if unreachable).
+    pub fn env_before(&self, stmt: StmtId) -> Env {
+        self.env_at.get(&stmt).cloned().unwrap_or_default()
+    }
+}
+
+/// Extern-name classification shared with the dynamic replay path (see
+/// module docs). Allocation: returns a fresh buffer.
+pub fn is_alloc_fn(name: &str) -> bool {
+    name == "malloc"
+        || name == "calloc"
+        || name.starts_with("alloc")
+        || name.contains("_alloc")
+        || name.starts_with("allocate")
+}
+
+/// Extern-name classification: returns an unpredictable value.
+pub fn is_rand_fn(name: &str) -> bool {
+    name.starts_with("rand") || name.starts_with("random") || name.contains("hash")
+}
+
+/// APIs that produce a file/dataset handle we track.
+pub fn handle_api(name: &str) -> bool {
+    matches!(
+        name,
+        "fopen" | "open" | "H5Fcreate" | "H5Fopen" | "H5Dcreate" | "H5Dopen" | "MPI_File_open"
+    )
+}
+
+/// Element size in bytes for a declared pointer type (`double *` → 8).
+pub fn elem_size_of_type(ty: &str) -> u64 {
+    let base = ty.trim_end_matches('*').trim();
+    match base {
+        "char" | "unsigned char" | "signed char" => 1,
+        "short" | "unsigned short" => 2,
+        "int" | "unsigned" | "unsigned int" | "float" => 4,
+        _ => 8,
+    }
+}
+
+struct Interp<'a> {
+    res: FnResolution,
+    cfg: Cfg,
+    stmt_map: BTreeMap<StmtId, &'a Stmt>,
+    buffers: BTreeMap<StmtId, BufferInfo>,
+    handles: BTreeMap<StmtId, HandleInfo>,
+    name_cache: BTreeMap<String, VarId>,
+}
+
+fn index_stmts<'a>(block: &'a Block, out: &mut BTreeMap<StmtId, &'a Stmt>) {
+    for stmt in &block.stmts {
+        out.insert(stmt.id, stmt);
+        match &stmt.kind {
+            StmtKind::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                index_stmts(then_block, out);
+                if let Some(e) = else_block {
+                    index_stmts(e, out);
+                }
+            }
+            StmtKind::For {
+                init, update, body, ..
+            } => {
+                out.insert(init.id, init);
+                out.insert(update.id, update);
+                index_stmts(body, out);
+            }
+            StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+                index_stmts(body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl<'a> Interp<'a> {
+    fn new(f: &'a Function) -> Self {
+        let res = resolve_function(f);
+        let cfg = build_cfg(f);
+        let mut stmt_map = BTreeMap::new();
+        index_stmts(&f.body, &mut stmt_map);
+        // Global name → var map, preferring parameters, then later decls
+        // (shadowing collapses to the last binding; acceptable for size
+        // arithmetic, and the corpus does not shadow).
+        let mut name_cache = BTreeMap::new();
+        for (i, v) in res.vars.iter().enumerate() {
+            name_cache.insert(v.name.clone(), VarId(i as u32));
+        }
+        // Parameters win over locals of the same name.
+        for (i, v) in res.vars.iter().enumerate() {
+            if matches!(v.kind, VarKind::Param) {
+                name_cache.insert(v.name.clone(), VarId(i as u32));
+            }
+        }
+        Interp {
+            res,
+            cfg,
+            stmt_map,
+            buffers: BTreeMap::new(),
+            handles: BTreeMap::new(),
+            name_cache,
+        }
+    }
+
+    fn var_named(&self, name: &str) -> Option<VarId> {
+        self.name_cache.get(name).copied()
+    }
+
+    fn entry_env(&self) -> Env {
+        let mut env = Env::new();
+        for (i, v) in self.res.vars.iter().enumerate() {
+            if matches!(v.kind, VarKind::Param) {
+                env.insert(VarId(i as u32), Value::num(AbsVal::param(&v.name)));
+            }
+        }
+        env
+    }
+
+    fn lookup(&self, env: &Env, name: &str) -> Value {
+        match self.var_named(name) {
+            Some(id) => match env.get(&id) {
+                Some(v) => v.clone(),
+                None => match self.res.vars[id.0 as usize].kind {
+                    VarKind::Param => Value::num(AbsVal::param(name)),
+                    _ => Value::num(AbsVal::top()),
+                },
+            },
+            None => Value::num(AbsVal::top()),
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        site: StmtId,
+        name: &str,
+        args: &[Expr],
+        env: &Env,
+        elem_hint: u64,
+    ) -> Value {
+        let arg_vals: Vec<Value> = args.iter().map(|a| self.eval(site, a, env, 8)).collect();
+        if is_alloc_fn(name) {
+            let elems = arg_vals
+                .first()
+                .map(|v| v.num.clone())
+                .unwrap_or_else(AbsVal::top);
+            let elem_size = if elem_hint == 0 { 8 } else { elem_hint };
+            self.buffers
+                .entry(site)
+                .and_modify(|b| {
+                    b.elems = elems.clone();
+                    b.elem_size = elem_size;
+                })
+                .or_insert_with(|| BufferInfo {
+                    site,
+                    var: String::new(),
+                    elems: elems.clone(),
+                    elem_size,
+                });
+            return Value {
+                num: AbsVal::top(),
+                buf: Some(site),
+                handle: None,
+            };
+        }
+        if handle_api(name) {
+            let object = args
+                .iter()
+                .find_map(|a| match a {
+                    Expr::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            self.handles.entry(site).or_insert_with(|| HandleInfo {
+                site,
+                api: name.to_string(),
+                object,
+            });
+            return Value {
+                num: AbsVal::top(),
+                buf: None,
+                handle: Some(site),
+            };
+        }
+        if is_rand_fn(name) {
+            return Value::num(AbsVal::top());
+        }
+        // Pointer passthrough: unknown extern taking a buffer/handle
+        // returns its first pointer argument ("repack in place" idiom).
+        let buf = arg_vals.iter().find_map(|v| v.buf);
+        let handle = arg_vals.iter().find_map(|v| v.handle);
+        Value {
+            num: AbsVal::constant(0),
+            buf,
+            handle,
+        }
+    }
+
+    fn eval(&mut self, site: StmtId, expr: &Expr, env: &Env, elem_hint: u64) -> Value {
+        match expr {
+            Expr::Int(v) => Value::num(AbsVal::constant(*v)),
+            Expr::Float(text) => {
+                let v = text.parse::<f64>().unwrap_or(0.0) as i64;
+                Value::num(AbsVal::constant(v))
+            }
+            Expr::Str(_) | Expr::Char(_) => Value::num(AbsVal::top()),
+            Expr::Ident(name) => self.lookup(env, name),
+            Expr::Call { name, args } => self.eval_call(site, name, args, env, elem_hint),
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.eval(site, lhs, env, elem_hint);
+                let b = self.eval(site, rhs, env, elem_hint);
+                let num = match op.as_str() {
+                    "+" => a.num.add(&b.num),
+                    "-" => a.num.sub(&b.num),
+                    "*" => a.num.mul(&b.num),
+                    "/" => a.num.div(&b.num),
+                    "%" => a.num.rem(&b.num),
+                    "<<" => match b.num.as_const() {
+                        Some(s) if (0..63).contains(&s) => a.num.mul(&AbsVal::constant(1i64 << s)),
+                        _ => AbsVal::top(),
+                    },
+                    ">>" => match b.num.as_const() {
+                        Some(s) if (0..63).contains(&s) => a.num.div(&AbsVal::constant(1i64 << s)),
+                        _ => AbsVal::top(),
+                    },
+                    "<" | "<=" | ">" | ">=" | "==" | "!=" | "&&" | "||" => AbsVal::range(0, 1),
+                    _ => AbsVal::top(),
+                };
+                // Pointer arithmetic keeps the buffer identity.
+                let buf = a.buf.or(b.buf);
+                Value {
+                    num,
+                    buf,
+                    handle: None,
+                }
+            }
+            Expr::Unary { op, operand } => {
+                let v = self.eval(site, operand, env, elem_hint);
+                match op.as_str() {
+                    "-" => Value::num(v.num.neg()),
+                    "!" => Value::num(AbsVal::range(0, 1)),
+                    "*" | "&" => v,
+                    _ => Value::num(AbsVal::top()),
+                }
+            }
+            Expr::Postfix { operand, .. } => self.eval(site, operand, env, elem_hint),
+            Expr::Index { base, .. } => {
+                let b = self.eval(site, base, env, elem_hint);
+                Value {
+                    num: AbsVal::top(),
+                    buf: b.buf,
+                    handle: None,
+                }
+            }
+            Expr::Member { .. } => Value::num(AbsVal::top()),
+        }
+    }
+
+    /// Transfer one statement through the environment.
+    fn transfer(&mut self, stmt: &Stmt, env: &mut Env) {
+        match &stmt.kind {
+            StmtKind::Decl { ty, name, init, .. } => {
+                let hint = elem_size_of_type(ty);
+                let val = match init {
+                    Some(e) => self.eval(stmt.id, e, env, hint),
+                    None => Value::num(AbsVal::top()),
+                };
+                if let Some(buf_site) = val.buf {
+                    if let Some(b) = self.buffers.get_mut(&buf_site) {
+                        if b.var.is_empty() {
+                            b.var = name.clone();
+                        }
+                    }
+                }
+                if let Some(id) = self.decl_target(stmt.id, name) {
+                    env.insert(id, val);
+                }
+            }
+            StmtKind::Assign { lhs, op, rhs } => {
+                if let Expr::Ident(name) = lhs {
+                    let hint = self.decl_type_hint(name);
+                    let rv = self.eval(stmt.id, rhs, env, hint);
+                    if let Some(id) = self.var_named(name) {
+                        let new = match op.as_str() {
+                            "=" => rv,
+                            "+=" => {
+                                let cur = self.lookup(env, name);
+                                Value {
+                                    num: cur.num.add(&rv.num),
+                                    buf: cur.buf,
+                                    handle: cur.handle,
+                                }
+                            }
+                            "-=" => {
+                                let cur = self.lookup(env, name);
+                                Value {
+                                    num: cur.num.sub(&rv.num),
+                                    buf: cur.buf,
+                                    handle: cur.handle,
+                                }
+                            }
+                            "*=" => {
+                                let cur = self.lookup(env, name);
+                                Value::num(cur.num.mul(&rv.num))
+                            }
+                            "/=" => {
+                                let cur = self.lookup(env, name);
+                                Value::num(cur.num.div(&rv.num))
+                            }
+                            _ => Value::num(AbsVal::top()),
+                        };
+                        env.insert(id, new);
+                    }
+                } else {
+                    // Index/member store: evaluate for allocation side
+                    // effects, leave the root binding untouched.
+                    let _ = self.eval(stmt.id, rhs, env, 8);
+                }
+            }
+            StmtKind::Expr(e) => match e {
+                Expr::Postfix { op, operand } | Expr::Unary { op, operand }
+                    if op == "++" || op == "--" =>
+                {
+                    if let Expr::Ident(name) = operand.as_ref() {
+                        if let Some(id) = self.var_named(name) {
+                            let cur = self.lookup(env, name);
+                            let delta = if op == "++" { 1 } else { -1 };
+                            env.insert(id, Value::num(cur.num.add(&AbsVal::constant(delta))));
+                        }
+                    }
+                }
+                _ => {
+                    let _ = self.eval(stmt.id, e, env, 8);
+                }
+            },
+            // Control statements transfer nothing; refinement happens on
+            // their outgoing edges, and `return`/`break`/`continue` have
+            // no environment effect.
+            _ => {}
+        }
+    }
+
+    fn decl_target(&self, stmt: StmtId, name: &str) -> Option<VarId> {
+        for (i, v) in self.res.vars.iter().enumerate() {
+            if v.decl == Some(stmt) && v.name == name {
+                return Some(VarId(i as u32));
+            }
+        }
+        self.var_named(name)
+    }
+
+    fn decl_type_hint(&self, name: &str) -> u64 {
+        if let Some(id) = self.var_named(name) {
+            if let Some(decl) = self.res.vars[id.0 as usize].decl {
+                if let Some(stmt) = self.stmt_map.get(&decl) {
+                    if let StmtKind::Decl { ty, .. } = &stmt.kind {
+                        return elem_size_of_type(ty);
+                    }
+                }
+            }
+        }
+        8
+    }
+
+    /// Refine `env` under `cond == taken`.
+    fn refine(&mut self, site: StmtId, cond: &Expr, taken: bool, env: &Env) -> Env {
+        let mut out = env.clone();
+        self.refine_into(site, cond, taken, &mut out);
+        out
+    }
+
+    fn refine_into(&mut self, site: StmtId, cond: &Expr, taken: bool, env: &mut Env) {
+        match cond {
+            Expr::Unary { op, operand } if op == "!" => {
+                self.refine_into(site, operand, !taken, env);
+            }
+            Expr::Binary { op, lhs, rhs } if op == "&&" && taken => {
+                self.refine_into(site, lhs, true, env);
+                self.refine_into(site, rhs, true, env);
+            }
+            Expr::Binary { op, lhs, rhs } if op == "||" && !taken => {
+                self.refine_into(site, lhs, false, env);
+                self.refine_into(site, rhs, false, env);
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                fn flip(o: &str) -> &str {
+                    match o {
+                        "<" => ">",
+                        "<=" => ">=",
+                        ">" => "<",
+                        ">=" => "<=",
+                        other => other,
+                    }
+                }
+                // Normalize to var-on-the-left.
+                let (var, vop, other) = match (lhs.as_ref(), rhs.as_ref()) {
+                    (Expr::Ident(n), _) => (Some(n.clone()), op.clone(), rhs.as_ref()),
+                    (_, Expr::Ident(n)) => (Some(n.clone()), flip(op).to_string(), lhs.as_ref()),
+                    _ => (None, op.clone(), rhs.as_ref()),
+                };
+                // `x % m == r` congruence guard (also reached via `!=` on
+                // the false edge).
+                if (op == "==" && taken) || (op == "!=" && !taken) {
+                    if let (
+                        Expr::Binary {
+                            op: inner,
+                            lhs: il,
+                            rhs: ir,
+                        },
+                        Some(r),
+                    ) = (
+                        lhs.as_ref(),
+                        self.eval(site, rhs, &env.clone(), 8).num.as_const(),
+                    ) {
+                        if inner == "%" {
+                            if let (Expr::Ident(n), Some(m)) = (
+                                il.as_ref(),
+                                self.eval(site, ir, &env.clone(), 8).num.as_const(),
+                            ) {
+                                if let Some(id) = self.var_named(n) {
+                                    if let Some(v) = env.get(&id) {
+                                        let refined = v.num.refine_cong(m, r);
+                                        let mut nv = v.clone();
+                                        nv.num = refined;
+                                        env.insert(id, nv);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                let (Some(name), Some(c)) =
+                    (var, self.eval(site, other, &env.clone(), 8).num.as_const())
+                else {
+                    return;
+                };
+                let Some(id) = self.var_named(&name) else {
+                    return;
+                };
+                let Some(cur) = env.get(&id).cloned() else {
+                    return;
+                };
+                let num = match (vop.as_str(), taken) {
+                    ("<", true) => cur.num.refine_le(c - 1),
+                    ("<", false) => cur.num.refine_ge(c),
+                    ("<=", true) => cur.num.refine_le(c),
+                    ("<=", false) => cur.num.refine_ge(c + 1),
+                    (">", true) => cur.num.refine_ge(c + 1),
+                    (">", false) => cur.num.refine_le(c),
+                    (">=", true) => cur.num.refine_ge(c),
+                    (">=", false) => cur.num.refine_le(c - 1),
+                    ("==", true) => cur.num.refine_le(c).refine_ge(c),
+                    ("!=", false) => cur.num.refine_le(c).refine_ge(c),
+                    _ => cur.num.clone(),
+                };
+                let mut nv = cur;
+                nv.num = num;
+                env.insert(id, nv);
+            }
+            Expr::Ident(name) if !taken => {
+                if let Some(id) = self.var_named(name) {
+                    if let Some(cur) = env.get(&id).cloned() {
+                        let mut nv = cur;
+                        nv.num = nv.num.refine_le(0).refine_ge(0);
+                        env.insert(id, nv);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Condition of a block's terminating control statement, if any.
+    fn block_cond(&self, block: &crate::cfg::BasicBlock) -> Option<(StmtId, Expr)> {
+        let last = *block.stmts.last()?;
+        let stmt = self.stmt_map.get(&last)?;
+        match &stmt.kind {
+            StmtKind::If { cond, .. } => Some((last, cond.clone())),
+            StmtKind::While { cond, .. } => Some((last, cond.clone())),
+            StmtKind::DoWhile { cond, .. } => Some((last, cond.clone())),
+            StmtKind::For { cond: Some(c), .. } => Some((last, c.clone())),
+            _ => None,
+        }
+    }
+
+    /// Run the worklist fixpoint; returns (stable in-envs per block,
+    /// iteration count).
+    fn fixpoint(&mut self) -> (Vec<Env>, usize) {
+        let nblocks = self.cfg.blocks.len();
+        let mut in_envs: Vec<Option<Env>> = vec![None; nblocks];
+        let mut out_edges: BTreeMap<(BlockId, BlockId), Env> = BTreeMap::new();
+        let mut visits = vec![0usize; nblocks];
+        let mut iterations = 0usize;
+        let entry = self.cfg.entry;
+        in_envs[entry.0 as usize] = Some(self.entry_env());
+        let mut work: Vec<BlockId> = vec![entry];
+        while let Some(bid) = work.pop() {
+            let bi = bid.0 as usize;
+            if visits[bi] >= MAX_VISITS {
+                continue;
+            }
+            visits[bi] += 1;
+            iterations += 1;
+            // Recompute the in-env from predecessor edges (entry keeps its
+            // parameter env joined in).
+            let block = self.cfg.blocks[bi].clone();
+            let mut joined: Option<Env> = if bid == entry {
+                Some(self.entry_env())
+            } else {
+                None
+            };
+            for p in &block.preds {
+                if let Some(e) = out_edges.get(&(*p, bid)) {
+                    joined = Some(match joined {
+                        Some(j) => join_env(&j, e),
+                        None => e.clone(),
+                    });
+                }
+            }
+            let Some(mut new_in) = joined else {
+                continue;
+            };
+            if let Some(old) = &in_envs[bi] {
+                if visits[bi] > WIDEN_DELAY {
+                    new_in = widen_env(old, &new_in);
+                }
+                if *old == new_in && visits[bi] > 1 {
+                    // Stable; still make sure out-edges exist.
+                    if block
+                        .succs
+                        .iter()
+                        .all(|s| out_edges.contains_key(&(bid, *s)))
+                    {
+                        continue;
+                    }
+                }
+            }
+            in_envs[bi] = Some(new_in.clone());
+            // Transfer through the block.
+            let mut env = new_in;
+            for sid in &block.stmts {
+                if let Some(stmt) = self.stmt_map.get(sid).copied() {
+                    self.transfer(stmt, &mut env);
+                }
+            }
+            // Emit out-edges, refining along conditional edges.
+            let cond = self.block_cond(&block);
+            for (i, succ) in block.succs.iter().enumerate() {
+                let out = match &cond {
+                    Some((sid, c)) if block.succs.len() >= 2 => self.refine(*sid, c, i == 0, &env),
+                    _ => env.clone(),
+                };
+                let changed = match out_edges.get(&(bid, *succ)) {
+                    Some(prev) => *prev != out,
+                    None => true,
+                };
+                if changed {
+                    out_edges.insert((bid, *succ), out);
+                    if !work.contains(succ) {
+                        work.push(*succ);
+                    }
+                }
+            }
+        }
+        let final_envs = in_envs.into_iter().map(|e| e.unwrap_or_default()).collect();
+        (final_envs, iterations)
+    }
+
+    /// Record the environment before every statement by replaying each
+    /// reachable block from its stable in-env.
+    fn record_envs(&mut self, in_envs: &[Env]) -> BTreeMap<StmtId, Env> {
+        let mut env_at = BTreeMap::new();
+        let blocks: Vec<_> = self
+            .cfg
+            .reachable_blocks()
+            .map(|(id, b)| (id, b.clone()))
+            .collect();
+        for (bid, block) in blocks {
+            let mut env = in_envs[bid.0 as usize].clone();
+            for sid in &block.stmts {
+                env_at.insert(*sid, env.clone());
+                if let Some(stmt) = self.stmt_map.get(sid).copied() {
+                    self.transfer(stmt, &mut env);
+                }
+            }
+        }
+        env_at
+    }
+}
+
+/// Whether a block of statements contains a top-level (not nested in an
+/// inner loop) `break`.
+fn has_toplevel_break(block: &Block) -> bool {
+    block.stmts.iter().any(|s| match &s.kind {
+        StmtKind::Break => true,
+        StmtKind::If {
+            then_block,
+            else_block,
+            ..
+        } => has_toplevel_break(then_block) || else_block.as_ref().is_some_and(has_toplevel_break),
+        _ => false,
+    })
+}
+
+/// Step extracted from a `for` update statement (`i += s`, `i++`, ...).
+fn update_step(update: &Stmt) -> Option<(String, i64, Option<Expr>)> {
+    match &update.kind {
+        StmtKind::Assign { lhs, op, rhs } => {
+            let Expr::Ident(name) = lhs else { return None };
+            match op.as_str() {
+                "+=" => Some((name.clone(), 1, Some(rhs.clone()))),
+                "-=" => Some((name.clone(), -1, Some(rhs.clone()))),
+                _ => None,
+            }
+        }
+        StmtKind::Expr(Expr::Postfix { op, operand })
+        | StmtKind::Expr(Expr::Unary { op, operand }) => {
+            let Expr::Ident(name) = operand.as_ref() else {
+                return None;
+            };
+            match op.as_str() {
+                "++" => Some((name.clone(), 1, None)),
+                "--" => Some((name.clone(), -1, None)),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+struct CountPass<'a, 'b> {
+    interp: &'b mut Interp<'a>,
+    env_at: &'b BTreeMap<StmtId, Env>,
+    loops: BTreeMap<StmtId, LoopInfo>,
+    exec: BTreeMap<StmtId, AbsVal>,
+}
+
+impl<'a, 'b> CountPass<'a, 'b> {
+    /// Weaken a count to "somewhere between 0 and the current bound".
+    fn weaken(count: &AbsVal) -> AbsVal {
+        AbsVal {
+            lo: crate::domain::Bound::Finite(0),
+            hi: count.hi,
+            cong: crate::domain::Congruence::top(),
+            sym: None,
+        }
+    }
+
+    fn eval_at(&mut self, stmt: StmtId, expr: &Expr) -> AbsVal {
+        let env = self.env_at.get(&stmt).cloned().unwrap_or_default();
+        self.interp.eval(stmt, expr, &env, 8).num
+    }
+
+    /// Trip count of a loop statement, evaluated in its header env.
+    fn trip_of(&mut self, stmt: &Stmt) -> LoopInfo {
+        match &stmt.kind {
+            StmtKind::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                let breakable = has_toplevel_break(body) || deep_break(body);
+                let Some((ivar_name, dir, step_expr)) = update_step(update) else {
+                    return LoopInfo {
+                        trip: CountPass::unknown_trip(),
+                        exact: false,
+                        induction: None,
+                        step: None,
+                    };
+                };
+                let step = match &step_expr {
+                    Some(e) => self.eval_at(stmt.id, e).as_const().unwrap_or(0) * dir,
+                    None => dir,
+                };
+                if step == 0 {
+                    return LoopInfo {
+                        trip: CountPass::unknown_trip(),
+                        exact: false,
+                        induction: self.interp.var_named(&ivar_name),
+                        step: None,
+                    };
+                }
+                // Initial value from the init statement's expression.
+                let a = match &init.kind {
+                    StmtKind::Decl { init: Some(e), .. } => self.eval_at(stmt.id, e),
+                    StmtKind::Assign { op, rhs, .. } if op == "=" => self.eval_at(stmt.id, rhs),
+                    _ => AbsVal::top(),
+                };
+                let Some(c) = cond else {
+                    // for(;;): unbounded unless a break exits.
+                    return LoopInfo {
+                        trip: CountPass::unknown_trip(),
+                        exact: false,
+                        induction: self.interp.var_named(&ivar_name),
+                        step: Some(step),
+                    };
+                };
+                let trip = self.comparison_trip(stmt.id, c, &ivar_name, &a, step);
+                match trip {
+                    Some(mut t) => {
+                        let mut exact = true;
+                        if breakable {
+                            // A break can exit early: the computed trip is
+                            // an upper bound; keep the symbolic bound for
+                            // prediction but lower confidence.
+                            t = AbsVal {
+                                lo: crate::domain::Bound::Finite(0),
+                                hi: t.hi,
+                                cong: crate::domain::Congruence::top(),
+                                sym: t.sym,
+                            };
+                            exact = false;
+                        }
+                        LoopInfo {
+                            trip: t,
+                            exact,
+                            induction: self.interp.var_named(&ivar_name),
+                            step: Some(step),
+                        }
+                    }
+                    None => LoopInfo {
+                        trip: CountPass::unknown_trip(),
+                        exact: false,
+                        induction: self.interp.var_named(&ivar_name),
+                        step: Some(step),
+                    },
+                }
+            }
+            StmtKind::While { cond, body } => {
+                // Canonical while: comparison on a var incremented in the
+                // body. Otherwise evaluate the condition: the shared
+                // extern convention (unknown calls return 0) makes
+                // `while (unknown())` run zero times, matching replay.
+                if let Some(li) = self.while_trip(stmt, cond, body) {
+                    return li;
+                }
+                let c = self.eval_at(stmt.id, cond);
+                if c.as_const() == Some(0) {
+                    LoopInfo {
+                        trip: AbsVal::constant(0),
+                        exact: true,
+                        induction: None,
+                        step: None,
+                    }
+                } else {
+                    LoopInfo {
+                        trip: CountPass::unknown_trip(),
+                        exact: false,
+                        induction: None,
+                        step: None,
+                    }
+                }
+            }
+            StmtKind::DoWhile { cond, .. } => {
+                let c = self.eval_at(stmt.id, cond);
+                if c.as_const() == Some(0) {
+                    LoopInfo {
+                        trip: AbsVal::constant(1),
+                        exact: true,
+                        induction: None,
+                        step: None,
+                    }
+                } else {
+                    let mut t = CountPass::unknown_trip();
+                    t = t.refine_ge(1);
+                    LoopInfo {
+                        trip: t,
+                        exact: false,
+                        induction: None,
+                        step: None,
+                    }
+                }
+            }
+            _ => LoopInfo {
+                trip: AbsVal::constant(1),
+                exact: true,
+                induction: None,
+                step: None,
+            },
+        }
+    }
+
+    fn while_trip(&mut self, stmt: &Stmt, cond: &Expr, body: &Block) -> Option<LoopInfo> {
+        // Find `ivar <cmp> bound` in the condition and a single top-level
+        // `ivar += s` / `ivar++` in the body.
+        let Expr::Binary { op, lhs, rhs } = cond else {
+            return None;
+        };
+        let (name, a_lo) = match lhs.as_ref() {
+            Expr::Ident(n) => {
+                let id = self.interp.var_named(n)?;
+                let env = self.env_at.get(&stmt.id)?;
+                let lo = env.get(&id)?.num.lo.finite()?;
+                (n.clone(), lo)
+            }
+            _ => return None,
+        };
+        let step = body.stmts.iter().find_map(|s| {
+            let (n, dir, e) = update_step(s)?;
+            if n == name {
+                let sv = match &e {
+                    Some(expr) => self.eval_at(stmt.id, expr).as_const()?,
+                    None => 1,
+                };
+                Some(sv * dir)
+            } else {
+                None
+            }
+        })?;
+        if step <= 0 {
+            return None;
+        }
+        let b = self.eval_at(stmt.id, rhs);
+        let adj = match op.as_str() {
+            "<" => 0,
+            "<=" => 1,
+            _ => return None,
+        };
+        let mut trip = b
+            .sub(&AbsVal::constant(a_lo - adj))
+            .div_ceil(step)
+            .clamp_non_negative();
+        let mut exact = true;
+        if has_toplevel_break(body) || deep_break(body) {
+            trip = AbsVal {
+                lo: crate::domain::Bound::Finite(0),
+                hi: trip.hi,
+                cong: crate::domain::Congruence::top(),
+                sym: trip.sym,
+            };
+            exact = false;
+        }
+        Some(LoopInfo {
+            trip,
+            exact,
+            induction: self.interp.var_named(&name),
+            step: Some(step),
+        })
+    }
+
+    fn comparison_trip(
+        &mut self,
+        at: StmtId,
+        cond: &Expr,
+        ivar: &str,
+        a: &AbsVal,
+        step: i64,
+    ) -> Option<AbsVal> {
+        let Expr::Binary { op, lhs, rhs } = cond else {
+            return None;
+        };
+        // Normalize to `ivar <op> bound`.
+        let (vop, bound_expr) = match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Ident(n), _) if n == ivar => (op.clone(), rhs.as_ref()),
+            (_, Expr::Ident(n)) if n == ivar => {
+                let flipped = match op.as_str() {
+                    "<" => ">",
+                    "<=" => ">=",
+                    ">" => "<",
+                    ">=" => "<=",
+                    o => o,
+                };
+                (flipped.to_string(), lhs.as_ref())
+            }
+            _ => return None,
+        };
+        let b = self.eval_at(at, bound_expr);
+        let trip = match (vop.as_str(), step > 0) {
+            ("<", true) => b.sub(a).div_ceil(step),
+            ("<=", true) => b.sub(a).add(&AbsVal::constant(1)).div_ceil(step),
+            (">", false) => a.sub(&b).div_ceil(-step),
+            (">=", false) => a.sub(&b).add(&AbsVal::constant(1)).div_ceil(-step),
+            _ => return None,
+        };
+        Some(trip.clamp_non_negative())
+    }
+
+    fn unknown_trip() -> AbsVal {
+        AbsVal {
+            lo: crate::domain::Bound::Finite(0),
+            hi: crate::domain::Bound::PosInf,
+            cong: crate::domain::Congruence::top(),
+            sym: None,
+        }
+    }
+
+    /// `if (x % k == 0)`-style guard: the body runs every k-th iteration.
+    fn guard_every(&mut self, at: StmtId, cond: &Expr) -> Option<i64> {
+        let Expr::Binary { op, lhs, rhs } = cond else {
+            return None;
+        };
+        if op != "==" {
+            return None;
+        }
+        let Expr::Binary {
+            op: inner,
+            lhs: _il,
+            rhs: ir,
+        } = lhs.as_ref()
+        else {
+            return None;
+        };
+        if inner != "%" {
+            return None;
+        }
+        let m = self.eval_at(at, ir).as_const()?;
+        let r = self.eval_at(at, rhs).as_const()?;
+        if m > 1 && r >= 0 && r < m {
+            Some(m)
+        } else {
+            None
+        }
+    }
+
+    fn walk(&mut self, block: &Block, count: &AbsVal) {
+        let mut current = count.clone();
+        for stmt in &block.stmts {
+            self.exec.insert(stmt.id, current.clone());
+            match &stmt.kind {
+                StmtKind::If {
+                    cond,
+                    then_block,
+                    else_block,
+                } => {
+                    match self.guard_every(stmt.id, cond) {
+                        Some(k) => {
+                            let then_count = current.div_ceil(k).clamp_non_negative();
+                            // t - ceil(t/k) == floor(t*(k-1)/k) for t >= 0;
+                            // the product form keeps the symbolic floor
+                            // expression exact (subtracting two floor
+                            // forms would not).
+                            let else_count = current
+                                .mul(&AbsVal::constant(k - 1))
+                                .div(&AbsVal::constant(k))
+                                .clamp_non_negative();
+                            self.walk(then_block, &then_count);
+                            if let Some(e) = else_block {
+                                self.walk(e, &else_count);
+                            }
+                            // A guarded `continue` skips the rest of the
+                            // body on those iterations.
+                            if ends_in_continue(then_block) {
+                                current = else_count;
+                            }
+                        }
+                        None => {
+                            let w = CountPass::weaken(&current);
+                            self.walk(then_block, &w);
+                            if let Some(e) = else_block {
+                                self.walk(e, &w);
+                            }
+                            if ends_in_continue(then_block) || has_toplevel_break(then_block) {
+                                current = CountPass::weaken(&current);
+                            }
+                        }
+                    }
+                }
+                StmtKind::For {
+                    init, update, body, ..
+                } => {
+                    self.exec.insert(init.id, current.clone());
+                    let li = self.trip_of(stmt);
+                    let body_count = current.mul(&li.trip).clamp_non_negative();
+                    self.exec.insert(update.id, body_count.clone());
+                    self.loops.insert(stmt.id, li);
+                    self.walk(body, &body_count);
+                }
+                StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+                    let li = self.trip_of(stmt);
+                    let body_count = current.mul(&li.trip).clamp_non_negative();
+                    self.loops.insert(stmt.id, li);
+                    self.walk(body, &body_count);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Whether a nested loop (any depth) contains a `break` that targets a
+/// loop at this level — conservative: any `break` inside nested blocks
+/// counts only for its innermost loop, so we just look through `if`s.
+fn deep_break(block: &Block) -> bool {
+    // `has_toplevel_break` already looks through `if`s; breaks inside
+    // nested loops belong to those loops.
+    has_toplevel_break(block)
+}
+
+fn ends_in_continue(block: &Block) -> bool {
+    matches!(
+        block.stmts.last().map(|s| &s.kind),
+        Some(StmtKind::Continue)
+    )
+}
+
+/// Abstractly interpret one function: fixpoint + trip counts + execution
+/// counts (see module docs).
+pub fn interpret_function(f: &Function) -> FnAbsState {
+    let mut interp = Interp::new(f);
+    let (in_envs, iterations) = interp.fixpoint();
+    let env_at = interp.record_envs(&in_envs);
+    let mut pass = CountPass {
+        interp: &mut interp,
+        env_at: &env_at,
+        loops: BTreeMap::new(),
+        exec: BTreeMap::new(),
+    };
+    pass.walk(&f.body, &AbsVal::constant(1));
+    let loops = pass.loops;
+    let exec = pass.exec;
+    FnAbsState {
+        func: f.name.clone(),
+        env_at,
+        buffers: interp.buffers,
+        handles: interp.handles,
+        loops,
+        exec,
+        iterations,
+    }
+}
+
+/// Evaluate an expression in the environment recorded before `at`, with
+/// optional variable overrides (used by [`crate::iomodel`] to measure
+/// offset linearity by substituting a symbolic induction variable).
+pub fn eval_expr_at(
+    f: &Function,
+    state: &FnAbsState,
+    at: StmtId,
+    expr: &Expr,
+    overrides: &[(VarId, AbsVal)],
+) -> AbsVal {
+    let mut interp = Interp::new(f);
+    interp.buffers = state.buffers.clone();
+    interp.handles = state.handles.clone();
+    let mut env = state.env_before(at);
+    for (id, v) in overrides {
+        let entry = env.entry(*id).or_insert_with(|| Value::num(AbsVal::top()));
+        entry.num = v.clone();
+    }
+    interp.eval(at, expr, &env, 8).num
+}
+
+/// Look up a variable id by name in `f` (parameters win over locals).
+pub fn var_id_by_name(f: &Function, name: &str) -> Option<VarId> {
+    let interp = Interp::new(f);
+    interp.var_named(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tunio_cminus::parser::parse;
+
+    fn state_of(src: &str) -> (tunio_cminus::ast::Program, FnAbsState) {
+        let prog = parse(src).unwrap();
+        let st = interpret_function(&prog.functions[0]);
+        (prog, st)
+    }
+
+    fn find_call(prog: &tunio_cminus::ast::Program, name: &str) -> StmtId {
+        let mut found = None;
+        prog.visit_stmts(|s, _| {
+            let mut calls = Vec::new();
+            match &s.kind {
+                StmtKind::Expr(e) => e.call_names(&mut calls),
+                StmtKind::Decl { init: Some(e), .. } => e.call_names(&mut calls),
+                StmtKind::Assign { rhs, .. } => rhs.call_names(&mut calls),
+                _ => {}
+            }
+            if calls.iter().any(|c| c == name) && found.is_none() {
+                found = Some(s.id);
+            }
+        });
+        found.expect("call site")
+    }
+
+    #[test]
+    fn constant_loop_trip_is_exact() {
+        let (prog, st) = state_of(
+            "void f() { int total = 0; for (int i = 0; i < 10; i++) { total += 2; } g(total); }",
+        );
+        let (_, li) = st.loops.iter().next().expect("loop found");
+        assert_eq!(li.trip.as_const(), Some(10));
+        assert!(li.exact);
+        // total at g(total): exactly 20 is beyond intervals after widening,
+        // but it must *contain* 20.
+        let g = find_call(&prog, "g");
+        let env = st.env_before(g);
+        let total = env
+            .values()
+            .find(|v| v.num.contains(20))
+            .expect("some var contains 20");
+        assert!(total.num.contains(20));
+    }
+
+    #[test]
+    fn symbolic_trip_from_parameter() {
+        let (_, st) = state_of("void f(int n) { for (int i = 0; i < n; i++) { work(i); } }");
+        let (_, li) = st.loops.iter().next().expect("loop");
+        let sym = li.trip.sym.as_ref().expect("symbolic trip");
+        let mut bind = BTreeMap::new();
+        bind.insert("n".to_string(), 17);
+        assert_eq!(sym.eval(&bind), 17);
+    }
+
+    #[test]
+    fn strided_loop_learns_congruence() {
+        let (prog, st) = state_of("void f(int n) { for (int i = 0; i < n; i += 4) { use(i); } }");
+        let use_site = find_call(&prog, "use");
+        let env = st.env_before(use_site);
+        let i_val = env
+            .values()
+            .find(|v| v.num.cong.modulus == 4)
+            .expect("induction var has stride 4");
+        assert_eq!(i_val.num.cong.rem, 0);
+        // Trip count: ceil(n / 4).
+        let (_, li) = st.loops.iter().next().unwrap();
+        let mut bind = BTreeMap::new();
+        bind.insert("n".to_string(), 10);
+        assert_eq!(li.trip.sym.as_ref().unwrap().eval(&bind), 3);
+    }
+
+    #[test]
+    fn buffer_size_is_symbolic() {
+        let (prog, st) = state_of("void f(int np) { double * xx = allocate(np); h5write(xx); }");
+        let alloc = find_call(&prog, "allocate");
+        let buf = st.buffers.get(&alloc).expect("buffer at alloc site");
+        assert_eq!(buf.elem_size, 8);
+        let mut bind = BTreeMap::new();
+        bind.insert("np".to_string(), 100);
+        assert_eq!(buf.bytes().sym.as_ref().unwrap().eval(&bind), 800);
+    }
+
+    #[test]
+    fn modulo_guard_scales_exec_count() {
+        let (prog, st) = state_of(
+            "void f(int n) { for (int i = 0; i < n; i++) { if (i % 4 == 0) { plot(i); } } }",
+        );
+        let plot = find_call(&prog, "plot");
+        let count = st.exec.get(&plot).expect("exec count");
+        let mut bind = BTreeMap::new();
+        bind.insert("n".to_string(), 10);
+        assert_eq!(count.sym.as_ref().unwrap().eval(&bind), 3); // ceil(10/4)
+    }
+
+    #[test]
+    fn while_unknown_extern_runs_zero_times() {
+        let (_, st) = state_of("void f() { while (more_data()) { consume(); } }");
+        let (_, li) = st.loops.iter().next().unwrap();
+        assert_eq!(li.trip.as_const(), Some(0));
+        assert!(li.exact);
+    }
+
+    #[test]
+    fn breakable_loop_keeps_upper_bound() {
+        let (_, st) = state_of(
+            "void f(int n) { for (int i = 0; i < n; i++) { if (done()) { break; } step(); } }",
+        );
+        let (_, li) = st.loops.iter().next().unwrap();
+        assert!(!li.exact);
+        // Upper bound survives symbolically.
+        let mut bind = BTreeMap::new();
+        bind.insert("n".to_string(), 6);
+        assert_eq!(li.trip.sym.as_ref().unwrap().eval(&bind), 6);
+        assert!(li.trip.contains(0));
+    }
+
+    #[test]
+    fn widening_terminates_on_nested_loops() {
+        let (_, st) = state_of(
+            "void f(int n, int m) { int acc = 0; for (int i = 0; i < n; i++) { for (int j = 0; j < m; j++) { acc += 1; } } g(acc); }",
+        );
+        assert!(st.iterations < 200, "fixpoint ran {} visits", st.iterations);
+        assert_eq!(st.loops.len(), 2);
+    }
+
+    #[test]
+    fn guarded_continue_reduces_downstream_count() {
+        let (prog, st) = state_of(
+            "void f(int n) { for (int i = 0; i < n; i++) { if (i % 2 == 0) { continue; } work(i); } }",
+        );
+        let work = find_call(&prog, "work");
+        let count = st.exec.get(&work).unwrap();
+        let mut bind = BTreeMap::new();
+        bind.insert("n".to_string(), 10);
+        // 10 iterations - ceil(10/2) skipped = 5.
+        assert_eq!(count.sym.as_ref().unwrap().eval(&bind), 5);
+    }
+
+    #[test]
+    fn handles_track_dataset_names() {
+        let (prog, st) = state_of(
+            "void f() { hid_t fid = H5Fcreate(\"out.h5\", 0); hid_t did = H5Dcreate(fid, \"particles\", 0); H5Dclose(did); }",
+        );
+        let dcreate = find_call(&prog, "H5Dcreate");
+        let h = st.handles.get(&dcreate).expect("dataset handle");
+        assert_eq!(h.object, "particles");
+        assert_eq!(h.api, "H5Dcreate");
+    }
+}

@@ -1,0 +1,942 @@
+//! Static I/O workload model.
+//!
+//! Consumes the abstract interpretation results ([`crate::interp`]) and
+//! classifies every I/O call site in a program: direction, bytes per
+//! operation, operation count (symbolic in the app's size parameters
+//! where possible), access pattern (sequential / strided / random /
+//! collective-like), and a confidence score. [`predict_program`] returns
+//! one [`IoPrediction`] per entry function; `tunio-infer` (in
+//! `crates/discovery`) lowers these into `tunio_workloads::AppSpec`s.
+//!
+//! ## Pattern classification
+//!
+//! * `H5Dwrite`/`H5Dread` and `MPI_File_*_all` are **collective-like**:
+//!   the runtime may aggregate them, and the tuner's collective-buffering
+//!   parameters apply.
+//! * A POSIX data call with a preceding seek whose offset is *linear* in
+//!   the enclosing loop's induction variable with coefficient `K` is
+//!   **sequential** when `K` equals the request size (the seek just
+//!   re-states the cursor) and **strided with stride `K`** otherwise.
+//! * Offsets that involve `rand*`-like calls, or that we cannot express
+//!   linearly, are **random**.
+//! * A plain data call with no seek advances the cursor: **sequential**.
+//!
+//! The API byte/argument conventions here are shared with the dynamic
+//! replay interpreter in `crates/discovery` (`dynexec`), so the static
+//! and dynamic paths agree on what each call *means* and the accuracy
+//! harness measures only what the *analysis* got wrong.
+
+use std::collections::BTreeMap;
+
+use tunio_cminus::ast::{Block, Expr, Function, Program, Stmt, StmtId, StmtKind};
+use tunio_cminus::span::Span;
+
+use crate::domain::{AbsVal, Bound, Congruence};
+use crate::interp::{eval_expr_at, interpret_function, var_id_by_name, FnAbsState};
+
+/// Data direction of an I/O call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Storage → process.
+    Read,
+    /// Process → storage.
+    Write,
+}
+
+/// Predicted spatial access pattern of a call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredPattern {
+    /// Contiguous/cursor-advancing accesses.
+    Sequential,
+    /// Fixed-stride accesses; `stride` is the per-iteration offset step
+    /// in bytes.
+    Strided {
+        /// Offset advance per loop iteration, in bytes.
+        stride: u64,
+    },
+    /// Effectively random offsets.
+    Random,
+    /// Collective-capable library calls (HDF5 dataset I/O, MPI-IO
+    /// collective variants).
+    CollectiveLike,
+}
+
+impl PredPattern {
+    /// Stable label used in goldens, reports and accuracy scoring.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PredPattern::Sequential => "sequential",
+            PredPattern::Strided { .. } => "strided",
+            PredPattern::Random => "random",
+            PredPattern::CollectiveLike => "collective",
+        }
+    }
+}
+
+/// What an extern call name means to the I/O model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoApi {
+    /// Bulk data write.
+    DataWrite {
+        /// Collective-capable (HDF5/MPI collective variants).
+        collective: bool,
+    },
+    /// Bulk data read.
+    DataRead {
+        /// Collective-capable.
+        collective: bool,
+    },
+    /// Explicit file-offset positioning.
+    Seek,
+    /// Metadata operation (open/create/close/flush/...).
+    Meta,
+    /// Trivial logging write (excluded from data volume).
+    Logging,
+}
+
+/// Classify an extern call name, if it is I/O-relevant.
+pub fn api_of(name: &str) -> Option<IoApi> {
+    match name {
+        "H5Dwrite" => Some(IoApi::DataWrite { collective: true }),
+        "H5Dread" => Some(IoApi::DataRead { collective: true }),
+        "MPI_File_write_all" | "MPI_File_write_at_all" => {
+            Some(IoApi::DataWrite { collective: true })
+        }
+        "MPI_File_read_all" | "MPI_File_read_at_all" => Some(IoApi::DataRead { collective: true }),
+        "fwrite" | "write" | "pwrite" | "MPI_File_write" | "MPI_File_write_at" => {
+            Some(IoApi::DataWrite { collective: false })
+        }
+        "fread" | "read" | "pread" | "MPI_File_read" | "MPI_File_read_at" => {
+            Some(IoApi::DataRead { collective: false })
+        }
+        "fseek" | "lseek" | "MPI_File_seek" => Some(IoApi::Seek),
+        "fopen" | "open" | "fclose" | "close" | "fsync" | "fflush" | "MPI_File_open"
+        | "MPI_File_close" | "MPI_File_sync" | "H5Fcreate" | "H5Fopen" | "H5Fclose"
+        | "H5Fflush" | "H5Dcreate" | "H5Dopen" | "H5Dclose" | "H5Screate_simple" | "H5Sclose"
+        | "H5Pcreate" | "H5Pclose" => Some(IoApi::Meta),
+        "printf" | "fprintf" | "puts" | "fputs" | "putchar" | "fputc" | "perror" => {
+            Some(IoApi::Logging)
+        }
+        _ => None,
+    }
+}
+
+/// One classified I/O call site.
+#[derive(Debug, Clone)]
+pub struct SitePrediction {
+    /// Function the site lives in (the *entry* function for inlined
+    /// callee sites).
+    pub func: String,
+    /// The call statement.
+    pub stmt: StmtId,
+    /// Source span of the statement.
+    pub span: Span,
+    /// Callee name (`H5Dwrite`, `fwrite`, ...).
+    pub call: String,
+    /// Data direction.
+    pub dir: Direction,
+    /// Bytes moved per operation (symbolic where buffer sizes are).
+    pub bytes_per_op: AbsVal,
+    /// Operations per run of the entry function.
+    pub ops: AbsVal,
+    /// Predicted spatial pattern.
+    pub pattern: PredPattern,
+    /// Dataset name / file path the call targets (best effort).
+    pub target: String,
+    /// Whether the call is collective-capable.
+    pub collective: bool,
+    /// Allocation site of the buffer the call moves, when known.
+    pub buf: Option<StmtId>,
+    /// Innermost enclosing loop statement, when inside a loop.
+    pub loop_id: Option<StmtId>,
+    /// Outermost enclosing loop statement (the app's main loop).
+    pub outer_loop: Option<StmtId>,
+    /// Loop nesting depth at the site.
+    pub loop_depth: usize,
+    /// Prediction confidence in `(0, 1]`.
+    pub confidence: f64,
+}
+
+/// Predicted I/O behaviour of one entry function.
+#[derive(Debug, Clone)]
+pub struct IoPrediction {
+    /// Entry function name.
+    pub entry: String,
+    /// Its size-parameter names (the symbolic dimensions of the
+    /// prediction).
+    pub params: Vec<String>,
+    /// Classified data call sites, in program order.
+    pub sites: Vec<SitePrediction>,
+    /// Metadata operations outside any loop (setup/teardown).
+    pub meta_setup: AbsVal,
+    /// Metadata operations inside loops.
+    pub meta_loop: AbsVal,
+    /// Trivial logging ops outside loops.
+    pub logging_setup: AbsVal,
+    /// Trivial logging ops inside loops.
+    pub logging_loop: AbsVal,
+    /// Trip count of the dominant I/O loop (1 when I/O is straight-line).
+    pub loop_iterations: AbsVal,
+    /// Overall confidence: the minimum site confidence.
+    pub confidence: f64,
+}
+
+impl IoPrediction {
+    /// Total predicted transfer volume (reads + writes) under concrete
+    /// parameter bindings.
+    pub fn total_bytes(&self, bindings: &BTreeMap<String, i64>) -> u64 {
+        self.sites.iter().map(|s| s.volume_bytes(bindings)).sum()
+    }
+}
+
+impl SitePrediction {
+    /// Predicted bytes this site moves in one run, under bindings.
+    pub fn volume_bytes(&self, bindings: &BTreeMap<String, i64>) -> u64 {
+        let per_op = self.bytes_per_op.eval(bindings).unwrap_or(0).max(0) as u64;
+        let ops = self.ops.eval(bindings).unwrap_or(0).max(0) as u64;
+        per_op.saturating_mul(ops)
+    }
+}
+
+/// Collect `(name, args)` for every call in an expression tree.
+fn collect_calls<'e>(expr: &'e Expr, out: &mut Vec<(&'e str, &'e [Expr])>) {
+    match expr {
+        Expr::Call { name, args } => {
+            out.push((name, args));
+            for a in args {
+                collect_calls(a, out);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_calls(lhs, out);
+            collect_calls(rhs, out);
+        }
+        Expr::Unary { operand, .. } | Expr::Postfix { operand, .. } => collect_calls(operand, out),
+        Expr::Index { base, index } => {
+            collect_calls(base, out);
+            collect_calls(index, out);
+        }
+        Expr::Member { base, .. } => collect_calls(base, out),
+        _ => {}
+    }
+}
+
+/// Top-level expressions of a statement that can contain I/O calls.
+fn stmt_exprs(stmt: &Stmt) -> Vec<&Expr> {
+    match &stmt.kind {
+        StmtKind::Decl { init: Some(e), .. } => vec![e],
+        StmtKind::Assign { rhs, .. } => vec![rhs],
+        StmtKind::Expr(e) => vec![e],
+        StmtKind::Return(Some(e)) => vec![e],
+        _ => Vec::new(),
+    }
+}
+
+fn expr_has_rand(expr: &Expr) -> bool {
+    let mut names = Vec::new();
+    expr.call_names(&mut names);
+    names.iter().any(|n| crate::interp::is_rand_fn(n))
+}
+
+struct Walker<'a> {
+    f: &'a Function,
+    state: &'a FnAbsState,
+    funcs: &'a BTreeMap<String, (&'a Function, FnAbsState)>,
+    sites: Vec<SitePrediction>,
+    meta_setup: AbsVal,
+    meta_loop: AbsVal,
+    logging_setup: AbsVal,
+    logging_loop: AbsVal,
+    /// (loop stmt, exactness) stack.
+    loop_stack: Vec<(StmtId, bool)>,
+    /// Last seek per handle root-identifier name.
+    seeks: BTreeMap<String, (StmtId, Expr)>,
+    /// Guard against interprocedural recursion.
+    visiting: Vec<String>,
+}
+
+impl<'a> Walker<'a> {
+    fn exec_of(&self, stmt: StmtId) -> AbsVal {
+        self.state
+            .exec
+            .get(&stmt)
+            .cloned()
+            .unwrap_or_else(|| AbsVal::constant(1))
+    }
+
+    fn eval_num(&self, at: StmtId, expr: &Expr) -> AbsVal {
+        eval_expr_at(self.f, self.state, at, expr, &[])
+    }
+
+    fn handle_object(&self, at: StmtId, expr: &Expr) -> (String, Option<StmtId>) {
+        // Resolve the handle argument to its open/create site via the
+        // abstract environment.
+        if let Expr::Ident(name) = expr {
+            if let Some(id) = var_id_by_name(self.f, name) {
+                let env = self.state.env_before(at);
+                if let Some(v) = env.get(&id) {
+                    if let Some(site) = v.handle {
+                        if let Some(h) = self.state.handles.get(&site) {
+                            return (h.object.clone(), Some(site));
+                        }
+                    }
+                }
+            }
+            return (name.clone(), None);
+        }
+        (String::new(), None)
+    }
+
+    fn buffer_of(&self, at: StmtId, expr: &Expr) -> Option<StmtId> {
+        if let Expr::Ident(name) = expr {
+            let id = var_id_by_name(self.f, name)?;
+            let env = self.state.env_before(at);
+            env.get(&id)?.buf
+        } else {
+            None
+        }
+    }
+
+    fn buffer_bytes(&self, site: StmtId) -> AbsVal {
+        self.state
+            .buffers
+            .get(&site)
+            .map(|b| b.bytes())
+            .unwrap_or_else(AbsVal::top)
+    }
+
+    /// Linear coefficient of `expr` in the innermost loop's induction
+    /// variable, or None when not linear / no loop / no induction var.
+    fn offset_coefficient(&self, at: StmtId, expr: &Expr) -> Option<i64> {
+        let (loop_id, _) = *self.loop_stack.last()?;
+        let li = self.state.loops.get(&loop_id)?;
+        let ivar = li.induction?;
+        let marker = AbsVal::param("__ivar__");
+        let v = eval_expr_at(self.f, self.state, at, expr, &[(ivar, marker)]);
+        let sym = v.sym?;
+        if sym.den != 1 {
+            return None;
+        }
+        let per_index = *sym.terms.get("__ivar__").unwrap_or(&0);
+        // Other parameters may appear (e.g. a rank offset); only the
+        // induction coefficient matters, but reject mixed products —
+        // `substitute`/`mul` already failed those into None.
+        let step = li.step.unwrap_or(1);
+        Some(per_index.saturating_mul(step))
+    }
+
+    fn pattern_for(
+        &self,
+        at: StmtId,
+        api: IoApi,
+        handle_root: &str,
+        bytes: &AbsVal,
+    ) -> (PredPattern, f64) {
+        let collective = matches!(
+            api,
+            IoApi::DataWrite { collective: true } | IoApi::DataRead { collective: true }
+        );
+        if collective {
+            return (PredPattern::CollectiveLike, 1.0);
+        }
+        let Some((_seek_stmt, offset)) = self.seeks.get(handle_root) else {
+            // No explicit positioning: the cursor advances; sequential.
+            return (PredPattern::Sequential, 0.95);
+        };
+        if expr_has_rand(offset) {
+            return (PredPattern::Random, 0.9);
+        }
+        match self.offset_coefficient(at, offset) {
+            Some(k) => {
+                let k = k.unsigned_abs();
+                match bytes.as_const() {
+                    Some(l) if k == l.unsigned_abs() => (PredPattern::Sequential, 1.0),
+                    _ if k == 0 => (PredPattern::Sequential, 0.8),
+                    _ => (PredPattern::Strided { stride: k }, 1.0),
+                }
+            }
+            None => (PredPattern::Random, 0.6),
+        }
+    }
+
+    fn loops_exact(&self) -> bool {
+        self.loop_stack.iter().all(|(_, exact)| *exact)
+    }
+
+    fn record_data_site(
+        &mut self,
+        stmt: &Stmt,
+        call: &str,
+        args: &[Expr],
+        api: IoApi,
+        mult: &AbsVal,
+    ) {
+        let dir = match api {
+            IoApi::DataWrite { .. } => Direction::Write,
+            _ => Direction::Read,
+        };
+        let collective = matches!(
+            api,
+            IoApi::DataWrite { collective: true } | IoApi::DataRead { collective: true }
+        );
+        // Per-API byte and handle conventions (shared with dynexec).
+        let (bytes, handle_expr, buf_expr) = match call {
+            "fwrite" | "fread" => {
+                let size = args
+                    .get(1)
+                    .map(|e| self.eval_num(stmt.id, e))
+                    .unwrap_or_else(AbsVal::top);
+                let count = args
+                    .get(2)
+                    .map(|e| self.eval_num(stmt.id, e))
+                    .unwrap_or_else(AbsVal::top);
+                (size.mul(&count), args.get(3), args.first())
+            }
+            "write" | "read" | "pwrite" | "pread" => (
+                args.get(2)
+                    .map(|e| self.eval_num(stmt.id, e))
+                    .unwrap_or_else(AbsVal::top),
+                args.first(),
+                args.get(1),
+            ),
+            "H5Dwrite" | "H5Dread" => {
+                let buf = args.get(1).and_then(|e| self.buffer_of(stmt.id, e));
+                let bytes = buf
+                    .map(|b| self.buffer_bytes(b))
+                    .unwrap_or_else(AbsVal::top);
+                (bytes, args.first(), args.get(1))
+            }
+            _ => (
+                // MPI_File_*: last argument is the byte count.
+                args.last()
+                    .map(|e| self.eval_num(stmt.id, e))
+                    .unwrap_or_else(AbsVal::top),
+                args.first(),
+                args.get(1),
+            ),
+        };
+        let (target, _handle_site) = handle_expr
+            .map(|e| self.handle_object(stmt.id, e))
+            .unwrap_or_default();
+        let handle_root = handle_expr
+            .and_then(|e| e.lvalue_root())
+            .unwrap_or("")
+            .to_string();
+        let buf = buf_expr.and_then(|e| self.buffer_of(stmt.id, e));
+        let (pattern, pattern_conf) = self.pattern_for(stmt.id, api, &handle_root, &bytes);
+        let ops = self.exec_of(stmt.id).mul(mult).clamp_non_negative();
+        let mut confidence = pattern_conf;
+        if !self.loops_exact() {
+            confidence *= 0.75;
+        }
+        if bytes.as_const().is_none() && bytes.sym.is_none() {
+            confidence *= 0.5;
+        }
+        if ops.as_const().is_none() && ops.sym.is_none() {
+            confidence *= 0.5;
+        }
+        self.sites.push(SitePrediction {
+            func: self.f.name.clone(),
+            stmt: stmt.id,
+            span: stmt.span,
+            call: call.to_string(),
+            dir,
+            bytes_per_op: bytes,
+            ops,
+            pattern,
+            target,
+            collective,
+            buf,
+            loop_id: self.loop_stack.last().map(|(id, _)| *id),
+            outer_loop: self.loop_stack.first().map(|(id, _)| *id),
+            loop_depth: self.loop_stack.len(),
+            confidence: (confidence * 100.0).round() / 100.0,
+        });
+    }
+
+    /// Pre-scan a loop body for seeks so a data call textually before the
+    /// seek still sees it (steady-state iterations do).
+    fn prescan_seeks(&mut self, block: &Block) {
+        for stmt in &block.stmts {
+            for expr in stmt_exprs(stmt) {
+                let mut calls = Vec::new();
+                collect_calls(expr, &mut calls);
+                for (name, args) in calls {
+                    if matches!(api_of(name), Some(IoApi::Seek)) {
+                        if let (Some(h), Some(off)) = (args.first(), args.get(1)) {
+                            if let Some(root) = h.lvalue_root() {
+                                self.seeks.insert(root.to_string(), (stmt.id, off.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            if let StmtKind::If {
+                then_block,
+                else_block,
+                ..
+            } = &stmt.kind
+            {
+                self.prescan_seeks(then_block);
+                if let Some(e) = else_block {
+                    self.prescan_seeks(e);
+                }
+            }
+        }
+    }
+
+    fn walk(&mut self, block: &Block, mult: &AbsVal) {
+        for stmt in &block.stmts {
+            for expr in stmt_exprs(stmt) {
+                let mut calls = Vec::new();
+                collect_calls(expr, &mut calls);
+                for (name, args) in calls {
+                    match api_of(name) {
+                        Some(IoApi::DataWrite { .. }) | Some(IoApi::DataRead { .. }) => {
+                            let api = api_of(name).unwrap();
+                            self.record_data_site(stmt, name, args, api, mult);
+                        }
+                        Some(IoApi::Seek) => {
+                            if let (Some(h), Some(off)) = (args.first(), args.get(1)) {
+                                if let Some(root) = h.lvalue_root() {
+                                    self.seeks.insert(root.to_string(), (stmt.id, off.clone()));
+                                }
+                            }
+                        }
+                        Some(IoApi::Meta) => {
+                            let n = self.exec_of(stmt.id).mul(mult).clamp_non_negative();
+                            if self.loop_stack.is_empty() {
+                                self.meta_setup = self.meta_setup.add(&n);
+                            } else {
+                                self.meta_loop = self.meta_loop.add(&n);
+                            }
+                        }
+                        Some(IoApi::Logging) => {
+                            let n = self.exec_of(stmt.id).mul(mult).clamp_non_negative();
+                            if self.loop_stack.is_empty() {
+                                self.logging_setup = self.logging_setup.add(&n);
+                            } else {
+                                self.logging_loop = self.logging_loop.add(&n);
+                            }
+                        }
+                        None => {
+                            // A call to a defined function: inline its
+                            // sites with this call site's multiplier.
+                            if self.funcs.contains_key(name)
+                                && !self.visiting.iter().any(|v| v == name)
+                            {
+                                let call_mult =
+                                    self.exec_of(stmt.id).mul(mult).clamp_non_negative();
+                                self.inline_callee(stmt.id, name, args, &call_mult);
+                            }
+                        }
+                    }
+                }
+            }
+            match &stmt.kind {
+                StmtKind::If {
+                    then_block,
+                    else_block,
+                    ..
+                } => {
+                    self.walk(then_block, mult);
+                    if let Some(e) = else_block {
+                        self.walk(e, mult);
+                    }
+                }
+                StmtKind::For { body, .. }
+                | StmtKind::While { body, .. }
+                | StmtKind::DoWhile { body, .. } => {
+                    let exact = self
+                        .state
+                        .loops
+                        .get(&stmt.id)
+                        .map(|l| l.exact)
+                        .unwrap_or(false);
+                    self.loop_stack.push((stmt.id, exact));
+                    let saved_seeks = self.seeks.clone();
+                    self.prescan_seeks(body);
+                    self.walk(body, mult);
+                    self.loop_stack.pop();
+                    self.seeks = saved_seeks;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn inline_callee(&mut self, at: StmtId, name: &str, args: &[Expr], mult: &AbsVal) {
+        let Some((g, g_state)) = self.funcs.get(name) else {
+            return;
+        };
+        // Bind callee parameter names to caller-side abstract values.
+        let mut bind: BTreeMap<String, AbsVal> = BTreeMap::new();
+        for (i, (_, pname)) in g.params.iter().enumerate() {
+            let v = args
+                .get(i)
+                .map(|e| self.eval_num(at, e))
+                .unwrap_or_else(AbsVal::top);
+            bind.insert(pname.clone(), v);
+        }
+        self.visiting.push(name.to_string());
+        let mut inner = Walker {
+            f: g,
+            state: g_state,
+            funcs: self.funcs,
+            sites: Vec::new(),
+            meta_setup: AbsVal::constant(0),
+            meta_loop: AbsVal::constant(0),
+            logging_setup: AbsVal::constant(0),
+            logging_loop: AbsVal::constant(0),
+            loop_stack: Vec::new(),
+            seeks: BTreeMap::new(),
+            visiting: self.visiting.clone(),
+        };
+        inner.walk(&g.body, &AbsVal::constant(1));
+        self.visiting.pop();
+        let in_loop = !self.loop_stack.is_empty();
+        for mut site in inner.sites {
+            site.ops = subst_absval(&site.ops, &bind)
+                .mul(mult)
+                .clamp_non_negative();
+            site.bytes_per_op = subst_absval(&site.bytes_per_op, &bind);
+            site.func = self.f.name.clone();
+            site.loop_id = site.loop_id.or(self.loop_stack.last().map(|(id, _)| *id));
+            site.outer_loop = self
+                .loop_stack
+                .first()
+                .map(|(id, _)| *id)
+                .or(site.outer_loop);
+            site.loop_depth += self.loop_stack.len();
+            if !self.loops_exact() {
+                site.confidence = (site.confidence * 0.75 * 100.0).round() / 100.0;
+            }
+            self.sites.push(site);
+        }
+        let callee_meta = subst_absval(&inner.meta_setup.add(&inner.meta_loop), &bind).mul(mult);
+        let callee_log =
+            subst_absval(&inner.logging_setup.add(&inner.logging_loop), &bind).mul(mult);
+        if in_loop {
+            self.meta_loop = self.meta_loop.add(&callee_meta);
+            self.logging_loop = self.logging_loop.add(&callee_log);
+        } else {
+            self.meta_setup = self.meta_setup.add(&callee_meta);
+            self.logging_setup = self.logging_setup.add(&callee_log);
+        }
+    }
+}
+
+/// Rewrite an abstract value expressed over a callee's parameters into
+/// caller terms, when the argument bindings allow it.
+fn subst_absval(v: &AbsVal, bind: &BTreeMap<String, AbsVal>) -> AbsVal {
+    let Some(sym) = &v.sym else {
+        return v.clone();
+    };
+    if sym.terms.is_empty() {
+        return v.clone();
+    }
+    let mut map = BTreeMap::new();
+    for p in sym.terms.keys() {
+        match bind.get(p).and_then(|a| a.sym.clone()) {
+            Some(ls) if ls.den == 1 => {
+                map.insert(p.clone(), ls);
+            }
+            _ => {
+                let mut out = v.clone();
+                out.sym = None;
+                return out;
+            }
+        }
+    }
+    match sym.substitute(&map) {
+        Some(ns) => AbsVal {
+            lo: Bound::Finite(0),
+            hi: Bound::PosInf,
+            cong: Congruence::top(),
+            sym: Some(ns),
+        },
+        None => {
+            let mut out = v.clone();
+            out.sym = None;
+            out
+        }
+    }
+}
+
+/// Predict the I/O behaviour of every entry function in `prog`.
+///
+/// Entry functions are those not called by any other defined function;
+/// sites in callees are inlined into their callers with call-site
+/// multipliers and parameter substitution.
+pub fn predict_program(prog: &Program) -> Vec<IoPrediction> {
+    let mut funcs: BTreeMap<String, (&Function, FnAbsState)> = BTreeMap::new();
+    for f in &prog.functions {
+        funcs.insert(f.name.clone(), (f, interpret_function(f)));
+    }
+    // Which defined functions are called by other defined functions?
+    let mut called: Vec<String> = Vec::new();
+    for f in &prog.functions {
+        let mut names = Vec::new();
+        prog_calls(&f.body, &mut names);
+        for n in names {
+            if funcs.contains_key(&n) && n != f.name {
+                called.push(n);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for f in &prog.functions {
+        if called.contains(&f.name) {
+            continue;
+        }
+        let (_, state) = funcs.get(&f.name).unwrap();
+        let mut w = Walker {
+            f,
+            state,
+            funcs: &funcs,
+            sites: Vec::new(),
+            meta_setup: AbsVal::constant(0),
+            meta_loop: AbsVal::constant(0),
+            logging_setup: AbsVal::constant(0),
+            logging_loop: AbsVal::constant(0),
+            loop_stack: Vec::new(),
+            seeks: BTreeMap::new(),
+            visiting: vec![f.name.clone()],
+        };
+        w.walk(&f.body, &AbsVal::constant(1));
+        let sites = w.sites;
+        // Dominant loop: the outer loop enclosing the most data sites.
+        let mut by_loop: BTreeMap<StmtId, usize> = BTreeMap::new();
+        for s in &sites {
+            if let Some(l) = s.outer_loop {
+                *by_loop.entry(l).or_insert(0) += 1;
+            }
+        }
+        let loop_iterations = by_loop
+            .iter()
+            .max_by_key(|(_, n)| **n)
+            .and_then(|(l, _)| state.loops.get(l))
+            .map(|li| li.trip.clone())
+            .unwrap_or_else(|| AbsVal::constant(1));
+        let confidence = sites.iter().map(|s| s.confidence).fold(1.0f64, f64::min);
+        out.push(IoPrediction {
+            entry: f.name.clone(),
+            params: f.params.iter().map(|(_, n)| n.clone()).collect(),
+            sites,
+            meta_setup: w.meta_setup,
+            meta_loop: w.meta_loop,
+            logging_setup: w.logging_setup,
+            logging_loop: w.logging_loop,
+            loop_iterations,
+            confidence: (confidence * 100.0).round() / 100.0,
+        });
+    }
+    out
+}
+
+fn prog_calls(block: &Block, out: &mut Vec<String>) {
+    for stmt in &block.stmts {
+        for e in stmt_exprs(stmt) {
+            e.call_names(out);
+        }
+        match &stmt.kind {
+            StmtKind::If {
+                then_block,
+                else_block,
+                cond,
+            } => {
+                cond.call_names(out);
+                prog_calls(then_block, out);
+                if let Some(e) = else_block {
+                    prog_calls(e, out);
+                }
+            }
+            StmtKind::For {
+                cond,
+                body,
+                init,
+                update,
+            } => {
+                if let Some(c) = cond {
+                    c.call_names(out);
+                }
+                for e in stmt_exprs(init) {
+                    e.call_names(out);
+                }
+                for e in stmt_exprs(update) {
+                    e.call_names(out);
+                }
+                prog_calls(body, out);
+            }
+            StmtKind::While { cond, body } | StmtKind::DoWhile { cond, body } => {
+                cond.call_names(out);
+                prog_calls(body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tunio_cminus::parser::parse;
+    use tunio_cminus::samples;
+
+    fn predict(src: &str) -> IoPrediction {
+        let prog = parse(src).unwrap();
+        predict_program(&prog).into_iter().next().expect("entry fn")
+    }
+
+    fn bind(pairs: &[(&str, i64)]) -> BTreeMap<String, i64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn vpic_prediction_is_symbolic_and_collective() {
+        let p = predict(samples::VPIC_IO);
+        assert_eq!(p.sites.len(), 1);
+        let s = &p.sites[0];
+        assert_eq!(s.call, "H5Dwrite");
+        assert_eq!(s.pattern, PredPattern::CollectiveLike);
+        assert_eq!(s.target, "x");
+        // bytes = 8 * particles, ops = num_steps.
+        let b = bind(&[("num_steps", 5), ("particles", 1000)]);
+        assert_eq!(s.volume_bytes(&b), 5 * 8 * 1000);
+        assert_eq!(p.total_bytes(&b), 40_000);
+    }
+
+    #[test]
+    fn flash_plot_guard_scales_ops() {
+        let p = predict(samples::FLASH_IO);
+        assert_eq!(p.sites.len(), 2);
+        let b = bind(&[("nsteps", 10), ("blocks", 64)]);
+        let ckpt = p.sites.iter().find(|s| s.target == "unk").unwrap();
+        let plot = p.sites.iter().find(|s| s.target == "dens").unwrap();
+        assert_eq!(ckpt.ops.eval(&b), Some(10));
+        assert_eq!(plot.ops.eval(&b), Some(3)); // ceil(10/4)
+        assert_eq!(p.total_bytes(&b), (10 + 3) * 64 * 8);
+    }
+
+    #[test]
+    fn bdcats_read_and_write_directions() {
+        let p = predict(samples::BDCATS_IO);
+        let reads: Vec<_> = p
+            .sites
+            .iter()
+            .filter(|s| s.dir == Direction::Read)
+            .collect();
+        let writes: Vec<_> = p
+            .sites
+            .iter()
+            .filter(|s| s.dir == Direction::Write)
+            .collect();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(writes.len(), 1);
+        // The loop can break early: confidence degrades but the symbolic
+        // upper bound survives.
+        assert!(reads[0].confidence < 1.0);
+        let b = bind(&[("max_rounds", 6), ("np", 100)]);
+        assert_eq!(reads[0].ops.eval(&b), Some(6));
+        assert_eq!(reads[0].volume_bytes(&b), 6 * 8 * 100);
+        // `labels` may point at either allocation after the loop (the
+        // zero-trip path keeps alloc_labels, iterations repoint it at the
+        // slab via the dbscan passthrough), so its size is unknown.
+        assert_eq!(writes[0].ops.eval(&b), Some(1));
+        assert!(writes[0].buf.is_none());
+        assert!(writes[0].bytes_per_op.as_const().is_none());
+        assert!(writes[0].bytes_per_op.sym.is_none());
+        assert!(writes[0].confidence <= 0.5);
+    }
+
+    #[test]
+    fn pure_compute_has_no_sites() {
+        let p = predict(samples::PURE_COMPUTE);
+        assert!(p.sites.is_empty());
+        assert_eq!(p.loop_iterations.as_const(), Some(1));
+    }
+
+    #[test]
+    fn interprocedural_sites_inline_with_multipliers() {
+        let src = r#"
+            void save_frame(int nvals, hid_t fp) {
+                double * buf = alloc_frame(nvals);
+                fwrite(buf, 8, nvals, fp);
+            }
+            void main_loop(int steps, int nvals) {
+                hid_t fp = fopen("frames.bin", 0);
+                for (int s = 0; s < steps; s++) {
+                    save_frame(nvals, fp);
+                }
+                fclose(fp);
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        let preds = predict_program(&prog);
+        assert_eq!(preds.len(), 1, "save_frame is not an entry");
+        let p = &preds[0];
+        assert_eq!(p.entry, "main_loop");
+        assert_eq!(p.sites.len(), 1);
+        let b = bind(&[("steps", 3), ("nvals", 100)]);
+        assert_eq!(p.sites[0].ops.eval(&b), Some(3));
+        assert_eq!(p.sites[0].volume_bytes(&b), 3 * 800);
+    }
+
+    #[test]
+    fn strided_seek_detected() {
+        let src = r#"
+            void gyro(int nframes) {
+                hid_t fp = fopen("gyro.dat", 0);
+                double * frame = alloc_frame(131072);
+                for (int f = 0; f < nframes; f++) {
+                    fseek(fp, f * 4194304, 0);
+                    fwrite(frame, 8, 131072, fp);
+                }
+                fclose(fp);
+            }
+        "#;
+        let p = predict(src);
+        assert_eq!(p.sites.len(), 1);
+        assert_eq!(
+            p.sites[0].pattern,
+            PredPattern::Strided { stride: 4_194_304 }
+        );
+    }
+
+    #[test]
+    fn random_seek_detected() {
+        let src = r#"
+            void probe(int nprobes) {
+                hid_t fd = open("probe.dat", 0);
+                double * buf = alloc_buf(32768);
+                for (int i = 0; i < nprobes; i++) {
+                    lseek(fd, rand_offset(i), 0);
+                    read(fd, buf, 262144);
+                }
+                close(fd);
+            }
+        "#;
+        let p = predict(src);
+        assert_eq!(p.sites.len(), 1);
+        assert_eq!(p.sites[0].pattern, PredPattern::Random);
+        assert_eq!(p.sites[0].dir, Direction::Read);
+    }
+
+    #[test]
+    fn sequential_rewrite_seek_is_sequential() {
+        // Seek whose per-iteration advance equals the request size.
+        let src = r#"
+            void log_append(int n) {
+                hid_t fp = fopen("log.bin", 0);
+                double * buf = alloc_buf(8192);
+                for (int i = 0; i < n; i++) {
+                    fseek(fp, i * 65536, 0);
+                    fwrite(buf, 8, 8192, fp);
+                }
+                fclose(fp);
+            }
+        "#;
+        let p = predict(src);
+        assert_eq!(p.sites[0].pattern, PredPattern::Sequential);
+    }
+}

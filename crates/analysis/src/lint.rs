@@ -1,6 +1,6 @@
 //! Lint diagnostics on top of the dataflow analyses.
 //!
-//! Four lints, all byproducts of machinery the slicer already needs:
+//! Dataflow lints, byproducts of machinery the slicer already needs:
 //!
 //! * **dead-store** — a value assigned to a local is never read
 //!   ([`crate::dataflow::Liveness`]);
@@ -12,18 +12,34 @@
 //!   informational (most HPC output loops are intentional), depth ≥ 2 is
 //!   a warning (the paper's request-decomposition antipattern).
 //!
+//! Pattern-aware I/O lints, fed by the abstract-interpretation workload
+//! model ([`crate::iomodel`]):
+//!
+//! * **small-io-request** — a constant request under 64 KiB issued from
+//!   inside a loop (per-request overhead dominates; batch or buffer);
+//! * **stride-vs-chunk-mismatch** — a strided access whose stride
+//!   disagrees with its request size: gaps between requests are
+//!   informational, overlapping rewrites are a warning;
+//! * **read-modify-write-in-loop** — the same buffer is read and
+//!   rewritten within one loop iteration, defeating write-behind
+//!   caching.
+//!
 //! Diagnostics carry real source [`Span`]s from the parser and render as
 //! stable one-line text (golden-tested) or machine-readable JSON via the
 //! `tunio-lint` binary.
 
 use crate::cfg::build_cfg;
 use crate::dataflow::{solve, Liveness, ReachingDefs};
+use crate::iomodel::{predict_program, Direction, PredPattern};
 use crate::resolve::{resolve_function, VarKind};
 use crate::slice::{default_io_predicate, io_function_closure};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use tunio_cminus::ast::{Program, StmtId, StmtKind};
 use tunio_cminus::span::Span;
+
+/// Requests below this many bytes inside a loop trip `small-io-request`.
+pub const SMALL_IO_BYTES: u64 = 64 * 1024;
 
 /// How serious a diagnostic is. `--deny warnings` fails on [`Severity::Warning`]
 /// only; [`Severity::Info`] never gates.
@@ -55,6 +71,12 @@ pub enum LintKind {
     UninitRead,
     /// I/O call nested inside loops.
     IoInLoop,
+    /// Constant sub-64KiB request issued from a loop.
+    SmallIoRequest,
+    /// Strided access whose stride disagrees with the request size.
+    StrideChunkMismatch,
+    /// Buffer read and rewritten within one loop iteration.
+    ReadModifyWriteInLoop,
 }
 
 impl LintKind {
@@ -65,6 +87,9 @@ impl LintKind {
             LintKind::UnreachableCode => "unreachable-code",
             LintKind::UninitRead => "uninit-read",
             LintKind::IoInLoop => "io-in-loop",
+            LintKind::SmallIoRequest => "small-io-request",
+            LintKind::StrideChunkMismatch => "stride-vs-chunk-mismatch",
+            LintKind::ReadModifyWriteInLoop => "read-modify-write-in-loop",
         }
     }
 
@@ -75,17 +100,23 @@ impl LintKind {
             "unreachable-code" => Some(LintKind::UnreachableCode),
             "uninit-read" => Some(LintKind::UninitRead),
             "io-in-loop" => Some(LintKind::IoInLoop),
+            "small-io-request" => Some(LintKind::SmallIoRequest),
+            "stride-vs-chunk-mismatch" => Some(LintKind::StrideChunkMismatch),
+            "read-modify-write-in-loop" => Some(LintKind::ReadModifyWriteInLoop),
             _ => None,
         }
     }
 
     /// Every lint, in rendering order.
-    pub fn all() -> [LintKind; 4] {
+    pub fn all() -> [LintKind; 7] {
         [
             LintKind::DeadStore,
             LintKind::UnreachableCode,
             LintKind::UninitRead,
             LintKind::IoInLoop,
+            LintKind::SmallIoRequest,
+            LintKind::StrideChunkMismatch,
+            LintKind::ReadModifyWriteInLoop,
         ]
     }
 }
@@ -137,16 +168,60 @@ impl Diagnostic {
     }
 }
 
-/// Which lints to suppress.
+/// Lint level configuration with order-independent precedence.
+///
+/// A specific lint slug always beats the broad `warnings` category, and
+/// between a specific `--allow` and a specific `--deny` of the same lint
+/// the deny wins. Because levels are *sets*, not a last-flag-wins scan,
+/// `--allow warnings --deny small-io-request` and
+/// `--deny small-io-request --allow warnings` mean the same thing.
 #[derive(Debug, Clone, Default)]
 pub struct LintOptions {
-    /// Kinds that are filtered out of the result.
+    /// Kinds filtered out of the result (unless also denied).
     pub allow: BTreeSet<LintKind>,
+    /// Kinds that are kept *and* gate the run (exit 1) regardless of
+    /// severity or any broader allow.
+    pub deny: BTreeSet<LintKind>,
+    /// `--allow warnings`: suppress warning-severity findings not
+    /// specifically denied.
+    pub allow_warnings: bool,
+    /// `--deny warnings`: warning-severity findings not specifically
+    /// allowed gate the run.
+    pub deny_warnings: bool,
+}
+
+impl LintOptions {
+    /// Whether a diagnostic is filtered from the output entirely.
+    pub fn suppresses(&self, d: &Diagnostic) -> bool {
+        if self.deny.contains(&d.kind) {
+            return false; // specific deny beats every allow
+        }
+        if self.allow.contains(&d.kind) {
+            return true;
+        }
+        d.severity == Severity::Warning && self.allow_warnings && !self.deny_warnings
+    }
+
+    /// Whether a diagnostic fails a gated (`--deny`) run.
+    pub fn gates(&self, d: &Diagnostic) -> bool {
+        if self.suppresses(d) {
+            return false;
+        }
+        if self.deny.contains(&d.kind) {
+            return true;
+        }
+        d.severity == Severity::Warning && self.deny_warnings && !self.allow.contains(&d.kind)
+    }
 }
 
 /// Whether any diagnostic is a [`Severity::Warning`].
 pub fn has_warnings(diags: &[Diagnostic]) -> bool {
     diags.iter().any(|d| d.severity == Severity::Warning)
+}
+
+/// Whether any diagnostic fails the run under `opts`' deny levels.
+pub fn has_gating(diags: &[Diagnostic], opts: &LintOptions) -> bool {
+    diags.iter().any(|d| opts.gates(d))
 }
 
 /// Run all lints over a program.
@@ -263,10 +338,116 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Vec<Diagnostic> {
         }
     }
 
-    diags.retain(|d| !opts.allow.contains(&d.kind));
+    diags.extend(pattern_diagnostics(program));
+
+    diags.retain(|d| !opts.suppresses(d));
     diags.sort_by(|a, b| {
         (a.span.start, a.kind, &a.message).cmp(&(b.span.start, b.kind, &b.message))
     });
+    diags.dedup_by(|a, b| (a.kind, a.stmt, &a.message) == (b.kind, b.stmt, &b.message));
+    diags
+}
+
+/// Pattern-aware I/O lints driven by the static workload model.
+fn pattern_diagnostics(program: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut seen: BTreeSet<(LintKind, StmtId)> = BTreeSet::new();
+    for pred in predict_program(program) {
+        for site in &pred.sites {
+            // small-io-request: constant sub-64KiB transfers from a loop.
+            if site.loop_id.is_some() {
+                if let Some(bytes) = site.bytes_per_op.as_const() {
+                    if bytes > 0
+                        && (bytes as u64) < SMALL_IO_BYTES
+                        && seen.insert((LintKind::SmallIoRequest, site.stmt))
+                    {
+                        diags.push(Diagnostic {
+                            severity: Severity::Warning,
+                            kind: LintKind::SmallIoRequest,
+                            func: site.func.clone(),
+                            span: site.span,
+                            stmt: site.stmt,
+                            message: format!(
+                                "`{}` moves only {} bytes per call inside a loop — \
+                                 batch requests or buffer the output",
+                                site.call, bytes
+                            ),
+                        });
+                    }
+                }
+            }
+
+            // stride-vs-chunk-mismatch: stride disagrees with request.
+            if let PredPattern::Strided { stride } = site.pattern {
+                if let Some(bytes) = site.bytes_per_op.as_const() {
+                    let bytes = bytes.max(0) as u64;
+                    if bytes > 0
+                        && stride != bytes
+                        && seen.insert((LintKind::StrideChunkMismatch, site.stmt))
+                    {
+                        let (severity, message) = if stride > bytes {
+                            (
+                                Severity::Info,
+                                format!(
+                                    "`{}` strides {} bytes but transfers {} — each request \
+                                     leaves a {}-byte gap (consider chunk-aligned sizes)",
+                                    site.call,
+                                    stride,
+                                    bytes,
+                                    stride - bytes
+                                ),
+                            )
+                        } else {
+                            (
+                                Severity::Warning,
+                                format!(
+                                    "`{}` strides {} bytes but transfers {} — consecutive \
+                                     requests overlap by {} bytes and rewrite data",
+                                    site.call,
+                                    stride,
+                                    bytes,
+                                    bytes - stride
+                                ),
+                            )
+                        };
+                        diags.push(Diagnostic {
+                            severity,
+                            kind: LintKind::StrideChunkMismatch,
+                            func: site.func.clone(),
+                            span: site.span,
+                            stmt: site.stmt,
+                            message,
+                        });
+                    }
+                }
+            }
+        }
+
+        // read-modify-write-in-loop: a read of buffer B followed by a
+        // write of B inside the same loop.
+        for (i, w) in pred.sites.iter().enumerate() {
+            if w.dir != Direction::Write || w.loop_id.is_none() || w.buf.is_none() {
+                continue;
+            }
+            let rmw = pred.sites[..i]
+                .iter()
+                .any(|r| r.dir == Direction::Read && r.loop_id == w.loop_id && r.buf == w.buf);
+            if rmw && seen.insert((LintKind::ReadModifyWriteInLoop, w.stmt)) {
+                diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    kind: LintKind::ReadModifyWriteInLoop,
+                    func: w.func.clone(),
+                    span: w.span,
+                    stmt: w.stmt,
+                    message: format!(
+                        "buffer read and rewritten via `{}` in the same loop iteration — \
+                         read-modify-write defeats write-behind caching",
+                        w.call
+                    ),
+                });
+            }
+        }
+    }
     diags
 }
 
@@ -379,6 +560,123 @@ mod tests {
         opts.allow.insert(LintKind::DeadStore);
         let diags = lint_program(&parse(src).unwrap(), &opts);
         assert_eq!(kinds(&diags), vec![LintKind::UnreachableCode]);
+    }
+
+    #[test]
+    fn small_io_request_in_loop() {
+        let diags = lints(
+            "void f(int n) { hid_t fp = fopen(\"x.bin\", 0); double * b = alloc_buf(64); \
+             for (int i = 0; i < n; i++) { fwrite(b, 8, 64, fp); } fclose(fp); }",
+        );
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.kind == LintKind::SmallIoRequest)
+            .collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert_eq!(hits[0].severity, Severity::Warning);
+        assert!(hits[0].message.contains("512 bytes"));
+
+        // Outside a loop, or at >= 64 KiB, it stays quiet.
+        let clean = lints(
+            "void f() { hid_t fp = fopen(\"x.bin\", 0); double * b = alloc_buf(64); \
+             fwrite(b, 8, 64, fp); fclose(fp); }",
+        );
+        assert!(!clean.iter().any(|d| d.kind == LintKind::SmallIoRequest));
+        let big = lints(
+            "void f(int n) { hid_t fp = fopen(\"x.bin\", 0); double * b = alloc_buf(8192); \
+             for (int i = 0; i < n; i++) { fwrite(b, 8, 8192, fp); } fclose(fp); }",
+        );
+        assert!(!big.iter().any(|d| d.kind == LintKind::SmallIoRequest));
+    }
+
+    #[test]
+    fn stride_gap_is_info_overlap_is_warning() {
+        let gap = lints(
+            "void f(int n) { hid_t fp = fopen(\"x.bin\", 0); double * b = alloc_buf(16384); \
+             for (int i = 0; i < n; i++) { fseek(fp, i * 4194304, 0); \
+             fwrite(b, 8, 16384, fp); } fclose(fp); }",
+        );
+        let hit = gap
+            .iter()
+            .find(|d| d.kind == LintKind::StrideChunkMismatch)
+            .expect("gap mismatch");
+        assert_eq!(hit.severity, Severity::Info);
+        assert!(hit.message.contains("gap"));
+
+        let overlap = lints(
+            "void f(int n) { hid_t fp = fopen(\"x.bin\", 0); double * b = alloc_buf(16384); \
+             for (int i = 0; i < n; i++) { fseek(fp, i * 65536, 0); \
+             fwrite(b, 8, 16384, fp); } fclose(fp); }",
+        );
+        let hit = overlap
+            .iter()
+            .find(|d| d.kind == LintKind::StrideChunkMismatch)
+            .expect("overlap mismatch");
+        assert_eq!(hit.severity, Severity::Warning);
+        assert!(hit.message.contains("overlap"));
+    }
+
+    #[test]
+    fn read_modify_write_in_loop_detected() {
+        let diags = lints(
+            "void f(int n) { hid_t d = H5Dopen(fl, \"x\"); double * b = alloc_buf(n); \
+             for (int i = 0; i < n; i++) { H5Dread(d, b); update(b, n); H5Dwrite(d, b); } }",
+        );
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.kind == LintKind::ReadModifyWriteInLoop)
+            .collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+
+        // Distinct buffers in the same loop are not an RMW.
+        let clean = lints(
+            "void f(int n) { hid_t d = H5Dopen(fl, \"x\"); double * a = alloc_in(n); \
+             double * b = alloc_out(n); \
+             for (int i = 0; i < n; i++) { H5Dread(d, a); H5Dwrite(d, b); } }",
+        );
+        assert!(!clean
+            .iter()
+            .any(|d| d.kind == LintKind::ReadModifyWriteInLoop));
+    }
+
+    #[test]
+    fn specific_deny_overrides_broad_allow() {
+        // Both orders of construction produce identical behaviour: the
+        // options are sets, so precedence is by specificity, not flag
+        // position.
+        let src = "void f(int n) { hid_t fp = fopen(\"x.bin\", 0); double * b = alloc_buf(64); \
+             for (int i = 0; i < n; i++) { fwrite(b, 8, 64, fp); } fclose(fp); }";
+        let prog = parse(src).unwrap();
+
+        let mut opts = LintOptions {
+            allow_warnings: true,
+            ..LintOptions::default()
+        };
+        opts.deny.insert(LintKind::SmallIoRequest);
+        let diags = lint_program(&prog, &opts);
+        assert!(
+            diags.iter().any(|d| d.kind == LintKind::SmallIoRequest),
+            "specific deny must survive --allow warnings: {diags:?}"
+        );
+        assert!(has_gating(&diags, &opts));
+
+        // Specific allow beats broad deny-warnings (and does not gate).
+        let mut opts2 = LintOptions {
+            deny_warnings: true,
+            ..LintOptions::default()
+        };
+        opts2.allow.insert(LintKind::SmallIoRequest);
+        let diags2 = lint_program(&prog, &opts2);
+        assert!(!diags2.iter().any(|d| d.kind == LintKind::SmallIoRequest));
+        assert!(!has_gating(&diags2, &opts2), "{diags2:?}");
+
+        // Deny wins a direct tie with allow on the same lint.
+        let mut opts3 = LintOptions::default();
+        opts3.allow.insert(LintKind::SmallIoRequest);
+        opts3.deny.insert(LintKind::SmallIoRequest);
+        let diags3 = lint_program(&prog, &opts3);
+        assert!(diags3.iter().any(|d| d.kind == LintKind::SmallIoRequest));
+        assert!(has_gating(&diags3, &opts3));
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Property tests for the abstract domain (`tunio_analysis::domain`).
+//!
+//! Every generator yields an abstract value *together with a concrete
+//! member*, so each property checks genuine concretization soundness:
+//! whatever holds of the member must be reflected by the abstract
+//! result. The suite covers the lattice operations (join/widen), the
+//! arithmetic transfer functions, branch refinement, and the symbolic
+//! `eval` path — including widening termination, which the interpreter's
+//! loop fixpoint relies on.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tunio_analysis::{AbsVal, LinExpr};
+
+/// Ceiling division matching the domain's `div_ceil` contract.
+fn ceil_div(v: i64, d: i64) -> i64 {
+    v.div_euclid(d) + i64::from(v.rem_euclid(d) != 0)
+}
+
+/// An abstract value paired with one concrete member of its
+/// concretization. Mixes constants, intervals, stride-carrying values
+/// (built through the abstract arithmetic itself) and the non-negative
+/// symbolic parameter.
+fn val_with_member() -> impl Strategy<Value = (AbsVal, i64)> {
+    prop_oneof![
+        (-200i64..200).prop_map(|c| (AbsVal::constant(c), c)),
+        (-100i64..100, 0i64..40, 0i64..40)
+            .prop_map(|(lo, w, off)| { (AbsVal::range(lo, lo + w), lo + off % (w + 1)) }),
+        // b + m*j for j in 0..=k: exercises mul/add and carries a
+        // congruence component (x ≡ b mod m).
+        (-20i64..20, 1i64..9, 1i64..10, 0i64..10).prop_map(|(b, m, k, j)| {
+            let v = AbsVal::constant(m)
+                .mul(&AbsVal::range(0, k))
+                .add(&AbsVal::constant(b));
+            (v, b + m * (j % (k + 1)))
+        }),
+        // The non-negative size parameter contains every v ≥ 0.
+        (0i64..500).prop_map(|v| (AbsVal::param("n"), v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Sanity of the generator itself (and of the mul/add used to build
+    /// the strided case): the paired member really is a member.
+    #[test]
+    fn generated_members_are_contained((a, v) in val_with_member()) {
+        prop_assert!(!a.is_bottom());
+        prop_assert!(a.contains(v), "{} should contain {v}", a.render());
+    }
+
+    /// Join is an upper bound of both operands and is symmetric.
+    #[test]
+    fn join_is_a_symmetric_upper_bound(
+        (a, va) in val_with_member(),
+        (b, vb) in val_with_member(),
+    ) {
+        let j = a.join(&b);
+        prop_assert!(j.contains(va), "{} lost {va} from lhs", j.render());
+        prop_assert!(j.contains(vb), "{} lost {vb} from rhs", j.render());
+        prop_assert_eq!(j, b.join(&a));
+    }
+
+    /// Joining with itself (or with bottom) changes nothing.
+    #[test]
+    fn join_is_idempotent_with_bottom_as_identity((a, _v) in val_with_member()) {
+        prop_assert_eq!(a.join(&a), a.clone());
+        prop_assert_eq!(a.join(&AbsVal::bottom()), a.clone());
+        prop_assert_eq!(AbsVal::bottom().join(&a), a);
+    }
+
+    /// Widening over-approximates the join: it keeps the members of both
+    /// operands (so the loop fixpoint never drops reachable values).
+    #[test]
+    fn widen_is_an_upper_bound(
+        (a, va) in val_with_member(),
+        (b, vb) in val_with_member(),
+    ) {
+        let w = a.widen(&b);
+        prop_assert!(w.contains(va), "{} lost {va} from lhs", w.render());
+        prop_assert!(w.contains(vb), "{} lost {vb} from rhs", w.render());
+    }
+
+    /// Repeatedly widening against any finite set of values reaches a
+    /// fixpoint in a bounded number of steps: each step can only move a
+    /// bound to ±∞ once, drop the symbolic form once, and walk the
+    /// congruence modulus down a finite divisor chain.
+    #[test]
+    fn widening_terminates(vals in proptest::collection::vec(val_with_member(), 2..8)) {
+        let mut w = vals[0].0.clone();
+        let mut steps = 0u32;
+        loop {
+            let mut changed = false;
+            for (v, _) in &vals {
+                let next = w.widen(v);
+                if next != w {
+                    w = next;
+                    changed = true;
+                }
+                steps += 1;
+                prop_assert!(steps <= 256, "widening did not stabilize: {}", w.render());
+            }
+            if !changed {
+                break;
+            }
+        }
+        // The fixpoint absorbs every chain element's members.
+        for (_, m) in &vals {
+            prop_assert!(w.contains(*m), "fixpoint {} lost {m}", w.render());
+        }
+    }
+
+    /// Arithmetic transfer functions are sound: the concrete result of
+    /// each operation on members is a member of the abstract result.
+    #[test]
+    fn arithmetic_is_sound(
+        (a, va) in val_with_member(),
+        (b, vb) in val_with_member(),
+    ) {
+        prop_assert!(a.add(&b).contains(va + vb));
+        prop_assert!(a.sub(&b).contains(va - vb));
+        prop_assert!(a.neg().contains(-va));
+        prop_assert!(a.mul(&b).contains(va * vb));
+    }
+
+    /// Division-family soundness against a positive constant divisor
+    /// (the only shape the interpreter produces). `rem` additionally
+    /// assumes a non-negative dividend — the domain models sizes and
+    /// counts — so the dividend is clamped accordingly.
+    #[test]
+    fn division_by_positive_constants_is_sound(
+        (a, va) in val_with_member(),
+        d in 1i64..16,
+    ) {
+        let div = AbsVal::constant(d);
+        prop_assert!(a.div(&div).contains(va.div_euclid(d)));
+        prop_assert!(a.div_ceil(d).contains(ceil_div(va, d)));
+        let nn = a.refine_ge(0);
+        if va >= 0 {
+            prop_assert!(nn.rem(&div).contains(va % d), "({}) % {d} lost {va}", nn.render());
+        }
+    }
+
+    /// Branch refinement keeps exactly the satisfying members: a member
+    /// survives `refine_le(c)` iff it is ≤ c (dually for `refine_ge`),
+    /// and `clamp_non_negative` never admits a negative value.
+    #[test]
+    fn refinement_filters_members_exactly(
+        (a, va) in val_with_member(),
+        c in -150i64..150,
+        neg in 1i64..100,
+    ) {
+        prop_assert_eq!(a.refine_le(c).contains(va), va <= c);
+        prop_assert_eq!(a.refine_ge(c).contains(va), va >= c);
+        let nn = a.clamp_non_negative();
+        prop_assert!(!nn.contains(-neg));
+        prop_assert_eq!(nn.contains(va), va >= 0);
+    }
+
+    /// The symbolic path agrees with the interval path: evaluating the
+    /// linear form of `k·n + b` under a binding lands inside the
+    /// abstract value built from the same expression.
+    #[test]
+    fn symbolic_eval_lands_in_the_abstraction(
+        k in 1i64..16,
+        b in 0i64..50,
+        n in 0i64..200,
+    ) {
+        let e = AbsVal::param("n")
+            .mul(&AbsVal::constant(k))
+            .add(&AbsVal::constant(b));
+        let mut binds = BTreeMap::new();
+        binds.insert("n".to_string(), n);
+        prop_assert_eq!(e.eval(&binds), Some(k * n + b));
+        prop_assert!(e.contains(k * n + b));
+    }
+
+    /// `LinExpr::div_ceil` really is ceiling division for non-negative
+    /// values (the trip-count shape), including when the expression
+    /// already carries a denominator.
+    #[test]
+    fn linexpr_div_ceil_is_ceiling_division(
+        k in 0i64..64,
+        c in 0i64..16,
+        n in 0i64..128,
+        d1 in 1i64..8,
+        d2 in 1i64..8,
+    ) {
+        let e = LinExpr::constant(k)
+            .add(&LinExpr::param("n").scale(c).unwrap())
+            .and_then(|e| e.div_ceil(d1))
+            .and_then(|e| e.div_ceil(d2))
+            .expect("div_ceil of non-negative linear form");
+        let mut binds = BTreeMap::new();
+        binds.insert("n".to_string(), n);
+        prop_assert_eq!(e.eval(&binds), ceil_div(ceil_div(k + c * n, d1), d2));
+    }
+}

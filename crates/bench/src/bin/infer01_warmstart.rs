@@ -1,0 +1,131 @@
+//! Warm-start experiment — static inference vs. cold start.
+//!
+//! For each (workload, strategy) pair, runs the same campaign twice per
+//! seed: **cold** (default options) and **warm** (the campaign seeded
+//! from the features `tunio_discovery::infer` extracts from the matching
+//! C-minus sample — the `--infer-workload` path of `tunio-tune`). The
+//! warm campaign's search backend starts from feature-guided seed
+//! configurations and the smart subset agent ranks parameters by the
+//! inferred features instead of the offline sweep.
+//!
+//! The headline metric is *generations to reach the cold run's final
+//! best perf*: a warm start pays off when it reaches the same
+//! performance in fewer tuning generations (fewer simulated
+//! evaluations). Results feed the warm-start table in EXPERIMENTS.md.
+
+use std::collections::BTreeMap;
+use tunio::pipeline::{
+    run_strategy_campaign_opts, CampaignOptions, CampaignSpec, PipelineKind, StrategyKind,
+};
+use tunio_cminus::{parser::parse, samples};
+use tunio_discovery::infer_program;
+use tunio_tuner::TuningTrace;
+use tunio_workloads::{hacc, vpic, AppSpec, Variant, WorkloadFeatures};
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// First generation whose running best reaches `target`, if any.
+fn first_reach(trace: &TuningTrace, target: f64) -> Option<u32> {
+    trace
+        .records
+        .iter()
+        .find(|r| r.best_perf >= target)
+        .map(|r| r.iteration)
+}
+
+/// Inferred features for a built-in sample's entry function.
+fn features_for(sample: &str) -> WorkloadFeatures {
+    let src = samples::all_samples()
+        .into_iter()
+        .find(|(n, _)| *n == sample)
+        .map(|(_, s)| s)
+        .expect("known sample");
+    let prog = parse(src).expect("sample parses");
+    infer_program(&prog, &BTreeMap::new())
+        .into_iter()
+        .find(|iw| !iw.spec.iteration_io.is_empty())
+        .expect("sample has I/O")
+        .features
+}
+
+fn main() {
+    const ITERS: u32 = 12;
+    const POP: usize = 8;
+    let seeds = [1u64, 2, 3, 4, 5];
+    let cases: [(&str, AppSpec, &str); 2] =
+        [("vpic", vpic(), "vpic_io"), ("hacc", hacc(), "hacc_io")];
+    let strategies = [StrategyKind::Bo, StrategyKind::Ga];
+
+    println!(
+        "=== Warm-start from static inference ({ITERS} generations, population {POP}, \
+         {} seeds) ===\n",
+        seeds.len()
+    );
+    println!(
+        "{:<6} {:<8} {:>5} {:>11} {:>11} {:>10} {:>10}",
+        "app", "strategy", "seed", "cold GiB/s", "warm GiB/s", "cold gens", "warm gens"
+    );
+
+    for (app_name, app, sample) in &cases {
+        let features = features_for(sample);
+        for strategy in strategies {
+            let mut cold_sum = 0u32;
+            let mut warm_sum = 0u32;
+            let mut warm_wins = 0usize;
+            for &seed in &seeds {
+                let spec = CampaignSpec {
+                    app: app.clone(),
+                    variant: Variant::Kernel,
+                    kind: PipelineKind::TunIo,
+                    max_iterations: ITERS,
+                    population: POP,
+                    seed,
+                    large_scale: false,
+                };
+                let cold = run_strategy_campaign_opts(&spec, strategy, &CampaignOptions::default())
+                    .expect("cold campaign");
+                let warm = run_strategy_campaign_opts(
+                    &spec,
+                    strategy,
+                    &CampaignOptions {
+                        warm_start: Some(features.clone()),
+                        ..CampaignOptions::default()
+                    },
+                )
+                .expect("warm campaign");
+
+                let target = cold.trace.best_perf;
+                let cold_gens = first_reach(&cold.trace, target).unwrap_or(ITERS);
+                let warm_gens = first_reach(&warm.trace, target);
+                println!(
+                    "{:<6} {:<8} {:>5} {:>11.3} {:>11.3} {:>10} {:>10}",
+                    app_name,
+                    strategy.label(),
+                    seed,
+                    cold.trace.best_perf / GIB,
+                    warm.trace.best_perf / GIB,
+                    cold_gens,
+                    warm_gens
+                        .map(|g| g.to_string())
+                        .unwrap_or_else(|| format!(">{ITERS}")),
+                );
+                cold_sum += cold_gens;
+                warm_sum += warm_gens.unwrap_or(ITERS + 1);
+                if warm_gens.map(|g| g <= cold_gens).unwrap_or(false) {
+                    warm_wins += 1;
+                }
+            }
+            println!(
+                "{:<6} {:<8} {:>5} {:>35} mean gens {:.1} -> {:.1} ({} of {} seeds warm <= cold)\n",
+                app_name,
+                strategy.label(),
+                "all",
+                "",
+                cold_sum as f64 / seeds.len() as f64,
+                warm_sum as f64 / seeds.len() as f64,
+                warm_wins,
+                seeds.len(),
+            );
+        }
+    }
+}

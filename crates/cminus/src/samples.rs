@@ -129,6 +129,55 @@ void stencil(int n) {
 }
 "#;
 
+/// Nyx-style plotfile appender: a POSIX stream written sequentially, one
+/// symbolic-size record per step. The canonical *sequential* pattern for
+/// the static workload model (no seeks, cursor just advances).
+pub const NYX_LOG_IO: &str = r#"
+void nyx_log(int steps, int nvals) {
+    hid_t fp = fopen("nyx_plot.bin", 0);
+    double * buf = alloc_plotbuf(nvals);
+    for (int s = 0; s < steps; s++) {
+        advance_hydro(buf, nvals);
+        buf = gather_level(buf, nvals);
+        fwrite(buf, 8, nvals, fp);
+    }
+    fclose(fp);
+}
+"#;
+
+/// IOR-style random-read probe: every iteration seeks to an unpredictable
+/// offset before a fixed 256 KiB read. The canonical *random* pattern.
+pub const IOR_RANDOM_IO: &str = r#"
+void ior_probe(int nprobes, int region) {
+    hid_t fd = open("ior.dat", 0);
+    double * buf = alloc_xfer(32768);
+    int sum = 0;
+    for (int p = 0; p < nprobes; p++) {
+        lseek(fd, rand_offset(region), 0);
+        read(fd, buf, 262144);
+        sum += reduce_block(buf, 32768);
+    }
+    printf("checksum %d", sum);
+    close(fd);
+}
+"#;
+
+/// GYRO-style restart writer: 1 MiB frames placed at fixed 4 MiB slots,
+/// leaving gaps between requests. The canonical *strided* pattern.
+pub const GYRO_STRIDED_IO: &str = r#"
+void gyro_restart(int nframes) {
+    hid_t fp = fopen("gyro_restart.bin", 0);
+    double * frame = alloc_frame(131072);
+    int gap = 4194304;
+    for (int f = 0; f < nframes; f++) {
+        frame = collect_fields(frame, 131072);
+        fseek(fp, f * gap, 0);
+        fwrite(frame, 8, 131072, fp);
+    }
+    fclose(fp);
+}
+"#;
+
 /// All samples as (name, source) pairs.
 pub fn all_samples() -> Vec<(&'static str, &'static str)> {
     vec![
@@ -137,6 +186,9 @@ pub fn all_samples() -> Vec<(&'static str, &'static str)> {
         ("flash_io", FLASH_IO),
         ("bdcats_io", BDCATS_IO),
         ("pure_compute", PURE_COMPUTE),
+        ("nyx_log_io", NYX_LOG_IO),
+        ("ior_random_io", IOR_RANDOM_IO),
+        ("gyro_strided_io", GYRO_STRIDED_IO),
     ]
 }
 

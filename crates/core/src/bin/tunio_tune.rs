@@ -7,6 +7,7 @@
 //!            [--iterations N] [--population N] [--seed N] [--large-scale]
 //!            [--checkpoint FILE] [--resume] [--abort-after N]
 //!            [--fault-rate F] [--fault-seed N]
+//!            [--infer-workload SAMPLE|FILE.c] [--bind NAME=VALUE]...
 //!            [--xml-out FILE] [--out-json FILE]
 //!            [--metrics-addr HOST:PORT] [--quiet]
 //! ```
@@ -23,6 +24,14 @@
 //! corrupted reports at derived rates); `--abort-after N` exits cleanly
 //! once generation N is durable in the log — the kill switch used by the
 //! crash/resume CI job.
+//!
+//! `--infer-workload` runs static workload inference (abstract
+//! interpretation, see `tunio-infer`) over a built-in sample or a
+//! C-minus source file and warm-starts the search from the result: the
+//! smart subset agent ranks parameters by the inferred features instead
+//! of the offline sweep, and `--strategy` backends get feature-guided
+//! seed configurations planted in their starting state. `--bind`
+//! overrides the inferred entry's parameter bindings.
 //!
 //! `--strategy` routes the campaign through the asynchronous search
 //! scheduler instead of the classic generation-synchronous GA loop:
@@ -62,6 +71,8 @@ struct Args {
     out_json: Option<String>,
     metrics_addr: Option<String>,
     quiet: bool,
+    infer_workload: Option<String>,
+    binds: Vec<(String, i64)>,
 }
 
 fn usage() -> ExitCode {
@@ -74,6 +85,7 @@ fn usage() -> ExitCode {
          \x20      [--large-scale]\n\
          \x20      [--checkpoint FILE] [--resume] [--abort-after N]\n\
          \x20      [--fault-rate F] [--fault-seed N]\n\
+         \x20      [--infer-workload SAMPLE|FILE.c] [--bind NAME=VALUE]...\n\
          \x20      [--xml-out FILE] [--out-json FILE]\n\
          \x20      [--metrics-addr HOST:PORT] [--quiet]"
     );
@@ -100,6 +112,8 @@ fn parse_args() -> Result<Args, String> {
         out_json: None,
         metrics_addr: None,
         quiet: false,
+        infer_workload: None,
+        binds: Vec::new(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -201,6 +215,19 @@ fn parse_args() -> Result<Args, String> {
             "--xml-out" => args.xml_out = Some(value(&argv, &mut i, "--xml-out")?),
             "--out-json" => args.out_json = Some(value(&argv, &mut i, "--out-json")?),
             "--metrics-addr" => args.metrics_addr = Some(value(&argv, &mut i, "--metrics-addr")?),
+            "--infer-workload" => {
+                args.infer_workload = Some(value(&argv, &mut i, "--infer-workload")?)
+            }
+            "--bind" => {
+                let kv = value(&argv, &mut i, "--bind")?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--bind expects NAME=VALUE, got `{kv}`"))?;
+                let v: i64 = v
+                    .parse()
+                    .map_err(|e| format!("--bind {k}: bad value: {e}"))?;
+                args.binds.push((k.to_string(), v));
+            }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -211,6 +238,41 @@ fn parse_args() -> Result<Args, String> {
         return Err("missing --app".into());
     }
     Ok(args)
+}
+
+/// Resolve `--infer-workload`'s argument (a built-in sample name or a
+/// C-minus source path), run static inference, and return the features
+/// of the entry that actually performs I/O (plus its name for logging).
+fn infer_features(
+    input: &str,
+    binds: &[(String, i64)],
+) -> Result<(tunio_workloads::WorkloadFeatures, String), String> {
+    let src = match tunio_cminus::samples::all_samples()
+        .into_iter()
+        .find(|(n, _)| *n == input)
+    {
+        Some((_, src)) => src.to_string(),
+        None => std::fs::read_to_string(input).map_err(|e| {
+            let known: Vec<&str> = tunio_cminus::samples::all_samples()
+                .iter()
+                .map(|(n, _)| *n)
+                .collect();
+            format!(
+                "--infer-workload `{input}` is neither a readable file ({e}) nor a \
+                 built-in sample (known: {})",
+                known.join(", ")
+            )
+        })?,
+    };
+    let prog =
+        tunio_cminus::parser::parse(&src).map_err(|e| format!("{input}: parse error: {e}"))?;
+    let overrides: std::collections::BTreeMap<String, i64> = binds.iter().cloned().collect();
+    let inferred = tunio_discovery::infer_program(&prog, &overrides);
+    inferred
+        .into_iter()
+        .find(|iw| !iw.spec.iteration_io.is_empty())
+        .map(|iw| (iw.features, iw.prediction.entry))
+        .ok_or_else(|| format!("{input}: no entry function with inferable I/O"))
 }
 
 fn main() -> ExitCode {
@@ -275,6 +337,27 @@ fn main() -> ExitCode {
         );
     }
 
+    let warm_start = match args.infer_workload.as_deref() {
+        Some(input) => match infer_features(input, &args.binds) {
+            Ok((features, entry)) => {
+                if !args.quiet {
+                    eprintln!(
+                        "warm-start from static inference of `{entry}` \
+                         (confidence {:.2}, {:.1} MiB predicted)",
+                        features.confidence,
+                        features.total_bytes as f64 / (1024.0 * 1024.0),
+                    );
+                }
+                Some(features)
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return usage();
+            }
+        },
+        None => None,
+    };
+
     let opts = CampaignOptions {
         checkpoint: args.checkpoint.clone(),
         resume: args.resume,
@@ -284,6 +367,7 @@ fn main() -> ExitCode {
         policy: None,
         abort_after: args.abort_after,
         threads: args.threads,
+        warm_start,
     };
     if args.resume && args.checkpoint.is_none() {
         eprintln!("error: --resume needs --checkpoint");

@@ -11,7 +11,7 @@ use crate::checkpoint::{
     CHECKPOINT_VERSION,
 };
 use crate::early_stop::EarlyStopAgent;
-use crate::smart_config::SmartConfigAgent;
+use crate::smart_config::{warm_seed_configs, SmartConfigAgent};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -25,7 +25,7 @@ use tunio_tuner::{
     RandomStrategy, ResilienceCounters, SchedulerStats, SearchStrategy, Stopper, SubsetProvider,
     TuningTrace,
 };
-use tunio_workloads::{AppSpec, Variant, Workload};
+use tunio_workloads::{AppSpec, Variant, Workload, WorkloadFeatures};
 
 /// Which tuning pipeline to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -116,6 +116,15 @@ pub struct CampaignOptions {
     /// value; only wall-clock time changes. Ignored by the classic
     /// `GaTuner` path, which parallelizes inside `evaluate_batch`.
     pub threads: Option<usize>,
+    /// Statically inferred workload features to warm-start the search
+    /// from (see `tunio_discovery::infer`). When set, the smart subset
+    /// agent derives its impact ranking from the features instead of the
+    /// offline simulator sweep, and strategy backends are handed
+    /// feature-guided seed configurations before their first proposal.
+    /// Like `fault_plan`, this is not recorded in checkpoints — resumed
+    /// campaigns must pass the same value (a restored strategy ignores
+    /// seeds anyway, so a mismatch cannot fork a resumed trace).
+    pub warm_start: Option<WorkloadFeatures>,
 }
 
 /// Run one campaign with default options (fault-free, no checkpoint).
@@ -158,7 +167,10 @@ pub fn run_campaign_opts(
     let needs_rl_stop = matches!(spec.kind, PipelineKind::TunIo | PipelineKind::RlStopOnly);
 
     let mut smart = if needs_smart {
-        Some(SmartConfigAgent::pretrained(&space, cluster, spec.seed))
+        Some(match &opts.warm_start {
+            Some(features) => SmartConfigAgent::from_features(features, &space, cluster, spec.seed),
+            None => SmartConfigAgent::pretrained(&space, cluster, spec.seed),
+        })
     } else {
         None
     };
@@ -359,7 +371,19 @@ pub fn run_strategy_campaign_opts(
     if let Some(policy) = opts.policy {
         engine = engine.with_policy(policy);
     }
-    let backend = build_strategy(strategy, spec, &space);
+    let mut backend = build_strategy(strategy, spec, &space);
+    if let Some(features) = &opts.warm_start {
+        let seeds = warm_seed_configs(features, &space);
+        trace::event(
+            "campaign.warm_start",
+            vec![
+                ("app", features.app.clone().into()),
+                ("confidence", features.confidence.into()),
+                ("seeds", seeds.len().into()),
+            ],
+        );
+        backend.warm_start(&seeds);
+    }
 
     let needs_smart = matches!(
         spec.kind,
@@ -368,7 +392,10 @@ pub fn run_strategy_campaign_opts(
     let needs_rl_stop = matches!(spec.kind, PipelineKind::TunIo | PipelineKind::RlStopOnly);
 
     let mut smart = if needs_smart {
-        Some(SmartConfigAgent::pretrained(&space, cluster, spec.seed))
+        Some(match &opts.warm_start {
+            Some(features) => SmartConfigAgent::from_features(features, &space, cluster, spec.seed),
+            None => SmartConfigAgent::pretrained(&space, cluster, spec.seed),
+        })
     } else {
         None
     };

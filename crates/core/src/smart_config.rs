@@ -18,12 +18,12 @@
 use crate::perf::{normalize_perf, subset_reward};
 use tunio_iosim::{ClusterSpec, Simulator};
 use tunio_nn::Pca;
-use tunio_params::{ParamId, ParameterSpace};
+use tunio_params::{Configuration, ParamId, ParameterSpace};
 use tunio_rl::qlearn::QConfig;
 use tunio_rl::replay::Transition;
 use tunio_rl::{ContextObserver, DelayedReward, QAgent};
 use tunio_tuner::{EvalEngine, SubsetProvider};
-use tunio_workloads::{flash, hacc, vpic, Variant, Workload};
+use tunio_workloads::{flash, hacc, vpic, Variant, Workload, WorkloadFeatures};
 
 /// Dimension of the observer's input context:
 /// `[norm_perf, subset_len/total, iteration-scale]`.
@@ -155,6 +155,150 @@ pub fn offline_impact_analysis(space: &ParameterSpace, seed: u64) -> ImpactAnaly
     }
 }
 
+/// Derive an impact ranking from statically inferred workload features —
+/// the warm-start analogue of [`offline_impact_analysis`]. Instead of
+/// sweeping the simulator (expensive, workload-agnostic), each parameter's
+/// score comes from how strongly the inferred feature vector suggests the
+/// parameter matters for *this* workload: collective traffic raises the
+/// collective-buffering knobs, volume raises striping, strided/random
+/// reads raise the chunk cache, small reads raise sieving, metadata-heavy
+/// workloads raise the metadata knobs. Scores are normalized to max 1 and
+/// `significant` counts the parameters scoring ≥ 0.3, mirroring the
+/// offline analysis contract so [`SmartConfigAgent::new`] works unchanged.
+pub fn impact_from_features(features: &WorkloadFeatures, space: &ParameterSpace) -> ImpactAnalysis {
+    let mut scores = vec![0.05f64; space.len()];
+    let mut bump = |p: ParamId, s: f64| {
+        let slot = &mut scores[p.index()];
+        *slot = slot.max(s.clamp(0.0, 1.0));
+    };
+
+    let coll = features.collective_fraction;
+    bump(ParamId::CollectiveIo, 0.4 + 0.6 * coll);
+    bump(ParamId::CbNodes, 0.2 + 0.8 * coll);
+    bump(ParamId::CbBufferSize, 0.15 + 0.7 * coll);
+
+    // Volume on a log scale: 1 GiB ≈ 0.75, 1 TiB saturates.
+    let vol = ((features.total_bytes.max(1) as f64).log2() / 40.0).clamp(0.0, 1.0);
+    bump(ParamId::StripingFactor, 0.25 + 0.75 * vol);
+    bump(ParamId::StripingUnit, 0.2 + 0.7 * vol);
+
+    // Large requests make alignment pay; tiny ones make it irrelevant.
+    let req = features.mean_request_bytes.max(1.0);
+    let req_scale = (req.log2() / 24.0).clamp(0.0, 1.0); // 16 MiB saturates
+    bump(ParamId::Alignment, 0.15 + 0.75 * req_scale);
+
+    // Non-contiguous reads are what the chunk cache exists for.
+    let noncontig = features.strided_fraction.max(features.random_fraction);
+    bump(
+        ParamId::ChunkCache,
+        0.1 + 0.9 * noncontig * features.read_fraction,
+    );
+
+    // Sieving only helps small reads.
+    let small = (1.0 - req / (1u64 << 20) as f64).clamp(0.0, 1.0);
+    bump(ParamId::SieveBufSize, 0.85 * features.read_fraction * small);
+
+    let meta = features.metadata_ratio.min(1.0);
+    bump(ParamId::MetaBlockSize, 0.8 * meta);
+    bump(ParamId::MdcConfig, 0.5 * meta);
+    bump(ParamId::CollMetaOps, 0.7 * meta * coll);
+    bump(ParamId::CollMetadataWrite, 0.7 * meta * coll);
+
+    let max_score = scores.iter().cloned().fold(1e-12, f64::max);
+    for s in &mut scores {
+        *s /= max_score;
+    }
+    let mut ranking: Vec<ParamId> = ParamId::ALL.to_vec();
+    ranking.sort_by(|a, b| scores[b.index()].partial_cmp(&scores[a.index()]).unwrap());
+    let significant = scores.iter().filter(|&&s| s >= 0.3).count().max(1);
+    ImpactAnalysis {
+        ranking,
+        scores,
+        significant,
+    }
+}
+
+/// Warm-start seed configurations derived from inferred workload
+/// features: concrete points a search strategy plants in its starting
+/// state (see `SearchStrategy::warm_start`). The first seed is the full
+/// feature-guided guess; a second, conservative seed keeps the library
+/// defaults and only switches the collective/striping mode, so the search
+/// starts with both an aggressive and a safe hypothesis.
+pub fn warm_seed_configs(
+    features: &WorkloadFeatures,
+    space: &ParameterSpace,
+) -> Vec<Configuration> {
+    // Index of the numeric value closest to `target` (log-ish domains are
+    // monotone, so absolute distance picks the right neighbor).
+    let nearest = |p: ParamId, target: u64| -> usize {
+        let dom = &space.descriptor(p).domain;
+        (0..dom.cardinality())
+            .min_by_key(|&i| {
+                dom.numeric_at(i)
+                    .map(|v| v.abs_diff(target))
+                    .unwrap_or(u64::MAX)
+            })
+            .unwrap_or(0)
+    };
+
+    let mut seed = space.default_config();
+    // One stripe per 256 MiB of predicted volume.
+    let stripes = (features.total_bytes / (256 << 20)).clamp(1, 128);
+    seed.set_gene(
+        ParamId::StripingFactor,
+        nearest(ParamId::StripingFactor, stripes),
+    );
+    let unit = (features.mean_request_bytes.max(65_536.0)) as u64;
+    seed.set_gene(ParamId::StripingUnit, nearest(ParamId::StripingUnit, unit));
+    if features.mean_request_bytes >= (1u64 << 20) as f64 {
+        seed.set_gene(ParamId::Alignment, nearest(ParamId::Alignment, 1 << 20));
+    }
+    let collective = features.collective_fraction > 0.5;
+    if collective {
+        seed.set_gene(ParamId::CollectiveIo, 1);
+        seed.set_gene(ParamId::CbNodes, nearest(ParamId::CbNodes, 16));
+        seed.set_gene(
+            ParamId::CbBufferSize,
+            nearest(ParamId::CbBufferSize, 16 << 20),
+        );
+    }
+    let noncontig = features.strided_fraction.max(features.random_fraction);
+    if features.read_fraction > 0.0 && noncontig > 0.3 {
+        seed.set_gene(ParamId::ChunkCache, nearest(ParamId::ChunkCache, 32 << 20));
+    }
+    if features.read_fraction > 0.5 && features.mean_request_bytes < (1u64 << 20) as f64 {
+        seed.set_gene(
+            ParamId::SieveBufSize,
+            nearest(ParamId::SieveBufSize, 4 << 20),
+        );
+    }
+    if features.metadata_ratio > 0.1 {
+        seed.set_gene(
+            ParamId::MetaBlockSize,
+            nearest(ParamId::MetaBlockSize, 1 << 20),
+        );
+        if collective {
+            seed.set_gene(ParamId::CollMetaOps, 1);
+            seed.set_gene(ParamId::CollMetadataWrite, 1);
+        }
+    }
+
+    let mut conservative = space.default_config();
+    if collective {
+        conservative.set_gene(ParamId::CollectiveIo, 1);
+    }
+    conservative.set_gene(
+        ParamId::StripingFactor,
+        nearest(ParamId::StripingFactor, stripes),
+    );
+
+    let mut seeds = vec![seed];
+    if conservative != seeds[0] {
+        seeds.push(conservative);
+    }
+    seeds
+}
+
 /// The Smart Configuration Generation agent. Implements
 /// [`tunio_tuner::SubsetProvider`], so it plugs directly into the GA
 /// pipeline's configuration-generation phase.
@@ -231,6 +375,19 @@ impl SmartConfigAgent {
     pub fn pretrained(space: &ParameterSpace, cluster: ClusterSpec, seed: u64) -> Self {
         let analysis = offline_impact_analysis(space, seed);
         SmartConfigAgent::new(analysis, cluster, seed)
+    }
+
+    /// Warm-start construction: skip the simulator sweep and derive the
+    /// impact ranking from statically inferred workload features
+    /// ([`impact_from_features`]). The picker warm-up is identical to
+    /// [`Self::new`], so only the ranking differs from `pretrained`.
+    pub fn from_features(
+        features: &WorkloadFeatures,
+        space: &ParameterSpace,
+        cluster: ClusterSpec,
+        seed: u64,
+    ) -> Self {
+        SmartConfigAgent::new(impact_from_features(features, space), cluster, seed)
     }
 
     /// Pick the subset for the given context (the Table-I
@@ -413,5 +570,112 @@ mod tests {
         let analysis = offline_impact_analysis(&space(), 5);
         assert_eq!(analysis.top(0).len(), 1);
         assert_eq!(analysis.top(99).len(), 12);
+    }
+
+    fn collective_features() -> WorkloadFeatures {
+        WorkloadFeatures {
+            app: "vpic_dump".into(),
+            total_bytes: 3 << 30,
+            read_fraction: 0.0,
+            mean_request_bytes: 8.0 * 1024.0 * 1024.0,
+            collective_fraction: 1.0,
+            random_fraction: 0.0,
+            strided_fraction: 0.0,
+            metadata_ratio: 0.2,
+            loop_iterations: 12,
+            confidence: 0.9,
+        }
+    }
+
+    fn small_random_read_features() -> WorkloadFeatures {
+        WorkloadFeatures {
+            app: "bdcats_read".into(),
+            total_bytes: 64 << 20,
+            read_fraction: 1.0,
+            mean_request_bytes: 4096.0,
+            collective_fraction: 0.0,
+            random_fraction: 1.0,
+            strided_fraction: 0.0,
+            metadata_ratio: 0.05,
+            loop_iterations: 8,
+            confidence: 0.8,
+        }
+    }
+
+    #[test]
+    fn feature_impact_matches_workload_shape() {
+        let s = space();
+        let coll = impact_from_features(&collective_features(), &s);
+        assert!(
+            coll.top(4).contains(&ParamId::CollectiveIo),
+            "{:?}",
+            coll.ranking
+        );
+        assert!(coll.top(6).contains(&ParamId::CbNodes));
+        let rand = impact_from_features(&small_random_read_features(), &s);
+        assert!(
+            rand.top(4).contains(&ParamId::ChunkCache),
+            "{:?}",
+            rand.ranking
+        );
+        assert!(rand.top(6).contains(&ParamId::SieveBufSize));
+        // Contract parity with the offline analysis.
+        for a in [&coll, &rand] {
+            let mut r = a.ranking.clone();
+            r.sort();
+            assert_eq!(r, ParamId::ALL.to_vec());
+            let max = a.scores.iter().cloned().fold(0.0, f64::max);
+            assert!((max - 1.0).abs() < 1e-9);
+            assert!(a.significant >= 1);
+        }
+    }
+
+    #[test]
+    fn warm_seeds_encode_the_features() {
+        let s = space();
+        let seeds = warm_seed_configs(&collective_features(), &s);
+        assert!(!seeds.is_empty() && seeds.len() <= 2);
+        assert_eq!(seeds[0].gene(ParamId::CollectiveIo), 1);
+        assert_ne!(
+            seeds[0].gene(ParamId::CbBufferSize),
+            s.default_config().gene(ParamId::CbBufferSize)
+        );
+        assert_ne!(
+            seeds[0],
+            s.default_config(),
+            "seed must differ from default"
+        );
+        let read_seeds = warm_seed_configs(&small_random_read_features(), &s);
+        assert_eq!(read_seeds[0].gene(ParamId::CollectiveIo), 0);
+        assert_ne!(
+            read_seeds[0].gene(ParamId::ChunkCache),
+            s.default_config().gene(ParamId::ChunkCache)
+        );
+        assert_ne!(
+            read_seeds[0].gene(ParamId::SieveBufSize),
+            s.default_config().gene(ParamId::SieveBufSize)
+        );
+        // Every gene is inside its domain.
+        for seed in seeds.iter().chain(&read_seeds) {
+            for p in ParamId::ALL {
+                assert!(seed.gene(p) < s.cardinality(p));
+            }
+        }
+    }
+
+    #[test]
+    fn from_features_agent_picks_ranked_subsets() {
+        let s = space();
+        let mut agent = SmartConfigAgent::from_features(
+            &collective_features(),
+            &s,
+            ClusterSpec::cori_4node(),
+            7,
+        );
+        for it in 1..=5 {
+            let subset = agent.next_subset(it, 1e9, &s);
+            assert!(!subset.is_empty() && subset.len() <= 12);
+            agent.feedback(&subset, 1e9);
+        }
     }
 }

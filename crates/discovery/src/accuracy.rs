@@ -1,13 +1,28 @@
-//! Kernel-fidelity metrics (paper Fig 8c).
+//! Accuracy metrics: kernel fidelity (paper Fig 8c) and static-inference
+//! accuracy.
 //!
-//! Compares what an extracted kernel (and a loop-reduced kernel, after
-//! extrapolating its scalable metrics back up) would report against the
-//! original application, as absolute percentage error of bytes written and
-//! write-operation counts.
+//! The kernel-fidelity half compares what an extracted kernel (and a
+//! loop-reduced kernel, after extrapolating its scalable metrics back up)
+//! would report against the original application, as absolute percentage
+//! error of bytes written and write-operation counts.
+//!
+//! The inference half scores the *static* workload predictions from
+//! `tunio_analysis::predict_program` against a *dynamic* replay of the
+//! same program ([`crate::dynexec::replay`]) under the same concrete
+//! parameter bindings: did the abstract interpreter classify each I/O
+//! site's access pattern correctly, and how far off are its transfer
+//! volume and request sizes? [`score_corpus`] runs this over the whole
+//! built-in sample corpus and is the basis of the CI inference gate.
 
+use std::collections::BTreeMap;
+use tunio_analysis::{predict_program, IoPrediction};
+use tunio_cminus::ast::Program;
 use tunio_iosim::Simulator;
 use tunio_params::StackConfig;
 use tunio_workloads::{AppSpec, Variant, Workload};
+
+use crate::dynexec::replay;
+use crate::infer::default_bindings;
 
 /// Absolute percentage errors of one kernel variant vs. the full app.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +59,144 @@ pub fn measure_fidelity(
         bytes_written_err_pct: err(kern_report.bytes_written, full_report.bytes_written),
         write_ops_err_pct: err(kern_report.write_ops, full_report.write_ops),
     }
+}
+
+/// Static-vs-dynamic accuracy of one entry function's I/O prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceScore {
+    /// Entry function scored.
+    pub entry: String,
+    /// Concrete parameter bindings both sides ran under.
+    pub bindings: BTreeMap<String, i64>,
+    /// I/O call sites the static model predicted.
+    pub sites_predicted: usize,
+    /// I/O call sites the dynamic replay executed.
+    pub sites_observed: usize,
+    /// Sites present on both sides (matched by statement id).
+    pub sites_matched: usize,
+    /// Matched sites whose predicted access pattern equals the observed one.
+    pub patterns_correct: usize,
+    /// Total bytes the static model predicts under the bindings.
+    pub volume_predicted: u64,
+    /// Total bytes the dynamic replay moved.
+    pub volume_observed: u64,
+    /// |predicted − observed| / observed, percent (0 when both are 0).
+    pub volume_err_pct: f64,
+    /// Mean request-size error over matched sites where the static model
+    /// committed to a concrete request size; `None` when no site did.
+    pub request_err_pct: Option<f64>,
+}
+
+impl InferenceScore {
+    /// Fraction of matched sites with the right pattern (1.0 when none).
+    pub fn pattern_accuracy(&self) -> f64 {
+        if self.sites_matched == 0 {
+            1.0
+        } else {
+            self.patterns_correct as f64 / self.sites_matched as f64
+        }
+    }
+}
+
+fn pct_err(predicted: u64, observed: u64) -> f64 {
+    if observed == 0 {
+        if predicted == 0 {
+            0.0
+        } else {
+            100.0
+        }
+    } else {
+        (predicted as f64 - observed as f64).abs() / observed as f64 * 100.0
+    }
+}
+
+/// Score one prediction against a dynamic replay of the same program under
+/// the same `bindings`. Returns `None` when the entry cannot be replayed.
+pub fn score_inference(
+    prog: &Program,
+    prediction: &IoPrediction,
+    bindings: &BTreeMap<String, i64>,
+) -> Option<InferenceScore> {
+    let trace = replay(prog, &prediction.entry, bindings)?;
+    let mut matched = 0usize;
+    let mut correct = 0usize;
+    let mut req_errs = Vec::new();
+    for site in &prediction.sites {
+        let Some(obs) = trace.sites.get(&site.stmt) else {
+            continue;
+        };
+        matched += 1;
+        if site.pattern.label() == obs.observed_pattern() {
+            correct += 1;
+        }
+        if let Some(pred_req) = site.bytes_per_op.eval(bindings) {
+            if pred_req > 0 && obs.ops > 0 {
+                let obs_req = obs.bytes / obs.ops;
+                req_errs.push(pct_err(pred_req.max(0) as u64, obs_req));
+            }
+        }
+    }
+    let volume_predicted = prediction.total_bytes(bindings);
+    Some(InferenceScore {
+        entry: prediction.entry.clone(),
+        bindings: bindings.clone(),
+        sites_predicted: prediction.sites.len(),
+        sites_observed: trace.sites.len(),
+        sites_matched: matched,
+        patterns_correct: correct,
+        volume_predicted,
+        volume_observed: trace.total_bytes,
+        volume_err_pct: pct_err(volume_predicted, trace.total_bytes),
+        request_err_pct: if req_errs.is_empty() {
+            None
+        } else {
+            Some(req_errs.iter().sum::<f64>() / req_errs.len() as f64)
+        },
+    })
+}
+
+/// Inference accuracy aggregated over a sample corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusScore {
+    /// Per-entry scores, tagged with the sample name they came from.
+    pub per_app: Vec<(String, InferenceScore)>,
+}
+
+impl CorpusScore {
+    /// Corpus-wide pattern classification accuracy (matched sites only).
+    pub fn pattern_accuracy(&self) -> f64 {
+        let matched: usize = self.per_app.iter().map(|(_, s)| s.sites_matched).sum();
+        let correct: usize = self.per_app.iter().map(|(_, s)| s.patterns_correct).sum();
+        if matched == 0 {
+            1.0
+        } else {
+            correct as f64 / matched as f64
+        }
+    }
+
+    /// Worst per-app volume error, percent.
+    pub fn max_volume_err_pct(&self) -> f64 {
+        self.per_app
+            .iter()
+            .map(|(_, s)| s.volume_err_pct)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Score static inference against dynamic replay for every entry function
+/// of every built-in sample, under [`default_bindings`].
+pub fn score_corpus() -> CorpusScore {
+    let mut per_app = Vec::new();
+    for (name, src) in tunio_cminus::samples::all_samples() {
+        let prog = tunio_cminus::parser::parse(src).expect("sample parses");
+        for prediction in predict_program(&prog) {
+            let bindings = default_bindings(&prediction.params);
+            if let Some(score) = score_inference(&prog, &prediction, &bindings) {
+                per_app.push((name.to_string(), score));
+            }
+        }
+    }
+    CorpusScore { per_app }
 }
 
 #[cfg(test)]
@@ -110,5 +263,59 @@ mod tests {
         let r = measure_fidelity(&sim, &app, Variant::Full, &cfg);
         assert!(r.bytes_written_err_pct < 1e-9);
         assert!(r.write_ops_err_pct < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod inference_tests {
+    use super::*;
+    use tunio_cminus::parser::parse;
+    use tunio_cminus::samples;
+
+    fn score_sample(src: &str) -> InferenceScore {
+        let prog = parse(src).unwrap();
+        let preds = predict_program(&prog);
+        assert_eq!(preds.len(), 1);
+        let bindings = default_bindings(&preds[0].params);
+        score_inference(&prog, &preds[0], &bindings).unwrap()
+    }
+
+    #[test]
+    fn vpic_inference_is_exact() {
+        let s = score_sample(samples::VPIC_IO);
+        assert_eq!(s.sites_matched, 1);
+        assert_eq!(s.patterns_correct, 1);
+        assert_eq!(s.volume_predicted, s.volume_observed);
+        assert_eq!(s.volume_err_pct, 0.0);
+        assert_eq!(s.request_err_pct, Some(0.0));
+    }
+
+    #[test]
+    fn bdcats_volume_error_comes_from_final_write() {
+        // The final label write joins two buffers statically, so its byte
+        // count is unknown (predicted 0); everything else is exact. The
+        // miss is one 8*np write out of (max_rounds+1) transfers.
+        let s = score_sample(samples::BDCATS_IO);
+        assert_eq!(s.sites_predicted, 2);
+        assert_eq!(s.sites_matched, 2);
+        assert_eq!(s.patterns_correct, 2);
+        assert!(s.volume_predicted < s.volume_observed);
+        assert!(s.volume_err_pct < 25.0, "{s:?}");
+    }
+
+    #[test]
+    fn corpus_meets_the_paper_gates() {
+        let corpus = score_corpus();
+        assert!(corpus.per_app.len() >= 8, "{}", corpus.per_app.len());
+        assert!(
+            corpus.pattern_accuracy() >= 0.8,
+            "pattern accuracy {:.2}",
+            corpus.pattern_accuracy()
+        );
+        assert!(
+            corpus.max_volume_err_pct() <= 25.0,
+            "volume error {:.1}%",
+            corpus.max_volume_err_pct()
+        );
     }
 }

@@ -1,0 +1,210 @@
+//! `tunio-infer` — static I/O workload inference for C-minus sources.
+//!
+//! ```text
+//! tunio-infer [--sample NAME|all] [FILE...] [--bind NAME=VALUE]... [--json]
+//! ```
+//!
+//! For every entry function of every input, prints the statically
+//! predicted I/O model (per-site pattern, request size, op count and
+//! symbolic volume), the lowered workload spec and feature vector, and —
+//! when the program can be replayed — the accuracy of the static
+//! prediction against a concrete dynamic trace under the same bindings.
+//!
+//! `--bind` overrides the default parameter bindings (which size
+//! loop-like parameters small and data-like parameters large); unknown
+//! names are ignored per entry. `--json` emits a machine-readable report.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use tunio_analysis::predict_program;
+use tunio_cminus::parser::parse;
+use tunio_cminus::samples;
+use tunio_discovery::infer::{default_bindings, lower_prediction};
+use tunio_discovery::score_inference;
+
+const USAGE: &str =
+    "usage: tunio-infer [--sample NAME|all] [FILE...] [--bind NAME=VALUE]... [--json]";
+
+struct Args {
+    inputs: Vec<(String, String)>,
+    binds: BTreeMap<String, i64>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        inputs: Vec::new(),
+        binds: BTreeMap::new(),
+        json: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => args.json = true,
+            "--bind" => {
+                i += 1;
+                let kv = argv.get(i).ok_or("--bind expects NAME=VALUE")?;
+                let (k, v) = kv.split_once('=').ok_or("--bind expects NAME=VALUE")?;
+                let v: i64 = v
+                    .parse()
+                    .map_err(|e| format!("--bind {k}: bad value: {e}"))?;
+                args.binds.insert(k.to_string(), v);
+            }
+            "--sample" => {
+                i += 1;
+                let name = argv.get(i).ok_or("--sample expects a name or `all`")?;
+                if name == "all" {
+                    for (n, src) in samples::all_samples() {
+                        args.inputs.push((n.to_string(), src.to_string()));
+                    }
+                } else {
+                    let src = samples::all_samples()
+                        .into_iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, src)| src)
+                        .ok_or_else(|| {
+                            let known: Vec<&str> =
+                                samples::all_samples().iter().map(|(n, _)| *n).collect();
+                            format!("unknown sample `{name}` (known: {})", known.join(", "))
+                        })?;
+                    args.inputs.push((name.clone(), src.to_string()));
+                }
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            path if !path.starts_with('-') => {
+                let src = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                args.inputs.push((path.to_string(), src));
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if args.inputs.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut reports = Vec::new();
+    for (name, src) in &args.inputs {
+        let prog = match parse(src) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{name}: parse error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for prediction in predict_program(&prog) {
+            let mut bindings = default_bindings(&prediction.params);
+            for (k, v) in &args.binds {
+                if bindings.contains_key(k) {
+                    bindings.insert(k.clone(), *v);
+                }
+            }
+            let (spec, features) = lower_prediction(&prediction, &bindings);
+            let score = score_inference(&prog, &prediction, &bindings);
+            reports.push((name.clone(), prediction, bindings, spec, features, score));
+        }
+    }
+
+    if args.json {
+        let entries: Vec<serde_json::Value> = reports
+            .iter()
+            .map(|(name, pred, bindings, spec, features, score)| {
+                let sites: Vec<serde_json::Value> = pred
+                    .sites
+                    .iter()
+                    .map(|s| {
+                        serde_json::json!({
+                            "call": s.call,
+                            "target": s.target,
+                            "dir": format!("{:?}", s.dir),
+                            "pattern": s.pattern.label(),
+                            "bytes_per_op": s.bytes_per_op.render(),
+                            "ops": s.ops.render(),
+                            "volume_bytes": s.volume_bytes(bindings),
+                            "confidence": s.confidence,
+                        })
+                    })
+                    .collect();
+                serde_json::json!({
+                    "input": name,
+                    "entry": pred.entry,
+                    "bindings": bindings,
+                    "confidence": pred.confidence,
+                    "total_bytes": pred.total_bytes(bindings),
+                    "sites": sites,
+                    "spec": spec,
+                    "features": features,
+                    "accuracy": score.as_ref().map(|s| {
+                        serde_json::json!({
+                            "sites_matched": s.sites_matched,
+                            "pattern_accuracy": s.pattern_accuracy(),
+                            "volume_err_pct": s.volume_err_pct,
+                            "request_err_pct": s.request_err_pct,
+                        })
+                    }),
+                })
+            })
+            .collect();
+        let report = serde_json::json!({ "version": 1, "entries": entries });
+        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    } else {
+        for (name, pred, bindings, spec, features, score) in &reports {
+            println!("== {name} :: {} ==", pred.entry);
+            let binds: Vec<String> = bindings.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!("  bindings: {}", binds.join(", "));
+            for s in &pred.sites {
+                println!(
+                    "  site {} -> {} [{}] bytes/op={} ops={} volume={} conf={:.2}",
+                    s.call,
+                    if s.target.is_empty() { "?" } else { &s.target },
+                    s.pattern.label(),
+                    s.bytes_per_op.render(),
+                    s.ops.render(),
+                    s.volume_bytes(bindings),
+                    s.confidence,
+                );
+            }
+            println!(
+                "  predicted: total={} bytes, {} iterations, confidence {:.2}",
+                pred.total_bytes(bindings),
+                spec.loop_iterations,
+                pred.confidence,
+            );
+            println!(
+                "  features: read={:.2} collective={:.2} random={:.2} strided={:.2} \
+                 mean_req={:.0}B meta_ratio={:.2}",
+                features.read_fraction,
+                features.collective_fraction,
+                features.random_fraction,
+                features.strided_fraction,
+                features.mean_request_bytes,
+                features.metadata_ratio,
+            );
+            match score {
+                Some(s) => println!(
+                    "  accuracy: {}/{} patterns, volume err {:.1}% ({} vs {} observed)",
+                    s.patterns_correct,
+                    s.sites_matched,
+                    s.volume_err_pct,
+                    s.volume_predicted,
+                    s.volume_observed,
+                ),
+                None => println!("  accuracy: replay unavailable"),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

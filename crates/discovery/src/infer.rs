@@ -1,0 +1,263 @@
+//! Static I/O workload inference: lower an abstract-interpretation
+//! prediction into an executable workload spec.
+//!
+//! `tunio-analysis`'s [`predict_program`] produces per-entry
+//! [`IoPrediction`]s whose byte counts and op counts are symbolic in the
+//! entry function's parameters. This module closes the loop to the rest of
+//! the framework:
+//!
+//! 1. [`default_bindings`] picks plausible concrete values for those
+//!    parameters (small counts for loop-like names, large counts for
+//!    size-like names), mirroring how a user would size a smoke run.
+//! 2. [`lower_prediction`] evaluates the prediction under the bindings and
+//!    emits a [`tunio_workloads::AppSpec`] plus the distilled
+//!    [`tunio_workloads::WorkloadFeatures`] the tuner warm-starts from.
+//! 3. [`infer_program`] runs the whole pipeline over a parsed program and
+//!    returns one [`InferredWorkload`] per entry function.
+//!
+//! Every inference emits `tunio.infer.app` spans (duration, confidence)
+//! and `tunio.infer.site` events, and bumps the `tunio.infer.apps` /
+//! `tunio.infer.sites` counters, so `tunio-report` can show inference time
+//! and per-app prediction confidence.
+
+use std::collections::BTreeMap;
+use tunio_analysis::iomodel::{Direction, IoPrediction, PredPattern};
+use tunio_analysis::predict_program;
+use tunio_cminus::ast::Program;
+use tunio_iosim::{AccessPattern, IoKind};
+use tunio_workloads::{AppSpec, IterationIo, WorkloadFeatures};
+
+/// Default concrete value for loop-like size parameters (steps, rounds…).
+const DEFAULT_ITER_PARAM: i64 = 12;
+/// Default concrete value for data-size parameters (element counts…).
+const DEFAULT_SIZE_PARAM: i64 = 32_768;
+/// Bytes per logging op assumed when lowering (one printf-style line).
+const LOGGING_BYTES_PER_OP: u64 = 64;
+
+/// One entry function's inferred workload: the raw symbolic prediction,
+/// the concrete parameter bindings used to evaluate it, and the lowered
+/// spec + feature vector.
+#[derive(Debug, Clone)]
+pub struct InferredWorkload {
+    /// The symbolic prediction from abstract interpretation.
+    pub prediction: IoPrediction,
+    /// Concrete values assigned to the entry's parameters.
+    pub bindings: BTreeMap<String, i64>,
+    /// Executable workload spec lowered from the prediction.
+    pub spec: AppSpec,
+    /// Scale-free feature summary for tuner warm-start.
+    pub features: WorkloadFeatures,
+}
+
+/// Choose plausible concrete values for an entry function's parameters:
+/// names that look like iteration counts (`steps`, `rounds`, `frames`,
+/// `probes`, `iters`) get a small value; everything else is treated as a
+/// data size and gets a large one.
+pub fn default_bindings(params: &[String]) -> BTreeMap<String, i64> {
+    let mut out = BTreeMap::new();
+    for p in params {
+        let lower = p.to_ascii_lowercase();
+        let looks_iter = ["step", "round", "frame", "probe", "iter"]
+            .iter()
+            .any(|m| lower.contains(m));
+        out.insert(
+            p.clone(),
+            if looks_iter {
+                DEFAULT_ITER_PARAM
+            } else {
+                DEFAULT_SIZE_PARAM
+            },
+        );
+    }
+    out
+}
+
+fn lower_pattern(p: &PredPattern) -> (AccessPattern, bool) {
+    match p {
+        PredPattern::CollectiveLike => (AccessPattern::Contiguous, true),
+        PredPattern::Sequential => (AccessPattern::Contiguous, false),
+        PredPattern::Strided { stride } => (AccessPattern::Strided { record: *stride }, false),
+        PredPattern::Random => (AccessPattern::Random, false),
+    }
+}
+
+/// Evaluate a symbolic prediction under concrete `bindings` and lower it
+/// to an [`AppSpec`] + [`WorkloadFeatures`] pair.
+///
+/// The lowering spreads each site's total predicted traffic evenly across
+/// the entry's main-loop iterations (conditional sites such as FLASH's
+/// every-4th-step plotfile become fractional per-iteration byte counts
+/// rounded down), attaches per-loop metadata to the first site, and models
+/// logging as one small write per predicted logging op.
+pub fn lower_prediction(
+    prediction: &IoPrediction,
+    bindings: &BTreeMap<String, i64>,
+) -> (AppSpec, WorkloadFeatures) {
+    let span = tunio_trace::span(
+        "tunio.infer.app",
+        vec![
+            ("app", prediction.entry.clone().into()),
+            ("confidence", prediction.confidence.into()),
+            ("sites", prediction.sites.len().into()),
+        ],
+    );
+    let iters = prediction
+        .loop_iterations
+        .eval(bindings)
+        .unwrap_or(1)
+        .max(1) as u64;
+    let eval0 = |v: &tunio_analysis::AbsVal| v.eval(bindings).unwrap_or(0).max(0) as u64;
+
+    let meta_loop_total = eval0(&prediction.meta_loop);
+    let mut iteration_io = Vec::new();
+    for (i, site) in prediction.sites.iter().enumerate() {
+        let total = site.volume_bytes(bindings);
+        let ops_total = eval0(&site.ops);
+        let (pattern, collective_capable) = lower_pattern(&site.pattern);
+        let io = IterationIo {
+            dataset: if site.target.is_empty() {
+                site.call.clone()
+            } else {
+                site.target.clone()
+            },
+            kind: match site.dir {
+                Direction::Read => IoKind::Read,
+                Direction::Write => IoKind::Write,
+            },
+            per_proc_bytes: total / iters,
+            ops_per_proc: (ops_total / iters).max(1),
+            pattern,
+            meta_ops: if i == 0 { meta_loop_total / iters } else { 0 },
+            collective_capable: collective_capable || site.collective,
+            chunk_reuse_bytes: 0,
+            pre_striped: 0,
+        };
+        tunio_trace::event(
+            "tunio.infer.site",
+            vec![
+                ("bytes", total.into()),
+                ("ops", ops_total.into()),
+                ("confidence", site.confidence.into()),
+            ],
+        );
+        tunio_trace::counter("tunio.infer.sites").inc(1);
+        iteration_io.push(io);
+    }
+
+    let spec = AppSpec {
+        name: prediction.entry.clone(),
+        setup_meta_ops: eval0(&prediction.meta_setup),
+        setup_header_bytes: 0,
+        loop_iterations: iters.min(u32::MAX as u64) as u32,
+        compute_per_iteration_s: 0.0,
+        iteration_io,
+        logging_ops_per_iteration: eval0(&prediction.logging_loop) / iters,
+        logging_bytes_per_op: LOGGING_BYTES_PER_OP,
+    };
+    let features = WorkloadFeatures::from_spec(&spec, prediction.confidence);
+    tunio_trace::counter("tunio.infer.apps").inc(1);
+    drop(span);
+    (spec, features)
+}
+
+/// Run the full static-inference pipeline over a parsed program: predict
+/// every entry function's I/O, bind its parameters with
+/// [`default_bindings`] (overridden by `overrides` where names match), and
+/// lower each prediction. Entries are returned in `predict_program` order.
+pub fn infer_program(prog: &Program, overrides: &BTreeMap<String, i64>) -> Vec<InferredWorkload> {
+    predict_program(prog)
+        .into_iter()
+        .map(|prediction| {
+            let mut bindings = default_bindings(&prediction.params);
+            for (k, v) in overrides {
+                if bindings.contains_key(k) {
+                    bindings.insert(k.clone(), *v);
+                }
+            }
+            let (spec, features) = lower_prediction(&prediction, &bindings);
+            InferredWorkload {
+                prediction,
+                bindings,
+                spec,
+                features,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tunio_cminus::parser::parse;
+    use tunio_cminus::samples;
+
+    fn infer_sample(src: &str) -> InferredWorkload {
+        let prog = parse(src).unwrap();
+        let mut all = infer_program(&prog, &BTreeMap::new());
+        assert_eq!(all.len(), 1);
+        all.remove(0)
+    }
+
+    #[test]
+    fn binding_heuristic_separates_iters_from_sizes() {
+        let b = default_bindings(&["num_steps".into(), "particles".into()]);
+        assert_eq!(b["num_steps"], DEFAULT_ITER_PARAM);
+        assert_eq!(b["particles"], DEFAULT_SIZE_PARAM);
+    }
+
+    #[test]
+    fn vpic_lowers_to_collective_writes() {
+        let iw = infer_sample(samples::VPIC_IO);
+        assert_eq!(iw.spec.name, "vpic_dump");
+        assert_eq!(iw.spec.loop_iterations, DEFAULT_ITER_PARAM as u32);
+        assert_eq!(iw.spec.iteration_io.len(), 1);
+        let io = &iw.spec.iteration_io[0];
+        assert_eq!(io.kind, IoKind::Write);
+        assert_eq!(io.per_proc_bytes, 8 * DEFAULT_SIZE_PARAM as u64);
+        assert!(io.collective_capable);
+        assert_eq!(io.dataset, "x");
+        assert!(iw.features.collective_fraction > 0.99);
+        // One printf every diag_interval=10 steps: 2 logging ops over 12
+        // iterations floors to 0 per iteration.
+        assert_eq!(iw.spec.logging_ops_per_iteration, 0);
+        assert!(iw.spec.setup_meta_ops > 0);
+    }
+
+    #[test]
+    fn ior_lowers_to_random_reads() {
+        let iw = infer_sample(samples::IOR_RANDOM_IO);
+        let io = &iw.spec.iteration_io[0];
+        assert_eq!(io.kind, IoKind::Read);
+        assert_eq!(io.pattern, AccessPattern::Random);
+        assert_eq!(io.per_proc_bytes, 262_144);
+        assert!(iw.features.random_fraction > 0.99);
+        assert_eq!(iw.features.read_fraction, 1.0);
+    }
+
+    #[test]
+    fn gyro_lowers_to_strided_writes() {
+        let iw = infer_sample(samples::GYRO_STRIDED_IO);
+        let io = &iw.spec.iteration_io[0];
+        assert_eq!(io.pattern, AccessPattern::Strided { record: 4_194_304 });
+        assert!(iw.features.strided_fraction > 0.99);
+    }
+
+    #[test]
+    fn overrides_replace_default_bindings() {
+        let prog = parse(samples::NYX_LOG_IO).unwrap();
+        let mut ov = BTreeMap::new();
+        ov.insert("steps".to_string(), 3i64);
+        ov.insert("unrelated".to_string(), 99i64);
+        let iw = infer_program(&prog, &ov).remove(0);
+        assert_eq!(iw.bindings["steps"], 3);
+        assert!(!iw.bindings.contains_key("unrelated"));
+        assert_eq!(iw.spec.loop_iterations, 3);
+    }
+
+    #[test]
+    fn pure_compute_has_no_io() {
+        let iw = infer_sample(samples::PURE_COMPUTE);
+        assert!(iw.spec.iteration_io.is_empty());
+        assert_eq!(iw.features.total_bytes, 0);
+    }
+}

@@ -27,19 +27,30 @@
 //! [`bridge`] connects a discovered kernel to the workload model so the
 //! simulator can execute the matching [`tunio_workloads::Variant`], and
 //! [`accuracy`] computes the kernel-fidelity metrics of Fig 8c.
+//!
+//! The crate also hosts the *static workload inference* path: [`infer`]
+//! lowers `tunio_analysis::predict_program` predictions into executable
+//! [`tunio_workloads::AppSpec`]s and warm-start feature vectors,
+//! [`dynexec`] is a concrete replay interpreter used as ground truth, and
+//! [`accuracy`] scores predicted vs. observed patterns and volumes.
 
 #![warn(missing_docs)]
 
 pub mod accuracy;
 pub mod bridge;
+pub mod dynexec;
 pub mod extensions;
+pub mod infer;
 pub mod iocalls;
 pub mod kernel;
 pub mod marking;
 pub mod slicing;
 pub mod transform;
 
+pub use accuracy::{score_corpus, score_inference, CorpusScore, InferenceScore};
 pub use bridge::{discover_io, DiscoveryOptions, IoKernel};
+pub use dynexec::{replay, DynTrace, SiteObs};
+pub use infer::{default_bindings, infer_program, lower_prediction, InferredWorkload};
 pub use iocalls::{classify_call, CallClass};
 pub use kernel::reconstruct;
 pub use marking::{mark_program, Marking};

@@ -1,0 +1,156 @@
+//! Golden-output regression test for static workload inference.
+//!
+//! Runs `tunio_discovery::infer_program` over every built-in sample and
+//! renders each inferred workload — the symbolic prediction, the default
+//! parameter bindings, the lowered spec and the distilled feature vector
+//! — into one deterministic text snapshot under `tests/golden/`. Any
+//! change to the abstract interpreter, the lowering or the binding
+//! heuristic shows up as a reviewable diff here.
+//!
+//! When a change intentionally moves the output, re-bless with:
+//!
+//! ```text
+//! TUNIO_BLESS=1 cargo test -p tunio-discovery --test golden_infer
+//! ```
+//!
+//! and commit the updated snapshot together with the change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use tunio_cminus::parser::parse;
+use tunio_cminus::samples;
+use tunio_discovery::{infer_program, InferredWorkload};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("TUNIO_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             TUNIO_BLESS=1 cargo test -p tunio-discovery --test golden_infer",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden inference output {name} diverged; if the change is intentional, re-bless \
+         with TUNIO_BLESS=1 cargo test -p tunio-discovery --test golden_infer"
+    );
+}
+
+fn render_inference(out: &mut String, iw: &InferredWorkload) {
+    let p = &iw.prediction;
+    writeln!(
+        out,
+        "entry {}({})  confidence {:.2}",
+        p.entry,
+        p.params.join(", "),
+        p.confidence
+    )
+    .unwrap();
+    writeln!(out, "  loop iterations : {}", p.loop_iterations.render()).unwrap();
+    writeln!(
+        out,
+        "  meta            : setup={} loop={}",
+        p.meta_setup.render(),
+        p.meta_loop.render()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  logging         : setup={} loop={}",
+        p.logging_setup.render(),
+        p.logging_loop.render()
+    )
+    .unwrap();
+    for (i, site) in p.sites.iter().enumerate() {
+        writeln!(
+            out,
+            "  site[{i}] {} -> {}  {:?} pattern={}{}  bytes/op={} ops={}  conf {:.2}  volume {} B",
+            site.call,
+            if site.target.is_empty() {
+                "<anon>"
+            } else {
+                &site.target
+            },
+            site.dir,
+            site.pattern.label(),
+            if site.collective { " collective" } else { "" },
+            site.bytes_per_op.render(),
+            site.ops.render(),
+            site.confidence,
+            site.volume_bytes(&iw.bindings),
+        )
+        .unwrap();
+    }
+    let binds: Vec<String> = iw
+        .bindings
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    writeln!(out, "  bindings        : {}", binds.join(" ")).unwrap();
+    let s = &iw.spec;
+    writeln!(
+        out,
+        "  spec            : iters={} setup_meta={} logging={}x{}B",
+        s.loop_iterations, s.setup_meta_ops, s.logging_ops_per_iteration, s.logging_bytes_per_op
+    )
+    .unwrap();
+    for (i, io) in s.iteration_io.iter().enumerate() {
+        writeln!(
+            out,
+            "  io[{i}]           : {} {:?} {:?} {} B/iter x {} ops, meta {}{}",
+            io.dataset,
+            io.kind,
+            io.pattern,
+            io.per_proc_bytes,
+            io.ops_per_proc,
+            io.meta_ops,
+            if io.collective_capable {
+                ", collective-capable"
+            } else {
+                ""
+            },
+        )
+        .unwrap();
+    }
+    let f = &iw.features;
+    writeln!(
+        out,
+        "  features        : total={} B read={:.3} req={:.1} coll={:.3} rand={:.3} \
+         strided={:.3} meta={:.3} conf={:.2}",
+        f.total_bytes,
+        f.read_fraction,
+        f.mean_request_bytes,
+        f.collective_fraction,
+        f.random_fraction,
+        f.strided_fraction,
+        f.metadata_ratio,
+        f.confidence
+    )
+    .unwrap();
+}
+
+/// Full inference dump over every sample, byte-compared to the snapshot.
+#[test]
+fn sample_inference_matches_golden() {
+    let mut out = String::new();
+    for (name, src) in samples::all_samples() {
+        let program = parse(src).expect("samples parse");
+        writeln!(out, "== {name} ==").unwrap();
+        for iw in infer_program(&program, &std::collections::BTreeMap::new()) {
+            render_inference(&mut out, &iw);
+        }
+    }
+    check_golden("sample_inference.txt", &out);
+}

@@ -74,6 +74,32 @@ pub struct LayerTotals {
     pub ops: f64,
 }
 
+/// One static workload inference reconstructed from a `tunio.infer.app`
+/// span (emitted by `tunio_discovery::infer::lower_prediction`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceRow {
+    /// Entry function that was inferred.
+    pub app: String,
+    /// Prediction confidence in [0, 1].
+    pub confidence: f64,
+    /// I/O call sites the static model classified.
+    pub sites: u64,
+    /// Real wall time of the inference (span duration), microseconds.
+    pub wall_us: u64,
+}
+
+/// Warm-start application reconstructed from a `campaign.warm_start`
+/// event (emitted when a campaign seeds its search from inference).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStartInfo {
+    /// App the features were inferred from.
+    pub app: String,
+    /// Confidence of the inference behind the features.
+    pub confidence: f64,
+    /// Seed configurations handed to the strategy.
+    pub seeds: u64,
+}
+
 /// Everything the report knows about one campaign in the trace.
 #[derive(Debug, Clone, Default)]
 pub struct CampaignSummary {
@@ -113,6 +139,11 @@ pub struct CampaignSummary {
     pub quarantined_keys: Option<u64>,
     /// Evaluations served the penalty value.
     pub penalties_served: Option<u64>,
+    /// Static workload inferences that preceded the campaign, in order.
+    pub inferences: Vec<InferenceRow>,
+    /// Warm-start application, when the campaign was seeded from
+    /// inferred features.
+    pub warm_start: Option<WarmStartInfo>,
 }
 
 impl CampaignSummary {
@@ -276,6 +307,23 @@ pub fn summarize(records: &[Record]) -> Vec<CampaignSummary> {
                 totals.bytes += f64_field(r, "bytes").unwrap_or(0.0);
                 totals.ops += f64_field(r, "ops").unwrap_or(0.0);
             }
+            "tunio.infer.app" => {
+                open = true;
+                cur.inferences.push(InferenceRow {
+                    app: str_field(r, "app").unwrap_or("?").to_string(),
+                    confidence: f64_field(r, "confidence").unwrap_or(0.0),
+                    sites: u64_field(r, "sites").unwrap_or(0),
+                    wall_us: r.dur_us.unwrap_or(0),
+                });
+            }
+            "campaign.warm_start" => {
+                open = true;
+                cur.warm_start = Some(WarmStartInfo {
+                    app: str_field(r, "app").unwrap_or("?").to_string(),
+                    confidence: f64_field(r, "confidence").unwrap_or(0.0),
+                    seeds: u64_field(r, "seeds").unwrap_or(0),
+                });
+            }
             "stop.decision" => {
                 open = true;
                 cur.decisions.push(StopDecision {
@@ -322,7 +370,11 @@ pub fn summarize(records: &[Record]) -> Vec<CampaignSummary> {
             _ => {}
         }
     }
-    if open || (!cur.generations.is_empty() || !cur.decisions.is_empty()) {
+    if open
+        || !cur.generations.is_empty()
+        || !cur.decisions.is_empty()
+        || !cur.inferences.is_empty()
+    {
         out.push(cur);
     }
     // Derive missing aggregates from the generation rows.
@@ -447,6 +499,21 @@ pub fn render(s: &CampaignSummary) -> String {
     }
     if let Some(wall) = s.campaign_wall_us {
         out.push_str(&format!("real wall time    : {}\n", fmt_us(wall)));
+    }
+    for inf in &s.inferences {
+        out.push_str(&format!(
+            "inference         : {} — {} sites, confidence {:.2}, {}\n",
+            inf.app,
+            inf.sites,
+            inf.confidence,
+            fmt_us(inf.wall_us)
+        ));
+    }
+    if let Some(ws) = &s.warm_start {
+        out.push_str(&format!(
+            "warm start        : seeded from {} ({} seeds, confidence {:.2})\n",
+            ws.app, ws.seeds, ws.confidence
+        ));
     }
     if let (Some(h), Some(e)) = (s.cache_hits, s.evaluations) {
         let rate = s.cache_hit_rate().unwrap_or(0.0);
@@ -720,6 +787,58 @@ mod tests {
         assert!(text.contains(
             "-----+-----------+---------------+--------+---------+--------+--------+------\n"
         ));
+    }
+
+    fn inference_trace() -> String {
+        let lines = [
+            r#"{"t_us":100,"name":"tunio.infer.app","dur_us":850,"fields":{"app":"vpic_dump","confidence":0.9,"sites":1}}"#.to_string(),
+            r#"{"t_us":200,"name":"campaign.warm_start","fields":{"app":"vpic_dump","confidence":0.9,"seeds":2}}"#.to_string(),
+            gen_record(1, 100e6, 60.0),
+            r#"{"t_us":2600,"name":"campaign.done","fields":{"kind":"TunIO","app":"vpic","best_perf":100e6,"default_perf":50e6}}"#.to_string(),
+        ];
+        lines.join("\n")
+    }
+
+    #[test]
+    fn inference_spans_and_warm_start_are_summarized() {
+        let sums = summarize(&parse_jsonl(&inference_trace()).unwrap());
+        assert_eq!(sums.len(), 1);
+        let s = &sums[0];
+        assert_eq!(s.inferences.len(), 1);
+        assert_eq!(s.inferences[0].app, "vpic_dump");
+        assert_eq!(s.inferences[0].sites, 1);
+        assert_eq!(s.inferences[0].wall_us, 850);
+        assert!((s.inferences[0].confidence - 0.9).abs() < 1e-12);
+        let ws = s.warm_start.as_ref().unwrap();
+        assert_eq!(ws.app, "vpic_dump");
+        assert_eq!(ws.seeds, 2);
+
+        let text = report(&inference_trace()).unwrap();
+        assert!(
+            text.contains("inference         : vpic_dump — 1 sites, confidence 0.90, 850 µs"),
+            "{text}"
+        );
+        assert!(
+            text.contains("warm start        : seeded from vpic_dump (2 seeds, confidence 0.90)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn inference_only_traces_still_summarize() {
+        let line = r#"{"t_us":100,"name":"tunio.infer.app","dur_us":850,"fields":{"app":"ior_read","confidence":0.8,"sites":1}}"#;
+        let sums = summarize(&parse_jsonl(line).unwrap());
+        assert_eq!(sums.len(), 1);
+        assert_eq!(sums[0].inferences[0].app, "ior_read");
+        let text = report(line).unwrap();
+        assert!(text.contains("ior_read"), "{text}");
+    }
+
+    #[test]
+    fn cold_start_traces_render_without_inference_lines() {
+        let text = report(&sample_trace()).unwrap();
+        assert!(!text.contains("inference "), "{text}");
+        assert!(!text.contains("warm start"), "{text}");
     }
 
     #[test]

@@ -262,6 +262,18 @@ impl SearchStrategy for BoStrategy {
         }
     }
 
+    fn warm_start(&mut self, seeds: &[Configuration]) {
+        // The first seed becomes the incumbent the warmup exploration
+        // and local perturbations are anchored on. Ignored once the
+        // search has produced or observed anything (including after a
+        // checkpoint restore), so resumed streams are unaffected.
+        if let Some(seed) = seeds.first() {
+            if self.best_perf.is_none() && self.proposed == 0 {
+                self.best = seed.clone();
+            }
+        }
+    }
+
     fn propose(&mut self, max: usize) -> Vec<Configuration> {
         let n = max.min(self.cfg.max_evals.saturating_sub(self.proposed));
         let mut out = Vec::with_capacity(n);
@@ -455,6 +467,23 @@ mod tests {
             mean_gene > (card0 - 1) as f64 * 0.5,
             "surrogate failed to steer: mean first gene {mean_gene}"
         );
+    }
+
+    #[test]
+    fn bo_warm_start_anchors_the_incumbent() {
+        let sp = space();
+        let mut seed = sp.default_config();
+        for p in ParamId::ALL {
+            seed.set_gene(p, sp.cardinality(p) - 1);
+        }
+        let mut bo = BoStrategy::new(BoConfig::for_budget(12, 4, 5), sp.clone());
+        bo.warm_start(std::slice::from_ref(&seed));
+        assert_eq!(bo.best, seed);
+        // Once proposals have started, seeds no longer apply.
+        let mut started = BoStrategy::new(BoConfig::for_budget(12, 4, 5), sp.clone());
+        let _ = started.propose(1);
+        started.warm_start(std::slice::from_ref(&seed));
+        assert_eq!(started.best, sp.default_config());
     }
 
     #[test]

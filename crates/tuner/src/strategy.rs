@@ -46,6 +46,16 @@ pub trait SearchStrategy {
     /// the subset; everything else stays at the incumbent value.
     fn set_subset(&mut self, subset: &[ParamId]);
 
+    /// Inject warm-start seed configurations (e.g. derived from static
+    /// workload inference) before the first proposal. Strategies fold
+    /// the seeds into their starting state — the GA plants them in its
+    /// initial population, the asynchronous backends adopt the first
+    /// seed as the incumbent that proposals perturb. Must be called
+    /// before any `propose`/`observe`; once the search has started (or
+    /// state has been `restore`d from a snapshot) seeds are ignored, so
+    /// resumed campaigns are unaffected. Default: no-op.
+    fn warm_start(&mut self, _seeds: &[Configuration]) {}
+
     /// Propose up to `max` configurations to evaluate next.
     fn propose(&mut self, max: usize) -> Vec<Configuration>;
 
@@ -140,6 +150,7 @@ struct GaState {
     generation: u32,
     done: bool,
     initialized: bool,
+    seeds: Vec<Vec<usize>>,
 }
 
 /// The paper's genetic algorithm behind the [`SearchStrategy`] contract.
@@ -164,6 +175,7 @@ pub struct GaStrategy {
     generation: u32,
     done: bool,
     initialized: bool,
+    seeds: Vec<Configuration>,
 }
 
 impl GaStrategy {
@@ -181,6 +193,7 @@ impl GaStrategy {
             generation: 1,
             done: false,
             initialized: false,
+            seeds: Vec::new(),
         }
     }
 
@@ -241,6 +254,12 @@ impl SearchStrategy for GaStrategy {
         }
     }
 
+    fn warm_start(&mut self, seeds: &[Configuration]) {
+        if !self.initialized {
+            self.seeds = seeds.to_vec();
+        }
+    }
+
     fn propose(&mut self, max: usize) -> Vec<Configuration> {
         if self.done || max == 0 {
             return Vec::new();
@@ -248,6 +267,16 @@ impl SearchStrategy for GaStrategy {
         if !self.initialized {
             self.initialized = true;
             self.population.push(self.space.default_config());
+            // Warm-start seeds join the initial population right after
+            // the default configuration (capped so at least one mutant
+            // slot survives when pop_size is tiny); mutants fill the
+            // rest exactly as in the cold-start stream.
+            let seeds = std::mem::take(&mut self.seeds);
+            for seed in seeds.into_iter().take(self.pop_size() - 1) {
+                if self.population.len() < self.pop_size() {
+                    self.population.push(seed);
+                }
+            }
             while self.population.len() < self.pop_size() {
                 let mut c = self.space.default_config();
                 c.mutate_masked(&self.space, &self.subset, 0.12, &mut self.rng);
@@ -301,6 +330,7 @@ impl SearchStrategy for GaStrategy {
             generation: self.generation,
             done: self.done,
             initialized: self.initialized,
+            seeds: genes_vec(&self.seeds),
         };
         serde_json::to_string(&state).expect("GA state serializes")
     }
@@ -323,6 +353,7 @@ impl SearchStrategy for GaStrategy {
         self.generation = state.generation;
         self.done = state.done;
         self.initialized = state.initialized;
+        self.seeds = configs_from_genes(&state.seeds);
         Ok(())
     }
 }
@@ -381,6 +412,17 @@ impl SearchStrategy for RandomStrategy {
     fn set_subset(&mut self, subset: &[ParamId]) {
         if !subset.is_empty() {
             self.subset = subset.to_vec();
+        }
+    }
+
+    fn warm_start(&mut self, seeds: &[Configuration]) {
+        // Adopt the first seed as the incumbent that proposals redraw
+        // from — only before anything has been proposed or observed, so
+        // restored campaigns keep their checkpointed incumbent.
+        if let Some(seed) = seeds.first() {
+            if self.best_perf.is_none() && self.proposed == 0 {
+                self.best = seed.clone();
+            }
         }
     }
 
@@ -543,6 +585,16 @@ impl SearchStrategy for LhsStrategy {
         }
     }
 
+    fn warm_start(&mut self, seeds: &[Configuration]) {
+        // Seeds set the incumbent the stratified points are built on
+        // (its out-of-subset genes carry into every proposal).
+        if let Some(seed) = seeds.first() {
+            if self.best_perf.is_none() && self.proposed == 0 {
+                self.best = seed.clone();
+            }
+        }
+    }
+
     fn propose(&mut self, max: usize) -> Vec<Configuration> {
         let mut out = Vec::new();
         while out.len() < max && self.proposed < self.max_evals {
@@ -679,6 +731,113 @@ mod tests {
                 assert_eq!(hits, 1, "{} stratum {stratum} hit {hits} times", p.name());
             }
         }
+    }
+
+    fn seed_config(sp: &ParameterSpace) -> Configuration {
+        let mut c = sp.default_config();
+        for p in ParamId::ALL {
+            c.set_gene(p, sp.cardinality(p) - 1);
+        }
+        c
+    }
+
+    #[test]
+    fn ga_warm_start_plants_seeds_in_initial_population() {
+        let sp = space();
+        let seed = seed_config(&sp);
+        let mut ga = GaStrategy::new(
+            GaConfig {
+                population: 4,
+                max_iterations: 2,
+                seed: 7,
+                ..Default::default()
+            },
+            sp.clone(),
+        );
+        ga.warm_start(std::slice::from_ref(&seed));
+        let first = ga.propose(16);
+        assert_eq!(first[0], sp.default_config(), "default config still leads");
+        assert_eq!(first[1], seed, "seed follows the default");
+        assert_ne!(first[2], seed, "mutants fill the rest");
+    }
+
+    #[test]
+    fn ga_warm_start_after_init_is_ignored() {
+        let sp = space();
+        let mk = || {
+            GaStrategy::new(
+                GaConfig {
+                    population: 4,
+                    max_iterations: 2,
+                    seed: 7,
+                    ..Default::default()
+                },
+                sp.clone(),
+            )
+        };
+        let mut cold = mk();
+        let mut late = mk();
+        let a = cold.propose(16);
+        let _ = late.propose(16);
+        late.warm_start(&[seed_config(&sp)]);
+        for c in &a {
+            cold.observe(c, 1.0, 0.1);
+            late.observe(c, 1.0, 0.1);
+        }
+        assert_eq!(
+            cold.propose(16),
+            late.propose(16),
+            "late seeds must not fork the stream"
+        );
+    }
+
+    #[test]
+    fn ga_snapshot_roundtrips_pending_seeds() {
+        let sp = space();
+        let seed = seed_config(&sp);
+        let mut a = GaStrategy::new(
+            GaConfig {
+                population: 4,
+                max_iterations: 2,
+                seed: 3,
+                ..Default::default()
+            },
+            sp.clone(),
+        );
+        a.warm_start(std::slice::from_ref(&seed));
+        let snap = a.snapshot();
+        let mut b = GaStrategy::new(
+            GaConfig {
+                population: 4,
+                max_iterations: 2,
+                seed: 3,
+                ..Default::default()
+            },
+            sp,
+        );
+        b.restore(&snap).expect("restore");
+        assert_eq!(
+            a.propose(16),
+            b.propose(16),
+            "seeds survive snapshot/restore"
+        );
+    }
+
+    #[test]
+    fn async_warm_start_sets_incumbent_only_before_first_proposal() {
+        let sp = space();
+        let seed = seed_config(&sp);
+        let mut rs = RandomStrategy::new(sp.clone(), 10, 3);
+        rs.warm_start(std::slice::from_ref(&seed));
+        assert_eq!(rs.best, seed, "random adopts the seed incumbent");
+        let mut lhs = LhsStrategy::new(sp.clone(), 10, 4, 3);
+        lhs.warm_start(std::slice::from_ref(&seed));
+        assert_eq!(lhs.best, seed, "lhs adopts the seed incumbent");
+        // Once anything was proposed, seeds are ignored.
+        let mut started = RandomStrategy::new(sp.clone(), 10, 3);
+        let _ = started.propose(1);
+        started.warm_start(std::slice::from_ref(&seed));
+        assert_eq!(started.best, sp.default_config(), "late seed ignored");
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Static workload features distilled from an [`AppSpec`].
+//!
+//! The inference pipeline (crate `tunio-discovery`) lowers a statically
+//! predicted I/O model into an [`AppSpec`]; this module reduces that spec
+//! to a small numeric feature vector the tuner can warm-start from:
+//! which fraction of traffic is collective, how large the typical request
+//! is, how metadata-heavy the app is, and so on. The features are
+//! deliberately scale-free ratios (plus two absolute magnitudes) so the
+//! warm-start heuristics in `tunio-core` stay stable across app sizes.
+
+use crate::spec::AppSpec;
+use serde::{Deserialize, Serialize};
+use tunio_iosim::AccessPattern;
+
+/// Scale-free summary of an application's I/O behaviour, derived from a
+/// (possibly inferred) [`AppSpec`]. All `*_fraction` fields are weighted
+/// by bytes moved and lie in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadFeatures {
+    /// Application name the features describe.
+    pub app: String,
+    /// Total bytes moved per process across the whole run (setup header
+    /// plus every loop iteration; logging excluded).
+    pub total_bytes: u64,
+    /// Fraction of bulk bytes that are reads.
+    pub read_fraction: f64,
+    /// Mean bulk request size in bytes (bulk bytes / bulk ops).
+    pub mean_request_bytes: f64,
+    /// Fraction of bulk bytes moved by collective-capable accesses.
+    pub collective_fraction: f64,
+    /// Fraction of bulk bytes accessed at random offsets.
+    pub random_fraction: f64,
+    /// Fraction of bulk bytes accessed in a strided layout.
+    pub strided_fraction: f64,
+    /// Metadata ops per bulk data op (setup + per-iteration metadata).
+    pub metadata_ratio: f64,
+    /// Main-loop iteration count.
+    pub loop_iterations: u32,
+    /// Confidence the producer attached to the spec (1.0 when the spec
+    /// comes from a trusted source such as the hand-written app models).
+    pub confidence: f64,
+}
+
+impl WorkloadFeatures {
+    /// Distill features from a spec. `confidence` is carried through
+    /// verbatim so downstream consumers can damp warm-start aggressiveness
+    /// when the spec was inferred rather than measured.
+    pub fn from_spec(spec: &AppSpec, confidence: f64) -> Self {
+        let iters = u64::from(spec.loop_iterations.max(1));
+        let mut bulk_bytes = 0u64;
+        let mut bulk_ops = 0u64;
+        let mut read_bytes = 0u64;
+        let mut collective_bytes = 0u64;
+        let mut random_bytes = 0u64;
+        let mut strided_bytes = 0u64;
+        let mut loop_meta = 0u64;
+        for io in &spec.iteration_io {
+            let bytes = io.per_proc_bytes.saturating_mul(iters);
+            let ops = io.ops_per_proc.saturating_mul(iters);
+            bulk_bytes = bulk_bytes.saturating_add(bytes);
+            bulk_ops = bulk_ops.saturating_add(ops);
+            loop_meta = loop_meta.saturating_add(io.meta_ops.saturating_mul(iters));
+            if io.kind == tunio_iosim::IoKind::Read {
+                read_bytes = read_bytes.saturating_add(bytes);
+            }
+            if io.collective_capable {
+                collective_bytes = collective_bytes.saturating_add(bytes);
+            }
+            match io.pattern {
+                AccessPattern::Random => random_bytes = random_bytes.saturating_add(bytes),
+                AccessPattern::Strided { .. } => {
+                    strided_bytes = strided_bytes.saturating_add(bytes)
+                }
+                AccessPattern::Contiguous => {}
+            }
+        }
+        let frac = |part: u64| {
+            if bulk_bytes == 0 {
+                0.0
+            } else {
+                part as f64 / bulk_bytes as f64
+            }
+        };
+        WorkloadFeatures {
+            app: spec.name.clone(),
+            total_bytes: bulk_bytes.saturating_add(spec.setup_header_bytes),
+            read_fraction: frac(read_bytes),
+            mean_request_bytes: if bulk_ops == 0 {
+                0.0
+            } else {
+                bulk_bytes as f64 / bulk_ops as f64
+            },
+            collective_fraction: frac(collective_bytes),
+            random_fraction: frac(random_bytes),
+            strided_fraction: frac(strided_bytes),
+            metadata_ratio: if bulk_ops == 0 {
+                0.0
+            } else {
+                (spec.setup_meta_ops + loop_meta) as f64 / bulk_ops as f64
+            },
+            loop_iterations: spec.loop_iterations,
+            confidence: confidence.clamp(0.0, 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{bdcats, vpic};
+
+    #[test]
+    fn vpic_features_are_collective_writes() {
+        let f = WorkloadFeatures::from_spec(&vpic(), 1.0);
+        assert_eq!(f.app, "vpic");
+        assert!(f.total_bytes > 0);
+        assert_eq!(f.read_fraction, 0.0);
+        assert!(f.collective_fraction > 0.9, "{f:?}");
+        assert_eq!(f.random_fraction, 0.0);
+        assert!(f.mean_request_bytes > 0.0);
+        assert!(f.metadata_ratio >= 0.0);
+    }
+
+    #[test]
+    fn bdcats_features_see_reads() {
+        let f = WorkloadFeatures::from_spec(&bdcats(), 1.0);
+        assert!(f.read_fraction > 0.0, "{f:?}");
+        assert!(f.read_fraction < 1.0, "{f:?}");
+    }
+
+    #[test]
+    fn empty_spec_yields_zero_fractions() {
+        let spec = AppSpec {
+            name: "empty".into(),
+            setup_meta_ops: 0,
+            setup_header_bytes: 0,
+            loop_iterations: 0,
+            compute_per_iteration_s: 0.0,
+            iteration_io: vec![],
+            logging_ops_per_iteration: 0,
+            logging_bytes_per_op: 0,
+        };
+        let f = WorkloadFeatures::from_spec(&spec, 2.0);
+        assert_eq!(f.total_bytes, 0);
+        assert_eq!(f.read_fraction, 0.0);
+        assert_eq!(f.mean_request_bytes, 0.0);
+        assert_eq!(f.confidence, 1.0, "confidence clamps to [0,1]");
+    }
+}
