@@ -25,8 +25,9 @@ fn spec(kind: PipelineKind) -> CampaignSpec {
 
 fn main() {
     let space = ParameterSpace::tunio_default();
-    let smart_out = run_campaign(&spec(PipelineKind::ImpactFirstOnly));
-    let plain_out = run_campaign(&spec(PipelineKind::HsTunerNoStop));
+    let smart_out =
+        run_campaign(&spec(PipelineKind::ImpactFirstOnly)).expect("fault-free campaign");
+    let plain_out = run_campaign(&spec(PipelineKind::HsTunerNoStop)).expect("fault-free campaign");
     let smart = LabeledTrace::from_outcome("Impact-First Tuning", &smart_out);
     let plain = LabeledTrace::from_outcome("No Impact-First Tuning", &plain_out);
 

@@ -33,8 +33,10 @@ fn main() {
     let phases = full.phases();
 
     // Tune with each method (TunIO uses the kernel; H5Tuner the full app).
-    let tunio_run = run_campaign(&spec(PipelineKind::TunIo, Variant::Kernel));
-    let h5tuner_run = run_campaign(&spec(PipelineKind::HsTunerNoStop, Variant::Full));
+    let tunio_run =
+        run_campaign(&spec(PipelineKind::TunIo, Variant::Kernel)).expect("fault-free campaign");
+    let h5tuner_run = run_campaign(&spec(PipelineKind::HsTunerNoStop, Variant::Full))
+        .expect("fault-free campaign");
 
     // Production runtime of the *full* application under each final config.
     let untuned_min = sim

@@ -92,7 +92,7 @@ fn main() {
         seed: 2024,
         large_scale: false,
     };
-    let outcome = run_campaign(&spec);
+    let outcome = run_campaign(&spec).expect("fault-free campaign");
 
     // Flush and detach the sink so the file is complete before reading.
     tunio_trace::clear_sink();

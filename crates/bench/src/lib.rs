@@ -97,7 +97,7 @@ impl LabeledTrace {
 
 /// Run a campaign and wrap it with a label.
 pub fn labeled_campaign(label: impl Into<String>, spec: &CampaignSpec) -> LabeledTrace {
-    let outcome = run_campaign(spec);
+    let outcome = run_campaign(spec).expect("fault-free campaign");
     LabeledTrace::from_outcome(label, &outcome)
 }
 

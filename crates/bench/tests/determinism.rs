@@ -22,7 +22,8 @@ fn hacc_spec(kind: PipelineKind, seed: u64) -> CampaignSpec {
 }
 
 fn trace_json(spec: &CampaignSpec) -> String {
-    serde_json::to_string(&run_campaign(spec).trace).expect("trace serializes")
+    serde_json::to_string(&run_campaign(spec).expect("fault-free campaign").trace)
+        .expect("trace serializes")
 }
 
 #[test]

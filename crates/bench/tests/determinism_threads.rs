@@ -22,7 +22,8 @@ fn thread_count_does_not_change_the_trace() {
         large_scale: false,
     };
     let trace_json = |spec: &CampaignSpec| {
-        serde_json::to_string(&run_campaign(spec).trace).expect("trace serializes")
+        serde_json::to_string(&run_campaign(spec).expect("fault-free campaign").trace)
+            .expect("trace serializes")
     };
 
     std::env::set_var("RAYON_NUM_THREADS", "1");

@@ -32,7 +32,7 @@ fn source_to_tuned_configuration_end_to_end() {
     let variant = kernel.variant().unwrap();
 
     // …then tune the matching workload variant with the full pipeline.
-    let outcome = run_campaign(&spec(PipelineKind::TunIo, variant, 15, 5));
+    let outcome = run_campaign(&spec(PipelineKind::TunIo, variant, 15, 5)).unwrap();
     assert!(outcome.trace.best_perf > 1.5 * outcome.trace.default_perf);
     // The tuned configuration must enable the known key parameter.
     assert_eq!(
@@ -48,8 +48,8 @@ fn source_to_tuned_configuration_end_to_end() {
 
 #[test]
 fn campaigns_are_deterministic_across_reruns() {
-    let a = run_campaign(&spec(PipelineKind::TunIo, Variant::Kernel, 10, 77));
-    let b = run_campaign(&spec(PipelineKind::TunIo, Variant::Kernel, 10, 77));
+    let a = run_campaign(&spec(PipelineKind::TunIo, Variant::Kernel, 10, 77)).unwrap();
+    let b = run_campaign(&spec(PipelineKind::TunIo, Variant::Kernel, 10, 77)).unwrap();
     assert_eq!(a.trace.iterations(), b.trace.iterations());
     assert_eq!(a.trace.best_perf, b.trace.best_perf);
     assert_eq!(a.trace.best_config, b.trace.best_config);
@@ -58,8 +58,8 @@ fn campaigns_are_deterministic_across_reruns() {
 #[test]
 fn kernel_tuning_is_cheaper_at_equal_quality() {
     // Fig 8a's claim at reduced scale: same pipeline, kernel vs full app.
-    let full = run_campaign(&spec(PipelineKind::HsTunerNoStop, Variant::Full, 12, 9));
-    let kern = run_campaign(&spec(PipelineKind::HsTunerNoStop, Variant::Kernel, 12, 9));
+    let full = run_campaign(&spec(PipelineKind::HsTunerNoStop, Variant::Full, 12, 9)).unwrap();
+    let kern = run_campaign(&spec(PipelineKind::HsTunerNoStop, Variant::Kernel, 12, 9)).unwrap();
     assert!(kern.trace.total_cost_s() < full.trace.total_cost_s());
     // Kernel tuning finds a configuration of comparable quality.
     assert!(kern.trace.best_perf > 0.8 * full.trace.best_perf);
@@ -74,8 +74,8 @@ fn loop_reduction_multiplies_roti() {
     red_spec.variant = Variant::ReducedKernel {
         keep_fraction: 0.01,
     };
-    let full = run_campaign(&full_spec);
-    let reduced = run_campaign(&red_spec);
+    let full = run_campaign(&full_spec).unwrap();
+    let reduced = run_campaign(&red_spec).unwrap();
     let full_peak = peak_roti(&full.trace).map(|p| p.roti).unwrap_or(0.0);
     let red_peak = peak_roti(&reduced.trace).map(|p| p.roti).unwrap_or(0.0);
     assert!(
@@ -86,8 +86,8 @@ fn loop_reduction_multiplies_roti() {
 
 #[test]
 fn early_stoppers_save_budget_without_losing_everything() {
-    let no_stop = run_campaign(&spec(PipelineKind::HsTunerNoStop, Variant::Kernel, 30, 7));
-    let rl = run_campaign(&spec(PipelineKind::RlStopOnly, Variant::Kernel, 30, 7));
+    let no_stop = run_campaign(&spec(PipelineKind::HsTunerNoStop, Variant::Kernel, 30, 7)).unwrap();
+    let rl = run_campaign(&spec(PipelineKind::RlStopOnly, Variant::Kernel, 30, 7)).unwrap();
     assert!(rl.trace.total_cost_s() <= no_stop.trace.total_cost_s());
     assert!(
         rl.trace.best_perf > 0.55 * no_stop.trace.best_perf,
@@ -108,7 +108,8 @@ fn bdcats_large_scale_campaign_runs() {
         population: 6,
         seed: 4,
         large_scale: true,
-    });
+    })
+    .unwrap();
     assert!(outcome.trace.best_perf > outcome.trace.default_perf);
     // perf should land in tens of GiB/s, not single digits or thousands.
     let gibs = outcome.trace.best_perf / (1u64 << 30) as f64;
@@ -122,7 +123,8 @@ fn roti_curves_are_finite_and_positive() {
         Variant::Kernel,
         20,
         13,
-    ));
+    ))
+    .unwrap();
     for p in roti_curve(&outcome.trace) {
         assert!(p.roti.is_finite());
         assert!(p.roti >= 0.0);

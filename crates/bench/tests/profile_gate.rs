@@ -43,7 +43,7 @@ fn smoke_spec() -> CampaignSpec {
 
 #[test]
 fn smoke_profile_passes_regression_gate() {
-    let outcome = run_campaign(&smoke_spec());
+    let outcome = run_campaign(&smoke_spec()).expect("fault-free campaign");
     let profile = &outcome.profile;
 
     // Acceptance: the attribution partition must reconstruct the
@@ -87,7 +87,7 @@ fn gate_flags_injected_two_x_slowdown() {
     // Acceptance criterion: a synthetic 2× slowdown of a single layer
     // must trip the gate. Inject it by re-charging one layer's own self
     // time on top of itself.
-    let outcome = run_campaign(&smoke_spec());
+    let outcome = run_campaign(&smoke_spec()).expect("fault-free campaign");
     let baseline = &outcome.profile;
     let mut slowed = baseline.clone();
     let lustre = baseline.get(Layer::LustreData);
@@ -117,7 +117,7 @@ fn trace_carries_layer_events_and_report_renders_attribution() {
     // sink installation is process-global, so this is the only test in
     // this binary that touches the tracer.
     let sink = tunio_trace::install_memory_sink();
-    let outcome: CampaignOutcome = run_campaign(&smoke_spec());
+    let outcome: CampaignOutcome = run_campaign(&smoke_spec()).expect("fault-free campaign");
     tunio_trace::clear_sink();
     let records = sink.take();
 

@@ -20,7 +20,7 @@ fn campaign_jsonl_trace_round_trips_through_report() {
         seed: 7,
         large_scale: false,
     };
-    let outcome = run_campaign(&spec);
+    let outcome = run_campaign(&spec).expect("fault-free campaign");
     tunio_trace::clear_sink();
 
     let text = std::fs::read_to_string(&path).expect("read trace");

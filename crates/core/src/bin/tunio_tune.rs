@@ -368,6 +368,7 @@ fn main() -> ExitCode {
         abort_after: args.abort_after,
         threads: args.threads,
         warm_start,
+        preload: Vec::new(),
     };
     if args.resume && args.checkpoint.is_none() {
         eprintln!("error: --resume needs --checkpoint");

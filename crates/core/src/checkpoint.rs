@@ -39,7 +39,7 @@ use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, Write as IoWrite};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use tunio_iosim::Profile;
 use tunio_tuner::{CacheEntry, IterationRecord};
 
@@ -508,6 +508,81 @@ pub fn load(path: &Path) -> Result<(CheckpointHeader, Vec<CheckpointGeneration>)
     Ok((header, generations))
 }
 
+/// One WAL in a scanned directory that this process can resume.
+#[derive(Debug)]
+pub struct ScannedWal {
+    /// Path of the `.jsonl` file.
+    pub path: PathBuf,
+    /// Its validated header.
+    pub header: CheckpointHeader,
+    /// Intact generations in the trusted prefix (a torn tail has
+    /// already been dropped by [`load`]).
+    pub generations: usize,
+    /// Whether the last trusted generation ended the campaign.
+    pub finished: bool,
+}
+
+/// One WAL that must not be resumed, and why.
+#[derive(Debug)]
+pub struct QuarantinedWal {
+    /// Path of the offending file.
+    pub path: PathBuf,
+    /// Human-readable reason (unreadable, corrupt header, a campaign
+    /// this build cannot host, ...).
+    pub reason: String,
+}
+
+/// Result of [`scan_dir`]: the partition of a WAL directory into
+/// checkpoints a restarted service resumes and checkpoints it must set
+/// aside.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Resumable checkpoints, sorted by file name.
+    pub resumable: Vec<ScannedWal>,
+    /// Everything else, sorted by file name, each with its reason.
+    pub quarantined: Vec<QuarantinedWal>,
+}
+
+/// Scan a directory of campaign WALs, partitioning them into resumable
+/// and quarantined. Startup recovery must never refuse to boot over one
+/// bad file: a corrupt header, an unreadable file, or a checkpoint
+/// written by a campaign this build cannot host (`validate` errs — e.g.
+/// an unknown strategy label) quarantines that WAL and the scan moves
+/// on. Only `.jsonl` files are considered; a torn *tail* is not grounds
+/// for quarantine (it heals on resume, [`CheckpointWriter::rewrite`]).
+///
+/// `validate` receives each parsed header and errs with a reason when
+/// the campaign it names cannot run here.
+pub fn scan_dir(
+    dir: &Path,
+    validate: impl Fn(&CheckpointHeader) -> Result<(), String>,
+) -> io::Result<WalScan> {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+        .collect();
+    names.sort();
+    let mut scan = WalScan::default();
+    for path in names {
+        match load(&path) {
+            Ok((header, generations)) => match validate(&header) {
+                Ok(()) => scan.resumable.push(ScannedWal {
+                    path,
+                    finished: generations.last().is_some_and(|g| g.stopped),
+                    generations: generations.len(),
+                    header,
+                }),
+                Err(reason) => scan.quarantined.push(QuarantinedWal { path, reason }),
+            },
+            Err(e) => scan.quarantined.push(QuarantinedWal {
+                path,
+                reason: e.to_string(),
+            }),
+        }
+    }
+    Ok(scan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -642,6 +717,69 @@ mod tests {
             CheckpointError::SpecMismatch { field: "seed", .. }
         ));
         assert!(stored.ensure_matches(&header()).is_ok());
+    }
+
+    /// ISSUE 8 satellite: startup recovery over a directory holding one
+    /// good WAL, one with a torn tail, one corrupt beyond the header,
+    /// and one from a strategy this "build" refuses — the scan must
+    /// partition instead of refusing to boot.
+    #[test]
+    fn scan_dir_partitions_resumable_vs_quarantined() {
+        let dir = std::env::temp_dir().join("tunio-ckpt-scan");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Good: header + 2 intact generations.
+        let mut w = CheckpointWriter::create(&dir.join("a-good.jsonl"), &header()).unwrap();
+        w.write_generation(&generation(1)).unwrap();
+        w.write_generation(&generation(2)).unwrap();
+        drop(w);
+
+        // Torn tail: still resumable (heals on resume), one trusted gen.
+        let torn = dir.join("b-torn.jsonl");
+        let mut w = CheckpointWriter::create(&torn, &header()).unwrap();
+        w.write_generation(&generation(1)).unwrap();
+        drop(w);
+        let mut raw = std::fs::read_to_string(&torn).unwrap();
+        raw.push_str("{\"iteration\":2,\"rng_state\":[9,9");
+        std::fs::write(&torn, raw).unwrap();
+
+        // Corrupt: not a checkpoint at all.
+        std::fs::write(dir.join("c-garbage.jsonl"), "not json at all\n").unwrap();
+
+        // Wrong strategy: valid file, campaign this host rejects.
+        let mut alien = header();
+        alien.kind = "TunIO [strategy=alien]".into();
+        drop(CheckpointWriter::create(&dir.join("d-alien.jsonl"), &alien).unwrap());
+
+        // A non-jsonl bystander must be ignored entirely.
+        std::fs::write(dir.join("notes.txt"), "hello\n").unwrap();
+
+        let scan = scan_dir(&dir, |h| {
+            if h.kind.contains("strategy=alien") {
+                Err("unknown strategy `alien`".into())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap();
+
+        assert_eq!(scan.resumable.len(), 2, "{scan:?}");
+        assert!(scan.resumable[0].path.ends_with("a-good.jsonl"));
+        assert_eq!(scan.resumable[0].generations, 2);
+        assert!(scan.resumable[1].path.ends_with("b-torn.jsonl"));
+        assert_eq!(
+            scan.resumable[1].generations, 1,
+            "the torn tail is dropped, not quarantined"
+        );
+        assert_eq!(scan.quarantined.len(), 2, "{scan:?}");
+        assert!(scan.quarantined[0].path.ends_with("c-garbage.jsonl"));
+        assert!(scan.quarantined[0]
+            .reason
+            .contains("not a usable checkpoint"));
+        assert!(scan.quarantined[1].path.ends_with("d-alien.jsonl"));
+        assert!(scan.quarantined[1].reason.contains("alien"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

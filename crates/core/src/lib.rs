@@ -36,7 +36,7 @@
 //!     seed: 7,
 //!     large_scale: false,
 //! };
-//! let outcome = run_campaign(&spec);
+//! let outcome = run_campaign(&spec).expect("fault-free campaign");
 //! assert!(outcome.trace.best_perf >= outcome.trace.default_perf);
 //! ```
 

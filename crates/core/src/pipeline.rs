@@ -14,16 +14,17 @@ use crate::early_stop::EarlyStopAgent;
 use crate::smart_config::{warm_seed_configs, SmartConfigAgent};
 use serde::Serialize;
 use std::collections::HashMap;
+use std::fmt;
 use std::path::{Path, PathBuf};
 use tunio_iosim::{FaultPlan, Simulator};
 use tunio_params::ParameterSpace;
 use tunio_trace as trace;
 use tunio_tuner::stoppers::NoStop;
 use tunio_tuner::{
-    AllParams, BoConfig, BoStrategy, CacheEntry, CampaignObserver, EvalEngine, FailurePolicy,
-    GaConfig, GaStrategy, GaTuner, GenerationSnapshot, HeuristicStop, LhsStrategy, NoObserver,
-    RandomStrategy, ResilienceCounters, SchedulerStats, SearchStrategy, Stopper, SubsetProvider,
-    TuningTrace,
+    AllParams, BoConfig, BoStrategy, CacheEntry, CampaignObserver, EvalCounters, EvalEngine,
+    FailurePolicy, GaConfig, GaStrategy, GaTuner, GenerationSnapshot, HeuristicStop, LhsStrategy,
+    NoObserver, RandomStrategy, ResilienceCounters, SchedulerStats, SearchStrategy, Stopper,
+    SubsetProvider, TuningTrace,
 };
 use tunio_workloads::{AppSpec, Variant, Workload, WorkloadFeatures};
 
@@ -43,6 +44,15 @@ pub enum PipelineKind {
 }
 
 impl PipelineKind {
+    /// Every pipeline, in figure order.
+    pub const ALL: [PipelineKind; 5] = [
+        PipelineKind::HsTunerNoStop,
+        PipelineKind::HsTunerHeuristic,
+        PipelineKind::TunIo,
+        PipelineKind::ImpactFirstOnly,
+        PipelineKind::RlStopOnly,
+    ];
+
     /// Display name matching the paper's figure legends.
     pub fn label(&self) -> &'static str {
         match self {
@@ -53,6 +63,79 @@ impl PipelineKind {
             PipelineKind::RlStopOnly => "TunIO Early Stopping",
         }
     }
+
+    /// Reverse of [`PipelineKind::label`] — how WAL headers name the
+    /// pipeline they belong to.
+    pub fn from_label(label: &str) -> Option<PipelineKind> {
+        PipelineKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
+/// Why a campaign could not produce an outcome. This is the per-campaign
+/// failure boundary: a library caller (the CLI, the `tunio-serve` daemon)
+/// decides what one campaign's failure means — the process itself never
+/// dies for it.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The write-ahead log could not be used: I/O failure, header
+    /// mismatch, or a resumed replay diverging from the recorded
+    /// trajectory.
+    Checkpoint(CheckpointError),
+    /// Every evaluation the campaign attempted failed (fault injection
+    /// with no surviving attempt), so there is no real result to report
+    /// — only penalty values. Callers must treat the campaign as failed
+    /// rather than trust a trace of zeros.
+    NoViableEvaluations {
+        /// Whole evaluations that exhausted their retries.
+        failed_evaluations: u64,
+        /// Faults the simulator injected while trying.
+        faults_injected: u64,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Checkpoint(e) => write!(f, "{e}"),
+            CampaignError::NoViableEvaluations {
+                failed_evaluations,
+                faults_injected,
+            } => write!(
+                f,
+                "no evaluation survived: {failed_evaluations} evaluations failed \
+                 ({faults_injected} faults injected) and none succeeded"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Checkpoint(e) => Some(e),
+            CampaignError::NoViableEvaluations { .. } => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for CampaignError {
+    fn from(e: CheckpointError) -> Self {
+        CampaignError::Checkpoint(e)
+    }
+}
+
+/// The all-failed check shared by both campaign drivers: a campaign in
+/// which not a single evaluation succeeded has nothing trustworthy to
+/// report.
+fn ensure_viable(engine: &EvalEngine) -> Result<(), CampaignError> {
+    let resilience = engine.resilience();
+    if engine.evaluations() == 0 && resilience.failed_evaluations > 0 {
+        return Err(CampaignError::NoViableEvaluations {
+            failed_evaluations: resilience.failed_evaluations,
+            faults_injected: resilience.faults_injected,
+        });
+    }
+    Ok(())
 }
 
 /// A tuning campaign description.
@@ -92,6 +175,12 @@ pub struct CampaignOutcome {
     /// campaigns run through [`run_strategy_campaign_opts`]; `None` for
     /// the classic `GaTuner` loop.
     pub scheduler: Option<SchedulerStats>,
+    /// Engine work counters. `counters.sim_wall_s == 0.0` means the
+    /// campaign never touched the simulator — every evaluation was
+    /// served from preloaded or replayed cache entries. The serve layer
+    /// uses this to prove per-tenant cache namespacing. Excluded from
+    /// [`outcome_json`] (wall-clock is not deterministic).
+    pub counters: EvalCounters,
 }
 
 /// Robustness options for a campaign: fault injection, failure policy,
@@ -125,19 +214,31 @@ pub struct CampaignOptions {
     /// campaigns must pass the same value (a restored strategy ignores
     /// seeds anyway, so a mismatch cannot fork a resumed trace).
     pub warm_start: Option<WorkloadFeatures>,
+    /// Cache entries to seed the engine's memo cache with before the
+    /// campaign starts (e.g. a tenant's prior results for the identical
+    /// simulator/workload/seed). Entries already present in a resumed
+    /// WAL win — the WAL is preloaded first. Preloaded entries replay
+    /// deterministically, exactly like WAL entries, so they cannot fork
+    /// a trace; entries from a *different* simulator seed would, which
+    /// is why callers must namespace them by campaign fingerprint.
+    pub preload: Vec<CacheEntry>,
 }
 
 /// Run one campaign with default options (fault-free, no checkpoint).
-pub fn run_campaign(spec: &CampaignSpec) -> CampaignOutcome {
+///
+/// Even this path is fallible: a campaign is a unit of work that can
+/// fail on its own (fault injection leaving no viable evaluation, a
+/// checkpoint that cannot be written) without that being fatal to the
+/// process hosting it.
+pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignOutcome, CampaignError> {
     run_campaign_opts(spec, &CampaignOptions::default())
-        .expect("a campaign without a checkpoint has no failure path")
 }
 
 /// Run one campaign with explicit robustness options.
 pub fn run_campaign_opts(
     spec: &CampaignSpec,
     opts: &CampaignOptions,
-) -> Result<CampaignOutcome, CheckpointError> {
+) -> Result<CampaignOutcome, CampaignError> {
     let space = ParameterSpace::tunio_default();
     let mut sim = if spec.large_scale {
         Simulator::cori_500node(spec.seed)
@@ -202,6 +303,9 @@ pub fn run_campaign_opts(
         )?),
         None => None,
     };
+    if !opts.preload.is_empty() {
+        engine.preload(opts.preload.clone());
+    }
 
     let span = campaign_span(spec);
     let trace = match checkpointer.as_mut() {
@@ -210,9 +314,10 @@ pub fn run_campaign_opts(
     };
     if let Some(obs) = checkpointer {
         if let Some(e) = obs.error {
-            return Err(e);
+            return Err(e.into());
         }
     }
+    ensure_viable(&engine)?;
     finish_campaign(span, spec, &engine, &trace);
     Ok(CampaignOutcome {
         kind: spec.kind,
@@ -220,6 +325,7 @@ pub fn run_campaign_opts(
         profile: engine.profile_snapshot(),
         resilience: engine.resilience(),
         scheduler: None,
+        counters: engine.counters(),
     })
 }
 
@@ -235,6 +341,71 @@ fn spec_header(spec: &CampaignSpec) -> CheckpointHeader {
         seed: spec.seed,
         large_scale: spec.large_scale,
     }
+}
+
+/// Parse a [`Variant`] back from the `{:?}` string WAL headers store.
+fn variant_from_str(s: &str) -> Option<Variant> {
+    match s {
+        "Full" => Some(Variant::Full),
+        "Kernel" => Some(Variant::Kernel),
+        _ => {
+            let frac = s
+                .strip_prefix("ReducedKernel { keep_fraction: ")?
+                .strip_suffix(" }")?;
+            Some(Variant::ReducedKernel {
+                keep_fraction: frac.parse().ok()?,
+            })
+        }
+    }
+}
+
+/// Reconstruct the campaign a WAL header describes — the inverse of
+/// [`spec_header`] / [`strategy_header`]. This is what lets a restarted
+/// daemon resume every in-flight campaign from nothing but its WAL
+/// directory. Returns the spec plus the strategy backend (`None` = the
+/// classic `GaTuner` loop). Errs with a human-readable reason when this
+/// build cannot host the campaign (unknown app, variant, pipeline, or
+/// strategy) — callers quarantine such WALs instead of refusing to boot.
+pub fn spec_from_header(
+    header: &CheckpointHeader,
+) -> Result<(CampaignSpec, Option<StrategyKind>), String> {
+    if header.version != CHECKPOINT_VERSION {
+        return Err(format!(
+            "checkpoint version {} (this build writes {})",
+            header.version, CHECKPOINT_VERSION
+        ));
+    }
+    let app = tunio_workloads::all_apps()
+        .into_iter()
+        .find(|a| a.name == header.app)
+        .ok_or_else(|| format!("unknown application `{}`", header.app))?;
+    let variant = variant_from_str(&header.variant)
+        .ok_or_else(|| format!("unknown variant `{}`", header.variant))?;
+    let (kind_label, strategy) = match header.kind.split_once(" [strategy=") {
+        Some((label, rest)) => {
+            let s = rest
+                .strip_suffix(']')
+                .ok_or_else(|| format!("malformed kind `{}`", header.kind))?;
+            let strategy =
+                StrategyKind::parse(s).ok_or_else(|| format!("unknown strategy `{s}`"))?;
+            (label, Some(strategy))
+        }
+        None => (header.kind.as_str(), None),
+    };
+    let kind = PipelineKind::from_label(kind_label)
+        .ok_or_else(|| format!("unknown pipeline `{kind_label}`"))?;
+    Ok((
+        CampaignSpec {
+            app,
+            variant,
+            kind,
+            max_iterations: header.max_iterations,
+            population: header.population,
+            seed: header.seed,
+            large_scale: header.large_scale,
+        },
+        strategy,
+    ))
 }
 
 /// Which search backend drives a strategy campaign (see
@@ -337,9 +508,11 @@ fn default_threads() -> usize {
 }
 
 /// Run one strategy campaign with default options.
-pub fn run_strategy_campaign(spec: &CampaignSpec, strategy: StrategyKind) -> CampaignOutcome {
+pub fn run_strategy_campaign(
+    spec: &CampaignSpec,
+    strategy: StrategyKind,
+) -> Result<CampaignOutcome, CampaignError> {
     run_strategy_campaign_opts(spec, strategy, &CampaignOptions::default())
-        .expect("a campaign without a checkpoint has no failure path")
 }
 
 /// Run one campaign through the asynchronous strategy scheduler.
@@ -355,7 +528,7 @@ pub fn run_strategy_campaign_opts(
     spec: &CampaignSpec,
     strategy: StrategyKind,
     opts: &CampaignOptions,
-) -> Result<CampaignOutcome, CheckpointError> {
+) -> Result<CampaignOutcome, CampaignError> {
     let space = ParameterSpace::tunio_default();
     let mut sim = if spec.large_scale {
         Simulator::cori_500node(spec.seed)
@@ -427,6 +600,9 @@ pub fn run_strategy_campaign_opts(
         )?),
         None => None,
     };
+    if !opts.preload.is_empty() {
+        engine.preload(opts.preload.clone());
+    }
 
     let threads = opts.threads.unwrap_or_else(default_threads).max(1);
     let span = campaign_span(spec);
@@ -446,9 +622,10 @@ pub fn run_strategy_campaign_opts(
     );
     if let Some(obs) = checkpointer {
         if let Some(e) = obs.error {
-            return Err(e);
+            return Err(e.into());
         }
     }
+    ensure_viable(&engine)?;
     finish_campaign(span, spec, &engine, &run.trace);
     Ok(CampaignOutcome {
         kind: spec.kind,
@@ -456,6 +633,7 @@ pub fn run_strategy_campaign_opts(
         profile: engine.profile_snapshot(),
         resilience: engine.resilience(),
         scheduler: Some(run.stats),
+        counters: engine.counters(),
     })
 }
 
@@ -777,14 +955,14 @@ mod tests {
 
     #[test]
     fn hstuner_no_stop_uses_full_budget() {
-        let out = run_campaign(&spec(PipelineKind::HsTunerNoStop, 8));
+        let out = run_campaign(&spec(PipelineKind::HsTunerNoStop, 8)).unwrap();
         assert_eq!(out.trace.iterations(), 8);
         assert!(!out.trace.stopped_early);
     }
 
     #[test]
     fn tunio_pipeline_improves_and_usually_stops_early() {
-        let out = run_campaign(&spec(PipelineKind::TunIo, 30));
+        let out = run_campaign(&spec(PipelineKind::TunIo, 30)).unwrap();
         assert!(out.trace.best_perf > out.trace.default_perf);
         assert!(out.trace.iterations() <= 30);
         assert_eq!(out.trace.stopper_name, "tunio-rl-early-stop");
@@ -802,8 +980,8 @@ mod tests {
             s.seed = seed;
             let mut p = spec(PipelineKind::HsTunerNoStop, 25);
             p.seed = seed;
-            let smart = run_campaign(&s);
-            let plain = run_campaign(&p);
+            let smart = run_campaign(&s).unwrap();
+            let plain = run_campaign(&p).unwrap();
             let target = 0.9 * plain.trace.best_perf.min(smart.trace.best_perf);
             let first_hit = |t: &TuningTrace| {
                 t.records
@@ -827,8 +1005,8 @@ mod tests {
         k.variant = Variant::Kernel;
         let mut f = spec(PipelineKind::HsTunerNoStop, 6);
         f.variant = Variant::Full;
-        let kernel = run_campaign(&k);
-        let full = run_campaign(&f);
+        let kernel = run_campaign(&k).unwrap();
+        let full = run_campaign(&f).unwrap();
         assert!(
             kernel.trace.total_cost_s() < full.trace.total_cost_s(),
             "kernel {} vs full {}",
@@ -839,7 +1017,7 @@ mod tests {
 
     #[test]
     fn campaign_outcome_carries_attribution_profile() {
-        let out = run_campaign(&spec(PipelineKind::HsTunerNoStop, 5));
+        let out = run_campaign(&spec(PipelineKind::HsTunerNoStop, 5)).unwrap();
         let p = &out.profile;
         let total = p.total_time_s();
         assert!(total > 0.0, "campaign must charge some simulated time");
@@ -854,6 +1032,90 @@ mod tests {
         // A HACC checkpoint campaign spends real time in the data path.
         // (The kernel variant has no compute phases, so only I/O is required.)
         assert!(p.io_time_s() > 0.0);
+    }
+
+    /// ISSUE 8 regression: a campaign whose every evaluation faults
+    /// (fault-rate 1.0, zero retries) must return `Err` — not abort the
+    /// process the way the old
+    /// `.expect("a campaign without a checkpoint has no failure path")`
+    /// did when the caller unwrapped a trace of pure penalty values.
+    #[test]
+    fn all_faulting_campaign_returns_err_instead_of_aborting() {
+        let opts = CampaignOptions {
+            fault_plan: Some(FaultPlan {
+                transient_rate: 1.0,
+                ..FaultPlan::disabled(11)
+            }),
+            policy: Some(FailurePolicy {
+                max_retries: 0,
+                ..FailurePolicy::default()
+            }),
+            ..CampaignOptions::default()
+        };
+        let s = spec(PipelineKind::HsTunerNoStop, 3);
+        let err = run_campaign_opts(&s, &opts).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CampaignError::NoViableEvaluations {
+                    failed_evaluations, ..
+                } if failed_evaluations > 0
+            ),
+            "got {err}"
+        );
+        // The strategy scheduler path hits the same boundary.
+        let err = run_strategy_campaign_opts(
+            &s,
+            StrategyKind::Random,
+            &CampaignOptions {
+                threads: Some(2),
+                ..opts
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CampaignError::NoViableEvaluations { .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn spec_round_trips_through_its_wal_header() {
+        let s = CampaignSpec {
+            app: hacc(),
+            variant: Variant::ReducedKernel {
+                keep_fraction: 0.25,
+            },
+            kind: PipelineKind::TunIo,
+            max_iterations: 12,
+            population: 8,
+            seed: 77,
+            large_scale: true,
+        };
+        let (back, strategy) = spec_from_header(&spec_header(&s)).unwrap();
+        assert_eq!(strategy, None);
+        assert_eq!(back.app.name, s.app.name);
+        assert_eq!(back.variant, s.variant);
+        assert_eq!(back.kind, s.kind);
+        assert_eq!(back.max_iterations, s.max_iterations);
+        assert_eq!(back.population, s.population);
+        assert_eq!(back.seed, s.seed);
+        assert_eq!(back.large_scale, s.large_scale);
+
+        let (back, strategy) = spec_from_header(&strategy_header(&s, StrategyKind::Bo)).unwrap();
+        assert_eq!(strategy, Some(StrategyKind::Bo));
+        assert_eq!(back.kind, s.kind);
+    }
+
+    #[test]
+    fn spec_from_header_names_what_it_cannot_host() {
+        let s = spec(PipelineKind::TunIo, 4);
+        let mut h = spec_header(&s);
+        h.kind = "TunIO [strategy=alien]".to_string();
+        assert!(spec_from_header(&h).unwrap_err().contains("alien"));
+        let mut h = spec_header(&s);
+        h.app = "no-such-app".to_string();
+        assert!(spec_from_header(&h).unwrap_err().contains("no-such-app"));
     }
 
     #[test]
@@ -909,6 +1171,7 @@ pub fn run_campaign_with(tunio: &mut crate::TunIo, spec: &CampaignSpec) -> Campa
         profile: engine.profile_snapshot(),
         resilience: engine.resilience(),
         scheduler: None,
+        counters: engine.counters(),
     }
 }
 
@@ -969,7 +1232,7 @@ mod checkpoint_tests {
     #[test]
     fn checkpointed_campaign_is_bitwise_identical_to_plain() {
         let s = spec(PipelineKind::HsTunerNoStop, 6, 17);
-        let plain = run_campaign(&s);
+        let plain = run_campaign(&s).unwrap();
         let path = wal_path("plain-vs-ckpt.jsonl");
         let opts = CampaignOptions {
             checkpoint: Some(path.clone()),
@@ -1048,7 +1311,10 @@ mod checkpoint_tests {
         let err =
             run_campaign_opts(&spec(PipelineKind::HsTunerNoStop, 3, 32), &opts(true)).unwrap_err();
         assert!(
-            matches!(err, CheckpointError::SpecMismatch { field: "seed", .. }),
+            matches!(
+                err,
+                CampaignError::Checkpoint(CheckpointError::SpecMismatch { field: "seed", .. })
+            ),
             "got {err}"
         );
         std::fs::remove_file(&path).ok();
@@ -1133,13 +1399,19 @@ mod checkpoint_tests {
         run_strategy_campaign_opts(&s, StrategyKind::Random, &opts(false)).unwrap();
         let err = run_strategy_campaign_opts(&s, StrategyKind::Lhs, &opts(true)).unwrap_err();
         assert!(
-            matches!(err, CheckpointError::SpecMismatch { field: "kind", .. }),
+            matches!(
+                err,
+                CampaignError::Checkpoint(CheckpointError::SpecMismatch { field: "kind", .. })
+            ),
             "got {err}"
         );
         // The classic GaTuner loop must refuse it too.
         let err = run_campaign_opts(&s, &opts(true)).unwrap_err();
         assert!(
-            matches!(err, CheckpointError::SpecMismatch { field: "kind", .. }),
+            matches!(
+                err,
+                CampaignError::Checkpoint(CheckpointError::SpecMismatch { field: "kind", .. })
+            ),
             "got {err}"
         );
         std::fs::remove_file(&path).ok();

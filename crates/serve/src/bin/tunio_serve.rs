@@ -1,0 +1,118 @@
+//! `tunio-serve` — run the multi-tenant tuning daemon.
+//!
+//! ```text
+//! tunio-serve --addr 127.0.0.1:8080 --wal-dir /var/lib/tunio/wal \
+//!             [--workers 2] [--max-active-per-tenant 4] [--max-queue 64] [--quiet]
+//! ```
+//!
+//! SIGTERM and SIGINT start a graceful drain: running and queued
+//! campaigns finish, new submissions get 503, and the process exits 0
+//! once the pool is idle. `kill -9` is also fine — every campaign's WAL
+//! makes the next boot resume it exactly where it stopped.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use tunio_serve::{Daemon, ServeConfig};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn handle(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = handle as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tunio-serve [--addr HOST:PORT] [--wal-dir DIR] [--workers N]\n\
+         \x20      [--max-active-per-tenant N] [--max-queue N] [--quiet]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7070".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut i = 0;
+    let value = |argv: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        let result: Result<(), String> = (|| {
+            match argv[i].as_str() {
+                "--addr" => config.addr = value(&argv, &mut i, "--addr")?,
+                "--wal-dir" => config.wal_dir = PathBuf::from(value(&argv, &mut i, "--wal-dir")?),
+                "--workers" => {
+                    config.workers = value(&argv, &mut i, "--workers")?
+                        .parse()
+                        .map_err(|e| format!("bad workers: {e}"))?;
+                    if config.workers == 0 {
+                        return Err("workers must be >= 1".to_string());
+                    }
+                }
+                "--max-active-per-tenant" => {
+                    config.max_active_per_tenant = value(&argv, &mut i, "--max-active-per-tenant")?
+                        .parse()
+                        .map_err(|e| format!("bad max-active-per-tenant: {e}"))?;
+                }
+                "--max-queue" => {
+                    config.max_queue = value(&argv, &mut i, "--max-queue")?
+                        .parse()
+                        .map_err(|e| format!("bad max-queue: {e}"))?;
+                }
+                "--quiet" => config.quiet = true,
+                "--help" | "-h" => return Err(String::new()),
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            return usage();
+        }
+        i += 1;
+    }
+
+    install_signal_handlers();
+    let mut daemon = match Daemon::start(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot start daemon: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("tunio-serve listening on {}", daemon.addr());
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        if SHUTDOWN.load(Ordering::SeqCst) || daemon.draining() {
+            eprintln!("tunio-serve: draining (finishing in-flight campaigns)");
+            daemon.drain_and_join();
+            eprintln!("tunio-serve: drained, exiting");
+            return ExitCode::SUCCESS;
+        }
+    }
+}

@@ -1,0 +1,1134 @@
+//! The multi-tenant tuning daemon.
+//!
+//! `tunio-serve` accepts campaign submissions over HTTP and runs them on
+//! a shared worker pool. Its design leans entirely on the per-campaign
+//! failure boundary the rest of the workspace provides:
+//!
+//! * a campaign that fails ([`CampaignError`]) or whose evaluator
+//!   *panics* marks only that campaign `failed` — the process, the other
+//!   tenants, and the worker thread all survive;
+//! * every campaign checkpoints to its own WAL under the daemon's WAL
+//!   directory, so a killed daemon resumes every in-flight campaign on
+//!   the next boot (bitwise-identically, per the WAL replay contract);
+//! * WALs the binary cannot host (unknown strategy, alien version) are
+//!   quarantined at boot — renamed aside, counted, logged — never a
+//!   reason to refuse to start.
+//!
+//! Tenancy is cooperative but real: per-tenant admission quotas bound
+//! how much of the pool one tenant can hold, and the evaluation memo
+//! cache is namespaced per tenant — tenant A's prior results warm-start
+//! tenant A's next identical campaign (`counters.sim_wall_s == 0.0`
+//! proves a fully-warm run) and are never visible to tenant B.
+
+use crate::http::{read_request, write_response, Request};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tunio::checkpoint::{load, scan_dir, CheckpointHeader};
+use tunio::pipeline::{
+    outcome_json, run_campaign_opts, run_strategy_campaign_opts, spec_from_header, CampaignOptions,
+    CampaignSpec, PipelineKind, StrategyKind,
+};
+use tunio_iosim::FaultPlan;
+use tunio_trace as trace;
+use tunio_tuner::{CacheEntry, EvalCounters};
+use tunio_workloads::Variant;
+
+/// Acquire a mutex, recovering from poisoning: a worker that panicked
+/// inside a campaign must not wedge the daemon's bookkeeping. All state
+/// behind these locks is updated transactionally (full-record writes),
+/// so a poisoned guard's data is still consistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Daemon configuration (CLI flags map 1:1).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; `127.0.0.1:0` lets the OS pick (tests).
+    pub addr: String,
+    /// Directory for campaign WALs, outcome files, and request metadata.
+    pub wal_dir: PathBuf,
+    /// Campaign worker threads (concurrent campaigns).
+    pub workers: usize,
+    /// Max queued+running campaigns one tenant may hold (429 beyond).
+    pub max_active_per_tenant: usize,
+    /// Max total queued campaigns (503 beyond).
+    pub max_queue: usize,
+    /// Suppress boot/recovery log lines on stderr.
+    pub quiet: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            wal_dir: PathBuf::from("tunio-serve-wal"),
+            workers: 2,
+            max_active_per_tenant: 4,
+            max_queue: 64,
+            quiet: false,
+        }
+    }
+}
+
+/// One tenant's campaign submission (the `POST /campaigns` body).
+#[derive(Debug, Clone)]
+pub struct CampaignRequest {
+    /// Tenant identity. Quotas and the warm cache are keyed by this.
+    pub tenant: String,
+    /// Optional campaign name (the id becomes `{tenant}--{name}`);
+    /// auto-numbered when absent.
+    pub name: Option<String>,
+    /// Application label (`hacc`, `vpic`, ...), as in `tunio-tune --app`.
+    pub app: String,
+    /// Pipeline label, as in `tunio-tune --pipeline`.
+    pub pipeline: String,
+    /// Optional strategy backend (`ga|random|lhs|bo`); classic GA loop
+    /// when absent.
+    pub strategy: Option<String>,
+    /// `full`, `kernel`, or `reduced:<frac>`.
+    pub variant: String,
+    /// Generation budget.
+    pub iterations: u32,
+    /// Population size.
+    pub population: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// 500-node scale when true.
+    pub large_scale: bool,
+    /// Evaluator threads for strategy campaigns.
+    pub threads: Option<usize>,
+    /// Transient-fault injection rate (chaos testing).
+    pub fault_rate: Option<f64>,
+    /// Fault stream seed (defaults to the campaign seed).
+    pub fault_seed: Option<u64>,
+    /// Drill switch: the worker panics instead of running the campaign.
+    /// Proves panic isolation end-to-end without a special build.
+    pub inject_panic: bool,
+}
+
+fn ident_ok(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-')
+}
+
+impl CampaignRequest {
+    /// Parse a submission from its JSON body. `tenant` and `app` are
+    /// required; everything else has CLI-matching defaults.
+    pub fn from_json(v: &serde_json::Value) -> Result<CampaignRequest, String> {
+        let str_field = |key: &str| v.get(key).and_then(|x| x.as_str()).map(str::to_string);
+        let tenant = str_field("tenant").ok_or("missing field `tenant`")?;
+        if !ident_ok(&tenant) {
+            return Err(format!(
+                "bad tenant `{tenant}` (want [A-Za-z0-9_.-]{{1,64}})"
+            ));
+        }
+        let name = str_field("name");
+        if let Some(n) = &name {
+            if !ident_ok(n) {
+                return Err(format!("bad name `{n}` (want [A-Za-z0-9_.-]{{1,64}})"));
+            }
+        }
+        let req = CampaignRequest {
+            tenant,
+            name,
+            app: str_field("app").ok_or("missing field `app`")?,
+            pipeline: str_field("pipeline").unwrap_or_else(|| "tunio".to_string()),
+            strategy: str_field("strategy"),
+            variant: str_field("variant").unwrap_or_else(|| "kernel".to_string()),
+            iterations: v.get("iterations").and_then(|x| x.as_u64()).unwrap_or(10) as u32,
+            population: v.get("population").and_then(|x| x.as_u64()).unwrap_or(6) as usize,
+            seed: v.get("seed").and_then(|x| x.as_u64()).unwrap_or(42),
+            large_scale: matches!(v.get("large_scale"), Some(serde_json::Value::Bool(true))),
+            threads: v
+                .get("threads")
+                .and_then(|x| x.as_u64())
+                .map(|n| n as usize),
+            fault_rate: v.get("fault_rate").and_then(|x| x.as_f64()),
+            fault_seed: v.get("fault_seed").and_then(|x| x.as_u64()),
+            inject_panic: matches!(v.get("inject_panic"), Some(serde_json::Value::Bool(true))),
+        };
+        req.to_spec()?; // validate app/pipeline/variant/strategy up front
+        Ok(req)
+    }
+
+    /// Deterministic JSON rendering (the `{id}.meta.json` sidecar).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"tenant\":{}", quote(&self.tenant)));
+        if let Some(n) = &self.name {
+            s.push_str(&format!(",\"name\":{}", quote(n)));
+        }
+        s.push_str(&format!(",\"app\":{}", quote(&self.app)));
+        s.push_str(&format!(",\"pipeline\":{}", quote(&self.pipeline)));
+        if let Some(st) = &self.strategy {
+            s.push_str(&format!(",\"strategy\":{}", quote(st)));
+        }
+        s.push_str(&format!(",\"variant\":{}", quote(&self.variant)));
+        s.push_str(&format!(",\"iterations\":{}", self.iterations));
+        s.push_str(&format!(",\"population\":{}", self.population));
+        s.push_str(&format!(",\"seed\":{}", self.seed));
+        s.push_str(&format!(",\"large_scale\":{}", self.large_scale));
+        if let Some(t) = self.threads {
+            s.push_str(&format!(",\"threads\":{t}"));
+        }
+        if let Some(r) = self.fault_rate {
+            s.push_str(&format!(",\"fault_rate\":{r:?}"));
+        }
+        if let Some(fs) = self.fault_seed {
+            s.push_str(&format!(",\"fault_seed\":{fs}"));
+        }
+        if self.inject_panic {
+            s.push_str(",\"inject_panic\":true");
+        }
+        s.push('}');
+        s
+    }
+
+    /// Resolve to a runnable campaign. Errs with a human-readable reason
+    /// for anything this build cannot host.
+    pub fn to_spec(&self) -> Result<(CampaignSpec, Option<StrategyKind>), String> {
+        let app = tunio_workloads::all_apps()
+            .into_iter()
+            .find(|a| a.name == self.app)
+            .ok_or_else(|| format!("unknown application `{}`", self.app))?;
+        let kind = match self.pipeline.as_str() {
+            "tunio" => PipelineKind::TunIo,
+            "hstuner" => PipelineKind::HsTunerNoStop,
+            "hstuner-heuristic" => PipelineKind::HsTunerHeuristic,
+            "impact-first" => PipelineKind::ImpactFirstOnly,
+            "rl-stop" => PipelineKind::RlStopOnly,
+            other => return Err(format!("unknown pipeline `{other}`")),
+        };
+        let variant = parse_variant(&self.variant)?;
+        let strategy = match &self.strategy {
+            Some(s) => Some(
+                StrategyKind::parse(s)
+                    .ok_or_else(|| format!("unknown strategy `{s}` (want ga|random|lhs|bo)"))?,
+            ),
+            None => None,
+        };
+        if self.iterations == 0 || self.population == 0 {
+            return Err("iterations and population must be >= 1".to_string());
+        }
+        Ok((
+            CampaignSpec {
+                app,
+                variant,
+                kind,
+                max_iterations: self.iterations,
+                population: self.population,
+                seed: self.seed,
+                large_scale: self.large_scale,
+            },
+            strategy,
+        ))
+    }
+
+    /// The warm-cache namespace this campaign's evaluations belong to.
+    /// Two campaigns share memo entries only when the simulator would
+    /// produce identical results for identical keys: same app, variant,
+    /// simulator seed, and scale. Pipeline and strategy deliberately do
+    /// NOT participate — they change which keys get evaluated, not what
+    /// a key evaluates to.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{}|{}|{}|{}",
+            self.app, self.variant, self.seed, self.large_scale
+        )
+    }
+}
+
+fn parse_variant(v: &str) -> Result<Variant, String> {
+    if v == "full" {
+        Ok(Variant::Full)
+    } else if v == "kernel" {
+        Ok(Variant::Kernel)
+    } else if let Some(frac) = v.strip_prefix("reduced:") {
+        let keep_fraction: f64 = frac.parse().map_err(|_| format!("bad fraction `{frac}`"))?;
+        if !(0.0..=1.0).contains(&keep_fraction) || keep_fraction == 0.0 {
+            return Err("reduced fraction must be in (0, 1]".to_string());
+        }
+        Ok(Variant::ReducedKernel { keep_fraction })
+    } else {
+        Err(format!("unknown variant `{v}`"))
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Lifecycle of one submitted campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is running it.
+    Running,
+    /// Finished; outcome JSON is durable next to its WAL.
+    Done,
+    /// The campaign errored or its evaluator panicked. Everyone else
+    /// keeps running.
+    Failed,
+}
+
+impl CampaignState {
+    fn label(&self) -> &'static str {
+        match self {
+            CampaignState::Queued => "queued",
+            CampaignState::Running => "running",
+            CampaignState::Done => "done",
+            CampaignState::Failed => "failed",
+        }
+    }
+}
+
+/// Daemon-side record of one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignRecord {
+    /// `{tenant}--{name}`.
+    pub id: String,
+    /// The submission.
+    pub request: CampaignRequest,
+    /// Where it is in its lifecycle.
+    pub state: CampaignState,
+    /// Failure reason, when `Failed`.
+    pub error: Option<String>,
+    /// Whether this run continued an existing WAL (crash recovery).
+    pub resumed: bool,
+    /// Engine counters of the finished run. `sim_wall_s == 0.0` means
+    /// every evaluation came from the tenant's warm cache or the WAL.
+    pub counters: Option<EvalCounters>,
+    /// Best tuned performance (B/s), when finished.
+    pub best_perf: Option<f64>,
+    /// Completed generations (recovered records report the WAL count).
+    pub generations: u32,
+}
+
+impl CampaignRecord {
+    fn fresh(id: &str, request: CampaignRequest) -> CampaignRecord {
+        CampaignRecord {
+            id: id.to_string(),
+            request,
+            state: CampaignState::Queued,
+            error: None,
+            resumed: false,
+            counters: None,
+            best_perf: None,
+            generations: 0,
+        }
+    }
+
+    /// Deterministic status JSON (the `GET /campaigns/{id}` body).
+    pub fn status_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"id\":{}", quote(&self.id)));
+        s.push_str(&format!(",\"tenant\":{}", quote(&self.request.tenant)));
+        s.push_str(&format!(",\"state\":{}", quote(self.state.label())));
+        s.push_str(&format!(",\"resumed\":{}", self.resumed));
+        s.push_str(&format!(",\"generations\":{}", self.generations));
+        match &self.error {
+            Some(e) => s.push_str(&format!(",\"error\":{}", quote(e))),
+            None => s.push_str(",\"error\":null"),
+        }
+        match self.best_perf {
+            Some(p) => s.push_str(&format!(",\"best_perf\":{p:?}")),
+            None => s.push_str(",\"best_perf\":null"),
+        }
+        match &self.counters {
+            Some(c) => s.push_str(&format!(
+                ",\"counters\":{{\"evaluations\":{},\"cache_hits\":{},\"sim_wall_s\":{:?}}}",
+                c.evaluations, c.cache_hits, c.sim_wall_s
+            )),
+            None => s.push_str(",\"counters\":null"),
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Per-tenant warm cache: tenant → campaign fingerprint → key → entry.
+type WarmCache = HashMap<String, HashMap<String, HashMap<Vec<usize>, CacheEntry>>>;
+
+struct Shared {
+    config: ServeConfig,
+    records: Mutex<BTreeMap<String, CampaignRecord>>,
+    queue: Mutex<VecDeque<String>>,
+    queue_cv: Condvar,
+    draining: AtomicBool,
+    seq: AtomicU64,
+    warm: Mutex<WarmCache>,
+}
+
+impl Shared {
+    fn wal_path(&self, id: &str) -> PathBuf {
+        self.config.wal_dir.join(format!("{id}.jsonl"))
+    }
+
+    fn outcome_path(&self, id: &str) -> PathBuf {
+        self.config.wal_dir.join(format!("{id}.outcome.json"))
+    }
+
+    fn meta_path(&self, id: &str) -> PathBuf {
+        self.config.wal_dir.join(format!("{id}.meta.json"))
+    }
+
+    fn log(&self, line: &str) {
+        if !self.config.quiet {
+            eprintln!("tunio-serve: {line}");
+        }
+    }
+}
+
+/// Durable write: temp file in the same directory, then rename.
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------------
+// Admission
+// ---------------------------------------------------------------------------
+
+/// Admission outcome: HTTP status + JSON body.
+type Reply = (u16, String);
+
+fn submit(shared: &Arc<Shared>, req: CampaignRequest) -> Reply {
+    if shared.draining.load(Ordering::SeqCst) {
+        return (503, "{\"error\":\"draining\"}".to_string());
+    }
+    let tenant = req.tenant.clone();
+    let name = match &req.name {
+        Some(n) => n.clone(),
+        None => format!("c{:04}", shared.seq.fetch_add(1, Ordering::SeqCst)),
+    };
+    let id = format!("{tenant}--{name}");
+    {
+        let mut records = lock(&shared.records);
+        if records.contains_key(&id) {
+            return (
+                409,
+                format!("{{\"error\":\"campaign {} already exists\"}}", quote(&id)),
+            );
+        }
+        let active = records
+            .values()
+            .filter(|r| {
+                r.request.tenant == tenant
+                    && matches!(r.state, CampaignState::Queued | CampaignState::Running)
+            })
+            .count();
+        if active >= shared.config.max_active_per_tenant {
+            trace::labeled_counter("tunio.serve.rejected_quota", &[("tenant", &tenant)]).inc(1);
+            return (
+                429,
+                format!(
+                    "{{\"error\":\"tenant {} already has {active} active campaigns (limit {})\"}}",
+                    quote(&tenant),
+                    shared.config.max_active_per_tenant
+                ),
+            );
+        }
+        let queued = lock(&shared.queue).len();
+        if queued >= shared.config.max_queue {
+            return (
+                503,
+                format!(
+                    "{{\"error\":\"queue full ({queued}/{})\"}}",
+                    shared.config.max_queue
+                ),
+            );
+        }
+        // The meta sidecar lets a restarted daemon re-enqueue campaigns
+        // that were accepted but never started a WAL before the crash.
+        if let Err(e) = write_atomic(&shared.meta_path(&id), &req.to_json()) {
+            return (
+                500,
+                format!(
+                    "{{\"error\":\"cannot persist request: {}\"}}",
+                    quote(&e.to_string())
+                ),
+            );
+        }
+        records.insert(id.clone(), CampaignRecord::fresh(&id, req));
+        lock(&shared.queue).push_back(id.clone());
+    }
+    shared.queue_cv.notify_one();
+    trace::labeled_counter("tunio.serve.submitted", &[("tenant", &tenant)]).inc(1);
+    (
+        202,
+        format!("{{\"id\":{},\"state\":\"queued\"}}", quote(&id)),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let next = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(id) = q.pop_front() {
+                    break Some(id);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+        };
+        match next {
+            Some(id) => execute(shared, &id),
+            None => break,
+        }
+    }
+}
+
+fn execute(shared: &Arc<Shared>, id: &str) {
+    let request = {
+        let mut records = lock(&shared.records);
+        let Some(record) = records.get_mut(id) else {
+            return;
+        };
+        record.state = CampaignState::Running;
+        record.request.clone()
+    };
+    let tenant = request.tenant.clone();
+    let (spec, strategy) = match request.to_spec() {
+        Ok(parts) => parts,
+        Err(e) => {
+            finish_failed(shared, id, &tenant, &e);
+            return;
+        }
+    };
+    let wal = shared.wal_path(id);
+    let resumed = wal.exists();
+    if resumed {
+        let mut records = lock(&shared.records);
+        if let Some(record) = records.get_mut(id) {
+            record.resumed = true;
+        }
+        trace::labeled_counter("tunio.serve.resumed", &[("tenant", &tenant)]).inc(1);
+    }
+    // Warm-start from the tenant's own namespace only. Entries from the
+    // WAL win (preloaded first inside the campaign), so a resume is
+    // bitwise-faithful even when the warm cache has newer data.
+    let preload: Vec<CacheEntry> = {
+        let warm = lock(&shared.warm);
+        warm.get(&tenant)
+            .and_then(|per_fp| per_fp.get(&request.fingerprint()))
+            .map(|entries| entries.values().cloned().collect())
+            .unwrap_or_default()
+    };
+    let warm_count = preload.len();
+    let opts = CampaignOptions {
+        checkpoint: Some(wal.clone()),
+        resume: true,
+        fault_plan: request
+            .fault_rate
+            .map(|rate| FaultPlan::chaos(request.fault_seed.unwrap_or(request.seed), rate)),
+        policy: None,
+        abort_after: None,
+        threads: request.threads,
+        warm_start: None,
+        preload,
+    };
+    // The panic boundary. An evaluator panic (or the inject_panic drill)
+    // unwinds to here, fails this one campaign, and the worker moves on.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if request.inject_panic {
+            panic!("injected panic drill (inject_panic=true)");
+        }
+        match strategy {
+            Some(s) => run_strategy_campaign_opts(&spec, s, &opts),
+            None => run_campaign_opts(&spec, &opts),
+        }
+    }));
+    match result {
+        Ok(Ok(outcome)) => {
+            let json = outcome_json(&outcome);
+            if let Err(e) = write_atomic(&shared.outcome_path(id), &json) {
+                finish_failed(shared, id, &tenant, &format!("cannot persist outcome: {e}"));
+                return;
+            }
+            harvest_wal(shared, &tenant, &request.fingerprint(), &wal);
+            {
+                let mut records = lock(&shared.records);
+                if let Some(record) = records.get_mut(id) {
+                    record.state = CampaignState::Done;
+                    record.counters = Some(outcome.counters);
+                    record.best_perf = Some(outcome.trace.best_perf);
+                    record.generations = outcome.trace.records.len() as u32;
+                }
+            }
+            trace::labeled_counter("tunio.serve.completed", &[("tenant", &tenant)]).inc(1);
+            if warm_count > 0 && outcome.counters.sim_wall_s == 0.0 {
+                trace::labeled_counter("tunio.serve.fully_warm_runs", &[("tenant", &tenant)])
+                    .inc(1);
+            }
+            shared.log(&format!(
+                "campaign {id} done ({} generations, {} warm entries preloaded)",
+                outcome.trace.records.len(),
+                warm_count
+            ));
+        }
+        Ok(Err(e)) => finish_failed(shared, id, &tenant, &e.to_string()),
+        Err(payload) => {
+            trace::counter("tunio.serve.worker_panics").inc(1);
+            let msg: &str = if let Some(s) = payload.downcast_ref::<&str>() {
+                s
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s
+            } else {
+                "non-string panic payload"
+            };
+            finish_failed(shared, id, &tenant, &format!("evaluator panicked: {msg}"));
+        }
+    }
+}
+
+fn finish_failed(shared: &Arc<Shared>, id: &str, tenant: &str, why: &str) {
+    {
+        let mut records = lock(&shared.records);
+        if let Some(record) = records.get_mut(id) {
+            record.state = CampaignState::Failed;
+            record.error = Some(why.to_string());
+        }
+    }
+    trace::labeled_counter("tunio.serve.failed", &[("tenant", tenant)]).inc(1);
+    shared.log(&format!("campaign {id} failed: {why}"));
+}
+
+/// Fold a finished campaign's WAL cache entries into its tenant's warm
+/// cache so the tenant's next identical campaign replays them instead of
+/// touching the simulator. First write wins on key collisions — entries
+/// for one fingerprint are deterministic, so collisions are identical.
+fn harvest_wal(shared: &Arc<Shared>, tenant: &str, fingerprint: &str, wal: &Path) {
+    let Ok((_, generations)) = load(wal) else {
+        return;
+    };
+    let mut warm = lock(&shared.warm);
+    let entries = warm
+        .entry(tenant.to_string())
+        .or_default()
+        .entry(fingerprint.to_string())
+        .or_default();
+    let mut added = 0u64;
+    for generation in generations {
+        for entry in generation.entries {
+            if !entries.contains_key(&entry.key) {
+                entries.insert(entry.key.clone(), entry);
+                added += 1;
+            }
+        }
+    }
+    if added > 0 {
+        trace::labeled_counter("tunio.serve.warm_entries", &[("tenant", tenant)]).inc(added);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Startup recovery
+// ---------------------------------------------------------------------------
+
+fn recover(shared: &Arc<Shared>) -> std::io::Result<()> {
+    let scan = scan_dir(&shared.config.wal_dir, |h: &CheckpointHeader| {
+        spec_from_header(h).map(|_| ())
+    })?;
+    for q in scan.quarantined {
+        let target = q.path.with_extension("jsonl.quarantined");
+        let _ = std::fs::rename(&q.path, &target);
+        trace::counter("tunio.serve.quarantined_wals").inc(1);
+        shared.log(&format!(
+            "quarantined {} -> {}: {}",
+            q.path.display(),
+            target.display(),
+            q.reason
+        ));
+    }
+    let mut to_queue: Vec<String> = Vec::new();
+    for wal in scan.resumable {
+        let Some(id) = wal
+            .path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .map(String::from)
+        else {
+            continue;
+        };
+        let request = match recover_request(shared, &id, &wal.header) {
+            Ok(r) => r,
+            Err(why) => {
+                shared.log(&format!("cannot reconstruct request for {id}: {why}"));
+                continue;
+            }
+        };
+        let tenant = request.tenant.clone();
+        let fingerprint = request.fingerprint();
+        let mut record = CampaignRecord::fresh(&id, request);
+        record.generations = wal.generations as u32;
+        if shared.outcome_path(&id).exists() {
+            // Finished before the previous shutdown: the outcome file is
+            // durable, so surface it as done and recycle its entries.
+            record.state = CampaignState::Done;
+            if let Ok((_, generations)) = load(&wal.path) {
+                if let Some(last) = generations.last() {
+                    record.best_perf = Some(last.record.best_perf);
+                }
+            }
+            harvest_wal(shared, &tenant, &fingerprint, &wal.path);
+            shared.log(&format!("recovered finished campaign {id}"));
+        } else {
+            record.resumed = true;
+            to_queue.push(id.clone());
+            shared.log(&format!(
+                "resuming campaign {id} ({} generations in WAL)",
+                wal.generations
+            ));
+        }
+        lock(&shared.records).insert(id, record);
+    }
+    // Accepted-but-never-started campaigns: a meta sidecar with no WAL.
+    let mut meta_ids: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(&shared.config.wal_dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        if let Some(id) = name.strip_suffix(".meta.json") {
+            meta_ids.push(id.to_string());
+        }
+    }
+    meta_ids.sort();
+    for id in meta_ids {
+        if lock(&shared.records).contains_key(&id) {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(shared.meta_path(&id)) else {
+            continue;
+        };
+        let Ok(value) = serde_json::from_str::<serde_json::Value>(&text) else {
+            shared.log(&format!("unreadable meta sidecar for {id}, skipping"));
+            continue;
+        };
+        match CampaignRequest::from_json(&value) {
+            Ok(request) => {
+                lock(&shared.records).insert(id.clone(), CampaignRecord::fresh(&id, request));
+                to_queue.push(id.clone());
+                shared.log(&format!("re-enqueued never-started campaign {id}"));
+            }
+            Err(why) => shared.log(&format!("stale meta sidecar for {id}: {why}")),
+        }
+    }
+    for id in to_queue {
+        lock(&shared.queue).push_back(id);
+        shared.queue_cv.notify_one();
+    }
+    Ok(())
+}
+
+/// Rebuild a submission for a recovered WAL: prefer its meta sidecar,
+/// else invert the WAL header (tenant comes from the id's `{tenant}--`
+/// prefix, or `recovered` for foreign ids).
+fn recover_request(
+    shared: &Arc<Shared>,
+    id: &str,
+    header: &CheckpointHeader,
+) -> Result<CampaignRequest, String> {
+    if let Ok(text) = std::fs::read_to_string(shared.meta_path(id)) {
+        if let Ok(value) = serde_json::from_str::<serde_json::Value>(&text) {
+            if let Ok(request) = CampaignRequest::from_json(&value) {
+                return Ok(request);
+            }
+        }
+    }
+    let (spec, strategy) = spec_from_header(header)?;
+    let tenant = id
+        .split_once("--")
+        .map(|(t, _)| t.to_string())
+        .filter(|t| ident_ok(t))
+        .unwrap_or_else(|| "recovered".to_string());
+    Ok(CampaignRequest {
+        tenant,
+        name: None,
+        app: spec.app.name.clone(),
+        pipeline: match spec.kind {
+            PipelineKind::TunIo => "tunio",
+            PipelineKind::HsTunerNoStop => "hstuner",
+            PipelineKind::HsTunerHeuristic => "hstuner-heuristic",
+            PipelineKind::ImpactFirstOnly => "impact-first",
+            PipelineKind::RlStopOnly => "rl-stop",
+        }
+        .to_string(),
+        strategy: strategy.map(|s| s.label().to_string()),
+        variant: match spec.variant {
+            Variant::Full => "full".to_string(),
+            Variant::Kernel => "kernel".to_string(),
+            Variant::ReducedKernel { keep_fraction } => format!("reduced:{keep_fraction}"),
+        },
+        iterations: spec.max_iterations,
+        population: spec.population,
+        seed: spec.seed,
+        large_scale: spec.large_scale,
+        threads: None,
+        fault_rate: None,
+        fault_seed: None,
+        inject_panic: false,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// HTTP surface
+// ---------------------------------------------------------------------------
+
+fn handle_request(shared: &Arc<Shared>, req: &Request) -> Reply {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/metrics") => (200, trace::render_global()),
+        ("POST", "/drain") => {
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+            (200, "{\"state\":\"draining\"}".to_string())
+        }
+        ("POST", "/campaigns") => {
+            let body = String::from_utf8_lossy(&req.body);
+            let value: serde_json::Value = match serde_json::from_str(&body) {
+                Ok(v) => v,
+                Err(e) => {
+                    return (
+                        400,
+                        format!(
+                            "{{\"error\":\"bad JSON: {}\"}}",
+                            quote_inner(&e.to_string())
+                        ),
+                    )
+                }
+            };
+            match CampaignRequest::from_json(&value) {
+                Ok(request) => submit(shared, request),
+                Err(why) => (400, format!("{{\"error\":{}}}", quote(&why))),
+            }
+        }
+        ("GET", "/campaigns") => {
+            let records = lock(&shared.records);
+            let filter = req.query_get("tenant");
+            let items: Vec<String> = records
+                .values()
+                .filter(|r| filter.is_none_or(|t| r.request.tenant == t))
+                .map(|r| r.status_json())
+                .collect();
+            (200, format!("[{}]", items.join(",")))
+        }
+        ("GET", path) if path.starts_with("/campaigns/") => {
+            let rest = &path["/campaigns/".len()..];
+            if let Some(id) = rest.strip_suffix("/events") {
+                let from: usize = req
+                    .query_get("from")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0);
+                events_reply(shared, id, from)
+            } else {
+                let records = lock(&shared.records);
+                match records.get(rest) {
+                    Some(r) => (200, r.status_json()),
+                    None => (404, "{\"error\":\"no such campaign\"}".to_string()),
+                }
+            }
+        }
+        _ => (404, "{\"error\":\"no such endpoint\"}".to_string()),
+    }
+}
+
+fn quote_inner(s: &str) -> String {
+    let q = quote(s);
+    q[1..q.len() - 1].to_string()
+}
+
+/// Build the event stream for one campaign: lifecycle events framed
+/// around per-generation progress read straight from the WAL. Returned
+/// as JSONL; `from=N` skips the first N lines so clients can tail.
+fn events_reply(shared: &Arc<Shared>, id: &str, from: usize) -> Reply {
+    let record = {
+        let records = lock(&shared.records);
+        match records.get(id) {
+            Some(r) => r.clone(),
+            None => return (404, "{\"error\":\"no such campaign\"}".to_string()),
+        }
+    };
+    let mut lines: Vec<String> = Vec::new();
+    lines.push(format!(
+        "{{\"event\":\"submitted\",\"id\":{},\"tenant\":{}}}",
+        quote(id),
+        quote(&record.request.tenant)
+    ));
+    if record.resumed {
+        lines.push("{\"event\":\"resumed\"}".to_string());
+    }
+    if record.state != CampaignState::Queued {
+        lines.push("{\"event\":\"started\"}".to_string());
+    }
+    if let Ok((_, generations)) = load(&shared.wal_path(id)) {
+        for g in &generations {
+            lines.push(format!(
+                "{{\"event\":\"generation\",\"iteration\":{},\"best_perf\":{:?},\"cost_s\":{:?}}}",
+                g.record.iteration, g.record.best_perf, g.record.cost_s
+            ));
+        }
+    }
+    match record.state {
+        CampaignState::Done => lines.push(format!(
+            "{{\"event\":\"done\",\"best_perf\":{:?}}}",
+            record.best_perf.unwrap_or(f64::NAN)
+        )),
+        CampaignState::Failed => lines.push(format!(
+            "{{\"event\":\"failed\",\"error\":{}}}",
+            quote(record.error.as_deref().unwrap_or("unknown"))
+        )),
+        _ => {}
+    }
+    let body: String = lines.into_iter().skip(from).map(|l| l + "\n").collect();
+    (200, body)
+}
+
+fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let reply = match read_request(&mut stream) {
+        Ok(req) => handle_request(shared, &req),
+        Err(e) => (400, format!("{{\"error\":{}}}", quote(&e.to_string()))),
+    };
+    let content_type = if reply.1.starts_with('{') || reply.1.starts_with('[') {
+        "application/json"
+    } else {
+        "text/plain; charset=utf-8"
+    };
+    let _ = write_response(&mut stream, reply.0, content_type, &reply.1);
+}
+
+// ---------------------------------------------------------------------------
+// Daemon lifecycle
+// ---------------------------------------------------------------------------
+
+/// A running `tunio-serve` instance: HTTP listener + campaign workers.
+///
+/// Shut down with [`Daemon::drain_and_join`] (graceful: queued work
+/// finishes, new submissions get 503). Dropping only stops the listener;
+/// an abrupt kill is always safe — that is what the WAL recovery path
+/// is for.
+pub struct Daemon {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    stop_listener: Arc<AtomicBool>,
+    listener_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Boot: create the WAL directory, recover every campaign found in
+    /// it, bind the listener, start the worker pool.
+    pub fn start(config: ServeConfig) -> std::io::Result<Daemon> {
+        std::fs::create_dir_all(&config.wal_dir)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            config,
+            records: Mutex::new(BTreeMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            warm: Mutex::new(HashMap::new()),
+        });
+        recover(&shared)?;
+        let stop_listener = Arc::new(AtomicBool::new(false));
+        let listener_handle = {
+            let shared = shared.clone();
+            let stop = stop_listener.clone();
+            std::thread::Builder::new()
+                .name("tunio-serve-http".to_string())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let shared = shared.clone();
+                                let _ = std::thread::Builder::new()
+                                    .name("tunio-serve-conn".to_string())
+                                    .spawn(move || handle_conn(&shared, stream));
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                        }
+                    }
+                })?
+        };
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("tunio-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        shared.log(&format!(
+            "listening on {addr} ({} workers, WAL dir {})",
+            workers,
+            shared.config.wal_dir.display()
+        ));
+        Ok(Daemon {
+            addr,
+            shared,
+            stop_listener,
+            listener_handle: Some(listener_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Start a graceful drain: refuse new submissions, let queued and
+    /// running campaigns finish.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Whether a drain has been requested (via [`Daemon::drain`] or
+    /// `POST /drain`).
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Drain and block until every worker has exited, then stop the
+    /// listener. Campaigns still queued when the drain starts DO run.
+    pub fn drain_and_join(&mut self) {
+        self.drain();
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.stop_listener.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.listener_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // Only the listener: workers may be mid-campaign, and killing a
+        // campaign abruptly is exactly what the WAL makes safe.
+        self.stop_listener.store(true, Ordering::SeqCst);
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        if let Some(handle) = self.listener_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(json: &str) -> serde_json::Value {
+        serde_json::from_str(json).expect("valid json")
+    }
+
+    #[test]
+    fn request_parses_with_defaults() {
+        let req =
+            CampaignRequest::from_json(&value("{\"tenant\":\"alice\",\"app\":\"hacc\"}")).unwrap();
+        assert_eq!(req.pipeline, "tunio");
+        assert_eq!(req.variant, "kernel");
+        assert_eq!(req.iterations, 10);
+        assert_eq!(req.population, 6);
+        assert_eq!(req.seed, 42);
+        assert!(!req.inject_panic);
+        let (spec, strategy) = req.to_spec().unwrap();
+        assert_eq!(spec.kind, PipelineKind::TunIo);
+        assert!(strategy.is_none());
+    }
+
+    #[test]
+    fn request_rejects_what_the_build_cannot_host() {
+        for (body, needle) in [
+            ("{\"app\":\"hacc\"}", "tenant"),
+            ("{\"tenant\":\"a\",\"app\":\"nope\"}", "unknown application"),
+            (
+                "{\"tenant\":\"a\",\"app\":\"hacc\",\"pipeline\":\"x\"}",
+                "unknown pipeline",
+            ),
+            (
+                "{\"tenant\":\"a\",\"app\":\"hacc\",\"strategy\":\"x\"}",
+                "unknown strategy",
+            ),
+            (
+                "{\"tenant\":\"a\",\"app\":\"hacc\",\"variant\":\"x\"}",
+                "unknown variant",
+            ),
+            (
+                "{\"tenant\":\"bad tenant!\",\"app\":\"hacc\"}",
+                "bad tenant",
+            ),
+        ] {
+            let err = CampaignRequest::from_json(&value(body)).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn request_meta_json_round_trips() {
+        let req = CampaignRequest::from_json(&value(
+            "{\"tenant\":\"t1\",\"name\":\"n\",\"app\":\"vpic\",\"pipeline\":\"hstuner\",\
+             \"strategy\":\"bo\",\"variant\":\"reduced:0.25\",\"iterations\":7,\
+             \"population\":5,\"seed\":9,\"large_scale\":true,\"threads\":3,\
+             \"fault_rate\":0.1,\"fault_seed\":4,\"inject_panic\":true}",
+        ))
+        .unwrap();
+        let reparsed = CampaignRequest::from_json(&value(&req.to_json())).unwrap();
+        assert_eq!(format!("{reparsed:?}"), format!("{req:?}"));
+    }
+
+    #[test]
+    fn fingerprint_ignores_pipeline_and_strategy() {
+        let a = CampaignRequest::from_json(&value("{\"tenant\":\"t\",\"app\":\"hacc\"}")).unwrap();
+        let mut b = a.clone();
+        b.pipeline = "hstuner".to_string();
+        b.strategy = Some("random".to_string());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.seed = 43;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}

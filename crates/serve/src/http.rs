@@ -1,0 +1,208 @@
+//! A hand-rolled HTTP/1.1 request/response layer over `std::net`.
+//!
+//! The daemon speaks just enough HTTP for `curl` and the load generator:
+//! request line + headers + `Content-Length` bodies in, fixed-length
+//! `Connection: close` responses out. No external dependency, same
+//! trade-off as [`tunio_trace`]'s `MetricsServer` — the build environment
+//! vendors every dependency, so a full HTTP stack is not on the table,
+//! and the API surface (a handful of JSON endpoints) does not need one.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Cap on request size (start line + headers + body). Campaign
+/// submissions are a few hundred bytes; anything larger is abuse.
+const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// A parsed request: method, path, query pairs, body bytes.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Path with the query string stripped (e.g. `/campaigns/t--c0001`).
+    pub path: String,
+    /// Decoded `k=v` query pairs, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Raw body bytes (`Content-Length`-delimited).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn query_get(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one request off the stream. Returns `Err` on malformed input,
+/// timeouts (2s for slow-loris protection), or oversized requests.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 4096];
+    let mut seen: Vec<u8> = Vec::new();
+    let header_end = loop {
+        if let Some(pos) = find_subslice(&seen, b"\r\n\r\n") {
+            break pos;
+        }
+        if seen.len() > MAX_REQUEST_BYTES {
+            return Err(bad("request headers too large"));
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-request"));
+        }
+        seen.extend_from_slice(&buf[..n]);
+    };
+    let head = String::from_utf8_lossy(&seen[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let start = lines.next().unwrap_or("");
+    let mut parts = start.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().map_err(|_| bad("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_REQUEST_BYTES {
+        return Err(bad("request body too large"));
+    }
+    let mut body: Vec<u8> = seen[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-body"));
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        body,
+    })
+}
+
+/// Write a fixed-length `Connection: close` response.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let response = format!(
+        "HTTP/1.1 {} {}\r\n\
+         Content-Type: {}\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{}",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        body
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Canonical reason phrase for the handful of statuses the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect()
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+fn bad(why: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, why)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(raw: &[u8]) -> std::io::Result<Request> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.flush().unwrap();
+            // Keep the write half open until the server has parsed.
+            std::thread::sleep(Duration::from_millis(50));
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = roundtrip(
+            b"POST /campaigns?tenant=alice&x HTTP/1.1\r\n\
+              Host: localhost\r\nContent-Length: 10\r\n\r\n{\"a\":true}"
+                .as_slice(),
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/campaigns");
+        assert_eq!(req.query_get("tenant"), Some("alice"));
+        assert_eq!(req.query_get("x"), Some(""));
+        assert_eq!(req.body, b"{\"a\":true}");
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_REQUEST_BYTES + 1
+        );
+        assert!(roundtrip(raw.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn get_without_body_parses() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+}

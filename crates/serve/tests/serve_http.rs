@@ -1,0 +1,363 @@
+//! End-to-end tests for the daemon over real HTTP: multi-tenant
+//! concurrency, per-tenant cache namespacing, quota enforcement, panic
+//! isolation, restart recovery, and WAL quarantine.
+//!
+//! The trace metric registry is global to the test process, so metric
+//! assertions check presence/deltas, never absolute values.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use tunio_serve::{Daemon, ServeConfig};
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tunio-serve-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+fn config(wal_dir: &Path, workers: usize) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        wal_dir: wal_dir.to_path_buf(),
+        workers,
+        max_active_per_tenant: 4,
+        max_queue: 64,
+        quiet: true,
+    }
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {response:?}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn submit(addr: SocketAddr, body: &str) -> (u16, String) {
+    http(addr, "POST", "/campaigns", Some(body))
+}
+
+/// Poll a campaign until it leaves queued/running (or the deadline hits).
+/// Returns its final status JSON.
+fn await_settled(addr: SocketAddr, id: &str) -> serde_json::Value {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = http(addr, "GET", &format!("/campaigns/{id}"), None);
+        assert_eq!(status, 200, "status for {id}: {body}");
+        let v: serde_json::Value = serde_json::from_str(&body).expect("status json");
+        let state = v.get("state").and_then(|s| s.as_str()).unwrap_or("");
+        if state == "done" || state == "failed" {
+            return v;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "campaign {id} stuck in `{state}`"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn state_of(v: &serde_json::Value) -> &str {
+    v.get("state").and_then(|s| s.as_str()).unwrap()
+}
+
+const SPEC: &str = "\"app\":\"hacc\",\"variant\":\"kernel\",\"iterations\":6,\
+                    \"population\":4,\"seed\":42";
+
+#[test]
+fn concurrent_tenants_complete_with_namespaced_caches() {
+    let dir = test_dir("tenants");
+    let mut daemon = Daemon::start(config(&dir, 2)).expect("daemon boots");
+    let addr = daemon.addr();
+
+    // Four tenants submit the same campaign simultaneously.
+    let tenants = ["t1", "t2", "t3", "t4"];
+    let mut ids = Vec::new();
+    for t in tenants {
+        let (status, body) = submit(
+            addr,
+            &format!("{{\"tenant\":\"{t}\",\"name\":\"first\",{SPEC}}}"),
+        );
+        assert_eq!(status, 202, "{body}");
+        ids.push(format!("{t}--first"));
+    }
+    for id in &ids {
+        let v = await_settled(addr, id);
+        assert_eq!(state_of(&v), "done", "{id}: {v:?}");
+    }
+
+    // Determinism across tenants: identical specs, byte-identical outcomes.
+    let first = std::fs::read(dir.join("t1--first.outcome.json")).unwrap();
+    for t in &tenants[1..] {
+        let other = std::fs::read(dir.join(format!("{t}--first.outcome.json"))).unwrap();
+        assert_eq!(first, other, "outcome diverged for {t}");
+    }
+
+    // A tenant's rerun of the same fingerprint is served fully from its
+    // own warm cache: the simulator is never touched (sim_wall_s == 0).
+    let (status, _) = submit(
+        addr,
+        &format!("{{\"tenant\":\"t1\",\"name\":\"again\",{SPEC}}}"),
+    );
+    assert_eq!(status, 202);
+    let v = await_settled(addr, "t1--again");
+    assert_eq!(state_of(&v), "done");
+    let warm_wall = v
+        .get("counters")
+        .and_then(|c| c.get("sim_wall_s"))
+        .and_then(|x| x.as_f64())
+        .unwrap();
+    assert_eq!(warm_wall, 0.0, "warm rerun touched the simulator: {v:?}");
+    let rerun = std::fs::read(dir.join("t1--again.outcome.json")).unwrap();
+    assert_eq!(first, rerun, "warm rerun forked the outcome");
+
+    // A *new* tenant running the same spec gets no such warmth — its
+    // namespace is empty, so it must pay for its own simulations.
+    let (status, _) = submit(
+        addr,
+        &format!("{{\"tenant\":\"t5\",\"name\":\"cold\",{SPEC}}}"),
+    );
+    assert_eq!(status, 202);
+    let v = await_settled(addr, "t5--cold");
+    assert_eq!(state_of(&v), "done");
+    let cold_wall = v
+        .get("counters")
+        .and_then(|c| c.get("sim_wall_s"))
+        .and_then(|x| x.as_f64())
+        .unwrap();
+    assert!(
+        cold_wall > 0.0,
+        "tenant t5 was served from another tenant's cache: {v:?}"
+    );
+
+    // Progress events: lifecycle + one generation event per WAL line,
+    // and `from=N` tails past what was already seen.
+    let (status, events) = http(addr, "GET", "/campaigns/t1--first/events", None);
+    assert_eq!(status, 200);
+    let generations = events
+        .lines()
+        .filter(|l| l.contains("\"event\":\"generation\""))
+        .count();
+    assert!(generations >= 1, "no generation events: {events}");
+    assert!(events.contains("\"event\":\"submitted\""));
+    assert!(events.contains("\"event\":\"done\""));
+    let (_, tail) = http(addr, "GET", "/campaigns/t1--first/events?from=2", None);
+    assert_eq!(tail.lines().count(), events.lines().count() - 2);
+
+    // Per-tenant labeled metrics are exposed on /metrics.
+    let (_, metrics) = http(addr, "GET", "/metrics", None);
+    assert!(
+        metrics.contains("tunio_serve_submitted{tenant=\"t1\"}"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("tunio_serve_completed{tenant=\"t5\"}"));
+
+    daemon.drain_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tenant_quota_returns_429_without_losing_admitted_work() {
+    let dir = test_dir("quota");
+    let mut cfg = config(&dir, 1);
+    cfg.max_active_per_tenant = 2;
+    let mut daemon = Daemon::start(cfg).expect("daemon boots");
+    let addr = daemon.addr();
+
+    let (s1, _) = submit(addr, &format!("{{\"tenant\":\"q\",\"name\":\"a\",{SPEC}}}"));
+    let (s2, _) = submit(addr, &format!("{{\"tenant\":\"q\",\"name\":\"b\",{SPEC}}}"));
+    assert_eq!((s1, s2), (202, 202));
+    let (s3, body) = submit(addr, &format!("{{\"tenant\":\"q\",\"name\":\"c\",{SPEC}}}"));
+    assert_eq!(s3, 429, "{body}");
+    assert!(body.contains("active campaigns"), "{body}");
+
+    // Another tenant is not affected by q's quota.
+    let (s4, _) = submit(addr, &format!("{{\"tenant\":\"r\",\"name\":\"a\",{SPEC}}}"));
+    assert_eq!(s4, 202);
+
+    // The admitted campaigns still finish; quota frees up afterwards.
+    assert_eq!(state_of(&await_settled(addr, "q--a")), "done");
+    assert_eq!(state_of(&await_settled(addr, "q--b")), "done");
+    let (s5, _) = submit(addr, &format!("{{\"tenant\":\"q\",\"name\":\"c\",{SPEC}}}"));
+    assert_eq!(s5, 202);
+    assert_eq!(state_of(&await_settled(addr, "q--c")), "done");
+
+    // Duplicate ids are refused.
+    let (s6, _) = submit(addr, &format!("{{\"tenant\":\"q\",\"name\":\"c\",{SPEC}}}"));
+    assert_eq!(s6, 409);
+
+    daemon.drain_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn evaluator_panic_fails_one_campaign_and_spares_the_rest() {
+    let dir = test_dir("panic");
+    let mut daemon = Daemon::start(config(&dir, 2)).expect("daemon boots");
+    let addr = daemon.addr();
+
+    // Four tenants: one panicking evaluator drill, one chaos-faulted but
+    // survivable, two plain. The acceptance bar: 3 complete, 1 failed,
+    // the process never dies.
+    let bodies = [
+        format!("{{\"tenant\":\"p1\",\"name\":\"x\",{SPEC}}}"),
+        format!("{{\"tenant\":\"p2\",\"name\":\"x\",{SPEC},\"inject_panic\":true}}"),
+        format!("{{\"tenant\":\"p3\",\"name\":\"x\",{SPEC},\"fault_rate\":0.2}}"),
+        format!("{{\"tenant\":\"p4\",\"name\":\"x\",{SPEC}}}"),
+    ];
+    for b in &bodies {
+        let (status, body) = submit(addr, b);
+        assert_eq!(status, 202, "{body}");
+    }
+    let p1 = await_settled(addr, "p1--x");
+    let p2 = await_settled(addr, "p2--x");
+    let p3 = await_settled(addr, "p3--x");
+    let p4 = await_settled(addr, "p4--x");
+    assert_eq!(state_of(&p1), "done");
+    assert_eq!(state_of(&p2), "failed");
+    assert!(
+        p2.get("error")
+            .and_then(|e| e.as_str())
+            .unwrap()
+            .contains("panicked"),
+        "{p2:?}"
+    );
+    assert_eq!(state_of(&p3), "done");
+    assert_eq!(state_of(&p4), "done");
+
+    // The daemon is still healthy and still takes work after the panic.
+    let (status, body) = http(addr, "GET", "/healthz", None);
+    assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+    let (status, _) = submit(
+        addr,
+        &format!("{{\"tenant\":\"p2\",\"name\":\"y\",{SPEC}}}"),
+    );
+    assert_eq!(status, 202);
+    assert_eq!(state_of(&await_settled(addr, "p2--y")), "done");
+
+    // The failure is visible in the event stream too.
+    let (_, events) = http(addr, "GET", "/campaigns/p2--x/events", None);
+    assert!(events.contains("\"event\":\"failed\""), "{events}");
+
+    daemon.drain_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_resumes_interrupted_campaigns_bitwise_identically() {
+    let dir = test_dir("restart");
+    let (reference, wal_lines) = {
+        let mut daemon = Daemon::start(config(&dir, 1)).expect("daemon boots");
+        let addr = daemon.addr();
+        let (status, _) = submit(
+            addr,
+            &format!("{{\"tenant\":\"w\",\"name\":\"job\",{SPEC}}}"),
+        );
+        assert_eq!(status, 202);
+        assert_eq!(state_of(&await_settled(addr, "w--job")), "done");
+        daemon.drain_and_join();
+        let outcome = std::fs::read(dir.join("w--job.outcome.json")).unwrap();
+        let wal = std::fs::read_to_string(dir.join("w--job.jsonl")).unwrap();
+        (outcome, wal.lines().map(String::from).collect::<Vec<_>>())
+    };
+
+    // Simulate a kill -9 mid-campaign: keep the header plus the first
+    // two generations of the WAL and delete the outcome file.
+    assert!(wal_lines.len() >= 4, "campaign too short for the drill");
+    let truncated: String = wal_lines[..3].join("\n") + "\n";
+    std::fs::write(dir.join("w--job.jsonl"), truncated).unwrap();
+    std::fs::remove_file(dir.join("w--job.outcome.json")).unwrap();
+
+    // A fresh daemon over the same WAL dir resumes it to completion
+    // without being asked, and the outcome is byte-identical.
+    let mut daemon = Daemon::start(config(&dir, 1)).expect("daemon reboots");
+    let addr = daemon.addr();
+    let v = await_settled(addr, "w--job");
+    assert_eq!(state_of(&v), "done", "{v:?}");
+    assert_eq!(
+        v.get("resumed"),
+        Some(&serde_json::Value::Bool(true)),
+        "{v:?}"
+    );
+    let resumed = std::fs::read(dir.join("w--job.outcome.json")).unwrap();
+    assert_eq!(reference, resumed, "resume forked the outcome");
+    let (_, events) = http(addr, "GET", "/campaigns/w--job/events", None);
+    assert!(events.contains("\"event\":\"resumed\""), "{events}");
+
+    daemon.drain_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn boot_quarantines_alien_wals_and_keeps_serving() {
+    let dir = test_dir("quarantine");
+    // A WAL this build cannot host (unknown strategy)...
+    std::fs::write(
+        dir.join("z--alien.jsonl"),
+        "{\"version\":1,\"app\":\"hacc\",\"variant\":\"Kernel\",\
+         \"kind\":\"TunIO [strategy=alien]\",\"max_iterations\":4,\
+         \"population\":4,\"seed\":1,\"large_scale\":false}\n",
+    )
+    .unwrap();
+    // ...and one that is not a checkpoint at all.
+    std::fs::write(dir.join("z--noise.jsonl"), "not json at all\n").unwrap();
+
+    let mut daemon = Daemon::start(config(&dir, 1)).expect("daemon boots despite bad WALs");
+    let addr = daemon.addr();
+    assert!(dir.join("z--alien.jsonl.quarantined").exists());
+    assert!(dir.join("z--noise.jsonl.quarantined").exists());
+    assert!(!dir.join("z--alien.jsonl").exists());
+
+    // Quarantine is an event, not an outage: submissions still work.
+    let (status, _) = submit(
+        addr,
+        &format!("{{\"tenant\":\"z\",\"name\":\"ok\",{SPEC}}}"),
+    );
+    assert_eq!(status, 202);
+    assert_eq!(state_of(&await_settled(addr, "z--ok")), "done");
+    let (_, metrics) = http(addr, "GET", "/metrics", None);
+    assert!(
+        metrics.contains("tunio_serve_quarantined_wals"),
+        "{metrics}"
+    );
+
+    daemon.drain_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_refuses_new_work_but_finishes_queued_work() {
+    let dir = test_dir("drain");
+    let mut daemon = Daemon::start(config(&dir, 1)).expect("daemon boots");
+    let addr = daemon.addr();
+    let (s1, _) = submit(addr, &format!("{{\"tenant\":\"d\",\"name\":\"a\",{SPEC}}}"));
+    let (s2, _) = submit(addr, &format!("{{\"tenant\":\"d\",\"name\":\"b\",{SPEC}}}"));
+    assert_eq!((s1, s2), (202, 202));
+    let (status, body) = http(addr, "POST", "/drain", None);
+    assert_eq!((status, body.as_str()), (200, "{\"state\":\"draining\"}"));
+    let (s3, body) = submit(addr, &format!("{{\"tenant\":\"d\",\"name\":\"c\",{SPEC}}}"));
+    assert_eq!(s3, 503, "{body}");
+    daemon.drain_and_join();
+    // Both admitted campaigns ran to completion during the drain.
+    assert!(dir.join("d--a.outcome.json").exists());
+    assert!(dir.join("d--b.outcome.json").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}

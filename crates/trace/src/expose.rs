@@ -8,7 +8,10 @@
 //!
 //! [`MetricsServer`] serves that text over HTTP from a background thread
 //! so a live campaign can be scraped mid-run: scrapes only read atomic
-//! snapshots and never block metric writers.
+//! snapshots and never block metric writers. Each accepted connection is
+//! handled on its own short-lived thread, so one stalled scraper cannot
+//! starve the others — the serve daemon exposes this endpoint to every
+//! tenant at once.
 
 use crate::metrics::{MetricSnapshot, MetricValue};
 use std::io::{Read, Write};
@@ -157,7 +160,15 @@ impl MetricsServer {
                 while !stop.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            let _ = serve_one(stream);
+                            // One thread per scrape: a client that connects
+                            // and then stalls must not block the accept loop
+                            // (read timeouts in serve_one bound each thread's
+                            // lifetime to ~500ms).
+                            let _ = std::thread::Builder::new()
+                                .name("tunio-metrics-conn".to_string())
+                                .spawn(move || {
+                                    let _ = serve_one(stream);
+                                });
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(5));
@@ -194,6 +205,9 @@ impl Drop for MetricsServer {
 }
 
 fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
+    // The accepted stream inherits the listener's non-blocking flag on
+    // some platforms; reads below rely on the timeout instead.
+    stream.set_nonblocking(false)?;
     // Drain the request line and headers (best effort, bounded): the
     // response is the same for every path, so parsing is unnecessary.
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
@@ -291,6 +305,35 @@ mod tests {
         assert_eq!(text.matches("# TYPE multi counter").count(), 1);
         assert!(text.contains("multi{l=\"a\"} 1\n"));
         assert!(text.contains("multi{l=\"b\"} 2\n"));
+    }
+
+    #[test]
+    fn stalled_scrapers_do_not_block_healthy_ones() {
+        let mut server = MetricsServer::serve("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        // Three clients connect and then say nothing: with a serial accept
+        // loop each would hold the server for its full 500ms read timeout.
+        let stalled: Vec<TcpStream> = (0..3)
+            .map(|_| TcpStream::connect(addr).expect("connect"))
+            .collect();
+        let started = std::time::Instant::now();
+        let mut healthy = TcpStream::connect(addr).expect("connect");
+        healthy
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        healthy.read_to_string(&mut response).expect("response");
+        assert!(
+            response.starts_with("HTTP/1.1 200 OK"),
+            "unexpected response: {response:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "healthy scrape blocked behind stalled clients: {:?}",
+            started.elapsed()
+        );
+        drop(stalled);
+        server.shutdown();
     }
 
     #[test]

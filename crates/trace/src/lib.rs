@@ -53,7 +53,7 @@ pub mod metrics;
 pub mod report;
 pub mod sink;
 
-pub use expose::{render_prometheus, MetricsServer};
+pub use expose::{render_global, render_prometheus, MetricsServer};
 pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot};
 pub use sink::{JsonlSink, MemorySink, Sink};
 

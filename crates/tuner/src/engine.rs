@@ -307,7 +307,7 @@ const FAULT_KINDS: [FaultKind; 4] = [
 
 /// Callback installed into a [`SimGate`].
 #[cfg(test)]
-type GateFn = Arc<dyn Fn(&[usize]) + Send + Sync>;
+pub(crate) type GateFn = Arc<dyn Fn(&[usize]) + Send + Sync>;
 
 /// Test hook: lets unit tests block inside [`EvalEngine::simulate`] to
 /// prove that concurrent evaluations of *different* keys do not
@@ -368,6 +368,14 @@ impl EvalEngine {
     pub fn with_policy(mut self, policy: FailurePolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Install a simulator-entry hook (crate tests only): called with
+    /// the gene key of every configuration about to simulate. Used to
+    /// stall or panic chosen evaluations.
+    #[cfg(test)]
+    pub(crate) fn install_sim_gate(&self, gate: GateFn) {
+        *self.sim_gate.0.lock().unwrap_or_else(|p| p.into_inner()) = Some(gate);
     }
 
     fn shard_of(key: &[usize]) -> usize {

@@ -35,7 +35,7 @@ fn main() {
         seed: 42,
         large_scale: false,
     };
-    let outcome = run_campaign(&spec);
+    let outcome = run_campaign(&spec).expect("fault-free campaign");
     let trace = &outcome.trace;
 
     // 3. Results.

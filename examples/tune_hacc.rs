@@ -29,7 +29,7 @@ fn main() {
             seed: 7,
             large_scale: false,
         };
-        let outcome = run_campaign(&spec);
+        let outcome = run_campaign(&spec).expect("fault-free campaign");
         let trace = &outcome.trace;
 
         println!("=== {} ===", kind.label());
