@@ -66,6 +66,7 @@ fn main() {
         max_active_per_tenant: CAMPAIGNS_PER_TENANT,
         max_queue: 64,
         quiet: true,
+        trace_path: None,
     })
     .expect("daemon boots");
     let addr = daemon.addr();

@@ -181,6 +181,12 @@ pub struct CampaignOutcome {
     /// uses this to prove per-tenant cache namespacing. Excluded from
     /// [`outcome_json`] (wall-clock is not deterministic).
     pub counters: EvalCounters,
+    /// Exclusive wall-clock breakdown of the campaign (queue wait,
+    /// propose, simulation, surrogate, WAL, trace overhead, scheduler
+    /// stall) plus its critical path, reconstructed from the campaign's
+    /// span DAG. `None` when tracing is disabled. Excluded from
+    /// [`outcome_json`] — wall-clock is not deterministic.
+    pub wall_breakdown: Option<trace::Timeline>,
 }
 
 /// Robustness options for a campaign: fault injection, failure policy,
@@ -261,6 +267,12 @@ pub fn run_campaign_opts(
         ..GaConfig::default()
     });
 
+    // Open the campaign span before the agents are built: pretraining
+    // (SmartConfigAgent, EarlyStopAgent) runs real simulations, and those
+    // spans must join the campaign's trace rather than each minting a
+    // root of their own.
+    let span = campaign_span(spec);
+
     let needs_smart = matches!(
         spec.kind,
         PipelineKind::TunIo | PipelineKind::ImpactFirstOnly
@@ -307,7 +319,6 @@ pub fn run_campaign_opts(
         engine.preload(opts.preload.clone());
     }
 
-    let span = campaign_span(spec);
     let trace = match checkpointer.as_mut() {
         Some(obs) => tuner.run_with_observer(&engine, stopper.as_mut(), subsets, obs),
         None => tuner.run(&engine, stopper.as_mut(), subsets),
@@ -318,7 +329,7 @@ pub fn run_campaign_opts(
         }
     }
     ensure_viable(&engine)?;
-    finish_campaign(span, spec, &engine, &trace);
+    let wall_breakdown = finish_campaign(span, spec, &engine, &trace);
     Ok(CampaignOutcome {
         kind: spec.kind,
         trace,
@@ -326,6 +337,7 @@ pub fn run_campaign_opts(
         resilience: engine.resilience(),
         scheduler: None,
         counters: engine.counters(),
+        wall_breakdown,
     })
 }
 
@@ -544,6 +556,11 @@ pub fn run_strategy_campaign_opts(
     if let Some(policy) = opts.policy {
         engine = engine.with_policy(policy);
     }
+    // Open the campaign span before warm-start seeding and agent
+    // pretraining: both run real simulations, and those spans must join
+    // the campaign's trace rather than each minting a root of their own.
+    let span = campaign_span(spec);
+
     let mut backend = build_strategy(strategy, spec, &space);
     if let Some(features) = &opts.warm_start {
         let seeds = warm_seed_configs(features, &space);
@@ -605,7 +622,6 @@ pub fn run_strategy_campaign_opts(
     }
 
     let threads = opts.threads.unwrap_or_else(default_threads).max(1);
-    let span = campaign_span(spec);
     let mut no_observer = NoObserver;
     let observer: &mut dyn CampaignObserver = match checkpointer.as_mut() {
         Some(obs) => obs,
@@ -626,7 +642,7 @@ pub fn run_strategy_campaign_opts(
         }
     }
     ensure_viable(&engine)?;
-    finish_campaign(span, spec, &engine, &run.trace);
+    let wall_breakdown = finish_campaign(span, spec, &engine, &run.trace);
     Ok(CampaignOutcome {
         kind: spec.kind,
         trace: run.trace,
@@ -634,6 +650,7 @@ pub fn run_strategy_campaign_opts(
         resilience: engine.resilience(),
         scheduler: Some(run.stats),
         counters: engine.counters(),
+        wall_breakdown,
     })
 }
 
@@ -847,7 +864,18 @@ impl CampaignObserver for CheckpointObserver<'_> {
                 strategy_state: snap.strategy_state.clone(),
                 entries,
             };
-            match self.writer.write_generation(&generation) {
+            // A span (not an event) so WAL append + flush time lands in
+            // its own timeline segment.
+            let wal_span = trace::span(
+                "wal.append",
+                vec![
+                    ("iteration", snap.iteration.into()),
+                    ("entries", generation.entries.len().into()),
+                ],
+            );
+            let written = self.writer.write_generation(&generation);
+            drop(wal_span);
+            match written {
                 Ok(()) => {
                     self.written.inc(1);
                     trace::event(
@@ -889,14 +917,15 @@ fn campaign_span(spec: &CampaignSpec) -> trace::SpanGuard {
 }
 
 /// Close a campaign: emit the `campaign.done` summary event, flush the
-/// metric registry into the trace, and drop the campaign span (which
-/// records total wall time).
+/// metric registry into the trace, drop the campaign span (which records
+/// total wall time), and fold the trace's span DAG into the returned
+/// wall-clock breakdown (recording per-segment histograms as it goes).
 fn finish_campaign(
     span: trace::SpanGuard,
     spec: &CampaignSpec,
     engine: &EvalEngine,
     outcome: &TuningTrace,
-) {
+) -> Option<trace::Timeline> {
     if trace::enabled() {
         let minutes = outcome.total_cost_s() / 60.0;
         let resilience = engine.resilience();
@@ -933,7 +962,48 @@ fn finish_campaign(
         );
         trace::flush_metrics();
     }
+    let ctx = span.context();
     drop(span);
+    let ctx = ctx?;
+    // After the guard drops, the thread-local context is the campaign
+    // span's parent: `None` means the campaign was its trace's root (a
+    // CLI run), so nobody else will snapshot this trace and the live
+    // store entry can be released once the breakdown is taken. Under
+    // `tunio-serve` the enclosing serve root owns the trace's lifetime.
+    let campaign_was_root = trace::current().is_none();
+    let timeline = trace::timeline::snapshot(ctx.trace_id, trace::now_us());
+    if let Some(t) = &timeline {
+        record_segment_metrics(t);
+    }
+    if campaign_was_root {
+        trace::timeline::forget(ctx.trace_id);
+    }
+    timeline
+}
+
+/// Record the breakdown into `/metrics`: one labeled histogram sample
+/// per segment plus an exemplar series tying each segment to a concrete
+/// trace id a human can grep out of the JSONL trace.
+fn record_segment_metrics(t: &trace::Timeline) {
+    trace::expose::describe(
+        "tunio.timeline.segment_s",
+        "Exclusive wall-clock attributed to each campaign timeline segment (seconds)",
+    );
+    trace::expose::describe(
+        "tunio.timeline.exemplar",
+        "Exemplar campaign for each timeline segment; value is that trace's segment seconds",
+    );
+    let tid = format!("{:016x}", t.trace_id);
+    for (seg, us) in &t.segments {
+        let secs = *us as f64 / 1e6;
+        trace::labeled_histogram("tunio.timeline.segment_s", &[("segment", seg.name())])
+            .record(secs);
+        trace::labeled_gauge(
+            "tunio.timeline.exemplar",
+            &[("segment", seg.name()), ("trace_id", &tid)],
+        )
+        .set(secs);
+    }
 }
 
 #[cfg(test)]
@@ -1164,7 +1234,7 @@ pub fn run_campaign_with(tunio: &mut crate::TunIo, spec: &CampaignSpec) -> Campa
     } = tunio;
     let span = campaign_span(spec);
     let trace = tuner.run(&engine, early_stop, smart_config);
-    finish_campaign(span, spec, &engine, &trace);
+    let wall_breakdown = finish_campaign(span, spec, &engine, &trace);
     CampaignOutcome {
         kind: PipelineKind::TunIo,
         trace,
@@ -1172,6 +1242,7 @@ pub fn run_campaign_with(tunio: &mut crate::TunIo, spec: &CampaignSpec) -> Campa
         resilience: engine.resilience(),
         scheduler: None,
         counters: engine.counters(),
+        wall_breakdown,
     }
 }
 

@@ -2,8 +2,14 @@
 //!
 //! ```text
 //! tunio-serve --addr 127.0.0.1:8080 --wal-dir /var/lib/tunio/wal \
-//!             [--workers 2] [--max-active-per-tenant 4] [--max-queue 64] [--quiet]
+//!             [--workers 2] [--max-active-per-tenant 4] [--max-queue 64] \
+//!             [--trace trace.jsonl] [--quiet]
 //! ```
+//!
+//! `--trace FILE` writes a causal JSON-lines trace of every campaign;
+//! feed it to `tunio-report --critical-path` for offline wall-clock
+//! attribution, or hit `GET /campaigns/{id}/timeline` for the same
+//! breakdown live.
 //!
 //! SIGTERM and SIGINT start a graceful drain: running and queued
 //! campaigns finish, new submissions get 503, and the process exits 0
@@ -41,7 +47,7 @@ fn install_signal_handlers() {}
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tunio-serve [--addr HOST:PORT] [--wal-dir DIR] [--workers N]\n\
-         \x20      [--max-active-per-tenant N] [--max-queue N] [--quiet]"
+         \x20      [--max-active-per-tenant N] [--max-queue N] [--trace FILE] [--quiet]"
     );
     ExitCode::from(2)
 }
@@ -81,6 +87,9 @@ fn main() -> ExitCode {
                     config.max_queue = value(&argv, &mut i, "--max-queue")?
                         .parse()
                         .map_err(|e| format!("bad max-queue: {e}"))?;
+                }
+                "--trace" => {
+                    config.trace_path = Some(PathBuf::from(value(&argv, &mut i, "--trace")?))
                 }
                 "--quiet" => config.quiet = true,
                 "--help" | "-h" => return Err(String::new()),

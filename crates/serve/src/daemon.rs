@@ -62,6 +62,10 @@ pub struct ServeConfig {
     pub max_queue: usize,
     /// Suppress boot/recovery log lines on stderr.
     pub quiet: bool,
+    /// Write a JSON-lines causal trace of every campaign here (the file
+    /// `tunio-report --critical-path` reads). `None` disables tracing;
+    /// the timeline endpoint then only sees scheduler-stall time.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +77,7 @@ impl Default for ServeConfig {
             max_active_per_tenant: 4,
             max_queue: 64,
             quiet: false,
+            trace_path: None,
         }
     }
 }
@@ -323,10 +328,39 @@ pub struct CampaignRecord {
     pub best_perf: Option<f64>,
     /// Completed generations (recovered records report the WAL count).
     pub generations: u32,
+    /// The campaign's trace id: a stable hash of the campaign id, so the
+    /// same campaign resumes under the same trace across daemon
+    /// restarts. Minted at submission, returned in the 202 body, and
+    /// the root of every span the campaign emits.
+    pub trace_id: u64,
+    /// Span id reserved for the `serve.campaign` root span (opened
+    /// logically at submission, emitted by the worker at completion).
+    root_span_id: u64,
+    /// Submission wall-clock in trace time (`trace::now_us`); the root
+    /// span and queue-wait segment start here.
+    submitted_us: u64,
+    /// Timeline JSON frozen at completion, served by
+    /// `GET /campaigns/{id}/timeline` once the campaign settles.
+    timeline_json: Option<String>,
+}
+
+/// Stable trace id for a campaign id (FNV-1a 64): resubmitting or
+/// resuming the same campaign keeps the same trace identity.
+fn trace_id_for(id: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // The timeline store treats 0 as the synthetic window node.
+    h.max(1)
 }
 
 impl CampaignRecord {
     fn fresh(id: &str, request: CampaignRequest) -> CampaignRecord {
+        let trace_id = trace_id_for(id);
+        let submitted_us = trace::now_us();
+        trace::timeline::register(trace_id, submitted_us);
         CampaignRecord {
             id: id.to_string(),
             request,
@@ -336,6 +370,10 @@ impl CampaignRecord {
             counters: None,
             best_perf: None,
             generations: 0,
+            trace_id,
+            root_span_id: trace::alloc_span_id(),
+            submitted_us,
+            timeline_json: None,
         }
     }
 
@@ -343,6 +381,7 @@ impl CampaignRecord {
     pub fn status_json(&self) -> String {
         let mut s = String::from("{");
         s.push_str(&format!("\"id\":{}", quote(&self.id)));
+        s.push_str(&format!(",\"trace_id\":\"{:016x}\"", self.trace_id));
         s.push_str(&format!(",\"tenant\":{}", quote(&self.request.tenant)));
         s.push_str(&format!(",\"state\":{}", quote(self.state.label())));
         s.push_str(&format!(",\"resumed\":{}", self.resumed));
@@ -478,7 +517,11 @@ fn submit(shared: &Arc<Shared>, req: CampaignRequest) -> Reply {
     trace::labeled_counter("tunio.serve.submitted", &[("tenant", &tenant)]).inc(1);
     (
         202,
-        format!("{{\"id\":{},\"state\":\"queued\"}}", quote(&id)),
+        format!(
+            "{{\"id\":{},\"trace_id\":\"{:016x}\",\"state\":\"queued\"}}",
+            quote(&id),
+            trace_id_for(&id)
+        ),
     )
 }
 
@@ -512,14 +555,82 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 fn execute(shared: &Arc<Shared>, id: &str) {
-    let request = {
+    let wal = shared.wal_path(id);
+    let resumed = wal.exists();
+    let picked = {
         let mut records = lock(&shared.records);
-        let Some(record) = records.get_mut(id) else {
-            return;
-        };
-        record.state = CampaignState::Running;
-        record.request.clone()
+        records.get_mut(id).map(|record| {
+            // `resumed` must become visible atomically with `Running`:
+            // the events endpoint derives its line sequence from both,
+            // and setting them in two steps would let a tailing client
+            // see a "started" line whose position later shifts when the
+            // "resumed" line lands in front of it (skipped/repeated
+            // lines under `from=N` pagination).
+            record.state = CampaignState::Running;
+            if resumed {
+                record.resumed = true;
+            }
+            (
+                record.request.clone(),
+                record.trace_id,
+                record.root_span_id,
+                record.submitted_us,
+            )
+        })
     };
+    let Some((request, trace_id, root_span_id, submitted_us)) = picked else {
+        return;
+    };
+    if resumed {
+        trace::labeled_counter("tunio.serve.resumed", &[("tenant", &request.tenant)]).inc(1);
+    }
+    // Queue-wait span: submission → worker pickup, hanging directly off
+    // the campaign's root span (which is emitted at completion).
+    let picked_up_us = trace::now_us();
+    trace::emit_span_at(
+        "serve.queue_wait",
+        trace_id,
+        trace::alloc_span_id(),
+        Some(root_span_id),
+        submitted_us,
+        picked_up_us,
+        vec![("id", id.into())],
+    );
+    {
+        // Everything the campaign emits parents under the serve root.
+        let _ctx = trace::with_context(Some(trace::SpanContext {
+            trace_id,
+            span_id: root_span_id,
+        }));
+        run_admitted(shared, id, &request, &wal);
+    }
+    // Close the root span (freezing the trace's overhead accumulator),
+    // freeze the timeline for the status endpoint, and release the live
+    // store entry.
+    let end_us = trace::now_us();
+    let state = lock(&shared.records)
+        .get(id)
+        .map(|r| r.state.label())
+        .unwrap_or("unknown");
+    trace::emit_span_at(
+        "serve.campaign",
+        trace_id,
+        root_span_id,
+        None,
+        submitted_us,
+        end_us,
+        vec![("id", id.into()), ("state", state.into())],
+    );
+    if let Some(t) = trace::timeline::snapshot(trace_id, end_us) {
+        let mut records = lock(&shared.records);
+        if let Some(record) = records.get_mut(id) {
+            record.timeline_json = Some(t.to_json());
+        }
+    }
+    trace::timeline::forget(trace_id);
+}
+
+fn run_admitted(shared: &Arc<Shared>, id: &str, request: &CampaignRequest, wal: &Path) {
     let tenant = request.tenant.clone();
     let (spec, strategy) = match request.to_spec() {
         Ok(parts) => parts,
@@ -528,15 +639,6 @@ fn execute(shared: &Arc<Shared>, id: &str) {
             return;
         }
     };
-    let wal = shared.wal_path(id);
-    let resumed = wal.exists();
-    if resumed {
-        let mut records = lock(&shared.records);
-        if let Some(record) = records.get_mut(id) {
-            record.resumed = true;
-        }
-        trace::labeled_counter("tunio.serve.resumed", &[("tenant", &tenant)]).inc(1);
-    }
     // Warm-start from the tenant's own namespace only. Entries from the
     // WAL win (preloaded first inside the campaign), so a resume is
     // bitwise-faithful even when the warm cache has newer data.
@@ -549,7 +651,7 @@ fn execute(shared: &Arc<Shared>, id: &str) {
     };
     let warm_count = preload.len();
     let opts = CampaignOptions {
-        checkpoint: Some(wal.clone()),
+        checkpoint: Some(wal.to_path_buf()),
         resume: true,
         fault_plan: request
             .fault_rate
@@ -578,7 +680,7 @@ fn execute(shared: &Arc<Shared>, id: &str) {
                 finish_failed(shared, id, &tenant, &format!("cannot persist outcome: {e}"));
                 return;
             }
-            harvest_wal(shared, &tenant, &request.fingerprint(), &wal);
+            harvest_wal(shared, &tenant, &request.fingerprint(), wal);
             {
                 let mut records = lock(&shared.records);
                 if let Some(record) = records.get_mut(id) {
@@ -663,6 +765,11 @@ fn recover(shared: &Arc<Shared>) -> std::io::Result<()> {
         spec_from_header(h).map(|_| ())
     })?;
     for q in scan.quarantined {
+        // The trace file may live inside the WAL directory; it is ours,
+        // not an alien campaign WAL — never quarantine it.
+        if shared.config.trace_path.as_deref() == Some(q.path.as_path()) {
+            continue;
+        }
         let target = q.path.with_extension("jsonl.quarantined");
         let _ = std::fs::rename(&q.path, &target);
         trace::counter("tunio.serve.quarantined_wals").inc(1);
@@ -854,6 +961,8 @@ fn handle_request(shared: &Arc<Shared>, req: &Request) -> Reply {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(0);
                 events_reply(shared, id, from)
+            } else if let Some(id) = rest.strip_suffix("/timeline") {
+                timeline_reply(shared, id)
             } else {
                 let records = lock(&shared.records);
                 match records.get(rest) {
@@ -917,12 +1026,44 @@ fn events_reply(shared: &Arc<Shared>, id: &str, from: usize) -> Reply {
     (200, body)
 }
 
-fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
-    let reply = match read_request(&mut stream) {
-        Ok(req) => handle_request(shared, &req),
-        Err(e) => (400, format!("{{\"error\":{}}}", quote(&e.to_string()))),
+/// The wall-clock breakdown for one campaign: the frozen timeline once
+/// it settled, a live reconstruction from the span store while it is
+/// still queued or running.
+fn timeline_reply(shared: &Arc<Shared>, id: &str) -> Reply {
+    let (trace_id, cached) = {
+        let records = lock(&shared.records);
+        match records.get(id) {
+            Some(r) => (r.trace_id, r.timeline_json.clone()),
+            None => return (404, "{\"error\":\"no such campaign\"}".to_string()),
+        }
     };
-    let content_type = if reply.1.starts_with('{') || reply.1.starts_with('[') {
+    if let Some(json) = cached {
+        return (200, json);
+    }
+    match trace::timeline::snapshot(trace_id, trace::now_us()) {
+        Some(t) => (200, t.to_json()),
+        None => (
+            404,
+            "{\"error\":\"no timeline for this campaign\"}".to_string(),
+        ),
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let (reply, is_metrics) = match read_request(&mut stream) {
+        Ok(req) => {
+            let is_metrics = req.method == "GET" && req.path == "/metrics";
+            (handle_request(shared, &req), is_metrics)
+        }
+        Err(e) => (
+            (400, format!("{{\"error\":{}}}", quote(&e.to_string()))),
+            false,
+        ),
+    };
+    let content_type = if is_metrics {
+        // The Prometheus text exposition format's required content type.
+        "text/plain; version=0.0.4; charset=utf-8"
+    } else if reply.1.starts_with('{') || reply.1.starts_with('[') {
         "application/json"
     } else {
         "text/plain; charset=utf-8"
@@ -946,6 +1087,9 @@ pub struct Daemon {
     stop_listener: Arc<AtomicBool>,
     listener_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
+    /// Whether this daemon installed the global trace sink (and so must
+    /// flush and clear it when it drains).
+    owns_sink: bool,
 }
 
 impl Daemon {
@@ -953,6 +1097,12 @@ impl Daemon {
     /// it, bind the listener, start the worker pool.
     pub fn start(config: ServeConfig) -> std::io::Result<Daemon> {
         std::fs::create_dir_all(&config.wal_dir)?;
+        let owns_sink = if let Some(path) = &config.trace_path {
+            trace::set_sink(Arc::new(trace::JsonlSink::create(path)?));
+            true
+        } else {
+            false
+        };
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -1009,6 +1159,7 @@ impl Daemon {
             stop_listener,
             listener_handle: Some(listener_handle),
             worker_handles,
+            owns_sink,
         })
     }
 
@@ -1040,6 +1191,12 @@ impl Daemon {
         self.stop_listener.store(true, Ordering::SeqCst);
         if let Some(handle) = self.listener_handle.take() {
             let _ = handle.join();
+        }
+        if self.owns_sink {
+            // Flush the JSONL trace so offline reconstruction sees every
+            // span the drained campaigns emitted.
+            trace::clear_sink();
+            self.owns_sink = false;
         }
     }
 }

@@ -9,6 +9,9 @@
 //! * `GET /campaigns/{id}` — one status.
 //! * `GET /campaigns/{id}/events?from=N` — progress as JSONL events
 //!   (lifecycle + one `generation` event per completed WAL generation).
+//! * `GET /campaigns/{id}/timeline` — exclusive wall-clock segments and
+//!   the critical path of the campaign's span DAG: live while running,
+//!   frozen at completion.
 //! * `GET /healthz`, `GET /metrics` — liveness and Prometheus text.
 //! * `POST /drain` — graceful shutdown: finish everything, accept
 //!   nothing new.

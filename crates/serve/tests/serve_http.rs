@@ -26,6 +26,7 @@ fn config(wal_dir: &Path, workers: usize) -> ServeConfig {
         max_active_per_tenant: 4,
         max_queue: 64,
         quiet: true,
+        trace_path: None,
     }
 }
 
@@ -340,6 +341,247 @@ fn boot_quarantines_alien_wals_and_keeps_serving() {
     );
 
     daemon.drain_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Like [`http`] but returns the raw response (status line + headers +
+/// body) so tests can assert on headers.
+fn http_raw(addr: SocketAddr, method: &str, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!("{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\n\r\n");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    response
+}
+
+/// Exposition-format conformance: the content type advertises version
+/// 0.0.4, every `# TYPE` is preceded by a `# HELP` for the same family,
+/// and every sample line belongs to a typed family (allowing the
+/// summary-style `_sum`/`_count` suffixes).
+fn assert_conformant_scrape(raw: &str) -> String {
+    let (headers, body) = raw.split_once("\r\n\r\n").expect("headers present");
+    assert!(
+        headers
+            .to_ascii_lowercase()
+            .contains("content-type: text/plain; version=0.0.4"),
+        "scrape content type is not exposition 0.0.4: {headers}"
+    );
+    let lines: Vec<&str> = body.lines().collect();
+    let mut families = std::collections::HashSet::new();
+    for (i, line) in lines.iter().enumerate() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("family name");
+            let kind = parts.next().expect("family kind");
+            assert!(
+                ["counter", "gauge", "summary", "histogram"].contains(&kind),
+                "unknown family kind: {line}"
+            );
+            assert!(
+                i > 0 && lines[i - 1].starts_with(&format!("# HELP {name} ")),
+                "family {name} lacks a # HELP line before its # TYPE"
+            );
+            families.insert(name.to_string());
+        }
+    }
+    for line in &lines {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let name = line
+            .split(['{', ' '])
+            .next()
+            .expect("sample name");
+        let base = name
+            .strip_suffix("_sum")
+            .filter(|b| families.contains(*b))
+            .or_else(|| {
+                name.strip_suffix("_count")
+                    .filter(|b| families.contains(*b))
+            })
+            .unwrap_or(name);
+        assert!(
+            families.contains(base),
+            "sample `{name}` has no # TYPE family: {line}"
+        );
+    }
+    body.to_string()
+}
+
+#[test]
+fn events_from_boundary_is_empty_and_tailing_never_skips_or_repeats() {
+    let dir = test_dir("events-pagination");
+    let mut daemon = Daemon::start(config(&dir, 1)).expect("daemon boots");
+    let addr = daemon.addr();
+    let (status, _) = submit(
+        addr,
+        &format!("{{\"tenant\":\"e\",\"name\":\"tail\",{SPEC}}}"),
+    );
+    assert_eq!(status, 202);
+
+    // Tail the stream with `from=len(seen)` while the campaign runs. The
+    // stream is append-only, so the concatenation of the tails must equal
+    // the final full fetch: nothing skipped, nothing repeated.
+    let mut collected: Vec<String> = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, batch) = http(
+            addr,
+            "GET",
+            &format!("/campaigns/e--tail/events?from={}", collected.len()),
+            None,
+        );
+        assert_eq!(status, 200);
+        collected.extend(batch.lines().map(String::from));
+        if collected
+            .iter()
+            .any(|l| l.contains("\"event\":\"done\"") || l.contains("\"event\":\"failed\""))
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "campaign never settled: {collected:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (status, full) = http(addr, "GET", "/campaigns/e--tail/events", None);
+    assert_eq!(status, 200);
+    let full_lines: Vec<String> = full.lines().map(String::from).collect();
+    assert_eq!(
+        collected, full_lines,
+        "incremental tails diverged from the full stream"
+    );
+
+    // Boundary: `from` equal to the current event count is an empty 200
+    // body, not an error — and so is anything past the end.
+    let n = full_lines.len();
+    let (status, body) = http(
+        addr,
+        "GET",
+        &format!("/campaigns/e--tail/events?from={n}"),
+        None,
+    );
+    assert_eq!((status, body.as_str()), (200, ""));
+    let (status, body) = http(
+        addr,
+        "GET",
+        &format!("/campaigns/e--tail/events?from={}", n + 7),
+        None,
+    );
+    assert_eq!((status, body.as_str()), (200, ""));
+
+    daemon.drain_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn timeline_live_equals_offline_reconstruction_and_metrics_conform() {
+    let dir = test_dir("timeline");
+    let trace_path = dir.join("trace.jsonl");
+    let mut cfg = config(&dir, 1);
+    cfg.trace_path = Some(trace_path.clone());
+    let mut daemon = Daemon::start(cfg).expect("daemon boots");
+    let addr = daemon.addr();
+
+    // A strategy campaign across 4 evaluator threads; the 202 body carries
+    // the trace id that names this campaign's span DAG.
+    let (status, body) = submit(
+        addr,
+        "{\"tenant\":\"tl\",\"name\":\"flow\",\"app\":\"hacc\",\"variant\":\"kernel\",\
+         \"iterations\":3,\"population\":4,\"seed\":7,\"strategy\":\"bo\",\"threads\":4}",
+    );
+    assert_eq!(status, 202, "{body}");
+    let sub: serde_json::Value = serde_json::from_str(&body).expect("202 json");
+    let trace_hex = sub
+        .get("trace_id")
+        .and_then(|t| t.as_str())
+        .expect("trace_id in 202 body")
+        .to_string();
+    assert_eq!(trace_hex.len(), 16, "trace id is 16 hex chars: {trace_hex}");
+
+    // The timeline endpoint answers while the campaign is queued/running
+    // (or from the frozen snapshot if it already settled) — and segments
+    // sum to the wall clock exactly either way.
+    let (status, live_early) = http(addr, "GET", "/campaigns/tl--flow/timeline", None);
+    assert_eq!(status, 200, "{live_early}");
+    let early: serde_json::Value = serde_json::from_str(&live_early).expect("timeline json");
+    let sum_segments = |v: &serde_json::Value| -> u64 {
+        match v.get("segments") {
+            Some(serde_json::Value::Array(segs)) => segs
+                .iter()
+                .map(|s| s.get("us").and_then(|u| u.as_u64()).expect("segment us"))
+                .sum(),
+            other => panic!("segments missing: {other:?}"),
+        }
+    };
+    assert_eq!(
+        Some(sum_segments(&early)),
+        early.get("wall_us").and_then(|w| w.as_u64()),
+        "live segments do not sum to wall: {live_early}"
+    );
+
+    let v = await_settled(addr, "tl--flow");
+    assert_eq!(state_of(&v), "done", "{v:?}");
+    assert_eq!(
+        v.get("trace_id").and_then(|t| t.as_str()),
+        Some(trace_hex.as_str()),
+        "status echoes the submission's trace id"
+    );
+
+    // The frozen timeline: complete, same trace id, sums exactly.
+    let (status, live) = http(addr, "GET", "/campaigns/tl--flow/timeline", None);
+    assert_eq!(status, 200, "{live}");
+    let frozen: serde_json::Value = serde_json::from_str(&live).expect("timeline json");
+    assert_eq!(
+        frozen.get("complete"),
+        Some(&serde_json::Value::Bool(true)),
+        "{live}"
+    );
+    assert_eq!(
+        frozen.get("trace_id").and_then(|t| t.as_str()),
+        Some(trace_hex.as_str())
+    );
+    let wall = frozen.get("wall_us").and_then(|w| w.as_u64()).unwrap();
+    assert_eq!(sum_segments(&frozen), wall, "{live}");
+    let crit = match frozen.get("critical_path") {
+        Some(serde_json::Value::Array(steps)) => steps.len(),
+        other => panic!("critical_path missing: {other:?}"),
+    };
+    assert!(
+        crit >= 2,
+        "critical path should descend below the root: {live}"
+    );
+
+    // Golden scrape: exposition conformance, and the per-segment
+    // histograms from the traced campaign are present and typed.
+    let scrape = assert_conformant_scrape(&http_raw(addr, "GET", "/metrics"));
+    assert!(
+        scrape.contains("# TYPE tunio_timeline_segment_s summary"),
+        "per-segment histograms missing from scrape"
+    );
+    assert!(
+        scrape.contains(&format!("trace_id=\"{trace_hex}\"")),
+        "exemplar trace id missing from scrape"
+    );
+
+    // Drain flushes the JSONL sink; the offline reconstruction from the
+    // trace file must be byte-identical to what the live endpoint served.
+    daemon.drain_and_join();
+    let text = std::fs::read_to_string(&trace_path).expect("trace file");
+    let (records, _) = tunio_trace::report::parse_jsonl_lenient(&text);
+    let timelines = tunio_trace::timeline::from_records(&records);
+    let offline = timelines
+        .iter()
+        .find(|t| format!("{:016x}", t.trace_id) == trace_hex)
+        .expect("campaign's trace in the file");
+    assert_eq!(
+        offline.to_json(),
+        live,
+        "offline reconstruction diverged from the live endpoint"
+    );
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 

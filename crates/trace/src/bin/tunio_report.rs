@@ -1,17 +1,25 @@
 //! `tunio-report` — render a JSON-lines campaign trace as a summary.
 //!
 //! ```text
-//! tunio-report <trace.jsonl> [--json]
+//! tunio-report <trace.jsonl> [--json] [--critical-path]
 //! ```
 //!
 //! With `--json` the parsed per-campaign summaries are printed as JSON
-//! (one object per campaign) instead of the plain-text report.
+//! (one object per campaign) instead of the plain-text report. With
+//! `--critical-path` the trace's span DAG is folded into per-trace
+//! exclusive wall-clock segments and a critical path; add `--json` for
+//! one timeline object per line (the format CI uploads as an artifact).
+//!
+//! Parsing is lenient: a trace truncated mid-line (the emitting process
+//! died before the final flush) reports whatever parsed and exits 0;
+//! only totally unreadable input (no line parsed at all) exits non-zero.
 
 use std::process::ExitCode;
-use tunio_trace::report::{parse_jsonl, render, summarize};
+use tunio_trace::report::{parse_jsonl_lenient, render, summarize};
+use tunio_trace::timeline;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: tunio-report <trace.jsonl> [--json]");
+    eprintln!("usage: tunio-report <trace.jsonl> [--json] [--critical-path]");
     ExitCode::from(2)
 }
 
@@ -19,9 +27,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path = None;
     let mut as_json = false;
+    let mut critical_path = false;
     for a in &args {
         match a.as_str() {
             "--json" => as_json = true,
+            "--critical-path" => critical_path = true,
             "-h" | "--help" => return usage(),
             other if path.is_none() => path = Some(other.to_string()),
             _ => return usage(),
@@ -36,13 +46,38 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let records = match parse_jsonl(&text) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("tunio-report: {path}: {e}");
-            return ExitCode::FAILURE;
+    let (records, errors) = parse_jsonl_lenient(&text);
+    if !errors.is_empty() {
+        eprintln!(
+            "tunio-report: {path}: skipped {} unparseable line(s) (first: {})",
+            errors.len(),
+            errors[0]
+        );
+    }
+    if records.is_empty() && !errors.is_empty() {
+        eprintln!("tunio-report: {path}: no line parsed — not a trace file?");
+        return ExitCode::FAILURE;
+    }
+
+    if critical_path {
+        let timelines = timeline::from_records(&records);
+        if timelines.is_empty() {
+            println!("trace contains no spans with causal ids");
+            return ExitCode::SUCCESS;
         }
-    };
+        for (i, t) in timelines.iter().enumerate() {
+            if as_json {
+                println!("{}", t.to_json());
+            } else {
+                if i > 0 {
+                    println!();
+                }
+                print!("{}", t.render_text());
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let summaries = summarize(&records);
     if summaries.is_empty() {
         println!("trace contains no campaign records");

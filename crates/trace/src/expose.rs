@@ -1,8 +1,8 @@
 //! Prometheus-style text exposition of the metric registry.
 //!
 //! [`render_prometheus`] turns a metric snapshot into the text exposition
-//! format (version 0.0.4): `# TYPE` headers, sanitized metric names,
-//! escaped label values. Histograms are exposed as summaries carrying
+//! format (version 0.0.4): `# HELP` / `# TYPE` headers for every family,
+//! sanitized metric names, escaped label values. Histograms are exposed as summaries carrying
 //! `_count`/`_sum` plus min/max as the 0/1 quantiles — the registry keeps
 //! no buckets by design (see [`crate::metrics`]).
 //!
@@ -14,12 +14,42 @@
 //! tenant at once.
 
 use crate::metrics::{MetricSnapshot, MetricValue};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+fn help_registry() -> &'static Mutex<HashMap<String, String>> {
+    static HELP: OnceLock<Mutex<HashMap<String, String>>> = OnceLock::new();
+    HELP.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Register help text for a metric family (keyed by the raw, unsanitized
+/// metric name). Rendering emits it as the family's `# HELP` line; a
+/// family never described falls back to its own name, so every exported
+/// family always carries a `# HELP` line.
+pub fn describe(name: &str, help: &str) {
+    help_registry()
+        .lock()
+        .insert(name.to_string(), help.to_string());
+}
+
+/// Escape help text per the exposition format: backslash and newline.
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
 
 /// Sanitize a metric name for the exposition format: any character
 /// outside `[a-zA-Z0-9_:]` becomes `_` (so `tunio.profile.self_s`
@@ -90,6 +120,12 @@ pub fn render_prometheus(snapshots: &[MetricSnapshot]) -> String {
             MetricValue::Histogram(_) => "summary",
         };
         if last_typed.as_deref() != Some(name.as_str()) {
+            let help = help_registry()
+                .lock()
+                .get(&snap.name)
+                .cloned()
+                .unwrap_or_else(|| snap.name.clone());
+            out.push_str(&format!("# HELP {name} {}\n", escape_help(&help)));
             out.push_str(&format!("# TYPE {name} {kind}\n"));
             last_typed = Some(name.clone());
         }
@@ -293,6 +329,23 @@ mod tests {
         assert!(text.contains("app_cost{layer=\"lustre.data\",quantile=\"1\"} 3\n"));
         assert!(text.contains("app_cost_sum{layer=\"lustre.data\"} 6\n"));
         assert!(text.contains("app_cost_count{layer=\"lustre.data\"} 3\n"));
+    }
+
+    #[test]
+    fn every_family_gets_a_help_line_before_its_type_line() {
+        describe("helped.metric", "a described family");
+        let snaps = vec![
+            snap("helped.metric", &[], MetricValue::Counter(1)),
+            snap("unhelped.metric", &[], MetricValue::Gauge(0.5)),
+        ];
+        let text = render_prometheus(&snaps);
+        assert!(text
+            .contains("# HELP helped_metric a described family\n# TYPE helped_metric counter\n"));
+        // Families without registered help fall back to their raw name so
+        // a # HELP line is never missing.
+        assert!(
+            text.contains("# HELP unhelped_metric unhelped.metric\n# TYPE unhelped_metric gauge\n")
+        );
     }
 
     #[test]

@@ -27,6 +27,17 @@
 //! metric instead, so a JSON-lines trace of a full campaign stays small
 //! enough to commit as a CI artifact.
 //!
+//! ## Causality
+//!
+//! Spans are *causal*: each carries a `trace_id`/`span_id` pair and the
+//! id of its parent. Parentage is implicit — [`span`] reads the calling
+//! thread's innermost open span — and crosses threads explicitly via
+//! [`SpanContext`] handles: capture [`current`] where work is proposed,
+//! install it with [`with_context`] where the work runs. A span opened
+//! with no surrounding context is a *trace root* and mints the trace id.
+//! The [`timeline`] module folds a trace's span DAG into exclusive
+//! wall-clock segments and a critical path.
+//!
 //! ## Example
 //!
 //! ```
@@ -52,13 +63,17 @@ pub mod expose;
 pub mod metrics;
 pub mod report;
 pub mod sink;
+pub mod timeline;
 
 pub use expose::{render_global, render_prometheus, MetricsServer};
 pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot};
 pub use sink::{JsonlSink, MemorySink, Sink};
+pub use timeline::Timeline;
 
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -128,7 +143,7 @@ pub type Fields = Vec<(&'static str, FieldValue)>;
 
 /// One emitted record: an instantaneous event, or a closed span when
 /// `dur_us` is set.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Record {
     /// Microseconds since the tracer's epoch (first use in the process).
     pub t_us: u64,
@@ -136,8 +151,78 @@ pub struct Record {
     pub name: String,
     /// Span duration in microseconds; `None` for instantaneous events.
     pub dur_us: Option<u64>,
+    /// Trace the record belongs to; `None` for records emitted outside
+    /// any span context (e.g. `"metric"` snapshots).
+    pub trace_id: Option<u64>,
+    /// The span's own id (span records only).
+    pub span_id: Option<u64>,
+    /// Parent span id; `None` marks a trace root (or, for events, an
+    /// event outside any span).
+    pub parent_id: Option<u64>,
     /// Typed fields, in emission order.
     pub fields: Vec<(String, FieldValue)>,
+}
+
+/// Causal identity of an open span: the trace (campaign) it belongs to
+/// and its own process-unique span id. `Copy`, so it can be stored in a
+/// job queue entry and carried across threads; install it on the worker
+/// with [`with_context`] to make that worker's spans children of the
+/// originating span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanContext {
+    /// Trace the span belongs to.
+    pub trace_id: u64,
+    /// The span's own id.
+    pub span_id: u64,
+}
+
+/// Span ids are allocated from one process-global counter so they are
+/// unique across threads and traces (0 is reserved / never allocated).
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh process-unique span id, for spans emitted explicitly
+/// via [`emit_span_at`] (spans whose open and close happen on different
+/// threads and therefore cannot use the [`span`] guard).
+pub fn alloc_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// The calling thread's innermost open span.
+    static CURRENT: Cell<Option<SpanContext>> = const { Cell::new(None) };
+}
+
+/// The current thread's innermost open span context, if any. Capture
+/// this where work is *proposed* and hand it to the thread that runs it.
+pub fn current() -> Option<SpanContext> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Install `ctx` as the calling thread's current span context for the
+/// guard's lifetime (restores the previous context on drop). `None`
+/// clears the context. This is how scheduler worker threads join the
+/// proposing span's causal chain before evaluating a job.
+pub fn with_context(ctx: Option<SpanContext>) -> ContextGuard {
+    let prev = CURRENT.with(|c| c.replace(ctx));
+    ContextGuard {
+        prev,
+        _not_send: PhantomData,
+    }
+}
+
+/// RAII guard from [`with_context`]; restores the previous context on
+/// drop. `!Send`: it manipulates thread-local state and must be dropped
+/// on the thread that created it.
+pub struct ContextGuard {
+    prev: Option<SpanContext>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        CURRENT.with(|c| c.set(prev));
+    }
 }
 
 struct Tracer {
@@ -202,27 +287,48 @@ pub fn flush() {
     }
 }
 
+/// Deliver a record to the sink and, for spans with causal ids, to the
+/// live timeline store. The wall time this path itself consumes is
+/// accumulated per trace so the timeline can attribute tracing overhead
+/// as its own segment instead of hiding it inside a stall.
 fn emit(record: Record) {
+    let t0 = Instant::now();
+    if let (Some(tid), Some(sid), Some(dur)) = (record.trace_id, record.span_id, record.dur_us) {
+        timeline::ingest(tid, sid, record.parent_id, &record.name, record.t_us, dur);
+    }
     if let Some(s) = tracer().sink.read().as_ref() {
         s.emit(&record);
     }
+    if let Some(tid) = record.trace_id {
+        timeline::add_overhead_ns(tid, t0.elapsed().as_nanos() as u64);
+    }
 }
 
-fn now_us() -> u64 {
+/// Microseconds since the tracer's epoch (first use in the process) —
+/// the clock every record timestamp is expressed in. Public so explicit
+/// span emission ([`emit_span_at`]) can timestamp with the same clock.
+pub fn now_us() -> u64 {
     tracer().epoch.elapsed().as_micros() as u64
 }
 
 /// Emit an instantaneous event. Cheap when no sink is installed: one
 /// atomic load, and the `fields` vec is dropped unused (pass simple
 /// scalar fields in hot paths, or guard with [`enabled`]).
+///
+/// Events attach to the calling thread's current span: they carry its
+/// trace id and record the enclosing span as their parent.
 pub fn event(name: &'static str, fields: Fields) {
     if !enabled() {
         return;
     }
+    let ctx = current();
     emit(Record {
         t_us: now_us(),
         name: name.to_string(),
         dur_us: None,
+        trace_id: ctx.map(|c| c.trace_id),
+        span_id: None,
+        parent_id: ctx.map(|c| c.span_id),
         fields: fields
             .into_iter()
             .map(|(k, v)| (k.to_string(), v))
@@ -232,17 +338,59 @@ pub fn event(name: &'static str, fields: Fields) {
 
 /// Start a span: a record emitted on guard drop, carrying its duration.
 /// When no sink is installed the guard is inert.
+///
+/// The span parents itself under the calling thread's current span and
+/// becomes the current span until the guard drops. With no surrounding
+/// context it is a *trace root* and mints a fresh trace id (equal to its
+/// own span id); use [`span_root`] to mint a root with a chosen trace id
+/// (the serve daemon derives one from the campaign id).
 pub fn span(name: &'static str, fields: Fields) -> SpanGuard {
     if !enabled() {
-        return SpanGuard { inner: None };
+        return SpanGuard {
+            inner: None,
+            _not_send: PhantomData,
+        };
     }
+    let parent = current();
+    span_with_parent(name, fields, parent, parent.map(|p| p.trace_id))
+}
+
+/// Start a *root* span for trace `trace_id`: no parent, regardless of
+/// the calling thread's current context. The guard installs itself as
+/// the current span, so everything beneath it joins the trace.
+pub fn span_root(name: &'static str, trace_id: u64, fields: Fields) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            inner: None,
+            _not_send: PhantomData,
+        };
+    }
+    span_with_parent(name, fields, None, Some(trace_id))
+}
+
+fn span_with_parent(
+    name: &'static str,
+    fields: Fields,
+    parent: Option<SpanContext>,
+    trace_id: Option<u64>,
+) -> SpanGuard {
+    let span_id = alloc_span_id();
+    let ctx = SpanContext {
+        trace_id: trace_id.unwrap_or(span_id),
+        span_id,
+    };
+    let prev = CURRENT.with(|c| c.replace(Some(ctx)));
     SpanGuard {
         inner: Some(SpanInner {
             name,
             fields,
             start_us: now_us(),
             start: Instant::now(),
+            ctx,
+            parent: parent.map(|p| p.span_id),
+            prev,
         }),
+        _not_send: PhantomData,
     }
 }
 
@@ -251,11 +399,18 @@ struct SpanInner {
     fields: Fields,
     start_us: u64,
     start: Instant,
+    ctx: SpanContext,
+    parent: Option<u64>,
+    prev: Option<SpanContext>,
 }
 
 /// RAII guard for an open span; emits the span record when dropped.
+/// `!Send`: the guard is the thread's current-span marker and must close
+/// on the thread that opened it (spans that genuinely cross threads use
+/// [`emit_span_at`] instead).
 pub struct SpanGuard {
     inner: Option<SpanInner>,
+    _not_send: PhantomData<*const ()>,
 }
 
 impl SpanGuard {
@@ -266,23 +421,85 @@ impl SpanGuard {
             inner.fields.push((key, value));
         }
     }
+
+    /// The span's causal identity (`None` for inert guards), for handing
+    /// to other threads via [`with_context`].
+    pub fn context(&self) -> Option<SpanContext> {
+        self.inner.as_ref().map(|i| i.ctx)
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
+            let prev = inner.prev;
+            CURRENT.with(|c| c.set(prev));
+            let mut fields: Vec<(String, FieldValue)> = inner
+                .fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+            if inner.parent.is_none() {
+                // Root spans carry the trace's accumulated tracing
+                // overhead so an offline reconstruction from the JSONL
+                // file sees the same number as the live store; freezing
+                // it in the store keeps live snapshots taken *after* the
+                // root closed equal to that offline reconstruction.
+                let overhead = timeline::overhead_us(inner.ctx.trace_id);
+                timeline::freeze_overhead(inner.ctx.trace_id, overhead);
+                fields.push(("trace_overhead_us".to_string(), FieldValue::U64(overhead)));
+            }
             emit(Record {
                 t_us: inner.start_us,
                 name: inner.name.to_string(),
                 dur_us: Some(inner.start.elapsed().as_micros() as u64),
-                fields: inner
-                    .fields
-                    .into_iter()
-                    .map(|(k, v)| (k.to_string(), v))
-                    .collect(),
+                trace_id: Some(inner.ctx.trace_id),
+                span_id: Some(inner.ctx.span_id),
+                parent_id: inner.parent,
+                fields,
             });
         }
     }
+}
+
+/// Emit a span record directly, for spans whose open and close happen on
+/// different threads (e.g. the serve daemon's per-campaign root span,
+/// opened on the HTTP thread at submission and closed on the worker that
+/// finishes the campaign). The caller allocates ids with
+/// [`alloc_span_id`] and timestamps with [`now_us`]; `parent_id: None`
+/// marks a trace root and attaches the trace-overhead field exactly as
+/// [`SpanGuard`] does.
+#[allow(clippy::too_many_arguments)]
+pub fn emit_span_at(
+    name: &str,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: Option<u64>,
+    start_us: u64,
+    end_us: u64,
+    fields: Fields,
+) {
+    if !enabled() {
+        return;
+    }
+    let mut fields: Vec<(String, FieldValue)> = fields
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    if parent_id.is_none() {
+        let overhead = timeline::overhead_us(trace_id);
+        timeline::freeze_overhead(trace_id, overhead);
+        fields.push(("trace_overhead_us".to_string(), FieldValue::U64(overhead)));
+    }
+    emit(Record {
+        t_us: start_us,
+        name: name.to_string(),
+        dur_us: Some(end_us.saturating_sub(start_us)),
+        trace_id: Some(trace_id),
+        span_id: Some(span_id),
+        parent_id,
+        fields,
+    });
 }
 
 /// Look up (or create) a counter in the global metric registry.
@@ -331,8 +548,8 @@ pub fn flush_metrics() {
         emit(Record {
             t_us: now_us(),
             name: "metric".to_string(),
-            dur_us: None,
             fields: m.into_fields(),
+            ..Record::default()
         });
     }
 }
@@ -399,6 +616,116 @@ mod tests {
         // except span records which carry their *start* time.
         assert!(records[0].t_us <= records[1].t_us);
         assert!(records[2].t_us <= records[1].t_us);
+    }
+
+    #[test]
+    fn spans_mint_and_propagate_causal_ids() {
+        let _l = sink_test_lock();
+        let sink = install_memory_sink();
+        let root = span("t.root", vec![]);
+        let root_ctx = root.context().expect("live root");
+        // A context-free span is a trace root: it mints the trace id.
+        assert_eq!(root_ctx.trace_id, root_ctx.span_id);
+        assert_eq!(current(), Some(root_ctx));
+        {
+            let child = span("t.child", vec![]);
+            let child_ctx = child.context().expect("live child");
+            assert_eq!(child_ctx.trace_id, root_ctx.trace_id);
+            assert_ne!(child_ctx.span_id, root_ctx.span_id);
+            event("t.evt", vec![]);
+        }
+        assert_eq!(current(), Some(root_ctx));
+        drop(root);
+        assert_eq!(current(), None);
+        clear_sink();
+
+        let records = sink.take();
+        let names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["t.evt", "t.child", "t.root"]);
+        let (evt, child, rootr) = (&records[0], &records[1], &records[2]);
+        // The event attaches under the child span.
+        assert_eq!(evt.trace_id, Some(root_ctx.trace_id));
+        assert_eq!(evt.parent_id, child.span_id);
+        assert_eq!(evt.span_id, None);
+        // The child parents under the root; the root has no parent and
+        // carries the frozen overhead field.
+        assert_eq!(child.parent_id, Some(root_ctx.span_id));
+        assert_eq!(rootr.parent_id, None);
+        assert_eq!(rootr.span_id, Some(root_ctx.span_id));
+        assert!(rootr.fields.iter().any(|(k, _)| k == "trace_overhead_us"));
+        timeline::forget(root_ctx.trace_id);
+    }
+
+    #[test]
+    fn context_handles_cross_threads() {
+        let _l = sink_test_lock();
+        let sink = install_memory_sink();
+        let root = span("x.root", vec![]);
+        let ctx = root.context();
+        let handle = std::thread::spawn(move || {
+            assert_eq!(current(), None, "fresh thread starts context-free");
+            let _g = with_context(ctx);
+            assert_eq!(current(), ctx);
+            let _s = span("x.work", vec![]);
+        });
+        handle.join().unwrap();
+        let trace_id = ctx.unwrap().trace_id;
+        drop(root);
+        clear_sink();
+
+        let records = sink.take();
+        let work = records.iter().find(|r| r.name == "x.work").unwrap();
+        assert_eq!(work.trace_id, Some(trace_id));
+        assert_eq!(work.parent_id, Some(ctx.unwrap().span_id));
+        timeline::forget(trace_id);
+    }
+
+    #[test]
+    fn span_root_uses_the_given_trace_id() {
+        let _l = sink_test_lock();
+        let sink = install_memory_sink();
+        let root = span_root("r.root", 0xfeed, vec![]);
+        assert_eq!(root.context().unwrap().trace_id, 0xfeed);
+        {
+            let _child = span("r.child", vec![]);
+        }
+        drop(root);
+        clear_sink();
+        let records = sink.take();
+        assert!(records.iter().all(|r| r.trace_id == Some(0xfeed)));
+        timeline::forget(0xfeed);
+    }
+
+    #[test]
+    fn emit_span_at_records_cross_thread_roots() {
+        let _l = sink_test_lock();
+        let sink = install_memory_sink();
+        let trace_id = 0xbead;
+        let root_id = alloc_span_id();
+        timeline::register(trace_id, 100);
+        emit_span_at(
+            "s.queue_wait",
+            trace_id,
+            alloc_span_id(),
+            Some(root_id),
+            100,
+            250,
+            vec![],
+        );
+        emit_span_at("s.root", trace_id, root_id, None, 100, 1_100, vec![]);
+        clear_sink();
+        let records = sink.take();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].dur_us, Some(150));
+        assert_eq!(records[1].parent_id, None);
+        assert!(records[1]
+            .fields
+            .iter()
+            .any(|(k, _)| k == "trace_overhead_us"));
+        let t = timeline::snapshot(trace_id, 9_999).expect("stored trace");
+        assert!(t.complete);
+        assert_eq!(t.wall_us, 1_000);
+        timeline::forget(trace_id);
     }
 
     #[test]

@@ -238,13 +238,35 @@ fn bool_field(r: &Record, key: &str) -> Option<bool> {
         })
 }
 
-/// Parse a JSON-lines trace (one record per non-empty line).
+/// Parse a JSON-lines trace (one record per non-empty line). Strict:
+/// the first bad line fails the whole parse. Interactive consumers that
+/// should survive truncated traces use [`parse_jsonl_lenient`].
 pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, String> {
     text.lines()
         .enumerate()
         .filter(|(_, l)| !l.trim().is_empty())
         .map(|(i, l)| record_from_json(l).map_err(|e| format!("line {}: {e}", i + 1)))
         .collect()
+}
+
+/// Parse a JSON-lines trace, keeping every line that parses and
+/// reporting the ones that don't (`"line N: why"`). A trace file
+/// truncated mid-line — the emitting process was killed — yields its
+/// intact prefix plus one error for the torn tail, never a hard failure.
+/// An empty file yields `(vec![], vec![])`.
+pub fn parse_jsonl_lenient(text: &str) -> (Vec<Record>, Vec<String>) {
+    let mut records = Vec::new();
+    let mut errors = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match record_from_json(line) {
+            Ok(r) => records.push(r),
+            Err(e) => errors.push(format!("line {}: {e}", i + 1)),
+        }
+    }
+    (records, errors)
 }
 
 /// Fold a record stream into campaign summaries. A `campaign.done`
@@ -845,5 +867,41 @@ mod tests {
     fn bad_lines_are_reported_with_line_numbers() {
         let err = parse_jsonl("{\"t_us\":1,\"name\":\"x\",\"fields\":{}}\nnot json").unwrap_err();
         assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn lenient_parse_keeps_the_intact_prefix_of_a_truncated_trace() {
+        // A trace killed mid-write: two good lines, then a torn tail.
+        let text = format!(
+            "{}\n{}\n{}",
+            gen_record(1, 100e6, 60.0),
+            gen_record(2, 150e6, 120.0),
+            r#"{"t_us":3000,"name":"ga.gener"#
+        );
+        let (records, errors) = parse_jsonl_lenient(&text);
+        assert_eq!(records.len(), 2);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("line 3"), "{}", errors[0]);
+        // The parsed prefix still summarizes.
+        let sums = summarize(&records);
+        assert_eq!(sums.len(), 1);
+        assert_eq!(sums[0].generations.len(), 2);
+    }
+
+    #[test]
+    fn lenient_parse_of_empty_input_is_empty_not_an_error() {
+        let (records, errors) = parse_jsonl_lenient("");
+        assert!(records.is_empty());
+        assert!(errors.is_empty());
+        let (records, errors) = parse_jsonl_lenient("\n\n  \n");
+        assert!(records.is_empty());
+        assert!(errors.is_empty());
+    }
+
+    #[test]
+    fn lenient_parse_of_garbage_reports_every_line() {
+        let (records, errors) = parse_jsonl_lenient("not json\nalso not");
+        assert!(records.is_empty());
+        assert_eq!(errors.len(), 2);
     }
 }

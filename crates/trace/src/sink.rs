@@ -67,7 +67,11 @@ fn field_to_json(v: &FieldValue) -> Value {
 }
 
 /// Render one record as a single-line JSON object:
-/// `{"t_us":…,"name":…,("dur_us":…,)? "fields":{…}}`.
+/// `{"t_us":…,"name":…,("dur_us":…,)?("trace_id":…,)?("span_id":…,)?`
+/// `("parent_id":…,)? "fields":{…}}`. The causal-id keys are omitted
+/// when absent, so traces written before spans carried causality still
+/// parse (and vice versa: [`record_from_json`] treats missing ids as
+/// `None`).
 pub fn record_to_json(record: &Record) -> String {
     let mut obj = vec![
         ("t_us".to_string(), Value::UInt(record.t_us)),
@@ -75,6 +79,15 @@ pub fn record_to_json(record: &Record) -> String {
     ];
     if let Some(d) = record.dur_us {
         obj.push(("dur_us".to_string(), Value::UInt(d)));
+    }
+    if let Some(t) = record.trace_id {
+        obj.push(("trace_id".to_string(), Value::UInt(t)));
+    }
+    if let Some(s) = record.span_id {
+        obj.push(("span_id".to_string(), Value::UInt(s)));
+    }
+    if let Some(p) = record.parent_id {
+        obj.push(("parent_id".to_string(), Value::UInt(p)));
     }
     let fields: Vec<(String, Value)> = record
         .fields
@@ -100,6 +113,9 @@ pub fn record_from_json(line: &str) -> Result<Record, String> {
         .ok_or("missing name")?
         .to_string();
     let dur_us = v.get("dur_us").and_then(|d| d.as_u64());
+    let trace_id = v.get("trace_id").and_then(|t| t.as_u64());
+    let span_id = v.get("span_id").and_then(|s| s.as_u64());
+    let parent_id = v.get("parent_id").and_then(|p| p.as_u64());
     let mut fields = Vec::new();
     if let Some(Value::Object(pairs)) = v.get("fields") {
         for (k, fv) in pairs {
@@ -122,6 +138,9 @@ pub fn record_from_json(line: &str) -> Result<Record, String> {
         t_us,
         name,
         dur_us,
+        trace_id,
+        span_id,
+        parent_id,
         fields,
     })
 }
@@ -167,6 +186,9 @@ mod tests {
             t_us: 42,
             name: "eval.simulate".into(),
             dur_us: Some(17),
+            trace_id: Some(7),
+            span_id: Some(9),
+            parent_id: Some(8),
             fields: vec![
                 ("shard".to_string(), FieldValue::U64(3)),
                 ("perf".to_string(), FieldValue::F64(1.5e9)),
@@ -189,6 +211,9 @@ mod tests {
         assert_eq!(back.t_us, r.t_us);
         assert_eq!(back.name, r.name);
         assert_eq!(back.dur_us, r.dur_us);
+        assert_eq!(back.trace_id, r.trace_id);
+        assert_eq!(back.span_id, r.span_id);
+        assert_eq!(back.parent_id, r.parent_id);
         assert_eq!(back.fields.len(), r.fields.len());
         assert_eq!(back.fields[0], r.fields[0]);
         assert_eq!(back.fields[3], r.fields[3]);
@@ -204,6 +229,16 @@ mod tests {
             (FieldValue::Str(a), FieldValue::Str(b)) => assert_eq!(a, b),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn lines_without_causal_ids_still_parse() {
+        let line = r#"{"t_us":1,"name":"legacy.event","fields":{"k":2}}"#;
+        let r = record_from_json(line).unwrap();
+        assert_eq!(r.trace_id, None);
+        assert_eq!(r.span_id, None);
+        assert_eq!(r.parent_id, None);
+        assert_eq!(r.name, "legacy.event");
     }
 
     #[test]

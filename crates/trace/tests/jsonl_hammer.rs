@@ -1,0 +1,87 @@
+//! Concurrency hammer for the JSON-lines sink: many threads closing
+//! spans at once must never produce a torn or interleaved line. Every
+//! emitted line is re-parsed and accounted for.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Barrier};
+use tunio_trace::sink::record_from_json;
+
+const THREADS: usize = 16;
+const SPANS_PER_THREAD: usize = 200;
+
+#[test]
+fn concurrent_span_closes_produce_intact_lines() {
+    let path =
+        std::env::temp_dir().join(format!("tunio_jsonl_hammer_{}.jsonl", std::process::id()));
+    let sink = tunio_trace::sink::JsonlSink::create(&path).unwrap();
+    tunio_trace::set_sink(std::sync::Arc::new(sink));
+
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..SPANS_PER_THREAD {
+                    let span = tunio_trace::span(
+                        "hammer.work",
+                        vec![
+                            ("thread", tunio_trace::FieldValue::U64(t as u64)),
+                            ("i", tunio_trace::FieldValue::U64(i as u64)),
+                            (
+                                "payload",
+                                tunio_trace::FieldValue::Str(format!(
+                                    "a \"quoted\" payload with newline-ish \\n content #{i}"
+                                )),
+                            ),
+                        ],
+                    );
+                    drop(span);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    tunio_trace::clear_sink();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let mut seen: HashSet<(u64, u64)> = HashSet::new();
+    let mut span_ids: HashSet<u64> = HashSet::new();
+    let mut total = 0usize;
+    for (n, line) in text.lines().enumerate() {
+        let rec = record_from_json(line)
+            .unwrap_or_else(|e| panic!("line {} is torn or malformed: {e}\n{line}", n + 1));
+        assert_eq!(rec.name, "hammer.work");
+        let thread = field_u64(&rec, "thread");
+        let i = field_u64(&rec, "i");
+        assert!(
+            seen.insert((thread, i)),
+            "duplicate line for thread {thread} span {i}"
+        );
+        assert!(
+            span_ids.insert(rec.span_id.expect("span id")),
+            "span ids must be unique"
+        );
+        total += 1;
+    }
+    assert_eq!(
+        total,
+        THREADS * SPANS_PER_THREAD,
+        "every close must emit exactly one line"
+    );
+}
+
+fn field_u64(rec: &tunio_trace::Record, key: &str) -> u64 {
+    rec.fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| match v {
+            tunio_trace::FieldValue::U64(u) => *u,
+            other => panic!("field {key} not u64: {other:?}"),
+        })
+        .unwrap_or_else(|| panic!("missing field {key}"))
+}

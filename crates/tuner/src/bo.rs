@@ -32,6 +32,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use tunio_nn::{Activation, Network, Optimizer};
 use tunio_params::{Configuration, ParamId, ParameterSpace};
+use tunio_trace as trace;
 
 /// Hyperparameters for [`BoStrategy`].
 #[derive(Debug, Clone)]
@@ -152,6 +153,13 @@ impl BoStrategy {
         if self.ys.len() < self.cfg.warmup.max(2) || !due {
             return;
         }
+        let _span = trace::span(
+            "surrogate.fit",
+            vec![
+                ("observations", self.ys.len().into()),
+                ("ensemble", self.cfg.ensemble.into()),
+            ],
+        );
         let (mean, std) = self.target_stats();
         let xs: Vec<Vec<f64>> = self.xs.iter().map(|g| self.features(g)).collect();
         let ys: Vec<Vec<f64>> = self.ys.iter().map(|y| vec![(y - mean) / std]).collect();

@@ -778,10 +778,16 @@ impl EvalEngine {
 
         // Fan the misses out; order-preserving collect keeps sims[j]
         // aligned with fresh[j]. Retry/quarantine bookkeeping is per-key,
-        // so outcomes stay deterministic under any interleaving.
+        // so outcomes stay deterministic under any interleaving. The
+        // caller's causal context is re-installed inside each rayon
+        // worker so eval spans stay in the campaign's trace.
+        let ctx = trace::current();
         let sims: Vec<SimOutcome> = fresh
             .par_iter()
-            .map(|&i| self.simulate_resilient(&configs[i]))
+            .map(|&i| {
+                let _ctx = trace::with_context(ctx);
+                self.simulate_resilient(&configs[i])
+            })
             .collect();
 
         // Publish successes; failures stay uncached so they retry on the
