@@ -35,6 +35,7 @@ fn main() {
             noise: NoiseModel::new(42),
             burst: None,
             fault: None,
+            interference: None,
         };
         let engine = EvalEngine::new(
             sim,

@@ -1,0 +1,163 @@
+//! Noise robustness — racing evaluation vs. fixed 3-run averaging on a
+//! storm-grade noisy cluster.
+//!
+//! Both arms run the *same* random-search campaign (same seed, same 48
+//! proposals) on the same interfered machine; they differ only in how
+//! each configuration's bandwidth estimate is produced. Fixed-3 always
+//! burns 3 simulations per unique config (the paper's §IV averaging);
+//! racing warms each config with 2 samples, discards clear losers
+//! immediately, and tops up only while the confidence interval still
+//! overlaps the incumbent. The headline pair of numbers: simulations
+//! consumed, and the *true mean* bandwidth of the config each arm
+//! crowns — the expectation of the noisy objective, estimated by
+//! re-running the chosen config 32 times across the interference
+//! timeline (what that config would actually deliver on the shared
+//! machine, with the sampling luck averaged out). Racing must reach
+//! equal-or-better truth on at least 25% fewer simulations.
+
+use serde::Serialize;
+use tunio_bench::GIB;
+use tunio_iosim::{InterferenceModel, NoiseProfile, Simulator};
+use tunio_params::{Configuration, ParameterSpace};
+use tunio_tuner::{
+    run_strategy, run_strategy_opts, AllParams, EvalEngine, NoObserver, NoStop, RacingConfig,
+    RandomStrategy,
+};
+use tunio_workloads::{hacc, Variant, Workload};
+
+const BUDGET: usize = 48;
+
+fn engine(seed: u64, repeats: u32) -> EvalEngine {
+    let sim = Simulator::cori_4node(seed)
+        .with_interference(InterferenceModel::new(NoiseProfile::Storm, seed));
+    EvalEngine::new(
+        sim,
+        Workload::new(hacc(), Variant::Kernel),
+        ParameterSpace::tunio_default(),
+        repeats,
+    )
+}
+
+#[derive(Serialize)]
+struct Row {
+    seed: u64,
+    arm: String,
+    simulations: u64,
+    evaluations: u64,
+    discards: u64,
+    topups: u64,
+    noisy_best_gibs: f64,
+    true_best_gibs: f64,
+}
+
+/// Run one arm; returns (simulations, evaluations, discards, topups,
+/// best config and its noisy estimate).
+fn arm(seed: u64, racing: bool) -> (u64, u64, u64, u64, Configuration, f64) {
+    let eng = engine(seed, 3);
+    let strategy = Box::new(RandomStrategy::new(
+        ParameterSpace::tunio_default(),
+        BUDGET,
+        seed,
+    ));
+    let run = if racing {
+        run_strategy_opts(
+            &eng,
+            strategy,
+            &mut NoStop,
+            &mut AllParams,
+            8,
+            1,
+            &mut NoObserver,
+            Some(RacingConfig::default()),
+        )
+    } else {
+        run_strategy(
+            &eng,
+            strategy,
+            &mut NoStop,
+            &mut AllParams,
+            8,
+            1,
+            &mut NoObserver,
+        )
+    };
+    let rc = eng.racing_counters();
+    // Race samples for settled keys, plus 3 fixed repeats for every
+    // evaluation that went through the plain path (the default-config
+    // baseline always does; under fixed-3 that is all of them).
+    let sims = rc.samples + (eng.evaluations() - rc.settled) * 3;
+    (
+        sims,
+        eng.evaluations(),
+        rc.discards,
+        rc.topups,
+        run.trace.best_config.clone(),
+        run.trace.best_perf,
+    )
+}
+
+fn main() {
+    println!("=== Noise: racing vs fixed-3 averaging (HACC kernel, storm interference, 48-config random search) ===\n");
+    println!(
+        "{:>6} {:>8} {:>6} {:>6} {:>9} {:>8} {:>12} {:>12}",
+        "seed", "arm", "sims", "evals", "discards", "top-ups", "noisy GiB/s", "true GiB/s"
+    );
+    let mut rows = Vec::new();
+    let (mut sims_fixed, mut sims_racing) = (0u64, 0u64);
+    let (mut true_fixed, mut true_racing) = (0.0f64, 0.0f64);
+    for seed in [1u64, 2, 3, 4] {
+        // 32 repeats across the interference timeline: the sampling
+        // error of this reference is ~3x smaller than either arm's.
+        let truth = engine(seed, 32);
+        for racing in [false, true] {
+            let (sims, evals, discards, topups, best, noisy) = arm(seed, racing);
+            let true_gibs = truth.evaluate(&best).perf / GIB;
+            let name = if racing { "racing" } else { "fixed-3" };
+            println!(
+                "{seed:>6} {name:>8} {sims:>6} {evals:>6} {discards:>9} {topups:>8} {:>12.3} {true_gibs:>12.3}",
+                noisy / GIB,
+            );
+            if racing {
+                sims_racing += sims;
+                true_racing += true_gibs;
+            } else {
+                sims_fixed += sims;
+                true_fixed += true_gibs;
+            }
+            rows.push(Row {
+                seed,
+                arm: name.into(),
+                simulations: sims,
+                evaluations: evals,
+                discards,
+                topups,
+                noisy_best_gibs: noisy / GIB,
+                true_best_gibs: true_gibs,
+            });
+        }
+    }
+    let saved = 1.0 - sims_racing as f64 / sims_fixed as f64;
+    println!(
+        "\nracing: {sims_racing} sims vs fixed-3 {sims_fixed} ({:.0}% fewer), \
+         mean true best {:.3} vs {:.3} GiB/s",
+        100.0 * saved,
+        true_racing / 4.0,
+        true_fixed / 4.0,
+    );
+    assert!(
+        saved >= 0.25,
+        "racing must save >=25% of simulations (saved {:.1}%)",
+        100.0 * saved
+    );
+    assert!(
+        true_racing >= true_fixed * 0.999,
+        "racing must reach equal-or-better true bandwidth \
+         ({true_racing:.3} vs {true_fixed:.3} summed GiB/s)"
+    );
+    println!(
+        "clear losers die after 2 samples instead of always costing 3, and the\n\
+         saved budget tops up only the genuinely ambiguous configs — whose 6-sample\n\
+         aggregates then estimate the true mean tighter than fixed-3 ever did."
+    );
+    tunio_bench::write_json("noise01_racing", &rows);
+}

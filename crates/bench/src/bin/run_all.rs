@@ -9,7 +9,7 @@
 
 use std::process::Command;
 
-const FIGURES: [&str; 17] = [
+const FIGURES: [&str; 18] = [
     "fig01_search_space",
     "fig02_tuning_curves",
     "fig05_marking_demo",
@@ -27,6 +27,7 @@ const FIGURES: [&str; 17] = [
     "abl04_burst_buffer",
     "abl05_reward_delay",
     "ext01_scaling",
+    "noise01_racing",
 ];
 
 fn main() {

@@ -7,6 +7,7 @@
 //!            [--iterations N] [--population N] [--seed N] [--large-scale]
 //!            [--checkpoint FILE] [--resume] [--abort-after N]
 //!            [--fault-rate F] [--fault-seed N]
+//!            [--noise-profile quiet|busy|storm] [--noise-seed N] [--racing]
 //!            [--infer-workload SAMPLE|FILE.c] [--bind NAME=VALUE]...
 //!            [--xml-out FILE] [--out-json FILE]
 //!            [--metrics-addr HOST:PORT] [--quiet]
@@ -24,6 +25,15 @@
 //! corrupted reports at derived rates); `--abort-after N` exits cleanly
 //! once generation N is durable in the log — the kill switch used by the
 //! crash/resume CI job.
+//!
+//! `--noise-profile` attaches the seeded heteroscedastic interference
+//! model to the simulator (noisy-neighbor OST episodes plus time-varying
+//! network contention; `--noise-seed` defaults to `--seed`). `--racing`
+//! switches strategy campaigns (`--strategy ...`) to noise-robust racing
+//! evaluation: configurations whose confidence interval still overlaps
+//! the incumbent get extra repeats, clear losers are discarded early.
+//! Like `--fault-rate`, resumed campaigns must re-pass the same noise
+//! and racing flags.
 //!
 //! `--infer-workload` runs static workload inference (abstract
 //! interpretation, see `tunio-infer`) over a built-in sample or a
@@ -46,7 +56,7 @@ use tunio::pipeline::{
     outcome_json, run_campaign_opts, run_strategy_campaign_opts, CampaignOptions, CampaignSpec,
     PipelineKind, StrategyKind,
 };
-use tunio_iosim::FaultPlan;
+use tunio_iosim::{FaultPlan, NoiseProfile};
 use tunio_params::ParameterSpace;
 use tunio_workloads::{all_apps, Variant};
 
@@ -67,6 +77,9 @@ struct Args {
     abort_after: Option<u32>,
     fault_rate: Option<f64>,
     fault_seed: Option<u64>,
+    noise_profile: Option<NoiseProfile>,
+    noise_seed: Option<u64>,
+    racing: bool,
     xml_out: Option<String>,
     out_json: Option<String>,
     metrics_addr: Option<String>,
@@ -85,6 +98,7 @@ fn usage() -> ExitCode {
          \x20      [--large-scale]\n\
          \x20      [--checkpoint FILE] [--resume] [--abort-after N]\n\
          \x20      [--fault-rate F] [--fault-seed N]\n\
+         \x20      [--noise-profile quiet|busy|storm] [--noise-seed N] [--racing]\n\
          \x20      [--infer-workload SAMPLE|FILE.c] [--bind NAME=VALUE]...\n\
          \x20      [--xml-out FILE] [--out-json FILE]\n\
          \x20      [--metrics-addr HOST:PORT] [--quiet]"
@@ -108,6 +122,9 @@ fn parse_args() -> Result<Args, String> {
         abort_after: None,
         fault_rate: None,
         fault_seed: None,
+        noise_profile: None,
+        noise_seed: None,
+        racing: false,
         xml_out: None,
         out_json: None,
         metrics_addr: None,
@@ -212,6 +229,20 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad fault seed: {e}"))?,
                 )
             }
+            "--noise-profile" => {
+                let v = value(&argv, &mut i, "--noise-profile")?;
+                args.noise_profile = Some(NoiseProfile::parse(&v).ok_or_else(|| {
+                    format!("unknown noise profile `{v}` (want quiet|busy|storm)")
+                })?);
+            }
+            "--noise-seed" => {
+                args.noise_seed = Some(
+                    value(&argv, &mut i, "--noise-seed")?
+                        .parse()
+                        .map_err(|e| format!("bad noise seed: {e}"))?,
+                )
+            }
+            "--racing" => args.racing = true,
             "--xml-out" => args.xml_out = Some(value(&argv, &mut i, "--xml-out")?),
             "--out-json" => args.out_json = Some(value(&argv, &mut i, "--out-json")?),
             "--metrics-addr" => args.metrics_addr = Some(value(&argv, &mut i, "--metrics-addr")?),
@@ -369,7 +400,14 @@ fn main() -> ExitCode {
         threads: args.threads,
         warm_start,
         preload: Vec::new(),
+        noise_profile: args.noise_profile,
+        noise_seed: args.noise_seed,
+        racing: args.racing.then(tunio_tuner::RacingConfig::default),
     };
+    if args.racing && args.strategy.is_none() {
+        eprintln!("error: --racing needs --strategy (the classic GA loop fixed-repeat averages)");
+        return usage();
+    }
     if args.resume && args.checkpoint.is_none() {
         eprintln!("error: --resume needs --checkpoint");
         return usage();
@@ -423,6 +461,13 @@ fn main() -> ExitCode {
         println!(
             "scheduler: {} proposed, {} committed, {} aliases, {} barrier stalls",
             stats.proposed, stats.committed, stats.aliases, stats.barrier_stalls
+        );
+    }
+    if outcome.racing.settled > 0 {
+        let rc = &outcome.racing;
+        println!(
+            "racing: {} keys settled from {} samples, {} top-ups, {} discarded early",
+            rc.settled, rc.samples, rc.topups, rc.discards
         );
     }
     let res = &outcome.resilience;

@@ -319,12 +319,21 @@ fn entry_value(e: &CacheEntry) -> Result<Value, CheckpointError> {
     // shortest-round-trip formatting, so the replay is bitwise exact.
     let profile: Value = serde_json::from_str(&e.profile.to_json())
         .map_err(|err| CheckpointError::BadHeader(format!("profile serialization: {err:?}")))?;
-    Ok(Value::Object(vec![
+    let mut fields = vec![
         ("key".into(), genes_value(&e.key)),
         ("report".into(), e.report.to_value()),
         ("perf".into(), Value::Float(e.perf)),
         ("profile".into(), profile),
-    ]))
+    ];
+    // Racing moments travel with the entry: (sample count, Welford M2),
+    // with the mean already stored as `perf`. Fixed-repeat entries omit
+    // both fields, keeping their WAL lines byte-identical to before
+    // racing existed (same pattern as `strategy_state`).
+    if e.samples > 0 {
+        fields.push(("samples".into(), Value::UInt(e.samples as u64)));
+        fields.push(("m2".into(), Value::Float(e.m2)));
+    }
+    Ok(Value::Object(fields))
 }
 
 fn entry_from_value(v: &Value) -> Result<CacheEntry, CheckpointError> {
@@ -333,11 +342,25 @@ fn entry_from_value(v: &Value) -> Result<CacheEntry, CheckpointError> {
     let profile_text = serde_json::to_string(get(v, "profile", "entry")?)
         .map_err(|e| CheckpointError::BadHeader(format!("profile in entry: {e:?}")))?;
     let profile = Profile::from_json(&profile_text).map_err(CheckpointError::BadHeader)?;
+    let samples = match v.get("samples") {
+        None => 0,
+        Some(s) => s
+            .as_u64()
+            .ok_or_else(|| CheckpointError::BadHeader("`samples` is not an integer".into()))?
+            as u32,
+    };
+    let m2 = if samples > 0 {
+        get_f64(v, "m2", "entry")?
+    } else {
+        0.0
+    };
     Ok(CacheEntry {
         key: parse_genes(get(v, "key", "entry")?)?,
         report,
         perf: get_f64(v, "perf", "entry")?,
         profile,
+        samples,
+        m2,
     })
 }
 
@@ -629,6 +652,10 @@ mod tests {
                 },
                 perf: 1.1e9,
                 profile,
+                // Odd generations carry racing moments, even ones are
+                // fixed-repeat entries (samples/m2 omitted on disk).
+                samples: if iteration % 2 == 1 { 5 } else { 0 },
+                m2: if iteration % 2 == 1 { 3.25e16 } else { 0.0 },
             }],
             strategy_state: if iteration == 2 {
                 Some("{\"rng\":[1,2,3,4]}".into())
@@ -666,11 +693,31 @@ mod tests {
             assert_eq!(g.entries[0].perf, want.entries[0].perf);
             assert_eq!(g.entries[0].profile, want.entries[0].profile);
             assert_eq!(
+                (g.entries[0].samples, g.entries[0].m2),
+                (want.entries[0].samples, want.entries[0].m2),
+                "racing moments must round-trip (and read 0 when omitted)"
+            );
+            assert_eq!(
                 g.strategy_state, want.strategy_state,
                 "strategy state must round-trip (and stay absent when None)"
             );
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn racing_free_entries_omit_the_moment_fields() {
+        // Byte-compat: a fixed-repeat entry's WAL line must not mention
+        // the racing fields at all — old logs and new logs of racing-free
+        // campaigns are byte-identical.
+        let plain = entry_value(&generation(2).entries[0]).unwrap();
+        let line = serde_json::to_string(&plain).unwrap();
+        assert!(!line.contains("samples"), "{line}");
+        assert!(!line.contains("\"m2\""), "{line}");
+        let raced = entry_value(&generation(1).entries[0]).unwrap();
+        let line = serde_json::to_string(&raced).unwrap();
+        assert!(line.contains("\"samples\":5"), "{line}");
+        assert!(line.contains("\"m2\""), "{line}");
     }
 
     #[test]

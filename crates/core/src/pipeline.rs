@@ -16,15 +16,15 @@ use serde::Serialize;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use tunio_iosim::{FaultPlan, Simulator};
+use tunio_iosim::{FaultPlan, InterferenceModel, NoiseProfile, Simulator};
 use tunio_params::ParameterSpace;
 use tunio_trace as trace;
 use tunio_tuner::stoppers::NoStop;
 use tunio_tuner::{
     AllParams, BoConfig, BoStrategy, CacheEntry, CampaignObserver, EvalCounters, EvalEngine,
     FailurePolicy, GaConfig, GaStrategy, GaTuner, GenerationSnapshot, HeuristicStop, LhsStrategy,
-    NoObserver, RandomStrategy, ResilienceCounters, SchedulerStats, SearchStrategy, Stopper,
-    SubsetProvider, TuningTrace,
+    NoObserver, RacingConfig, RacingCounters, RandomStrategy, ResilienceCounters, SchedulerStats,
+    SearchStrategy, Stopper, SubsetProvider, TuningTrace,
 };
 use tunio_workloads::{AppSpec, Variant, Workload, WorkloadFeatures};
 
@@ -175,6 +175,13 @@ pub struct CampaignOutcome {
     /// campaigns run through [`run_strategy_campaign_opts`]; `None` for
     /// the classic `GaTuner` loop.
     pub scheduler: Option<SchedulerStats>,
+    /// Racing-evaluation counters (samples, settles, top-ups, early
+    /// discards). All zero unless [`CampaignOptions::racing`] was set.
+    /// Excluded from [`outcome_json`]: a resumed campaign replays
+    /// settled keys from the WAL instead of re-racing them, so these
+    /// counters depend on where the kill landed even though the trace
+    /// does not.
+    pub racing: RacingCounters,
     /// Engine work counters. `counters.sim_wall_s == 0.0` means the
     /// campaign never touched the simulator — every evaluation was
     /// served from preloaded or replayed cache entries. The serve layer
@@ -228,6 +235,35 @@ pub struct CampaignOptions {
     /// a trace; entries from a *different* simulator seed would, which
     /// is why callers must namespace them by campaign fingerprint.
     pub preload: Vec<CacheEntry>,
+    /// Attach a heteroscedastic interference model to the simulator
+    /// (noisy-shared-machine realism — see `tunio_iosim::interference`).
+    /// Like `fault_plan`, the profile is not recorded in checkpoints:
+    /// resumed campaigns must pass the same profile and seed, or replay
+    /// verification will catch the fork and refuse to extend the WAL.
+    pub noise_profile: Option<NoiseProfile>,
+    /// Interference seed; defaults to the campaign seed when a profile
+    /// is set.
+    pub noise_seed: Option<u64>,
+    /// Noise-robust racing evaluation for strategy campaigns: adaptive
+    /// repeat-sampling against the commit-frontier incumbent instead of
+    /// fixed-repeat averaging. Ignored by the classic `GaTuner` path.
+    /// Racing state (per-key sample counts + moments) persists in the
+    /// WAL, so kill/resume stays bitwise — but like the noise flags, a
+    /// resumed campaign must pass the same racing policy.
+    pub racing: Option<RacingConfig>,
+}
+
+/// Attach the options' interference model (if any) to a fresh simulator
+/// and record the active profile as a labeled metric.
+fn apply_noise(sim: Simulator, spec: &CampaignSpec, opts: &CampaignOptions) -> Simulator {
+    match opts.noise_profile {
+        Some(profile) => {
+            let seed = opts.noise_seed.unwrap_or(spec.seed);
+            trace::labeled_gauge("tunio.noise.profile", &[("profile", profile.as_str())]).set(1.0);
+            sim.with_interference(InterferenceModel::new(profile, seed))
+        }
+        None => sim,
+    }
 }
 
 /// Run one campaign with default options (fault-free, no checkpoint).
@@ -254,6 +290,7 @@ pub fn run_campaign_opts(
     if let Some(plan) = opts.fault_plan {
         sim = sim.with_fault_plan(plan);
     }
+    sim = apply_noise(sim, spec, opts);
     let cluster = sim.cluster;
     let workload = Workload::new(spec.app.clone(), spec.variant);
     let mut engine = EvalEngine::new(sim, workload, space.clone(), 3);
@@ -336,6 +373,7 @@ pub fn run_campaign_opts(
         profile: engine.profile_snapshot(),
         resilience: engine.resilience(),
         scheduler: None,
+        racing: RacingCounters::default(),
         counters: engine.counters(),
         wall_breakdown,
     })
@@ -550,6 +588,7 @@ pub fn run_strategy_campaign_opts(
     if let Some(plan) = opts.fault_plan {
         sim = sim.with_fault_plan(plan);
     }
+    sim = apply_noise(sim, spec, opts);
     let cluster = sim.cluster;
     let workload = Workload::new(spec.app.clone(), spec.variant);
     let mut engine = EvalEngine::new(sim, workload, space.clone(), 3);
@@ -627,7 +666,7 @@ pub fn run_strategy_campaign_opts(
         Some(obs) => obs,
         None => &mut no_observer,
     };
-    let run = tunio_tuner::run_strategy(
+    let run = tunio_tuner::run_strategy_opts(
         &engine,
         backend,
         stopper.as_mut(),
@@ -635,6 +674,7 @@ pub fn run_strategy_campaign_opts(
         spec.population.max(1),
         threads,
         observer,
+        opts.racing,
     );
     if let Some(obs) = checkpointer {
         if let Some(e) = obs.error {
@@ -649,6 +689,7 @@ pub fn run_strategy_campaign_opts(
         profile: engine.profile_snapshot(),
         resilience: engine.resilience(),
         scheduler: Some(run.stats),
+        racing: engine.racing_counters(),
         counters: engine.counters(),
         wall_breakdown,
     })
@@ -1241,6 +1282,7 @@ pub fn run_campaign_with(tunio: &mut crate::TunIo, spec: &CampaignSpec) -> Campa
         profile: engine.profile_snapshot(),
         resilience: engine.resilience(),
         scheduler: None,
+        racing: RacingCounters::default(),
         counters: engine.counters(),
         wall_breakdown,
     }
@@ -1506,6 +1548,74 @@ mod checkpoint_tests {
         truncate_wal(&path, 2);
         let resumed = run_strategy_campaign_opts(&s, StrategyKind::Bo, &opts(true)).unwrap();
         assert_traces_identical(&uninterrupted, &resumed);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The noisy-cluster acceptance scenario: a storm-profile racing
+    /// campaign killed mid-run resumes to the bitwise-identical trace.
+    /// Racing state (per-key sample counts + Welford moments) rides the
+    /// WAL's cache entries, and replayed keys short-circuit the race
+    /// entirely, so the resumed run re-races only the un-checkpointed
+    /// tail — against the same commit-frontier incumbents.
+    #[test]
+    fn racing_storm_campaign_survives_kill_and_resume() {
+        let s = spec(PipelineKind::HsTunerNoStop, 6, 53);
+        let path = wal_path("racing-storm-resume.jsonl");
+        std::fs::remove_file(&path).ok();
+        let opts = |resume| CampaignOptions {
+            checkpoint: Some(path.clone()),
+            resume,
+            threads: Some(2),
+            noise_profile: Some(NoiseProfile::Storm),
+            racing: Some(RacingConfig::default()),
+            ..CampaignOptions::default()
+        };
+        let uninterrupted =
+            run_strategy_campaign_opts(&s, StrategyKind::Random, &opts(false)).unwrap();
+        assert!(uninterrupted.trace.records.len() >= 4);
+
+        truncate_wal(&path, 3);
+        let resumed = run_strategy_campaign_opts(&s, StrategyKind::Random, &opts(true)).unwrap();
+        assert_traces_identical(&uninterrupted, &resumed);
+        assert_eq!(uninterrupted.scheduler, resumed.scheduler);
+        assert_eq!(
+            outcome_json(&uninterrupted),
+            outcome_json(&resumed),
+            "racing outcome must replay byte-for-byte"
+        );
+
+        // The healed WAL carries the racing moments: at least one entry
+        // records more than zero samples.
+        let (_, gens) = checkpoint::load(&path).unwrap();
+        let raced = gens
+            .iter()
+            .flat_map(|g| &g.entries)
+            .filter(|e| e.samples > 0)
+            .count();
+        assert!(raced > 0, "WAL must persist per-key racing state");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A quiet-profile campaign without racing behaves exactly like a
+    /// noise-free one at the accounting level (the quiet profile has no
+    /// episodes), and the racing-free WAL stays free of moment fields.
+    #[test]
+    fn quiet_noise_without_racing_keeps_the_wal_moment_free() {
+        let s = spec(PipelineKind::HsTunerNoStop, 3, 59);
+        let path = wal_path("quiet-no-racing.jsonl");
+        std::fs::remove_file(&path).ok();
+        let opts = CampaignOptions {
+            checkpoint: Some(path.clone()),
+            threads: Some(1),
+            noise_profile: Some(NoiseProfile::Quiet),
+            ..CampaignOptions::default()
+        };
+        run_strategy_campaign_opts(&s, StrategyKind::Random, &opts).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            !raw.contains("\"samples\""),
+            "fixed-repeat entries must not grow moment fields"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -34,6 +34,7 @@ pub mod cluster;
 pub mod darshan;
 pub mod fault;
 pub mod hdf5;
+pub mod interference;
 pub mod lustre;
 pub mod mpiio;
 pub mod noise;
@@ -46,6 +47,7 @@ pub use burst::BurstBufferSpec;
 pub use cluster::ClusterSpec;
 pub use darshan::{DarshanLog, DatasetCounters};
 pub use fault::{FaultKind, FaultPlan, InjectedFault, SimFault};
+pub use interference::{InterferenceModel, NoiseProfile};
 pub use lustre::LustreSpec;
 pub use profile::{compare_profiles, render_diff, Layer, LayerDelta, LayerStat, Profile, TreeRow};
 pub use report::RunReport;

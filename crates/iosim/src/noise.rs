@@ -32,8 +32,11 @@ impl NoiseModel {
         }
     }
 
-    /// Multiplier ≥ 0.5 applied to a run's elapsed time, derived from the
-    /// configuration fingerprint and run index. Mean ≈ 1.0.
+    /// Multiplier in `[0.5, 1.5]` applied to a run's elapsed time, derived
+    /// from the configuration fingerprint and run index. The clamp is
+    /// symmetric about 1.0, so the expected multiplier is exactly 1.0 at
+    /// every amplitude (a one-sided floor would skew the mean upward once
+    /// the amplitude is large enough for the bound to bind).
     pub fn time_multiplier(&self, config_fingerprint: u64, run_idx: u32) -> f64 {
         if self.amplitude == 0.0 {
             return 1.0;
@@ -52,7 +55,7 @@ impl NoiseModel {
             acc += (x >> 11) as f64 / (1u64 << 53) as f64;
         }
         let z = (acc - 2.0) / (4.0f64 / 12.0).sqrt(); // standardized
-        (1.0 + self.amplitude * z).max(0.5)
+        (1.0 + self.amplitude * z).clamp(0.5, 1.5)
     }
 }
 
@@ -108,6 +111,35 @@ mod tests {
         for i in 0..1000 {
             assert!(n.time_multiplier(5, i) >= 0.5);
         }
+    }
+
+    #[test]
+    fn high_amplitude_mean_and_variance_converge() {
+        // Regression for the one-sided `.max(0.5)` clamp: at amplitude 0.5
+        // the floor binds (|z| can reach ~3.46) and, without a matching
+        // ceiling, the sample mean drifts above 1.0. The symmetric clamp
+        // keeps the mean at 1.0 and the variance near amplitude².
+        let n = NoiseModel {
+            seed: 7,
+            amplitude: 0.5,
+        };
+        let draws: Vec<f64> = (0..20_000).map(|i| n.time_multiplier(11, i)).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / draws.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean} should be ~1.0");
+        // At amplitude 0.5 the clamp sits one sigma out, so the tails are
+        // heavily truncated: Var[clamp(z, ±1)] = E[min(z², 1)] ≈ 0.516 for
+        // z ~ N(0,1). The sample variance must land near that, far from 0
+        // (no noise) and below amplitude² (no truncation).
+        let expect = n.amplitude * n.amplitude;
+        assert!(
+            var > 0.35 * expect && var < 0.75 * expect,
+            "variance {var} vs truncated-normal expectation ~{}",
+            0.516 * expect
+        );
+        // And both bounds are actually exercised at this amplitude.
+        assert!(draws.contains(&0.5), "floor should bind");
+        assert!(draws.contains(&1.5), "ceiling should bind");
     }
 
     #[test]

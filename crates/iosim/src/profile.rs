@@ -38,11 +38,14 @@ pub enum Layer {
     Mds,
     /// Burst-buffer ingest (absorbed checkpoint writes).
     Burst,
+    /// Cross-tenant interference: noisy-neighbor OST episodes and fabric
+    /// contention (zero unless an interference model is attached).
+    Interference,
 }
 
 impl Layer {
     /// All layers, in canonical (serialization and display) order.
-    pub const ALL: [Layer; 8] = [
+    pub const ALL: [Layer; 9] = [
         Layer::Compute,
         Layer::Hdf5,
         Layer::Mpiio,
@@ -51,16 +54,18 @@ impl Layer {
         Layer::LustreRpc,
         Layer::Mds,
         Layer::Burst,
+        Layer::Interference,
     ];
 
     /// Layers whose self time is part of `RunReport::io_time_s`.
-    pub const IO: [Layer; 6] = [
+    pub const IO: [Layer; 7] = [
         Layer::Hdf5,
         Layer::Mpiio,
         Layer::Network,
         Layer::LustreData,
         Layer::LustreRpc,
         Layer::Burst,
+        Layer::Interference,
     ];
 
     /// Stable string name (used in JSON, metrics labels and trace events).
@@ -74,6 +79,7 @@ impl Layer {
             Layer::LustreRpc => "lustre.rpc",
             Layer::Mds => "mds",
             Layer::Burst => "burst",
+            Layer::Interference => "interference",
         }
     }
 
@@ -291,7 +297,7 @@ impl Profile {
         let lustre = s(Layer::LustreData) + s(Layer::LustreRpc);
         let mpiio = s(Layer::Mpiio) + s(Layer::Network) + lustre;
         let hdf5 = s(Layer::Hdf5) + mpiio;
-        let io = s(Layer::Burst) + hdf5;
+        let io = s(Layer::Burst) + hdf5 + s(Layer::Interference);
         let run = s(Layer::Compute) + io + s(Layer::Mds);
         let row = |depth, name: &str, self_s, total_s| TreeRow {
             depth,
@@ -310,6 +316,12 @@ impl Profile {
             row(4, "lustre", 0.0, lustre),
             row(5, "lustre.data", s(Layer::LustreData), s(Layer::LustreData)),
             row(5, "lustre.rpc", s(Layer::LustreRpc), s(Layer::LustreRpc)),
+            row(
+                2,
+                "interference",
+                s(Layer::Interference),
+                s(Layer::Interference),
+            ),
             row(1, "mds", s(Layer::Mds), s(Layer::Mds)),
         ]
     }

@@ -4,6 +4,7 @@ use crate::burst::{BurstBufferSpec, BurstBufferState};
 use crate::cluster::ClusterSpec;
 use crate::fault::{FaultKind, FaultPlan, InjectedFault, SimFault};
 use crate::hdf5;
+use crate::interference::InterferenceModel;
 use crate::lustre::LustreSpec;
 use crate::mpiio;
 use crate::noise::{fingerprint, NoiseModel};
@@ -40,6 +41,10 @@ pub struct Simulator {
     /// `try_run*` entry points consult it; the infallible `run*` methods
     /// stay fault-free regardless.
     pub fault: Option<FaultPlan>,
+    /// Optional heteroscedastic interference model (noisy-neighbor OST
+    /// episodes + fabric contention on a virtual timeline). `None` leaves
+    /// every run bitwise identical to the interference-free simulator.
+    pub interference: Option<InterferenceModel>,
 }
 
 impl Simulator {
@@ -51,6 +56,7 @@ impl Simulator {
             noise: NoiseModel::new(seed),
             burst: None,
             fault: None,
+            interference: None,
         }
     }
 
@@ -62,6 +68,7 @@ impl Simulator {
             noise: NoiseModel::new(seed),
             burst: None,
             fault: None,
+            interference: None,
         }
     }
 
@@ -73,6 +80,7 @@ impl Simulator {
             noise: NoiseModel::disabled(),
             burst: None,
             fault: None,
+            interference: None,
         }
     }
 
@@ -85,6 +93,14 @@ impl Simulator {
     /// Attach a fault-injection schedule (builder style).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Attach a heteroscedastic interference model (builder style). Inert
+    /// models (the `quiet` profile) are dropped so the fast path stays
+    /// branch-free.
+    pub fn with_interference(mut self, model: InterferenceModel) -> Self {
+        self.interference = (!model.is_inert()).then_some(model);
         self
     }
 
@@ -118,19 +134,30 @@ impl Simulator {
         let mut report = RunReport::default();
         let mut profile = Profile::new();
         let mut bb_state = BurstBufferState::empty();
+        let fp = fingerprint_of(cfg);
+        // Virtual clock for the interference timeline: each repeat of a
+        // config starts at its own hashed offset, then the clock advances
+        // by simulated phase durations so back-to-back I/O phases see
+        // correlated (bursty) interference, not fresh i.i.d. draws.
+        let mut clock = self
+            .interference
+            .as_ref()
+            .map(|m| m.start_time(fp, run_idx))
+            .unwrap_or(0.0);
         for phase in phases {
             match phase {
                 Phase::Compute { seconds } => {
                     report.compute_time_s += seconds;
                     report.elapsed_s += seconds;
                     profile.add(Layer::Compute, *seconds, 0.0, 0.0);
+                    clock += seconds;
                     if let Some(bb) = &self.burst {
                         bb_state.drain(bb, *seconds);
                     }
                 }
                 Phase::Io(io) => {
                     let (mut contribution, mut phase_profile) =
-                        self.run_io_phase(io, cfg, ost_loss);
+                        self.run_io_phase(io, cfg, ost_loss, clock, fp);
                     // A burst buffer absorbs writes at memory-class speed;
                     // only the spill-over pays the PFS path. The absorbed
                     // data drains during subsequent compute phases.
@@ -148,13 +175,13 @@ impl Simulator {
                         phase_profile.scale_io_time(spill_fraction);
                         phase_profile.add(Layer::Burst, absorb_time, absorbed, 0.0);
                     }
+                    clock += contribution.elapsed_s;
                     report.absorb(&contribution);
                     profile.absorb(&phase_profile);
                 }
             }
         }
         // Platform volatility perturbs the I/O portion of the run.
-        let fp = fingerprint_of(cfg);
         let mult = self.noise.time_multiplier(fp, run_idx);
         report.io_time_s *= mult;
         report.meta_time_s *= mult;
@@ -303,6 +330,8 @@ impl Simulator {
         io: &crate::request::IoPhase,
         cfg: &StackConfig,
         ost_loss: u32,
+        t0: f64,
+        fp: u64,
     ) -> (RunReport, Profile) {
         // Layer 1: HDF5-like library transforms the request stream.
         let traffic = hdf5::raw_data_traffic(io, cfg);
@@ -358,7 +387,7 @@ impl Simulator {
             .fs
             .metadata_time(meta.total_ops, meta.clients, meta.cost_factor);
 
-        let io_time = storage_time.max(network_floor) + fs_load.shuffle_time;
+        let mut io_time = storage_time.max(network_floor) + fs_load.shuffle_time;
 
         let total_bytes = traffic.per_proc_bytes * self.cluster.procs as f64;
         let total_ops = traffic.ops_per_proc * self.cluster.procs as f64;
@@ -407,6 +436,25 @@ impl Simulator {
             fs_load.fs_requests,
         );
         profile.add(Layer::Mds, meta_time, 0.0, meta.total_ops);
+
+        // Cross-tenant interference re-evaluates the binding constraint:
+        // busy OSTs slow the storage path (gated by the slowest engaged
+        // stripe), fabric contention raises the client injection floor.
+        // Only the *added* time over the undisturbed transfer is charged,
+        // as its own layer — interference is attributed, never smeared
+        // across the clean layers' budgets.
+        if let Some(model) = &self.interference {
+            let window = io_time + meta_time;
+            let first = model.first_ost(fp, self.fs.n_osts);
+            let slow = model.storage_slowdown(t0, window, first, osts);
+            let net = model.network_contention(t0, window);
+            let disturbed = (storage_time * slow).max(network_floor * net);
+            let extra = disturbed - storage_time.max(network_floor);
+            if extra > 0.0 {
+                io_time += extra;
+                profile.add(Layer::Interference, extra, 0.0, 0.0);
+            }
+        }
 
         let report = RunReport {
             elapsed_s: io_time + meta_time,
@@ -842,6 +890,128 @@ mod stdio_tests {
             stdio < raw / 3.0,
             "stdio buffering should coalesce: {stdio} vs {raw}"
         );
+    }
+}
+
+#[cfg(test)]
+mod interference_tests {
+    use super::*;
+    use crate::interference::{InterferenceModel, NoiseProfile};
+    use crate::request::{AccessPattern, IoPhase};
+    use tunio_params::ParamId;
+
+    const MIB: u64 = 1024 * 1024;
+
+    fn phases() -> Vec<Phase> {
+        vec![
+            Phase::compute(5.0),
+            Phase::Io(IoPhase {
+                dataset: "ckpt".into(),
+                kind: IoKind::Write,
+                per_proc_bytes: 256 * MIB,
+                ops_per_proc: 2048,
+                pattern: AccessPattern::Strided { record: 128 * 1024 },
+                meta_ops: 16,
+                collective_capable: true,
+                chunk_reuse_bytes: 0,
+                pre_striped: 0,
+            }),
+        ]
+    }
+
+    fn striped(space: &ParameterSpace, stripe_gene: usize) -> StackConfig {
+        let mut c = space.default_config();
+        c.set_gene(ParamId::CollectiveIo, 1);
+        c.set_gene(ParamId::StripingFactor, stripe_gene);
+        c.resolve(space)
+    }
+
+    #[test]
+    fn quiet_profile_is_bitwise_identical_to_no_model() {
+        let s = ParameterSpace::tunio_default();
+        let cfg = StackConfig::defaults(&s);
+        let plain = Simulator::cori_4node(11);
+        let quiet = Simulator::cori_4node(11)
+            .with_interference(InterferenceModel::new(NoiseProfile::Quiet, 77));
+        assert!(quiet.interference.is_none(), "inert models are dropped");
+        let (a, pa) = plain.run_profiled(&phases(), &cfg, 0);
+        let (b, pb) = quiet.run_profiled(&phases(), &cfg, 0);
+        assert_eq!(a, b);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn storm_interference_is_deterministic_and_attributed() {
+        let s = ParameterSpace::tunio_default();
+        let cfg = striped(&s, 9); // 64 OSTs
+        let sim = Simulator::cori_4node(11)
+            .with_interference(InterferenceModel::new(NoiseProfile::Storm, 5));
+        let (a, pa) = sim.run_profiled(&phases(), &cfg, 0);
+        let (b, pb) = sim.run_profiled(&phases(), &cfg, 0);
+        assert_eq!(a, b);
+        assert_eq!(pa, pb);
+        // Some repeat must hit an episode; its cost lands on the
+        // interference layer and attribution still reconstructs exactly.
+        let mut hit = false;
+        for run_idx in 0..16 {
+            let (report, profile) = sim.run_profiled(&phases(), &cfg, run_idx);
+            assert!(profile.attribution_error(&report) < 1e-9);
+            hit |= profile.get(Layer::Interference).self_s > 0.0;
+        }
+        assert!(hit, "a storm must hit a 64-OST config within 16 repeats");
+    }
+
+    #[test]
+    fn wider_stripes_see_more_exposure_and_real_variance() {
+        // The heteroscedastic core claim: stripe-wide configs touch more
+        // OSTs, so a storm charges them a larger share of interference
+        // time than a narrow config — and repeats of the wide config must
+        // actually *vary* (the racing evaluator's reason to exist). The
+        // 500-node scale keeps the storage path binding; on 4 nodes the
+        // client network floor dominates and OST pinning cannot surface.
+        let s = ParameterSpace::tunio_default();
+        let sim = Simulator::cori_500node(11)
+            .with_interference(InterferenceModel::new(NoiseProfile::Storm, 3));
+        let exposure = |cfg: &StackConfig| {
+            let mut share = 0.0;
+            for i in 0..24 {
+                let (report, profile) = sim.run_profiled(&phases(), cfg, i);
+                share += profile.get(Layer::Interference).self_s / report.io_time_s;
+            }
+            share / 24.0
+        };
+        let narrow = exposure(&striped(&s, 0)); // 1 OST
+        let wide = exposure(&striped(&s, 9)); // 64 OSTs
+        assert!(
+            wide > narrow,
+            "wide-stripe exposure {wide:.4} should exceed narrow {narrow:.4}"
+        );
+        let wide_cfg = striped(&s, 9);
+        let times: Vec<f64> = (0..24)
+            .map(|i| sim.run(&phases(), &wide_cfg, i).io_time_s)
+            .collect();
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / times.len() as f64;
+        assert!(
+            var.sqrt() / mean > 0.02,
+            "storm repeats must differ materially: rel std {}",
+            var.sqrt() / mean
+        );
+    }
+
+    #[test]
+    fn try_run_paths_carry_interference() {
+        let s = ParameterSpace::tunio_default();
+        let cfg = striped(&s, 9);
+        let sim = Simulator::cori_4node(11)
+            .with_interference(InterferenceModel::new(NoiseProfile::Storm, 5));
+        let (plain, plain_prof) = sim.run_averaged_profiled(&phases(), &cfg, 3);
+        let (r, p, faults) = sim
+            .try_run_averaged_profiled(&phases(), &cfg, 3, 0)
+            .unwrap();
+        assert_eq!(plain, r);
+        assert_eq!(plain_prof, p);
+        assert!(faults.is_empty());
     }
 }
 

@@ -34,9 +34,9 @@ use tunio::pipeline::{
     outcome_json, run_campaign_opts, run_strategy_campaign_opts, spec_from_header, CampaignOptions,
     CampaignSpec, PipelineKind, StrategyKind,
 };
-use tunio_iosim::FaultPlan;
+use tunio_iosim::{FaultPlan, NoiseProfile};
 use tunio_trace as trace;
-use tunio_tuner::{CacheEntry, EvalCounters};
+use tunio_tuner::{CacheEntry, EvalCounters, RacingConfig};
 use tunio_workloads::Variant;
 
 /// Acquire a mutex, recovering from poisoning: a worker that panicked
@@ -116,6 +116,12 @@ pub struct CampaignRequest {
     /// Drill switch: the worker panics instead of running the campaign.
     /// Proves panic isolation end-to-end without a special build.
     pub inject_panic: bool,
+    /// Heteroscedastic interference profile (`quiet|busy|storm`).
+    pub noise_profile: Option<String>,
+    /// Interference seed (defaults to the campaign seed).
+    pub noise_seed: Option<u64>,
+    /// Noise-robust racing evaluation (strategy campaigns only).
+    pub racing: bool,
 }
 
 fn ident_ok(s: &str) -> bool {
@@ -160,7 +166,17 @@ impl CampaignRequest {
             fault_rate: v.get("fault_rate").and_then(|x| x.as_f64()),
             fault_seed: v.get("fault_seed").and_then(|x| x.as_u64()),
             inject_panic: matches!(v.get("inject_panic"), Some(serde_json::Value::Bool(true))),
+            noise_profile: str_field("noise_profile"),
+            noise_seed: v.get("noise_seed").and_then(|x| x.as_u64()),
+            racing: matches!(v.get("racing"), Some(serde_json::Value::Bool(true))),
         };
+        if let Some(p) = &req.noise_profile {
+            NoiseProfile::parse(p)
+                .ok_or_else(|| format!("unknown noise profile `{p}` (want quiet|busy|storm)"))?;
+        }
+        if req.racing && req.strategy.is_none() {
+            return Err("racing needs a strategy backend (`strategy`)".to_string());
+        }
         req.to_spec()?; // validate app/pipeline/variant/strategy up front
         Ok(req)
     }
@@ -193,6 +209,15 @@ impl CampaignRequest {
         }
         if self.inject_panic {
             s.push_str(",\"inject_panic\":true");
+        }
+        if let Some(p) = &self.noise_profile {
+            s.push_str(&format!(",\"noise_profile\":{}", quote(p)));
+        }
+        if let Some(ns) = self.noise_seed {
+            s.push_str(&format!(",\"noise_seed\":{ns}"));
+        }
+        if self.racing {
+            s.push_str(",\"racing\":true");
         }
         s.push('}');
         s
@@ -245,10 +270,20 @@ impl CampaignRequest {
     /// NOT participate — they change which keys get evaluated, not what
     /// a key evaluates to.
     pub fn fingerprint(&self) -> String {
-        format!(
+        let mut fp = format!(
             "{}|{}|{}|{}",
             self.app, self.variant, self.seed, self.large_scale
-        )
+        );
+        // Interference changes every run's report, so noisy campaigns
+        // must never share warm entries with quiet ones (or with noisy
+        // campaigns under a different profile or seed).
+        if let Some(p) = &self.noise_profile {
+            fp.push_str(&format!(
+                "|noise={p}:{}",
+                self.noise_seed.unwrap_or(self.seed)
+            ));
+        }
+        fp
     }
 }
 
@@ -661,6 +696,12 @@ fn run_admitted(shared: &Arc<Shared>, id: &str, request: &CampaignRequest, wal: 
         threads: request.threads,
         warm_start: None,
         preload,
+        noise_profile: request
+            .noise_profile
+            .as_deref()
+            .and_then(NoiseProfile::parse),
+        noise_seed: request.noise_seed,
+        racing: request.racing.then(RacingConfig::default),
     };
     // The panic boundary. An evaluator panic (or the inject_panic drill)
     // unwinds to here, fails this one campaign, and the worker moves on.
@@ -908,6 +949,9 @@ fn recover_request(
         fault_rate: None,
         fault_seed: None,
         inject_panic: false,
+        noise_profile: None,
+        noise_seed: None,
+        racing: false,
     })
 }
 
@@ -1275,6 +1319,44 @@ mod tests {
         .unwrap();
         let reparsed = CampaignRequest::from_json(&value(&req.to_json())).unwrap();
         assert_eq!(format!("{reparsed:?}"), format!("{req:?}"));
+    }
+
+    #[test]
+    fn noisy_request_round_trips_and_namespaces_the_warm_cache() {
+        let req = CampaignRequest::from_json(&value(
+            "{\"tenant\":\"t1\",\"app\":\"hacc\",\"strategy\":\"random\",\
+             \"noise_profile\":\"storm\",\"noise_seed\":7,\"racing\":true}",
+        ))
+        .unwrap();
+        assert_eq!(req.noise_profile.as_deref(), Some("storm"));
+        assert_eq!(req.noise_seed, Some(7));
+        assert!(req.racing);
+        let reparsed = CampaignRequest::from_json(&value(&req.to_json())).unwrap();
+        assert_eq!(format!("{reparsed:?}"), format!("{req:?}"));
+
+        // Interference changes every run report, so a noisy submission
+        // must never share warm-cache entries with a quiet one (or with
+        // a different noise seed).
+        let quiet =
+            CampaignRequest::from_json(&value("{\"tenant\":\"t1\",\"app\":\"hacc\"}")).unwrap();
+        assert_ne!(req.fingerprint(), quiet.fingerprint());
+        let mut reseeded = req.clone();
+        reseeded.noise_seed = Some(8);
+        assert_ne!(req.fingerprint(), reseeded.fingerprint());
+    }
+
+    #[test]
+    fn racing_requires_a_strategy_backend() {
+        let err = CampaignRequest::from_json(&value(
+            "{\"tenant\":\"t\",\"app\":\"hacc\",\"racing\":true}",
+        ))
+        .unwrap_err();
+        assert!(err.contains("strategy"), "{err}");
+        let err = CampaignRequest::from_json(&value(
+            "{\"tenant\":\"t\",\"app\":\"hacc\",\"noise_profile\":\"gale\"}",
+        ))
+        .unwrap_err();
+        assert!(err.contains("noise"), "{err}");
     }
 
     #[test]

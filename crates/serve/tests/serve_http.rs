@@ -389,10 +389,7 @@ fn assert_conformant_scrape(raw: &str) -> String {
         if line.starts_with('#') || line.is_empty() {
             continue;
         }
-        let name = line
-            .split(['{', ' '])
-            .next()
-            .expect("sample name");
+        let name = line.split(['{', ' ']).next().expect("sample name");
         let base = name
             .strip_suffix("_sum")
             .filter(|b| families.contains(*b))

@@ -100,6 +100,20 @@ pub struct WarmStartInfo {
     pub seeds: u64,
 }
 
+/// One early racing discard reconstructed from an `eval.discard` event
+/// (emitted when noise-robust racing drops a clear loser).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscardRow {
+    /// Mean objective when discarded, bytes/s.
+    pub mean: f64,
+    /// CI half-width at the discard decision, bytes/s.
+    pub half_width: f64,
+    /// The incumbent objective it lost to, bytes/s.
+    pub incumbent: f64,
+    /// Samples the configuration had received.
+    pub samples: u64,
+}
+
 /// Everything the report knows about one campaign in the trace.
 #[derive(Debug, Clone, Default)]
 pub struct CampaignSummary {
@@ -144,6 +158,14 @@ pub struct CampaignSummary {
     /// Warm-start application, when the campaign was seeded from
     /// inferred features.
     pub warm_start: Option<WarmStartInfo>,
+    /// Per-config sample counts observed under noise-robust racing
+    /// (the `samples` field of `strategy.observe` events), in commit
+    /// order. Empty for racing-free campaigns.
+    pub racing_samples: Vec<u64>,
+    /// Top-up repeats run at the commit frontier (`eval.repeat` events).
+    pub racing_topups: u64,
+    /// Early discards, in commit order (`eval.discard` events).
+    pub racing_discards: Vec<DiscardRow>,
 }
 
 impl CampaignSummary {
@@ -180,6 +202,15 @@ impl CampaignSummary {
                 .generations
                 .iter()
                 .any(|g| g.faults > 0 || g.retries > 0 || g.failures > 0 || g.quarantined > 0)
+    }
+
+    /// Whether the campaign ran noise-robust racing evaluation at all.
+    /// A racing-free campaign renders exactly as it did before the
+    /// racing section existed.
+    pub fn had_racing(&self) -> bool {
+        !self.racing_samples.is_empty()
+            || self.racing_topups > 0
+            || !self.racing_discards.is_empty()
     }
 
     /// The stop reason: last affirmative decision, or budget exhaustion.
@@ -346,6 +377,25 @@ pub fn summarize(records: &[Record]) -> Vec<CampaignSummary> {
                     seeds: u64_field(r, "seeds").unwrap_or(0),
                 });
             }
+            "strategy.observe" => {
+                if let Some(n) = u64_field(r, "samples") {
+                    open = true;
+                    cur.racing_samples.push(n);
+                }
+            }
+            "eval.repeat" => {
+                open = true;
+                cur.racing_topups += 1;
+            }
+            "eval.discard" => {
+                open = true;
+                cur.racing_discards.push(DiscardRow {
+                    mean: f64_field(r, "mean").unwrap_or(0.0),
+                    half_width: f64_field(r, "half_width").unwrap_or(0.0),
+                    incumbent: f64_field(r, "incumbent").unwrap_or(0.0),
+                    samples: u64_field(r, "samples").unwrap_or(0),
+                });
+            }
             "stop.decision" => {
                 open = true;
                 cur.decisions.push(StopDecision {
@@ -454,9 +504,9 @@ fn render_layer_tree(layers: &[LayerTotals]) -> String {
     let lustre = s("lustre.data") + s("lustre.rpc");
     let mpiio = s("mpiio") + s("network") + lustre;
     let hdf5 = s("hdf5") + mpiio;
-    let io = s("burst") + hdf5;
+    let io = s("burst") + hdf5 + s("interference");
     let run = s("compute") + io + s("mds");
-    let rows: [(usize, &str, f64, f64); 11] = [
+    let mut rows: Vec<(usize, &str, f64, f64)> = vec![
         (0, "run", 0.0, run),
         (1, "compute", s("compute"), s("compute")),
         (1, "io", 0.0, io),
@@ -469,6 +519,19 @@ fn render_layer_tree(layers: &[LayerTotals]) -> String {
         (5, "lustre.rpc", s("lustre.rpc"), s("lustre.rpc")),
         (1, "mds", s("mds"), s("mds")),
     ];
+    // Interference only appears when the simulator ran with a noise
+    // profile attached; interference-free traces keep the historical
+    // 11-row tree byte-for-byte.
+    if layers.iter().any(|t| t.layer == "interference") {
+        let pos = rows
+            .iter()
+            .position(|(_, name, _, _)| *name == "mds")
+            .unwrap_or(rows.len());
+        rows.insert(
+            pos,
+            (2, "interference", s("interference"), s("interference")),
+        );
+    }
     let mut out = String::new();
     for (depth, name, self_s, total_s) in rows {
         out.push_str(&format!(
@@ -572,6 +635,40 @@ pub fn render(s: &CampaignSummary) -> String {
                 .unwrap_or_else(|| s.generations.iter().map(|g| g.quarantined).sum()),
             s.penalties_served.unwrap_or(0),
         ));
+    }
+
+    if s.had_racing() {
+        let settled = s.racing_samples.len() as u64;
+        let total: u64 = s.racing_samples.iter().sum();
+        let max = s.racing_samples.iter().max().copied().unwrap_or(0);
+        let avg = if settled > 0 {
+            total as f64 / settled as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "racing            : {settled} settled ({total} samples, avg {avg:.1}, max {max}), \
+             {} top-ups, {} discarded early\n",
+            s.racing_topups,
+            s.racing_discards.len(),
+        ));
+        if !s.racing_discards.is_empty() {
+            out.push_str("\nearly discards (clear losers):\n");
+            out.push_str(
+                "   # | mean MB/s | ±CI MB/s | incumbent MB/s | samples\n\
+                 -----+-----------+----------+----------------+--------\n",
+            );
+            for (i, d) in s.racing_discards.iter().enumerate() {
+                out.push_str(&format!(
+                    "{:>4} | {:>9.1} | {:>8.1} | {:>14.1} | {:>7}\n",
+                    i + 1,
+                    d.mean / MB,
+                    d.half_width / MB,
+                    d.incumbent / MB,
+                    d.samples,
+                ));
+            }
+        }
     }
 
     if gens > 0 {
@@ -809,6 +906,85 @@ mod tests {
         assert!(text.contains(
             "-----+-----------+---------------+--------+---------+--------+--------+------\n"
         ));
+    }
+
+    fn racing_trace() -> String {
+        let lines = [
+            gen_record(1, 100e6, 60.0),
+            r#"{"t_us":1100,"name":"strategy.observe","fields":{"strategy":"random","seq":0,"perf":100e6,"cost_s":60.0,"samples":2}}"#.to_string(),
+            r#"{"t_us":1200,"name":"eval.repeat","fields":{"key_fp":123,"rep":2,"samples":3,"incumbent":100e6}}"#.to_string(),
+            r#"{"t_us":1300,"name":"strategy.observe","fields":{"strategy":"random","seq":1,"perf":150e6,"cost_s":60.0,"samples":3}}"#.to_string(),
+            r#"{"t_us":1400,"name":"eval.discard","fields":{"key":"[0, 1]","mean":40e6,"half_width":5e6,"incumbent":150e6,"samples":2}}"#.to_string(),
+            r#"{"t_us":1500,"name":"strategy.observe","fields":{"strategy":"random","seq":2,"perf":40e6,"cost_s":60.0,"samples":2}}"#.to_string(),
+            r#"{"t_us":2600,"name":"campaign.done","fields":{"kind":"TunIO","app":"hacc","best_perf":150e6,"default_perf":100e6}}"#.to_string(),
+        ];
+        lines.join("\n")
+    }
+
+    #[test]
+    fn racing_events_are_summarized_and_rendered() {
+        let sums = summarize(&parse_jsonl(&racing_trace()).unwrap());
+        assert_eq!(sums.len(), 1);
+        let s = &sums[0];
+        assert!(s.had_racing());
+        assert_eq!(s.racing_samples, vec![2, 3, 2]);
+        assert_eq!(s.racing_topups, 1);
+        assert_eq!(s.racing_discards.len(), 1);
+        let d = &s.racing_discards[0];
+        assert!((d.mean - 40e6).abs() < 1.0);
+        assert!((d.half_width - 5e6).abs() < 1.0);
+        assert_eq!(d.samples, 2);
+
+        let text = report(&racing_trace()).unwrap();
+        assert!(
+            text.contains(
+                "racing            : 3 settled (7 samples, avg 2.3, max 3), 1 top-ups, 1 discarded early"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("early discards (clear losers):"), "{text}");
+        assert!(
+            text.contains("40.0 |      5.0 |          150.0 |       2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn racing_free_traces_render_without_a_racing_section() {
+        let sums = summarize(&parse_jsonl(&sample_trace()).unwrap());
+        assert!(!sums[0].had_racing());
+        let text = report(&sample_trace()).unwrap();
+        assert!(!text.contains("racing"), "{text}");
+        assert!(!text.contains("discard"), "{text}");
+    }
+
+    #[test]
+    fn interference_layer_adds_a_tree_row_only_when_present() {
+        let quiet = [
+            gen_record(1, 100e6, 60.0),
+            layer_record(1, "hdf5", 2.0, 1e6, 10.0),
+            r#"{"t_us":9000,"name":"campaign.done","fields":{"kind":"TunIO","app":"hacc"}}"#
+                .to_string(),
+        ]
+        .join("\n");
+        let text = report(&quiet).unwrap();
+        assert!(!text.contains("interference"), "{text}");
+
+        let noisy = [
+            gen_record(1, 100e6, 60.0),
+            layer_record(1, "hdf5", 2.0, 1e6, 10.0),
+            layer_record(1, "interference", 1.5, 0.0, 0.0),
+            r#"{"t_us":9000,"name":"campaign.done","fields":{"kind":"TunIO","app":"hacc"}}"#
+                .to_string(),
+        ]
+        .join("\n");
+        let text = report(&noisy).unwrap();
+        assert!(text.contains("  interference"), "{text}");
+        // Interference folds into the io subtree and the run total.
+        assert!(
+            text.contains("run                    total    3.500 s"),
+            "{text}"
+        );
     }
 
     fn inference_trace() -> String {

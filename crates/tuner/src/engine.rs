@@ -27,6 +27,7 @@
 //! *simulated* tuning cost charged to the budget from the *real* wall
 //! time spent inside the simulator, for the bench binaries.
 
+use crate::racing::{Moments, RaceDiscard, RaceOutcome, RacingConfig, RacingCounters};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::Serialize;
@@ -138,6 +139,12 @@ pub struct CacheEntry {
     pub perf: f64,
     /// Per-layer cost attribution of the charged evaluation.
     pub profile: Profile,
+    /// Racing sample count that produced `perf` (0 for the fixed-repeat
+    /// path — the WAL omits the racing moments entirely in that case).
+    pub samples: u32,
+    /// Welford M2 of the per-run objectives (with `samples` and `perf`
+    /// as the mean, this restores the key's racing moments bitwise).
+    pub m2: f64,
 }
 
 /// Per-key failure bookkeeping behind the retry/quarantine policy.
@@ -150,6 +157,35 @@ struct KeyFailState {
     consecutive_failures: u32,
     /// Circuit breaker state: once open, the key is never simulated again.
     quarantined: bool,
+}
+
+/// Per-key racing accumulator between the parallel warm phase and the
+/// serial settle at the commit frontier. Only the one worker that
+/// race-warmed the key and the committing coordinator ever touch it
+/// (the scheduler never dispatches a key twice), so its contents are a
+/// pure function of `(sim, config, sample indices)`.
+#[derive(Debug, Default)]
+struct RaceState {
+    /// Valid per-run reports, in sample order.
+    reports: Vec<RunReport>,
+    /// Matching per-run profiles.
+    profiles: Vec<Profile>,
+    /// Welford moments of the per-run objectives.
+    perfs: Moments,
+    /// Sample indices consumed, including failed/insane runs (the next
+    /// sample always runs at `run_idx = attempts`).
+    attempts: u32,
+}
+
+impl RaceState {
+    fn note(&mut self, sample: Option<(RunReport, Profile)>) {
+        self.attempts += 1;
+        if let Some((report, profile)) = sample {
+            self.perfs.push(report.perf());
+            self.reports.push(report);
+            self.profiles.push(profile);
+        }
+    }
 }
 
 /// Why a simulation attempt produced no usable report.
@@ -281,6 +317,18 @@ pub struct EvalEngine {
     charged_cost_s: Mutex<f64>,
     profile: Mutex<Profile>,
     fail_state: Mutex<HashMap<Vec<usize>, KeyFailState>>,
+    /// Keys mid-race: warm samples accumulated, settle pending.
+    races: Mutex<HashMap<Vec<usize>, RaceState>>,
+    /// Racing provenance of settled/preloaded keys — `(samples, m2)` —
+    /// consulted when journaling so re-checkpointed entries keep their
+    /// moments across kill/resume cycles.
+    race_meta: Mutex<HashMap<Vec<usize>, (u32, f64)>>,
+    /// Early-discard audit log, in settle (= commit) order.
+    race_discard_log: Mutex<Vec<RaceDiscard>>,
+    race_samples: AtomicU64,
+    race_settled: AtomicU64,
+    race_topups: AtomicU64,
+    race_discards: AtomicU64,
     /// When enabled, every charged cache insertion is recorded here so a
     /// checkpoint writer can persist the generation's new entries.
     journal: Mutex<Option<Vec<CacheEntry>>>,
@@ -292,6 +340,11 @@ pub struct EvalEngine {
     m_quarantined: trace::Counter,
     m_faults: Vec<trace::Counter>,
     m_layer_self: Vec<trace::Histogram>,
+    m_race_samples: trace::Counter,
+    m_race_settled: trace::Counter,
+    m_race_topups: trace::Counter,
+    m_race_discards: trace::Counter,
+    m_noise_interference: trace::Histogram,
     #[cfg(test)]
     sim_gate: SimGate,
 }
@@ -344,6 +397,13 @@ impl EvalEngine {
             charged_cost_s: Mutex::new(0.0),
             profile: Mutex::new(Profile::new()),
             fail_state: Mutex::new(HashMap::new()),
+            races: Mutex::new(HashMap::new()),
+            race_meta: Mutex::new(HashMap::new()),
+            race_discard_log: Mutex::new(Vec::new()),
+            race_samples: AtomicU64::new(0),
+            race_settled: AtomicU64::new(0),
+            race_topups: AtomicU64::new(0),
+            race_discards: AtomicU64::new(0),
             journal: Mutex::new(None),
             m_hits: trace::counter("tunio.eval.cache_hits"),
             m_misses: trace::counter("tunio.eval.evaluations"),
@@ -359,6 +419,11 @@ impl EvalEngine {
                 .iter()
                 .map(|l| trace::labeled_histogram("tunio.profile.self_s", &[("layer", l.as_str())]))
                 .collect(),
+            m_race_samples: trace::counter("tunio.racing.samples"),
+            m_race_settled: trace::counter("tunio.racing.settled"),
+            m_race_topups: trace::counter("tunio.racing.topups"),
+            m_race_discards: trace::counter("tunio.racing.discards"),
+            m_noise_interference: trace::histogram("tunio.noise.interference_s"),
             #[cfg(test)]
             sim_gate: SimGate::default(),
         }
@@ -553,11 +618,17 @@ impl EvalEngine {
     /// so entry order is deterministic.
     fn journal_push(&self, key: &[usize], report: &RunReport, perf: f64, profile: &Profile) {
         if let Some(journal) = self.journal.lock().as_mut() {
+            // Raced keys carry their (sample count, M2) so a resumed
+            // campaign restores the racing moments bitwise; the pair is
+            // (0, 0.0) — and omitted from the WAL — for fixed repeats.
+            let (samples, m2) = self.race_meta.lock().get(key).copied().unwrap_or((0, 0.0));
             journal.push(CacheEntry {
                 key: key.to_vec(),
                 report: *report,
                 perf,
                 profile: profile.clone(),
+                samples,
+                m2,
             });
         }
     }
@@ -584,6 +655,14 @@ impl EvalEngine {
     /// the cache are left untouched.
     pub fn preload(&self, entries: Vec<CacheEntry>) {
         for e in entries {
+            if e.samples > 0 {
+                // Restore the key's racing provenance so the replayed
+                // entry re-journals with its moments intact and a race
+                // warm short-circuits to the memoized aggregate.
+                self.race_meta
+                    .lock()
+                    .insert(e.key.clone(), (e.samples, e.m2));
+            }
             let mut shard = self.shards[Self::shard_of(&e.key)].lock();
             shard
                 .entry(e.key)
@@ -606,6 +685,9 @@ impl EvalEngine {
     fn charge_profile(&self, profile: &Profile) {
         for (layer, stat) in profile.iter() {
             self.m_layer_self[layer as usize].record(stat.self_s);
+            if layer == Layer::Interference && stat.self_s > 0.0 {
+                self.m_noise_interference.record(stat.self_s);
+            }
         }
         self.profile.lock().absorb(profile);
     }
@@ -888,6 +970,230 @@ impl EvalEngine {
             charged_cost_s: *self.charged_cost_s.lock(),
             sim_wall_s: self.sim_wall_ns.load(Ordering::Relaxed) as f64 / 1e9,
         }
+    }
+
+    /// Snapshot the racing activity counters.
+    pub fn racing_counters(&self) -> RacingCounters {
+        RacingCounters {
+            samples: self.race_samples.load(Ordering::Relaxed),
+            settled: self.race_settled.load(Ordering::Relaxed),
+            topups: self.race_topups.load(Ordering::Relaxed),
+            discards: self.race_discards.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The early-discard audit log, in settle (= commit) order.
+    pub fn race_discard_log(&self) -> Vec<RaceDiscard> {
+        self.race_discard_log.lock().clone()
+    }
+
+    /// One raw single-run sample of `config` at repeat index `rep` — no
+    /// cache, no retry, no charge. Pure in `(sim, config, rep)`; a fault
+    /// or insane report comes back as `None` (the sample is excluded
+    /// from the moments, which is what keeps aggregation NaN-safe).
+    fn race_sample(&self, config: &Configuration, rep: u32) -> Option<(RunReport, Profile)> {
+        #[cfg(test)]
+        {
+            let gate = self
+                .sim_gate
+                .0
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone();
+            if let Some(gate) = gate {
+                gate(config.genes());
+            }
+        }
+        let mut span = trace::span("eval.sample", vec![("rep", rep.into())]);
+        let t0 = Instant::now();
+        let phases = self.workload.phases();
+        let stack = config.resolve(&self.space);
+        let outcome = self.sim.try_run_profiled(&phases, &stack, rep, 0);
+        self.sim_wall_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.race_samples.fetch_add(1, Ordering::Relaxed);
+        self.m_race_samples.inc(1);
+        match outcome {
+            Ok((report, profile, fault)) => {
+                if let Some(f) = &fault {
+                    self.note_fault(f);
+                }
+                if !report.is_sane() || !report.perf().is_finite() {
+                    span.add_field("failed", "corrupt_report".into());
+                    return None;
+                }
+                span.add_field("perf", report.perf().into());
+                Some((report, profile))
+            }
+            Err(sim_fault) => {
+                self.note_fault(&sim_fault.fault);
+                span.add_field("failed", sim_fault.fault.kind.label().into());
+                None
+            }
+        }
+    }
+
+    /// Racing warm phase: run the first [`RacingConfig::min_samples`]
+    /// raw repeats of an unseen key and return a **provisional**
+    /// evaluation (running mean, zero cost). Nothing is cached, charged
+    /// or journaled until [`EvalEngine::race_settle`] runs at the
+    /// scheduler's commit frontier.
+    ///
+    /// Keys the engine already knows — the default baseline, a
+    /// checkpoint [`Slot::Replay`], or an earlier settle — are served
+    /// through [`EvalEngine::evaluate`] with standard accounting; no
+    /// race state is created, so settling leaves them untouched. This
+    /// is what makes a resumed campaign skip re-racing bitwise.
+    pub fn race_warm(&self, config: &Configuration, racing: &RacingConfig) -> Evaluation {
+        let key = config.genes().to_vec();
+        if self.is_quarantined(&key) {
+            return self.penalty_evaluation(config);
+        }
+        let known = self.shards[Self::shard_of(&key)].lock().contains_key(&key);
+        if known {
+            return self.evaluate(config);
+        }
+        let min = racing.min_samples.clamp(2, racing.max_samples.max(2));
+        let mut state = RaceState::default();
+        for rep in 0..min {
+            state.note(self.race_sample(config, rep));
+        }
+        let provisional = if state.perfs.n > 0 {
+            state.perfs.mean
+        } else {
+            self.policy.penalty_perf
+        };
+        let report = RunReport::average(&state.reports);
+        self.races.lock().insert(key, state);
+        Evaluation {
+            config: config.clone(),
+            report,
+            perf: provisional,
+            cost_s: 0.0,
+        }
+    }
+
+    /// Settle a raced key against the incumbent objective. **Serial
+    /// section**: must be called from the scheduler's commit frontier,
+    /// where `incumbent` is a pure function of the committed history —
+    /// that is what keeps top-up counts and discards independent of
+    /// thread timing.
+    ///
+    /// Returns `None` for keys with no race state (cache hits, replays,
+    /// penalties), whose worker-reported values are already final. The
+    /// racing rule: while the CI `mean ± z·sd/√n` overlaps the
+    /// incumbent, top up one sample at a time; discard early once
+    /// `mean + half < incumbent` (a clear loser needs no more
+    /// precision); stop as soon as `mean - half > incumbent` (a clear
+    /// winner needs no more either) or at `max_samples`. The settled
+    /// aggregate is cached, charged and journaled exactly like a
+    /// fixed-repeat miss.
+    pub fn race_settle(
+        &self,
+        config: &Configuration,
+        incumbent: f64,
+        racing: &RacingConfig,
+    ) -> Option<RaceOutcome> {
+        let key = config.genes().to_vec();
+        let mut state = self.races.lock().remove(&key)?;
+        let max = racing.max_samples.max(racing.min_samples).max(2);
+        let mut topups = 0u32;
+        let mut discarded = false;
+        loop {
+            if state.perfs.n >= 2 {
+                let half = state.perfs.half_width(racing.z);
+                let mean = state.perfs.mean;
+                if mean + half < incumbent {
+                    discarded = true;
+                    break;
+                }
+                if mean - half > incumbent {
+                    break;
+                }
+            }
+            if state.attempts >= max {
+                break;
+            }
+            let rep = state.attempts;
+            state.note(self.race_sample(config, rep));
+            topups += 1;
+            trace::event(
+                "eval.repeat",
+                vec![
+                    ("key_fp", noise::fingerprint(&key).into()),
+                    ("rep", rep.into()),
+                    ("samples", state.perfs.n.into()),
+                    ("incumbent", incumbent.into()),
+                ],
+            );
+        }
+        self.race_settled.fetch_add(1, Ordering::Relaxed);
+        self.m_race_settled.inc(1);
+        self.race_topups.fetch_add(topups as u64, Ordering::Relaxed);
+        self.m_race_topups.inc(topups as u64);
+
+        let samples = state.perfs.n as u32;
+        let mean = state.perfs.mean;
+        let half = state.perfs.half_width(racing.z);
+        if discarded {
+            self.race_discards.fetch_add(1, Ordering::Relaxed);
+            self.m_race_discards.inc(1);
+            self.race_discard_log.lock().push(RaceDiscard {
+                key: key.clone(),
+                mean,
+                half_width: half,
+                incumbent,
+                samples,
+            });
+            trace::event(
+                "eval.discard",
+                vec![
+                    ("key", format!("{:?}", key).into()),
+                    ("mean", mean.into()),
+                    ("half_width", half.into()),
+                    ("incumbent", incumbent.into()),
+                    ("samples", samples.into()),
+                ],
+            );
+        }
+        if samples == 0 {
+            // Every sample failed: serve the penalty and leave the key
+            // uncached, mirroring the fixed-repeat failure path.
+            self.failed_evaluations.fetch_add(1, Ordering::Relaxed);
+            self.m_failures.inc(1);
+            self.penalties_served.fetch_add(1, Ordering::Relaxed);
+            return Some(RaceOutcome {
+                perf: self.policy.penalty_perf,
+                cost_s: 0.0,
+                samples: 0,
+                topups,
+                discarded,
+                mean: self.policy.penalty_perf,
+                half_width: 0.0,
+            });
+        }
+        // Aggregate: the strategy observes the mean of the per-run
+        // objectives (the quantity the CI race reasoned about); the
+        // pooled report/profile carry the bookkeeping.
+        let report = RunReport::average(&state.reports);
+        let profile = Profile::average(&state.profiles);
+        self.shards[Self::shard_of(&key)]
+            .lock()
+            .insert(key.clone(), Slot::Ready(report, mean));
+        self.race_meta
+            .lock()
+            .insert(key.clone(), (samples, state.perfs.m2));
+        *self.charged_cost_s.lock() += report.elapsed_s;
+        let eval = self.charge_miss(config, &key, report, mean, &profile);
+        Some(RaceOutcome {
+            perf: mean,
+            cost_s: eval.cost_s,
+            samples,
+            topups,
+            discarded,
+            mean,
+            half_width: half,
+        })
     }
 }
 

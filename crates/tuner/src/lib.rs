@@ -31,6 +31,7 @@
 pub mod bo;
 pub mod engine;
 pub mod ga;
+pub mod racing;
 pub mod scheduler;
 pub mod search;
 pub mod stoppers;
@@ -45,7 +46,10 @@ pub use ga::{
     CampaignObserver, Crossover, GaConfig, GaTuner, GenerationSnapshot, IterationRecord,
     NoObserver, TuningTrace,
 };
-pub use scheduler::{run_strategy, Hooks, Job, Scheduler, SchedulerStats, StrategyRun};
+pub use racing::{Moments, RaceDiscard, RaceOutcome, RacingConfig, RacingCounters};
+pub use scheduler::{
+    run_strategy, run_strategy_opts, Hooks, Job, Scheduler, SchedulerStats, StrategyRun,
+};
 pub use search::{HillClimb, RandomSearch};
 pub use stoppers::{BudgetStop, HeuristicStop, MaxPerfStop, NoStop, Stopper};
 pub use strategy::{sanitize, GaStrategy, LhsStrategy, RandomStrategy, SearchStrategy};

@@ -1,0 +1,120 @@
+//! Safety properties for noise-robust racing evaluation.
+//!
+//! Racing exists to spend fewer simulations on clear losers without
+//! ever throwing away a winner. These tests check exactly that, from
+//! the outside: run a racing campaign on a noisy (interfered) cluster,
+//! then re-evaluate every early-discarded configuration on a *quiet*
+//! copy of the same machine. A discard is only legitimate if the
+//! config's true (noise-free) bandwidth does not beat the incumbent it
+//! lost to by more than the confidence margin the racer saw — plus a
+//! small relative slack for the noisy-vs-true scale bias (interference
+//! only ever slows runs down, so noisy aggregates sit slightly below
+//! their quiet counterparts).
+//!
+//! The discard log itself must also be a pure function of the seed:
+//! identical across worker thread counts, in the same commit order.
+
+use tunio_iosim::{InterferenceModel, NoiseProfile, Simulator};
+use tunio_params::{Configuration, ParameterSpace};
+use tunio_tuner::{
+    run_strategy_opts, AllParams, EvalEngine, NoObserver, NoStop, RaceDiscard, RacingConfig,
+    RandomStrategy,
+};
+use tunio_workloads::{hacc, Variant, Workload};
+
+fn engine(seed: u64, noise: Option<NoiseProfile>) -> EvalEngine {
+    let mut sim = Simulator::cori_4node(seed);
+    if let Some(profile) = noise {
+        sim = sim.with_interference(InterferenceModel::new(profile, seed));
+    }
+    EvalEngine::new(
+        sim,
+        Workload::new(hacc(), Variant::Kernel),
+        ParameterSpace::tunio_default(),
+        3,
+    )
+}
+
+/// Race a random-search campaign on a noisy engine and return its
+/// discard log (commit order).
+fn race(seed: u64, profile: NoiseProfile, threads: usize) -> Vec<RaceDiscard> {
+    let eng = engine(seed, Some(profile));
+    let run = run_strategy_opts(
+        &eng,
+        Box::new(RandomStrategy::new(
+            ParameterSpace::tunio_default(),
+            32,
+            seed,
+        )),
+        &mut NoStop,
+        &mut AllParams,
+        8,
+        threads,
+        &mut NoObserver,
+        Some(RacingConfig::default()),
+    );
+    assert_eq!(run.stats.committed, 32, "racing must not eat the budget");
+    eng.race_discard_log()
+}
+
+/// The core safety property. `slack` is relative to the incumbent and
+/// absorbs the downward bias interference puts on every noisy mean.
+fn assert_no_winner_discarded(seed: u64, profile: NoiseProfile, slack: f64) {
+    let discards = race(seed, profile, 1);
+    let quiet = engine(seed, None);
+    for d in &discards {
+        // The racer's own rule, re-checked from the log.
+        assert!(
+            d.mean + d.half_width < d.incumbent,
+            "seed {seed} {profile:?}: discard rule violated: {d:?}"
+        );
+        let true_perf = quiet.evaluate(&Configuration::new(d.key.clone())).perf;
+        let bound = d.incumbent + d.half_width + slack * d.incumbent;
+        assert!(
+            true_perf <= bound,
+            "seed {seed} {profile:?}: discarded a true winner: key {:?} \
+             true {true_perf:.0} > incumbent {:.0} + CI {:.0} + slack ({bound:.0})",
+            d.key,
+            d.incumbent,
+            d.half_width,
+        );
+    }
+}
+
+#[test]
+fn busy_racing_never_discards_a_true_winner() {
+    // Busy interference is mild (rare episodes, <=2.5x slowdown), so
+    // the noisy aggregates track the quiet machine closely and a tight
+    // relative slack suffices.
+    let mut discards = 0usize;
+    for seed in [3, 11, 21, 42] {
+        discards += race(seed, NoiseProfile::Busy, 1).len();
+        assert_no_winner_discarded(seed, NoiseProfile::Busy, 0.10);
+    }
+    // The property must not pass vacuously across the whole seed set.
+    assert!(discards > 0, "busy racing never discarded anything");
+}
+
+#[test]
+fn storm_racing_never_discards_a_true_winner() {
+    // Storm slowdowns reach 5x, dragging noisy means well below quiet
+    // truth, so the scale slack is wider — the property still pins the
+    // discard decision to the confidence interval.
+    for seed in [3, 11, 21, 42] {
+        assert_no_winner_discarded(seed, NoiseProfile::Storm, 0.25);
+    }
+}
+
+#[test]
+fn discard_log_is_identical_across_thread_counts() {
+    for seed in [7, 19] {
+        for profile in [NoiseProfile::Busy, NoiseProfile::Storm] {
+            let serial = race(seed, profile, 1);
+            let parallel = race(seed, profile, 4);
+            assert_eq!(
+                serial, parallel,
+                "seed {seed} {profile:?}: discard log depends on thread count"
+            );
+        }
+    }
+}

@@ -54,6 +54,7 @@ fn drive_with(
         stopper,
         subsets: &mut subsets,
         observer: &mut observer,
+        racer: None,
     };
     scheduler.prime(&mut hooks);
 
